@@ -1,0 +1,49 @@
+// Ablation (§5.5): NVSHMEM proxy-thread placement on multi-node IB runs.
+// ReservedCore = the paper's OMP_NUM_THREADS-1 + dedicated-init-thread fix;
+// RankPinned = rank-level pinning only (paper: performs the same);
+// ContendedCore = proxy pinned onto a busy core (paper: up to 50x slower).
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace hs;
+
+int main() {
+  bench::print_header(
+      "Ablation §5.5 — NVSHMEM proxy-thread placement (multi-node IB)",
+      "Paper: reserved-thread pinning shows no benefit over rank-level\n"
+      "pinning; a contended proxy degrades runs by up to 50x.");
+
+  util::Table table(
+      {"size", "nodes", "placement", "ns/day", "slowdown vs reserved"});
+
+  for (long long atoms : {90000LL, 720000LL}) {
+    for (int nodes : {2, 4}) {
+      double reserved_perf = 0.0;
+      for (pgas::ProxyPlacement placement :
+           {pgas::ProxyPlacement::ReservedCore,
+            pgas::ProxyPlacement::RankPinned,
+            pgas::ProxyPlacement::ContendedCore}) {
+        bench::CaseSpec spec;
+        spec.atoms = atoms;
+        spec.topology = sim::Topology::dgx_h100(nodes, 4);
+        spec.config.transport = halo::Transport::Shmem;
+        spec.config.proxy_placement = placement;
+        const auto r = bench::run_case(spec);
+        if (placement == pgas::ProxyPlacement::ReservedCore) {
+          reserved_perf = r.perf.ns_per_day;
+        }
+        const char* name =
+            placement == pgas::ProxyPlacement::ReservedCore ? "reserved-core"
+            : placement == pgas::ProxyPlacement::RankPinned ? "rank-pinned"
+                                                            : "contended-core";
+        table.add_row({bench::size_label(atoms), std::to_string(nodes), name,
+                       util::Table::fmt(r.perf.ns_per_day, 0),
+                       util::Table::fmt(reserved_perf / r.perf.ns_per_day, 2) +
+                           "x"});
+      }
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Micro-bench (§3 latency inventory): the modelled API overheads and the
+// fabric's message-latency/bandwidth curves, printed against the ranges the
+// paper quotes so the cost model's provenance is auditable.
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace hs;
+
+int main() {
+  const auto cm = sim::CostModel::h100_eos();
+
+  bench::print_header("Micro — §3 latency inventory (modelled vs paper)",
+                      "GPU API overheads and per-link transfer costs.");
+
+  util::Table api({"quantity", "modelled", "paper"});
+  api.add_row({"kernel launch", util::Table::fmt(cm.kernel_launch_ns / 1000.0, 1) + " us",
+               "2-10 us"});
+  api.add_row({"event API call", util::Table::fmt(cm.event_api_ns / 1000.0, 2) + " us",
+               "< 1 us"});
+  api.add_row({"local NB per atom", util::Table::fmt(cm.nb_local_ns_per_atom, 2) + " ns",
+               "1.7-2.0 ns"});
+  api.add_row({"launch calls per step (~20)",
+               util::Table::fmt(20 * cm.kernel_launch_ns / 1000.0, 0) + " us",
+               "~40-200 us total"});
+  api.add_row({"event calls per step (~30)",
+               util::Table::fmt(30 * cm.event_api_ns / 1000.0, 0) + " us",
+               "< 30 us total"});
+  api.print(std::cout);
+
+  std::cout << "\nTransfer cost (one message, latency + wire), per link:\n";
+  util::Table xfer({"bytes", "nvlink us", "ib us", "ib/nvlink"});
+  sim::Machine machine(sim::Topology::dgx_h100(2, 2), cm);
+  auto& fabric = machine.fabric();
+  for (std::size_t bytes : {1024u, 16384u, 131072u, 1048576u, 8388608u}) {
+    const double nv = sim::to_us(fabric.estimate(0, 1, bytes));
+    const double ib = sim::to_us(fabric.estimate(0, 2, bytes));
+    xfer.add_row({std::to_string(bytes), util::Table::fmt(nv, 2),
+                  util::Table::fmt(ib, 2), util::Table::fmt(ib / nv, 1) + "x"});
+  }
+  xfer.print(std::cout);
+
+  std::cout << "\nDevice-initiated op costs (NVSHMEM-path model):\n";
+  util::Table dev({"op", "cost"});
+  dev.add_row({"system release store (notify)",
+               util::Table::fmt(cm.signal_release_ns / 1000.0, 2) + " us"});
+  dev.add_row({"system relaxed store",
+               util::Table::fmt(cm.signal_relaxed_ns / 1000.0, 2) + " us"});
+  dev.add_row({"acquire-wait poll granularity",
+               util::Table::fmt(cm.signal_poll_ns / 1000.0, 2) + " us"});
+  dev.add_row({"TMA bulk issue (warp leader)",
+               util::Table::fmt(cm.tma_issue_ns / 1000.0, 2) + " us"});
+  dev.add_row({"nvshmem put issue (proxy doorbell)",
+               util::Table::fmt(cm.shmem_put_issue_ns / 1000.0, 2) + " us"});
+  dev.print(std::cout);
+  return 0;
+}

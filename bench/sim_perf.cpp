@@ -1,0 +1,62 @@
+// Wall-clock performance of the simulator itself (google-benchmark):
+// discrete-event throughput, coroutine task churn, and a full simulated MD
+// step at bench scale — documents how expensive the figure reproductions
+// are to run.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+using namespace hs;
+
+namespace {
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    long long counter = 0;
+    for (int i = 0; i < 10000; ++i) {
+      engine.schedule_at(i, [&counter] { ++counter; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EngineEventThroughput);
+
+void BM_DeviceProcessorSharing(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::Device device(engine, 0, 0);
+    int done = 0;
+    for (int i = 0; i < 1000; ++i) {
+      engine.schedule_at(i, [&device, &done] {
+        device.begin_span(500.0, 0.4, 0, [&done] { ++done; });
+      });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_DeviceProcessorSharing);
+
+void BM_SimulatedStep(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    bench::CaseSpec spec;
+    spec.atoms = 45000LL * ranks / 4;
+    spec.topology = sim::Topology::dgx_h100(std::max(1, ranks / 4), 4);
+    spec.steps = 8;
+    spec.warmup = 2;
+    const auto r = bench::run_case(spec);
+    benchmark::DoNotOptimize(r.perf.ns_per_day);
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * ranks);
+  state.SetLabel("rank-steps");
+}
+BENCHMARK(BM_SimulatedStep)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// PME validation walk-through: the long-range electrostatics substrate
+// behind GROMACS' rank specialization, validated against textbook physics.
+//
+//   $ pme_validation [--atoms=24]
+//
+// Shows: (1) the NaCl Madelung constant recovered by direct Ewald and by
+// SPME, (2) mesh-vs-exact reciprocal energy/force agreement on a random
+// neutral system, (3) grid-resolution convergence.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "md/ewald.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace hs;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int n_random = static_cast<int>(cli.get_int("atoms", 24));
+
+  // --- Madelung constant ---------------------------------------------
+  md::Box cell(2, 2, 2);
+  std::vector<md::Vec3> ions;
+  std::vector<double> charges;
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      for (int k = 0; k < 2; ++k) {
+        ions.push_back(md::Vec3{static_cast<float>(i), static_cast<float>(j),
+                                static_cast<float>(k)});
+        charges.push_back((i + j + k) % 2 == 0 ? 1.0 : -1.0);
+      }
+    }
+  }
+  md::EwaldParams p;
+  p.beta = 4.0;
+  p.r_cut = 0.99;
+  p.mmax = 16;
+  p.grid = {32, 32, 32};
+  const double direct_e = md::ewald_direct(cell, ions, charges, p).total();
+  const double mesh_e = md::pme(cell, ions, charges, p).total();
+  const double madelung_ref = -4.0 * 1.747565;  // 8-ion NaCl cell
+  std::cout << "NaCl rock-salt cell (8 ions):\n"
+            << "  reference (Madelung)  : " << madelung_ref << "\n"
+            << "  direct Ewald          : " << direct_e << "\n"
+            << "  SPME (32^3, order 4)  : " << mesh_e << "\n\n";
+
+  // --- Random neutral system: PME vs direct Ewald ----------------------
+  md::Box box(4, 4, 4);
+  util::Rng rng(2025);
+  std::vector<md::Vec3> x;
+  std::vector<double> q;
+  for (int i = 0; i < n_random; ++i) {
+    x.push_back(md::Vec3{static_cast<float>(rng.uniform(0, 4)),
+                         static_cast<float>(rng.uniform(0, 4)),
+                         static_cast<float>(rng.uniform(0, 4))});
+    q.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  }
+  p.beta = 2.5;
+  p.r_cut = 1.2;
+  p.mmax = 14;
+  const md::EwaldResult exact = md::ewald_direct(box, x, q, p);
+
+  util::Table table({"grid", "recip energy", "|dE| vs exact", "max |dF|"});
+  for (int k : {16, 32, 64}) {
+    p.grid = {k, k, k};
+    const md::EwaldResult mesh = md::pme(box, x, q, p);
+    double max_df = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      max_df = std::max(
+          {max_df, std::abs(mesh.forces[i].x - exact.forces[i].x),
+           std::abs(mesh.forces[i].y - exact.forces[i].y),
+           std::abs(mesh.forces[i].z - exact.forces[i].z)});
+    }
+    table.add_row({std::to_string(k) + "^3",
+                   util::Table::fmt(mesh.e_recip, 6),
+                   util::Table::fmt(std::abs(mesh.e_recip - exact.e_recip), 6),
+                   util::Table::fmt(max_df, 6)});
+  }
+  std::cout << n_random << " random ions, exact reciprocal energy "
+            << exact.e_recip << ":\n\n";
+  table.print(std::cout);
+  std::cout << "\nSPME converges to the direct Ewald sum as the mesh refines "
+               "— the same\nmathematics GROMACS' PME ranks evaluate with "
+               "cuFFT (paper §2.2).\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Schedule explorer: render the per-stream kernel timeline of one MD step
+// for any transport/tuning combination — an interactive version of the
+// paper's Figs. 1-2, useful for understanding where a configuration loses
+// overlap.
+//
+//   $ schedule_explorer [--atoms=720000] [--nodes=4] [--transport=shmem|mpi]
+//                       [--no-fuse] [--no-depsplit] [--no-tma] [--no-fusesig]
+//                       [--old-prune] [--step=5] [--rank=0]
+#include <cmath>
+#include <iostream>
+
+#include "dd/geometry.hpp"
+#include "runner/md_runner.hpp"
+#include "runner/timing.hpp"
+#include "util/cli.hpp"
+
+using namespace hs;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const long long atoms = cli.get_int("atoms", 720000);
+  const int nodes = static_cast<int>(cli.get_int("nodes", 4));
+  const bool use_mpi = cli.get("transport", "shmem") == "mpi";
+  const auto step = cli.get_int("step", 5);
+  const int rank = static_cast<int>(cli.get_int("rank", 0));
+
+  runner::RunConfig config;
+  config.transport = use_mpi ? halo::Transport::Mpi : halo::Transport::Shmem;
+  config.halo_tuning.fuse_pulses = !cli.get_bool("no-fuse", false);
+  config.halo_tuning.dependency_partitioning =
+      !cli.get_bool("no-depsplit", false);
+  config.halo_tuning.use_tma = !cli.get_bool("no-tma", false);
+  config.halo_tuning.fused_signaling = !cli.get_bool("no-fusesig", false);
+  if (cli.get_bool("old-prune", false)) {
+    config.prune_low_priority_stream = false;
+    config.third_stream_for_update = false;
+    config.prune_interval = 1;
+  }
+
+  constexpr double kDensity = 100.0;
+  constexpr double kCutoff = 1.3;
+  const float box_len =
+      static_cast<float>(std::cbrt(static_cast<double>(atoms) / kDensity));
+  const md::Box box(box_len, box_len, box_len);
+  const dd::DomainGrid grid(box, dd::choose_grid(box, nodes * 4, kCutoff));
+
+  sim::Machine machine(sim::Topology::dgx_h100(nodes, 4),
+                       sim::CostModel::h100_eos());
+  machine.trace().set_enabled(true);
+  pgas::World world(machine);
+  msg::Comm comm(machine);
+  runner::MdRunner runner(machine, world, comm,
+                          halo::make_skeleton_workload(grid, kCutoff, kDensity),
+                          config);
+  runner.run(static_cast<int>(step) + 3);
+
+  std::cout << "grappa " << atoms << " atoms on " << nodes * 4 << " GPUs ("
+            << grid.dims().nx << "x" << grid.dims().ny << "x"
+            << grid.dims().nz << " DD), transport "
+            << (use_mpi ? "MPI" : "NVSHMEM") << "\n\n";
+  runner::render_timeline(machine.trace(), rank, step, std::cout);
+
+  const auto perf = runner.perf(2);
+  std::cout << "\nthroughput: " << perf.ns_per_day << " ns/day ("
+            << perf.ms_per_step * 1000.0 << " us/step)\n";
+  return 0;
+}

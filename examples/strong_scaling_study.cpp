@@ -1,0 +1,89 @@
+// Strong-scaling capacity study: sweep node counts for a system size of
+// your choosing and see where each transport stops scaling — the tool a
+// cluster operator would use before committing GPU hours.
+//
+//   $ strong_scaling_study [--atoms=1440000] [--gpus-per-node=4]
+//                          [--max-nodes=32] [--fabric=ib|nvl72]
+#include <cmath>
+#include <iostream>
+
+#include "dd/geometry.hpp"
+#include "runner/md_runner.hpp"
+#include "runner/timing.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace hs;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const long long atoms = cli.get_int("atoms", 1440000);
+  const int gpus_per_node = static_cast<int>(cli.get_int("gpus-per-node", 4));
+  const int max_nodes = static_cast<int>(cli.get_int("max-nodes", 32));
+  const bool nvl72 = cli.get("fabric", "ib") == "nvl72";
+
+  constexpr double kDensity = 100.0;
+  constexpr double kCutoff = 1.3;
+  const float box_len =
+      static_cast<float>(std::cbrt(static_cast<double>(atoms) / kDensity));
+  const md::Box box(box_len, box_len, box_len);
+
+  std::cout << "strong scaling: " << atoms << " atoms, box " << box_len
+            << " nm, " << gpus_per_node << " GPUs/node, fabric "
+            << (nvl72 ? "rack-wide NVLink (NVL72)" : "NVLink+InfiniBand")
+            << "\n\n";
+
+  util::Table table({"nodes", "gpus", "dd", "atoms/gpu", "mpi ns/day",
+                     "nvshmem ns/day", "S", "nvshmem eff"});
+
+  double base = 0.0;
+  int base_nodes = 0;
+  for (int nodes = 1; nodes <= max_nodes; nodes *= 2) {
+    const int ranks = nodes * gpus_per_node;
+    dd::GridDims dims;
+    try {
+      dims = dd::choose_grid(box, ranks, kCutoff);
+    } catch (const std::exception&) {
+      std::cout << "(stopping: no feasible decomposition for " << ranks
+                << " ranks)\n";
+      break;
+    }
+    const dd::DomainGrid grid(box, dims);
+    const auto topo = nvl72 ? sim::Topology::gb200_nvl72(nodes, gpus_per_node)
+                            : sim::Topology::dgx_h100(nodes, gpus_per_node);
+    const auto cost = nvl72 ? sim::CostModel::gb200_nvl72()
+                            : sim::CostModel::h100_eos();
+
+    double perf[2] = {0, 0};
+    for (int t = 0; t < 2; ++t) {
+      sim::Machine machine(topo, cost);
+      pgas::World world(machine);
+      msg::Comm comm(machine);
+      runner::RunConfig config;
+      config.transport = t == 0 ? halo::Transport::Mpi : halo::Transport::Shmem;
+      runner::MdRunner runner(
+          machine, world, comm,
+          halo::make_skeleton_workload(grid, kCutoff, kDensity), config);
+      runner.run(14);
+      perf[t] = runner.perf(4).ns_per_day;
+    }
+    if (base == 0.0) {
+      base = perf[1];
+      base_nodes = nodes;
+    }
+    const double eff =
+        perf[1] / (base * static_cast<double>(nodes) / base_nodes);
+    table.add_row(
+        {std::to_string(nodes), std::to_string(ranks),
+         std::to_string(dims.nx) + "x" + std::to_string(dims.ny) + "x" +
+             std::to_string(dims.nz),
+         std::to_string(atoms / ranks), util::Table::fmt(perf[0], 0),
+         util::Table::fmt(perf[1], 0), util::Table::fmt(perf[1] / perf[0], 2),
+         util::Table::fmt(100.0 * eff, 0) + "%"});
+  }
+  table.print(std::cout);
+  std::cout << "\nScaling saturates near 10-25k atoms/GPU (GPU "
+               "under-utilization, paper §6.2);\nthe NVSHMEM advantage (S) "
+               "grows with node count as latency dominates.\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+#include "dd/decomposition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace hs::dd {
+
+Decomposition::Decomposition(md::System global, GridDims dims,
+                             double comm_cutoff)
+    : grid_(global.box, dims),
+      comm_cutoff_(comm_cutoff),
+      plan_{grid_, comm_cutoff, {}, {}},
+      box_(global.box),
+      global_atoms_(global.natoms()) {
+  scatter(global);
+  plan_ = build_exchange_plan(grid_, comm_cutoff_, states_);
+}
+
+void Decomposition::scatter(const md::System& global) {
+  states_.assign(static_cast<std::size_t>(grid_.num_ranks()), DomainState{});
+  for (std::size_t r = 0; r < states_.size(); ++r) {
+    states_[r].rank = static_cast<int>(r);
+  }
+  for (int i = 0; i < global.natoms(); ++i) {
+    const md::Vec3 w = global.box.wrap(global.x[static_cast<std::size_t>(i)]);
+    const int r = grid_.rank_of_position(w);
+    DomainState& st = states_[static_cast<std::size_t>(r)];
+    st.x.push_back(w);
+    st.v.push_back(global.v[static_cast<std::size_t>(i)]);
+    st.type.push_back(global.type[static_cast<std::size_t>(i)]);
+    st.global_id.push_back(i);
+  }
+  for (auto& st : states_) {
+    st.n_home = st.n_total();
+    st.f.assign(st.x.size(), md::Vec3{});
+  }
+}
+
+md::System Decomposition::gather() const {
+  md::System out;
+  out.box = box_;
+  out.x.resize(static_cast<std::size_t>(global_atoms_));
+  out.v.resize(static_cast<std::size_t>(global_atoms_));
+  out.type.resize(static_cast<std::size_t>(global_atoms_));
+  std::vector<bool> seen(static_cast<std::size_t>(global_atoms_), false);
+  for (const auto& st : states_) {
+    for (int i = 0; i < st.n_home; ++i) {
+      const auto gid = static_cast<std::size_t>(st.global_id[static_cast<std::size_t>(i)]);
+      assert(!seen[gid] && "atom owned by two ranks");
+      seen[gid] = true;
+      out.x[gid] = st.x[static_cast<std::size_t>(i)];
+      out.v[gid] = st.v[static_cast<std::size_t>(i)];
+      out.type[gid] = st.type[static_cast<std::size_t>(i)];
+    }
+  }
+  if (std::find(seen.begin(), seen.end(), false) != seen.end()) {
+    throw std::runtime_error("gather: lost atoms during decomposition");
+  }
+  return out;
+}
+
+void Decomposition::repartition() {
+  const md::System global = gather();
+  scatter(global);
+  plan_ = build_exchange_plan(grid_, comm_cutoff_, states_);
+}
+
+std::vector<RankPairLists> build_pair_lists(const Decomposition& dd,
+                                            double rlist) {
+  return build_pair_lists(dd.grid(), dd.states(), dd.comm_cutoff(), rlist);
+}
+
+std::vector<RankPairLists> build_pair_lists(
+    const DomainGrid& grid, const std::vector<DomainState>& states,
+    double comm_cutoff, double rlist) {
+  // Guard the image-consistency precondition of the corner rule: stored
+  // halo placements must be the minimum image for every in-range pair.
+  for (int d = 0; d < 3; ++d) {
+    if (grid.dims().along(d) < 2) continue;
+    assert(grid.box().length(d) >= grid.domain_width(d) + comm_cutoff + rlist &&
+           "box too small for corner-rule pair assignment");
+  }
+  (void)comm_cutoff;
+
+  std::vector<RankPairLists> lists(states.size());
+  for (std::size_t r = 0; r < states.size(); ++r) {
+    const DomainState& st = states[r];
+    md::ZoneFilter filter;
+    for (int d = 0; d < 3; ++d) {
+      filter.decomposed[d] = grid.dims().along(d) > 1;
+      filter.hi[d] = grid.hi(static_cast<int>(r), d);
+    }
+    lists[r].local.build_local(grid.box(), st.x, st.n_home, rlist);
+    lists[r].nonlocal.build_nonlocal(grid.box(), st.x, st.n_home, rlist,
+                                     &filter);
+  }
+  return lists;
+}
+
+}  // namespace hs::dd

@@ -1,0 +1,72 @@
+// Decomposition: owns the global-system <-> per-rank-domain mapping and the
+// exchange plan, and provides the untimed reference MD step used as the
+// correctness oracle for the transport implementations.
+#pragma once
+
+#include <vector>
+
+#include "dd/plan.hpp"
+#include "md/integrator.hpp"
+#include "md/nonbonded.hpp"
+#include "md/pair_list.hpp"
+#include "md/system.hpp"
+
+namespace hs::dd {
+
+class Decomposition {
+ public:
+  /// Decompose `global` over `dims` with halo width `comm_cutoff`
+  /// (typically the pair-list radius, cutoff + Verlet buffer).
+  Decomposition(md::System global, GridDims dims, double comm_cutoff);
+
+  const DomainGrid& grid() const { return grid_; }
+  const ExchangePlan& plan() const { return plan_; }
+  ExchangePlan& plan() { return plan_; }
+  double comm_cutoff() const { return comm_cutoff_; }
+  int num_ranks() const { return grid_.num_ranks(); }
+  int global_atoms() const { return global_atoms_; }
+
+  std::vector<DomainState>& states() { return states_; }
+  const std::vector<DomainState>& states() const { return states_; }
+
+  /// Reassemble the global system from home atoms (by global id).
+  md::System gather() const;
+
+  /// Re-scatter atoms to owners based on current positions and rebuild the
+  /// exchange plan (the GROMACS DD step, every nstlist steps).
+  void repartition();
+
+  /// Untimed reference exchanges (delegate to plan.cpp helpers).
+  void exchange_coordinates() { exchange_coordinates_reference(plan_, states_); }
+  void exchange_forces() { exchange_forces_reference(plan_, states_); }
+
+ private:
+  void scatter(const md::System& global);
+
+  DomainGrid grid_;
+  double comm_cutoff_;
+  ExchangePlan plan_;
+  std::vector<DomainState> states_;
+  md::Box box_;
+  int global_atoms_ = 0;
+};
+
+/// Per-rank pair lists for a decomposed step: the local list covers
+/// home-home pairs, the non-local list home-halo pairs.
+struct RankPairLists {
+  md::PairList local;
+  md::PairList nonlocal;
+};
+
+/// Build both lists for every rank. `rlist` must equal the plan's
+/// comm_cutoff for the halo to cover every listed pair.
+std::vector<RankPairLists> build_pair_lists(const Decomposition& dd,
+                                            double rlist);
+
+/// Lower-level overload for callers holding a grid + states directly
+/// (e.g. the runner, which owns a Workload rather than a Decomposition).
+std::vector<RankPairLists> build_pair_lists(
+    const DomainGrid& grid, const std::vector<DomainState>& states,
+    double comm_cutoff, double rlist);
+
+}  // namespace hs::dd

@@ -1,0 +1,50 @@
+#include "dd/geometry.hpp"
+
+#include <algorithm>
+
+#include "dd/plan.hpp"
+
+namespace hs::dd {
+
+std::vector<PulseSizeEstimate> estimate_pulse_sizes(const DomainGrid& grid,
+                                                    double comm_cutoff,
+                                                    double density) {
+  // Walk dimensions in communication order (z, y, x). The cross-section a
+  // pulse ships grows as earlier dimensions' halos are forwarded: after a
+  // dimension is processed, the region a rank holds extends by the cutoff
+  // above its high boundary in that dimension.
+  double extent[3];
+  for (int d = 0; d < 3; ++d) extent[d] = grid.domain_width(d);
+
+  std::vector<PulseSizeEstimate> out;
+  for (int dim : {2, 1, 0}) {
+    const int np = pulses_for_dim(grid, dim, comm_cutoff);
+    if (np == 0) continue;
+    const double width = grid.domain_width(dim);
+    double cross_section = 1.0;
+    for (int d = 0; d < 3; ++d) {
+      if (d != dim) cross_section *= extent[d];
+    }
+    const double t0 = std::min(comm_cutoff, width);
+    const double t1 = comm_cutoff - t0;
+    out.push_back({dim, 0, density * t0 * cross_section});
+    if (np == 2) out.push_back({dim, 1, density * t1 * cross_section});
+    extent[dim] += comm_cutoff;
+  }
+  return out;
+}
+
+double estimate_halo_atoms(const DomainGrid& grid, double comm_cutoff,
+                           double density) {
+  double total = 0.0;
+  for (const auto& p : estimate_pulse_sizes(grid, comm_cutoff, density)) {
+    total += p.send_atoms;
+  }
+  return total;
+}
+
+double estimate_home_atoms(const DomainGrid& grid, double density) {
+  return density * grid.box().volume() / grid.num_ranks();
+}
+
+}  // namespace hs::dd

@@ -1,0 +1,37 @@
+// Analytic halo-size model for homogeneous systems.
+//
+// The bench harnesses reproduce the paper's figures at sizes up to 23 M
+// atoms; holding real particle arrays at that scale is pointless for a
+// timing study, so the benches run the exact same schedules and kernels in
+// "skeleton" mode, with per-pulse halo sizes predicted analytically from
+// the DD geometry and the system's number density. For homogeneous grappa
+// systems the prediction matches the functional plan to within a few
+// percent (asserted by tests).
+#pragma once
+
+#include <vector>
+
+#include "dd/grid.hpp"
+
+namespace hs::dd {
+
+struct PulseSizeEstimate {
+  int dim = 0;
+  int pulse = 0;
+  double send_atoms = 0.0;  // expected atoms per rank in this pulse
+};
+
+/// Per-global-pulse expected send sizes (same for every rank, homogeneous
+/// system). Order matches the exchange plan: [Z.., Y.., X..].
+std::vector<PulseSizeEstimate> estimate_pulse_sizes(const DomainGrid& grid,
+                                                    double comm_cutoff,
+                                                    double density);
+
+/// Expected total halo atoms per rank.
+double estimate_halo_atoms(const DomainGrid& grid, double comm_cutoff,
+                           double density);
+
+/// Expected home atoms per rank.
+double estimate_home_atoms(const DomainGrid& grid, double density);
+
+}  // namespace hs::dd

@@ -1,0 +1,147 @@
+#include "dd/grid.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace hs::dd {
+
+namespace {
+
+/// All factorizations of n into k factors, each > 1 unless k forces 1s,
+/// sorted descending (nx >= ny >= nz).
+void factorizations(int n, int k, std::vector<std::array<int, 3>>& out) {
+  if (k == 1) {
+    out.push_back({n, 1, 1});
+    return;
+  }
+  for (int a = 1; a <= n; ++a) {
+    if (n % a != 0) continue;
+    if (k == 2) {
+      out.push_back({a, n / a, 1});
+    } else {
+      for (int b = 1; b <= n / a; ++b) {
+        if ((n / a) % b != 0) continue;
+        out.push_back({a, b, n / (a * b)});
+      }
+    }
+  }
+}
+
+bool feasible(const md::Box& box, const std::array<int, 3>& f,
+              double comm_cutoff) {
+  // Two pulses maximum: slabs thinner than cutoff/2 are not supported.
+  for (int d = 0; d < 3; ++d) {
+    if (f[static_cast<std::size_t>(d)] < 2) continue;
+    const double width = box.length(d) / f[static_cast<std::size_t>(d)];
+    if (width < comm_cutoff / 2.0) return false;
+  }
+  return true;
+}
+
+double balance_score(const std::array<int, 3>& f) {
+  const int mx = std::max({f[0], f[1], f[2]});
+  const int mn = std::min({f[0], f[1], f[2]});
+  return static_cast<double>(mx) / mn;
+}
+
+}  // namespace
+
+GridDims choose_grid(const md::Box& box, int n_ranks, double comm_cutoff) {
+  assert(n_ranks >= 1);
+  if (n_ranks == 1) return GridDims{1, 1, 1};
+
+  // Paper-matching dimensionality policy (see header).
+  int preferred_dims = n_ranks <= 8 ? 1 : (n_ranks <= 16 ? 2 : 3);
+  for (int k = preferred_dims; k <= 3; ++k) {
+    std::vector<std::array<int, 3>> candidates;
+    factorizations(n_ranks, k, candidates);
+    bool found = false;
+    std::array<int, 3> best{};
+    for (const auto& c : candidates) {
+      // Require the requested dimensionality exactly.
+      const int dims_used = (c[0] > 1) + (c[1] > 1) + (c[2] > 1);
+      if (dims_used != k) continue;
+      // Larger factors go on x (x decomposed most, like GROMACS).
+      std::array<int, 3> sorted = c;
+      std::sort(sorted.begin(), sorted.end(), std::greater<>());
+      if (!feasible(box, sorted, comm_cutoff)) continue;
+      if (!found || balance_score(sorted) < balance_score(best)) {
+        best = sorted;
+        found = true;
+      }
+    }
+    if (found) return GridDims{best[0], best[1], best[2]};
+  }
+  // Fall back to lower dimensionality (e.g. prime rank counts > 16 have no
+  // exact 3D factorization).
+  for (int k = preferred_dims - 1; k >= 1; --k) {
+    std::vector<std::array<int, 3>> candidates;
+    factorizations(n_ranks, k, candidates);
+    for (auto c : candidates) {
+      std::sort(c.begin(), c.end(), std::greater<>());
+      if ((c[0] > 1) + (c[1] > 1) + (c[2] > 1) == k &&
+          feasible(box, c, comm_cutoff)) {
+        return GridDims{c[0], c[1], c[2]};
+      }
+    }
+  }
+  throw std::runtime_error(
+      "choose_grid: no feasible DD grid (box too small for this rank count "
+      "and cutoff)");
+}
+
+DomainGrid::DomainGrid(const md::Box& box, GridDims dims)
+    : box_(box), dims_(dims) {
+  assert(dims.nx >= 1 && dims.ny >= 1 && dims.nz >= 1);
+}
+
+int DomainGrid::rank_of_cell(int cx, int cy, int cz) const {
+  assert(cx >= 0 && cx < dims_.nx);
+  assert(cy >= 0 && cy < dims_.ny);
+  assert(cz >= 0 && cz < dims_.nz);
+  return (cx * dims_.ny + cy) * dims_.nz + cz;
+}
+
+std::array<int, 3> DomainGrid::cell_of_rank(int rank) const {
+  assert(rank >= 0 && rank < num_ranks());
+  const int cz = rank % dims_.nz;
+  const int cy = (rank / dims_.nz) % dims_.ny;
+  const int cx = rank / (dims_.nz * dims_.ny);
+  return {cx, cy, cz};
+}
+
+float DomainGrid::lo(int rank, int dim) const {
+  const auto c = cell_of_rank(rank);
+  return static_cast<float>(c[static_cast<std::size_t>(dim)]) *
+         domain_width(dim);
+}
+
+float DomainGrid::hi(int rank, int dim) const {
+  const auto c = cell_of_rank(rank);
+  return static_cast<float>(c[static_cast<std::size_t>(dim)] + 1) *
+         domain_width(dim);
+}
+
+int DomainGrid::rank_of_position(const md::Vec3& wrapped) const {
+  int c[3];
+  for (int d = 0; d < 3; ++d) {
+    const int n = dims_.along(d);
+    int idx = static_cast<int>(wrapped[d] / box_.length(d) *
+                               static_cast<float>(n));
+    c[d] = std::clamp(idx, 0, n - 1);
+  }
+  return rank_of_cell(c[0], c[1], c[2]);
+}
+
+int DomainGrid::neighbour(int rank, int dim, int step) const {
+  auto c = cell_of_rank(rank);
+  const int n = dims_.along(dim);
+  c[static_cast<std::size_t>(dim)] =
+      ((c[static_cast<std::size_t>(dim)] + step) % n + n) % n;
+  return rank_of_cell(c[0], c[1], c[2]);
+}
+
+}  // namespace hs::dd

@@ -1,0 +1,75 @@
+// Domain-decomposition grid: how ranks tile the simulation box.
+//
+// The decomposition-dimensionality policy reproduces the mapping the paper
+// reports (§6.3: 4/8 ranks -> 1D, 16 -> 2D, 32+ -> 3D, with all large-scale
+// configurations 3D):
+//   * n <= 8  : 1D,
+//   * n <= 16 : 2D,
+//   * else    : 3D,
+// escalating to more dimensions if a slab would be thinner than half the
+// communication cutoff (two pulses is the supported maximum, as in
+// GROMACS). Within a dimensionality the most balanced factorization is
+// used, with larger factors on x. An explicit grid can be forced (the
+// equivalent of gmx mdrun -dd).
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "md/box.hpp"
+#include "md/vec3.hpp"
+
+namespace hs::dd {
+
+struct GridDims {
+  int nx = 1;
+  int ny = 1;
+  int nz = 1;
+
+  int total() const { return nx * ny * nz; }
+  int along(int dim) const { return dim == 0 ? nx : (dim == 1 ? ny : nz); }
+  /// Number of decomposed dimensions (the paper's "1D/2D/3D DD").
+  int dimensionality() const {
+    return (nx > 1) + (ny > 1) + (nz > 1);
+  }
+};
+
+/// Choose a DD grid for n_ranks (see policy above). `comm_cutoff` is the
+/// halo communication distance (pair-list radius).
+GridDims choose_grid(const md::Box& box, int n_ranks, double comm_cutoff);
+
+/// The box tiled by a grid of equal-size rectangular domains.
+class DomainGrid {
+ public:
+  /// Default: a unit box with a single rank (placeholder before assignment).
+  DomainGrid() = default;
+  DomainGrid(const md::Box& box, GridDims dims);
+
+  const md::Box& box() const { return box_; }
+  const GridDims& dims() const { return dims_; }
+  int num_ranks() const { return dims_.total(); }
+
+  /// Rank <-> cell-coordinate mapping (x-major).
+  int rank_of_cell(int cx, int cy, int cz) const;
+  std::array<int, 3> cell_of_rank(int rank) const;
+
+  /// Domain bounds of `rank` along `dim`.
+  float lo(int rank, int dim) const;
+  float hi(int rank, int dim) const;
+  float domain_width(int dim) const {
+    return box_.length(dim) / static_cast<float>(dims_.along(dim));
+  }
+
+  /// The rank owning a (wrapped) position. Ownership is half-open
+  /// [lo, hi) per dimension, so every position has exactly one owner.
+  int rank_of_position(const md::Vec3& wrapped) const;
+
+  /// Neighbour of `rank` at offset `step` cells along `dim` (periodic).
+  int neighbour(int rank, int dim, int step) const;
+
+ private:
+  md::Box box_{};
+  GridDims dims_{};
+};
+
+}  // namespace hs::dd

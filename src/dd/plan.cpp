@@ -1,0 +1,198 @@
+#include "dd/plan.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hs::dd {
+
+int ExchangePlan::num_pulses(int dim) const {
+  int n = 0;
+  for (int d : pulse_dims) n += d == dim;
+  return n;
+}
+
+int pulses_for_dim(const DomainGrid& grid, int dim, double comm_cutoff) {
+  if (grid.dims().along(dim) < 2) return 0;
+  const double width = grid.domain_width(dim);
+  if (width >= comm_cutoff) return 1;
+  if (width >= comm_cutoff / 2.0) return 2;
+  throw std::runtime_error(
+      "halo exchange supports at most two pulses per dimension "
+      "(domain width < comm_cutoff / 2)");
+}
+
+ExchangePlan build_exchange_plan(const DomainGrid& grid, double comm_cutoff,
+                                 std::vector<DomainState>& states) {
+  assert(static_cast<int>(states.size()) == grid.num_ranks());
+
+  ExchangePlan plan{grid, comm_cutoff, {}, {}};
+  plan.ranks.resize(states.size());
+  for (std::size_t r = 0; r < states.size(); ++r) {
+    plan.ranks[r].rank = static_cast<int>(r);
+    plan.ranks[r].n_home = states[r].n_home;
+  }
+
+  // Global pulse order: z, then y, then x (paper §2.2).
+  struct DimPulse {
+    int dim;
+    int pulse;
+  };
+  std::vector<DimPulse> order;
+  for (int dim : {2, 1, 0}) {
+    const int np = pulses_for_dim(grid, dim, comm_cutoff);
+    for (int p = 0; p < np; ++p) order.push_back({dim, p});
+  }
+  for (const auto& dp : order) plan.pulse_dims.push_back(dp.dim);
+
+  struct Shipment {  // one rank's outgoing data for the current pulse
+    std::vector<md::Vec3> x;
+    std::vector<int> type;
+    std::vector<int> gid;
+  };
+
+  for (std::size_t gp = 0; gp < order.size(); ++gp) {
+    const int dim = order[gp].dim;
+    const int pulse = order[gp].pulse;
+
+    // Phase 1: every rank selects its send set from its *current* arrays.
+    std::vector<Shipment> outgoing(states.size());
+    for (std::size_t r = 0; r < states.size(); ++r) {
+      DomainState& st = states[r];
+      RankPlan& rp = plan.ranks[r];
+
+      PulseData pd;
+      pd.dim = dim;
+      pd.pulse = pulse;
+      pd.send_rank = grid.neighbour(static_cast<int>(r), dim, -1);
+      pd.recv_rank = grid.neighbour(static_cast<int>(r), dim, +1);
+      pd.dep_offset = st.n_home;
+
+      // Periodic shift: a rank at the low edge wraps; its atoms must appear
+      // just above the receiver's high boundary.
+      const auto cell = grid.cell_of_rank(static_cast<int>(r));
+      if (cell[static_cast<std::size_t>(dim)] == 0) {
+        pd.coord_shift.set(dim, grid.box().length(dim));
+      }
+
+      // Source range: pulse 0 selects from everything currently present
+      // (home + earlier-dimension halo); pulse 1 forwards only atoms that
+      // arrived in this dimension's pulse 0.
+      int src_begin = 0;
+      int src_end = st.n_total();
+      if (pulse == 1) {
+        const PulseData& p0 = rp.pulses[gp - 1];
+        assert(p0.dim == dim && p0.pulse == 0);
+        src_begin = p0.atom_offset;
+        src_end = p0.atom_offset + p0.recv_size;
+      }
+
+      const float threshold =
+          grid.lo(static_cast<int>(r), dim) + static_cast<float>(comm_cutoff);
+      for (int i = src_begin; i < src_end; ++i) {
+        if (st.x[static_cast<std::size_t>(i)][dim] < threshold) {
+          pd.index_map.push_back(i);
+        }
+      }
+      pd.send_size = static_cast<int>(pd.index_map.size());
+
+      // Dependency partition: index-map entries referencing halo slots.
+      for (int idx : pd.index_map) {
+        if (idx >= pd.dep_offset) {
+          ++pd.num_dependent;
+          // Which earlier pulse owns this slot?
+          for (std::size_t q = 0; q < rp.pulses.size(); ++q) {
+            const PulseData& prev = rp.pulses[q];
+            if (idx >= prev.atom_offset &&
+                idx < prev.atom_offset + prev.recv_size) {
+              if (pd.first_dependent_pulse < 0 ||
+                  static_cast<int>(q) < pd.first_dependent_pulse) {
+                pd.first_dependent_pulse = static_cast<int>(q);
+              }
+              break;
+            }
+          }
+        }
+      }
+
+      Shipment& ship = outgoing[r];
+      ship.x.reserve(pd.index_map.size());
+      for (int idx : pd.index_map) {
+        ship.x.push_back(st.x[static_cast<std::size_t>(idx)] + pd.coord_shift);
+        ship.type.push_back(st.type[static_cast<std::size_t>(idx)]);
+        ship.gid.push_back(st.global_id[static_cast<std::size_t>(idx)]);
+      }
+      rp.pulses.push_back(std::move(pd));
+    }
+
+    // Phase 2: deliveries. Rank r receives what its +dim neighbour sent.
+    for (std::size_t r = 0; r < states.size(); ++r) {
+      DomainState& st = states[r];
+      PulseData& pd = plan.ranks[r].pulses[gp];
+      const Shipment& in = outgoing[static_cast<std::size_t>(pd.recv_rank)];
+      pd.atom_offset = st.n_total();
+      pd.recv_size = static_cast<int>(in.x.size());
+      st.x.insert(st.x.end(), in.x.begin(), in.x.end());
+      st.type.insert(st.type.end(), in.type.begin(), in.type.end());
+      st.global_id.insert(st.global_id.end(), in.gid.begin(), in.gid.end());
+    }
+  }
+
+  for (std::size_t r = 0; r < states.size(); ++r) {
+    states[r].f.assign(states[r].x.size(), md::Vec3{});
+    plan.ranks[r].n_total = states[r].n_total();
+  }
+  return plan;
+}
+
+void exchange_coordinates_reference(const ExchangePlan& plan,
+                                    std::vector<DomainState>& states) {
+  for (int gp = 0; gp < plan.total_pulses(); ++gp) {
+    // All sends of a pulse read pre-pulse state on the sender, but pulses
+    // are sequential, so processing rank-by-rank per pulse is exact as long
+    // as we buffer each pulse's shipments before delivering.
+    std::vector<std::vector<md::Vec3>> shipments(states.size());
+    for (std::size_t r = 0; r < states.size(); ++r) {
+      const PulseData& pd = plan.ranks[r].pulses[static_cast<std::size_t>(gp)];
+      auto& out = shipments[r];
+      out.reserve(pd.index_map.size());
+      for (int idx : pd.index_map) {
+        out.push_back(states[r].x[static_cast<std::size_t>(idx)] +
+                      pd.coord_shift);
+      }
+    }
+    for (std::size_t r = 0; r < states.size(); ++r) {
+      const PulseData& pd = plan.ranks[r].pulses[static_cast<std::size_t>(gp)];
+      const auto& in = shipments[static_cast<std::size_t>(pd.recv_rank)];
+      assert(static_cast<int>(in.size()) == pd.recv_size);
+      std::copy(in.begin(), in.end(),
+                states[r].x.begin() + pd.atom_offset);
+    }
+  }
+}
+
+void exchange_forces_reference(const ExchangePlan& plan,
+                               std::vector<DomainState>& states) {
+  // Reverse order: later pulses' contributions accumulate into earlier
+  // pulses' halo slots before those are sent back.
+  for (int gp = plan.total_pulses() - 1; gp >= 0; --gp) {
+    std::vector<std::vector<md::Vec3>> shipments(states.size());
+    for (std::size_t r = 0; r < states.size(); ++r) {
+      const PulseData& pd = plan.ranks[r].pulses[static_cast<std::size_t>(gp)];
+      auto& out = shipments[r];
+      out.assign(states[r].f.begin() + pd.atom_offset,
+                 states[r].f.begin() + pd.atom_offset + pd.recv_size);
+    }
+    for (std::size_t r = 0; r < states.size(); ++r) {
+      const PulseData& pd = plan.ranks[r].pulses[static_cast<std::size_t>(gp)];
+      // Forces travel the reverse path: I receive contributions for the
+      // atoms I *sent* in this pulse, from the rank I sent them to.
+      const auto& in = shipments[static_cast<std::size_t>(pd.send_rank)];
+      assert(static_cast<int>(in.size()) == pd.send_size);
+      for (std::size_t k = 0; k < in.size(); ++k) {
+        states[r].f[static_cast<std::size_t>(pd.index_map[k])] += in[k];
+      }
+    }
+  }
+}
+
+}  // namespace hs::dd

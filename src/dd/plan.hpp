@@ -1,0 +1,99 @@
+// Halo-exchange plan: the neutral-territory, forwarding-based ("staged")
+// communication structure of the GROMACS eighth-shell DD (§2.2).
+//
+// Terminology follows the paper:
+//  * communication phases are the sequential z, then y, then x sweeps;
+//  * pulses are the per-dimension steps (up to two when the slab is
+//    thinner than the communication cutoff);
+//  * the global pulse order concatenates dimensions [Z.., Y.., X..].
+//
+// Data flows toward the -dim neighbour: a rank sends the slab within
+// comm_cutoff of its low boundary and receives, from its +dim neighbour,
+// the atoms just above its high boundary. Because later phases select from
+// everything already present (home atoms + halo received in earlier
+// phases), corner regions are forwarded transitively, and
+// np(x)+np(y)+np(z) steps reach all np(x)*np(y)*np(z)-1 neighbours.
+//
+// PulseData mirrors Algorithm 1 of the paper: indexMap entries below
+// depOffset (== n_home) reference home atoms and are independent; entries
+// at or above it reference atoms received in earlier pulses and must wait
+// for those pulses (dependency partitioning, §5.1).
+#pragma once
+
+#include <vector>
+
+#include "dd/grid.hpp"
+#include "md/system.hpp"
+
+namespace hs::dd {
+
+/// Per-rank, per-step particle storage: home atoms first, then halo zones
+/// in global pulse order. Halo coordinates are refreshed by the (timed)
+/// halo exchange every step; types/ids are fixed until repartitioning.
+struct DomainState {
+  int rank = 0;
+  int n_home = 0;
+  std::vector<md::Vec3> x;        // home + halo
+  std::vector<md::Vec3> f;        // home + halo (halo entries returned by
+                                  // the force halo exchange)
+  std::vector<md::Vec3> v;        // home only
+  std::vector<int> type;          // home + halo
+  std::vector<int> global_id;     // home + halo
+
+  int n_total() const { return static_cast<int>(x.size()); }
+  int n_halo() const { return n_total() - n_home; }
+};
+
+/// Algorithm 1's PulseData (algorithmic part; transports add buffers).
+struct PulseData {
+  int dim = 0;    // 0=x, 1=y, 2=z
+  int pulse = 0;  // index within the dimension
+  int send_rank = -1;
+  int recv_rank = -1;
+  int send_size = 0;  // atoms this rank packs and sends
+  int recv_size = 0;  // atoms this rank receives
+  int atom_offset = 0;  // where received atoms land in the local arrays
+  std::vector<int> index_map;  // local indices to pack, ascending
+  int dep_offset = 0;     // index_map[i] <  dep_offset: independent (home)
+                          // index_map[i] >= dep_offset: waits on prior pulses
+  int num_dependent = 0;  // count of dependent index-map entries
+  int first_dependent_pulse = -1;  // earliest global pulse referenced, or -1
+  md::Vec3 coord_shift;   // periodic shift applied when packing
+};
+
+struct RankPlan {
+  int rank = 0;
+  int n_home = 0;
+  int n_total = 0;
+  std::vector<PulseData> pulses;  // global pulse order [Z.., Y.., X..]
+};
+
+struct ExchangePlan {
+  DomainGrid grid;
+  double comm_cutoff = 0.0;
+  std::vector<int> pulse_dims;    // dim of each global pulse
+  std::vector<RankPlan> ranks;
+
+  int total_pulses() const { return static_cast<int>(pulse_dims.size()); }
+  int num_pulses(int dim) const;
+};
+
+/// Number of pulses a dimension needs: 1 if the slab is at least as wide as
+/// the cutoff, 2 otherwise (the supported maximum, as in the paper).
+int pulses_for_dim(const DomainGrid& grid, int dim, double comm_cutoff);
+
+/// Build the exchange plan from the current home-atom distribution and
+/// extend every DomainState with its halo atoms (coordinates, types, ids).
+/// This models the DD / neighbour-search-time setup communication, which is
+/// off the per-step critical path.
+ExchangePlan build_exchange_plan(const DomainGrid& grid, double comm_cutoff,
+                                 std::vector<DomainState>& states);
+
+/// Reference (untimed) per-step exchanges used as test oracles and by the
+/// transports' correctness tests.
+void exchange_coordinates_reference(const ExchangePlan& plan,
+                                    std::vector<DomainState>& states);
+void exchange_forces_reference(const ExchangePlan& plan,
+                               std::vector<DomainState>& states);
+
+}  // namespace hs::dd

@@ -1,0 +1,151 @@
+#include "halo/mpi_halo.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace hs::halo {
+
+namespace {
+
+constexpr std::size_t kVecBytes = sizeof(md::Vec3);
+
+std::size_t bytes_for(int atoms) {
+  return static_cast<std::size_t>(atoms) * kVecBytes;
+}
+
+// Distinct tag spaces per exchange direction and pulse.
+int coord_tag(int pulse) { return pulse; }
+int force_tag(int pulse) { return 1000 + pulse; }
+
+}  // namespace
+
+MpiHaloExchange::MpiHaloExchange(sim::Machine& machine, msg::Comm& comm,
+                                 Workload workload)
+    : machine_(&machine), comm_(&comm), workload_(std::move(workload)) {
+  const int n_ranks = workload_.plan.grid.num_ranks();
+  const int n_pulses = workload_.plan.total_pulses();
+  force_stage_.resize(static_cast<std::size_t>(n_ranks));
+  for (auto& per_rank : force_stage_) {
+    per_rank.resize(static_cast<std::size_t>(n_pulses));
+  }
+}
+
+sim::Task MpiHaloExchange::coord_phase(int rank, sim::Stream& stream,
+                                       std::int64_t step) {
+  const auto& cm = machine_->cost();
+
+  for (int p = 0; p < total_pulses(); ++p) {
+    const dd::PulseData& meta = pulse(rank, p);
+    dd::DomainState* st = state(rank);
+    dd::DomainState* peer = state(meta.send_rank);
+
+    // Launch the coordinate pack kernel (indexed gather into the device
+    // send buffer). The wire capture happens when the kernel's work runs.
+    auto wire = std::make_shared<std::vector<md::Vec3>>();
+    co_await sim::Delay{cm.kernel_launch_ns};
+    sim::KernelSpec pack;
+    pack.name = "PackX_p" + std::to_string(p);
+    pack.sm_demand = cm.pack_demand;
+    pack.tag = step;
+    pack.dispatch_ns = cm.kernel_dispatch_ns;
+    const dd::PulseData* meta_ptr = &meta;
+    pack.body = [this, st, meta_ptr, wire](sim::KernelContext& kctx) -> sim::Task {
+      co_await kctx.compute(machine_->cost().pack_cost(meta_ptr->send_size));
+      // Pack runs "at" span completion: gather into the wire buffer now.
+      if (st == nullptr) co_return;
+      wire->reserve(meta_ptr->index_map.size());
+      for (int idx : meta_ptr->index_map) {
+        wire->push_back(st->x[static_cast<std::size_t>(idx)] +
+                        meta_ptr->coord_shift);
+      }
+    };
+    stream.launch(std::move(pack));
+
+    // CPU-GPU synchronization: MPI needs the pack complete before sending.
+    co_await sim::Delay{cm.event_api_ns};
+    auto packed = stream.record();
+    co_await sim::Delay{cm.stream_sync_ns};
+    co_await packed->wait();
+
+    // Blocking GPU-aware sendrecv: send to -dim neighbour, receive from
+    // +dim neighbour directly into x + atomOffset (no unpack needed).
+    co_await sim::Delay{cm.mpi_call_ns};
+    const int peer_offset = pulse(meta.send_rank, p).atom_offset;
+    auto send_done = comm_->isend(
+        rank, meta.send_rank, coord_tag(p), bytes_for(meta.send_size),
+        [wire, peer, peer_offset] {
+          if (peer == nullptr) return;
+          std::copy(wire->begin(), wire->end(), peer->x.begin() + peer_offset);
+        });
+    auto recv_done = comm_->irecv(rank, meta.recv_rank, coord_tag(p));
+    co_await send_done->wait();
+    co_await recv_done->wait();
+    // Next pulse's pack may gather atoms received here: strict serialization.
+  }
+}
+
+sim::Task MpiHaloExchange::force_phase(int rank, sim::Stream& stream,
+                                       std::int64_t step) {
+  const auto& cm = machine_->cost();
+
+  for (int p = total_pulses() - 1; p >= 0; --p) {
+    const dd::PulseData& meta = pulse(rank, p);
+    dd::DomainState* st = state(rank);
+    auto* self = this;
+
+    // The forces for atoms received in pulse p are contiguous at
+    // atomOffset; no pack kernel needed, but the CPU must know the GPU is
+    // done producing them (stream sync before the MPI call).
+    co_await sim::Delay{cm.event_api_ns};
+    auto produced = stream.record();
+    co_await sim::Delay{cm.stream_sync_ns};
+    co_await produced->wait();
+
+    // Capture at send time.
+    auto wire = std::make_shared<std::vector<md::Vec3>>();
+    if (st != nullptr) {
+      wire->assign(st->f.begin() + meta.atom_offset,
+                   st->f.begin() + meta.atom_offset + meta.recv_size);
+    }
+
+    co_await sim::Delay{cm.mpi_call_ns};
+    const int dst = meta.recv_rank;
+    auto send_done = comm_->isend(rank, dst, force_tag(p),
+                                  bytes_for(meta.recv_size),
+                                  [self, wire, dst, p] {
+                                    self->force_stage_[static_cast<std::size_t>(dst)]
+                                                      [static_cast<std::size_t>(p)] =
+                                        *wire;
+                                  });
+    auto recv_done = comm_->irecv(rank, meta.send_rank, force_tag(p));
+    co_await send_done->wait();
+    co_await recv_done->wait();
+
+    // Launch the scatter-accumulate unpack kernel. No trailing sync: the
+    // next (earlier) pulse's leading stream-sync covers this unpack before
+    // its send reads the slots it writes, and the final unpack is ordered
+    // before the force reduction by the stream event.
+    co_await sim::Delay{cm.kernel_launch_ns};
+    sim::KernelSpec unpack;
+    unpack.name = "UnpackF_p" + std::to_string(p);
+    unpack.sm_demand = cm.pack_demand;
+    unpack.tag = step;
+    unpack.dispatch_ns = cm.kernel_dispatch_ns;
+    const dd::PulseData* meta_ptr = &meta;
+    const int r = rank;
+    unpack.body = [self, st, meta_ptr, r, p](sim::KernelContext& kctx) -> sim::Task {
+      co_await kctx.compute(
+          self->machine_->cost().unpack_cost(meta_ptr->send_size));
+      if (st == nullptr) co_return;
+      const auto& stage = self->force_stage_[static_cast<std::size_t>(r)]
+                                            [static_cast<std::size_t>(p)];
+      assert(static_cast<int>(stage.size()) == meta_ptr->send_size);
+      for (std::size_t k = 0; k < stage.size(); ++k) {
+        st->f[static_cast<std::size_t>(meta_ptr->index_map[k])] += stage[k];
+      }
+    };
+    stream.launch(std::move(unpack));
+  }
+}
+
+}  // namespace hs::halo

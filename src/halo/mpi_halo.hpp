@@ -1,0 +1,61 @@
+// CPU-initiated GPU-aware MPI halo exchange — the baseline (Fig. 1).
+//
+// The defining property of this path is its control structure, not its
+// transfers: pulses are serialized, and each one costs the CPU a
+// stream-synchronize before the MPI call (the producing pack kernel must
+// finish) plus a blocking wait for the transfer before the next dependent
+// operation can be launched. Coordinates need a pack kernel on the send
+// side only (the receive lands contiguously at atomOffset); forces are
+// sent contiguously and need a scatter-accumulate unpack kernel on the
+// receive side. These are the "multiple CPU-GPU synchronizations each
+// time-step, often exposing resulting latencies on the critical path"
+// of §3.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "halo/tuning.hpp"
+#include "halo/workload.hpp"
+#include "msg/comm.hpp"
+#include "sim/machine.hpp"
+
+namespace hs::halo {
+
+class MpiHaloExchange {
+ public:
+  MpiHaloExchange(sim::Machine& machine, msg::Comm& comm, Workload workload);
+
+  const Workload& workload() const { return workload_; }
+  int total_pulses() const { return workload_.plan.total_pulses(); }
+
+  /// Host-coroutine fragment: the coordinate halo phases for `rank` at
+  /// `step`, launching pack kernels on `stream` and blocking the CPU on
+  /// each pulse's communication. co_await via sim::Join from the rank's
+  /// host step loop.
+  sim::Task coord_phase(int rank, sim::Stream& stream, std::int64_t step);
+
+  /// Host-coroutine fragment: the force halo phases (reverse pulse order),
+  /// with an unpack kernel per pulse on `stream`.
+  sim::Task force_phase(int rank, sim::Stream& stream, std::int64_t step);
+
+ private:
+  const dd::PulseData& pulse(int rank, int p) const {
+    return workload_.plan.ranks[static_cast<std::size_t>(rank)]
+        .pulses[static_cast<std::size_t>(p)];
+  }
+  dd::DomainState* state(int rank) {
+    return workload_.functional()
+               ? &(*workload_.states)[static_cast<std::size_t>(rank)]
+               : nullptr;
+  }
+
+  sim::Machine* machine_;
+  msg::Comm* comm_;
+  Workload workload_;
+  // Incoming force staging per [rank][pulse] (functional mode).
+  std::vector<std::vector<std::vector<md::Vec3>>> force_stage_;
+};
+
+}  // namespace hs::halo

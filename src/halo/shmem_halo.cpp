@@ -1,0 +1,433 @@
+#include "halo/shmem_halo.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hs::halo {
+
+namespace {
+
+constexpr std::size_t kVecBytes = sizeof(md::Vec3);
+
+sim::SimTime ns(double v) { return static_cast<sim::SimTime>(std::llround(v)); }
+
+std::size_t bytes_for(int atoms) {
+  return static_cast<std::size_t>(atoms) * kVecBytes;
+}
+
+}  // namespace
+
+ShmemHaloExchange::ShmemHaloExchange(sim::Machine& machine, pgas::World& world,
+                                     Workload workload, HaloTuning tuning)
+    : machine_(&machine),
+      world_(&world),
+      workload_(std::move(workload)),
+      tuning_(tuning) {
+  const int n_ranks = workload_.plan.grid.num_ranks();
+  const int n_pulses = workload_.plan.total_pulses();
+  assert(n_ranks == machine.device_count());
+
+  // Runtime transport-path flags: the Algorithm 1 isNVLinkAccess predicate,
+  // evaluated via nvshmem_ptr-style reachability per pulse.
+  rt_.resize(static_cast<std::size_t>(n_ranks));
+  for (int r = 0; r < n_ranks; ++r) {
+    rt_[static_cast<std::size_t>(r)].resize(static_cast<std::size_t>(n_pulses));
+    for (int p = 0; p < n_pulses; ++p) {
+      const dd::PulseData& pd = pulse(r, p);
+      PulseRt& rt = rt_[static_cast<std::size_t>(r)][static_cast<std::size_t>(p)];
+      rt.nvlink_out_coord = world.nvlink_reachable(r, pd.send_rank);
+      rt.nvlink_in_coord = world.nvlink_reachable(r, pd.recv_rank);
+      rt.nvlink_out_force = world.nvlink_reachable(r, pd.recv_rank);
+      rt.nvlink_in_force = world.nvlink_reachable(r, pd.send_rank);
+    }
+  }
+
+  // Symmetric allocations, over-allocated to the maximum across ranks
+  // (symmetric allocation is world-collective; GROMACS over-allocates so
+  // resizing is rarely needed, §5.3).
+  int max_total = 1, max_stage = 1;
+  for (const auto& rp : workload_.plan.ranks) {
+    max_total = std::max(max_total, rp.n_total);
+    for (const auto& pd : rp.pulses) {
+      max_stage = std::max({max_stage, pd.send_size, pd.recv_size});
+    }
+  }
+  coords_sym_ = world.alloc(bytes_for(max_total));
+  forces_sym_ = world.alloc(bytes_for(max_total));
+  stage_sym_ = world.alloc(bytes_for(max_stage) *
+                           static_cast<std::size_t>(std::max(1, n_pulses)));
+  if (n_pulses > 0) {
+    coord_sig_ = world.alloc_signals(n_pulses);
+    force_sig_ = world.alloc_signals(n_pulses);
+  }
+
+  unpack_done_.resize(static_cast<std::size_t>(n_ranks));
+  force_stage_.resize(static_cast<std::size_t>(n_ranks));
+  force_wire_.resize(static_cast<std::size_t>(n_ranks));
+  for (int r = 0; r < n_ranks; ++r) {
+    consumed_.push_back(std::make_unique<sim::Signal>(machine.engine()));
+    auto& done = unpack_done_[static_cast<std::size_t>(r)];
+    for (int p = 0; p < n_pulses; ++p) {
+      done.push_back(std::make_unique<sim::Signal>(machine.engine()));
+    }
+    force_stage_[static_cast<std::size_t>(r)].resize(
+        static_cast<std::size_t>(n_pulses));
+    force_wire_[static_cast<std::size_t>(r)].resize(
+        static_cast<std::size_t>(n_pulses));
+  }
+}
+
+bool ShmemHaloExchange::uses_ib(int rank) const {
+  for (const auto& rt : rt_[static_cast<std::size_t>(rank)]) {
+    if (!rt.nvlink_out_coord || !rt.nvlink_in_coord) return true;
+  }
+  return false;
+}
+
+void ShmemHaloExchange::issue_coord_segment(
+    sim::KernelContext& ctx, int rank, int p, int first_entry, int count,
+    const std::shared_ptr<sim::Signal>& pending) {
+  (void)ctx;
+  if (count <= 0) {
+    pending->add(1);
+    return;
+  }
+  const dd::PulseData& meta = pulse(rank, p);
+  dd::DomainState* st = state(rank);
+  dd::DomainState* peer = state(meta.send_rank);
+  const int peer_offset = pulse(meta.send_rank, p).atom_offset + first_entry;
+
+  // Capture the packed segment at issue time (the pack wrote it to shared
+  // memory scratch / registers; the wire models the in-flight bytes).
+  std::function<void()> deliver;
+  if (st != nullptr) {
+    auto wire = std::make_shared<std::vector<md::Vec3>>();
+    wire->reserve(static_cast<std::size_t>(count));
+    for (int k = first_entry; k < first_entry + count; ++k) {
+      const int idx = meta.index_map[static_cast<std::size_t>(k)];
+      wire->push_back(st->x[static_cast<std::size_t>(idx)] + meta.coord_shift);
+    }
+    deliver = [wire, peer, peer_offset] {
+      std::copy(wire->begin(), wire->end(),
+                peer->x.begin() + peer_offset);
+    };
+  }
+
+  world_->tma_store_async(rank, meta.send_rank, bytes_for(count),
+                          std::move(deliver), [pending] { pending->add(1); });
+}
+
+sim::Task ShmemHaloExchange::coord_pulse_task(sim::KernelContext& ctx,
+                                              int rank, int p,
+                                              std::int64_t sigval) {
+  const auto& cm = machine_->cost();
+  const dd::PulseData& meta = pulse(rank, p);
+  const PulseRt& rt = rt_[static_cast<std::size_t>(rank)][static_cast<std::size_t>(p)];
+  const int indep = meta.send_size - meta.num_dependent;
+  const bool partition = tuning_.dependency_partitioning;
+
+  auto pending = std::make_shared<sim::Signal>(machine_->engine());
+  int segments = 0;
+
+  // Reuse protection: the peer must have finished consuming last step's
+  // halo coordinates before we overwrite its slots (see consumed_ decl).
+  {
+    sim::Signal& ack = *consumed_[static_cast<std::size_t>(meta.send_rank)];
+    const bool ready = ack.value() >= sigval - 1;
+    co_await ack.wait_ge(sigval - 1);
+    if (!ready) co_await sim::Delay{cm.signal_poll_ns};
+  }
+
+  // --- packWithDeps (Algorithm 4) ---
+  if (partition && indep > 0) {
+    co_await sim::Delay{ns(cm.pack_cost(indep))};
+    if (rt.nvlink_out_coord) {
+      if (!tuning_.use_tma) {
+        // SM-driven remote stores: the copy costs SM time instead of riding
+        // the async engine.
+        co_await sim::Delay{ns(bytes_for(indep) / cm.sm_copy_bytes_per_ns)};
+      }
+      issue_coord_segment(ctx, rank, p, 0, indep, pending);
+      ++segments;
+    }
+  }
+  // Leader acquire-waits on prior pulses' arrival signals (only when this
+  // pulse has dependent entries; with partitioning off, wait up front).
+  if (meta.num_dependent > 0) {
+    const int first = std::max(0, meta.first_dependent_pulse);
+    for (int k = p - 1; k >= first; --k) {
+      sim::Signal& dep = world_->signal(coord_sig_, rank, k);
+      const bool ready = dep.value() >= sigval;
+      co_await dep.wait_ge(sigval);
+      if (!ready) co_await sim::Delay{cm.signal_poll_ns};
+    }
+  }
+  const int tail_first = partition ? indep : 0;
+  const int tail_count = partition ? meta.num_dependent : meta.send_size;
+  if (tail_count > 0) {
+    co_await sim::Delay{ns(cm.pack_cost(tail_count))};
+    if (rt.nvlink_out_coord) {
+      if (!tuning_.use_tma) {
+        co_await sim::Delay{ns(bytes_for(tail_count) / cm.sm_copy_bytes_per_ns)};
+      }
+      issue_coord_segment(ctx, rank, p, tail_first, tail_count, pending);
+      ++segments;
+    }
+  }
+
+  // --- syncAndCommWithDeps, DATA mode (Algorithm 5) ---
+  if (rt.nvlink_out_coord) {
+    // Wait for the async bulk stores, then fuse the receiver notification:
+    // a system-scope release store on the peer's signal word.
+    if (segments > 0) co_await pending->wait_ge(segments);
+    sim::SimTime notify_cost = cm.signal_release_ns;
+    if (!tuning_.fused_signaling) {
+      notify_cost += cm.shmem_put_issue_ns;  // separate notification op
+    }
+    co_await sim::Delay{notify_cost};
+    world_->signal_op(rank, meta.send_rank,
+                      world_->signal(coord_sig_, meta.send_rank, p), sigval);
+  } else {
+    // InfiniBand: one coarse staged put, notification fused
+    // (nvshmem_float_put_signal_nbi) or separate when ablated.
+    dd::DomainState* st = state(rank);
+    dd::DomainState* peer = state(meta.send_rank);
+    std::function<void()> deliver;
+    if (st != nullptr) {
+      auto wire = std::make_shared<std::vector<md::Vec3>>();
+      wire->reserve(static_cast<std::size_t>(meta.send_size));
+      for (int idx : meta.index_map) {
+        wire->push_back(st->x[static_cast<std::size_t>(idx)] + meta.coord_shift);
+      }
+      const int peer_offset = pulse(meta.send_rank, p).atom_offset;
+      deliver = [wire, peer, peer_offset] {
+        std::copy(wire->begin(), wire->end(), peer->x.begin() + peer_offset);
+      };
+    }
+    co_await sim::Delay{cm.shmem_put_issue_ns};
+    sim::Signal& peer_sig = world_->signal(coord_sig_, meta.send_rank, p);
+    if (tuning_.fused_signaling) {
+      world_->put_signal_nbi(rank, meta.send_rank, bytes_for(meta.send_size),
+                             std::move(deliver), peer_sig, sigval);
+    } else {
+      world_->put_nbi(rank, meta.send_rank, bytes_for(meta.send_size),
+                      std::move(deliver));
+      co_await sim::Delay{cm.shmem_put_issue_ns};
+      world_->signal_op(rank, meta.send_rank, peer_sig, sigval);
+    }
+  }
+
+  // Arrival confirmation: kernel completion implies this rank's halo
+  // coordinates for pulse p are in place, so stream-ordered consumers
+  // (non-local force kernels) need no extra synchronization.
+  {
+    sim::Signal& arr = world_->signal(coord_sig_, rank, p);
+    const bool ready = arr.value() >= sigval;
+    co_await arr.wait_ge(sigval);
+    if (!ready) co_await sim::Delay{cm.signal_poll_ns};
+  }
+}
+
+sim::Task ShmemHaloExchange::force_pulse_task(sim::KernelContext& ctx,
+                                              int rank, int p,
+                                              std::int64_t sigval) {
+  (void)ctx;
+  const auto& cm = machine_->cost();
+  const dd::PulseData& meta = pulse(rank, p);
+  const PulseRt& rt = rt_[static_cast<std::size_t>(rank)][static_cast<std::size_t>(p)];
+  const int total = total_pulses();
+  dd::DomainState* st = state(rank);
+
+  // --- Outgoing shipment (forces for atoms received in pulse p) ---
+  // DEP_MGMT: wait for later pulses' unpacks — their dependent entries
+  // accumulate into this pulse's slots (Algorithm 5, line 9).
+  for (int q = p + 1; q < total; ++q) {
+    sim::Signal& done =
+        *unpack_done_[static_cast<std::size_t>(rank)][static_cast<std::size_t>(q)];
+    const bool ready = done.value() >= sigval;
+    co_await done.wait_ge(sigval);
+    if (!ready) co_await sim::Delay{cm.signal_poll_ns};
+  }
+  if (meta.recv_size > 0) {
+    // Capture the outgoing data (now final).
+    auto wire = std::make_shared<std::vector<md::Vec3>>();
+    if (st != nullptr) {
+      wire->assign(st->f.begin() + meta.atom_offset,
+                   st->f.begin() + meta.atom_offset + meta.recv_size);
+    }
+    force_wire_[static_cast<std::size_t>(rank)][static_cast<std::size_t>(p)] = wire;
+
+    sim::Signal& peer_sig = world_->signal(force_sig_, meta.recv_rank, p);
+    if (rt.nvlink_out_force) {
+      // Receiver-driven get path: just notify readiness. The last pulse has
+      // no prior data writes to flush, so a relaxed system store suffices
+      // (§5.2 system_relaxed_store vs system_release_store).
+      sim::SimTime c = (p == total - 1) ? cm.signal_relaxed_ns
+                                        : cm.signal_release_ns;
+      if (!tuning_.fused_signaling) c += cm.shmem_put_issue_ns;
+      co_await sim::Delay{c};
+      world_->signal_op(rank, meta.recv_rank, peer_sig, sigval);
+    } else {
+      // InfiniBand: staged put-with-signal into the peer's recv buffer.
+      auto* self = this;
+      const int dst = meta.recv_rank;
+      auto deliver = [self, wire, dst, p] {
+        self->force_stage_[static_cast<std::size_t>(dst)]
+                          [static_cast<std::size_t>(p)] = *wire;
+      };
+      co_await sim::Delay{cm.shmem_put_issue_ns};
+      if (tuning_.fused_signaling) {
+        world_->put_signal_nbi(rank, dst, bytes_for(meta.recv_size),
+                               std::move(deliver), peer_sig, sigval);
+      } else {
+        world_->put_nbi(rank, dst, bytes_for(meta.recv_size), std::move(deliver));
+        co_await sim::Delay{cm.shmem_put_issue_ns};
+        world_->signal_op(rank, dst, peer_sig, sigval);
+      }
+    }
+  }
+
+  // --- Incoming forces (for atoms I sent in pulse p) ---
+  if (meta.send_size > 0) {
+    if (rt.nvlink_in_force) {
+      // TMA-load the index map while waiting (Algorithm 6 lines 8-11).
+      co_await sim::Delay{cm.tma_issue_ns};
+      {
+        sim::Signal& rdy = world_->signal(force_sig_, rank, p);
+        const bool ready = rdy.value() >= sigval;
+        co_await rdy.wait_ge(sigval);
+        if (!ready) co_await sim::Delay{cm.signal_poll_ns};
+      }
+      // Device-initiated bulk get from the peer's force array.
+      auto got = std::make_shared<sim::Signal>(machine_->engine());
+      std::function<void()> deliver;
+      if (st != nullptr) {
+        // Resolve the peer's wire at issue time (it is final: the peer
+        // signalled readiness before we got here).
+        auto wire = force_wire_[static_cast<std::size_t>(meta.send_rank)]
+                               [static_cast<std::size_t>(p)];
+        auto* self = this;
+        const int r = rank;
+        deliver = [self, wire, r, p] {
+          self->force_stage_[static_cast<std::size_t>(r)]
+                            [static_cast<std::size_t>(p)] = *wire;
+        };
+      }
+      world_->tma_load_async(rank, meta.send_rank, bytes_for(meta.send_size),
+                             std::move(deliver), [got] { got->store(1); });
+      co_await got->wait_ge(1);
+      if (!tuning_.use_tma) {
+        co_await sim::Delay{ns(bytes_for(meta.send_size) /
+                               cm.sm_copy_bytes_per_ns)};
+      }
+    } else {
+      sim::Signal& dat = world_->signal(force_sig_, rank, p);
+      const bool ready = dat.value() >= sigval;
+      co_await dat.wait_ge(sigval);
+      if (!ready) co_await sim::Delay{cm.signal_poll_ns};
+    }
+    // Parallel unpack: map each entry through the index map and accumulate
+    // with atomicAdd (Algorithm 6 line 17).
+    co_await sim::Delay{ns(cm.unpack_cost(meta.send_size))};
+    if (st != nullptr) {
+      const auto& stage = force_stage_[static_cast<std::size_t>(rank)]
+                                      [static_cast<std::size_t>(p)];
+      assert(static_cast<int>(stage.size()) == meta.send_size);
+      for (std::size_t k = 0; k < stage.size(); ++k) {
+        st->f[static_cast<std::size_t>(meta.index_map[k])] += stage[k];
+      }
+    }
+  }
+  unpack_done_[static_cast<std::size_t>(rank)][static_cast<std::size_t>(p)]
+      ->store(sigval);
+}
+
+std::vector<sim::KernelSpec> ShmemHaloExchange::coord_kernels(
+    int rank, std::int64_t step) {
+  const std::int64_t sigval = step + 1;
+  const auto& cm = machine_->cost();
+  const int total = total_pulses();
+  std::vector<sim::KernelSpec> specs;
+  if (total == 0) return specs;
+
+  auto make = [&](std::string name, int first_pulse, int count) {
+    sim::KernelSpec spec;
+    spec.name = std::move(name);
+    spec.sm_demand = cm.comm_demand;
+    spec.tag = step;
+    spec.dispatch_ns = cm.kernel_dispatch_ns;
+    auto hold = std::make_shared<sim::Device::SpanId>(0);
+    spec.body = [this, rank, sigval, first_pulse, count,
+                 hold](sim::KernelContext& ctx) -> sim::Task {
+      *hold = ctx.device().begin_hold(machine_->cost().comm_demand,
+                                      ctx.priority());
+      for (int p = first_pulse; p < first_pulse + count; ++p) {
+        ctx.spawn(coord_pulse_task(ctx, rank, p, sigval));
+      }
+      co_return;
+    };
+    auto* dev = &machine_->device(rank);
+    spec.on_complete = [dev, hold] { dev->end_hold(*hold); };
+    return spec;
+  };
+
+  if (tuning_.fuse_pulses) {
+    specs.push_back(make("FusedPackCommX", 0, total));
+  } else {
+    for (int p = 0; p < total; ++p) {
+      specs.push_back(make("PackCommX_p" + std::to_string(p), p, 1));
+    }
+  }
+  return specs;
+}
+
+std::vector<sim::KernelSpec> ShmemHaloExchange::force_kernels(
+    int rank, std::int64_t step) {
+  const std::int64_t sigval = step + 1;
+  const auto& cm = machine_->cost();
+  const int total = total_pulses();
+  std::vector<sim::KernelSpec> specs;
+  if (total == 0) return specs;
+
+  auto make = [&](std::string name, int first_pulse, int count) {
+    sim::KernelSpec spec;
+    spec.name = std::move(name);
+    spec.sm_demand = cm.comm_demand;
+    spec.tag = step;
+    spec.dispatch_ns = cm.kernel_dispatch_ns;
+    auto hold = std::make_shared<sim::Device::SpanId>(0);
+    spec.body = [this, rank, sigval, first_pulse, count,
+                 hold](sim::KernelContext& ctx) -> sim::Task {
+      *hold = ctx.device().begin_hold(machine_->cost().comm_demand,
+                                      ctx.priority());
+      // Reverse traversal: begin with the last pulse's forces (Alg. 6).
+      for (int p = first_pulse + count - 1; p >= first_pulse; --p) {
+        ctx.spawn(force_pulse_task(ctx, rank, p, sigval));
+      }
+      co_return;
+    };
+    auto* dev = &machine_->device(rank);
+    // The kernel covering pulse 0 is the last of the step's force kernels:
+    // its completion means this rank no longer reads its halo coordinates.
+    sim::Signal* consumed =
+        first_pulse == 0 ? consumed_[static_cast<std::size_t>(rank)].get()
+                         : nullptr;
+    spec.on_complete = [dev, hold, consumed, sigval] {
+      dev->end_hold(*hold);
+      if (consumed != nullptr) consumed->store(sigval);
+    };
+    return spec;
+  };
+
+  if (tuning_.fuse_pulses) {
+    specs.push_back(make("FusedCommUnpackF", 0, total));
+  } else {
+    for (int p = total - 1; p >= 0; --p) {
+      specs.push_back(make("CommUnpackF_p" + std::to_string(p), p, 1));
+    }
+  }
+  return specs;
+}
+
+}  // namespace hs::halo

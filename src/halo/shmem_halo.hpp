@@ -1,0 +1,115 @@
+// GPU-initiated, fused halo exchange over the PGAS layer — the paper's
+// primary contribution (Algorithms 1-6).
+//
+// Coordinate halo (FusedPackCommX, Algs 3-4): one kernel launch processes
+// all pulses as concurrent block-group tasks. Each pulse packs its
+// independent (home) entries immediately; dependent entries (forwarded
+// halo) wait on the arrival signals of the pulses that produce them
+// (dependency partitioning via depOffset). Transport adapts per pulse at
+// runtime: NVLink-reachable peers get zero-copy TMA bulk stores directly
+// into the remote coordinate array; InfiniBand peers get a staged
+// put-with-signal (nvshmem_float_put_signal_nbi). Receiver notification is
+// fused with the data (release store / put-with-signal, §5.2).
+//
+// Force halo (FusedCommUnpackF, Algs 5-6): runs the dependency chain
+// backwards. Every pulse's incoming forces unpack in parallel with
+// atomicAdd; only the *outgoing* shipment of pulse p waits until later
+// pulses' unpacks have accumulated into p's slots (DEP_MGMT forwarding).
+// NVLink uses receiver-driven TMA gets after a readiness signal from the
+// peer; InfiniBand uses staged put-with-signal.
+//
+// Kernels hold a small SM share for their lifetime (Device::begin_hold),
+// reproducing the resource-sharing slowdown of co-resident local compute.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "halo/tuning.hpp"
+#include "halo/workload.hpp"
+#include "msg/comm.hpp"
+#include "pgas/world.hpp"
+#include "sim/machine.hpp"
+
+namespace hs::halo {
+
+class ShmemHaloExchange {
+ public:
+  ShmemHaloExchange(sim::Machine& machine, pgas::World& world,
+                    Workload workload, HaloTuning tuning = {});
+
+  const Workload& workload() const { return workload_; }
+  int total_pulses() const { return workload_.plan.total_pulses(); }
+
+  /// Kernel(s) implementing the coordinate halo for `rank` at `step`.
+  /// Fused: a single FusedPackCommX kernel. With tuning.fuse_pulses off:
+  /// one serialized kernel per pulse (launch them in order).
+  std::vector<sim::KernelSpec> coord_kernels(int rank, std::int64_t step);
+
+  /// Kernel(s) implementing the force halo for `rank` at `step`.
+  std::vector<sim::KernelSpec> force_kernels(int rank, std::int64_t step);
+
+  /// True if rank has any pulse using the InfiniBand path (needs a healthy
+  /// proxy thread, §5.5).
+  bool uses_ib(int rank) const;
+
+ private:
+  struct PulseRt {
+    bool nvlink_out_coord = false;  // to send_rank (coordinate puts)
+    bool nvlink_in_coord = false;   // from recv_rank (coordinate arrivals)
+    bool nvlink_out_force = false;  // to recv_rank (force returns)
+    bool nvlink_in_force = false;   // from send_rank (force arrivals)
+  };
+
+  const dd::PulseData& pulse(int rank, int p) const {
+    return workload_.plan.ranks[static_cast<std::size_t>(rank)]
+        .pulses[static_cast<std::size_t>(p)];
+  }
+  dd::DomainState* state(int rank) {
+    return workload_.functional()
+               ? &(*workload_.states)[static_cast<std::size_t>(rank)]
+               : nullptr;
+  }
+
+  sim::Task coord_pulse_task(sim::KernelContext& ctx, int rank, int p,
+                             std::int64_t sigval);
+  sim::Task force_pulse_task(sim::KernelContext& ctx, int rank, int p,
+                             std::int64_t sigval);
+
+  /// Transfer issued for a packed coordinate segment (NVLink TMA path or
+  /// SM-store fallback). Completion increments `pending` and wakes waiters.
+  void issue_coord_segment(sim::KernelContext& ctx, int rank, int p,
+                           int first_entry, int count,
+                           const std::shared_ptr<sim::Signal>& pending);
+
+  sim::Machine* machine_;
+  pgas::World* world_;
+  Workload workload_;
+  HaloTuning tuning_;
+
+  std::vector<std::vector<PulseRt>> rt_;  // [rank][pulse]
+
+  // Symmetric objects (allocated world-collectively, over-allocated to the
+  // max across ranks — the GROMACS over-allocation strategy).
+  pgas::SymHandle coords_sym_;
+  pgas::SymHandle forces_sym_;
+  pgas::SymHandle stage_sym_;
+  pgas::World::SignalArray coord_sig_;   // arrival of coordinate pulse data
+  pgas::World::SignalArray force_sig_;   // force data arrival / readiness
+  std::vector<std::vector<std::unique_ptr<sim::Signal>>> unpack_done_;
+  // Per-rank consumption ack: set to step+1 when a rank's force kernel has
+  // finished, i.e. its halo coordinates for that step are no longer read.
+  // A sender must not overwrite a peer's halo slots for step n+1 before the
+  // peer acknowledged step n (the reuse-protection the paper's per-step PE
+  // synchronization provides; here it is GPU-resident).
+  std::vector<std::unique_ptr<sim::Signal>> consumed_;
+
+  // Functional-mode buffers: incoming force staging per [rank][pulse].
+  std::vector<std::vector<std::vector<md::Vec3>>> force_stage_;
+  // Outgoing force wires for the NVLink get path: captured at readiness
+  // time by the sender, read by the receiver's get. [rank][pulse].
+  std::vector<std::vector<std::shared_ptr<std::vector<md::Vec3>>>> force_wire_;
+};
+
+}  // namespace hs::halo

@@ -1,0 +1,200 @@
+#include "halo/tmpi_halo.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hs::halo {
+
+namespace {
+constexpr std::size_t kVecBytes = sizeof(md::Vec3);
+std::size_t bytes_for(int atoms) {
+  return static_cast<std::size_t>(atoms) * kVecBytes;
+}
+}  // namespace
+
+ThreadMpiHaloExchange::ThreadMpiHaloExchange(sim::Machine& machine,
+                                             Workload workload)
+    : machine_(&machine), workload_(std::move(workload)) {
+  const int n_ranks = workload_.plan.grid.num_ranks();
+  for (const auto& rp : workload_.plan.ranks) {
+    for (const auto& pd : rp.pulses) {
+      if (machine.topology().link(rp.rank, pd.send_rank) == sim::LinkType::IB ||
+          machine.topology().link(rp.rank, pd.recv_rank) == sim::LinkType::IB) {
+        throw std::invalid_argument(
+            "thread-MPI halo exchange requires a single NVLink domain "
+            "(thread-MPI ranks share one process)");
+      }
+    }
+  }
+  force_stage_.resize(static_cast<std::size_t>(n_ranks));
+  for (auto& per_rank : force_stage_) {
+    per_rank.resize(static_cast<std::size_t>(workload_.plan.total_pulses()));
+  }
+}
+
+sim::GpuEventPtr ThreadMpiHaloExchange::event(
+    std::map<std::tuple<std::int64_t, int, int>, sim::GpuEventPtr>& table,
+    std::int64_t step, int rank, int p) {
+  auto& slot = table[{step, rank, p}];
+  if (!slot) slot = std::make_shared<sim::GpuEvent>(machine_->engine());
+  // Prune entries older than any plausible launch-ahead window.
+  while (!table.empty() && std::get<0>(table.begin()->first) < step - 8) {
+    table.erase(table.begin());
+  }
+  return slot;
+}
+
+sim::Task ThreadMpiHaloExchange::coord_phase(int rank, sim::Stream& stream,
+                                             std::int64_t step) {
+  const auto& cm = machine_->cost();
+
+  for (int p = 0; p < total_pulses(); ++p) {
+    const dd::PulseData& meta = pulse(rank, p);
+    dd::DomainState* st = state(rank);
+    dd::DomainState* peer = state(meta.send_rank);
+
+    // Dependent entries reference halo received in earlier pulses: make the
+    // stream wait for those copies (GPU events — the CPU never blocks).
+    if (meta.num_dependent > 0) {
+      for (int k = std::max(0, meta.first_dependent_pulse); k < p; ++k) {
+        co_await sim::Delay{cm.event_api_ns};
+        stream.wait(event(coord_copied_, step, rank, k));
+      }
+    }
+
+    // Pack kernel (indexed gather into the device send buffer).
+    auto wire = std::make_shared<std::vector<md::Vec3>>();
+    co_await sim::Delay{cm.kernel_launch_ns};
+    sim::KernelSpec pack;
+    pack.name = "PackX_p" + std::to_string(p);
+    pack.sm_demand = cm.pack_demand;
+    pack.tag = step;
+    pack.dispatch_ns = cm.kernel_dispatch_ns;
+    const dd::PulseData* meta_ptr = &meta;
+    pack.body = [this, st, meta_ptr, wire](sim::KernelContext& kctx) -> sim::Task {
+      co_await kctx.compute(machine_->cost().pack_cost(meta_ptr->send_size));
+      if (st == nullptr) co_return;
+      wire->reserve(meta_ptr->index_map.size());
+      for (int idx : meta_ptr->index_map) {
+        wire->push_back(st->x[static_cast<std::size_t>(idx)] +
+                        meta_ptr->coord_shift);
+      }
+    };
+    stream.launch(std::move(pack));
+
+    // Direct DMA copy into the receiver's coordinate array; the copy
+    // engine runs it after the pack (stream order), and its completion is
+    // the receiver's dependency event.
+    const int dst = meta.send_rank;
+    const int peer_offset = pulse(dst, p).atom_offset;
+    auto copied = event(coord_copied_, step, dst, p);
+    auto* fabric = &machine_->fabric();
+    const std::size_t bytes = bytes_for(meta.send_size);
+    const sim::SimTime setup = cm.dma_setup_ns;
+    co_await sim::Delay{cm.event_api_ns};
+    stream.enqueue_async(
+        "DmaX_p" + std::to_string(p),
+        [fabric, rank, dst, bytes, setup, wire, peer, peer_offset, copied,
+         engine = &machine_->engine()](std::function<void()> done) {
+          engine->schedule_after(setup, [fabric, rank, dst, bytes, wire, peer,
+                                         peer_offset, copied,
+                                         done = std::move(done)] {
+            sim::TransferRequest req;
+            req.src_device = rank;
+            req.dst_device = dst;
+            req.bytes = bytes;
+            req.deliver = [wire, peer, peer_offset] {
+              if (peer == nullptr) return;
+              std::copy(wire->begin(), wire->end(),
+                        peer->x.begin() + peer_offset);
+            };
+            fabric->transfer(std::move(req), [copied, done = std::move(done)] {
+              copied->complete();
+              done();
+            });
+          });
+        });
+  }
+
+  // Consumers (non-local force kernels) are launched after this phase on
+  // the same stream; make the stream wait for this rank's own receipts so
+  // stream order implies halo completeness — still no CPU blocking.
+  for (int p = 0; p < total_pulses(); ++p) {
+    co_await sim::Delay{cm.event_api_ns};
+    stream.wait(event(coord_copied_, step, rank, p));
+  }
+}
+
+sim::Task ThreadMpiHaloExchange::force_phase(int rank, sim::Stream& stream,
+                                             std::int64_t step) {
+  const auto& cm = machine_->cost();
+  auto* self = this;
+
+  for (int p = total_pulses() - 1; p >= 0; --p) {
+    const dd::PulseData& meta = pulse(rank, p);
+    dd::DomainState* st = state(rank);
+
+    // Outgoing: DMA the halo-slot forces back to the rank that sent the
+    // coordinates. Stream order guarantees later pulses' unpacks (enqueued
+    // above in this descending loop) have accumulated into these slots.
+    const int dst = meta.recv_rank;
+    auto wire = std::make_shared<std::vector<md::Vec3>>();
+    auto copied = event(force_copied_, step, dst, p);
+    auto* fabric = &machine_->fabric();
+    const std::size_t bytes = bytes_for(meta.recv_size);
+    const sim::SimTime setup = cm.dma_setup_ns;
+    const dd::PulseData* meta_ptr = &meta;
+    co_await sim::Delay{cm.event_api_ns};
+    stream.enqueue_async(
+        "DmaF_p" + std::to_string(p),
+        [self, fabric, rank, dst, p, bytes, setup, wire, st, meta_ptr, copied,
+         engine = &machine_->engine()](std::function<void()> done) {
+          // Capture at copy time (the stream has finished the producers).
+          if (st != nullptr) {
+            wire->assign(st->f.begin() + meta_ptr->atom_offset,
+                         st->f.begin() + meta_ptr->atom_offset +
+                             meta_ptr->recv_size);
+          }
+          engine->schedule_after(setup, [self, fabric, rank, dst, p, bytes,
+                                         wire, copied, done = std::move(done)] {
+            sim::TransferRequest req;
+            req.src_device = rank;
+            req.dst_device = dst;
+            req.bytes = bytes;
+            req.deliver = [self, wire, dst, p] {
+              self->force_stage_[static_cast<std::size_t>(dst)]
+                                [static_cast<std::size_t>(p)] = *wire;
+            };
+            fabric->transfer(std::move(req), [copied, done = std::move(done)] {
+              copied->complete();
+              done();
+            });
+          });
+        });
+
+    // Incoming: wait for the peer's copy, then scatter-accumulate.
+    co_await sim::Delay{cm.event_api_ns};
+    stream.wait(event(force_copied_, step, rank, p));
+    co_await sim::Delay{cm.kernel_launch_ns};
+    sim::KernelSpec unpack;
+    unpack.name = "UnpackF_p" + std::to_string(p);
+    unpack.sm_demand = cm.pack_demand;
+    unpack.tag = step;
+    unpack.dispatch_ns = cm.kernel_dispatch_ns;
+    const int r = rank;
+    unpack.body = [self, st, meta_ptr, r, p](sim::KernelContext& kctx) -> sim::Task {
+      co_await kctx.compute(
+          self->machine_->cost().unpack_cost(meta_ptr->send_size));
+      if (st == nullptr) co_return;
+      const auto& stage = self->force_stage_[static_cast<std::size_t>(r)]
+                                            [static_cast<std::size_t>(p)];
+      assert(static_cast<int>(stage.size()) == meta_ptr->send_size);
+      for (std::size_t k = 0; k < stage.size(); ++k) {
+        st->f[static_cast<std::size_t>(meta_ptr->index_map[k])] += stage[k];
+      }
+    };
+    stream.launch(std::move(unpack));
+  }
+}
+
+}  // namespace hs::halo

@@ -1,0 +1,34 @@
+// Transport selection and design-ablation switches for the halo exchange.
+#pragma once
+
+namespace hs::halo {
+
+enum class Transport {
+  Mpi,        // CPU-initiated GPU-aware MPI baseline (Fig. 1)
+  ThreadMpi,  // event-driven DMA-copy design of GROMACS thread-MPI (§2.2);
+              // fully host-async but per-pulse copy-engine launches,
+              // intra-node (single NVLink domain) only
+  Shmem,      // GPU-initiated NVSHMEM-style fused design (Fig. 2, Algs 2-6)
+};
+
+/// Design-choice switches, each corresponding to an optimization described
+/// in §5. Defaults are the paper's full design; the ablation bench
+/// (bench/abl_halo_design) toggles them individually.
+struct HaloTuning {
+  /// §5.1 fused vs baseline: one kernel processing all pulses in parallel
+  /// vs one kernel per pulse, serialized on the stream.
+  bool fuse_pulses = true;
+  /// §5.1 dependency partitioning: pack independent (home) entries
+  /// immediately, wait for prior-pulse signals only for dependent entries.
+  /// Off: the whole pack waits for all dependencies first.
+  bool dependency_partitioning = true;
+  /// §5.1 TMA path: NVLink transfers ride the async copy engine
+  /// (no SM time, chunk-pipelined). Off: SM-driven remote stores.
+  bool use_tma = true;
+  /// §5.2 fused signaling: receiver notification piggybacks on the data
+  /// transfer (put-with-signal / release store by the last block). Off: a
+  /// separate notification op is issued after the data.
+  bool fused_signaling = true;
+};
+
+}  // namespace hs::halo

@@ -1,0 +1,109 @@
+#include "halo/workload.hpp"
+
+#include <cmath>
+
+namespace hs::halo {
+
+Workload make_functional_workload(dd::Decomposition& dd) {
+  Workload w;
+  w.plan = dd.plan();
+  w.states = &dd.states();
+  double home = 0.0, halo = 0.0;
+  for (const auto& st : dd.states()) {
+    home += st.n_home;
+    halo += st.n_halo();
+  }
+  w.home_atoms_per_rank = home / static_cast<double>(dd.states().size());
+  w.halo_atoms_per_rank = halo / static_cast<double>(dd.states().size());
+  return w;
+}
+
+Workload make_skeleton_workload(const dd::DomainGrid& grid,
+                                double comm_cutoff, double density) {
+  Workload w;
+  w.home_atoms_per_rank = dd::estimate_home_atoms(grid, density);
+  w.halo_atoms_per_rank = dd::estimate_halo_atoms(grid, comm_cutoff, density);
+
+  const auto estimates = dd::estimate_pulse_sizes(grid, comm_cutoff, density);
+  w.plan.grid = grid;
+  w.plan.comm_cutoff = comm_cutoff;
+  for (const auto& e : estimates) w.plan.pulse_dims.push_back(e.dim);
+
+  const int n_home = static_cast<int>(std::llround(w.home_atoms_per_rank));
+
+  // Dependent-entry prediction: the send slab of a phase includes atoms
+  // forwarded from earlier phases. The home-only share of the slab's
+  // cross-section is prod(domain widths) over non-dim axes; the rest of
+  // the (grown) cross-section is halo-sourced, i.e. dependent.
+  double extent[3];
+  for (int d = 0; d < 3; ++d) extent[d] = grid.domain_width(d);
+
+  w.plan.ranks.assign(static_cast<std::size_t>(grid.num_ranks()), dd::RankPlan{});
+
+  std::size_t gp = 0;
+  int pulses_before_dim = 0;
+  for (int dim : {2, 1, 0}) {
+    const int np = dd::pulses_for_dim(grid, dim, comm_cutoff);
+    if (np == 0) continue;
+    double home_cross = 1.0;
+    double full_cross = 1.0;
+    for (int d = 0; d < 3; ++d) {
+      if (d == dim) continue;
+      home_cross *= grid.domain_width(d);
+      full_cross *= extent[d];
+    }
+    const double width = grid.domain_width(dim);
+    const double t0 = std::min(comm_cutoff, width);
+    const double t1 = comm_cutoff - t0;
+    for (int p = 0; p < np; ++p) {
+      const double thickness = p == 0 ? t0 : t1;
+      const int send = static_cast<int>(
+          std::llround(density * thickness * full_cross));
+      // Pulse 0: dependent = halo-sourced share. Pulse 1 forwards pulse-0
+      // arrivals exclusively, so everything is dependent.
+      int dependent;
+      int first_dep;
+      if (p == 0) {
+        dependent = static_cast<int>(
+            std::llround(density * thickness * (full_cross - home_cross)));
+        first_dep = dependent > 0 ? 0 : -1;
+      } else {
+        dependent = send;
+        first_dep = pulses_before_dim;  // this dim's pulse 0
+      }
+
+      for (int r = 0; r < grid.num_ranks(); ++r) {
+        dd::RankPlan& rp = w.plan.ranks[static_cast<std::size_t>(r)];
+        rp.rank = r;
+        rp.n_home = n_home;
+        dd::PulseData pd;
+        pd.dim = dim;
+        pd.pulse = p;
+        pd.send_rank = grid.neighbour(r, dim, -1);
+        pd.recv_rank = grid.neighbour(r, dim, +1);
+        pd.send_size = send;
+        pd.recv_size = send;  // homogeneous: symmetric
+        pd.dep_offset = n_home;
+        pd.num_dependent = dependent;
+        pd.first_dependent_pulse = first_dep;
+        // Offsets accumulate previous pulses' receives.
+        int offset = n_home;
+        for (const auto& prev : rp.pulses) offset += prev.recv_size;
+        pd.atom_offset = offset;
+        rp.pulses.push_back(std::move(pd));
+      }
+      ++gp;
+    }
+    extent[dim] += comm_cutoff;
+    pulses_before_dim = static_cast<int>(gp);
+  }
+
+  for (auto& rp : w.plan.ranks) {
+    int total = rp.n_home;
+    for (const auto& pd : rp.pulses) total += pd.recv_size;
+    rp.n_total = total;
+  }
+  return w;
+}
+
+}  // namespace hs::halo

@@ -1,0 +1,49 @@
+// Workload descriptor: what the halo exchange operates on.
+//
+// Functional mode carries real DomainStates (tests, examples, small
+// benches): kernels move real coordinates and forces, so results are
+// verifiable against the dd reference exchanges. Skeleton mode carries
+// only the plan with analytically-predicted sizes (large-scale benches,
+// up to 23 M atoms): the same kernels run with identical timing behaviour
+// but no data movement.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dd/decomposition.hpp"
+#include "dd/geometry.hpp"
+#include "dd/plan.hpp"
+
+namespace hs::halo {
+
+struct Workload {
+  dd::ExchangePlan plan;
+  std::vector<dd::DomainState>* states = nullptr;  // null => skeleton mode
+  double home_atoms_per_rank = 0.0;   // for kernel-cost computation
+  double halo_atoms_per_rank = 0.0;
+
+  bool functional() const { return states != nullptr; }
+
+  int home_atoms(int rank) const {
+    return states != nullptr
+               ? (*states)[static_cast<std::size_t>(rank)].n_home
+               : static_cast<int>(home_atoms_per_rank);
+  }
+  int halo_atoms(int rank) const {
+    return states != nullptr
+               ? (*states)[static_cast<std::size_t>(rank)].n_halo()
+               : static_cast<int>(halo_atoms_per_rank);
+  }
+};
+
+/// Wrap a functional decomposition.
+Workload make_functional_workload(dd::Decomposition& dd);
+
+/// Build a skeleton workload from DD geometry + number density: per-pulse
+/// sizes, dependency counts, and offsets are predicted analytically
+/// (validated against functional plans by tests/dd/geometry_test).
+Workload make_skeleton_workload(const dd::DomainGrid& grid,
+                                double comm_cutoff, double density);
+
+}  // namespace hs::halo

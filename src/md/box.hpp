@@ -1,0 +1,57 @@
+// Rectangular periodic simulation box with minimum-image convention.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+
+#include "md/vec3.hpp"
+
+namespace hs::md {
+
+class Box {
+ public:
+  Box() = default;
+  Box(float lx, float ly, float lz) : len_(lx, ly, lz) {
+    assert(lx > 0 && ly > 0 && lz > 0);
+  }
+  explicit Box(Vec3 lengths) : Box(lengths.x, lengths.y, lengths.z) {}
+
+  const Vec3& lengths() const { return len_; }
+  float length(int dim) const { return len_[dim]; }
+  double volume() const {
+    return static_cast<double>(len_.x) * len_.y * len_.z;
+  }
+
+  /// Wrap a position into [0, L) per dimension.
+  Vec3 wrap(Vec3 p) const {
+    for (int d = 0; d < 3; ++d) {
+      const float l = len_[d];
+      float v = p[d] - l * std::floor(p[d] / l);
+      if (v >= l) v = 0.0f;  // guard the p == L rounding case
+      p.set(d, v);
+    }
+    return p;
+  }
+
+  /// Minimum-image displacement a - b (double precision decision).
+  Vec3 min_image(const Vec3& a, const Vec3& b) const {
+    Vec3 d = a - b;
+    for (int dim = 0; dim < 3; ++dim) {
+      const double l = len_[dim];
+      double v = d[dim];
+      v -= l * std::nearbyint(v / l);
+      d.set(dim, static_cast<float>(v));
+    }
+    return d;
+  }
+
+  /// Squared minimum-image distance.
+  float distance2(const Vec3& a, const Vec3& b) const {
+    return norm2(min_image(a, b));
+  }
+
+ private:
+  Vec3 len_{1.0f, 1.0f, 1.0f};
+};
+
+}  // namespace hs::md

@@ -1,0 +1,39 @@
+#include "md/cell_list.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hs::md {
+
+CellList::CellList(const Box& box, double min_cell_size) : box_(box) {
+  assert(min_cell_size > 0.0);
+  for (int d = 0; d < 3; ++d) {
+    dims_[d] = std::max(
+        1, static_cast<int>(std::floor(box.length(d) / min_cell_size)));
+  }
+  heads_.assign(static_cast<std::size_t>(num_cells()), -1);
+}
+
+void CellList::cell_of(const Vec3& wrapped, int out[3]) const {
+  for (int d = 0; d < 3; ++d) {
+    int c = static_cast<int>(wrapped[d] / box_.length(d) *
+                             static_cast<float>(dims_[d]));
+    out[d] = std::clamp(c, 0, dims_[d] - 1);
+  }
+}
+
+void CellList::build(std::span<const Vec3> positions) {
+  std::fill(heads_.begin(), heads_.end(), -1);
+  next_.assign(positions.size(), -1);
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const Vec3 w = box_.wrap(positions[i]);
+    int c[3];
+    cell_of(w, c);
+    const int cell = (c[0] * dims_[1] + c[1]) * dims_[2] + c[2];
+    next_[i] = heads_[static_cast<std::size_t>(cell)];
+    heads_[static_cast<std::size_t>(cell)] = static_cast<int>(i);
+  }
+}
+
+}  // namespace hs::md

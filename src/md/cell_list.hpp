@@ -1,0 +1,62 @@
+// Uniform-grid cell list for O(N) neighbour searching under PBC.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "md/box.hpp"
+
+namespace hs::md {
+
+class CellList {
+ public:
+  /// Cells are at least `min_cell_size` wide so a radius-r query with
+  /// r <= min_cell_size only needs the 27-cell stencil.
+  CellList(const Box& box, double min_cell_size);
+
+  /// Bin the given positions (wrapped into the box for binning; indices
+  /// refer to the input span).
+  void build(std::span<const Vec3> positions);
+
+  int cells_per_dim(int d) const { return dims_[d]; }
+  int num_cells() const { return dims_[0] * dims_[1] * dims_[2]; }
+
+  /// Invoke fn(j) for every binned atom in the 27-cell stencil around
+  /// position p (includes p's own cell; caller filters distances/self).
+  template <typename Fn>
+  void for_each_candidate(const Vec3& p, Fn&& fn) const {
+    const Vec3 w = box_.wrap(p);
+    int c[3];
+    cell_of(w, c);
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dz = -1; dz <= 1; ++dz) {
+          const int cx = mod(c[0] + dx, dims_[0]);
+          const int cy = mod(c[1] + dy, dims_[1]);
+          const int cz = mod(c[2] + dz, dims_[2]);
+          // With fewer than 3 cells per dim the stencil wraps onto the same
+          // cell more than once; visit each distinct cell exactly once.
+          if ((dims_[0] == 1 && dx != 0) || (dims_[0] == 2 && dx == 1)) continue;
+          if ((dims_[1] == 1 && dy != 0) || (dims_[1] == 2 && dy == 1)) continue;
+          if ((dims_[2] == 1 && dz != 0) || (dims_[2] == 2 && dz == 1)) continue;
+          const int cell = (cx * dims_[1] + cy) * dims_[2] + cz;
+          for (int k = heads_[static_cast<std::size_t>(cell)]; k >= 0;
+               k = next_[static_cast<std::size_t>(k)]) {
+            fn(k);
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  static int mod(int a, int n) { return ((a % n) + n) % n; }
+  void cell_of(const Vec3& wrapped, int out[3]) const;
+
+  Box box_;
+  int dims_[3];
+  std::vector<int> heads_;  // per cell: first atom index or -1
+  std::vector<int> next_;   // per atom: next atom in the same cell or -1
+};
+
+}  // namespace hs::md

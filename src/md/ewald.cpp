@@ -1,0 +1,268 @@
+#include "md/ewald.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "md/fft.hpp"
+
+namespace hs::md {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+void check_inputs(const Box& box, std::span<const Vec3> positions,
+                  std::span<const double> charges, const EwaldParams& params) {
+  if (positions.size() != charges.size()) {
+    throw std::invalid_argument("ewald: positions/charges size mismatch");
+  }
+  for (int d = 0; d < 3; ++d) {
+    if (params.r_cut * 2.0 >= box.length(d)) {
+      throw std::invalid_argument("ewald: r_cut must be < min box length / 2");
+    }
+  }
+}
+
+}  // namespace
+
+double bspline(int order, double u) {
+  assert(order >= 2);
+  if (u <= 0.0 || u >= static_cast<double>(order)) return 0.0;
+  if (order == 2) return 1.0 - std::abs(u - 1.0);
+  const double n = static_cast<double>(order);
+  return u / (n - 1.0) * bspline(order - 1, u) +
+         (n - u) / (n - 1.0) * bspline(order - 1, u - 1.0);
+}
+
+double bspline_derivative(int order, double u) {
+  return bspline(order - 1, u) - bspline(order - 1, u - 1.0);
+}
+
+EwaldResult ewald_real_space(const Box& box, std::span<const Vec3> positions,
+                             std::span<const double> charges,
+                             const EwaldParams& params) {
+  check_inputs(box, positions, charges, params);
+  const auto n = positions.size();
+  EwaldResult result;
+  result.forces.assign(n, Vec3d{});
+  const double beta = params.beta;
+  const double rc2 = params.r_cut * params.r_cut;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Vec3 dr = box.min_image(positions[i], positions[j]);
+      const double r2 = static_cast<double>(norm2(dr));
+      if (r2 > rc2 || r2 == 0.0) continue;
+      const double r = std::sqrt(r2);
+      const double qq = charges[i] * charges[j];
+      result.e_real += qq * std::erfc(beta * r) / r;
+      // -d/dr of erfc(beta r)/r, divided by r for the vector form.
+      const double f_over_r =
+          qq *
+          (std::erfc(beta * r) / r +
+           2.0 * beta / std::sqrt(kPi) * std::exp(-beta * beta * r2)) /
+          r2;
+      result.forces[i].x += f_over_r * dr.x;
+      result.forces[i].y += f_over_r * dr.y;
+      result.forces[i].z += f_over_r * dr.z;
+      result.forces[j].x -= f_over_r * dr.x;
+      result.forces[j].y -= f_over_r * dr.y;
+      result.forces[j].z -= f_over_r * dr.z;
+    }
+  }
+  // Self energy (no force contribution).
+  double q2 = 0.0;
+  for (double q : charges) q2 += q * q;
+  result.e_self = -beta / std::sqrt(kPi) * q2;
+  return result;
+}
+
+EwaldResult ewald_direct(const Box& box, std::span<const Vec3> positions,
+                         std::span<const double> charges,
+                         const EwaldParams& params) {
+  EwaldResult result = ewald_real_space(box, positions, charges, params);
+  const auto n = positions.size();
+  const double volume = box.volume();
+  const double beta = params.beta;
+  const double lx = box.length(0), ly = box.length(1), lz = box.length(2);
+
+  for (int m1 = -params.mmax; m1 <= params.mmax; ++m1) {
+    for (int m2 = -params.mmax; m2 <= params.mmax; ++m2) {
+      for (int m3 = -params.mmax; m3 <= params.mmax; ++m3) {
+        if (m1 == 0 && m2 == 0 && m3 == 0) continue;
+        const double mx = m1 / static_cast<double>(lx);
+        const double my = m2 / static_cast<double>(ly);
+        const double mz = m3 / static_cast<double>(lz);
+        const double m2bar = mx * mx + my * my + mz * mz;
+        const double g =
+            std::exp(-kPi * kPi * m2bar / (beta * beta)) / m2bar;
+
+        // Structure factor S(m) = sum q_i exp(2 pi i m.r_i).
+        double s_re = 0.0, s_im = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double phase = 2.0 * kPi * (mx * positions[i].x +
+                                            my * positions[i].y +
+                                            mz * positions[i].z);
+          s_re += charges[i] * std::cos(phase);
+          s_im += charges[i] * std::sin(phase);
+        }
+        result.e_recip +=
+            g * (s_re * s_re + s_im * s_im) / (2.0 * kPi * volume);
+
+        // F_i = (2 q_i / V) g(m) mbar Im(conj(S) e^{i phi_i}).
+        for (std::size_t i = 0; i < n; ++i) {
+          const double phase = 2.0 * kPi * (mx * positions[i].x +
+                                            my * positions[i].y +
+                                            mz * positions[i].z);
+          const double im =
+              s_re * std::sin(phase) - s_im * std::cos(phase);
+          const double pref = 2.0 * charges[i] * g * im / volume;
+          result.forces[i].x += pref * mx;
+          result.forces[i].y += pref * my;
+          result.forces[i].z += pref * mz;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+EwaldResult pme(const Box& box, std::span<const Vec3> positions,
+                std::span<const double> charges, const EwaldParams& params) {
+  EwaldResult result = ewald_real_space(box, positions, charges, params);
+  const auto n = positions.size();
+  const int order = params.spline_order;
+  if (order < 2) throw std::invalid_argument("pme: spline_order must be >= 2");
+  const int kx = params.grid[0], ky = params.grid[1], kz = params.grid[2];
+  const double volume = box.volume();
+  const double beta = params.beta;
+
+  // ---- Charge spreading -------------------------------------------------
+  Grid3D q_grid(kx, ky, kz);
+  struct SplineCoeffs {
+    // Per axis: starting grid index and `order` weights + derivatives.
+    int start[3];
+    std::vector<double> w[3];
+    std::vector<double> dw[3];
+  };
+  std::vector<SplineCoeffs> splines(n);
+  const int dims[3] = {kx, ky, kz};
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 wrapped = box.wrap(positions[i]);
+    for (int axis = 0; axis < 3; ++axis) {
+      const double u = static_cast<double>(wrapped[axis]) /
+                       static_cast<double>(box.length(axis)) * dims[axis];
+      const int base = static_cast<int>(std::floor(u));
+      splines[i].start[axis] = base - order + 1;
+      auto& w = splines[i].w[axis];
+      auto& dw = splines[i].dw[axis];
+      w.resize(static_cast<std::size_t>(order));
+      dw.resize(static_cast<std::size_t>(order));
+      for (int t = 0; t < order; ++t) {
+        const double arg = u - static_cast<double>(base - order + 1 + t);
+        w[static_cast<std::size_t>(t)] = bspline(order, arg);
+        dw[static_cast<std::size_t>(t)] = bspline_derivative(order, arg);
+      }
+    }
+  }
+  auto wrap_idx = [](int v, int k) { return ((v % k) + k) % k; };
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& sp = splines[i];
+    for (int a = 0; a < order; ++a) {
+      const int gx = wrap_idx(sp.start[0] + a, kx);
+      for (int b = 0; b < order; ++b) {
+        const int gy = wrap_idx(sp.start[1] + b, ky);
+        const double wxy = sp.w[0][static_cast<std::size_t>(a)] *
+                           sp.w[1][static_cast<std::size_t>(b)];
+        for (int c = 0; c < order; ++c) {
+          const int gz = wrap_idx(sp.start[2] + c, kz);
+          q_grid.at(gx, gy, gz) +=
+              charges[i] * wxy * sp.w[2][static_cast<std::size_t>(c)];
+        }
+      }
+    }
+  }
+
+  // ---- Reciprocal-space convolution --------------------------------------
+  q_grid.fft3(/*inverse=*/false);
+
+  // Euler-spline moduli |b(m)|^2 per axis.
+  auto bsq = [order](int k) {
+    std::vector<double> out(static_cast<std::size_t>(k));
+    for (int m = 0; m < k; ++m) {
+      double den_re = 0.0, den_im = 0.0;
+      for (int j = 0; j <= order - 2; ++j) {
+        const double phase = 2.0 * kPi * m * j / static_cast<double>(k);
+        const double w = bspline(order, static_cast<double>(j + 1));
+        den_re += w * std::cos(phase);
+        den_im += w * std::sin(phase);
+      }
+      const double den2 = den_re * den_re + den_im * den_im;
+      out[static_cast<std::size_t>(m)] = den2 > 1e-12 ? 1.0 / den2 : 0.0;
+    }
+    return out;
+  };
+  const auto bx = bsq(kx), by = bsq(ky), bz = bsq(kz);
+
+  auto freq = [](int m, int k) { return m <= k / 2 ? m : m - k; };
+  double e_recip = 0.0;
+  for (int x = 0; x < kx; ++x) {
+    const double mx = freq(x, kx) / static_cast<double>(box.length(0));
+    for (int y = 0; y < ky; ++y) {
+      const double my = freq(y, ky) / static_cast<double>(box.length(1));
+      for (int z = 0; z < kz; ++z) {
+        if (x == 0 && y == 0 && z == 0) {
+          q_grid.at(0, 0, 0) = Complex(0.0, 0.0);
+          continue;
+        }
+        const double mz = freq(z, kz) / static_cast<double>(box.length(2));
+        const double m2bar = mx * mx + my * my + mz * mz;
+        const double influence =
+            std::exp(-kPi * kPi * m2bar / (beta * beta)) / m2bar *
+            bx[static_cast<std::size_t>(x)] * by[static_cast<std::size_t>(y)] *
+            bz[static_cast<std::size_t>(z)] / (kPi * volume);
+        Complex& qm = q_grid.at(x, y, z);
+        e_recip += 0.5 * influence * std::norm(qm);
+        qm *= influence;  // now the potential grid in reciprocal space
+      }
+    }
+  }
+  result.e_recip = e_recip;
+
+  // Unnormalized inverse transform yields the real-space potential grid
+  // phi with E = (1/2) sum_k Q(k) phi(k) (see convention note in header).
+  q_grid.fft3(/*inverse=*/true);
+
+  // ---- Force gather -------------------------------------------------------
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& sp = splines[i];
+    double fx = 0.0, fy = 0.0, fz = 0.0;
+    for (int a = 0; a < order; ++a) {
+      const int gx = wrap_idx(sp.start[0] + a, kx);
+      const double wx = sp.w[0][static_cast<std::size_t>(a)];
+      const double dx = sp.dw[0][static_cast<std::size_t>(a)];
+      for (int b = 0; b < order; ++b) {
+        const int gy = wrap_idx(sp.start[1] + b, ky);
+        const double wy = sp.w[1][static_cast<std::size_t>(b)];
+        const double dy = sp.dw[1][static_cast<std::size_t>(b)];
+        for (int c = 0; c < order; ++c) {
+          const int gz = wrap_idx(sp.start[2] + c, kz);
+          const double wz = sp.w[2][static_cast<std::size_t>(c)];
+          const double dz = sp.dw[2][static_cast<std::size_t>(c)];
+          const double phi = q_grid.at(gx, gy, gz).real();
+          fx += dx * wy * wz * phi;
+          fy += wx * dy * wz * phi;
+          fz += wx * wy * dz * phi;
+        }
+      }
+    }
+    // d u / d r = K / L per axis; F = -q dE/dr.
+    result.forces[i].x -= charges[i] * fx * kx / static_cast<double>(box.length(0));
+    result.forces[i].y -= charges[i] * fy * ky / static_cast<double>(box.length(1));
+    result.forces[i].z -= charges[i] * fz * kz / static_cast<double>(box.length(2));
+  }
+  return result;
+}
+
+}  // namespace hs::md

@@ -1,0 +1,73 @@
+// Ewald-summation electrostatics: a classical direct Ewald reference and
+// smooth particle-mesh Ewald (SPME, Essmann et al. 1995).
+//
+// This is the long-range substrate behind GROMACS' PME rank specialization
+// (§2.2 of the paper: dedicated ranks computing 3D-FFT-based PME, the part
+// whose NVSHMEM-ification the paper leaves as future work, and whose
+// symmetric-allocation clash §5.3 documents). The paper's benchmarks use
+// reaction field precisely to exclude this path; it is provided here so
+// the repository covers the full GROMACS electrostatics story and so the
+// PP/PME rank-specialization experiments have real math behind them.
+//
+// Conventions (unit Coulomb prefactor; multiply energies/forces by
+// md::kCoulombFactor for kJ/mol with e charges and nm lengths):
+//   E_real  = sum_{i<j} q_i q_j erfc(beta r_ij) / r_ij   (minimum image)
+//   E_recip = (1/2piV) sum_{m != 0} exp(-pi^2 mbar^2/beta^2)/mbar^2 |S(m)|^2
+//   E_self  = -(beta/sqrt(pi)) sum_i q_i^2
+// with mbar = (m1/L1, m2/L2, m3/L3).
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "md/box.hpp"
+#include "md/vec3.hpp"
+
+namespace hs::md {
+
+struct EwaldParams {
+  double beta = 3.0;    // Ewald splitting parameter (1/nm)
+  double r_cut = 0.9;   // real-space cutoff (nm); must be < min(L)/2
+  int mmax = 12;        // direct-sum reciprocal cutoff (per axis)
+  std::array<int, 3> grid = {32, 32, 32};  // PME mesh (powers of two)
+  int spline_order = 4;                    // PME B-spline order (>= 2)
+};
+
+/// Double-precision force accumulator (validation-grade).
+struct Vec3d {
+  double x = 0.0, y = 0.0, z = 0.0;
+};
+
+struct EwaldResult {
+  double e_real = 0.0;
+  double e_recip = 0.0;
+  double e_self = 0.0;
+  std::vector<Vec3d> forces;  // total (real + recip) per atom
+
+  double total() const { return e_real + e_recip + e_self; }
+};
+
+/// Real-space Ewald part (erfc-screened pair sum within r_cut).
+EwaldResult ewald_real_space(const Box& box, std::span<const Vec3> positions,
+                             std::span<const double> charges,
+                             const EwaldParams& params);
+
+/// Direct (naive k-space loop) Ewald: exact up to the mmax cutoff. O(N*M^3);
+/// reference for validating PME.
+EwaldResult ewald_direct(const Box& box, std::span<const Vec3> positions,
+                         std::span<const double> charges,
+                         const EwaldParams& params);
+
+/// Smooth particle-mesh Ewald: B-spline spreading, 3D FFT convolution with
+/// the B(m)C(m) influence function, analytic B-spline-derivative force
+/// gather. Reciprocal part only is mesh-approximated; real/self parts are
+/// identical to ewald_direct.
+EwaldResult pme(const Box& box, std::span<const Vec3> positions,
+                std::span<const double> charges, const EwaldParams& params);
+
+/// Cardinal B-spline M_n(u) on (0, n), zero outside; and its derivative.
+double bspline(int order, double u);
+double bspline_derivative(int order, double u);
+
+}  // namespace hs::md

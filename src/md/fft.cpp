@@ -1,0 +1,86 @@
+#include "md/fft.hpp"
+
+#include <numbers>
+#include <stdexcept>
+
+namespace hs::md {
+
+namespace {
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+}  // namespace
+
+void fft(Complex* data, std::size_t n, bool inverse) {
+  if (!is_pow2(n)) {
+    throw std::invalid_argument("fft: length must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Danielson-Lanczos butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void fft(std::vector<Complex>& data, bool inverse) {
+  fft(data.data(), data.size(), inverse);
+}
+
+Grid3D::Grid3D(int nx, int ny, int nz) : nx_(nx), ny_(ny), nz_(nz) {
+  if (!is_pow2(static_cast<std::size_t>(nx)) ||
+      !is_pow2(static_cast<std::size_t>(ny)) ||
+      !is_pow2(static_cast<std::size_t>(nz))) {
+    throw std::invalid_argument("Grid3D: dimensions must be powers of two");
+  }
+  data_.assign(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+                   static_cast<std::size_t>(nz),
+               Complex(0.0, 0.0));
+}
+
+void Grid3D::fill(Complex value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Grid3D::fft3(bool inverse) {
+  // z lines are contiguous.
+  for (int x = 0; x < nx_; ++x) {
+    for (int y = 0; y < ny_; ++y) {
+      fft(&at(x, y, 0), static_cast<std::size_t>(nz_), inverse);
+    }
+  }
+  // y lines: strided gather/scatter.
+  std::vector<Complex> line(static_cast<std::size_t>(std::max(ny_, nx_)));
+  for (int x = 0; x < nx_; ++x) {
+    for (int z = 0; z < nz_; ++z) {
+      for (int y = 0; y < ny_; ++y) line[static_cast<std::size_t>(y)] = at(x, y, z);
+      fft(line.data(), static_cast<std::size_t>(ny_), inverse);
+      for (int y = 0; y < ny_; ++y) at(x, y, z) = line[static_cast<std::size_t>(y)];
+    }
+  }
+  // x lines.
+  for (int y = 0; y < ny_; ++y) {
+    for (int z = 0; z < nz_; ++z) {
+      for (int x = 0; x < nx_; ++x) line[static_cast<std::size_t>(x)] = at(x, y, z);
+      fft(line.data(), static_cast<std::size_t>(nx_), inverse);
+      for (int x = 0; x < nx_; ++x) at(x, y, z) = line[static_cast<std::size_t>(x)];
+    }
+  }
+}
+
+}  // namespace hs::md

@@ -1,0 +1,61 @@
+// Minimal self-contained FFT: iterative radix-2 Cooley-Tukey over
+// std::complex<double>, plus a 3D transform on a dense grid — the kernel
+// under PME's reciprocal-space convolution (the role cuFFT/cuFFTMp plays
+// in GROMACS, §2.2).
+#pragma once
+
+#include <cassert>
+#include <complex>
+#include <vector>
+
+namespace hs::md {
+
+using Complex = std::complex<double>;
+
+/// In-place FFT of length n = 2^k. `inverse` applies the conjugate
+/// transform *without* the 1/n normalization (callers normalize once).
+void fft(std::vector<Complex>& data, bool inverse);
+void fft(Complex* data, std::size_t n, bool inverse);
+
+/// Dense 3D complex grid with power-of-two dimensions.
+class Grid3D {
+ public:
+  Grid3D() = default;
+  Grid3D(int nx, int ny, int nz);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  std::size_t size() const { return data_.size(); }
+
+  Complex& at(int x, int y, int z) {
+    return data_[index(x, y, z)];
+  }
+  const Complex& at(int x, int y, int z) const {
+    return data_[index(x, y, z)];
+  }
+
+  std::vector<Complex>& data() { return data_; }
+  const std::vector<Complex>& data() const { return data_; }
+
+  void fill(Complex value);
+
+  /// Forward/inverse 3D FFT (inverse is unnormalized; scale by 1/size()).
+  void fft3(bool inverse);
+
+ private:
+  std::size_t index(int x, int y, int z) const {
+    assert(x >= 0 && x < nx_ && y >= 0 && y < ny_ && z >= 0 && z < nz_);
+    return (static_cast<std::size_t>(x) * static_cast<std::size_t>(ny_) +
+            static_cast<std::size_t>(y)) *
+               static_cast<std::size_t>(nz_) +
+           static_cast<std::size_t>(z);
+  }
+
+  int nx_ = 0;
+  int ny_ = 0;
+  int nz_ = 0;
+  std::vector<Complex> data_;
+};
+
+}  // namespace hs::md

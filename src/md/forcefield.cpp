@@ -1,0 +1,37 @@
+#include "md/forcefield.hpp"
+
+#include <cmath>
+
+namespace hs::md {
+
+ForceField::ForceField(std::vector<AtomType> types, double cutoff,
+                       double epsilon_rf)
+    : types_(std::move(types)), rc_(cutoff), rc2_(cutoff * cutoff) {
+  assert(!types_.empty() && cutoff > 0.0);
+  const double eps = 1.0;  // relative permittivity inside the cutoff
+  if (epsilon_rf <= 0.0) {
+    krf_ = 1.0 / (2.0 * rc_ * rc_ * rc_);  // eps_rf -> infinity
+  } else {
+    krf_ = (epsilon_rf - eps) / (2.0 * epsilon_rf + eps) / (rc_ * rc_ * rc_);
+  }
+  crf_ = 1.0 / rc_ + krf_ * rc_ * rc_;
+
+  const int n = num_types();
+  table_.resize(static_cast<std::size_t>(n * n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      // Lorentz-Berthelot combination (double throughout).
+      const double sigma =
+          0.5 * (static_cast<double>(types_[static_cast<std::size_t>(i)].sigma) +
+                 types_[static_cast<std::size_t>(j)].sigma);
+      const double eps_ij =
+          std::sqrt(static_cast<double>(types_[static_cast<std::size_t>(i)].epsilon) *
+                    types_[static_cast<std::size_t>(j)].epsilon);
+      const double s6 = std::pow(sigma, 6.0);
+      table_[static_cast<std::size_t>(i * n + j)] =
+          PairParams{4.0 * eps_ij * s6, 4.0 * eps_ij * s6 * s6};
+    }
+  }
+}
+
+}  // namespace hs::md

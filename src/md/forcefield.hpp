@@ -1,0 +1,85 @@
+// Force field: Lennard-Jones + reaction-field electrostatics.
+//
+// This is the model the paper's "grappa" benchmarks use ("We use a
+// reaction-field model for electrostatics to allow focusing the analysis on
+// short-range interactions and halo exchange", §6.1): all interactions are
+// cutoff-limited pair interactions, no PME.
+//
+// Reaction field (GROMACS form):
+//   V(r) = f q_i q_j (1/r + k_rf r^2 - c_rf),   r <= r_c
+//   k_rf = (eps_rf - eps) / (2 eps_rf + eps) / r_c^3   (eps_rf=inf => 1/(2 r_c^3))
+//   c_rf = 1/r_c + k_rf r_c^2
+// The force smoothly vanishes at the cutoff, which keeps domain-decomposed
+// forces well conditioned at zone boundaries.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace hs::md {
+
+/// Coulomb conversion factor f = 1/(4 pi eps0) in kJ mol^-1 nm e^-2.
+inline constexpr double kCoulombFactor = 138.935458;
+
+struct AtomType {
+  float sigma = 0.3f;    // nm
+  float epsilon = 0.6f;  // kJ/mol
+  float charge = 0.0f;   // e
+  float mass = 18.0f;    // u
+};
+
+struct PairParams {
+  double c6 = 0.0;   // 4 eps sigma^6
+  double c12 = 0.0;  // 4 eps sigma^12
+};
+
+struct PairTerm {
+  double f_over_r = 0.0;  // scalar force / r ; force vector = f_over_r * dr
+  double e_lj = 0.0;
+  double e_coulomb = 0.0;
+};
+
+class ForceField {
+ public:
+  /// `epsilon_rf` <= 0 means a conducting boundary (eps_rf = infinity).
+  ForceField(std::vector<AtomType> types, double cutoff,
+             double epsilon_rf = 0.0);
+
+  double cutoff() const { return rc_; }
+  double cutoff2() const { return rc2_; }
+  double krf() const { return krf_; }
+  double crf() const { return crf_; }
+  int num_types() const { return static_cast<int>(types_.size()); }
+  const AtomType& type(int t) const {
+    return types_[static_cast<std::size_t>(t)];
+  }
+
+  /// Combined LJ parameters for a type pair (Lorentz-Berthelot).
+  const PairParams& pair_params(int ti, int tj) const {
+    return table_[static_cast<std::size_t>(ti * num_types() + tj)];
+  }
+
+  /// Evaluate one pair at squared distance r2 (must be <= cutoff2).
+  PairTerm evaluate(double r2, const PairParams& p, double qq) const {
+    assert(r2 > 0.0);
+    const double rinv2 = 1.0 / r2;
+    const double rinv6 = rinv2 * rinv2 * rinv2;
+    const double vlj = p.c12 * rinv6 * rinv6 - p.c6 * rinv6;
+    const double flj = (12.0 * p.c12 * rinv6 * rinv6 - 6.0 * p.c6 * rinv6) * rinv2;
+    const double rinv = std::sqrt(rinv2);
+    const double vqq = qq * (rinv + krf_ * r2 - crf_);
+    const double fqq = qq * (rinv * rinv2 - 2.0 * krf_);
+    return {flj + fqq, vlj, vqq};
+  }
+
+ private:
+  std::vector<AtomType> types_;
+  std::vector<PairParams> table_;
+  double rc_;
+  double rc2_;
+  double krf_;
+  double crf_;
+};
+
+}  // namespace hs::md

@@ -1,0 +1,40 @@
+#include "md/integrator.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace hs::md {
+
+void LeapfrogIntegrator::step(const Box& box, const ForceField& ff,
+                              std::span<const int> types,
+                              std::span<const Vec3> forces,
+                              std::span<Vec3> velocities,
+                              std::span<Vec3> positions) const {
+  assert(positions.size() == velocities.size() &&
+         positions.size() == forces.size() && positions.size() == types.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const double inv_m =
+        1.0 / ff.type(types[i]).mass;
+    Vec3& v = velocities[i];
+    const Vec3& f = forces[i];
+    v.x = static_cast<float>(v.x + f.x * inv_m * dt_);
+    v.y = static_cast<float>(v.y + f.y * inv_m * dt_);
+    v.z = static_cast<float>(v.z + f.z * inv_m * dt_);
+    Vec3 p = positions[i];
+    p.x = static_cast<float>(p.x + v.x * dt_);
+    p.y = static_cast<float>(p.y + v.y * dt_);
+    p.z = static_cast<float>(p.z + v.z * dt_);
+    positions[i] = box.wrap(p);
+  }
+}
+
+void LeapfrogIntegrator::rescale_velocities(double current_t, double t_ref,
+                                            double tau, double dt,
+                                            std::span<Vec3> velocities) {
+  if (current_t <= 0.0) return;
+  const double lambda =
+      std::sqrt(1.0 + dt / tau * (t_ref / current_t - 1.0));
+  for (auto& v : velocities) v *= static_cast<float>(lambda);
+}
+
+}  // namespace hs::md

@@ -1,0 +1,35 @@
+// Leapfrog integration (the GROMACS default) with optional velocity
+// rescaling. Per-component arithmetic in double, storage in float —
+// mirroring the mixed-precision update path.
+#pragma once
+
+#include <span>
+
+#include "md/box.hpp"
+#include "md/forcefield.hpp"
+#include "md/vec3.hpp"
+
+namespace hs::md {
+
+class LeapfrogIntegrator {
+ public:
+  explicit LeapfrogIntegrator(double dt_ps) : dt_(dt_ps) {}
+
+  double dt() const { return dt_; }
+
+  /// v += f/m * dt ; x += v * dt ; wrap into the box.
+  /// `types`/`ff` supply per-atom masses.
+  void step(const Box& box, const ForceField& ff, std::span<const int> types,
+            std::span<const Vec3> forces, std::span<Vec3> velocities,
+            std::span<Vec3> positions) const;
+
+  /// Berendsen-style velocity rescaling toward `t_ref` with coupling time
+  /// `tau` (used to keep long functional runs bounded; off by default).
+  static void rescale_velocities(double current_t, double t_ref, double tau,
+                                 double dt, std::span<Vec3> velocities);
+
+ private:
+  double dt_;
+};
+
+}  // namespace hs::md

@@ -1,0 +1,57 @@
+#include "md/nonbonded.hpp"
+
+#include <cassert>
+
+namespace hs::md {
+
+namespace {
+
+inline void accumulate_pair(const Box& box, const ForceField& ff,
+                            std::span<const Vec3> x, std::span<const int> types,
+                            std::span<Vec3> f, int i, int j, Energies& e) {
+  const Vec3 dr = box.min_image(x[static_cast<std::size_t>(i)],
+                                x[static_cast<std::size_t>(j)]);
+  const double r2 = static_cast<double>(norm2(dr));
+  if (r2 > ff.cutoff2() || r2 == 0.0) return;
+  const int ti = types[static_cast<std::size_t>(i)];
+  const int tj = types[static_cast<std::size_t>(j)];
+  const double qq =
+      kCoulombFactor * ff.type(ti).charge * ff.type(tj).charge;
+  const PairTerm term = ff.evaluate(r2, ff.pair_params(ti, tj), qq);
+  const Vec3 fv = dr * static_cast<float>(term.f_over_r);
+  f[static_cast<std::size_t>(i)] += fv;
+  f[static_cast<std::size_t>(j)] -= fv;
+  e.lj += term.e_lj;
+  e.coulomb += term.e_coulomb;
+}
+
+}  // namespace
+
+Energies compute_nonbonded(const Box& box, const ForceField& ff,
+                           std::span<const Vec3> positions,
+                           std::span<const int> types, const PairList& list,
+                           std::span<Vec3> forces) {
+  assert(forces.size() == positions.size());
+  Energies e;
+  for (const Pair& p : list.pairs()) {
+    accumulate_pair(box, ff, positions, types, forces, p.i, p.j, e);
+  }
+  return e;
+}
+
+Energies compute_nonbonded_reference(const Box& box, const ForceField& ff,
+                                     std::span<const Vec3> positions,
+                                     std::span<const int> types,
+                                     std::span<Vec3> forces) {
+  assert(forces.size() == positions.size());
+  Energies e;
+  const int n = static_cast<int>(positions.size());
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      accumulate_pair(box, ff, positions, types, forces, i, j, e);
+    }
+  }
+  return e;
+}
+
+}  // namespace hs::md

@@ -1,0 +1,36 @@
+// Non-bonded force evaluation over a pair list.
+//
+// Forces obey Newton's third law within the kernel: +F on i, -F on j, where
+// j may be a halo slot — those contributions are what the force halo
+// exchange returns to the owning rank.
+#pragma once
+
+#include <span>
+
+#include "md/box.hpp"
+#include "md/forcefield.hpp"
+#include "md/pair_list.hpp"
+
+namespace hs::md {
+
+struct Energies {
+  double lj = 0.0;
+  double coulomb = 0.0;
+  double total() const { return lj + coulomb; }
+};
+
+/// Accumulate forces for all pairs in `list` that are within the force-field
+/// cutoff. Distances use the box minimum image (valid because every box
+/// dimension exceeds twice the list radius). Returns the pair energies.
+Energies compute_nonbonded(const Box& box, const ForceField& ff,
+                           std::span<const Vec3> positions,
+                           std::span<const int> types, const PairList& list,
+                           std::span<Vec3> forces);
+
+/// Reference O(N^2) force computation for validation (all i<j pairs).
+Energies compute_nonbonded_reference(const Box& box, const ForceField& ff,
+                                     std::span<const Vec3> positions,
+                                     std::span<const int> types,
+                                     std::span<Vec3> forces);
+
+}  // namespace hs::md

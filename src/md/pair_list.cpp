@@ -1,0 +1,85 @@
+#include "md/pair_list.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hs::md {
+
+void PairList::build_local(const Box& box, std::span<const Vec3> positions,
+                           int n_home, double rlist) {
+  assert(n_home >= 0 && static_cast<std::size_t>(n_home) <= positions.size());
+  rlist_ = rlist;
+  pairs_.clear();
+  const auto home = positions.first(static_cast<std::size_t>(n_home));
+  CellList cells(box, rlist);
+  cells.build(home);
+  const float r2 = static_cast<float>(rlist * rlist);
+  for (int i = 0; i < n_home; ++i) {
+    cells.for_each_candidate(home[static_cast<std::size_t>(i)], [&](int j) {
+      if (j <= i) return;
+      if (box.distance2(home[static_cast<std::size_t>(i)],
+                        home[static_cast<std::size_t>(j)]) <= r2) {
+        pairs_.push_back({i, j});
+      }
+    });
+  }
+}
+
+void PairList::build_nonlocal(const Box& box, std::span<const Vec3> positions,
+                              int n_home, double rlist,
+                              const ZoneFilter* filter) {
+  assert(n_home >= 0 && static_cast<std::size_t>(n_home) <= positions.size());
+  rlist_ = rlist;
+  pairs_.clear();
+  const int n_total = static_cast<int>(positions.size());
+  if (n_total == n_home) return;
+  const float r2 = static_cast<float>(rlist * rlist);
+
+  // Bin the halo atoms; query around each home atom (home-halo pairs).
+  CellList halo_cells(box, rlist);
+  halo_cells.build(positions.subspan(static_cast<std::size_t>(n_home)));
+  for (int i = 0; i < n_home; ++i) {
+    halo_cells.for_each_candidate(
+        positions[static_cast<std::size_t>(i)], [&](int jh) {
+          const int j = n_home + jh;
+          if (box.distance2(positions[static_cast<std::size_t>(i)],
+                            positions[static_cast<std::size_t>(j)]) <= r2) {
+            pairs_.push_back({i, j});
+          }
+        });
+  }
+
+  // Halo-halo pairs assigned to this rank by the corner rule.
+  if (filter != nullptr) {
+    for (int ih = 0; ih < n_total - n_home; ++ih) {
+      const int i = n_home + ih;
+      halo_cells.for_each_candidate(
+          positions[static_cast<std::size_t>(i)], [&](int jh) {
+            const int j = n_home + jh;
+            if (j <= i) return;
+            if (box.distance2(positions[static_cast<std::size_t>(i)],
+                              positions[static_cast<std::size_t>(j)]) > r2) {
+              return;
+            }
+            if (filter->corner_is_mine(positions[static_cast<std::size_t>(i)],
+                                       positions[static_cast<std::size_t>(j)])) {
+              pairs_.push_back({i, j});
+            }
+          });
+    }
+  }
+}
+
+std::size_t PairList::prune(const Box& box, std::span<const Vec3> positions,
+                            double r_prune) {
+  assert(r_prune <= rlist_);
+  const float r2 = static_cast<float>(r_prune * r_prune);
+  const std::size_t before = pairs_.size();
+  std::erase_if(pairs_, [&](const Pair& p) {
+    return box.distance2(positions[static_cast<std::size_t>(p.i)],
+                         positions[static_cast<std::size_t>(p.j)]) > r2;
+  });
+  return before - pairs_.size();
+}
+
+}  // namespace hs::md

@@ -1,0 +1,124 @@
+#include "md/system.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace hs::md {
+
+namespace {
+/// Boltzmann constant in kJ mol^-1 K^-1.
+constexpr double kBoltzmann = 0.00831446262;
+}  // namespace
+
+std::vector<AtomType> grappa_atom_types() {
+  return {
+      AtomType{0.25f, 0.65f, +0.10f, 18.0f},  // W+
+      AtomType{0.25f, 0.65f, -0.10f, 18.0f},  // W-
+      AtomType{0.34f, 0.85f, 0.00f, 15.0f},   // E
+  };
+}
+
+System build_grappa(const GrappaSpec& spec) {
+  assert(spec.target_atoms > 0 && spec.density > 0.0);
+  // Cubic box sized for the target density; atoms on an n^3 lattice.
+  const int n = std::max(
+      2, static_cast<int>(std::round(std::cbrt(static_cast<double>(spec.target_atoms)))));
+  const int natoms = n * n * n;
+  const double volume = natoms / spec.density;
+  const float box_len = static_cast<float>(std::cbrt(volume));
+  const float spacing = box_len / static_cast<float>(n);
+
+  System sys;
+  sys.box = Box(box_len, box_len, box_len);
+  sys.x.reserve(static_cast<std::size_t>(natoms));
+  sys.v.reserve(static_cast<std::size_t>(natoms));
+  sys.type.reserve(static_cast<std::size_t>(natoms));
+
+  util::Rng rng(spec.seed);
+  const float jitter = spacing * static_cast<float>(spec.jitter);
+  const auto types = grappa_atom_types();
+
+  for (int ix = 0; ix < n; ++ix) {
+    for (int iy = 0; iy < n; ++iy) {
+      for (int iz = 0; iz < n; ++iz) {
+        Vec3 p{(static_cast<float>(ix) + 0.5f) * spacing,
+               (static_cast<float>(iy) + 0.5f) * spacing,
+               (static_cast<float>(iz) + 0.5f) * spacing};
+        p.x += static_cast<float>(rng.uniform(-jitter, jitter));
+        p.y += static_cast<float>(rng.uniform(-jitter, jitter));
+        p.z += static_cast<float>(rng.uniform(-jitter, jitter));
+        sys.x.push_back(sys.box.wrap(p));
+        // 40/40/20 W+/W-/E mixture; alternate charges for neutrality.
+        const std::uint64_t pick = rng.next_below(5);
+        const int t = pick < 2 ? 0 : (pick < 4 ? 1 : 2);
+        sys.type.push_back(t);
+        // Maxwell-Boltzmann velocities at the requested temperature.
+        const double m = types[static_cast<std::size_t>(t)].mass;
+        const float s = static_cast<float>(std::sqrt(kBoltzmann * spec.temperature / m));
+        sys.v.push_back(Vec3{s * static_cast<float>(rng.normal()),
+                             s * static_cast<float>(rng.normal()),
+                             s * static_cast<float>(rng.normal())});
+      }
+    }
+  }
+
+  // Exact charge neutrality: flip W types until the W+/W- counts balance.
+  long wp = 0, wm = 0;
+  for (int t : sys.type) {
+    wp += t == 0;
+    wm += t == 1;
+  }
+  for (std::size_t i = 0; i < sys.type.size() && wp != wm; ++i) {
+    if (wp > wm && sys.type[i] == 0) {
+      sys.type[i] = 1;
+      --wp;
+      ++wm;
+    } else if (wm > wp && sys.type[i] == 1) {
+      sys.type[i] = 0;
+      ++wp;
+      --wm;
+    }
+  }
+
+  // Remove net momentum so the system does not drift.
+  double px = 0, py = 0, pz = 0, mass_total = 0;
+  for (int i = 0; i < sys.natoms(); ++i) {
+    const double m = types[static_cast<std::size_t>(sys.type[static_cast<std::size_t>(i)])].mass;
+    px += m * sys.v[static_cast<std::size_t>(i)].x;
+    py += m * sys.v[static_cast<std::size_t>(i)].y;
+    pz += m * sys.v[static_cast<std::size_t>(i)].z;
+    mass_total += m;
+  }
+  const Vec3 vcm{static_cast<float>(px / mass_total),
+                 static_cast<float>(py / mass_total),
+                 static_cast<float>(pz / mass_total)};
+  for (auto& v : sys.v) v -= vcm;
+
+  return sys;
+}
+
+double total_charge(const System& sys, const ForceField& ff) {
+  double q = 0.0;
+  for (int t : sys.type) q += ff.type(t).charge;
+  return q;
+}
+
+double kinetic_energy(const System& sys, const ForceField& ff) {
+  double ke = 0.0;
+  for (int i = 0; i < sys.natoms(); ++i) {
+    const auto& v = sys.v[static_cast<std::size_t>(i)];
+    ke += 0.5 * ff.type(sys.type[static_cast<std::size_t>(i)]).mass *
+          static_cast<double>(norm2(v));
+  }
+  return ke;
+}
+
+double temperature(const System& sys, const ForceField& ff) {
+  const int ndof = 3 * sys.natoms() - 3;
+  if (ndof <= 0) return 0.0;
+  return 2.0 * kinetic_energy(sys, ff) / (ndof * kBoltzmann);
+}
+
+}  // namespace hs::md

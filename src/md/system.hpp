@@ -1,0 +1,53 @@
+// Particle system container and the "grappa"-like benchmark builder.
+//
+// The paper's grappa set is a homogeneous water-ethanol mixture, 45 k to
+// 46 M atoms (§6.1). We generate an equivalent homogeneous LJ + partial
+// charge mixture on a jittered cubic lattice in a cubic box at a fixed
+// number density: computationally it exercises the same code paths
+// (uniform short-range pair work, neutral total charge, reaction-field
+// electrostatics) without needing the proprietary input files.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "md/box.hpp"
+#include "md/forcefield.hpp"
+#include "md/vec3.hpp"
+
+namespace hs::md {
+
+struct System {
+  Box box;
+  std::vector<Vec3> x;   // positions (nm), wrapped into the box
+  std::vector<Vec3> v;   // velocities (nm/ps)
+  std::vector<int> type; // atom type index into the force field
+
+  int natoms() const { return static_cast<int>(x.size()); }
+};
+
+struct GrappaSpec {
+  int target_atoms = 45000;
+  double density = 50.0;       // atoms / nm^3 (functional runs)
+  double temperature = 300.0;  // K, for initial velocities
+  std::uint64_t seed = 2025;
+  double jitter = 0.10;        // lattice jitter as a fraction of spacing
+};
+
+/// Atom types used by the grappa-like mixture:
+/// [0] W+ (water-ish, +0.1e), [1] W- (water-ish, -0.1e), [2] E (ethanol-ish,
+/// neutral, larger sigma). 40/40/20 mixture, overall neutral.
+std::vector<AtomType> grappa_atom_types();
+
+/// Build a grappa-like system. The actual atom count is the largest perfect
+/// lattice count <= a cubic lattice covering target_atoms (within ~1%).
+System build_grappa(const GrappaSpec& spec);
+
+/// Total charge (sanity: ~0 for grappa systems).
+double total_charge(const System& sys, const ForceField& ff);
+
+/// Kinetic energy (kJ/mol) and instantaneous temperature (K).
+double kinetic_energy(const System& sys, const ForceField& ff);
+double temperature(const System& sys, const ForceField& ff);
+
+}  // namespace hs::md

@@ -1,0 +1,60 @@
+// Minimal 3-vector used for coordinates, velocities, and forces.
+// Mixed precision mirrors GROMACS: storage is float, pairwise arithmetic
+// that decides interactions is done in double (see nonbonded.cpp).
+#pragma once
+
+#include <cmath>
+
+namespace hs::md {
+
+struct Vec3 {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(float x_, float y_, float z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(float s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  constexpr float operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+  void set(int i, float v) {
+    if (i == 0) x = v;
+    else if (i == 1) y = v;
+    else z = v;
+  }
+};
+
+constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+constexpr Vec3 operator*(Vec3 a, float s) { return a *= s; }
+constexpr Vec3 operator*(float s, Vec3 a) { return a *= s; }
+
+constexpr float dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+constexpr float norm2(const Vec3& a) { return dot(a, a); }
+inline float norm(const Vec3& a) { return std::sqrt(norm2(a)); }
+
+constexpr bool operator==(const Vec3& a, const Vec3& b) {
+  return a.x == b.x && a.y == b.y && a.z == b.z;
+}
+
+}  // namespace hs::md

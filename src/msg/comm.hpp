@@ -1,0 +1,63 @@
+// Thread-MPI-like message layer: the baseline transport.
+//
+// Models GPU-aware MPI as used by the GROMACS halo exchange (Fig. 1):
+// CPU-initiated two-sided messaging with rendezvous semantics. Data moves
+// device-to-device over the fabric, but initiation and completion are
+// host-side — the CPU must have synchronized the producing stream before
+// posting, and must wait for the request before launching consumers. Those
+// control-path costs (the paper's §3 critique of MPI) are charged by the
+// caller from the cost model; this layer provides matching + transfer.
+//
+// Requests are sim::GpuEvent handles: complete at message delivery.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <tuple>
+
+#include "sim/machine.hpp"
+
+namespace hs::msg {
+
+class Comm {
+ public:
+  explicit Comm(sim::Machine& machine) : machine_(&machine) {}
+
+  int n_ranks() const { return machine_->device_count(); }
+  int device_of(int rank) const { return rank; }
+
+  /// Post a non-blocking send. `copy` performs the real data movement at
+  /// delivery time. The returned event completes when the message has been
+  /// delivered (rendezvous: requires the matching receive to be posted).
+  sim::GpuEventPtr isend(int src_rank, int dst_rank, int tag,
+                         std::size_t bytes, std::function<void()> copy);
+
+  /// Post a non-blocking receive; completes at delivery of the matching send.
+  sim::GpuEventPtr irecv(int dst_rank, int src_rank, int tag);
+
+  /// Number of posted-but-unmatched operations (tests / leak detection).
+  std::size_t unmatched() const;
+
+ private:
+  // Channel key: (src, dst, tag).
+  using Key = std::tuple<int, int, int>;
+
+  struct PendingSend {
+    std::size_t bytes;
+    std::function<void()> copy;
+    sim::GpuEventPtr done;
+  };
+  struct PendingRecv {
+    sim::GpuEventPtr done;
+  };
+
+  void start_transfer(const Key& key, PendingSend send, PendingRecv recv);
+
+  sim::Machine* machine_;
+  std::map<Key, std::deque<PendingSend>> sends_;
+  std::map<Key, std::deque<PendingRecv>> recvs_;
+};
+
+}  // namespace hs::msg

@@ -1,0 +1,26 @@
+#include "pgas/symmetric_heap.hpp"
+
+#include <stdexcept>
+
+namespace hs::pgas {
+
+SymmetricHeap::SymmetricHeap(int n_pes, std::size_t capacity)
+    : capacity_(capacity) {
+  assert(n_pes > 0);
+  arenas_.resize(static_cast<std::size_t>(n_pes));
+}
+
+SymHandle SymmetricHeap::alloc(std::size_t bytes, std::size_t align) {
+  assert(align > 0 && (align & (align - 1)) == 0 && "align must be a power of 2");
+  const std::size_t offset = (top_ + align - 1) & ~(align - 1);
+  if (offset + bytes > capacity_) {
+    throw std::bad_alloc();
+  }
+  top_ = offset + bytes;
+  for (auto& arena : arenas_) {
+    if (arena.size() < top_) arena.resize(top_);
+  }
+  return SymHandle{offset, bytes};
+}
+
+}  // namespace hs::pgas

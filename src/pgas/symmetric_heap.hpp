@@ -1,0 +1,58 @@
+// Symmetric heap: the PGAS allocation model.
+//
+// Every PE owns a byte arena; symmetric allocation reserves the same offset
+// range on every PE ("collective symmetric allocation across all PEs",
+// §2.3), so a handle resolves to the same logical object on any PE. This
+// also reproduces the paper's constraint discussion: symmetric allocation
+// is world-wide, which is why rank specialization (PP vs PME) clashes with
+// it — exercised in the tests.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hs::pgas {
+
+/// Handle to a symmetric allocation: identical offset on every PE.
+struct SymHandle {
+  std::size_t offset = 0;
+  std::size_t bytes = 0;
+  bool valid() const { return bytes > 0; }
+};
+
+class SymmetricHeap {
+ public:
+  /// `n_pes` arenas of `capacity` bytes each.
+  SymmetricHeap(int n_pes, std::size_t capacity);
+
+  int n_pes() const { return static_cast<int>(arenas_.size()); }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t allocated() const { return top_; }
+
+  /// Collective symmetric allocation (same offset on every PE). Arena
+  /// storage is committed lazily: PEs only pay for what is allocated.
+  SymHandle alloc(std::size_t bytes, std::size_t align = 64);
+
+  /// Reset the allocator (frees everything; handles become invalid).
+  void release_all() { top_ = 0; }
+
+  std::byte* base(int pe) {
+    return arenas_[static_cast<std::size_t>(pe)].data();
+  }
+
+  template <typename T>
+  std::span<T> view(SymHandle h, int pe) {
+    assert(h.valid() && h.offset + h.bytes <= capacity_);
+    assert(h.bytes % sizeof(T) == 0);
+    return {reinterpret_cast<T*>(base(pe) + h.offset), h.bytes / sizeof(T)};
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t top_ = 0;
+  std::vector<std::vector<std::byte>> arenas_;
+};
+
+}  // namespace hs::pgas

@@ -1,0 +1,38 @@
+#include "pgas/team.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "pgas/world.hpp"
+
+namespace hs::pgas {
+
+Team::Team(World& world, std::vector<int> members, std::size_t heap_bytes)
+    : world_(&world), members_(std::move(members)) {
+  if (members_.empty()) {
+    throw std::invalid_argument("team needs at least one member PE");
+  }
+  for (int pe : members_) {
+    if (pe < 0 || pe >= world.n_pes()) {
+      throw std::invalid_argument("team member out of PE range");
+    }
+  }
+  // Members must be unique (an ordered subset, like nvshmem_team_split).
+  std::vector<int> sorted = members_;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    throw std::invalid_argument("duplicate PE in team");
+  }
+  heap_ = std::make_unique<SymmetricHeap>(size(), heap_bytes);
+}
+
+int Team::index_of(int world_pe) const {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i] == world_pe) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+
+}  // namespace hs::pgas

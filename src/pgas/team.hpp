@@ -1,0 +1,69 @@
+// PGAS teams: collective allocation restricted to a subset of PEs.
+//
+// The paper (§5.3) hits NVSHMEM's world-wide symmetric-allocation model
+// head on: "NVSHMEM's COMM_WORLD-wide symmetric allocation model prevents
+// selective PP/PME participation: PP-only symmetric destination buffers
+// would require redundant PME allocations and vice versa", and §7 hopes
+// "that this drawback can be resolved with a team-based allocation
+// extension in NVSHMEM". This module implements that extension in the
+// simulated PGAS layer: a Team is an ordered subset of world PEs with its
+// own symmetric heap, so PP-only buffers cost nothing on PME PEs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "pgas/symmetric_heap.hpp"
+#include "pgas/world.hpp"
+
+namespace hs::pgas {
+
+class Team {
+ public:
+  /// Created via World::create_team.
+  Team(World& world, std::vector<int> members, std::size_t heap_bytes);
+
+  int size() const { return static_cast<int>(members_.size()); }
+  const std::vector<int>& members() const { return members_; }
+
+  /// World PE id of team member `index`.
+  int world_pe(int index) const {
+    return members_[static_cast<std::size_t>(index)];
+  }
+  /// Team index of a world PE, or -1 if not a member
+  /// (nvshmem_team_my_pe analogue).
+  int index_of(int world_pe) const;
+  bool contains(int world_pe) const { return index_of(world_pe) >= 0; }
+
+  /// Team-collective symmetric allocation: reserves storage on member PEs
+  /// only. Handles are valid only with this team's view/remote_ptr.
+  SymHandle alloc(std::size_t bytes, std::size_t align = 64) {
+    return heap_->alloc(bytes, align);
+  }
+
+  /// Local view on team member `index`.
+  template <typename T>
+  std::span<T> view(SymHandle h, int index) {
+    return heap_->view<T>(h, index);
+  }
+
+  /// Direct pointer to member `to_index`'s copy iff NVLink-reachable from
+  /// member `from_index` (nvshmem_ptr over a team).
+  template <typename T>
+  T* remote_ptr(SymHandle h, int from_index, int to_index) {
+    if (!world_->nvlink_reachable(world_pe(from_index), world_pe(to_index))) {
+      return nullptr;
+    }
+    return heap_->view<T>(h, to_index).data();
+  }
+
+  /// Bytes committed per member PE (tests / accounting).
+  std::size_t allocated_bytes() const { return heap_->allocated(); }
+
+ private:
+  World* world_;
+  std::vector<int> members_;
+  std::unique_ptr<SymmetricHeap> heap_;  // one arena per member
+};
+
+}  // namespace hs::pgas

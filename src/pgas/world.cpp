@@ -1,0 +1,159 @@
+#include "pgas/world.hpp"
+
+#include "pgas/team.hpp"
+
+#include <cassert>
+
+namespace hs::pgas {
+
+World::World(sim::Machine& machine, std::size_t heap_bytes_per_pe)
+    : machine_(&machine),
+      heap_(std::make_unique<SymmetricHeap>(machine.device_count(),
+                                            heap_bytes_per_pe)),
+      proxy_(static_cast<std::size_t>(machine.device_count()),
+             ProxyPlacement::RankPinned),
+      registered_(static_cast<std::size_t>(machine.device_count())),
+      host_barrier_(std::make_unique<sim::BlockBarrier>(machine.engine(),
+                                                        machine.device_count())) {}
+
+World::~World() = default;
+
+bool World::nvlink_reachable(int from_pe, int to_pe) const {
+  return machine_->topology().link(device_of(from_pe), device_of(to_pe)) !=
+         sim::LinkType::IB;
+}
+
+World::SignalArray World::alloc_signals(int count) {
+  assert(count > 0);
+  SignalArray arr;
+  arr.id = static_cast<int>(signal_array_offsets_.size());
+  arr.count = count;
+  signal_array_offsets_.push_back(
+      static_cast<int>(signals_.size() / static_cast<std::size_t>(n_pes())));
+  for (int i = 0; i < count * n_pes(); ++i) {
+    signals_.push_back(std::make_unique<sim::Signal>(machine_->engine()));
+  }
+  return arr;
+}
+
+sim::Signal& World::signal(SignalArray arr, int pe, int index) {
+  assert(arr.id >= 0 && index >= 0 && index < arr.count);
+  assert(pe >= 0 && pe < n_pes());
+  const int slot = signal_array_offsets_[static_cast<std::size_t>(arr.id)] + index;
+  return *signals_[static_cast<std::size_t>(slot * n_pes() + pe)];
+}
+
+void World::reset_signals(SignalArray arr, std::int64_t value) {
+  for (int pe = 0; pe < n_pes(); ++pe) {
+    for (int i = 0; i < arr.count; ++i) signal(arr, pe, i).reset(value);
+  }
+}
+
+void World::set_proxy_placement(int pe, ProxyPlacement placement) {
+  proxy_[static_cast<std::size_t>(pe)] = placement;
+  machine_->fabric().set_proxy_slowdown(device_of(pe),
+                                        proxy_slowdown_factor(placement));
+}
+
+double World::proxy_slowdown_factor(ProxyPlacement placement) {
+  switch (placement) {
+    case ProxyPlacement::ReservedCore: return 1.0;
+    // The paper saw no benefit of thread-level pinning over rank-level
+    // pinning (low OS noise; no socket crossing), so both are healthy.
+    case ProxyPlacement::RankPinned: return 1.0;
+    // "up to 50x slowdown in our multi-node tests" (§5.5).
+    case ProxyPlacement::ContendedCore: return 50.0;
+  }
+  return 1.0;
+}
+
+int World::messages_for(std::size_t bytes, int chunk_bytes) const {
+  if (bytes == 0) return 1;
+  const auto chunk = static_cast<std::size_t>(chunk_bytes);
+  return static_cast<int>((bytes + chunk - 1) / chunk);
+}
+
+void World::put_nbi(int src_pe, int dst_pe, std::size_t bytes,
+                    std::function<void()> copy,
+                    std::function<void()> on_delivered) {
+  sim::TransferRequest req;
+  req.src_device = device_of(src_pe);
+  req.dst_device = device_of(dst_pe);
+  req.bytes = bytes;
+  req.num_messages = 1;  // one contiguous RDMA write / remote store burst
+  req.deliver = std::move(copy);
+  machine_->fabric().transfer(std::move(req), std::move(on_delivered));
+}
+
+void World::put_signal_nbi(int src_pe, int dst_pe, std::size_t bytes,
+                           std::function<void()> copy, sim::Signal& signal,
+                           std::int64_t sig_value,
+                           std::function<void()> on_delivered) {
+  // The signal is delivered with (after) the data in one fused operation —
+  // this is the nvshmem put-with-signal completion order guarantee.
+  auto fused = [copy = std::move(copy), &signal, sig_value] {
+    if (copy) copy();
+    signal.store(sig_value);
+  };
+  put_nbi(src_pe, dst_pe, bytes, std::move(fused), std::move(on_delivered));
+}
+
+void World::signal_op(int src_pe, int dst_pe, sim::Signal& signal,
+                      std::int64_t sig_value) {
+  put_nbi(src_pe, dst_pe, sizeof(std::int64_t),
+          [&signal, sig_value] { signal.store(sig_value); });
+}
+
+void World::tma_store_async(int src_pe, int dst_pe, std::size_t bytes,
+                            std::function<void()> copy,
+                            std::function<void()> on_complete) {
+  assert(nvlink_reachable(src_pe, dst_pe) &&
+         "TMA remote store requires NVLink reachability");
+  sim::TransferRequest req;
+  req.src_device = device_of(src_pe);
+  req.dst_device = device_of(dst_pe);
+  req.bytes = bytes;
+  req.num_messages = messages_for(bytes, machine_->cost().tma_chunk_bytes);
+  req.deliver = std::move(copy);
+  machine_->fabric().transfer(std::move(req), std::move(on_complete));
+}
+
+void World::tma_load_async(int dst_pe, int src_pe, std::size_t bytes,
+                           std::function<void()> copy,
+                           std::function<void()> on_complete) {
+  assert(nvlink_reachable(dst_pe, src_pe) &&
+         "TMA remote load requires NVLink reachability");
+  sim::TransferRequest req;
+  // A get is modelled as a transfer from the remote source device.
+  req.src_device = device_of(src_pe);
+  req.dst_device = device_of(dst_pe);
+  req.bytes = bytes;
+  req.num_messages = messages_for(bytes, machine_->cost().tma_chunk_bytes);
+  req.deliver = std::move(copy);
+  machine_->fabric().transfer(std::move(req), std::move(on_complete));
+}
+
+Team& World::create_team(std::vector<int> members, std::size_t heap_bytes) {
+  teams_.push_back(std::make_unique<Team>(*this, std::move(members), heap_bytes));
+  return *teams_.back();
+}
+
+void World::register_buffer(int pe, const void* base, std::size_t bytes) {
+  registered_[static_cast<std::size_t>(pe)].push_back({base, bytes});
+}
+
+void World::unregister_buffer(int pe, const void* base) {
+  auto& regs = registered_[static_cast<std::size_t>(pe)];
+  std::erase_if(regs, [base](const Registration& r) { return r.base == base; });
+}
+
+bool World::is_registered(int pe, const void* ptr) const {
+  for (const auto& r : registered_[static_cast<std::size_t>(pe)]) {
+    const auto* lo = static_cast<const std::byte*>(r.base);
+    const auto* p = static_cast<const std::byte*>(ptr);
+    if (p >= lo && p < lo + r.bytes) return true;
+  }
+  return false;
+}
+
+}  // namespace hs::pgas

@@ -1,0 +1,158 @@
+// PGAS world: the NVSHMEM-like communication layer bound to the simulated
+// cluster. One PE per device.
+//
+// API correspondence (NVSHMEM -> hs::pgas::World):
+//   nvshmem_malloc                 -> alloc / heap().alloc (world-collective)
+//   nvshmem_ptr(ptr, pe)           -> remote_ptr (non-null iff NVLink-reachable)
+//   nvshmem_float_put_signal_nbi   -> put_signal_nbi
+//   nvshmem_signal_wait_until      -> signal(...).wait_ge (sim::Signal)
+//   nvshmemx_buffer_register       -> register_buffer (sources may be
+//                                     non-symmetric; destinations may not)
+//   proxy thread                   -> ProxyPlacement + fabric slowdown (§5.5)
+//   TMA cp.async.bulk              -> tma_store_async / tma_load_async
+//
+// Ops take a `copy` closure that performs the real data movement at
+// delivery time: the layer is functional (bytes actually move between PE
+// buffers), while the fabric decides when.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "pgas/symmetric_heap.hpp"
+#include "sim/machine.hpp"
+
+namespace hs::pgas {
+
+/// Where the NVSHMEM proxy thread lands (§5.5). ReservedCore is the paper's
+/// fix (OMP_NUM_THREADS-1 + dedicated init thread); RankPinned is rank-level
+/// pinning with the proxy floating inside the rank's cores (the paper found
+/// it performs the same); ContendedCore pins the proxy onto a busy core and
+/// reproduces the up-to-50x degradation.
+enum class ProxyPlacement { ReservedCore, RankPinned, ContendedCore };
+
+class World {
+ public:
+  World(sim::Machine& machine, std::size_t heap_bytes_per_pe = 64u << 20);
+  ~World();  // out-of-line: Team is incomplete here
+
+  int n_pes() const { return machine_->device_count(); }
+  int device_of(int pe) const { return pe; }
+  sim::Machine& machine() { return *machine_; }
+  SymmetricHeap& heap() { return *heap_; }
+
+  /// Collective symmetric allocation; same offset on every PE.
+  SymHandle alloc(std::size_t bytes, std::size_t align = 64) {
+    return heap_->alloc(bytes, align);
+  }
+
+  /// Local view of a symmetric object on `pe`.
+  template <typename T>
+  std::span<T> view(SymHandle h, int pe) {
+    return heap_->view<T>(h, pe);
+  }
+
+  /// nvshmem_ptr analogue: direct load/store access to `to_pe`'s copy of a
+  /// symmetric object, valid only when `to_pe` is NVLink-reachable from
+  /// `from_pe`. Returns nullptr otherwise — the Algorithm 1 isNVLinkAccess
+  /// predicate.
+  template <typename T>
+  T* remote_ptr(SymHandle h, int from_pe, int to_pe) {
+    if (!nvlink_reachable(from_pe, to_pe)) return nullptr;
+    return heap_->view<T>(h, to_pe).data();
+  }
+
+  bool nvlink_reachable(int from_pe, int to_pe) const;
+
+  // ---- Signals ------------------------------------------------------
+  /// A symmetric array of device-visible signal words.
+  struct SignalArray {
+    int id = -1;
+    int count = 0;
+  };
+  SignalArray alloc_signals(int count);
+  sim::Signal& signal(SignalArray arr, int pe, int index);
+  /// Raw value reset on every PE (between runs; not a synchronizing store).
+  void reset_signals(SignalArray arr, std::int64_t value = 0);
+
+  // ---- Proxy thread model (§5.5) -------------------------------------
+  void set_proxy_placement(int pe, ProxyPlacement placement);
+  ProxyPlacement proxy_placement(int pe) const {
+    return proxy_[static_cast<std::size_t>(pe)];
+  }
+  /// Slowdown factor applied to IB per-message service for this placement.
+  static double proxy_slowdown_factor(ProxyPlacement placement);
+
+  // ---- Device-initiated data movement --------------------------------
+  /// Non-blocking put of `bytes` from src_pe to dst_pe. `copy` performs the
+  /// real data movement at delivery time. `on_delivered` (optional) runs
+  /// after delivery on the simulated timeline.
+  void put_nbi(int src_pe, int dst_pe, std::size_t bytes,
+               std::function<void()> copy,
+               std::function<void()> on_delivered = {});
+
+  /// Put + fused receiver notification: after the data is delivered, the
+  /// signal word on the *destination* PE is set to sig_value
+  /// (nvshmem_float_put_signal_nbi semantics).
+  void put_signal_nbi(int src_pe, int dst_pe, std::size_t bytes,
+                      std::function<void()> copy, sim::Signal& signal,
+                      std::int64_t sig_value,
+                      std::function<void()> on_delivered = {});
+
+  /// Signal-only op (nvshmemx_signal_op analogue) — still a network message
+  /// on IB, a plain remote store on NVLink.
+  void signal_op(int src_pe, int dst_pe, sim::Signal& signal,
+                 std::int64_t sig_value);
+
+  /// TMA-like bulk async store over NVLink: fine-grained chunked transfer,
+  /// no SM occupancy while in flight. Precondition: NVLink-reachable.
+  void tma_store_async(int src_pe, int dst_pe, std::size_t bytes,
+                       std::function<void()> copy,
+                       std::function<void()> on_complete = {});
+
+  /// TMA-like bulk async load (get) over NVLink into local (shared) memory.
+  void tma_load_async(int dst_pe, int src_pe, std::size_t bytes,
+                      std::function<void()> copy,
+                      std::function<void()> on_complete = {});
+
+  // ---- Teams (the §7 team-based allocation extension) -----------------
+  /// Create a team over an ordered subset of PEs with its own symmetric
+  /// heap (nvshmem_team_split + team-scoped nvshmem_malloc analogue).
+  /// The world owns the team.
+  class Team& create_team(std::vector<int> members,
+                          std::size_t heap_bytes = 16u << 20);
+
+  // ---- Buffer registration (nvshmemx_buffer_register) -----------------
+  /// Register a local (non-symmetric) buffer so it may be used as a put
+  /// *source* (§5.3: "the source buffer can be non-symmetric allocation
+  /// registered using nvshmemx_buffer_register"). Destinations must remain
+  /// symmetric; this registry exists for API fidelity and assertions.
+  void register_buffer(int pe, const void* base, std::size_t bytes);
+  void unregister_buffer(int pe, const void* base);
+  bool is_registered(int pe, const void* ptr) const;
+
+  // ---- Host-side collectives -----------------------------------------
+  /// Awaitable world barrier for host tasks (the paper's CPU-based PE sync
+  /// used to curb SM resource competition, §7).
+  auto barrier_all() { return host_barrier_->arrive_and_wait(); }
+
+ private:
+  int messages_for(std::size_t bytes, int chunk_bytes) const;
+
+  sim::Machine* machine_;
+  std::unique_ptr<SymmetricHeap> heap_;
+  std::vector<std::unique_ptr<sim::Signal>> signals_;  // id*n_pes + pe layout
+  std::vector<int> signal_array_offsets_;              // id -> first slot
+  std::vector<ProxyPlacement> proxy_;
+  struct Registration {
+    const void* base;
+    std::size_t bytes;
+  };
+  std::vector<std::vector<Registration>> registered_;  // per PE
+  std::unique_ptr<sim::BlockBarrier> host_barrier_;
+  std::vector<std::unique_ptr<class Team>> teams_;
+};
+
+}  // namespace hs::pgas

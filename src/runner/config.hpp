@@ -1,0 +1,48 @@
+// Run configuration for the GPU-resident MD time-stepping loop.
+#pragma once
+
+#include "halo/tuning.hpp"
+#include "pgas/world.hpp"
+
+namespace hs::runner {
+
+struct RunConfig {
+  halo::Transport transport = halo::Transport::Shmem;
+  halo::HaloTuning halo_tuning{};
+
+  // §5.4 end-of-step schedule optimizations (both default on):
+  /// Rolling-prune kernels on a dedicated low-priority stream, launched at
+  /// the end of the step. Off: the original schedule — prune runs on the
+  /// non-local stream right after the force kernels, where it can block
+  /// integration and delay the next step's critical path.
+  bool prune_low_priority_stream = true;
+  /// Third, medium-priority stream for reduction + update so they preempt
+  /// pruning. Off: reduction/update share the local stream.
+  bool third_stream_for_update = true;
+
+  /// §5.5 NVSHMEM proxy-thread placement (applies to IB-path ranks).
+  pgas::ProxyPlacement proxy_placement = pgas::ProxyPlacement::RankPinned;
+
+  /// §7 workaround: CPU-side PE barrier each step (reduces SM time wasted
+  /// polling under imbalance at the cost of GPU residency).
+  bool cpu_pe_barrier = false;
+
+  /// CUDA-graph-style scheduling (§2.2/§3): after the first captured step,
+  /// each step costs one graph launch instead of ~20 kernel-launch and ~30
+  /// event-management calls. Compatible with the Shmem and ThreadMpi
+  /// transports only — CPU-blocking MPI phases cannot be captured (the same
+  /// restriction the paper describes for GROMACS' CUDA-graph support).
+  bool use_cuda_graph = false;
+
+  /// Rolling prune cadence in steps (0 disables pruning).
+  int prune_interval = 4;
+
+  /// MD integration timestep in femtoseconds (for ns/day accounting).
+  double dt_fs = 2.0;
+
+  /// How many steps a rank's host loop may run ahead of its GPU (models the
+  /// GROMACS event-driven launch-ahead window).
+  int launch_ahead_steps = 3;
+};
+
+}  // namespace hs::runner

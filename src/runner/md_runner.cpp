@@ -1,0 +1,446 @@
+#include "runner/md_runner.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hs::runner {
+
+MdRunner::MdRunner(sim::Machine& machine, pgas::World& world, msg::Comm& comm,
+                   halo::Workload workload, RunConfig config,
+                   const md::ForceField* ff)
+    : machine_(&machine),
+      world_(&world),
+      comm_(&comm),
+      workload_(std::move(workload)),
+      config_(config),
+      ff_(ff) {
+  const int n = num_ranks();
+  assert(n == machine.device_count());
+  if (workload_.functional()) {
+    assert(ff_ != nullptr && "functional runs need a force field");
+    integrator_.emplace(config_.dt_fs * 1e-3);  // fs -> ps
+    lists_ = dd::build_pair_lists(workload_.plan.grid, *workload_.states,
+                                  workload_.plan.comm_cutoff,
+                                  workload_.plan.comm_cutoff);
+    f_local_.resize(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      f_local_[static_cast<std::size_t>(r)].assign(
+          static_cast<std::size_t>(state(r)->n_home), md::Vec3{});
+    }
+  }
+
+  for (int r = 0; r < n; ++r) {
+    world.set_proxy_placement(r, config_.proxy_placement);
+  }
+
+  switch (config_.transport) {
+    case halo::Transport::Shmem:
+      shmem_ = std::make_unique<halo::ShmemHaloExchange>(
+          machine, world, workload_, config_.halo_tuning);
+      break;
+    case halo::Transport::ThreadMpi:
+      tmpi_ = std::make_unique<halo::ThreadMpiHaloExchange>(machine, workload_);
+      break;
+    case halo::Transport::Mpi:
+      mpi_ = std::make_unique<halo::MpiHaloExchange>(machine, comm, workload_);
+      break;
+  }
+
+  streams_.resize(static_cast<std::size_t>(n));
+  update_events_.resize(static_cast<std::size_t>(n));
+  per_rank_step_end_.resize(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    auto& s = streams_[static_cast<std::size_t>(r)];
+    const std::string suffix = std::to_string(r);
+    // Local and non-local force streams share the top priority tier (the
+    // force kernels time-share the SMs); update preempts prune (§5.4).
+    s.local = &machine.create_stream(r, "local" + suffix,
+                                     sim::StreamPriority::kHigh);
+    s.nonlocal = &machine.create_stream(r, "nonlocal" + suffix,
+                                        sim::StreamPriority::kHigh);
+    s.update = &machine.create_stream(r, "update" + suffix,
+                                      sim::StreamPriority::kMedium);
+    s.prune = &machine.create_stream(r, "prune" + suffix,
+                                     sim::StreamPriority::kLow);
+  }
+}
+
+int MdRunner::local_pairs_atoms(int rank) const {
+  return workload_.home_atoms(rank);
+}
+
+int MdRunner::nonlocal_pairs_atoms(int rank) const {
+  return workload_.halo_atoms(rank);
+}
+
+// ---- kernel builders --------------------------------------------------
+
+sim::KernelSpec MdRunner::nb_local_spec(int rank, std::int64_t step) {
+  const auto& cm = machine_->cost();
+  sim::KernelSpec spec;
+  spec.name = "nb_local";
+  spec.sm_demand = cm.nb_demand;
+  spec.tag = step;
+  spec.dispatch_ns = cm.kernel_dispatch_ns;
+  dd::DomainState* st = state(rank);
+  auto* self = this;
+  const double cost = cm.nb_local_cost(local_pairs_atoms(rank));
+  spec.body = [self, st, rank, cost](sim::KernelContext& ctx) -> sim::Task {
+    co_await ctx.compute(cost);
+    if (st == nullptr) co_return;
+    // Local forces accumulate into the separate f_local buffer (GROMACS has
+    // distinct local/non-local force outputs); ReduceF folds them into f.
+    auto& fl = self->f_local_[static_cast<std::size_t>(rank)];
+    const auto nh = fl.size();
+    md::compute_nonbonded(self->workload_.plan.grid.box(), *self->ff_,
+                          std::span<const md::Vec3>(st->x.data(), nh),
+                          std::span<const int>(st->type.data(), nh),
+                          self->lists_[static_cast<std::size_t>(rank)].local,
+                          std::span<md::Vec3>(fl.data(), nh));
+    co_return;
+  };
+  return spec;
+}
+
+sim::KernelSpec MdRunner::bonded_spec(int rank, std::int64_t step) {
+  const auto& cm = machine_->cost();
+  sim::KernelSpec spec;
+  spec.name = "bonded";
+  spec.sm_demand = cm.nb_demand;
+  spec.tag = step;
+  spec.dispatch_ns = cm.kernel_dispatch_ns;
+  const double cost = cm.bonded_cost(local_pairs_atoms(rank));
+  spec.body = [cost](sim::KernelContext& ctx) -> sim::Task {
+    co_await ctx.compute(cost);
+  };
+  return spec;
+}
+
+sim::KernelSpec MdRunner::nb_nonlocal_spec(int rank, std::int64_t step) {
+  const auto& cm = machine_->cost();
+  sim::KernelSpec spec;
+  spec.name = "nb_nonlocal";
+  spec.sm_demand = cm.nb_demand;
+  spec.tag = step;
+  spec.dispatch_ns = cm.kernel_dispatch_ns;
+  dd::DomainState* st = state(rank);
+  auto* self = this;
+  const double cost = cm.nb_nonlocal_cost(nonlocal_pairs_atoms(rank));
+  spec.body = [self, st, rank, cost](sim::KernelContext& ctx) -> sim::Task {
+    co_await ctx.compute(cost);
+    if (st == nullptr) co_return;
+    md::compute_nonbonded(
+        self->workload_.plan.grid.box(), *self->ff_, st->x, st->type,
+        self->lists_[static_cast<std::size_t>(rank)].nonlocal, st->f);
+    co_return;
+  };
+  return spec;
+}
+
+sim::KernelSpec MdRunner::reduce_spec(int rank, std::int64_t step) {
+  const auto& cm = machine_->cost();
+  sim::KernelSpec spec;
+  spec.name = "reduce";
+  spec.sm_demand = cm.service_demand;
+  spec.tag = step;
+  spec.dispatch_ns = cm.kernel_dispatch_ns;
+  dd::DomainState* st = state(rank);
+  auto* self = this;
+  const double cost = cm.reduce_cost(workload_.home_atoms(rank));
+  spec.body = [self, st, rank, cost](sim::KernelContext& ctx) -> sim::Task {
+    co_await ctx.compute(cost);
+    if (st == nullptr) co_return;
+    auto& fl = self->f_local_[static_cast<std::size_t>(rank)];
+    for (std::size_t i = 0; i < fl.size(); ++i) st->f[i] += fl[i];
+    co_return;
+  };
+  return spec;
+}
+
+sim::KernelSpec MdRunner::integrate_spec(int rank, std::int64_t step) {
+  const auto& cm = machine_->cost();
+  sim::KernelSpec spec;
+  spec.name = "integrate";
+  spec.sm_demand = cm.service_demand;
+  spec.tag = step;
+  spec.dispatch_ns = cm.kernel_dispatch_ns;
+  dd::DomainState* st = state(rank);
+  auto* self = this;
+  const double cost = cm.integrate_cost(workload_.home_atoms(rank));
+  spec.body = [self, st, cost](sim::KernelContext& ctx) -> sim::Task {
+    co_await ctx.compute(cost);
+    if (st == nullptr) co_return;
+    const auto nh = static_cast<std::size_t>(st->n_home);
+    self->integrator_->step(
+        self->workload_.plan.grid.box(), *self->ff_,
+        std::span<const int>(st->type.data(), nh),
+        std::span<const md::Vec3>(st->f.data(), nh),
+        std::span<md::Vec3>(st->v.data(), nh),
+        std::span<md::Vec3>(st->x.data(), nh));
+    co_return;
+  };
+  return spec;
+}
+
+sim::KernelSpec MdRunner::clear_spec(int rank, std::int64_t step) {
+  const auto& cm = machine_->cost();
+  sim::KernelSpec spec;
+  spec.name = "clear";
+  spec.sm_demand = cm.service_demand;
+  spec.tag = step;
+  spec.dispatch_ns = cm.kernel_dispatch_ns;
+  dd::DomainState* st = state(rank);
+  auto* self = this;
+  const double cost =
+      cm.clear_cost(workload_.home_atoms(rank) + workload_.halo_atoms(rank));
+  spec.body = [self, st, rank, cost](sim::KernelContext& ctx) -> sim::Task {
+    co_await ctx.compute(cost);
+    if (st == nullptr) co_return;
+    std::fill(st->f.begin(), st->f.end(), md::Vec3{});
+    auto& fl = self->f_local_[static_cast<std::size_t>(rank)];
+    std::fill(fl.begin(), fl.end(), md::Vec3{});
+    co_return;
+  };
+  return spec;
+}
+
+sim::KernelSpec MdRunner::prune_spec(int rank, std::int64_t step) {
+  const auto& cm = machine_->cost();
+  sim::KernelSpec spec;
+  spec.name = "prune";
+  spec.sm_demand = cm.service_demand;
+  spec.tag = step;
+  spec.dispatch_ns = cm.kernel_dispatch_ns;
+  dd::DomainState* st = state(rank);
+  auto* self = this;
+  const double cost = cm.prune_cost(workload_.home_atoms(rank));
+  spec.body = [self, st, rank, cost](sim::KernelContext& ctx) -> sim::Task {
+    co_await ctx.compute(cost);
+    if (st == nullptr) co_return;
+    // Rolling prune: drop pairs beyond the full list radius at the current
+    // positions — safe under the same Verlet-buffer argument as the list
+    // itself, and it keeps the working list short between rebuilds.
+    auto& lists = self->lists_[static_cast<std::size_t>(rank)];
+    const double rlist = self->workload_.plan.comm_cutoff;
+    lists.local.prune(self->workload_.plan.grid.box(), st->x, rlist);
+    lists.nonlocal.prune(self->workload_.plan.grid.box(), st->x, rlist);
+    co_return;
+  };
+  return spec;
+}
+
+// ---- step loop ----------------------------------------------------------
+
+sim::Task MdRunner::rank_loop(int rank, int steps) {
+  const auto& cm = machine_->cost();
+  RankStreams& s = streams_[static_cast<std::size_t>(rank)];
+  const bool shmem = config_.transport == halo::Transport::Shmem;
+  const bool tmpi = config_.transport == halo::Transport::ThreadMpi;
+  sim::Stream* upd = config_.third_stream_for_update ? s.update : s.local;
+
+  // CUDA-graph scheduling: the first step is captured at normal API cost;
+  // replays cost a single graph launch (MPI cannot be captured: its phases
+  // block the CPU mid-step).
+  const bool graphs_possible =
+      config_.use_cuda_graph && config_.transport != halo::Transport::Mpi;
+
+  for (int step = 0; step < steps; ++step) {
+    // Launch-ahead throttle: the host may run only a few steps ahead of
+    // the device (GROMACS launches tens of steps ahead; a small window
+    // keeps queues bounded without ever exposing launch latency).
+    if (step >= config_.launch_ahead_steps) {
+      co_await update_events_[static_cast<std::size_t>(rank)]
+          [static_cast<std::size_t>(step - config_.launch_ahead_steps)]
+              ->wait();
+    }
+    const bool graph_replay = graphs_possible && step >= 1;
+    const sim::SimTime launch_cost =
+        graph_replay ? 0 : cm.kernel_launch_ns;
+    const sim::SimTime event_cost = graph_replay ? 0 : cm.event_api_ns;
+    const sim::SimTime dispatch_cost =
+        graph_replay ? cm.graph_dispatch_ns : cm.kernel_dispatch_ns;
+    co_await sim::Delay{graph_replay ? cm.graph_launch_ns
+                                     : cm.host_step_overhead_ns};
+
+    sim::GpuEventPtr prev =
+        step > 0 ? update_events_[static_cast<std::size_t>(rank)]
+                                 [static_cast<std::size_t>(step - 1)]
+                 : nullptr;
+    if (prev != nullptr) {
+      // Positions/buffers of step-1 must be final before this step's force
+      // work (GPU-side ordering only — no CPU sync).
+      co_await sim::Delay{event_cost};
+      s.local->wait(prev);
+      co_await sim::Delay{event_cost};
+      s.nonlocal->wait(prev);
+    }
+
+    // 1. Local non-bonded F on the local stream.
+    co_await sim::Delay{launch_cost};
+    {
+      auto spec = nb_local_spec(rank, step);
+      spec.dispatch_ns = dispatch_cost;
+      s.local->launch(std::move(spec));
+    }
+    co_await sim::Delay{event_cost};
+    auto local_done = s.local->record();
+
+    // 2. Coordinate halo exchange.
+    if (shmem) {
+      for (auto& spec : shmem_->coord_kernels(rank, step)) {
+        co_await sim::Delay{launch_cost};
+        spec.dispatch_ns = dispatch_cost;
+        s.nonlocal->launch(std::move(spec));
+      }
+    } else if (tmpi) {
+      // Host-async event-driven enqueue; the "join" returns as soon as all
+      // launches are issued (the phase never blocks on the GPU).
+      auto done = std::make_shared<sim::GpuEvent>(machine_->engine());
+      machine_->spawn_host_task(tmpi_->coord_phase(rank, *s.nonlocal, step),
+                                [done] { done->complete(); });
+      co_await done->wait();
+    } else {
+      // CPU-blocking MPI phases (Fig. 1). Joined via completion event.
+      auto done = std::make_shared<sim::GpuEvent>(machine_->engine());
+      machine_->spawn_host_task(mpi_->coord_phase(rank, *s.nonlocal, step),
+                                [done] { done->complete(); });
+      co_await done->wait();
+    }
+
+    // 3. Bonded + non-local non-bonded F on the non-local stream.
+    co_await sim::Delay{launch_cost};
+    {
+      auto spec = bonded_spec(rank, step);
+      spec.dispatch_ns = dispatch_cost;
+      s.nonlocal->launch(std::move(spec));
+    }
+    co_await sim::Delay{launch_cost};
+    {
+      auto spec = nb_nonlocal_spec(rank, step);
+      spec.dispatch_ns = dispatch_cost;
+      s.nonlocal->launch(std::move(spec));
+    }
+
+    // 4. Force halo exchange.
+    if (shmem) {
+      for (auto& spec : shmem_->force_kernels(rank, step)) {
+        co_await sim::Delay{launch_cost};
+        spec.dispatch_ns = dispatch_cost;
+        s.nonlocal->launch(std::move(spec));
+      }
+    } else if (tmpi) {
+      auto done = std::make_shared<sim::GpuEvent>(machine_->engine());
+      machine_->spawn_host_task(tmpi_->force_phase(rank, *s.nonlocal, step),
+                                [done] { done->complete(); });
+      co_await done->wait();
+    } else {
+      auto done = std::make_shared<sim::GpuEvent>(machine_->engine());
+      machine_->spawn_host_task(mpi_->force_phase(rank, *s.nonlocal, step),
+                                [done] { done->complete(); });
+      co_await done->wait();
+    }
+
+    // 4b. Original (§5.4-off) schedule: prune on the non-local stream right
+    // after the force kernels, where it delays the reduction below.
+    const bool prune_step =
+        config_.prune_interval > 0 && step % config_.prune_interval == 0;
+    if (prune_step && !config_.prune_low_priority_stream) {
+      co_await sim::Delay{launch_cost};
+      s.nonlocal->launch(prune_spec(rank, step));
+    }
+
+    co_await sim::Delay{event_cost};
+    auto nonlocal_done = s.nonlocal->record();
+
+    // 5. Reduce + integrate + clear on the update stream (§5.4: medium
+    // priority so they preempt pruning).
+    co_await sim::Delay{event_cost};
+    upd->wait(local_done);
+    co_await sim::Delay{event_cost};
+    upd->wait(nonlocal_done);
+    co_await sim::Delay{launch_cost};
+    {
+      auto spec = reduce_spec(rank, step);
+      spec.dispatch_ns = dispatch_cost;
+      upd->launch(std::move(spec));
+    }
+    co_await sim::Delay{launch_cost};
+    {
+      auto spec = integrate_spec(rank, step);
+      spec.dispatch_ns = dispatch_cost;
+      upd->launch(std::move(spec));
+    }
+    co_await sim::Delay{launch_cost};
+    {
+      auto spec = clear_spec(rank, step);
+      spec.dispatch_ns = dispatch_cost;
+      upd->launch(std::move(spec));
+    }
+    co_await sim::Delay{event_cost};
+    auto update_done = upd->record();
+    update_events_[static_cast<std::size_t>(rank)].push_back(update_done);
+
+    auto* self = this;
+    update_done->when_complete([self, rank, step] {
+      self->per_rank_step_end_[static_cast<std::size_t>(rank)]
+          [static_cast<std::size_t>(step)] = self->machine_->engine().now();
+    });
+
+    // 6. Optimized schedule: prune at end of step on the low-priority
+    // stream, relaxed from the critical path (§5.4).
+    if (prune_step && config_.prune_low_priority_stream) {
+      co_await sim::Delay{event_cost};
+      s.prune->wait(update_done);
+      co_await sim::Delay{launch_cost};
+      s.prune->launch(prune_spec(rank, step));
+    }
+
+    // 7. Optional CPU-side PE barrier (§7 workaround).
+    if (config_.cpu_pe_barrier) {
+      co_await world_->barrier_all();
+    }
+  }
+}
+
+void MdRunner::run(int steps) {
+  assert(steps > 0);
+  for (int r = 0; r < num_ranks(); ++r) {
+    per_rank_step_end_[static_cast<std::size_t>(r)].assign(
+        static_cast<std::size_t>(steps), 0);
+    update_events_[static_cast<std::size_t>(r)].clear();
+    update_events_[static_cast<std::size_t>(r)].reserve(
+        static_cast<std::size_t>(steps));
+  }
+  for (int r = 0; r < num_ranks(); ++r) {
+    machine_->spawn_host_task(rank_loop(r, steps));
+  }
+  machine_->run();
+
+  step_end_times_.assign(static_cast<std::size_t>(steps), 0);
+  for (int step = 0; step < steps; ++step) {
+    sim::SimTime latest = 0;
+    for (int r = 0; r < num_ranks(); ++r) {
+      latest = std::max(latest,
+                        per_rank_step_end_[static_cast<std::size_t>(r)]
+                                          [static_cast<std::size_t>(step)]);
+    }
+    step_end_times_[static_cast<std::size_t>(step)] = latest;
+  }
+}
+
+PerfReport MdRunner::perf(int warmup) const {
+  PerfReport report;
+  const int steps = static_cast<int>(step_end_times_.size());
+  if (steps <= warmup + 1) return report;
+  const sim::SimTime window =
+      step_end_times_.back() - step_end_times_[static_cast<std::size_t>(warmup)];
+  report.measured_steps = steps - warmup - 1;
+  report.ms_per_step =
+      sim::to_ms(window) / static_cast<double>(report.measured_steps);
+  // ns/day = dt[fs] * 1e-6 [ns] * steps/day.
+  report.ns_per_day = 86.4 * config_.dt_fs / report.ms_per_step;
+  return report;
+}
+
+}  // namespace hs::runner

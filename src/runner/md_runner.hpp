@@ -1,0 +1,110 @@
+// The GPU-resident MD time-stepping loop (Algorithm 2 and Figs. 1-2).
+//
+// One host coroutine per rank issues, every step:
+//   local stream     : Local non-bonded F
+//   non-local stream : coordinate halo, Bonded F, Non-local non-bonded F,
+//                      force halo
+//   update stream    : ReduceF, Integrate, Clear   (medium priority, §5.4)
+//   prune stream     : Rolling prune               (low priority, §5.4)
+//
+// With the SHMEM transport the loop launches everything asynchronously and
+// never blocks on the GPU (Fig. 2); with MPI it blocks per pulse for the
+// stream-sync + sendrecv round trips (Fig. 1). In functional mode the
+// kernels run the real MD math against the DomainStates; in skeleton mode
+// they only advance the clock.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "halo/mpi_halo.hpp"
+#include "halo/shmem_halo.hpp"
+#include "halo/tmpi_halo.hpp"
+#include "md/integrator.hpp"
+#include "md/nonbonded.hpp"
+#include "runner/config.hpp"
+
+namespace hs::runner {
+
+struct PerfReport {
+  double ms_per_step = 0.0;
+  double ns_per_day = 0.0;
+  int measured_steps = 0;
+};
+
+class MdRunner {
+ public:
+  /// `ff` is required in functional mode (workload carries states) and
+  /// ignored in skeleton mode.
+  MdRunner(sim::Machine& machine, pgas::World& world, msg::Comm& comm,
+           halo::Workload workload, RunConfig config,
+           const md::ForceField* ff = nullptr);
+
+  /// Run `steps` MD steps to completion (drives the engine).
+  void run(int steps);
+
+  /// Wall-clock completion time of each step (max over ranks).
+  const std::vector<sim::SimTime>& step_end_times() const {
+    return step_end_times_;
+  }
+
+  /// Performance over the measured window, skipping `warmup` steps.
+  PerfReport perf(int warmup = 2) const;
+
+  int num_ranks() const { return workload_.plan.grid.num_ranks(); }
+  const halo::Workload& workload() const { return workload_; }
+  sim::Machine& machine() { return *machine_; }
+
+  /// Pair-list sizes after the run (functional mode; tests/pruning).
+  const std::vector<dd::RankPairLists>& pair_lists() const { return lists_; }
+
+ private:
+  struct RankStreams {
+    sim::Stream* local = nullptr;
+    sim::Stream* nonlocal = nullptr;
+    sim::Stream* update = nullptr;
+    sim::Stream* prune = nullptr;
+  };
+
+  dd::DomainState* state(int rank) {
+    return workload_.functional()
+               ? &(*workload_.states)[static_cast<std::size_t>(rank)]
+               : nullptr;
+  }
+  int local_pairs_atoms(int rank) const;   // cost-model input
+  int nonlocal_pairs_atoms(int rank) const;
+
+  sim::Task rank_loop(int rank, int steps);
+
+  sim::KernelSpec nb_local_spec(int rank, std::int64_t step);
+  sim::KernelSpec bonded_spec(int rank, std::int64_t step);
+  sim::KernelSpec nb_nonlocal_spec(int rank, std::int64_t step);
+  sim::KernelSpec reduce_spec(int rank, std::int64_t step);
+  sim::KernelSpec integrate_spec(int rank, std::int64_t step);
+  sim::KernelSpec clear_spec(int rank, std::int64_t step);
+  sim::KernelSpec prune_spec(int rank, std::int64_t step);
+
+  sim::Machine* machine_;
+  pgas::World* world_;
+  msg::Comm* comm_;
+  halo::Workload workload_;
+  RunConfig config_;
+  const md::ForceField* ff_;
+  std::optional<md::LeapfrogIntegrator> integrator_;
+
+  std::unique_ptr<halo::ShmemHaloExchange> shmem_;
+  std::unique_ptr<halo::MpiHaloExchange> mpi_;
+  std::unique_ptr<halo::ThreadMpiHaloExchange> tmpi_;
+
+  std::vector<RankStreams> streams_;
+  std::vector<dd::RankPairLists> lists_;
+  std::vector<std::vector<md::Vec3>> f_local_;  // per rank, home atoms
+
+  // update-event ring per rank for ordering + launch-ahead throttling.
+  std::vector<std::vector<sim::GpuEventPtr>> update_events_;
+  std::vector<std::vector<sim::SimTime>> per_rank_step_end_;
+  std::vector<sim::SimTime> step_end_times_;
+};
+
+}  // namespace hs::runner

@@ -1,0 +1,398 @@
+#include "runner/pme_flow.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "md/fft.hpp"
+
+namespace hs::runner {
+
+namespace {
+
+sim::SimTime ns(double v) { return static_cast<sim::SimTime>(std::llround(v)); }
+
+struct FlowState {
+  sim::Machine* machine;
+  pgas::World* world;
+  PmeFlowConfig config;
+
+  std::vector<sim::Stream*> pp_streams;
+  std::vector<sim::Stream*> pme_streams;
+  // Per-PME-rank cumulative arrival counter (each client adds 1 per step).
+  pgas::World::SignalArray x_arrived{};
+  // Per-PP-rank long-range-force-ready signal (stores step+1).
+  pgas::World::SignalArray f_ready{};
+
+  // Timing probes.
+  std::vector<std::vector<sim::SimTime>> step_end;     // [pp][step]
+  std::vector<std::vector<sim::SimTime>> nb_done;      // [pp][step]
+  std::vector<std::vector<sim::SimTime>> f_arrived_at; // [pp][step]
+
+  int pme_server_of(int pp) const {
+    return config.n_pp_ranks +
+           pp * config.n_pme_ranks / config.n_pp_ranks;
+  }
+  std::vector<int> clients_of(int pme) const {
+    std::vector<int> out;
+    for (int pp = 0; pp < config.n_pp_ranks; ++pp) {
+      if (pme_server_of(pp) == config.n_pp_ranks + pme) out.push_back(pp);
+    }
+    return out;
+  }
+  std::size_t grid_points() const {
+    return static_cast<std::size_t>(config.pme_grid[0]) *
+           static_cast<std::size_t>(config.pme_grid[1]) *
+           static_cast<std::size_t>(config.pme_grid[2]);
+  }
+};
+
+sim::KernelSpec simple_kernel(const sim::CostModel& cm, std::string name,
+                              double cost, double demand, std::int64_t step) {
+  sim::KernelSpec spec;
+  spec.name = std::move(name);
+  spec.sm_demand = demand;
+  spec.tag = step;
+  spec.dispatch_ns = cm.kernel_dispatch_ns;
+  spec.body = [cost](sim::KernelContext& ctx) -> sim::Task {
+    co_await ctx.compute(cost);
+  };
+  return spec;
+}
+
+/// PP rank host loop: local short-range work + coordinate send to the PME
+/// server + wait for long-range forces + update.
+sim::Task pp_loop(FlowState* fs, int pp) {
+  const auto& cm = fs->machine->cost();
+  sim::Stream& stream = *fs->pp_streams[static_cast<std::size_t>(pp)];
+  const int atoms = fs->config.atoms_per_pp_rank;
+  const int server = fs->pme_server_of(pp);
+  const std::size_t bytes = static_cast<std::size_t>(atoms) * 12;
+  const bool gpu_initiated =
+      fs->config.comm_mode == PmeCommMode::GpuInitiated;
+
+  for (int step = 0; step < fs->config.steps; ++step) {
+    const std::int64_t sigval = step + 1;
+    co_await sim::Delay{cm.host_step_overhead_ns};
+
+    // Local short-range force work.
+    co_await sim::Delay{cm.kernel_launch_ns};
+    {
+      auto spec = simple_kernel(cm, "nb_local", cm.nb_local_cost(atoms),
+                                cm.nb_demand, step);
+      auto* fs2 = fs;
+      spec.on_complete = [fs2, pp, step] {
+        fs2->nb_done[static_cast<std::size_t>(pp)][static_cast<std::size_t>(step)] =
+            fs2->machine->engine().now();
+      };
+      stream.launch(std::move(spec));
+    }
+
+    // Ship coordinates to the PME server.
+    if (gpu_initiated) {
+      // §7 future work: pack + device-initiated put-with-signal, fused into
+      // one kernel; no CPU involvement.
+      co_await sim::Delay{cm.kernel_launch_ns};
+      sim::KernelSpec spec;
+      spec.name = "FusedPackPmeX";
+      spec.sm_demand = cm.comm_demand;
+      spec.tag = step;
+      spec.dispatch_ns = cm.kernel_dispatch_ns;
+      auto* fs2 = fs;
+      spec.body = [fs2, pp, server, atoms, bytes,
+                   sigval](sim::KernelContext& ctx) -> sim::Task {
+        (void)ctx;
+        const auto& cost = fs2->machine->cost();
+        co_await sim::Delay{ns(cost.pack_cost(atoms))};
+        co_await sim::Delay{cost.shmem_put_issue_ns};
+        sim::Signal& arrived =
+            fs2->world->signal(fs2->x_arrived, server, 0);
+        fs2->world->put_nbi(pp, server, bytes,
+                            [&arrived] { arrived.add(1); });
+      };
+      stream.launch(std::move(spec));
+    } else {
+      // Today's flow: pack kernel, stream sync, CPU-initiated send.
+      co_await sim::Delay{cm.kernel_launch_ns};
+      stream.launch(simple_kernel(cm, "PackPmeX", cm.pack_cost(atoms),
+                                  cm.pack_demand, step));
+      co_await sim::Delay{cm.event_api_ns};
+      auto packed = stream.record();
+      co_await sim::Delay{cm.stream_sync_ns};
+      co_await packed->wait();
+      co_await sim::Delay{cm.mpi_call_ns};
+      auto* fs2 = fs;
+      sim::TransferRequest req;
+      req.src_device = pp;
+      req.dst_device = server;
+      req.bytes = bytes;
+      req.deliver = [fs2, server] {
+        fs2->world->signal(fs2->x_arrived, server, 0).add(1);
+      };
+      const sim::SimTime protocol =
+          fs->machine->fabric().link(pp, server) == sim::LinkType::IB
+              ? cm.mpi_protocol_ib_ns
+              : cm.mpi_protocol_nvlink_ns;
+      auto sent = std::make_shared<sim::GpuEvent>(fs->machine->engine());
+      auto* engine = &fs->machine->engine();
+      fs->machine->fabric().transfer(std::move(req), [engine, protocol, sent] {
+        engine->schedule_after(protocol, [sent] { sent->complete(); });
+      });
+      co_await sent->wait();
+    }
+
+    // Wait for the long-range forces.
+    sim::Signal& ready = fs->world->signal(fs->f_ready, pp, 0);
+    if (gpu_initiated) {
+      // Device-side wait inside the reduction kernel: the host keeps going.
+      co_await sim::Delay{cm.kernel_launch_ns};
+      sim::KernelSpec spec;
+      spec.name = "reduce_pme";
+      spec.sm_demand = cm.service_demand;
+      spec.tag = step;
+      spec.dispatch_ns = cm.kernel_dispatch_ns;
+      auto* fs2 = fs;
+      spec.body = [fs2, pp, atoms, sigval,
+                   &ready](sim::KernelContext& ctx) -> sim::Task {
+        const auto& cost = fs2->machine->cost();
+        const bool was_ready = ready.value() >= sigval;
+        co_await ready.wait_ge(sigval);
+        if (!was_ready) co_await sim::Delay{cost.signal_poll_ns};
+        fs2->f_arrived_at[static_cast<std::size_t>(pp)]
+                         [static_cast<std::size_t>(sigval - 1)] =
+            fs2->machine->engine().now();
+        co_await ctx.compute(cost.reduce_cost(atoms));
+      };
+      stream.launch(std::move(spec));
+    } else {
+      // CPU blocks until the force message lands, then launches the reduce.
+      co_await sim::Delay{cm.stream_sync_ns};
+      co_await ready.wait_ge(sigval);
+      fs->f_arrived_at[static_cast<std::size_t>(pp)]
+                      [static_cast<std::size_t>(step)] =
+          fs->machine->engine().now();
+      co_await sim::Delay{cm.kernel_launch_ns};
+      stream.launch(simple_kernel(cm, "reduce_pme", cm.reduce_cost(atoms),
+                                  cm.service_demand, step));
+    }
+
+    // Integrate and close the step.
+    co_await sim::Delay{cm.kernel_launch_ns};
+    stream.launch(simple_kernel(cm, "integrate", cm.integrate_cost(atoms),
+                                cm.service_demand, step));
+    co_await sim::Delay{cm.event_api_ns};
+    auto done = stream.record();
+    co_await done->wait();
+    fs->step_end[static_cast<std::size_t>(pp)][static_cast<std::size_t>(step)] =
+        fs->machine->engine().now();
+  }
+}
+
+/// PME rank host loop: wait for all clients' coordinates, run the solve
+/// chain, return forces.
+sim::Task pme_loop(FlowState* fs, int pme_index) {
+  const auto& cm = fs->machine->cost();
+  sim::Stream& stream = *fs->pme_streams[static_cast<std::size_t>(pme_index)];
+  const int device = fs->config.n_pp_ranks + pme_index;
+  const auto clients = fs->clients_of(pme_index);
+  const double grid_pts = static_cast<double>(fs->grid_points());
+  const int total_atoms =
+      fs->config.atoms_per_pp_rank * static_cast<int>(clients.size());
+  const bool gpu_initiated =
+      fs->config.comm_mode == PmeCommMode::GpuInitiated;
+
+  for (int step = 0; step < fs->config.steps; ++step) {
+    const std::int64_t sigval = step + 1;
+    sim::Signal& arrived = fs->world->signal(fs->x_arrived, device, 0);
+    const std::int64_t expected =
+        static_cast<std::int64_t>(clients.size()) * sigval;
+
+    if (!gpu_initiated) {
+      // CPU waits for all coordinate messages before launching the chain.
+      co_await arrived.wait_ge(expected);
+    }
+
+    if (gpu_initiated) {
+      // The spread kernel itself waits for arrivals (device-side); all
+      // launches go out immediately.
+      co_await sim::Delay{cm.kernel_launch_ns};
+      sim::KernelSpec spread;
+      spread.name = "pme_spread";
+      spread.sm_demand = cm.nb_demand;
+      spread.tag = step;
+      spread.dispatch_ns = cm.kernel_dispatch_ns;
+      auto* fs2 = fs;
+      spread.body = [fs2, total_atoms, expected,
+                     &arrived](sim::KernelContext& ctx) -> sim::Task {
+        const auto& cost = fs2->machine->cost();
+        const bool was_ready = arrived.value() >= expected;
+        co_await arrived.wait_ge(expected);
+        if (!was_ready) co_await sim::Delay{cost.signal_poll_ns};
+        co_await ctx.compute(cost.pme_kernel_overhead_ns +
+                             cost.pme_spread_ns_per_atom * total_atoms);
+      };
+      stream.launch(std::move(spread));
+    } else {
+      co_await sim::Delay{cm.kernel_launch_ns};
+      stream.launch(simple_kernel(
+          cm, "pme_spread",
+          cm.pme_kernel_overhead_ns + cm.pme_spread_ns_per_atom * total_atoms,
+          cm.nb_demand, step));
+    }
+    // FFT -> convolution -> inverse FFT -> gather.
+    co_await sim::Delay{cm.kernel_launch_ns};
+    stream.launch(simple_kernel(
+        cm, "pme_fft_fwd",
+        cm.pme_kernel_overhead_ns + cm.pme_fft_ns_per_point * grid_pts,
+        cm.nb_demand, step));
+    co_await sim::Delay{cm.kernel_launch_ns};
+    stream.launch(simple_kernel(
+        cm, "pme_conv",
+        cm.pme_kernel_overhead_ns + cm.pme_conv_ns_per_point * grid_pts,
+        cm.service_demand, step));
+    co_await sim::Delay{cm.kernel_launch_ns};
+    stream.launch(simple_kernel(
+        cm, "pme_fft_inv",
+        cm.pme_kernel_overhead_ns + cm.pme_fft_ns_per_point * grid_pts,
+        cm.nb_demand, step));
+    co_await sim::Delay{cm.kernel_launch_ns};
+    stream.launch(simple_kernel(
+        cm, "pme_gather",
+        cm.pme_kernel_overhead_ns + cm.pme_gather_ns_per_atom * total_atoms,
+        cm.nb_demand, step));
+
+    // Return forces to every client.
+    if (gpu_initiated) {
+      // Fused into a send kernel: device-initiated put-with-signal per
+      // client, issued as soon as the gather (stream order) finishes.
+      co_await sim::Delay{cm.kernel_launch_ns};
+      sim::KernelSpec send;
+      send.name = "FusedSendPmeF";
+      send.sm_demand = cm.comm_demand;
+      send.tag = step;
+      send.dispatch_ns = cm.kernel_dispatch_ns;
+      auto* fs2 = fs;
+      const std::size_t bytes =
+          static_cast<std::size_t>(fs->config.atoms_per_pp_rank) * 12;
+      send.body = [fs2, clients, bytes, device,
+                   sigval](sim::KernelContext& ctx) -> sim::Task {
+        (void)ctx;
+        const auto& cost = fs2->machine->cost();
+        for (int client : clients) {
+          co_await sim::Delay{cost.shmem_put_issue_ns};
+          sim::Signal& ready = fs2->world->signal(fs2->f_ready, client, 0);
+          fs2->world->put_signal_nbi(device, client, bytes, {}, ready, sigval);
+        }
+        co_return;
+      };
+      stream.launch(std::move(send));
+    } else {
+      co_await sim::Delay{cm.event_api_ns};
+      auto gathered = stream.record();
+      co_await sim::Delay{cm.stream_sync_ns};
+      co_await gathered->wait();
+      for (int client : clients) {
+        co_await sim::Delay{cm.mpi_call_ns};
+        sim::TransferRequest req;
+        req.src_device = device;
+        req.dst_device = client;
+        req.bytes = static_cast<std::size_t>(fs->config.atoms_per_pp_rank) * 12;
+        auto* fs2 = fs;
+        const sim::SimTime protocol =
+            fs->machine->fabric().link(device, client) == sim::LinkType::IB
+                ? cm.mpi_protocol_ib_ns
+                : cm.mpi_protocol_nvlink_ns;
+        auto* engine = &fs->machine->engine();
+        req.deliver = {};
+        fs->machine->fabric().transfer(
+            std::move(req), [fs2, engine, protocol, client, sigval] {
+              engine->schedule_after(protocol, [fs2, client, sigval] {
+                fs2->world->signal(fs2->f_ready, client, 0).store(sigval);
+              });
+            });
+      }
+    }
+  }
+}
+
+}  // namespace
+
+PmeFlowReport run_pme_flow(sim::Machine& machine, pgas::World& world,
+                           const PmeFlowConfig& config) {
+  if (machine.device_count() != config.n_pp_ranks + config.n_pme_ranks) {
+    throw std::invalid_argument("pme_flow: device count != pp + pme ranks");
+  }
+  if (config.n_pp_ranks % config.n_pme_ranks != 0) {
+    throw std::invalid_argument("pme_flow: pp ranks must divide evenly");
+  }
+
+  FlowState fs;
+  fs.machine = &machine;
+  fs.world = &world;
+  fs.config = config;
+  fs.x_arrived = world.alloc_signals(1);
+  fs.f_ready = world.alloc_signals(1);
+  fs.step_end.assign(static_cast<std::size_t>(config.n_pp_ranks),
+                     std::vector<sim::SimTime>(
+                         static_cast<std::size_t>(config.steps), 0));
+  fs.nb_done = fs.step_end;
+  fs.f_arrived_at = fs.step_end;
+
+  // Team-scoped symmetric buffers: PP-only halo/coordinate space and
+  // PME-only mesh space coexist without redundant cross allocations (§5.3
+  // resolved via the team extension).
+  std::vector<int> pp_members, pme_members;
+  for (int r = 0; r < config.n_pp_ranks; ++r) pp_members.push_back(r);
+  for (int r = 0; r < config.n_pme_ranks; ++r) {
+    pme_members.push_back(config.n_pp_ranks + r);
+  }
+  pgas::Team& pp_team = world.create_team(pp_members, 32u << 20);
+  pgas::Team& pme_team = world.create_team(pme_members, 64u << 20);
+  pp_team.alloc(static_cast<std::size_t>(config.atoms_per_pp_rank) * 12 * 2);
+  pme_team.alloc(fs.grid_points() * sizeof(md::Complex));
+
+  for (int r = 0; r < config.n_pp_ranks; ++r) {
+    fs.pp_streams.push_back(&machine.create_stream(
+        r, "pp" + std::to_string(r), sim::StreamPriority::kHigh));
+  }
+  for (int r = 0; r < config.n_pme_ranks; ++r) {
+    fs.pme_streams.push_back(&machine.create_stream(
+        config.n_pp_ranks + r, "pme" + std::to_string(r),
+        sim::StreamPriority::kHigh));
+  }
+
+  for (int r = 0; r < config.n_pp_ranks; ++r) {
+    machine.spawn_host_task(pp_loop(&fs, r));
+  }
+  for (int r = 0; r < config.n_pme_ranks; ++r) {
+    machine.spawn_host_task(pme_loop(&fs, r));
+  }
+  machine.run();
+
+  PmeFlowReport report;
+  const int warmup = 2;
+  if (config.steps <= warmup + 1) return report;
+  sim::SimTime first = 0, last = 0;
+  double wait_sum = 0.0;
+  int wait_samples = 0;
+  for (int r = 0; r < config.n_pp_ranks; ++r) {
+    first = std::max(first, fs.step_end[static_cast<std::size_t>(r)]
+                                       [static_cast<std::size_t>(warmup)]);
+    last = std::max(last, fs.step_end[static_cast<std::size_t>(r)].back());
+    for (int s = warmup; s < config.steps; ++s) {
+      const sim::SimTime nb =
+          fs.nb_done[static_cast<std::size_t>(r)][static_cast<std::size_t>(s)];
+      const sim::SimTime fa = fs.f_arrived_at[static_cast<std::size_t>(r)]
+                                             [static_cast<std::size_t>(s)];
+      wait_sum += sim::to_us(std::max<sim::SimTime>(0, fa - nb));
+      ++wait_samples;
+    }
+  }
+  report.measured_steps = config.steps - warmup - 1;
+  report.us_per_step =
+      sim::to_us(last - first) / static_cast<double>(report.measured_steps);
+  if (wait_samples > 0) report.pme_wait_us = wait_sum / wait_samples;
+  return report;
+}
+
+}  // namespace hs::runner

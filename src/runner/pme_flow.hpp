@@ -1,0 +1,53 @@
+// PP/PME rank-specialization flow (§2.2 background, §5.3 constraint, §7
+// future work).
+//
+// GROMACS dedicates a subset of ranks to the 3D-FFT-based PME long-range
+// solve (MPMD rank specialization). Every step, each PP rank ships its
+// coordinates to its PME server and receives long-range forces back; the
+// PME rank runs spread -> forward FFT -> reciprocal convolution -> inverse
+// FFT -> force gather. The paper identifies the PP<->PME communication as
+// the next target for GPU-initiated communication ("which will be key to
+// fully unlock the scalability potential", §7) — this module models both
+// today's CPU-initiated flow and that future GPU-initiated flow on the
+// simulated cluster, and uses the pgas Team extension for the PP-only /
+// PME-only symmetric buffers that §5.3 shows are impossible with
+// world-collective allocation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pgas/team.hpp"
+#include "pgas/world.hpp"
+#include "sim/machine.hpp"
+
+namespace hs::runner {
+
+enum class PmeCommMode {
+  CpuInitiated,  // today's GROMACS: stream sync + MPI-style send per step
+  GpuInitiated,  // §7 future work: device-side put-with-signal, no CPU sync
+};
+
+struct PmeFlowConfig {
+  int n_pp_ranks = 3;
+  int n_pme_ranks = 1;
+  int atoms_per_pp_rank = 30000;
+  std::array<int, 3> pme_grid = {64, 64, 64};
+  PmeCommMode comm_mode = PmeCommMode::CpuInitiated;
+  int steps = 12;
+};
+
+struct PmeFlowReport {
+  double us_per_step = 0.0;
+  /// Mean exposed PP-side wait for long-range forces (µs/step).
+  double pme_wait_us = 0.0;
+  int measured_steps = 0;
+};
+
+/// Run the specialized-rank pipeline on a machine whose first
+/// n_pp_ranks devices are PP ranks and the rest PME ranks. Timing-level
+/// (skeleton) simulation using the machine's cost model.
+PmeFlowReport run_pme_flow(sim::Machine& machine, pgas::World& world,
+                           const PmeFlowConfig& config);
+
+}  // namespace hs::runner

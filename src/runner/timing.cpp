@@ -1,0 +1,119 @@
+#include "runner/timing.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <vector>
+
+namespace hs::runner {
+
+bool is_pack_kernel(std::string_view name) {
+  return name.starts_with("FusedPackCommX") || name.starts_with("PackCommX") ||
+         name.starts_with("PackX");
+}
+
+bool is_unpack_kernel(std::string_view name) {
+  return name.starts_with("FusedCommUnpackF") ||
+         name.starts_with("CommUnpackF") || name.starts_with("UnpackF");
+}
+
+DeviceTimingReport analyze_device_timing(
+    const sim::Trace& trace, const std::vector<sim::SimTime>& step_end_times,
+    int n_ranks, int warmup) {
+  struct Cell {
+    sim::SimTime local_begin = sim::kNever;
+    sim::SimTime local_end = -1;
+    sim::SimTime pack_begin = sim::kNever;
+    sim::SimTime unpack_end = -1;
+  };
+  // (rank, step) -> interval endpoints.
+  std::map<std::pair<int, std::int64_t>, Cell> cells;
+
+  const auto n_steps = static_cast<std::int64_t>(step_end_times.size());
+  for (const auto& rec : trace.records()) {
+    if (rec.step < warmup || rec.step >= n_steps) continue;
+    Cell& c = cells[{rec.device, rec.step}];
+    if (rec.name == "nb_local") {
+      c.local_begin = std::min(c.local_begin, rec.begin);
+      c.local_end = std::max(c.local_end, rec.end);
+    } else if (is_pack_kernel(rec.name)) {
+      c.pack_begin = std::min(c.pack_begin, rec.begin);
+    } else if (is_unpack_kernel(rec.name)) {
+      c.unpack_end = std::max(c.unpack_end, rec.end);
+    }
+  }
+
+  DeviceTimingReport rep;
+  double local = 0, nonlocal = 0, nonoverlap = 0;
+  int samples = 0;
+  for (const auto& [key, c] : cells) {
+    if (c.local_end < 0 || c.unpack_end < 0 || c.pack_begin == sim::kNever) {
+      continue;  // incomplete step (e.g. truncated trace)
+    }
+    local += sim::to_us(c.local_end - c.local_begin);
+    nonlocal += sim::to_us(c.unpack_end - c.pack_begin);
+    nonoverlap += sim::to_us(std::max<sim::SimTime>(0, c.unpack_end - c.local_end));
+    ++samples;
+  }
+  if (samples > 0) {
+    rep.local_us = local / samples;
+    rep.nonlocal_us = nonlocal / samples;
+    rep.nonoverlap_us = nonoverlap / samples;
+  }
+  (void)n_ranks;
+
+  if (n_steps > warmup + 1) {
+    const sim::SimTime window =
+        step_end_times.back() -
+        step_end_times[static_cast<std::size_t>(warmup)];
+    rep.measured_steps = static_cast<int>(n_steps) - warmup - 1;
+    rep.step_us = sim::to_us(window) / rep.measured_steps;
+    rep.other_us = std::max(0.0, rep.step_us - rep.local_us - rep.nonoverlap_us);
+  }
+  return rep;
+}
+
+void render_timeline(const sim::Trace& trace, int device, std::int64_t step,
+                     std::ostream& os, int width) {
+  std::vector<sim::TraceRecord> recs;
+  for (const auto& r : trace.records()) {
+    if (r.device == device && r.step == step) recs.push_back(r);
+  }
+  if (recs.empty()) {
+    os << "(no trace records for device " << device << ", step " << step
+       << ")\n";
+    return;
+  }
+  sim::SimTime t0 = recs.front().begin, t1 = recs.front().end;
+  for (const auto& r : recs) {
+    t0 = std::min(t0, r.begin);
+    t1 = std::max(t1, r.end);
+  }
+  std::sort(recs.begin(), recs.end(), [](const auto& a, const auto& b) {
+    if (a.stream != b.stream) return a.stream < b.stream;
+    return a.begin < b.begin;
+  });
+  const double scale = static_cast<double>(width) /
+                       static_cast<double>(std::max<sim::SimTime>(1, t1 - t0));
+  std::string last_stream;
+  os << std::fixed << std::setprecision(1);
+  for (const auto& r : recs) {
+    if (r.stream != last_stream) {
+      os << r.stream << ":\n";
+      last_stream = r.stream;
+    }
+    const int b = static_cast<int>(static_cast<double>(r.begin - t0) * scale);
+    const int e =
+        std::max(b + 1, static_cast<int>(static_cast<double>(r.end - t0) * scale));
+    std::string bar(static_cast<std::size_t>(width + 1), ' ');
+    for (int i = b; i < std::min(e, width); ++i) {
+      bar[static_cast<std::size_t>(i)] = '#';
+    }
+    os << "  |" << bar << "| " << r.name << "  [" << sim::to_us(r.begin - t0)
+       << " - " << sim::to_us(r.end - t0) << " us]\n";
+  }
+  os << "  window: " << sim::to_us(t1 - t0) << " us\n";
+}
+
+}  // namespace hs::runner

@@ -1,0 +1,50 @@
+// Device-side timing analysis — the §6.3 methodology.
+//
+// From the kernel trace (the simulated %%globaltimer records), computes per
+// step and per rank:
+//   * Local work:     start -> end of the local non-bonded kernel;
+//   * Non-local work: start of the first pack to the end of the last
+//                     unpack (coordinate-halo kernel start to force-halo
+//                     kernel end);
+//   * Non-overlap:    end of the local non-bonded kernel to the end of the
+//                     last unpack, clamped at zero;
+// and reports averages over the measured steps, plus the mean time per
+// step (from the runner's step-completion timestamps) and the residual
+// "other" per-step work.
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace hs::runner {
+
+struct DeviceTimingReport {
+  double local_us = 0.0;
+  double nonlocal_us = 0.0;
+  double nonoverlap_us = 0.0;
+  double step_us = 0.0;
+  double other_us = 0.0;  // step - local - nonoverlap, clamped at zero
+  int measured_steps = 0;
+};
+
+/// True if the kernel participates in the halo "pack"/coordinate phase.
+bool is_pack_kernel(std::string_view name);
+/// True if the kernel participates in the halo "unpack"/force phase.
+bool is_unpack_kernel(std::string_view name);
+
+/// Analyze a trace over steps [warmup, n_steps). `step_end_times` comes
+/// from MdRunner::step_end_times().
+DeviceTimingReport analyze_device_timing(
+    const sim::Trace& trace, const std::vector<sim::SimTime>& step_end_times,
+    int n_ranks, int warmup = 2);
+
+/// Render one device's kernel timeline for one step as an ASCII Gantt chart
+/// (the Figs. 1-2 schedule illustrations), grouped by stream.
+void render_timeline(const sim::Trace& trace, int device, std::int64_t step,
+                     std::ostream& os, int width = 72);
+
+}  // namespace hs::runner

@@ -1,0 +1,34 @@
+#include "sim/costmodel.hpp"
+
+namespace hs::sim {
+
+CostModel CostModel::h100_eos() {
+  CostModel cm;  // defaults are the H100 calibration
+  cm.fabric.loopback = LinkParams{100, 0, 1500.0};
+  // NVLink 4.0: 450 GB/s/dir peak, ~300 GB/s effective => 300 B/ns.
+  cm.fabric.nvlink = LinkParams{1200, 250, 300.0};
+  // ConnectX-7 NDR 400G: 50 GB/s peak, ~45 B/ns effective; rendezvous-ish
+  // per-message overhead.
+  cm.fabric.ib = LinkParams{3000, 1500, 45.0};
+  return cm;
+}
+
+CostModel CostModel::gb200_nvl72() {
+  CostModel cm = h100_eos();
+  // GB200: ~1.8x H100 effective FP32 throughput on these kernels.
+  const double speedup = 1.35;
+  cm.nb_local_ns_per_atom /= speedup;
+  cm.nb_nonlocal_ns_per_atom /= speedup;
+  cm.bonded_ns_per_atom /= speedup;
+  cm.pack_ns_per_atom /= speedup;
+  cm.unpack_ns_per_atom /= speedup;
+  cm.integrate_ns_per_atom /= speedup;
+  cm.reduce_ns_per_atom /= speedup;
+  cm.prune_ns_per_atom /= speedup;
+  // NVLink 5: ~2x bandwidth, slightly lower latency; rack-scale NVSwitch
+  // adds a hop vs in-node.
+  cm.fabric.nvlink = LinkParams{1100, 140, 550.0};
+  return cm;
+}
+
+}  // namespace hs::sim

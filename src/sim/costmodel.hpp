@@ -1,0 +1,137 @@
+// The calibrated cost model.
+//
+// Every latency/throughput constant the simulation uses lives here, with
+// its paper provenance. Defaults target the paper's H100 Eos numbers
+// (§3 launch/API overheads; §6.3 per-kernel device timings); a calibration
+// test asserts the assembled model lands on the published values.
+#pragma once
+
+#include "sim/fabric.hpp"
+#include "sim/time.hpp"
+
+namespace hs::sim {
+
+struct CostModel {
+  // ---- CPU-side API costs (§3: launches 2-10 us, event mgmt < 1 us) ----
+  SimTime kernel_launch_ns = 4000;  // one kernel-launch API call
+  SimTime event_api_ns = 600;       // event record/wait/query API call
+  SimTime stream_sync_ns = 4000;    // blocking CPU sync entry/exit overhead
+  SimTime mpi_call_ns = 4000;       // CPU cost of one MPI send+recv pair
+  // Per-message GPU-aware MPI library overhead (rendezvous handshake,
+  // progress, staging), applied by msg::Comm on top of the wire time.
+  // The intra-node (NVLink) path is markedly slower per message than the
+  // tuned IB RDMA path — Open MPI/UCX routes device buffers through the
+  // CUDA-IPC staging machinery — which is what makes the paper's intra-node
+  // MPI halo so expensive at small sizes (Fig. 6: 116 us for one pulse).
+  SimTime mpi_protocol_nvlink_ns = 14000;
+  SimTime mpi_protocol_ib_ns = 7000;
+  SimTime host_step_overhead_ns = 2000;  // per-step CPU bookkeeping
+  SimTime graph_launch_ns = 7000;
+  // Device-side per-kernel dispatch overhead (grid setup between the stream
+  // becoming ready and the kernel starting). Pre-instantiated graph nodes
+  // dispatch much faster — the device-side half of the CUDA-graph benefit.
+  SimTime kernel_dispatch_ns = 1200;
+  SimTime graph_dispatch_ns = 250;   // one cudaGraphLaunch replacing the
+                                    // step's ~20 launch + ~30 event calls
+                                    // (§3: CUDA-graph scheduling of a step)
+
+  // ---- Non-bonded force kernels (§6.3: 1.7-2.0 ns/atom local) ----
+  double nb_local_ns_per_atom = 1.65;
+  double nb_local_overhead_ns = 3500;
+  // Non-local pairs involve halo atoms; per-halo-atom cost is higher since
+  // pair density at the boundary is similar but list efficiency is lower.
+  double nb_nonlocal_ns_per_atom = 1.6;
+  double nb_nonlocal_overhead_ns = 9000;
+  double bonded_ns_per_atom = 0.18;
+  double bonded_overhead_ns = 3000;
+
+  // ---- Pack/unpack and per-step service kernels ----
+  double pack_ns_per_atom = 0.25;      // per packed halo atom
+  double pack_overhead_ns = 5000;      // kernel ramp-up/down
+  double unpack_ns_per_atom = 0.35;    // unpack/accumulate (atomicAdd)
+  double unpack_overhead_ns = 5000;
+  double integrate_ns_per_atom = 0.30;
+  double integrate_overhead_ns = 12000;
+  double reduce_ns_per_atom = 0.15;
+  double reduce_overhead_ns = 6000;
+  double prune_ns_per_atom = 0.25;
+  double prune_overhead_ns = 4000;
+  double clear_ns_per_atom = 0.06;
+  double clear_overhead_ns = 4000;
+
+  // ---- SM demands (fractions of the device) ----
+  // At the benchmarked sizes (<= ~100k atoms/GPU) the force kernels do not
+  // saturate an H100; co-resident kernels mostly fill idle SMs, so demands
+  // sum near 1 and mutual stretching is mild (the latency-hiding the paper
+  // leans on).
+  double nb_demand = 0.50;        // each force kernel
+  double service_demand = 0.30;   // integrate/reduce/prune/clear
+  double comm_demand = 0.12;      // fused halo kernels: "NVSHMEM's SM
+                                  // resource-sharing overhead" (§6)
+  double pack_demand = 0.35;      // MPI-path pack/unpack kernels
+
+  // ---- Device-initiated communication (NVSHMEM-style) ----
+  SimTime signal_release_ns = 1000;  // st.release.sys.global
+  SimTime signal_relaxed_ns = 400;  // st.relaxed.sys.global
+  SimTime signal_poll_ns = 1500;     // acquire-wait granularity: the gap
+                                    // between a signal landing and the
+                                    // polling warp observing it
+  SimTime tma_issue_ns = 500;       // warp-leader cp.async.bulk issue
+  SimTime shmem_put_issue_ns = 2000; // device-side nvshmem put ring/doorbell
+  int tma_chunk_bytes = 2048 * 12;  // bufLength floats3 per block chunk
+  int ib_stage_bytes = 1 << 16;     // staging-buffer coarsening granularity
+  double sm_copy_bytes_per_ns = 150.0;  // SM-driven remote-store throughput
+                                        // (the non-TMA ablation path)
+
+  // ---- PME kernels (rank-specialized long-range solve, §2.2) ----
+  double pme_spread_ns_per_atom = 0.6;   // B-spline charge spreading
+  double pme_gather_ns_per_atom = 0.8;   // force interpolation
+  double pme_fft_ns_per_point = 0.08;    // one full 3D FFT over the mesh
+                                         // (cuFFT-class: 128^3 in ~170 us)
+  double pme_conv_ns_per_point = 0.02;   // reciprocal-space convolution
+  double pme_kernel_overhead_ns = 4000;
+
+  // ---- Host-initiated copies (thread-MPI DMA / staging) ----
+  SimTime dma_setup_ns = 4500;      // copy-engine enqueue-to-start latency
+                                    // (the per-pulse overhead the paper says
+                                    // the NVSHMEM design eliminates)
+
+  // ---- Fabric link parameters ----
+  FabricParams fabric{};
+
+  /// Kernel duration helpers (nominal ns at full speed).
+  double nb_local_cost(int local_atoms) const {
+    return nb_local_overhead_ns + nb_local_ns_per_atom * local_atoms;
+  }
+  double nb_nonlocal_cost(int halo_atoms) const {
+    return nb_nonlocal_overhead_ns + nb_nonlocal_ns_per_atom * halo_atoms;
+  }
+  double bonded_cost(int local_atoms) const {
+    return bonded_overhead_ns + bonded_ns_per_atom * local_atoms;
+  }
+  double pack_cost(int atoms) const {
+    return pack_overhead_ns + pack_ns_per_atom * atoms;
+  }
+  double unpack_cost(int atoms) const {
+    return unpack_overhead_ns + unpack_ns_per_atom * atoms;
+  }
+  double integrate_cost(int atoms) const {
+    return integrate_overhead_ns + integrate_ns_per_atom * atoms;
+  }
+  double reduce_cost(int atoms) const {
+    return reduce_overhead_ns + reduce_ns_per_atom * atoms;
+  }
+  double prune_cost(int atoms) const {
+    return prune_overhead_ns + prune_ns_per_atom * atoms;
+  }
+  double clear_cost(int atoms) const {
+    return clear_overhead_ns + clear_ns_per_atom * atoms;
+  }
+
+  /// Preset tuned against the paper's Eos (DGX-H100, NDR400 IB) numbers.
+  static CostModel h100_eos();
+  /// Preset for the GB200 NVL72 runs (Fig. 4): faster GPUs, NVLink 5.
+  static CostModel gb200_nvl72();
+};
+
+}  // namespace hs::sim

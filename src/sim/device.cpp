@@ -1,0 +1,141 @@
+#include "sim/device.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace hs::sim {
+
+namespace {
+// Work below this many nominal nanoseconds counts as finished; absorbs the
+// dust left by integer-ns completion rounding.
+constexpr double kWorkEpsilon = 1e-6;
+}  // namespace
+
+Device::Device(Engine& engine, int id, int node, double sm_capacity)
+    : engine_(&engine), id_(id), node_(node), sm_capacity_(sm_capacity) {
+  assert(sm_capacity_ > 0.0);
+}
+
+Device::SpanId Device::begin_span(double work_ns, double demand, int priority,
+                                  std::function<void()> on_done) {
+  assert(work_ns >= 0.0 && demand > 0.0);
+  settle();
+  const SpanId id = next_id_++;
+  spans_.emplace(id, Span{work_ns, demand, priority, 1.0, kNever, std::move(on_done)});
+  recompute();
+  schedule_check();
+  return id;
+}
+
+Device::SpanId Device::begin_hold(double demand, int priority) {
+  assert(demand > 0.0);
+  settle();
+  const SpanId id = next_id_++;
+  // Infinite remaining work: never completes on its own.
+  spans_.emplace(id, Span{std::numeric_limits<double>::infinity(), demand,
+                          priority, 1.0, kNever, nullptr});
+  recompute();
+  schedule_check();
+  return id;
+}
+
+void Device::end_hold(SpanId id) {
+  settle();
+  const auto it = spans_.find(id);
+  assert(it != spans_.end() && "end_hold on unknown span");
+  spans_.erase(it);
+  recompute();
+  schedule_check();
+}
+
+double Device::resident_demand() const {
+  double total = 0.0;
+  for (const auto& [_, s] : spans_) total += s.demand;
+  return total;
+}
+
+double Device::span_speed(SpanId id) const {
+  const auto it = spans_.find(id);
+  return it != spans_.end() ? it->second.speed : 0.0;
+}
+
+void Device::settle() {
+  const SimTime now = engine_->now();
+  const SimTime elapsed = now - last_settle_;
+  if (elapsed > 0) {
+    for (auto& [_, s] : spans_) {
+      s.remaining -= static_cast<double>(elapsed) * s.speed;
+      if (s.remaining < 0.0) s.remaining = 0.0;
+    }
+  }
+  last_settle_ = now;
+}
+
+void Device::recompute() {
+  // Priority-tiered proportional sharing: serve tiers from highest priority
+  // down; within a tier every span runs at the same fraction of its demand.
+  std::vector<int> priorities;
+  for (const auto& [_, s] : spans_) priorities.push_back(s.priority);
+  std::sort(priorities.begin(), priorities.end(), std::greater<>());
+  priorities.erase(std::unique(priorities.begin(), priorities.end()),
+                   priorities.end());
+
+  double capacity = sm_capacity_;
+  const SimTime now = engine_->now();
+  for (int prio : priorities) {
+    double tier_demand = 0.0;
+    for (const auto& [_, s] : spans_) {
+      if (s.priority == prio) tier_demand += s.demand;
+    }
+    const double alloc = std::min(capacity, tier_demand);
+    const double scale = tier_demand > 0.0 ? alloc / tier_demand : 0.0;
+    capacity -= alloc;
+    for (auto& [_, s] : spans_) {
+      if (s.priority != prio) continue;
+      s.speed = scale;
+      if (s.remaining <= kWorkEpsilon) {
+        s.finish_at = now;
+      } else if (s.speed <= 0.0 || !std::isfinite(s.remaining)) {
+        s.finish_at = kNever;  // starved, or an open-ended hold
+      } else {
+        s.finish_at = now + static_cast<SimTime>(std::ceil(s.remaining / s.speed));
+      }
+    }
+  }
+}
+
+void Device::schedule_check() {
+  SimTime next = kNever;
+  for (const auto& [_, s] : spans_) next = std::min(next, s.finish_at);
+  if (next == kNever) return;
+  const std::uint64_t gen = ++sched_gen_;
+  engine_->schedule_at(next, [this, gen] { on_check(gen); });
+}
+
+void Device::on_check(std::uint64_t gen) {
+  if (gen != sched_gen_) return;  // superseded by a later recompute
+  settle();
+  const SimTime now = engine_->now();
+
+  // Collect due spans in id order (deterministic), remove them, then fire
+  // their callbacks. Callbacks may start new spans reentrantly; that is
+  // safe because each mutation re-settles and reschedules.
+  std::vector<std::function<void()>> done;
+  for (auto it = spans_.begin(); it != spans_.end();) {
+    if (it->second.finish_at <= now) {
+      done.push_back(std::move(it->second.on_done));
+      it = spans_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  recompute();
+  schedule_check();
+  for (auto& fn : done) {
+    if (fn) fn();
+  }
+}
+
+}  // namespace hs::sim

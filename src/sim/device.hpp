@@ -1,0 +1,85 @@
+// Simulated GPU device: an SM pool with priority-tiered processor sharing.
+//
+// Every piece of in-flight device compute is a "span" with a nominal work
+// amount (ns of execution when the span receives its full SM demand) and a
+// demand (fraction of the device's SMs it wants). When the sum of demands
+// at a priority tier exceeds what is left after higher tiers are served,
+// all spans in that tier stretch proportionally.
+//
+// This is the mechanism behind two paper observations:
+//   * "NVSHMEM uses SM resources for communications, overlapping local work
+//     is slowed down" (§6.3): comm-kernel spans share the device with the
+//     local non-bonded kernel.
+//   * §5.4's three-priority stream setup: a medium-priority reduction span
+//     preempts (starves) the low-priority rolling-prune span.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace hs::sim {
+
+class Device {
+ public:
+  /// `sm_capacity` is the device's total compute throughput in demand
+  /// units; kernels express demand as a fraction of a full device (1.0).
+  Device(Engine& engine, int id, int node, double sm_capacity = 1.0);
+
+  int id() const { return id_; }
+  int node() const { return node_; }
+  double sm_capacity() const { return sm_capacity_; }
+
+  using SpanId = std::uint64_t;
+
+  /// Begin a compute span. `on_done` runs (synchronously from an engine
+  /// event) when the span's work is finished. Higher `priority` wins SMs.
+  SpanId begin_span(double work_ns, double demand, int priority,
+                    std::function<void()> on_done);
+
+  /// Begin an open-ended occupancy hold: contributes `demand` to the
+  /// sharing computation (slowing co-resident kernels) without doing work.
+  /// Models SMs held by a resident communication kernel that is packing,
+  /// polling signals, or driving transfers — the §6 "NVSHMEM SM
+  /// resource-sharing overhead". Must be ended with end_hold().
+  SpanId begin_hold(double demand, int priority);
+  void end_hold(SpanId id);
+
+  /// Total demand currently resident (for tests / introspection).
+  double resident_demand() const;
+  int resident_spans() const { return static_cast<int>(spans_.size()); }
+
+  /// Current execution speed (0..1) of a span; 1 = full nominal speed.
+  double span_speed(SpanId id) const;
+
+  Engine& engine() { return *engine_; }
+
+ private:
+  struct Span {
+    double remaining;  // nominal ns of work left
+    double demand;
+    int priority;
+    double speed = 1.0;
+    SimTime finish_at = kNever;
+    std::function<void()> on_done;
+  };
+
+  void settle();
+  void recompute();
+  void schedule_check();
+  void on_check(std::uint64_t gen);
+
+  Engine* engine_;
+  int id_;
+  int node_;
+  double sm_capacity_;
+  std::map<SpanId, Span> spans_;  // ordered => deterministic iteration
+  SpanId next_id_ = 1;
+  std::uint64_t sched_gen_ = 0;
+  SimTime last_settle_ = 0;
+};
+
+}  // namespace hs::sim

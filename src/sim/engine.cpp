@@ -1,0 +1,48 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+
+namespace hs::sim {
+
+void Engine::schedule_at(SimTime t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule into the past");
+  queue_.push(Item{t, next_seq_++, std::move(fn)});
+}
+
+void Engine::step_one() {
+  // Move out of the queue before calling: the callback may schedule more.
+  Item item = std::move(const_cast<Item&>(queue_.top()));
+  queue_.pop();
+  now_ = item.t;
+  ++processed_;
+  item.fn();
+}
+
+SimTime Engine::run() {
+  while (!queue_.empty() && !first_error_) step_one();
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+  return now_;
+}
+
+bool Engine::run_until(SimTime horizon) {
+  while (!queue_.empty() && !first_error_) {
+    if (queue_.top().t > horizon) return false;
+    step_one();
+  }
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+  return true;
+}
+
+void Engine::record_error(std::exception_ptr error) {
+  if (!first_error_) first_error_ = std::move(error);
+}
+
+}  // namespace hs::sim

@@ -1,0 +1,68 @@
+// Discrete-event engine.
+//
+// A single min-heap of (time, sequence) ordered callbacks. The sequence
+// number makes ordering of same-time events FIFO and therefore the whole
+// simulation deterministic — a property the tests rely on (same seed =>
+// bit-identical traces).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hs::sim {
+
+class Engine {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Schedule fn at absolute time t (must be >= now()).
+  void schedule_at(SimTime t, std::function<void()> fn);
+  /// Schedule fn dt nanoseconds from now.
+  void schedule_after(SimTime dt, std::function<void()> fn) {
+    schedule_at(now_ + dt, std::move(fn));
+  }
+  /// Schedule fn at the current time, after already-queued same-time events.
+  void schedule_now(std::function<void()> fn) { schedule_at(now_, std::move(fn)); }
+
+  /// Run until the event queue is empty. Returns the final time.
+  SimTime run();
+
+  /// Run until the event queue is empty or `horizon` is reached (events at
+  /// exactly `horizon` are processed). Returns true if the queue drained.
+  bool run_until(SimTime horizon);
+
+  std::uint64_t events_processed() const { return processed_; }
+  bool idle() const { return queue_.empty(); }
+
+  /// Record a simulation error (e.g. an exception escaping a device task).
+  /// run() rethrows the first recorded error once the queue settles.
+  void record_error(std::exception_ptr error);
+
+ private:
+  struct Item {
+    SimTime t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  void step_one();
+
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace hs::sim

@@ -1,0 +1,84 @@
+// Interconnect model.
+//
+// A transfer costs latency + bytes/bandwidth + per-message overhead, where
+// the link parameters depend on the topology (NVLink vs IB). InfiniBand
+// transfers additionally serialize on the source device's NIC: bandwidth
+// occupancy queues, while latency pipelines — this is what makes staged,
+// coarse-grained IB puts preferable to many fine-grained ones, exactly the
+// adaptive-strategy trade-off in §5.1.
+//
+// Transfers carry a `deliver` closure that performs the real data movement
+// (memcpy between rank buffers) at completion time, so the simulation is
+// functional, not just a timing skeleton.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "sim/topology.hpp"
+
+namespace hs::sim {
+
+struct LinkParams {
+  SimTime latency_ns = 0;      // one-shot wire latency per transfer
+  SimTime per_message_ns = 0;  // per-message issue/packet overhead
+  double bytes_per_ns = 1.0;   // bandwidth
+};
+
+struct FabricParams {
+  LinkParams loopback{100, 0, 1500.0};   // device-local copy
+  LinkParams nvlink{900, 150, 300.0};    // NVLink 4.0-ish effective
+  LinkParams ib{4500, 900, 45.0};        // NDR400-ish effective
+};
+
+struct TransferRequest {
+  int src_device = 0;
+  int dst_device = 0;
+  std::size_t bytes = 0;
+  int num_messages = 1;
+  /// Performs the real data movement; runs at delivery time.
+  std::function<void()> deliver;
+};
+
+class Fabric {
+ public:
+  Fabric(Engine& engine, Topology topology, FabricParams params);
+
+  const Topology& topology() const { return topology_; }
+  const FabricParams& params() const { return params_; }
+  LinkType link(int src, int dst) const { return topology_.link(src, dst); }
+
+  /// Unqueued cost of a transfer (no NIC contention).
+  SimTime estimate(int src, int dst, std::size_t bytes, int num_messages = 1) const;
+
+  /// Start an asynchronous transfer; `on_complete` runs after `deliver`.
+  void transfer(TransferRequest req, std::function<void()> on_complete = {});
+
+  /// Scale the per-message cost of IB transfers issued from `device`
+  /// (models a contended NVSHMEM proxy thread, §5.5). Factor 1 = healthy.
+  void set_proxy_slowdown(int device, double factor);
+  double proxy_slowdown(int device) const { return proxy_slowdown_[device]; }
+
+  /// Timing-fault injection: add deterministic pseudo-random extra latency
+  /// (uniform in [0, max_jitter_ns]) to every transfer. Used by robustness
+  /// tests to show the halo signal/event protocols produce identical data
+  /// under arbitrary message reordering; 0 disables (default).
+  void set_timing_jitter(std::uint64_t seed, SimTime max_jitter_ns);
+
+ private:
+  const LinkParams& params_for(LinkType type) const;
+
+  Engine* engine_;
+  Topology topology_;
+  FabricParams params_;
+  std::vector<SimTime> nic_busy_until_;   // per source device, IB only
+  std::vector<double> proxy_slowdown_;    // per source device, IB only
+  std::uint64_t jitter_state_ = 0;        // splitmix64 state; 0 = off
+  SimTime max_jitter_ns_ = 0;
+};
+
+}  // namespace hs::sim

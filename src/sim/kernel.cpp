@@ -1,0 +1,42 @@
+#include "sim/kernel.hpp"
+
+#include <cassert>
+
+namespace hs::sim {
+
+KernelInstance::KernelInstance(Engine& engine, Device& device, int priority,
+                               KernelSpec spec,
+                               std::function<void()> on_complete)
+    : engine_(&engine), spec_(std::move(spec)), on_complete_(std::move(on_complete)) {
+  ctx_.exec_ = ExecContext{&engine, &device, priority};
+  ctx_.sm_demand_ = spec_.sm_demand;
+  ctx_.name_ = spec_.name;
+  ctx_.instance_ = this;
+}
+
+void KernelInstance::start() {
+  assert(!body_started_);
+  body_started_ = true;
+  started_at_ = engine_->now();
+  add_task(spec_.body(ctx_));
+}
+
+void KernelInstance::add_task(Task task) {
+  ++pending_;
+  task.bind(ctx_.exec_);
+  task.set_on_complete([this] { task_finished(); });
+  tasks_.push_back(std::move(task));
+  tasks_.back().start();
+}
+
+void KernelInstance::task_finished() {
+  assert(pending_ > 0);
+  if (--pending_ == 0) {
+    if (spec_.on_complete) spec_.on_complete();
+    // May destroy this instance; must be the last thing we do.
+    auto done = std::move(on_complete_);
+    done();
+  }
+}
+
+}  // namespace hs::sim

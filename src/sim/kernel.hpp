@@ -1,0 +1,134 @@
+// Kernel abstraction: a named unit of device work, launched on a stream,
+// whose body is a coroutine that may spawn concurrent block-group tasks.
+//
+// A fused halo-exchange kernel (Algorithm 3/6) is a kernel whose body
+// spawns one task per pulse block-group; the kernel completes when all of
+// them have finished, which is exactly the semantics of a CUDA grid.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/device.hpp"
+#include "sim/task.hpp"
+
+namespace hs::sim {
+
+class KernelContext;
+class KernelInstance;
+
+struct KernelSpec {
+  std::string name;
+  /// Default SM demand (fraction of the device) charged by Compute awaits
+  /// issued from this kernel's tasks unless they override it.
+  double sm_demand = 0.5;
+  /// The kernel body; runs as a coroutine on the owning device.
+  std::function<Task(KernelContext&)> body;
+  /// Optional hook invoked when the kernel (body + all spawned block
+  /// groups) completes — used e.g. to release occupancy holds.
+  std::function<void()> on_complete;
+  /// Trace annotation (the MD step this launch belongs to); -1 = untagged.
+  std::int64_t tag = -1;
+  /// Device-side dispatch overhead before the body starts (grid setup).
+  SimTime dispatch_ns = 0;
+};
+
+/// co_await Compute{work_ns, demand}: occupy SMs for `work_ns` nominal
+/// nanoseconds at the given demand; the actual elapsed time stretches under
+/// processor sharing. Perform any real data work *after* the co_await
+/// resumes — simulated time is then the span's completion time.
+///
+/// Deliberately holds no std::function payload: GCC 12 miscompiles
+/// coroutine awaitable temporaries with non-trivial function members
+/// (double destruction at a shifted address), so awaitables in this
+/// codebase carry only trivially-destructible state.
+struct Compute {
+  double work_ns = 0.0;
+  double demand = -1.0;  // < 0: use the kernel's default demand
+
+  bool await_ready() const { return false; }
+  void await_suspend(Task::Handle h) const {
+    auto& p = h.promise();
+    assert(p.ctx.device != nullptr && "Compute awaited outside a device task");
+    const double d = demand < 0.0 ? default_demand_hint : demand;
+    p.ctx.device->begin_span(work_ns, d, p.ctx.priority, [h] { h.resume(); });
+  }
+  void await_resume() const {}
+
+  // Populated by KernelContext::compute() so plain Compute{} awaits inside
+  // kernels pick up the kernel's declared demand.
+  double default_demand_hint = 0.5;
+};
+
+/// Handle given to a kernel body: identifies the engine/device/priority and
+/// allows spawning concurrent block-group tasks belonging to this kernel.
+class KernelContext {
+ public:
+  Engine& engine() { return *exec_.engine; }
+  Device& device() { return *exec_.device; }
+  int priority() const { return exec_.priority; }
+  double sm_demand() const { return sm_demand_; }
+  SimTime now() const { return exec_.engine->now(); }
+  const std::string& name() const { return name_; }
+
+  /// Add a concurrent task to this kernel (a "block group"). The kernel
+  /// completes only when the body and all spawned tasks are done.
+  void spawn(Task task);
+
+  /// Convenience: a Compute awaitable pre-filled with this kernel's demand.
+  Compute compute(double work_ns) const {
+    Compute c;
+    c.work_ns = work_ns;
+    c.default_demand_hint = sm_demand_;
+    return c;
+  }
+  Compute compute_with_demand(double work_ns, double demand) const {
+    Compute c;
+    c.work_ns = work_ns;
+    c.demand = demand;
+    c.default_demand_hint = sm_demand_;
+    return c;
+  }
+
+ private:
+  friend class KernelInstance;
+  ExecContext exec_;
+  double sm_demand_ = 0.5;
+  std::string name_;
+  KernelInstance* instance_ = nullptr;
+};
+
+/// Internal: a launched kernel in flight. Owned by the stream.
+class KernelInstance {
+ public:
+  KernelInstance(Engine& engine, Device& device, int priority, KernelSpec spec,
+                 std::function<void()> on_complete);
+
+  /// Start the body coroutine. Called by the stream when the kernel reaches
+  /// the head of the queue.
+  void start();
+
+  void add_task(Task task);
+
+  const std::string& name() const { return spec_.name; }
+  SimTime started_at() const { return started_at_; }
+
+ private:
+  void task_finished();
+
+  Engine* engine_;
+  KernelContext ctx_;
+  KernelSpec spec_;
+  std::function<void()> on_complete_;
+  std::vector<Task> tasks_;
+  int pending_ = 0;
+  bool body_started_ = false;
+  SimTime started_at_ = -1;
+};
+
+inline void KernelContext::spawn(Task task) { instance_->add_task(std::move(task)); }
+
+}  // namespace hs::sim

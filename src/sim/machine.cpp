@@ -1,0 +1,27 @@
+#include "sim/machine.hpp"
+
+namespace hs::sim {
+
+Machine::Machine(Topology topology, CostModel cost_model)
+    : cost_model_(cost_model) {
+  for (int d = 0; d < topology.device_count(); ++d) {
+    devices_.push_back(
+        std::make_unique<Device>(engine_, d, topology.node_of(d)));
+  }
+  fabric_ = std::make_unique<Fabric>(engine_, topology, cost_model_.fabric);
+}
+
+Stream& Machine::create_stream(int device_id, std::string name, int priority) {
+  streams_.push_back(std::make_unique<Stream>(
+      engine_, device(device_id), &trace_, std::move(name), priority));
+  return *streams_.back();
+}
+
+void Machine::spawn_host_task(Task task, std::function<void()> on_complete) {
+  task.bind(ExecContext{&engine_, nullptr, 0});
+  if (on_complete) task.set_on_complete(std::move(on_complete));
+  host_tasks_.push_back(std::move(task));
+  host_tasks_.back().start();
+}
+
+}  // namespace hs::sim

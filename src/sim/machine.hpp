@@ -1,0 +1,51 @@
+// Composition root of the simulated cluster: engine + topology + devices +
+// fabric + trace, plus stream and host-task lifetime management.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/costmodel.hpp"
+#include "sim/device.hpp"
+#include "sim/engine.hpp"
+#include "sim/fabric.hpp"
+#include "sim/stream.hpp"
+#include "sim/trace.hpp"
+
+namespace hs::sim {
+
+class Machine {
+ public:
+  Machine(Topology topology, CostModel cost_model);
+
+  Engine& engine() { return engine_; }
+  Fabric& fabric() { return *fabric_; }
+  Trace& trace() { return trace_; }
+  const CostModel& cost() const { return cost_model_; }
+  const Topology& topology() const { return fabric_->topology(); }
+
+  int device_count() const { return static_cast<int>(devices_.size()); }
+  Device& device(int i) { return *devices_[static_cast<std::size_t>(i)]; }
+
+  /// Create a stream on device `device_id`; the machine owns it.
+  Stream& create_stream(int device_id, std::string name, int priority);
+
+  /// Run a host-side coroutine (a rank's CPU thread). The machine keeps the
+  /// frame alive for its own lifetime. `on_complete`, if given, runs when
+  /// the task finishes (the event-based "join" pattern; see task.hpp).
+  void spawn_host_task(Task task, std::function<void()> on_complete = {});
+
+  /// Drive the simulation until all scheduled work has drained.
+  SimTime run() { return engine_.run(); }
+
+ private:
+  Engine engine_;
+  Trace trace_;
+  CostModel cost_model_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::unique_ptr<Fabric> fabric_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+  std::vector<Task> host_tasks_;
+};
+
+}  // namespace hs::sim

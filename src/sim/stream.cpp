@@ -1,0 +1,135 @@
+#include "sim/stream.hpp"
+
+#include <cassert>
+
+namespace hs::sim {
+
+Stream::Stream(Engine& engine, Device& device, Trace* trace, std::string name,
+               int priority)
+    : engine_(&engine),
+      device_(&device),
+      trace_(trace),
+      name_(std::move(name)),
+      priority_(priority) {}
+
+void Stream::launch(KernelSpec spec) {
+  Op op;
+  op.type = Op::Type::Kernel;
+  op.spec = std::move(spec);
+  ops_.push_back(std::move(op));
+  pump();
+}
+
+void Stream::record(GpuEventPtr event) {
+  assert(event);
+  Op op;
+  op.type = Op::Type::Record;
+  op.event = std::move(event);
+  ops_.push_back(std::move(op));
+  pump();
+}
+
+GpuEventPtr Stream::record() {
+  auto ev = make_event();
+  record(ev);
+  return ev;
+}
+
+void Stream::wait(GpuEventPtr event) {
+  assert(event);
+  Op op;
+  op.type = Op::Type::Wait;
+  op.event = std::move(event);
+  ops_.push_back(std::move(op));
+  pump();
+}
+
+void Stream::enqueue_async(std::string name,
+                           std::function<void(std::function<void()>)> op_fn) {
+  Op op;
+  op.type = Op::Type::Async;
+  op.name = std::move(name);
+  op.async_op = std::move(op_fn);
+  ops_.push_back(std::move(op));
+  pump();
+}
+
+void Stream::enqueue_callback(std::function<void()> fn) {
+  Op op;
+  op.type = Op::Type::Callback;
+  op.callback = std::move(fn);
+  ops_.push_back(std::move(op));
+  pump();
+}
+
+void Stream::finish_current(SimTime started, const std::string& kernel_name,
+                            std::int64_t tag) {
+  if (trace_ != nullptr) {
+    trace_->record(device_->id(), name_, kernel_name, started, engine_->now(),
+                   tag);
+  }
+  busy_ = false;
+  assert(!ops_.empty());
+  ops_.pop_front();
+  pump();
+}
+
+void Stream::pump() {
+  while (!busy_ && !ops_.empty()) {
+    Op& front = ops_.front();
+    switch (front.type) {
+      case Op::Type::Record:
+        front.event->complete();
+        ops_.pop_front();
+        break;
+      case Op::Type::Callback:
+        front.callback();
+        ops_.pop_front();
+        break;
+      case Op::Type::Wait: {
+        if (front.event->is_complete()) {
+          ops_.pop_front();
+          break;
+        }
+        busy_ = true;
+        front.event->when_complete([this] {
+          busy_ = false;
+          ops_.pop_front();
+          pump();
+        });
+        return;
+      }
+      case Op::Type::Kernel: {
+        busy_ = true;
+        retired_.reset();  // previous kernel's frames can go now
+        const std::string kernel_name = front.spec.name;
+        const std::int64_t tag = front.spec.tag;
+        const SimTime dispatch = front.spec.dispatch_ns;
+        current_ = std::make_unique<KernelInstance>(
+            *engine_, *device_, priority_, std::move(front.spec),
+            [this, kernel_name, tag] {
+              const SimTime started = current_->started_at();
+              retired_ = std::move(current_);
+              finish_current(started, kernel_name, tag);
+            });
+        if (dispatch > 0) {
+          engine_->schedule_after(dispatch, [this] { current_->start(); });
+        } else {
+          current_->start();
+        }
+        return;
+      }
+      case Op::Type::Async: {
+        busy_ = true;
+        retired_.reset();
+        const SimTime started = engine_->now();
+        const std::string op_name = front.name;
+        auto op_fn = std::move(front.async_op);
+        op_fn([this, started, op_name] { finish_current(started, op_name, -1); });
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace hs::sim

@@ -1,0 +1,89 @@
+// GPU stream: an in-order queue of kernels, event records/waits, and
+// asynchronous copy-engine operations, bound to one device.
+//
+// Priorities mirror CUDA stream priorities and drive the device's
+// processor-sharing tiers: the §5.4 schedule optimization needs three
+// (high = halo/non-local, medium = reduction/update, low = rolling prune).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/kernel.hpp"
+#include "sim/sync.hpp"
+#include "sim/trace.hpp"
+
+namespace hs::sim {
+
+/// Stream priority tiers (higher value preempts lower on the SM pool).
+struct StreamPriority {
+  static constexpr int kLow = 0;
+  static constexpr int kMedium = 1;
+  static constexpr int kHigh = 2;
+};
+
+class Stream {
+ public:
+  Stream(Engine& engine, Device& device, Trace* trace, std::string name,
+         int priority);
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  Device& device() { return *device_; }
+  int priority() const { return priority_; }
+  const std::string& name() const { return name_; }
+
+  /// Enqueue a kernel launch (device-side; the CPU launch cost is modelled
+  /// by the host thread before calling this).
+  void launch(KernelSpec spec);
+
+  /// Enqueue an event record; the event completes when all prior work on
+  /// this stream has finished.
+  void record(GpuEventPtr event);
+  GpuEventPtr record();  // convenience: create + record
+
+  /// Enqueue a wait: later operations do not start until `event` completes.
+  void wait(GpuEventPtr event);
+
+  /// Enqueue a generic async operation (e.g. a DMA copy through the fabric
+  /// or a fixed-duration copy-engine transfer). `op` receives a completion
+  /// callback it must invoke exactly once.
+  void enqueue_async(std::string name,
+                     std::function<void(std::function<void()> done)> op);
+
+  /// Enqueue a zero-duration host-visible callback (stream-ordered).
+  void enqueue_callback(std::function<void()> fn);
+
+  bool idle() const { return ops_.empty() && !busy_; }
+  GpuEventPtr make_event() { return std::make_shared<GpuEvent>(*engine_); }
+
+ private:
+  struct Op {
+    enum class Type { Kernel, Record, Wait, Async, Callback };
+    Type type;
+    KernelSpec spec;              // Kernel
+    GpuEventPtr event;            // Record / Wait
+    std::string name;             // Async
+    std::function<void(std::function<void()>)> async_op;  // Async
+    std::function<void()> callback;                       // Callback
+  };
+
+  void pump();
+  void finish_current(SimTime started, const std::string& kernel_name,
+                      std::int64_t tag);
+
+  Engine* engine_;
+  Device* device_;
+  Trace* trace_;
+  std::string name_;
+  int priority_;
+  std::deque<Op> ops_;
+  bool busy_ = false;
+  std::unique_ptr<KernelInstance> current_;
+  std::unique_ptr<KernelInstance> retired_;  // deferred destruction
+};
+
+}  // namespace hs::sim

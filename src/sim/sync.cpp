@@ -1,0 +1,47 @@
+#include "sim/sync.hpp"
+
+namespace hs::sim {
+
+void Signal::when_ge(std::int64_t threshold, std::function<void()> fn) {
+  if (value_ >= threshold) {
+    engine_->schedule_now(std::move(fn));
+    return;
+  }
+  waiters_.push_back({threshold, std::move(fn)});
+}
+
+void Signal::wake() {
+  // Collect satisfied waiters in registration order, then hand them to the
+  // engine. Swap-out first: a woken waiter may register new waiters.
+  std::vector<Waiter> keep;
+  std::vector<std::function<void()>> ready;
+  keep.reserve(waiters_.size());
+  for (auto& w : waiters_) {
+    if (value_ >= w.threshold) {
+      ready.push_back(std::move(w.fn));
+    } else {
+      keep.push_back(std::move(w));
+    }
+  }
+  waiters_ = std::move(keep);
+  for (auto& fn : ready) engine_->schedule_now(std::move(fn));
+}
+
+void GpuEvent::complete() {
+  if (complete_) return;
+  complete_ = true;
+  completed_at_ = engine_->now();
+  auto waiters = std::move(waiters_);
+  waiters_.clear();
+  for (auto& fn : waiters) engine_->schedule_now(std::move(fn));
+}
+
+void GpuEvent::when_complete(std::function<void()> fn) {
+  if (complete_) {
+    engine_->schedule_now(std::move(fn));
+    return;
+  }
+  waiters_.push_back(std::move(fn));
+}
+
+}  // namespace hs::sim

@@ -1,0 +1,141 @@
+// Synchronization objects visible to simulated device and host code.
+//
+//  * Signal        — device-visible 64-bit counter with threshold waiters;
+//                    the simulated analogue of NVSHMEM signal words and the
+//                    paper's per-pulse ctx.signal[p] (Algorithm 1, line 4).
+//  * GpuEvent      — CUDA-event analogue: one-shot completion with waiters.
+//  * BlockBarrier  — reusable arrive_and_wait barrier, the analogue of the
+//                    shared-memory barriers coordinating TMA loads
+//                    (indexMapLoadBarrier / forceBufLoadBarrier).
+//
+// Waking is always funneled through the engine (schedule_now) in waiter
+// registration order, which keeps the simulation deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/task.hpp"
+
+namespace hs::sim {
+
+/// Memory-ordering flavour of a signal store. The simulator is sequential,
+/// so this does not change visibility — it exists because the cost model
+/// charges a system-scope release store more than a relaxed store (§5.2:
+/// system_release_store vs system_relaxed_store).
+enum class SignalOrder { Relaxed, Release };
+
+class Signal {
+ public:
+  explicit Signal(Engine& engine) : engine_(&engine) {}
+
+  std::int64_t value() const { return value_; }
+
+  void store(std::int64_t v) {
+    value_ = v;
+    wake();
+  }
+  void add(std::int64_t delta) {
+    value_ += delta;
+    wake();
+  }
+  void reset(std::int64_t v = 0) { value_ = v; }  // no wake: reuse between steps
+
+  /// Invoke fn (via the engine) once value() >= threshold.
+  void when_ge(std::int64_t threshold, std::function<void()> fn);
+
+  /// Awaitable acquire-wait: co_await sig.wait_ge(v).
+  auto wait_ge(std::int64_t threshold) {
+    struct Awaiter {
+      Signal* sig;
+      std::int64_t threshold;
+      bool await_ready() const { return sig->value_ >= threshold; }
+      void await_suspend(Task::Handle h) {
+        sig->waiters_.push_back({threshold, [h] { h.resume(); }});
+      }
+      void await_resume() const {}
+    };
+    return Awaiter{this, threshold};
+  }
+
+ private:
+  void wake();
+
+  Engine* engine_;
+  std::int64_t value_ = 0;
+  struct Waiter {
+    std::int64_t threshold;
+    std::function<void()> fn;
+  };
+  std::vector<Waiter> waiters_;
+};
+
+class GpuEvent {
+ public:
+  explicit GpuEvent(Engine& engine) : engine_(&engine) {}
+
+  bool is_complete() const { return complete_; }
+  SimTime completed_at() const { return completed_at_; }
+
+  void complete();
+  void when_complete(std::function<void()> fn);
+
+  auto wait() {
+    struct Awaiter {
+      GpuEvent* ev;
+      bool await_ready() const { return ev->complete_; }
+      void await_suspend(Task::Handle h) {
+        ev->waiters_.push_back([h] { h.resume(); });
+      }
+      void await_resume() const {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Engine* engine_;
+  bool complete_ = false;
+  SimTime completed_at_ = -1;
+  std::vector<std::function<void()>> waiters_;
+};
+
+using GpuEventPtr = std::shared_ptr<GpuEvent>;
+
+/// Reusable barrier over a fixed participant count.
+class BlockBarrier {
+ public:
+  BlockBarrier(Engine& engine, int expected)
+      : engine_(&engine), expected_(expected) {}
+
+  int expected() const { return expected_; }
+
+  auto arrive_and_wait() {
+    struct Awaiter {
+      BlockBarrier* bar;
+      bool await_ready() const { return false; }
+      bool await_suspend(Task::Handle h) {
+        if (++bar->arrived_ == bar->expected_) {
+          bar->arrived_ = 0;
+          auto waiters = std::move(bar->waiters_);
+          bar->waiters_.clear();
+          for (auto& fn : waiters) bar->engine_->schedule_now(std::move(fn));
+          return false;  // last arriver proceeds immediately
+        }
+        bar->waiters_.push_back([h] { h.resume(); });
+        return true;
+      }
+      void await_resume() const {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Engine* engine_;
+  int expected_;
+  int arrived_ = 0;
+  std::vector<std::function<void()>> waiters_;
+};
+
+}  // namespace hs::sim

@@ -1,0 +1,142 @@
+// Coroutine task type for simulated device and host code.
+//
+// Device "kernels" and host threads are written as C++20 coroutines over
+// simulated time. A Task is lazily started: the owner binds an execution
+// context (engine, optional device, priority) and a completion callback,
+// then calls start(). Awaitables (Delay, Compute, signal/event/barrier
+// waits) suspend the coroutine and arrange resumption through the engine,
+// so all interleaving is deterministic.
+//
+// This is what lets Algorithms 3-6 of the paper transcribe almost
+// line-for-line: `co_await ctx.signal[k].wait_ge(v)` is the simulated
+// equivalent of an acquire-wait loop in a CUDA kernel.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <utility>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace hs::sim {
+
+class Device;
+
+/// Where a task executes: which engine drives it, which device (nullptr for
+/// host tasks) charges its Compute spans, and at what stream priority.
+struct ExecContext {
+  Engine* engine = nullptr;
+  Device* device = nullptr;
+  int priority = 0;
+};
+
+class Task {
+ public:
+  struct promise_type {
+    ExecContext ctx;
+    std::function<void()> on_complete;
+    std::exception_ptr error;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        promise_type& p = h.promise();
+        if (p.error && p.ctx.engine != nullptr) p.ctx.engine->record_error(p.error);
+        if (p.on_complete) {
+          // Deferred via the engine so the frame is fully suspended before
+          // the owner is allowed to destroy it.
+          p.ctx.engine->schedule_now(std::move(p.on_complete));
+        }
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() { error = std::current_exception(); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return handle_ && handle_.done(); }
+
+  void bind(ExecContext ctx) {
+    assert(handle_ && !started_);
+    handle_.promise().ctx = ctx;
+  }
+  void set_on_complete(std::function<void()> fn) {
+    assert(handle_ && !started_);
+    handle_.promise().on_complete = std::move(fn);
+  }
+
+  /// Resume from the initial suspension point. The execution context must
+  /// be bound first.
+  void start() {
+    assert(handle_ && !started_);
+    assert(handle_.promise().ctx.engine != nullptr && "bind() before start()");
+    started_ = true;
+    handle_.resume();
+  }
+
+ private:
+  void destroy() {
+    if (handle_) handle_.destroy();
+    handle_ = nullptr;
+  }
+  Handle handle_;
+  bool started_ = false;
+};
+
+/// co_await Delay{dt}: advance this task's local time by dt.
+struct Delay {
+  SimTime dt;
+  bool await_ready() const { return dt <= 0; }
+  void await_suspend(Task::Handle h) const {
+    h.promise().ctx.engine->schedule_after(dt, [h] { h.resume(); });
+  }
+  void await_resume() const {}
+};
+
+// NOTE: awaitables in this codebase keep trivially-destructible state only.
+// GCC 12 miscompiles co_await expressions whose awaitable temporaries hold
+// members with non-trivial destructors (std::function, Task): an extra
+// destructor call fires at a shifted address. Structured "join a child
+// coroutine" is therefore expressed by spawning the child and awaiting a
+// completion event (see Machine::spawn_host_task + GpuEvent) instead of a
+// Task-holding awaitable.
+
+/// Fetch this task's execution context (engine/device/priority).
+struct CurrentContext {
+  ExecContext ctx;
+  bool await_ready() const { return false; }
+  bool await_suspend(Task::Handle h) {
+    ctx = h.promise().ctx;
+    return false;  // resume immediately with the context captured
+  }
+  ExecContext await_resume() const { return ctx; }
+};
+
+}  // namespace hs::sim

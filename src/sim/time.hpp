@@ -1,0 +1,32 @@
+// Simulated-time primitives.
+//
+// All simulator time is integer nanoseconds on a single global clock.
+// Helper literals keep cost-model constants readable (e.g. 4_us).
+#pragma once
+
+#include <cstdint>
+
+namespace hs::sim {
+
+/// Nanoseconds on the simulated clock.
+using SimTime = std::int64_t;
+
+constexpr SimTime kNever = INT64_MAX;
+
+namespace time_literals {
+constexpr SimTime operator""_ns(unsigned long long v) {
+  return static_cast<SimTime>(v);
+}
+constexpr SimTime operator""_us(unsigned long long v) {
+  return static_cast<SimTime>(v) * 1000;
+}
+constexpr SimTime operator""_ms(unsigned long long v) {
+  return static_cast<SimTime>(v) * 1000 * 1000;
+}
+}  // namespace time_literals
+
+constexpr double to_us(SimTime t) { return static_cast<double>(t) * 1e-3; }
+constexpr double to_ms(SimTime t) { return static_cast<double>(t) * 1e-6; }
+constexpr double to_s(SimTime t) { return static_cast<double>(t) * 1e-9; }
+
+}  // namespace hs::sim

@@ -1,0 +1,70 @@
+// Cluster topology: which GPUs share an NVLink domain and which must talk
+// over InfiniBand.
+//
+// Two presets match the paper's testbeds:
+//  * dgx_h100(): NVLink/NVSwitch domain == one node (Eos, Figs 3/5-8);
+//  * gb200_nvl72(): rack-scale multi-node NVLink domain (Fig 4, 36x2 NVL72,
+//    up to 72 GPUs all NVLink-reachable).
+#pragma once
+
+#include <cassert>
+#include <string>
+
+namespace hs::sim {
+
+enum class LinkType {
+  Loopback,  // same device
+  NVLink,    // same NVLink/NVSwitch domain
+  IB,        // InfiniBand between NVLink domains
+};
+
+std::string to_string(LinkType type);
+
+class Topology {
+ public:
+  Topology(int num_nodes, int gpus_per_node, int nvlink_domain_nodes)
+      : num_nodes_(num_nodes),
+        gpus_per_node_(gpus_per_node),
+        nvlink_domain_nodes_(nvlink_domain_nodes) {
+    assert(num_nodes_ > 0 && gpus_per_node_ > 0 && nvlink_domain_nodes_ > 0);
+  }
+
+  /// DGX-H100-like: NVLink domain is a single node; IB between nodes.
+  static Topology dgx_h100(int num_nodes, int gpus_per_node = 4) {
+    return Topology(num_nodes, gpus_per_node, 1);
+  }
+
+  /// GB200 NVL72-like: all nodes of one rack share an NVLink domain. The
+  /// paper's machine is a 36x2 rack used with 4 GPUs/node; every tested
+  /// node count fits inside one rack, so the whole job is NVLink-reachable.
+  static Topology gb200_nvl72(int num_nodes, int gpus_per_node = 4) {
+    return Topology(num_nodes, gpus_per_node, num_nodes);
+  }
+
+  int num_nodes() const { return num_nodes_; }
+  int gpus_per_node() const { return gpus_per_node_; }
+  int device_count() const { return num_nodes_ * gpus_per_node_; }
+
+  int node_of(int device) const {
+    assert(device >= 0 && device < device_count());
+    return device / gpus_per_node_;
+  }
+  int nvlink_domain_of(int device) const {
+    return node_of(device) / nvlink_domain_nodes_;
+  }
+  bool same_nvlink_domain(int a, int b) const {
+    return nvlink_domain_of(a) == nvlink_domain_of(b);
+  }
+
+  LinkType link(int src, int dst) const {
+    if (src == dst) return LinkType::Loopback;
+    return same_nvlink_domain(src, dst) ? LinkType::NVLink : LinkType::IB;
+  }
+
+ private:
+  int num_nodes_;
+  int gpus_per_node_;
+  int nvlink_domain_nodes_;
+};
+
+}  // namespace hs::sim

@@ -1,0 +1,53 @@
+// Execution trace and device-side timing.
+//
+// Every kernel (and DMA copy) start/end lands here, tagged with the device,
+// stream, and the runner's current MD step. This is the simulated analogue
+// of the paper's %%globaltimer instrumentation (§6.3): the timing figures
+// (Figs 6-8) are computed from these records, and the schedule-illustration
+// bench (Figs 1-2) renders them as a timeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hs::sim {
+
+struct TraceRecord {
+  int device = -1;
+  std::string stream;
+  std::string name;
+  SimTime begin = 0;
+  SimTime end = 0;
+  std::int64_t step = -1;
+};
+
+class Trace {
+ public:
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  void set_step(std::int64_t step) { step_ = step; }
+  std::int64_t step() const { return step_; }
+
+  /// `tag` >= 0 overrides the ambient step annotation (kernels carry their
+  /// MD step explicitly because host loops launch several steps ahead).
+  void record(int device, std::string stream, std::string name, SimTime begin,
+              SimTime end, std::int64_t tag = -1) {
+    if (!enabled_) return;
+    records_.push_back({device, std::move(stream), std::move(name), begin, end,
+                        tag >= 0 ? tag : step_});
+  }
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+ private:
+  bool enabled_ = false;
+  std::int64_t step_ = -1;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace hs::sim

@@ -1,0 +1,66 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace hs::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";  // boolean switch
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  queried_[name] = true;
+  return flags_.count(name) != 0;
+}
+
+std::string Cli::get(const std::string& name, const std::string& fallback) const {
+  queried_[name] = true;
+  const auto it = flags_.find(name);
+  return it != flags_.end() ? it->second : fallback;
+}
+
+long long Cli::get_int(const std::string& name, long long fallback) const {
+  queried_[name] = true;
+  const auto it = flags_.find(name);
+  return it != flags_.end() ? std::strtoll(it->second.c_str(), nullptr, 10)
+                            : fallback;
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  queried_[name] = true;
+  const auto it = flags_.find(name);
+  return it != flags_.end() ? std::strtod(it->second.c_str(), nullptr) : fallback;
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  queried_[name] = true;
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes" ||
+         it->second == "on";
+}
+
+std::vector<std::string> Cli::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : flags_) {
+    if (queried_.find(name) == queried_.end()) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace hs::util

@@ -1,0 +1,35 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+
+namespace hs::util {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+std::ostream* g_sink = nullptr;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+void set_log_sink(std::ostream* sink) { g_sink = sink; }
+
+namespace detail {
+void emit(LogLevel level, const std::string& message) {
+  std::ostream& os = g_sink != nullptr ? *g_sink : std::cerr;
+  os << "[" << level_name(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace hs::util

@@ -1,0 +1,48 @@
+// Minimal leveled logger for the halosim library.
+//
+// The simulator is single-threaded and deterministic, so the logger is
+// deliberately simple: a global level, a sink that defaults to stderr, and
+// printf-free iostream formatting. Benches lower the level to Warn so that
+// reported tables are the only stdout output.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace hs::util {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Redirect log output (default: std::cerr). Pass nullptr to restore.
+void set_log_sink(std::ostream* sink);
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+/// Composes the message only when the level is enabled.
+template <typename Fn>
+void log_lazy(LogLevel level, Fn&& fn) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  fn(os);
+  detail::emit(level, os.str());
+}
+
+}  // namespace hs::util
+
+#define HS_LOG(level, expr)                                     \
+  ::hs::util::log_lazy((level), [&](std::ostream& hs_log_os) {  \
+    hs_log_os << expr;                                          \
+  })
+
+#define HS_TRACE(expr) HS_LOG(::hs::util::LogLevel::Trace, expr)
+#define HS_DEBUG(expr) HS_LOG(::hs::util::LogLevel::Debug, expr)
+#define HS_INFO(expr) HS_LOG(::hs::util::LogLevel::Info, expr)
+#define HS_WARN(expr) HS_LOG(::hs::util::LogLevel::Warn, expr)
+#define HS_ERROR(expr) HS_LOG(::hs::util::LogLevel::Error, expr)

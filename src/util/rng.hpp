@@ -1,0 +1,78 @@
+// Deterministic, seedable RNG used throughout halosim.
+//
+// splitmix64 for seeding and xoshiro256** for the stream: fast, high
+// quality, and — unlike std::mt19937 + std::uniform_* — bit-identical
+// across standard libraries, which matters for reproducible experiments.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace hs::util {
+
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  constexpr std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  constexpr double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  constexpr std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire-style rejection-free-enough reduction; bias is negligible for
+    // the bounds used here (< 2^40) and determinism is what we care about.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+  }
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal();
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4] = {};
+};
+
+inline double Rng::normal() {
+  // Box-Muller, using two fresh uniforms each call for statelessness.
+  const double u1 = next_double();
+  const double u2 = next_double();
+  const double r = u1 > 0.0 ? u1 : std::numeric_limits<double>::min();
+  // sqrt(-2 ln r) * cos(2 pi u2)
+  return __builtin_sqrt(-2.0 * __builtin_log(r)) *
+         __builtin_cos(6.283185307179586477 * u2);
+}
+
+}  // namespace hs::util

@@ -1,0 +1,35 @@
+// Small numeric-summary helpers used by the timing reports and benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hs::util {
+
+double mean(std::span<const double> xs);
+double stddev(std::span<const double> xs);  // sample stddev; 0 for n < 2
+double median(std::span<const double> xs);  // midpoint of sorted copy
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::span<const double> xs, double p);
+
+/// Streaming accumulator (Welford) for per-step timing series.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;  // sample variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace hs::util

@@ -1,0 +1,37 @@
+// Aligned plain-text table printer used by the bench harnesses so that
+// every figure reproduction prints the same row/series layout the paper
+// reports, in a form that is both human-readable and trivially parseable
+// (CSV dump available via to_csv()).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hs::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic values with the given precision.
+  static std::string fmt(double value, int precision = 2);
+  static std::string fmt(long long value);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render as an aligned text table.
+  void print(std::ostream& os) const;
+  /// Render as CSV (header + rows).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hs::util

@@ -1,0 +1,90 @@
+#include "dd/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dd/decomposition.hpp"
+#include "md/system.hpp"
+#include "util/stats.hpp"
+
+namespace hs::dd {
+namespace {
+
+TEST(Geometry, EstimateMatchesFunctionalPlanWithinTolerance) {
+  md::GrappaSpec spec;
+  spec.target_atoms = 20000;
+  spec.density = 50.0;
+  const md::System sys = md::build_grappa(spec);
+
+  for (const GridDims dims :
+       {GridDims{4, 1, 1}, GridDims{2, 2, 1}, GridDims{2, 2, 2}}) {
+    Decomposition dd(sys, dims, 0.9);
+    const auto estimates = estimate_pulse_sizes(dd.grid(), 0.9, spec.density);
+    ASSERT_EQ(static_cast<int>(estimates.size()), dd.plan().total_pulses());
+    for (std::size_t p = 0; p < estimates.size(); ++p) {
+      double mean_send = 0.0;
+      for (const auto& rp : dd.plan().ranks) {
+        mean_send += rp.pulses[p].send_size;
+      }
+      mean_send /= dd.plan().ranks.size();
+      EXPECT_NEAR(mean_send, estimates[p].send_atoms,
+                  0.12 * estimates[p].send_atoms + 10.0)
+          << "dims " << dims.nx << "x" << dims.ny << "x" << dims.nz
+          << " pulse " << p;
+    }
+  }
+}
+
+TEST(Geometry, HomeEstimateIsExactForUniformGrid) {
+  md::GrappaSpec spec;
+  spec.target_atoms = 8000;
+  spec.density = 50.0;
+  const md::System sys = md::build_grappa(spec);
+  const DomainGrid grid(sys.box, GridDims{2, 2, 2});
+  EXPECT_NEAR(estimate_home_atoms(grid, spec.density),
+              sys.natoms() / 8.0, sys.natoms() * 0.01);
+}
+
+TEST(Geometry, LaterPhasesShipMoreThanEarlier) {
+  // Forwarding grows the cross-section: with equal widths, the x phase
+  // ships more than the y phase, which ships more than z.
+  const md::Box box(10, 10, 10);
+  const DomainGrid grid(box, GridDims{2, 2, 2});
+  const auto est = estimate_pulse_sizes(grid, 1.0, 100.0);
+  ASSERT_EQ(est.size(), 3u);
+  EXPECT_EQ(est[0].dim, 2);
+  EXPECT_EQ(est[2].dim, 0);
+  EXPECT_GT(est[1].send_atoms, est[0].send_atoms);
+  EXPECT_GT(est[2].send_atoms, est[1].send_atoms);
+}
+
+TEST(Geometry, TwoPulseDimSplitsTheSlab) {
+  const md::Box box(4.0f, 10, 10);
+  const DomainGrid grid(box, GridDims{8, 1, 1});  // width 0.5 < rc 0.9
+  const auto est = estimate_pulse_sizes(grid, 0.9, 100.0);
+  ASSERT_EQ(est.size(), 2u);
+  EXPECT_EQ(est[0].pulse, 0);
+  EXPECT_EQ(est[1].pulse, 1);
+  // Pulse 0 ships a domain-width slab, pulse 1 the remainder.
+  EXPECT_NEAR(est[0].send_atoms, 100.0 * 0.5 * 100.0, 1.0);
+  EXPECT_NEAR(est[1].send_atoms, 100.0 * 0.4 * 100.0, 1.0);
+}
+
+TEST(Geometry, UndedecomposedDimsShipNothing) {
+  const md::Box box(10, 10, 10);
+  const DomainGrid grid(box, GridDims{4, 1, 1});
+  const auto est = estimate_pulse_sizes(grid, 0.9, 100.0);
+  ASSERT_EQ(est.size(), 1u);
+  EXPECT_EQ(est[0].dim, 0);
+}
+
+TEST(Geometry, HaloTotalIsSumOfPulses) {
+  const md::Box box(12, 12, 12);
+  const DomainGrid grid(box, GridDims{2, 2, 2});
+  const auto est = estimate_pulse_sizes(grid, 0.9, 100.0);
+  double sum = 0.0;
+  for (const auto& e : est) sum += e.send_atoms;
+  EXPECT_DOUBLE_EQ(estimate_halo_atoms(grid, 0.9, 100.0), sum);
+}
+
+}  // namespace
+}  // namespace hs::dd

@@ -1,0 +1,103 @@
+#include "dd/grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hs::dd {
+namespace {
+
+const md::Box kCube(9.6f, 9.6f, 9.6f);
+
+TEST(ChooseGrid, PaperDimensionalityMapping) {
+  // §6.3: 8 ranks -> 1D, 16 -> 2D, 32 -> 3D.
+  EXPECT_EQ(choose_grid(kCube, 4, 0.9).dimensionality(), 1);
+  EXPECT_EQ(choose_grid(kCube, 8, 0.9).dimensionality(), 1);
+  EXPECT_EQ(choose_grid(kCube, 16, 0.9).dimensionality(), 2);
+  EXPECT_EQ(choose_grid(kCube, 32, 0.9).dimensionality(), 3);
+}
+
+TEST(ChooseGrid, BalancedFactorizations) {
+  const GridDims g16 = choose_grid(kCube, 16, 0.9);
+  EXPECT_EQ(g16.nx, 4);
+  EXPECT_EQ(g16.ny, 4);
+  EXPECT_EQ(g16.nz, 1);
+  const GridDims g32 = choose_grid(md::Box(30, 30, 30), 32, 0.9);
+  EXPECT_EQ(g32.nx, 4);
+  EXPECT_EQ(g32.ny, 4);
+  EXPECT_EQ(g32.nz, 2);
+  const GridDims g512 = choose_grid(md::Box(60, 60, 60), 512, 0.9);
+  EXPECT_EQ(g512.nx, 8);
+  EXPECT_EQ(g512.ny, 8);
+  EXPECT_EQ(g512.nz, 8);
+}
+
+TEST(ChooseGrid, EscalatesWhenSlabsTooThin) {
+  // 8 ranks on a tiny box: 1D slabs would be thinner than cutoff/2.
+  const md::Box tiny(3.0f, 3.0f, 3.0f);
+  const GridDims g = choose_grid(tiny, 8, 0.9);
+  EXPECT_GT(g.dimensionality(), 1);
+  EXPECT_EQ(g.total(), 8);
+}
+
+TEST(ChooseGrid, SingleRankIsTrivial) {
+  const GridDims g = choose_grid(kCube, 1, 0.9);
+  EXPECT_EQ(g.total(), 1);
+  EXPECT_EQ(g.dimensionality(), 0);
+}
+
+TEST(ChooseGrid, ProductAlwaysMatchesRankCount) {
+  for (int n : {2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 128}) {
+    EXPECT_EQ(choose_grid(md::Box(40, 40, 40), n, 0.9).total(), n) << n;
+  }
+}
+
+TEST(DomainGrid, RankCellRoundTrip) {
+  const DomainGrid grid(kCube, GridDims{4, 3, 2});
+  for (int r = 0; r < grid.num_ranks(); ++r) {
+    const auto c = grid.cell_of_rank(r);
+    EXPECT_EQ(grid.rank_of_cell(c[0], c[1], c[2]), r);
+  }
+}
+
+TEST(DomainGrid, BoundsTileTheBox) {
+  const DomainGrid grid(kCube, GridDims{4, 2, 1});
+  EXPECT_FLOAT_EQ(grid.lo(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(grid.hi(grid.num_ranks() - 1, 0), 9.6f);
+  EXPECT_FLOAT_EQ(grid.domain_width(0), 2.4f);
+  EXPECT_FLOAT_EQ(grid.domain_width(1), 4.8f);
+  EXPECT_FLOAT_EQ(grid.domain_width(2), 9.6f);
+}
+
+TEST(DomainGrid, PositionOwnershipIsExhaustiveAndUnique) {
+  const DomainGrid grid(kCube, GridDims{3, 2, 2});
+  // Sample positions; each maps to exactly one rank whose bounds contain it.
+  for (float fx : {0.0f, 3.1f, 6.5f, 9.5f}) {
+    for (float fy : {0.2f, 5.0f, 9.59f}) {
+      for (float fz : {1.0f, 8.0f}) {
+        const md::Vec3 p{fx, fy, fz};
+        const int r = grid.rank_of_position(p);
+        for (int d = 0; d < 3; ++d) {
+          EXPECT_GE(p[d], grid.lo(r, d));
+          EXPECT_LT(p[d], grid.hi(r, d));
+        }
+      }
+    }
+  }
+}
+
+TEST(DomainGrid, NeighbourWrapsPeriodically) {
+  const DomainGrid grid(kCube, GridDims{4, 1, 1});
+  EXPECT_EQ(grid.neighbour(0, 0, -1), 3);
+  EXPECT_EQ(grid.neighbour(3, 0, +1), 0);
+  EXPECT_EQ(grid.neighbour(1, 0, +1), 2);
+  // Undecomposed dims: the only neighbour is self.
+  EXPECT_EQ(grid.neighbour(1, 1, +1), 1);
+}
+
+TEST(DomainGrid, DimensionalityCounts) {
+  EXPECT_EQ((GridDims{4, 1, 1}).dimensionality(), 1);
+  EXPECT_EQ((GridDims{4, 4, 1}).dimensionality(), 2);
+  EXPECT_EQ((GridDims{4, 4, 2}).dimensionality(), 3);
+}
+
+}  // namespace
+}  // namespace hs::dd

@@ -1,0 +1,141 @@
+// Lifecycle properties of the decomposition under motion: repeated
+// perturb -> repartition -> rebuild cycles must conserve atoms, keep plans
+// internally consistent, and keep the halo oracle satisfied.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "dd/decomposition.hpp"
+#include "md/system.hpp"
+#include "util/rng.hpp"
+
+namespace hs::dd {
+namespace {
+
+md::System make_system(std::uint64_t seed) {
+  md::GrappaSpec spec;
+  spec.target_atoms = 4000;
+  spec.density = 50.0;
+  spec.seed = seed;
+  return md::build_grappa(spec);
+}
+
+struct Cycle {
+  GridDims dims;
+  std::uint64_t seed;
+};
+
+class RepartitionCycles : public ::testing::TestWithParam<Cycle> {};
+
+TEST_P(RepartitionCycles, ConservesAtomsAndPlanValidity) {
+  const auto [dims, seed] = GetParam();
+  md::System sys = make_system(seed);
+  const int total_atoms = sys.natoms();
+  Decomposition dd(sys, dims, 1.0);
+  util::Rng rng(seed * 7 + 1);
+
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    // Move home atoms by up to 0.15 nm (some cross domain boundaries).
+    for (auto& st : dd.states()) {
+      for (int i = 0; i < st.n_home; ++i) {
+        auto& p = st.x[static_cast<std::size_t>(i)];
+        p = dd.grid().box().wrap(
+            p + md::Vec3{static_cast<float>(rng.uniform(-0.15, 0.15)),
+                         static_cast<float>(rng.uniform(-0.15, 0.15)),
+                         static_cast<float>(rng.uniform(-0.15, 0.15))});
+      }
+    }
+    dd.repartition();
+
+    // Atom conservation with unique ownership.
+    std::set<int> owners;
+    int total = 0;
+    for (const auto& st : dd.states()) {
+      total += st.n_home;
+      for (int i = 0; i < st.n_home; ++i) {
+        EXPECT_TRUE(owners.insert(st.global_id[static_cast<std::size_t>(i)])
+                        .second)
+            << "atom owned twice";
+      }
+      // Every home atom lies inside its domain.
+      for (int i = 0; i < st.n_home; ++i) {
+        for (int d = 0; d < 3; ++d) {
+          EXPECT_GE(st.x[static_cast<std::size_t>(i)][d],
+                    dd.grid().lo(st.rank, d));
+          EXPECT_LT(st.x[static_cast<std::size_t>(i)][d],
+                    dd.grid().hi(st.rank, d));
+        }
+      }
+    }
+    EXPECT_EQ(total, total_atoms);
+
+    // Plan consistency: sizes pair up across ranks.
+    for (const auto& rp : dd.plan().ranks) {
+      for (std::size_t p = 0; p < rp.pulses.size(); ++p) {
+        const PulseData& pd = rp.pulses[p];
+        EXPECT_EQ(pd.send_size,
+                  dd.plan()
+                      .ranks[static_cast<std::size_t>(pd.send_rank)]
+                      .pulses[p]
+                      .recv_size);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, RepartitionCycles,
+    ::testing::Values(Cycle{GridDims{4, 1, 1}, 1}, Cycle{GridDims{2, 2, 1}, 2},
+                      Cycle{GridDims{2, 2, 2}, 3}, Cycle{GridDims{8, 1, 1}, 4}),
+    [](const auto& info) {
+      const auto& d = info.param.dims;
+      return std::to_string(d.nx) + "x" + std::to_string(d.ny) + "x" +
+             std::to_string(d.nz);
+    });
+
+TEST(ExchangeIdempotence, RepeatedCoordinateExchangeIsStable) {
+  // Without motion, exchanging twice leaves halo slots bit-identical.
+  md::System sys = make_system(9);
+  Decomposition dd(sys, GridDims{2, 2, 1}, 1.0);
+  dd.exchange_coordinates();
+  std::vector<std::vector<md::Vec3>> snapshot;
+  for (const auto& st : dd.states()) snapshot.push_back(st.x);
+  dd.exchange_coordinates();
+  for (std::size_t r = 0; r < dd.states().size(); ++r) {
+    for (std::size_t i = 0; i < snapshot[r].size(); ++i) {
+      EXPECT_EQ(dd.states()[r].x[i], snapshot[r][i]);
+    }
+  }
+}
+
+TEST(ForceExchangeLinearity, ScaledForcesScaleResults) {
+  // exchange(2f) == 2 * exchange(f): accumulation is linear.
+  md::System sys = make_system(12);
+  Decomposition a(sys, GridDims{2, 2, 1}, 1.0);
+  Decomposition b = a;
+  for (std::size_t r = 0; r < a.states().size(); ++r) {
+    auto& fa = a.states()[r].f;
+    auto& fb = b.states()[r].f;
+    for (std::size_t i = 0; i < fa.size(); ++i) {
+      const float v = static_cast<float>((i * 2654435761u) % 1000) * 0.01f;
+      fa[i] = md::Vec3{v, -v, 2 * v};
+      fb[i] = fa[i] * 2.0f;
+    }
+  }
+  a.exchange_forces();
+  b.exchange_forces();
+  for (std::size_t r = 0; r < a.states().size(); ++r) {
+    const auto& st_a = a.states()[r];
+    const auto& st_b = b.states()[r];
+    for (int i = 0; i < st_a.n_home; ++i) {
+      EXPECT_NEAR(st_b.f[static_cast<std::size_t>(i)].x,
+                  2.0f * st_a.f[static_cast<std::size_t>(i)].x, 1e-3f);
+      EXPECT_NEAR(st_b.f[static_cast<std::size_t>(i)].z,
+                  2.0f * st_a.f[static_cast<std::size_t>(i)].z, 1e-3f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hs::dd

@@ -1,0 +1,198 @@
+#include "dd/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "dd/decomposition.hpp"
+#include "md/system.hpp"
+
+namespace hs::dd {
+namespace {
+
+md::System small_system(int atoms = 3000, std::uint64_t seed = 42) {
+  md::GrappaSpec spec;
+  spec.target_atoms = atoms;
+  spec.density = 50.0;
+  spec.seed = seed;
+  return md::build_grappa(spec);
+}
+
+struct PlanCase {
+  GridDims dims;
+  double rc;
+};
+
+class PlanInvariants : public ::testing::TestWithParam<PlanCase> {};
+
+TEST_P(PlanInvariants, StructureIsConsistent) {
+  const auto [dims, rc] = GetParam();
+  Decomposition dd(small_system(), dims, rc);
+  const ExchangePlan& plan = dd.plan();
+  const auto& states = dd.states();
+
+  for (const auto& rp : plan.ranks) {
+    ASSERT_EQ(static_cast<int>(rp.pulses.size()), plan.total_pulses());
+    for (std::size_t p = 0; p < rp.pulses.size(); ++p) {
+      const PulseData& pd = rp.pulses[p];
+      // Index maps are ascending and unique, referencing valid atoms.
+      EXPECT_TRUE(std::is_sorted(pd.index_map.begin(), pd.index_map.end()));
+      EXPECT_TRUE(std::adjacent_find(pd.index_map.begin(),
+                                     pd.index_map.end()) ==
+                  pd.index_map.end());
+      for (int idx : pd.index_map) {
+        EXPECT_GE(idx, 0);
+        EXPECT_LT(idx, pd.atom_offset);  // never references later arrivals
+      }
+      EXPECT_EQ(pd.send_size, static_cast<int>(pd.index_map.size()));
+      // Dependency partition: dep_offset == n_home; counts agree.
+      EXPECT_EQ(pd.dep_offset, rp.n_home);
+      const int dependent = static_cast<int>(std::count_if(
+          pd.index_map.begin(), pd.index_map.end(),
+          [&](int i) { return i >= pd.dep_offset; }));
+      EXPECT_EQ(dependent, pd.num_dependent);
+      if (pd.num_dependent > 0) {
+        EXPECT_GE(pd.first_dependent_pulse, 0);
+        EXPECT_LT(pd.first_dependent_pulse, static_cast<int>(p));
+      } else {
+        EXPECT_EQ(pd.first_dependent_pulse, -1);
+      }
+    }
+  }
+
+  // Pairwise consistency: what r sends in pulse p equals what its -dim
+  // neighbour receives in pulse p.
+  for (const auto& rp : plan.ranks) {
+    for (std::size_t p = 0; p < rp.pulses.size(); ++p) {
+      const PulseData& pd = rp.pulses[p];
+      const PulseData& peer =
+          plan.ranks[static_cast<std::size_t>(pd.send_rank)].pulses[p];
+      EXPECT_EQ(pd.send_size, peer.recv_size);
+      EXPECT_EQ(peer.recv_rank, rp.rank);
+    }
+  }
+
+  // Atom conservation: home atoms partition the global system.
+  int total_home = 0;
+  for (const auto& st : states) total_home += st.n_home;
+  EXPECT_EQ(total_home, dd.global_atoms());
+}
+
+TEST_P(PlanInvariants, FirstPulseIsFullyIndependent) {
+  const auto [dims, rc] = GetParam();
+  Decomposition dd(small_system(), dims, rc);
+  for (const auto& rp : dd.plan().ranks) {
+    if (rp.pulses.empty()) continue;
+    EXPECT_EQ(rp.pulses[0].num_dependent, 0);
+    EXPECT_EQ(rp.pulses[0].first_dependent_pulse, -1);
+  }
+}
+
+TEST_P(PlanInvariants, HaloMatchesGeometricOracle) {
+  const auto [dims, rc] = GetParam();
+  const md::System sys = small_system();
+  Decomposition dd(sys, dims, rc);
+  const DomainGrid& grid = dd.grid();
+  const float frc = static_cast<float>(rc);
+
+  for (const auto& st : dd.states()) {
+    // Expected halo: every (atom, periodic image) whose image position lies
+    // in the extension region [lo_d, hi_d + rc) for all decomposed d
+    // (undecomposed dims unconstrained) and is not a home atom position.
+    std::multiset<int> expected;
+    for (int gid = 0; gid < sys.natoms(); ++gid) {
+      const md::Vec3 p = sys.box.wrap(sys.x[static_cast<std::size_t>(gid)]);
+      for (int sx = 0; sx <= (grid.dims().nx > 1 ? 1 : 0); ++sx) {
+        for (int sy = 0; sy <= (grid.dims().ny > 1 ? 1 : 0); ++sy) {
+          for (int sz = 0; sz <= (grid.dims().nz > 1 ? 1 : 0); ++sz) {
+            const md::Vec3 img = p + md::Vec3{sx * sys.box.length(0),
+                                              sy * sys.box.length(1),
+                                              sz * sys.box.length(2)};
+            bool in_ext = true;
+            bool in_home = true;
+            for (int d = 0; d < 3; ++d) {
+              if (grid.dims().along(d) < 2) continue;
+              if (img[d] < grid.lo(st.rank, d) ||
+                  img[d] >= grid.hi(st.rank, d) + frc) {
+                in_ext = false;
+              }
+              if (img[d] < grid.lo(st.rank, d) ||
+                  img[d] >= grid.hi(st.rank, d)) {
+                in_home = false;
+              }
+            }
+            if (in_ext && !in_home) expected.insert(gid);
+          }
+        }
+      }
+    }
+    std::multiset<int> actual(st.global_id.begin() + st.n_home,
+                              st.global_id.end());
+    EXPECT_EQ(actual, expected) << "rank " << st.rank;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, PlanInvariants,
+    ::testing::Values(PlanCase{GridDims{4, 1, 1}, 0.9},   // 1D, 1 pulse
+                      PlanCase{GridDims{2, 2, 1}, 0.9},   // 2D
+                      PlanCase{GridDims{2, 2, 2}, 0.9},   // 3D
+                      PlanCase{GridDims{8, 1, 1}, 0.9},   // 1D, 2 pulses
+                      PlanCase{GridDims{4, 2, 1}, 1.1},   // 2D, mixed pulses
+                      PlanCase{GridDims{1, 1, 4}, 0.9},   // z-only
+                      PlanCase{GridDims{1, 3, 1}, 0.9}),  // y-only
+    [](const auto& info) {
+      const auto& c = info.param;
+      return "g" + std::to_string(c.dims.nx) + "x" + std::to_string(c.dims.ny) +
+             "x" + std::to_string(c.dims.nz) + "_rc" +
+             std::to_string(static_cast<int>(c.rc * 10));
+    });
+
+TEST(Plan, TwoPulseDimHasDependentSecondPulse) {
+  // 8 slabs over ~4.9 nm box: width ~0.61 < rc 0.9 => 2 pulses; pulse 1
+  // forwards pulse-0 arrivals, so it is fully dependent.
+  md::GrappaSpec spec;
+  spec.target_atoms = 6000;
+  spec.density = 50.0;
+  const md::System sys = md::build_grappa(spec);
+  Decomposition dd(sys, GridDims{8, 1, 1}, 0.9);
+  EXPECT_EQ(dd.plan().total_pulses(), 2);
+  for (const auto& rp : dd.plan().ranks) {
+    const PulseData& p1 = rp.pulses[1];
+    EXPECT_EQ(p1.pulse, 1);
+    EXPECT_EQ(p1.num_dependent, p1.send_size);
+    EXPECT_EQ(p1.first_dependent_pulse, 0);
+    EXPECT_GT(p1.send_size, 0);
+  }
+}
+
+TEST(Plan, PulseOrderIsZThenYThenX) {
+  const md::System sys = small_system();
+  Decomposition dd(sys, GridDims{2, 2, 2}, 0.9);
+  ASSERT_EQ(dd.plan().total_pulses(), 3);
+  EXPECT_EQ(dd.plan().pulse_dims[0], 2);
+  EXPECT_EQ(dd.plan().pulse_dims[1], 1);
+  EXPECT_EQ(dd.plan().pulse_dims[2], 0);
+}
+
+TEST(Plan, CoordShiftOnlyAtPeriodicBoundary) {
+  const md::System sys = small_system();
+  Decomposition dd(sys, GridDims{4, 1, 1}, 0.9);
+  for (const auto& rp : dd.plan().ranks) {
+    const auto cell = dd.grid().cell_of_rank(rp.rank);
+    const PulseData& pd = rp.pulses[0];
+    if (cell[0] == 0) {
+      EXPECT_FLOAT_EQ(pd.coord_shift.x, sys.box.length(0));
+    } else {
+      EXPECT_FLOAT_EQ(pd.coord_shift.x, 0.0f);
+    }
+    EXPECT_FLOAT_EQ(pd.coord_shift.y, 0.0f);
+    EXPECT_FLOAT_EQ(pd.coord_shift.z, 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace hs::dd

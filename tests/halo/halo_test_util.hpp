@@ -1,0 +1,70 @@
+// Shared fixtures for halo-exchange tests: build a small grappa system,
+// decompose it, wire up a simulated machine, and drive one exchange.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dd/decomposition.hpp"
+#include "halo/mpi_halo.hpp"
+#include "halo/shmem_halo.hpp"
+#include "md/system.hpp"
+#include "util/rng.hpp"
+
+namespace hs::halo::testing {
+
+struct Fixture {
+  std::unique_ptr<dd::Decomposition> dd;
+  std::unique_ptr<sim::Machine> machine;
+  std::unique_ptr<pgas::World> world;
+  std::unique_ptr<msg::Comm> comm;
+  std::vector<sim::Stream*> streams;
+
+  static Fixture make(dd::GridDims dims, sim::Topology topo,
+                      int atoms = 4000, double rc = 1.0,
+                      std::uint64_t seed = 5) {
+    md::GrappaSpec spec;
+    spec.target_atoms = atoms;
+    spec.density = 50.0;
+    spec.seed = seed;
+    Fixture f;
+    f.dd = std::make_unique<dd::Decomposition>(md::build_grappa(spec), dims, rc);
+    f.machine = std::make_unique<sim::Machine>(topo, sim::CostModel::h100_eos());
+    f.world = std::make_unique<pgas::World>(*f.machine, 8u << 20);
+    f.comm = std::make_unique<msg::Comm>(*f.machine);
+    for (int r = 0; r < f.dd->num_ranks(); ++r) {
+      f.streams.push_back(&f.machine->create_stream(
+          r, "nonlocal" + std::to_string(r), sim::StreamPriority::kHigh));
+    }
+    return f;
+  }
+
+  /// Perturb home positions deterministically (stay within domains).
+  void perturb_positions(std::uint64_t seed = 17) {
+    util::Rng rng(seed);
+    for (auto& st : dd->states()) {
+      for (int i = 0; i < st.n_home; ++i) {
+        auto& p = st.x[static_cast<std::size_t>(i)];
+        p.x += static_cast<float>(rng.uniform(-5e-4, 5e-4));
+        p.y += static_cast<float>(rng.uniform(-5e-4, 5e-4));
+        p.z += static_cast<float>(rng.uniform(-5e-4, 5e-4));
+      }
+    }
+  }
+
+  /// Fill force arrays with deterministic per-slot values: home forces from
+  /// the gid, halo slots with distinct contributions.
+  void fill_forces() {
+    for (auto& st : dd->states()) {
+      for (int i = 0; i < st.n_total(); ++i) {
+        const float g =
+            static_cast<float>(st.global_id[static_cast<std::size_t>(i)] + 1);
+        const float slot = i >= st.n_home ? 0.25f : 1.0f;
+        st.f[static_cast<std::size_t>(i)] =
+            md::Vec3{g * slot, g * 0.5f * slot, -g * slot};
+      }
+    }
+  }
+};
+
+}  // namespace hs::halo::testing

@@ -1,0 +1,125 @@
+#include "halo/mpi_halo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "halo_test_util.hpp"
+
+namespace hs::halo {
+namespace {
+
+using testing::Fixture;
+
+void run_coord_phase(Fixture& f, MpiHaloExchange& halo, std::int64_t step = 0) {
+  for (int r = 0; r < f.dd->num_ranks(); ++r) {
+    f.machine->spawn_host_task(
+        halo.coord_phase(r, *f.streams[static_cast<std::size_t>(r)], step));
+  }
+  f.machine->run();
+}
+
+void run_force_phase(Fixture& f, MpiHaloExchange& halo, std::int64_t step = 0) {
+  for (int r = 0; r < f.dd->num_ranks(); ++r) {
+    f.machine->spawn_host_task(
+        halo.force_phase(r, *f.streams[static_cast<std::size_t>(r)], step));
+  }
+  f.machine->run();
+}
+
+struct TopoCase {
+  const char* name;
+  dd::GridDims dims;
+  int nodes;
+  int gpus_per_node;
+};
+
+class MpiExchange : public ::testing::TestWithParam<TopoCase> {};
+
+TEST_P(MpiExchange, CoordinateHaloMatchesReference) {
+  const auto& tc = GetParam();
+  auto f = Fixture::make(tc.dims, sim::Topology::dgx_h100(tc.nodes, tc.gpus_per_node));
+  f.perturb_positions();
+  dd::Decomposition ref = *f.dd;
+  ref.exchange_coordinates();
+
+  MpiHaloExchange halo(*f.machine, *f.comm, make_functional_workload(*f.dd));
+  run_coord_phase(f, halo);
+
+  for (std::size_t r = 0; r < f.dd->states().size(); ++r) {
+    const auto& got = f.dd->states()[r];
+    const auto& want = ref.states()[r];
+    for (int i = got.n_home; i < got.n_total(); ++i) {
+      ASSERT_EQ(got.x[static_cast<std::size_t>(i)],
+                want.x[static_cast<std::size_t>(i)])
+          << "rank " << r << " slot " << i;
+    }
+  }
+}
+
+TEST_P(MpiExchange, ForceHaloMatchesReference) {
+  const auto& tc = GetParam();
+  auto f = Fixture::make(tc.dims, sim::Topology::dgx_h100(tc.nodes, tc.gpus_per_node));
+  f.fill_forces();
+  dd::Decomposition ref = *f.dd;
+  ref.exchange_forces();
+
+  MpiHaloExchange halo(*f.machine, *f.comm, make_functional_workload(*f.dd));
+  run_force_phase(f, halo);
+
+  for (std::size_t r = 0; r < f.dd->states().size(); ++r) {
+    const auto& got = f.dd->states()[r];
+    const auto& want = ref.states()[r];
+    for (int i = 0; i < got.n_home; ++i) {
+      const auto& g = got.f[static_cast<std::size_t>(i)];
+      const auto& w = want.f[static_cast<std::size_t>(i)];
+      const float tol = 1e-5f * md::norm(w) + 1e-3f;
+      ASSERT_NEAR(g.x, w.x, tol) << "rank " << r << " atom " << i;
+      ASSERT_NEAR(g.y, w.y, tol);
+      ASSERT_NEAR(g.z, w.z, tol);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, MpiExchange,
+    ::testing::Values(
+        TopoCase{"nvlink_1d", dd::GridDims{4, 1, 1}, 1, 4},
+        TopoCase{"ib_2d", dd::GridDims{2, 2, 1}, 4, 1},
+        TopoCase{"mixed_3d", dd::GridDims{2, 2, 2}, 2, 4},
+        TopoCase{"two_pulse", dd::GridDims{8, 1, 1}, 1, 8}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(MpiHalo, EachPulseCostsCpuSynchronization) {
+  // The MPI coordinate phase serializes pulses with CPU-GPU syncs; a 3D
+  // decomposition (3 pulses) must take at least 3x the per-pulse control
+  // cost even with empty payloads.
+  auto f = Fixture::make(dd::GridDims{2, 2, 2}, sim::Topology::dgx_h100(1, 8));
+  MpiHaloExchange halo(*f.machine, *f.comm, make_functional_workload(*f.dd));
+  run_coord_phase(f, halo);
+  const auto& cm = f.machine->cost();
+  const sim::SimTime min_control =
+      3 * (cm.kernel_launch_ns + cm.stream_sync_ns + cm.mpi_call_ns);
+  EXPECT_GT(f.machine->engine().now(), min_control);
+}
+
+TEST(MpiHalo, SkeletonModeRuns) {
+  sim::Machine machine(sim::Topology::dgx_h100(2, 2),
+                       sim::CostModel::h100_eos());
+  msg::Comm comm(machine);
+  const md::Box box(12, 12, 12);
+  const dd::DomainGrid grid(box, dd::GridDims{2, 2, 1});
+  MpiHaloExchange halo(machine, comm,
+                       make_skeleton_workload(grid, 0.9, 100.0));
+  std::vector<sim::Stream*> streams;
+  for (int r = 0; r < 4; ++r) {
+    streams.push_back(&machine.create_stream(r, "s" + std::to_string(r),
+                                             sim::StreamPriority::kHigh));
+  }
+  for (int r = 0; r < 4; ++r) {
+    machine.spawn_host_task(halo.coord_phase(r, *streams[static_cast<std::size_t>(r)], 0));
+  }
+  machine.run();
+  EXPECT_GT(machine.engine().now(), 0);
+}
+
+}  // namespace
+}  // namespace hs::halo

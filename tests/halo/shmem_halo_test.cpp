@@ -1,0 +1,227 @@
+#include "halo/shmem_halo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "halo_test_util.hpp"
+
+namespace hs::halo {
+namespace {
+
+using testing::Fixture;
+
+/// Launch the coordinate kernels for every rank and drain the machine.
+void run_coord_exchange(Fixture& f, ShmemHaloExchange& halo,
+                        std::int64_t step = 0) {
+  for (int r = 0; r < f.dd->num_ranks(); ++r) {
+    for (auto& spec : halo.coord_kernels(r, step)) {
+      f.streams[static_cast<std::size_t>(r)]->launch(std::move(spec));
+    }
+  }
+  f.machine->run();
+}
+
+void run_force_exchange(Fixture& f, ShmemHaloExchange& halo,
+                        std::int64_t step = 0) {
+  for (int r = 0; r < f.dd->num_ranks(); ++r) {
+    for (auto& spec : halo.force_kernels(r, step)) {
+      f.streams[static_cast<std::size_t>(r)]->launch(std::move(spec));
+    }
+  }
+  f.machine->run();
+}
+
+void expect_halo_coords_match(const Fixture& f, const dd::Decomposition& ref) {
+  for (std::size_t r = 0; r < f.dd->states().size(); ++r) {
+    const auto& got = f.dd->states()[r];
+    const auto& want = ref.states()[r];
+    ASSERT_EQ(got.n_total(), want.n_total());
+    for (int i = got.n_home; i < got.n_total(); ++i) {
+      EXPECT_EQ(got.x[static_cast<std::size_t>(i)],
+                want.x[static_cast<std::size_t>(i)])
+          << "rank " << r << " slot " << i;
+    }
+  }
+}
+
+void expect_home_forces_match(const Fixture& f, const dd::Decomposition& ref) {
+  for (std::size_t r = 0; r < f.dd->states().size(); ++r) {
+    const auto& got = f.dd->states()[r];
+    const auto& want = ref.states()[r];
+    for (int i = 0; i < got.n_home; ++i) {
+      const auto& g = got.f[static_cast<std::size_t>(i)];
+      const auto& w = want.f[static_cast<std::size_t>(i)];
+      const float tol = 1e-5f * md::norm(w) + 1e-3f;
+      ASSERT_NEAR(g.x, w.x, tol) << "rank " << r << " atom " << i;
+      ASSERT_NEAR(g.y, w.y, tol);
+      ASSERT_NEAR(g.z, w.z, tol);
+    }
+  }
+}
+
+struct TopoCase {
+  const char* name;
+  dd::GridDims dims;
+  int nodes;
+  int gpus_per_node;
+};
+
+class ShmemExchange : public ::testing::TestWithParam<TopoCase> {};
+
+TEST_P(ShmemExchange, CoordinateHaloMatchesReference) {
+  const auto& tc = GetParam();
+  auto f = Fixture::make(tc.dims, sim::Topology::dgx_h100(tc.nodes, tc.gpus_per_node));
+  f.perturb_positions();
+  dd::Decomposition ref = *f.dd;  // same perturbed home positions
+  ref.exchange_coordinates();
+
+  ShmemHaloExchange halo(*f.machine, *f.world,
+                         make_functional_workload(*f.dd));
+  run_coord_exchange(f, halo);
+  expect_halo_coords_match(f, ref);
+  EXPECT_GT(f.machine->engine().now(), 0);
+}
+
+TEST_P(ShmemExchange, ForceHaloMatchesReference) {
+  const auto& tc = GetParam();
+  auto f = Fixture::make(tc.dims, sim::Topology::dgx_h100(tc.nodes, tc.gpus_per_node));
+  f.fill_forces();
+  dd::Decomposition ref = *f.dd;
+  ref.exchange_forces();
+
+  ShmemHaloExchange halo(*f.machine, *f.world,
+                         make_functional_workload(*f.dd));
+  run_force_exchange(f, halo);
+  expect_home_forces_match(f, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, ShmemExchange,
+    ::testing::Values(
+        TopoCase{"nvlink_1d", dd::GridDims{4, 1, 1}, 1, 4},
+        TopoCase{"nvlink_3d", dd::GridDims{2, 2, 2}, 1, 8},
+        TopoCase{"ib_1d", dd::GridDims{4, 1, 1}, 4, 1},
+        TopoCase{"mixed_2d", dd::GridDims{2, 2, 1}, 2, 2},
+        TopoCase{"ib_3d", dd::GridDims{2, 2, 2}, 8, 1},
+        TopoCase{"nvlink_two_pulse", dd::GridDims{8, 1, 1}, 1, 8}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+struct TuningCase {
+  const char* name;
+  HaloTuning tuning;
+};
+
+class ShmemAblations : public ::testing::TestWithParam<TuningCase> {};
+
+TEST_P(ShmemAblations, ProduceIdenticalDataOnMixedTopology) {
+  // Every design ablation changes timing, never results.
+  auto f = Fixture::make(dd::GridDims{2, 2, 1}, sim::Topology::dgx_h100(2, 2));
+  f.perturb_positions();
+  f.fill_forces();
+  dd::Decomposition ref = *f.dd;
+  ref.exchange_coordinates();
+  ref.exchange_forces();
+
+  ShmemHaloExchange halo(*f.machine, *f.world,
+                         make_functional_workload(*f.dd), GetParam().tuning);
+  run_coord_exchange(f, halo, 0);
+  run_force_exchange(f, halo, 0);
+  expect_halo_coords_match(f, ref);
+  expect_home_forces_match(f, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tunings, ShmemAblations,
+    ::testing::Values(
+        TuningCase{"full_design", HaloTuning{}},
+        TuningCase{"serialized_pulses", HaloTuning{false, true, true, true}},
+        TuningCase{"no_dependency_partitioning",
+                   HaloTuning{true, false, true, true}},
+        TuningCase{"no_tma", HaloTuning{true, true, false, true}},
+        TuningCase{"no_fused_signaling", HaloTuning{true, true, true, false}},
+        TuningCase{"all_off", HaloTuning{false, false, false, false}}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(ShmemHalo, FusedIsNotSlowerThanSerializedPulses) {
+  const dd::GridDims dims{2, 2, 2};
+  sim::SimTime fused_time, serial_time;
+  {
+    auto f = Fixture::make(dims, sim::Topology::dgx_h100(1, 8));
+    ShmemHaloExchange halo(*f.machine, *f.world,
+                           make_functional_workload(*f.dd), HaloTuning{});
+    run_coord_exchange(f, halo);
+    fused_time = f.machine->engine().now();
+  }
+  {
+    auto f = Fixture::make(dims, sim::Topology::dgx_h100(1, 8));
+    HaloTuning t;
+    t.fuse_pulses = false;
+    ShmemHaloExchange halo(*f.machine, *f.world,
+                           make_functional_workload(*f.dd), t);
+    run_coord_exchange(f, halo);
+    serial_time = f.machine->engine().now();
+  }
+  EXPECT_LE(fused_time, serial_time);
+}
+
+TEST(ShmemHalo, SignalsAreMonotonicAcrossSteps) {
+  // Two steps through the same signal arrays: step 1 must not be satisfied
+  // by step 0's values.
+  auto f = Fixture::make(dd::GridDims{4, 1, 1}, sim::Topology::dgx_h100(1, 4));
+  ShmemHaloExchange halo(*f.machine, *f.world,
+                         make_functional_workload(*f.dd));
+  run_coord_exchange(f, halo, 0);
+  // The reuse-protection protocol requires the step-0 force kernels to run
+  // (they acknowledge halo consumption) before step-1 coordinates may land.
+  run_force_exchange(f, halo, 0);
+  const sim::SimTime t0 = f.machine->engine().now();
+  f.perturb_positions(99);
+  dd::Decomposition ref = *f.dd;
+  ref.exchange_coordinates();
+  run_coord_exchange(f, halo, 1);
+  EXPECT_GT(f.machine->engine().now(), t0);
+  expect_halo_coords_match(f, ref);
+}
+
+TEST(ShmemHalo, SkeletonModeRunsWithoutData) {
+  sim::Machine machine(sim::Topology::dgx_h100(4, 1),
+                       sim::CostModel::h100_eos());
+  pgas::World world(machine, 8u << 20);
+  const md::Box box(12, 12, 12);
+  const dd::DomainGrid grid(box, dd::GridDims{4, 1, 1});
+  ShmemHaloExchange halo(machine, world,
+                         make_skeleton_workload(grid, 0.9, 100.0));
+  std::vector<sim::Stream*> streams;
+  for (int r = 0; r < 4; ++r) {
+    streams.push_back(&machine.create_stream(r, "s" + std::to_string(r),
+                                             sim::StreamPriority::kHigh));
+  }
+  for (int r = 0; r < 4; ++r) {
+    for (auto& spec : halo.coord_kernels(r, 0)) {
+      streams[static_cast<std::size_t>(r)]->launch(std::move(spec));
+    }
+    for (auto& spec : halo.force_kernels(r, 0)) {
+      streams[static_cast<std::size_t>(r)]->launch(std::move(spec));
+    }
+  }
+  machine.run();
+  EXPECT_GT(machine.engine().now(), 0);
+  for (auto* s : streams) EXPECT_TRUE(s->idle());
+}
+
+TEST(ShmemHalo, UsesIbReflectsTopology) {
+  {
+    auto f = Fixture::make(dd::GridDims{4, 1, 1}, sim::Topology::dgx_h100(1, 4));
+    ShmemHaloExchange halo(*f.machine, *f.world,
+                           make_functional_workload(*f.dd));
+    EXPECT_FALSE(halo.uses_ib(0));
+  }
+  {
+    auto f = Fixture::make(dd::GridDims{4, 1, 1}, sim::Topology::dgx_h100(4, 1));
+    ShmemHaloExchange halo(*f.machine, *f.world,
+                           make_functional_workload(*f.dd));
+    EXPECT_TRUE(halo.uses_ib(0));
+  }
+}
+
+}  // namespace
+}  // namespace hs::halo

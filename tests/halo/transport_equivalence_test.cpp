@@ -1,0 +1,143 @@
+// Cross-transport properties: both implementations move identical data,
+// and the timing relations the paper reports hold in the model.
+#include <gtest/gtest.h>
+
+#include "halo/mpi_halo.hpp"
+#include "halo/shmem_halo.hpp"
+#include "halo_test_util.hpp"
+
+namespace hs::halo {
+namespace {
+
+using testing::Fixture;
+
+TEST(TransportEquivalence, CoordinateDataIdenticalAcrossTransports) {
+  const dd::GridDims dims{2, 2, 1};
+  const auto topo = sim::Topology::dgx_h100(2, 2);
+
+  auto fa = Fixture::make(dims, topo);
+  fa.perturb_positions();
+  auto fb = Fixture::make(dims, topo);
+  fb.perturb_positions();  // same seed => same state
+
+  ShmemHaloExchange shmem(*fa.machine, *fa.world,
+                          make_functional_workload(*fa.dd));
+  for (int r = 0; r < fa.dd->num_ranks(); ++r) {
+    for (auto& spec : shmem.coord_kernels(r, 0)) {
+      fa.streams[static_cast<std::size_t>(r)]->launch(std::move(spec));
+    }
+  }
+  fa.machine->run();
+
+  MpiHaloExchange mpi(*fb.machine, *fb.comm, make_functional_workload(*fb.dd));
+  for (int r = 0; r < fb.dd->num_ranks(); ++r) {
+    fb.machine->spawn_host_task(
+        mpi.coord_phase(r, *fb.streams[static_cast<std::size_t>(r)], 0));
+  }
+  fb.machine->run();
+
+  for (std::size_t r = 0; r < fa.dd->states().size(); ++r) {
+    const auto& a = fa.dd->states()[r];
+    const auto& b = fb.dd->states()[r];
+    for (int i = a.n_home; i < a.n_total(); ++i) {
+      ASSERT_EQ(a.x[static_cast<std::size_t>(i)],
+                b.x[static_cast<std::size_t>(i)])
+          << "rank " << r << " slot " << i;
+    }
+  }
+}
+
+TEST(TransportEquivalence, ShmemCoordinatePhaseIsFasterIntraNode) {
+  // The headline claim at communication-bound sizes: the GPU-initiated
+  // fused exchange beats the CPU-initiated MPI path. Compare isolated
+  // coordinate phases on a 4-GPU NVLink node.
+  const dd::GridDims dims{4, 1, 1};
+  sim::SimTime t_shmem, t_mpi;
+  {
+    auto f = Fixture::make(dims, sim::Topology::dgx_h100(1, 4));
+    ShmemHaloExchange halo(*f.machine, *f.world,
+                           make_functional_workload(*f.dd));
+    for (int r = 0; r < 4; ++r) {
+      for (auto& spec : halo.coord_kernels(r, 0)) {
+        f.streams[static_cast<std::size_t>(r)]->launch(std::move(spec));
+      }
+    }
+    f.machine->run();
+    t_shmem = f.machine->engine().now();
+  }
+  {
+    auto f = Fixture::make(dims, sim::Topology::dgx_h100(1, 4));
+    MpiHaloExchange halo(*f.machine, *f.comm, make_functional_workload(*f.dd));
+    for (int r = 0; r < 4; ++r) {
+      f.machine->spawn_host_task(
+          halo.coord_phase(r, *f.streams[static_cast<std::size_t>(r)], 0));
+    }
+    f.machine->run();
+    t_mpi = f.machine->engine().now();
+  }
+  EXPECT_LT(t_shmem, t_mpi);
+}
+
+TEST(TransportEquivalence, MultiPulseAdvantageGrowsWithDimensionality) {
+  // Fused pulses overlap; MPI pulses serialize with CPU round-trips. The
+  // SHMEM advantage on the coordinate phase should be larger for 3D than
+  // for 1D (the paper's motivation for fusing phases).
+  auto measure = [](dd::GridDims dims, int nodes, int gpn) {
+    sim::SimTime t_shmem, t_mpi;
+    {
+      auto f = Fixture::make(dims, sim::Topology::dgx_h100(nodes, gpn), 8000);
+      ShmemHaloExchange halo(*f.machine, *f.world,
+                             make_functional_workload(*f.dd));
+      for (int r = 0; r < f.dd->num_ranks(); ++r) {
+        for (auto& spec : halo.coord_kernels(r, 0)) {
+          f.streams[static_cast<std::size_t>(r)]->launch(std::move(spec));
+        }
+      }
+      f.machine->run();
+      t_shmem = f.machine->engine().now();
+    }
+    {
+      auto f = Fixture::make(dims, sim::Topology::dgx_h100(nodes, gpn), 8000);
+      MpiHaloExchange halo(*f.machine, *f.comm,
+                           make_functional_workload(*f.dd));
+      for (int r = 0; r < f.dd->num_ranks(); ++r) {
+        f.machine->spawn_host_task(
+            halo.coord_phase(r, *f.streams[static_cast<std::size_t>(r)], 0));
+      }
+      f.machine->run();
+      t_mpi = f.machine->engine().now();
+    }
+    return static_cast<double>(t_mpi - t_shmem);
+  };
+
+  const double gain_1d = measure(dd::GridDims{8, 1, 1}, 1, 8);
+  const double gain_3d = measure(dd::GridDims{2, 2, 2}, 1, 8);
+  EXPECT_GT(gain_3d, gain_1d * 1.2);
+}
+
+TEST(TransportEquivalence, ProxyContentionOnlyHurtsIbShmem) {
+  // §5.5: a contended proxy thread slows the IB path dramatically.
+  auto run_once = [](double proxy_factor) {
+    auto f = Fixture::make(dd::GridDims{4, 1, 1}, sim::Topology::dgx_h100(4, 1));
+    for (int r = 0; r < 4; ++r) {
+      f.world->set_proxy_placement(r, proxy_factor > 1.0
+                                          ? pgas::ProxyPlacement::ContendedCore
+                                          : pgas::ProxyPlacement::ReservedCore);
+    }
+    ShmemHaloExchange halo(*f.machine, *f.world,
+                           make_functional_workload(*f.dd));
+    for (int r = 0; r < 4; ++r) {
+      for (auto& spec : halo.coord_kernels(r, 0)) {
+        f.streams[static_cast<std::size_t>(r)]->launch(std::move(spec));
+      }
+    }
+    f.machine->run();
+    return f.machine->engine().now();
+  };
+  const auto healthy = run_once(1.0);
+  const auto contended = run_once(50.0);
+  EXPECT_GT(contended, healthy * 2);
+}
+
+}  // namespace
+}  // namespace hs::halo

@@ -1,0 +1,80 @@
+#include "halo/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "md/system.hpp"
+
+namespace hs::halo {
+namespace {
+
+TEST(SkeletonWorkload, MirrorsFunctionalPlanStructure) {
+  md::GrappaSpec spec;
+  spec.target_atoms = 20000;
+  spec.density = 50.0;
+  md::System sys = md::build_grappa(spec);
+  dd::Decomposition decomp(sys, dd::GridDims{2, 2, 2}, 0.9);
+
+  const Workload functional = make_functional_workload(decomp);
+  const Workload skeleton =
+      make_skeleton_workload(decomp.grid(), 0.9, spec.density);
+
+  EXPECT_FALSE(skeleton.functional());
+  EXPECT_TRUE(functional.functional());
+  ASSERT_EQ(skeleton.plan.total_pulses(), functional.plan.total_pulses());
+  EXPECT_EQ(skeleton.plan.pulse_dims, functional.plan.pulse_dims);
+
+  for (std::size_t r = 0; r < skeleton.plan.ranks.size(); ++r) {
+    const auto& sk = skeleton.plan.ranks[r];
+    const auto& fn = functional.plan.ranks[r];
+    EXPECT_NEAR(sk.n_home, fn.n_home, 0.10 * fn.n_home + 20);
+    for (std::size_t p = 0; p < sk.pulses.size(); ++p) {
+      const auto& sp = sk.pulses[p];
+      const auto& fp = fn.pulses[p];
+      EXPECT_EQ(sp.send_rank, fp.send_rank) << "pulse " << p;
+      EXPECT_EQ(sp.recv_rank, fp.recv_rank) << "pulse " << p;
+      EXPECT_EQ(sp.dim, fp.dim);
+      EXPECT_NEAR(sp.send_size, fp.send_size, 0.15 * fp.send_size + 25)
+          << "pulse " << p;
+      EXPECT_NEAR(sp.num_dependent, fp.num_dependent,
+                  0.25 * fp.num_dependent + 25)
+          << "pulse " << p;
+    }
+  }
+}
+
+TEST(SkeletonWorkload, TwoPulseStructure) {
+  const md::Box box(4.0f, 10, 10);
+  const dd::DomainGrid grid(box, dd::GridDims{8, 1, 1});
+  const Workload w = make_skeleton_workload(grid, 0.9, 100.0);
+  ASSERT_EQ(w.plan.total_pulses(), 2);
+  const auto& rp = w.plan.ranks[0];
+  EXPECT_EQ(rp.pulses[1].num_dependent, rp.pulses[1].send_size);
+  EXPECT_EQ(rp.pulses[1].first_dependent_pulse, 0);
+  EXPECT_EQ(rp.pulses[0].num_dependent, 0);
+}
+
+TEST(SkeletonWorkload, OffsetsAreCumulative) {
+  const md::Box box(12, 12, 12);
+  const dd::DomainGrid grid(box, dd::GridDims{2, 2, 2});
+  const Workload w = make_skeleton_workload(grid, 0.9, 100.0);
+  for (const auto& rp : w.plan.ranks) {
+    int expect = rp.n_home;
+    for (const auto& pd : rp.pulses) {
+      EXPECT_EQ(pd.atom_offset, expect);
+      expect += pd.recv_size;
+    }
+    EXPECT_EQ(rp.n_total, expect);
+  }
+}
+
+TEST(SkeletonWorkload, HaloAtomsAccessor) {
+  const md::Box box(12, 12, 12);
+  const dd::DomainGrid grid(box, dd::GridDims{4, 1, 1});
+  const Workload w = make_skeleton_workload(grid, 0.9, 100.0);
+  EXPECT_GT(w.halo_atoms(0), 0);
+  EXPECT_GT(w.home_atoms(0), 0);
+  EXPECT_NEAR(w.home_atoms(0), 12.0 * 12 * 12 * 100 / 4, 5.0);
+}
+
+}  // namespace
+}  // namespace hs::halo

@@ -1,0 +1,71 @@
+#include "md/box.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hs::md {
+namespace {
+
+TEST(Box, WrapBringsPositionsInside) {
+  const Box box(10, 20, 30);
+  const Vec3 w = box.wrap(Vec3{-1, 25, 31});
+  EXPECT_FLOAT_EQ(w.x, 9.0f);
+  EXPECT_FLOAT_EQ(w.y, 5.0f);
+  EXPECT_FLOAT_EQ(w.z, 1.0f);
+}
+
+TEST(Box, WrapIsIdempotentInside) {
+  const Box box(10, 10, 10);
+  const Vec3 p{3.5f, 0.0f, 9.999f};
+  EXPECT_EQ(box.wrap(p), p);
+}
+
+TEST(Box, WrapHandlesExactBoundary) {
+  const Box box(10, 10, 10);
+  const Vec3 w = box.wrap(Vec3{10.0f, 20.0f, -10.0f});
+  EXPECT_GE(w.x, 0.0f);
+  EXPECT_LT(w.x, 10.0f);
+  EXPECT_GE(w.y, 0.0f);
+  EXPECT_LT(w.y, 10.0f);
+  EXPECT_GE(w.z, 0.0f);
+  EXPECT_LT(w.z, 10.0f);
+}
+
+TEST(Box, MinImagePicksNearestImage) {
+  const Box box(10, 10, 10);
+  const Vec3 a{0.5f, 5.0f, 5.0f};
+  const Vec3 b{9.5f, 5.0f, 5.0f};
+  const Vec3 d = box.min_image(a, b);
+  EXPECT_FLOAT_EQ(d.x, 1.0f);  // across the boundary, not 9 through the box
+  EXPECT_FLOAT_EQ(d.y, 0.0f);
+}
+
+TEST(Box, MinImageDirectWhenClose) {
+  const Box box(10, 10, 10);
+  const Vec3 d = box.min_image(Vec3{4, 4, 4}, Vec3{6, 5, 4});
+  EXPECT_FLOAT_EQ(d.x, -2.0f);
+  EXPECT_FLOAT_EQ(d.y, -1.0f);
+  EXPECT_FLOAT_EQ(d.z, 0.0f);
+}
+
+TEST(Box, MinImageWorksForOutOfBoxCoordinates) {
+  // Halo atoms arrive pre-shifted, possibly outside [0, L).
+  const Box box(10, 10, 10);
+  const Vec3 home{9.8f, 5.0f, 5.0f};
+  const Vec3 halo{10.3f, 5.0f, 5.0f};  // shifted image of 0.3
+  EXPECT_NEAR(box.distance2(home, halo), 0.25f, 1e-6f);
+}
+
+TEST(Box, Distance2MatchesNorm) {
+  const Box box(100, 100, 100);  // effectively no wrapping
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 6, 3};
+  EXPECT_FLOAT_EQ(box.distance2(a, b), 25.0f);
+}
+
+TEST(Box, Volume) {
+  const Box box(2, 3, 4);
+  EXPECT_DOUBLE_EQ(box.volume(), 24.0);
+}
+
+}  // namespace
+}  // namespace hs::md

@@ -1,0 +1,109 @@
+#include "md/cell_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hs::md {
+namespace {
+
+std::vector<Vec3> random_positions(int n, const Box& box, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Vec3> x;
+  x.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    x.push_back(Vec3{static_cast<float>(rng.uniform(0, box.length(0))),
+                     static_cast<float>(rng.uniform(0, box.length(1))),
+                     static_cast<float>(rng.uniform(0, box.length(2)))});
+  }
+  return x;
+}
+
+std::set<int> brute_force_neighbors(const Box& box, const std::vector<Vec3>& x,
+                                    const Vec3& p, double r) {
+  std::set<int> out;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    if (box.distance2(p, x[j]) <= static_cast<float>(r * r)) {
+      out.insert(static_cast<int>(j));
+    }
+  }
+  return out;
+}
+
+TEST(CellList, CandidatesAreSupersetOfNeighbors) {
+  const Box box(6, 6, 6);
+  const auto x = random_positions(500, box, 1);
+  const double r = 1.0;
+  CellList cells(box, r);
+  cells.build(x);
+  for (int qi = 0; qi < 20; ++qi) {
+    const Vec3& p = x[static_cast<std::size_t>(qi * 17)];
+    std::set<int> candidates;
+    cells.for_each_candidate(p, [&](int j) { candidates.insert(j); });
+    const auto expected = brute_force_neighbors(box, x, p, r);
+    for (int j : expected) {
+      EXPECT_TRUE(candidates.count(j)) << "missing neighbor " << j;
+    }
+  }
+}
+
+TEST(CellList, NoDuplicateCandidates) {
+  const Box box(5, 5, 5);
+  const auto x = random_positions(200, box, 2);
+  CellList cells(box, 1.0);
+  cells.build(x);
+  std::vector<int> seen;
+  cells.for_each_candidate(x[0], [&](int j) { seen.push_back(j); });
+  std::sort(seen.begin(), seen.end());
+  EXPECT_TRUE(std::adjacent_find(seen.begin(), seen.end()) == seen.end());
+}
+
+TEST(CellList, SmallBoxFallsBackToFewCells) {
+  // Box barely larger than the radius: 1-2 cells per dim; stencil must
+  // still enumerate every atom exactly once.
+  const Box box(2.2f, 2.2f, 2.2f);
+  const auto x = random_positions(50, box, 3);
+  CellList cells(box, 1.0);
+  cells.build(x);
+  std::vector<int> seen;
+  cells.for_each_candidate(x[0], [&](int j) { seen.push_back(j); });
+  std::sort(seen.begin(), seen.end());
+  EXPECT_TRUE(std::adjacent_find(seen.begin(), seen.end()) == seen.end());
+  EXPECT_EQ(seen.size(), 50u);  // every atom is a candidate in a tiny box
+}
+
+TEST(CellList, HandlesOutOfBoxPositions) {
+  // Halo coordinates may be outside [0, L); they are wrapped for binning.
+  const Box box(10, 10, 10);
+  std::vector<Vec3> x = {Vec3{10.5f, 5, 5}, Vec3{0.4f, 5, 5}};
+  CellList cells(box, 1.0);
+  cells.build(x);
+  std::set<int> seen;
+  cells.for_each_candidate(Vec3{0.5f, 5, 5}, [&](int j) { seen.insert(j); });
+  EXPECT_TRUE(seen.count(0));  // wrapped image of 10.5 is 0.5
+  EXPECT_TRUE(seen.count(1));
+}
+
+TEST(CellList, DimsReflectBoxAndCellSize) {
+  const Box box(10, 5, 2.5f);
+  CellList cells(box, 1.0);
+  EXPECT_EQ(cells.cells_per_dim(0), 10);
+  EXPECT_EQ(cells.cells_per_dim(1), 5);
+  EXPECT_EQ(cells.cells_per_dim(2), 2);
+}
+
+TEST(CellList, EmptyBuildIsSafe) {
+  const Box box(5, 5, 5);
+  CellList cells(box, 1.0);
+  cells.build({});
+  int count = 0;
+  cells.for_each_candidate(Vec3{1, 1, 1}, [&](int) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace hs::md

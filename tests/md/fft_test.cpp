@@ -1,0 +1,111 @@
+#include "md/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace hs::md {
+namespace {
+
+std::vector<Complex> naive_dft(const std::vector<Complex>& in, bool inverse) {
+  const std::size_t n = in.size();
+  std::vector<Complex> out(n);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc(0.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = sign * 2.0 * std::numbers::pi *
+                           static_cast<double>(k * j) / static_cast<double>(n);
+      acc += in[j] * Complex(std::cos(angle), std::sin(angle));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Complex> v(n);
+  for (auto& c : v) c = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  return v;
+}
+
+TEST(Fft, MatchesNaiveDft) {
+  for (std::size_t n : {2u, 8u, 64u, 256u}) {
+    auto sig = random_signal(n, n);
+    const auto expect = naive_dft(sig, false);
+    fft(sig, false);
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_NEAR(sig[k].real(), expect[k].real(), 1e-9) << "n=" << n;
+      EXPECT_NEAR(sig[k].imag(), expect[k].imag(), 1e-9);
+    }
+  }
+}
+
+TEST(Fft, RoundTripRecoversSignal) {
+  auto sig = random_signal(128, 9);
+  const auto original = sig;
+  fft(sig, false);
+  fft(sig, true);
+  for (std::size_t k = 0; k < sig.size(); ++k) {
+    EXPECT_NEAR(sig[k].real() / 128.0, original[k].real(), 1e-10);
+    EXPECT_NEAR(sig[k].imag() / 128.0, original[k].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Complex> v(6);
+  EXPECT_THROW(fft(v, false), std::invalid_argument);
+}
+
+TEST(Fft, ParsevalHolds) {
+  auto sig = random_signal(64, 3);
+  double time_energy = 0.0;
+  for (const auto& c : sig) time_energy += std::norm(c);
+  fft(sig, false);
+  double freq_energy = 0.0;
+  for (const auto& c : sig) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / 64.0, time_energy, 1e-9);
+}
+
+TEST(Grid3D, SingleModeTransforms) {
+  // A pure plane wave concentrates into one reciprocal bin.
+  Grid3D g(8, 8, 8);
+  const int m = 3;
+  for (int x = 0; x < 8; ++x) {
+    for (int y = 0; y < 8; ++y) {
+      for (int z = 0; z < 8; ++z) {
+        const double phase = 2.0 * std::numbers::pi * m * x / 8.0;
+        g.at(x, y, z) = Complex(std::cos(phase), std::sin(phase));
+      }
+    }
+  }
+  g.fft3(false);  // forward (-i) places exp(+2 pi i m x / 8) into bin m
+  for (int x = 0; x < 8; ++x) {
+    const double expected = x == m ? 512.0 : 0.0;
+    EXPECT_NEAR(std::abs(g.at(x, 0, 0)), expected, 1e-8) << x;
+  }
+}
+
+TEST(Grid3D, RoundTrip) {
+  Grid3D g(4, 8, 4);
+  util::Rng rng(5);
+  for (auto& c : g.data()) c = Complex(rng.uniform(-1, 1), 0.0);
+  const auto original = g.data();
+  g.fft3(false);
+  g.fft3(true);
+  const double norm = static_cast<double>(g.size());
+  for (std::size_t k = 0; k < g.size(); ++k) {
+    EXPECT_NEAR(g.data()[k].real() / norm, original[k].real(), 1e-10);
+  }
+}
+
+TEST(Grid3D, RejectsBadDims) {
+  EXPECT_THROW(Grid3D(6, 8, 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hs::md

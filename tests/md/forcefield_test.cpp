@@ -1,0 +1,89 @@
+#include "md/forcefield.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hs::md {
+namespace {
+
+ForceField make_ff(double rc = 0.9) {
+  return ForceField({AtomType{0.3f, 1.0f, 1.0f, 18.0f},
+                     AtomType{0.3f, 1.0f, -1.0f, 18.0f}},
+                    rc);
+}
+
+TEST(ForceField, ReactionFieldConstants) {
+  const ForceField ff = make_ff(0.9);
+  // Conducting boundary: krf = 1/(2 rc^3), crf = 1/rc + krf rc^2 = 1.5/rc.
+  EXPECT_NEAR(ff.krf(), 1.0 / (2.0 * 0.9 * 0.9 * 0.9), 1e-12);
+  EXPECT_NEAR(ff.crf(), 1.5 / 0.9, 1e-12);
+}
+
+TEST(ForceField, FiniteEpsilonRfConstants) {
+  const ForceField ff({AtomType{}}, 1.0, /*epsilon_rf=*/78.0);
+  const double krf = (78.0 - 1.0) / (2.0 * 78.0 + 1.0);
+  EXPECT_NEAR(ff.krf(), krf, 1e-12);
+}
+
+TEST(ForceField, CoulombForceVanishesAtCutoff) {
+  const ForceField ff = make_ff(0.9);
+  const double rc2 = ff.cutoff2();
+  // Pure-charge pair params (no LJ).
+  const PairParams no_lj{0.0, 0.0};
+  const PairTerm t = ff.evaluate(rc2, no_lj, 1.0);
+  EXPECT_NEAR(t.f_over_r, 0.0, 1e-9);
+}
+
+TEST(ForceField, CoulombEnergyVanishesAtCutoff) {
+  const ForceField ff = make_ff(0.9);
+  const PairParams no_lj{0.0, 0.0};
+  const PairTerm t = ff.evaluate(ff.cutoff2(), no_lj, 1.0);
+  EXPECT_NEAR(t.e_coulomb, 0.0, 1e-9);
+}
+
+TEST(ForceField, LjMinimumAtTwoToSixthSigma) {
+  const ForceField ff = make_ff(2.0);
+  const auto& p = ff.pair_params(0, 0);
+  // sigma is stored as float; allow for the float->double representation.
+  const double sigma = static_cast<double>(ff.type(0).sigma);
+  const double rmin = std::pow(2.0, 1.0 / 6.0) * sigma;
+  const PairTerm at_min = ff.evaluate(rmin * rmin, p, 0.0);
+  EXPECT_NEAR(at_min.f_over_r, 0.0, 1e-6);
+  EXPECT_NEAR(at_min.e_lj, -1.0, 1e-6);  // epsilon = 1
+}
+
+TEST(ForceField, LjRepulsiveInsideMinimum) {
+  const ForceField ff = make_ff(2.0);
+  const auto& p = ff.pair_params(0, 0);
+  const double sigma = static_cast<double>(ff.type(0).sigma);
+  const PairTerm t = ff.evaluate(sigma * sigma, p, 0.0);  // r = sigma
+  EXPECT_GT(t.f_over_r, 0.0);                             // pushes apart
+  EXPECT_NEAR(t.e_lj, 0.0, 1e-9);                         // V(sigma) = 0
+}
+
+TEST(ForceField, OppositeChargesAttract) {
+  const ForceField ff = make_ff(2.0);
+  const PairParams no_lj{0.0, 0.0};
+  const double qq = kCoulombFactor * 1.0 * -1.0;
+  const PairTerm t = ff.evaluate(0.5 * 0.5, no_lj, qq);
+  EXPECT_LT(t.f_over_r, 0.0);
+  EXPECT_LT(t.e_coulomb, 0.0);
+}
+
+TEST(ForceField, LorentzBerthelotCombination) {
+  const ForceField ff({AtomType{0.2f, 1.0f, 0, 1}, AtomType{0.4f, 4.0f, 0, 1}},
+                      1.0);
+  const auto& mixed = ff.pair_params(0, 1);
+  const double sigma = 0.5 * (static_cast<double>(ff.type(0).sigma) +
+                              ff.type(1).sigma);
+  const double eps = std::sqrt(static_cast<double>(ff.type(0).epsilon) *
+                               ff.type(1).epsilon);
+  EXPECT_NEAR(mixed.c6, 4.0 * eps * std::pow(sigma, 6.0), 1e-12);
+  EXPECT_NEAR(mixed.c12, 4.0 * eps * std::pow(sigma, 12.0), 1e-12);
+  // Symmetry.
+  EXPECT_EQ(ff.pair_params(0, 1).c6, ff.pair_params(1, 0).c6);
+}
+
+}  // namespace
+}  // namespace hs::md

@@ -1,0 +1,94 @@
+#include "md/integrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "md/nonbonded.hpp"
+#include "md/system.hpp"
+
+namespace hs::md {
+namespace {
+
+TEST(Leapfrog, FreeParticleMovesLinearly) {
+  const Box box(100, 100, 100);
+  const ForceField ff({AtomType{0.3f, 0.0f, 0.0f, 2.0f}}, 1.0);
+  std::vector<int> types = {0};
+  std::vector<Vec3> x = {Vec3{1, 1, 1}};
+  std::vector<Vec3> v = {Vec3{1, 0, 0}};
+  std::vector<Vec3> f = {Vec3{}};
+  LeapfrogIntegrator integ(0.5);
+  for (int s = 0; s < 4; ++s) integ.step(box, ff, types, f, v, x);
+  EXPECT_NEAR(x[0].x, 3.0f, 1e-5f);
+  EXPECT_NEAR(x[0].y, 1.0f, 1e-6f);
+}
+
+TEST(Leapfrog, ConstantForceAccelerates) {
+  const Box box(1000, 1000, 1000);
+  const ForceField ff({AtomType{0.3f, 0.0f, 0.0f, 2.0f}}, 1.0);
+  std::vector<int> types = {0};
+  std::vector<Vec3> x = {Vec3{1, 1, 1}};
+  std::vector<Vec3> v = {Vec3{}};
+  std::vector<Vec3> f = {Vec3{2, 0, 0}};  // a = 1 nm/ps^2
+  LeapfrogIntegrator integ(0.1);
+  for (int s = 0; s < 10; ++s) integ.step(box, ff, types, f, v, x);
+  EXPECT_NEAR(v[0].x, 1.0f, 1e-5f);  // v = a t = 1 after 1 ps
+}
+
+TEST(Leapfrog, WrapsThroughPeriodicBoundary) {
+  const Box box(2, 2, 2);
+  const ForceField ff({AtomType{0.3f, 0.0f, 0.0f, 1.0f}}, 0.5);
+  std::vector<int> types = {0};
+  std::vector<Vec3> x = {Vec3{1.9f, 1, 1}};
+  std::vector<Vec3> v = {Vec3{1, 0, 0}};
+  std::vector<Vec3> f = {Vec3{}};
+  LeapfrogIntegrator integ(0.2);
+  integ.step(box, ff, types, f, v, x);
+  EXPECT_NEAR(x[0].x, 0.1f, 1e-5f);
+}
+
+TEST(Leapfrog, EnergyApproximatelyConservedInMicrocanonicalRun) {
+  GrappaSpec spec;
+  spec.target_atoms = 700;
+  spec.density = 20.0;  // dilute => gentle forces on the jittered lattice
+  spec.temperature = 120.0;
+  System sys = build_grappa(spec);
+  const ForceField ff(grappa_atom_types(), 0.9);
+  LeapfrogIntegrator integ(0.0005);
+
+  const double rlist = 1.1;
+  PairList list;
+  double e0 = 0.0, e_last = 0.0;
+  for (int step = 0; step < 60; ++step) {
+    if (step % 10 == 0) {
+      list.build_local(sys.box, sys.x, sys.natoms(), rlist);
+    }
+    std::vector<Vec3> f(sys.x.size());
+    const Energies pe =
+        compute_nonbonded(sys.box, ff, sys.x, sys.type, list, f);
+    const double total = pe.total() + kinetic_energy(sys, ff);
+    if (step == 0) e0 = total;
+    e_last = total;
+    integ.step(sys.box, ff, sys.type, f, sys.v, sys.x);
+  }
+  // Leapfrog + single precision + buffered list: expect drift well under 1%
+  // of the kinetic energy scale.
+  const double scale = std::abs(kinetic_energy(sys, ff)) + 1.0;
+  EXPECT_LT(std::abs(e_last - e0) / scale, 0.02)
+      << "e0=" << e0 << " e_last=" << e_last;
+}
+
+TEST(Leapfrog, VelocityRescalingMovesTemperatureTowardTarget) {
+  GrappaSpec spec;
+  spec.target_atoms = 2000;
+  spec.temperature = 400.0;
+  System sys = build_grappa(spec);
+  const ForceField ff(grappa_atom_types(), 0.9);
+  const double t_before = temperature(sys, ff);
+  LeapfrogIntegrator::rescale_velocities(t_before, 300.0, 0.1, 0.002, sys.v);
+  const double t_after = temperature(sys, ff);
+  EXPECT_LT(std::abs(t_after - 300.0), std::abs(t_before - 300.0));
+}
+
+}  // namespace
+}  // namespace hs::md

@@ -1,0 +1,138 @@
+#include "md/nonbonded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "md/system.hpp"
+
+namespace hs::md {
+namespace {
+
+TEST(Nonbonded, TwoBodyForceIsAntisymmetric) {
+  const Box box(10, 10, 10);
+  const ForceField ff(grappa_atom_types(), 0.9);
+  std::vector<Vec3> x = {Vec3{5, 5, 5}, Vec3{5.4f, 5, 5}};
+  std::vector<int> types = {0, 1};
+  std::vector<Vec3> f(2);
+  PairList list;
+  list.build_local(box, x, 2, 0.9);
+  ASSERT_EQ(list.size(), 1u);
+  compute_nonbonded(box, ff, x, types, list, f);
+  EXPECT_FLOAT_EQ(f[0].x, -f[1].x);
+  EXPECT_FLOAT_EQ(f[0].y, -f[1].y);
+  EXPECT_FLOAT_EQ(f[0].z, -f[1].z);
+  EXPECT_NE(f[0].x, 0.0f);
+}
+
+TEST(Nonbonded, PairBeyondCutoffContributesNothing) {
+  const Box box(10, 10, 10);
+  const ForceField ff(grappa_atom_types(), 0.9);
+  std::vector<Vec3> x = {Vec3{1, 1, 1}, Vec3{3, 1, 1}};
+  std::vector<int> types = {0, 1};
+  std::vector<Vec3> f(2);
+  PairList list;
+  list.build_local(box, x, 2, 2.5);  // list radius covers the pair
+  ASSERT_EQ(list.size(), 1u);
+  const Energies e = compute_nonbonded(box, ff, x, types, list, f);
+  EXPECT_EQ(f[0].x, 0.0f);  // cutoff check inside the kernel skips it
+  EXPECT_EQ(e.total(), 0.0);
+}
+
+TEST(Nonbonded, ListedKernelMatchesReference) {
+  GrappaSpec spec;
+  spec.target_atoms = 600;
+  spec.density = 40.0;
+  const System sys = build_grappa(spec);
+  const ForceField ff(grappa_atom_types(), 0.9);
+
+  std::vector<Vec3> f_list(sys.x.size());
+  PairList list;
+  list.build_local(sys.box, sys.x, sys.natoms(), 0.9);
+  const Energies e_list =
+      compute_nonbonded(sys.box, ff, sys.x, sys.type, list, f_list);
+
+  std::vector<Vec3> f_ref(sys.x.size());
+  const Energies e_ref =
+      compute_nonbonded_reference(sys.box, ff, sys.x, sys.type, f_ref);
+
+  EXPECT_NEAR(e_list.lj, e_ref.lj, 1e-6 * std::abs(e_ref.lj) + 1e-6);
+  EXPECT_NEAR(e_list.coulomb, e_ref.coulomb,
+              1e-6 * std::abs(e_ref.coulomb) + 1e-6);
+  for (std::size_t i = 0; i < f_ref.size(); ++i) {
+    // Summation order differs between the two kernels; compare with a
+    // relative tolerance on the force magnitude.
+    const float tol = 1e-5f * norm(f_ref[i]) + 1e-3f;
+    EXPECT_NEAR(f_list[i].x, f_ref[i].x, tol) << i;
+    EXPECT_NEAR(f_list[i].y, f_ref[i].y, tol) << i;
+    EXPECT_NEAR(f_list[i].z, f_ref[i].z, tol) << i;
+  }
+}
+
+TEST(Nonbonded, BufferedListGivesSameForcesAsExactList) {
+  // Pairs in the buffer shell are beyond the cutoff; the kernel's distance
+  // check must make them no-ops.
+  GrappaSpec spec;
+  spec.target_atoms = 400;
+  spec.density = 40.0;
+  const System sys = build_grappa(spec);
+  const ForceField ff(grappa_atom_types(), 0.8);
+
+  std::vector<Vec3> f_exact(sys.x.size());
+  PairList exact;
+  exact.build_local(sys.box, sys.x, sys.natoms(), 0.8);
+  compute_nonbonded(sys.box, ff, sys.x, sys.type, exact, f_exact);
+
+  std::vector<Vec3> f_buffered(sys.x.size());
+  PairList buffered;
+  buffered.build_local(sys.box, sys.x, sys.natoms(), 1.1);
+  compute_nonbonded(sys.box, ff, sys.x, sys.type, buffered, f_buffered);
+
+  for (std::size_t i = 0; i < f_exact.size(); ++i) {
+    // Pair visit order differs (different cell-grid sizes), so float
+    // accumulation order differs; contributions are identical.
+    const float tol = 1e-5f * norm(f_exact[i]) + 1e-4f;
+    EXPECT_NEAR(f_exact[i].x, f_buffered[i].x, tol);
+    EXPECT_NEAR(f_exact[i].y, f_buffered[i].y, tol);
+    EXPECT_NEAR(f_exact[i].z, f_buffered[i].z, tol);
+  }
+}
+
+TEST(Nonbonded, TotalForceIsZero) {
+  // Newton's third law: internal forces sum to ~0.
+  GrappaSpec spec;
+  spec.target_atoms = 500;
+  spec.density = 40.0;
+  const System sys = build_grappa(spec);
+  const ForceField ff(grappa_atom_types(), 0.9);
+  std::vector<Vec3> f(sys.x.size());
+  PairList list;
+  list.build_local(sys.box, sys.x, sys.natoms(), 0.9);
+  compute_nonbonded(sys.box, ff, sys.x, sys.type, list, f);
+  double fx = 0, fy = 0, fz = 0;
+  for (const auto& v : f) {
+    fx += v.x;
+    fy += v.y;
+    fz += v.z;
+  }
+  EXPECT_NEAR(fx, 0.0, 0.5);
+  EXPECT_NEAR(fy, 0.0, 0.5);
+  EXPECT_NEAR(fz, 0.0, 0.5);
+}
+
+TEST(Nonbonded, EnergiesAreFinite) {
+  GrappaSpec spec;
+  spec.target_atoms = 1000;
+  spec.density = 30.0;  // moderate density: attractive regime
+  const System sys = build_grappa(spec);
+  const ForceField ff(grappa_atom_types(), 0.9);
+  std::vector<Vec3> f(sys.x.size());
+  PairList list;
+  list.build_local(sys.box, sys.x, sys.natoms(), 0.9);
+  const Energies e = compute_nonbonded(sys.box, ff, sys.x, sys.type, list, f);
+  EXPECT_TRUE(std::isfinite(e.lj));
+  EXPECT_TRUE(std::isfinite(e.coulomb));
+}
+
+}  // namespace
+}  // namespace hs::md

@@ -1,0 +1,137 @@
+#include "md/pair_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hs::md {
+namespace {
+
+std::vector<Vec3> random_positions(int n, const Box& box, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Vec3> x;
+  for (int i = 0; i < n; ++i) {
+    x.push_back(Vec3{static_cast<float>(rng.uniform(0, box.length(0))),
+                     static_cast<float>(rng.uniform(0, box.length(1))),
+                     static_cast<float>(rng.uniform(0, box.length(2)))});
+  }
+  return x;
+}
+
+using PairSet = std::set<std::pair<int, int>>;
+
+PairSet to_set(const PairList& list) {
+  PairSet s;
+  for (const auto& p : list.pairs()) s.insert({p.i, p.j});
+  return s;
+}
+
+PairSet brute_local(const Box& box, const std::vector<Vec3>& x, int n_home,
+                    double r) {
+  PairSet s;
+  for (int i = 0; i < n_home; ++i) {
+    for (int j = i + 1; j < n_home; ++j) {
+      if (box.distance2(x[static_cast<std::size_t>(i)],
+                        x[static_cast<std::size_t>(j)]) <=
+          static_cast<float>(r * r)) {
+        s.insert({i, j});
+      }
+    }
+  }
+  return s;
+}
+
+TEST(PairList, LocalListMatchesBruteForce) {
+  const Box box(6, 6, 6);
+  const auto x = random_positions(400, box, 5);
+  PairList list;
+  list.build_local(box, x, 400, 1.0);
+  EXPECT_EQ(to_set(list), brute_local(box, x, 400, 1.0));
+}
+
+TEST(PairList, LocalListHasNoSelfOrReversedPairs) {
+  const Box box(5, 5, 5);
+  const auto x = random_positions(200, box, 6);
+  PairList list;
+  list.build_local(box, x, 200, 1.2);
+  for (const auto& p : list.pairs()) {
+    EXPECT_LT(p.i, p.j);
+  }
+}
+
+TEST(PairList, NonlocalListMatchesBruteForce) {
+  const Box box(6, 6, 6);
+  auto x = random_positions(300, box, 7);
+  const int n_home = 200;
+  PairList list;
+  list.build_nonlocal(box, x, n_home, 1.0);
+  PairSet expected;
+  for (int i = 0; i < n_home; ++i) {
+    for (int j = n_home; j < 300; ++j) {
+      if (box.distance2(x[static_cast<std::size_t>(i)],
+                        x[static_cast<std::size_t>(j)]) <= 1.0f) {
+        expected.insert({i, j});
+      }
+    }
+  }
+  EXPECT_EQ(to_set(list), expected);
+}
+
+TEST(PairList, NonlocalEmptyHaloYieldsEmptyList) {
+  const Box box(5, 5, 5);
+  const auto x = random_positions(100, box, 8);
+  PairList list;
+  list.build_nonlocal(box, x, 100, 1.0);
+  EXPECT_EQ(list.size(), 0u);
+}
+
+TEST(PairList, PruneDropsOnlyDistantPairs) {
+  const Box box(6, 6, 6);
+  auto x = random_positions(300, box, 9);
+  PairList list;
+  list.build_local(box, x, 300, 1.2);  // buffered list
+  const std::size_t before = list.size();
+  const std::size_t removed = list.prune(box, x, 1.0);
+  EXPECT_EQ(list.size() + removed, before);
+  // Every surviving pair is within the prune radius...
+  for (const auto& p : list.pairs()) {
+    EXPECT_LE(box.distance2(x[static_cast<std::size_t>(p.i)],
+                            x[static_cast<std::size_t>(p.j)]),
+              1.0f + 1e-6f);
+  }
+  // ...and the survivors are exactly the brute-force r=1.0 pairs.
+  EXPECT_EQ(to_set(list), brute_local(box, x, 300, 1.0));
+}
+
+TEST(PairList, BufferedListSurvivesSmallDisplacements) {
+  // The Verlet-buffer contract: a list built with rlist = rc + buffer
+  // contains every pair within rc after any displacement where each atom
+  // moves less than buffer/2.
+  const Box box(6, 6, 6);
+  auto x = random_positions(300, box, 10);
+  const double rc = 0.9, buffer = 0.2;
+  PairList list;
+  list.build_local(box, x, 300, rc + buffer);
+  // Move every atom by less than buffer/2 in a random direction.
+  util::Rng rng(11);
+  auto moved = x;
+  for (auto& p : moved) {
+    const float d = static_cast<float>(buffer / 2.0 * 0.99 / std::sqrt(3.0));
+    p = box.wrap(p + Vec3{static_cast<float>(rng.uniform(-d, d)),
+                          static_cast<float>(rng.uniform(-d, d)),
+                          static_cast<float>(rng.uniform(-d, d))});
+  }
+  const PairSet after = brute_local(box, moved, 300, rc);
+  const PairSet listed = to_set(list);
+  for (const auto& p : after) {
+    EXPECT_TRUE(listed.count(p)) << p.first << "," << p.second;
+  }
+}
+
+}  // namespace
+}  // namespace hs::md

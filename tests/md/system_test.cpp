@@ -1,0 +1,111 @@
+#include "md/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hs::md {
+namespace {
+
+TEST(GrappaBuilder, HitsTargetAtomCountApproximately) {
+  GrappaSpec spec;
+  spec.target_atoms = 4000;
+  const System sys = build_grappa(spec);
+  EXPECT_NEAR(sys.natoms(), 4000, 400);
+  EXPECT_EQ(sys.x.size(), sys.v.size());
+  EXPECT_EQ(sys.x.size(), sys.type.size());
+}
+
+TEST(GrappaBuilder, DensityMatchesSpec) {
+  GrappaSpec spec;
+  spec.target_atoms = 8000;
+  spec.density = 50.0;
+  const System sys = build_grappa(spec);
+  EXPECT_NEAR(sys.natoms() / sys.box.volume(), 50.0, 0.5);
+}
+
+TEST(GrappaBuilder, AllPositionsInsideBox) {
+  GrappaSpec spec;
+  spec.target_atoms = 3000;
+  const System sys = build_grappa(spec);
+  for (const auto& p : sys.x) {
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_GE(p[d], 0.0f);
+      EXPECT_LT(p[d], sys.box.length(d));
+    }
+  }
+}
+
+TEST(GrappaBuilder, IsChargeNeutral) {
+  GrappaSpec spec;
+  spec.target_atoms = 5000;
+  const System sys = build_grappa(spec);
+  const ForceField ff(grappa_atom_types(), 0.9);
+  EXPECT_NEAR(total_charge(sys, ff), 0.0, 1e-6);
+}
+
+TEST(GrappaBuilder, DeterministicForSeed) {
+  GrappaSpec spec;
+  spec.target_atoms = 1000;
+  const System a = build_grappa(spec);
+  const System b = build_grappa(spec);
+  ASSERT_EQ(a.natoms(), b.natoms());
+  for (int i = 0; i < a.natoms(); ++i) {
+    EXPECT_EQ(a.x[static_cast<std::size_t>(i)], b.x[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(a.type[static_cast<std::size_t>(i)], b.type[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(GrappaBuilder, DifferentSeedsDiffer) {
+  GrappaSpec spec;
+  spec.target_atoms = 1000;
+  const System a = build_grappa(spec);
+  spec.seed += 1;
+  const System b = build_grappa(spec);
+  int same = 0;
+  for (int i = 0; i < std::min(a.natoms(), b.natoms()); ++i) {
+    same += a.x[static_cast<std::size_t>(i)] == b.x[static_cast<std::size_t>(i)];
+  }
+  EXPECT_LT(same, a.natoms() / 10);
+}
+
+TEST(GrappaBuilder, InitialTemperatureNearTarget) {
+  GrappaSpec spec;
+  spec.target_atoms = 20000;
+  spec.temperature = 300.0;
+  const System sys = build_grappa(spec);
+  const ForceField ff(grappa_atom_types(), 0.9);
+  EXPECT_NEAR(temperature(sys, ff), 300.0, 10.0);
+}
+
+TEST(GrappaBuilder, NetMomentumIsZero) {
+  GrappaSpec spec;
+  spec.target_atoms = 2000;
+  const System sys = build_grappa(spec);
+  const auto types = grappa_atom_types();
+  double px = 0, py = 0, pz = 0;
+  for (int i = 0; i < sys.natoms(); ++i) {
+    const double m = types[static_cast<std::size_t>(sys.type[static_cast<std::size_t>(i)])].mass;
+    px += m * sys.v[static_cast<std::size_t>(i)].x;
+    py += m * sys.v[static_cast<std::size_t>(i)].y;
+    pz += m * sys.v[static_cast<std::size_t>(i)].z;
+  }
+  EXPECT_NEAR(px, 0.0, 1e-2);
+  EXPECT_NEAR(py, 0.0, 1e-2);
+  EXPECT_NEAR(pz, 0.0, 1e-2);
+}
+
+TEST(GrappaBuilder, MixtureFractionsRoughly40_40_20) {
+  GrappaSpec spec;
+  spec.target_atoms = 30000;
+  const System sys = build_grappa(spec);
+  int counts[3] = {0, 0, 0};
+  for (int t : sys.type) ++counts[t];
+  const double n = sys.natoms();
+  EXPECT_NEAR(counts[0] / n, 0.4, 0.02);
+  EXPECT_NEAR(counts[1] / n, 0.4, 0.02);
+  EXPECT_NEAR(counts[2] / n, 0.2, 0.02);
+}
+
+}  // namespace
+}  // namespace hs::md

@@ -1,0 +1,42 @@
+#include "md/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hs::md {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec3{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec3{3, 3, 3}));
+  EXPECT_EQ(a * 2.0f, (Vec3{2, 4, 6}));
+  EXPECT_EQ(2.0f * a, (Vec3{2, 4, 6}));
+}
+
+TEST(Vec3, DotAndNorm) {
+  const Vec3 a{1, 2, 2};
+  EXPECT_FLOAT_EQ(dot(a, a), 9.0f);
+  EXPECT_FLOAT_EQ(norm2(a), 9.0f);
+  EXPECT_FLOAT_EQ(norm(a), 3.0f);
+}
+
+TEST(Vec3, IndexAccess) {
+  Vec3 a{1, 2, 3};
+  EXPECT_EQ(a[0], 1.0f);
+  EXPECT_EQ(a[1], 2.0f);
+  EXPECT_EQ(a[2], 3.0f);
+  a.set(1, 9.0f);
+  EXPECT_EQ(a.y, 9.0f);
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 a{1, 1, 1};
+  a += Vec3{1, 2, 3};
+  a -= Vec3{0, 1, 2};
+  a *= 3.0f;
+  EXPECT_EQ(a, (Vec3{6, 6, 6}));
+}
+
+}  // namespace
+}  // namespace hs::md

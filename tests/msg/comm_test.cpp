@@ -1,0 +1,99 @@
+#include "msg/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hs::msg {
+namespace {
+
+using sim::CostModel;
+using sim::Topology;
+
+TEST(Comm, SendThenRecvMatches) {
+  sim::Machine m(Topology::dgx_h100(1, 2), CostModel::h100_eos());
+  Comm comm(m);
+  int payload = 0;
+  auto s = comm.isend(0, 1, 5, 1024, [&] { payload = 7; });
+  EXPECT_EQ(comm.unmatched(), 1u);
+  auto r = comm.irecv(1, 0, 5);
+  EXPECT_EQ(comm.unmatched(), 0u);
+  m.run();
+  EXPECT_TRUE(s->is_complete());
+  EXPECT_TRUE(r->is_complete());
+  EXPECT_EQ(payload, 7);
+  EXPECT_EQ(s->completed_at(), r->completed_at());
+}
+
+TEST(Comm, RecvBeforeSendAlsoMatches) {
+  sim::Machine m(Topology::dgx_h100(1, 2), CostModel::h100_eos());
+  Comm comm(m);
+  auto r = comm.irecv(1, 0, 3);
+  m.run();
+  EXPECT_FALSE(r->is_complete());  // nothing to match yet
+  auto s = comm.isend(0, 1, 3, 64, {});
+  m.run();
+  EXPECT_TRUE(r->is_complete());
+  EXPECT_TRUE(s->is_complete());
+}
+
+TEST(Comm, TagsSeparateChannels) {
+  sim::Machine m(Topology::dgx_h100(1, 2), CostModel::h100_eos());
+  Comm comm(m);
+  std::vector<int> order;
+  comm.irecv(1, 0, 1)->when_complete([&] { order.push_back(1); });
+  comm.irecv(1, 0, 2)->when_complete([&] { order.push_back(2); });
+  // Sends arrive in reverse tag order; matching is by tag, not FIFO.
+  comm.isend(0, 1, 2, 64, {});
+  comm.isend(0, 1, 1, 64, {});
+  m.run();
+  ASSERT_EQ(order.size(), 2u);
+  // Same size transfers complete in post order: tag 2 was posted first.
+  EXPECT_EQ(order[0], 2);
+  EXPECT_EQ(order[1], 1);
+}
+
+TEST(Comm, SameTagMessagesMatchInOrder) {
+  sim::Machine m(Topology::dgx_h100(1, 2), CostModel::h100_eos());
+  Comm comm(m);
+  std::vector<int> delivered;
+  comm.isend(0, 1, 0, 64, [&] { delivered.push_back(1); });
+  comm.isend(0, 1, 0, 64, [&] { delivered.push_back(2); });
+  comm.irecv(1, 0, 0);
+  comm.irecv(1, 0, 0);
+  m.run();
+  EXPECT_EQ(delivered, (std::vector<int>{1, 2}));
+}
+
+TEST(Comm, InterNodeTransfersTakeLonger) {
+  sim::Machine m(Topology::dgx_h100(2, 2), CostModel::h100_eos());
+  Comm comm(m);
+  auto intra = comm.isend(0, 1, 0, 1 << 20, {});
+  comm.irecv(1, 0, 0);
+  auto inter = comm.isend(2, 3, 0, 1 << 20, {});  // wait, 2,3 same node
+  comm.irecv(3, 2, 0);
+  auto cross = comm.isend(0, 2, 0, 1 << 20, {});
+  comm.irecv(2, 0, 0);
+  m.run();
+  EXPECT_EQ(intra->completed_at(), inter->completed_at());
+  EXPECT_GT(cross->completed_at(), intra->completed_at());
+}
+
+TEST(Comm, BidirectionalExchangeCompletes) {
+  // The halo pattern: each rank sends to and receives from a neighbour.
+  sim::Machine m(Topology::dgx_h100(1, 2), CostModel::h100_eos());
+  Comm comm(m);
+  auto s0 = comm.isend(0, 1, 0, 128, {});
+  auto r0 = comm.irecv(0, 1, 0);
+  auto s1 = comm.isend(1, 0, 0, 128, {});
+  auto r1 = comm.irecv(1, 0, 0);
+  m.run();
+  EXPECT_TRUE(s0->is_complete());
+  EXPECT_TRUE(r0->is_complete());
+  EXPECT_TRUE(s1->is_complete());
+  EXPECT_TRUE(r1->is_complete());
+  EXPECT_EQ(comm.unmatched(), 0u);
+}
+
+}  // namespace
+}  // namespace hs::msg

@@ -1,0 +1,60 @@
+#include "pgas/symmetric_heap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hs::pgas {
+namespace {
+
+TEST(SymmetricHeap, AllocReturnsSameOffsetForAllPes) {
+  SymmetricHeap heap(4, 4096);
+  const SymHandle a = heap.alloc(100);
+  const SymHandle b = heap.alloc(100);
+  EXPECT_NE(a.offset, b.offset);
+  // Symmetric: the handle is PE-independent; views differ only in arena.
+  for (int pe = 0; pe < 4; ++pe) {
+    auto va = heap.view<std::byte>(a, pe);
+    EXPECT_EQ(va.size(), 100u);
+  }
+}
+
+TEST(SymmetricHeap, ViewsAreDistinctPerPe) {
+  SymmetricHeap heap(2, 4096);
+  const SymHandle h = heap.alloc(sizeof(float) * 4);
+  auto v0 = heap.view<float>(h, 0);
+  auto v1 = heap.view<float>(h, 1);
+  v0[0] = 1.0f;
+  v1[0] = 2.0f;
+  EXPECT_EQ(v0[0], 1.0f);
+  EXPECT_EQ(v1[0], 2.0f);
+}
+
+TEST(SymmetricHeap, RespectsAlignment) {
+  SymmetricHeap heap(1, 4096);
+  heap.alloc(3);
+  const SymHandle h = heap.alloc(8, 64);
+  EXPECT_EQ(h.offset % 64, 0u);
+}
+
+TEST(SymmetricHeap, ThrowsWhenExhausted) {
+  SymmetricHeap heap(1, 128);
+  heap.alloc(100);
+  EXPECT_THROW(heap.alloc(100), std::bad_alloc);
+}
+
+TEST(SymmetricHeap, ReleaseAllResets) {
+  SymmetricHeap heap(1, 128);
+  heap.alloc(100);
+  heap.release_all();
+  EXPECT_EQ(heap.allocated(), 0u);
+  EXPECT_NO_THROW(heap.alloc(100));
+}
+
+TEST(SymmetricHeap, InvalidHandleIsDetectable) {
+  SymHandle h;
+  EXPECT_FALSE(h.valid());
+  SymmetricHeap heap(1, 128);
+  EXPECT_TRUE(heap.alloc(1).valid());
+}
+
+}  // namespace
+}  // namespace hs::pgas

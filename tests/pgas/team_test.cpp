@@ -1,0 +1,91 @@
+#include "pgas/team.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hs::pgas {
+namespace {
+
+using sim::CostModel;
+using sim::Topology;
+
+TEST(Team, MembershipMapping) {
+  sim::Machine m(Topology::dgx_h100(1, 8), CostModel::h100_eos());
+  World w(m, 1 << 20);
+  Team& team = w.create_team({0, 2, 5});
+  EXPECT_EQ(team.size(), 3);
+  EXPECT_EQ(team.world_pe(1), 2);
+  EXPECT_EQ(team.index_of(5), 2);
+  EXPECT_EQ(team.index_of(1), -1);
+  EXPECT_TRUE(team.contains(0));
+  EXPECT_FALSE(team.contains(7));
+}
+
+TEST(Team, RejectsInvalidMemberSets) {
+  sim::Machine m(Topology::dgx_h100(1, 4), CostModel::h100_eos());
+  World w(m, 1 << 20);
+  EXPECT_THROW(w.create_team({}), std::invalid_argument);
+  EXPECT_THROW(w.create_team({0, 0}), std::invalid_argument);
+  EXPECT_THROW(w.create_team({0, 9}), std::invalid_argument);
+}
+
+TEST(Team, AllocationIsTeamLocal) {
+  // The §5.3 clash, resolved: a PP-only buffer costs nothing on PME PEs.
+  sim::Machine m(Topology::dgx_h100(2, 4), CostModel::h100_eos());
+  World w(m, 1 << 20);
+  // 6 PP ranks, 2 PME ranks (the paper's MPMD rank specialization).
+  Team& pp = w.create_team({0, 1, 2, 3, 4, 5});
+  Team& pme = w.create_team({6, 7});
+
+  const std::size_t world_before = w.heap().allocated();
+  const SymHandle pp_buf = pp.alloc(4096);
+  EXPECT_EQ(w.heap().allocated(), world_before);  // world heap untouched
+  EXPECT_GE(pp.allocated_bytes(), 4096u);
+  EXPECT_EQ(pme.allocated_bytes(), 0u);  // no redundant PME allocation
+
+  // Views resolve per team member and are independent.
+  auto v0 = pp.view<float>(pp_buf, 0);
+  auto v5 = pp.view<float>(pp_buf, 5);
+  v0[0] = 1.0f;
+  v5[0] = 2.0f;
+  EXPECT_EQ(v0[0], 1.0f);
+  EXPECT_EQ(v5[0], 2.0f);
+}
+
+TEST(Team, RemotePtrFollowsNvlinkReachabilityOfWorldPes) {
+  // 2 nodes x 4 GPUs: PP team spans both nodes.
+  sim::Machine m(Topology::dgx_h100(2, 4), CostModel::h100_eos());
+  World w(m, 1 << 20);
+  Team& pp = w.create_team({0, 1, 4, 5});
+  const SymHandle h = pp.alloc(64);
+  EXPECT_NE(pp.remote_ptr<float>(h, 0, 1), nullptr);  // PEs 0,1: same node
+  EXPECT_EQ(pp.remote_ptr<float>(h, 0, 2), nullptr);  // PEs 0,4: IB
+  EXPECT_NE(pp.remote_ptr<float>(h, 2, 3), nullptr);  // PEs 4,5: same node
+}
+
+TEST(Team, ContrastWithWorldCollectiveAllocation) {
+  // Without teams (today's NVSHMEM), the same PP buffer must be allocated
+  // world-wide — including on PME PEs that never use it.
+  sim::Machine m(Topology::dgx_h100(1, 8), CostModel::h100_eos());
+  World w(m, 1 << 20);
+  const std::size_t before = w.heap().allocated();
+  w.alloc(4096);  // world-collective: every PE pays
+  EXPECT_GE(w.heap().allocated() - before, 4096u);
+  // vs. the team path, where only members pay (see AllocationIsTeamLocal).
+}
+
+TEST(BufferRegistration, TracksRegisteredRanges) {
+  sim::Machine m(Topology::dgx_h100(1, 2), CostModel::h100_eos());
+  World w(m, 1 << 20);
+  std::vector<float> src(256);  // a non-symmetric source buffer
+  EXPECT_FALSE(w.is_registered(0, src.data()));
+  w.register_buffer(0, src.data(), src.size() * sizeof(float));
+  EXPECT_TRUE(w.is_registered(0, src.data()));
+  EXPECT_TRUE(w.is_registered(0, src.data() + 255));
+  EXPECT_FALSE(w.is_registered(0, src.data() + 256));
+  EXPECT_FALSE(w.is_registered(1, src.data()));  // registration is per PE
+  w.unregister_buffer(0, src.data());
+  EXPECT_FALSE(w.is_registered(0, src.data()));
+}
+
+}  // namespace
+}  // namespace hs::pgas

@@ -1,0 +1,151 @@
+#include "pgas/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace hs::pgas {
+namespace {
+
+using sim::CostModel;
+using sim::Topology;
+
+TEST(World, RemotePtrFollowsNvlinkReachability) {
+  // 2 nodes x 2 GPUs: PEs 0,1 share a node; 2,3 share the other.
+  sim::Machine m(Topology::dgx_h100(2, 2), CostModel::h100_eos());
+  World w(m, 1 << 20);
+  const SymHandle h = w.alloc(64);
+  EXPECT_NE(w.remote_ptr<float>(h, 0, 1), nullptr);   // same node
+  EXPECT_EQ(w.remote_ptr<float>(h, 0, 2), nullptr);   // across IB
+  EXPECT_NE(w.remote_ptr<float>(h, 0, 0), nullptr);   // self
+  // The returned pointer aliases the target PE's heap view.
+  EXPECT_EQ(w.remote_ptr<float>(h, 0, 1), w.view<float>(h, 1).data());
+}
+
+TEST(World, Nvl72MakesEveryPeerNvlinkReachable) {
+  sim::Machine m(Topology::gb200_nvl72(4, 2), CostModel::gb200_nvl72());
+  World w(m, 1 << 20);
+  const SymHandle h = w.alloc(64);
+  for (int pe = 0; pe < w.n_pes(); ++pe) {
+    EXPECT_NE(w.remote_ptr<float>(h, 0, pe), nullptr) << "pe " << pe;
+  }
+}
+
+TEST(World, PutNbiMovesBytesAtDeliveryTime) {
+  sim::Machine m(Topology::dgx_h100(1, 2), CostModel::h100_eos());
+  World w(m, 1 << 20);
+  const SymHandle h = w.alloc(sizeof(float) * 4);
+  auto src = w.view<float>(h, 0);
+  auto dst = w.view<float>(h, 1);
+  src[0] = 42.0f;
+  w.put_nbi(0, 1, sizeof(float) * 4, [src, dst]() mutable {
+    std::memcpy(dst.data(), src.data(), sizeof(float) * 4);
+  });
+  EXPECT_EQ(dst[0], 0.0f);  // not yet delivered
+  m.run();
+  EXPECT_EQ(dst[0], 42.0f);
+}
+
+TEST(World, PutSignalNbiDeliversDataBeforeSignal) {
+  sim::Machine m(Topology::dgx_h100(2, 1), CostModel::h100_eos());
+  World w(m, 1 << 20);
+  const SymHandle h = w.alloc(sizeof(float));
+  auto arr = w.alloc_signals(1);
+  auto dst = w.view<float>(h, 1);
+  bool data_present_at_signal = false;
+  w.signal(arr, 1, 0).when_ge(7, [&] {
+    data_present_at_signal = dst[0] == 5.0f;  // acquire sees the payload
+  });
+  w.put_signal_nbi(0, 1, sizeof(float), [dst]() mutable { dst[0] = 5.0f; },
+                   w.signal(arr, 1, 0), 7);
+  m.run();
+  EXPECT_TRUE(data_present_at_signal);
+}
+
+TEST(World, SignalArraysAreIndependentPerPe) {
+  sim::Machine m(Topology::dgx_h100(1, 4), CostModel::h100_eos());
+  World w(m, 1 << 20);
+  auto arr = w.alloc_signals(3);
+  w.signal(arr, 2, 1).store(9);
+  EXPECT_EQ(w.signal(arr, 2, 1).value(), 9);
+  EXPECT_EQ(w.signal(arr, 1, 1).value(), 0);
+  EXPECT_EQ(w.signal(arr, 2, 0).value(), 0);
+  w.reset_signals(arr, 0);
+  EXPECT_EQ(w.signal(arr, 2, 1).value(), 0);
+}
+
+TEST(World, TwoSignalArraysDoNotAlias) {
+  sim::Machine m(Topology::dgx_h100(1, 2), CostModel::h100_eos());
+  World w(m, 1 << 20);
+  auto a = w.alloc_signals(2);
+  auto b = w.alloc_signals(2);
+  w.signal(a, 0, 0).store(1);
+  EXPECT_EQ(w.signal(b, 0, 0).value(), 0);
+}
+
+TEST(World, TmaStoreChunksIntoMessages) {
+  sim::Machine m(Topology::dgx_h100(1, 2), CostModel::h100_eos());
+  World w(m, 1 << 20);
+  const auto& cm = m.cost();
+  // 4.5 chunks => 5 messages; completion time reflects per-message cost.
+  const std::size_t bytes =
+      static_cast<std::size_t>(cm.tma_chunk_bytes) * 9 / 2;
+  sim::SimTime done_at = -1;
+  w.tma_store_async(0, 1, bytes, {}, [&] { done_at = m.engine().now(); });
+  m.run();
+  const auto& nv = cm.fabric.nvlink;
+  const sim::SimTime expected =
+      nv.latency_ns + 5 * nv.per_message_ns +
+      static_cast<sim::SimTime>(static_cast<double>(bytes) / nv.bytes_per_ns);
+  EXPECT_NEAR(static_cast<double>(done_at), static_cast<double>(expected), 2.0);
+}
+
+TEST(World, ProxyPlacementDrivesFabricSlowdown) {
+  sim::Machine m(Topology::dgx_h100(2, 1), CostModel::h100_eos());
+  World w(m, 1 << 20);
+  const sim::SimTime healthy = m.fabric().estimate(0, 1, 4096, 4);
+  w.set_proxy_placement(0, ProxyPlacement::ContendedCore);
+  const sim::SimTime contended = m.fabric().estimate(0, 1, 4096, 4);
+  EXPECT_GT(contended, healthy);
+  w.set_proxy_placement(0, ProxyPlacement::ReservedCore);
+  EXPECT_EQ(m.fabric().estimate(0, 1, 4096, 4), healthy);
+  // Rank-level pinning performs the same as the reserved core (§5.5).
+  w.set_proxy_placement(0, ProxyPlacement::RankPinned);
+  EXPECT_EQ(m.fabric().estimate(0, 1, 4096, 4), healthy);
+}
+
+sim::Task pe_main(World* w, sim::SimTime delay, std::vector<sim::SimTime>* out) {
+  co_await sim::Delay{delay};
+  co_await w->barrier_all();
+  out->push_back(w->machine().engine().now());
+}
+
+TEST(World, HostBarrierSynchronizesAllPes) {
+  sim::Machine m(Topology::dgx_h100(1, 3), CostModel::h100_eos());
+  World w(m, 1 << 20);
+  std::vector<sim::SimTime> released;
+  std::vector<sim::SimTime> delays{10, 50, 30};
+  for (int pe = 0; pe < 3; ++pe) {
+    m.spawn_host_task(pe_main(&w, delays[static_cast<std::size_t>(pe)], &released));
+  }
+  m.run();
+  ASSERT_EQ(released.size(), 3u);
+  for (auto t : released) EXPECT_EQ(t, 50);
+}
+
+TEST(World, SymmetricAllocationIsWorldCollective) {
+  // The paper's §5.3 constraint: a symmetric destination buffer exists on
+  // every PE, whether or not that PE wants it (PP/PME clash). Our model
+  // makes this structural: alloc() reserves on all arenas.
+  sim::Machine m(Topology::dgx_h100(1, 4), CostModel::h100_eos());
+  World w(m, 1 << 10);
+  const std::size_t before = w.heap().allocated();
+  w.alloc(512);
+  EXPECT_GE(w.heap().allocated() - before, 512u);
+  // No per-PE selective allocation API exists; exhausting the heap on one
+  // PE exhausts it on all.
+  EXPECT_THROW(w.alloc(1 << 10), std::bad_alloc);
+}
+
+}  // namespace
+}  // namespace hs::pgas

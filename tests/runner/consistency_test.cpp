@@ -1,0 +1,105 @@
+// Cross-mode consistency: skeleton (analytic sizes) and functional (real
+// atoms) runs of the same configuration must report closely matching
+// timing, since the cost model consumes only sizes — this pins the
+// skeleton benches to the verified functional path.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "runner_test_util.hpp"
+
+namespace hs::runner {
+namespace {
+
+using testing::FunctionalRig;
+using testing::SkeletonRig;
+
+TEST(ModeConsistency, SkeletonTimingTracksFunctionalTiming) {
+  // Functional: real 20k-atom grappa at density 50 over 2x2x1.
+  RunConfig cfg;
+  md::GrappaSpec spec;
+  spec.target_atoms = 20000;
+  spec.density = 50.0;
+  const md::System sys = md::build_grappa(spec);
+  md::ForceField ff(md::grappa_atom_types(), 0.9);
+  constexpr double kRlist = 1.0;
+  dd::Decomposition dd(sys, dd::GridDims{2, 2, 1}, kRlist);
+  sim::Machine m1(sim::Topology::dgx_h100(1, 4), sim::CostModel::h100_eos());
+  pgas::World w1(m1);
+  msg::Comm c1(m1);
+  MdRunner functional(m1, w1, c1, halo::make_functional_workload(dd), cfg, &ff);
+  functional.run(10);
+
+  // Skeleton: same box, same grid, same density.
+  sim::Machine m2(sim::Topology::dgx_h100(1, 4), sim::CostModel::h100_eos());
+  pgas::World w2(m2);
+  msg::Comm c2(m2);
+  const dd::DomainGrid grid(sys.box, dd::GridDims{2, 2, 1});
+  MdRunner skeleton(m2, w2, c2,
+                    halo::make_skeleton_workload(grid, kRlist, spec.density),
+                    cfg);
+  skeleton.run(10);
+
+  const double f = functional.perf().ms_per_step;
+  const double s = skeleton.perf().ms_per_step;
+  EXPECT_NEAR(s, f, 0.10 * f) << "skeleton " << s << " vs functional " << f;
+}
+
+TEST(RenderTimeline, ProducesReadableGantt) {
+  RunConfig cfg;
+  auto rig = SkeletonRig::make(45000, 4, sim::Topology::dgx_h100(1, 4), cfg);
+  rig.runner->run(6);
+  std::ostringstream os;
+  render_timeline(rig.machine->trace(), /*device=*/0, /*step=*/4, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("nb_local"), std::string::npos);
+  EXPECT_NE(out.find("FusedPackCommX"), std::string::npos);
+  EXPECT_NE(out.find("FusedCommUnpackF"), std::string::npos);
+  EXPECT_NE(out.find("window:"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(RenderTimeline, EmptySelectionIsGraceful) {
+  sim::Trace trace;
+  std::ostringstream os;
+  render_timeline(trace, 0, 0, os);
+  EXPECT_NE(os.str().find("no trace records"), std::string::npos);
+}
+
+TEST(ModeConsistency, CudaGraphPreservesFunctionalResults) {
+  RunConfig plain;
+  RunConfig graphs = plain;
+  graphs.use_cuda_graph = true;
+  auto a = FunctionalRig::make(dd::GridDims{4, 1, 1},
+                               sim::Topology::dgx_h100(1, 4), plain);
+  auto b = FunctionalRig::make(dd::GridDims{4, 1, 1},
+                               sim::Topology::dgx_h100(1, 4), graphs);
+  a.runner->run(6);
+  b.runner->run(6);
+  const md::System ga = a.dd->gather();
+  const md::System gb = b.dd->gather();
+  for (int i = 0; i < ga.natoms(); ++i) {
+    EXPECT_EQ(ga.x[static_cast<std::size_t>(i)],
+              gb.x[static_cast<std::size_t>(i)])
+        << i;
+  }
+  // Graphs never hurt; their gain concentrates at small sizes.
+  EXPECT_GE(b.runner->perf().ns_per_day,
+            a.runner->perf().ns_per_day * 0.999);
+}
+
+TEST(ModeConsistency, GraphModeIsIgnoredForMpi) {
+  RunConfig cfg;
+  cfg.transport = halo::Transport::Mpi;
+  cfg.use_cuda_graph = true;  // must be silently inert (uncapturable)
+  RunConfig plain = cfg;
+  plain.use_cuda_graph = false;
+  auto a = SkeletonRig::make(45000, 4, sim::Topology::dgx_h100(1, 4), cfg);
+  auto b = SkeletonRig::make(45000, 4, sim::Topology::dgx_h100(1, 4), plain);
+  a.runner->run(8);
+  b.runner->run(8);
+  EXPECT_EQ(a.runner->step_end_times(), b.runner->step_end_times());
+}
+
+}  // namespace
+}  // namespace hs::runner

@@ -1,0 +1,88 @@
+// Shared helpers for runner tests.
+#pragma once
+
+#include <cmath>
+#include <memory>
+
+#include "dd/decomposition.hpp"
+#include "md/system.hpp"
+#include "runner/md_runner.hpp"
+#include "runner/timing.hpp"
+
+namespace hs::runner::testing {
+
+/// Functional rig: real MD on a decomposed grappa system.
+struct FunctionalRig {
+  md::ForceField ff{md::grappa_atom_types(), 0.9};
+  std::unique_ptr<dd::Decomposition> dd;
+  std::unique_ptr<sim::Machine> machine;
+  std::unique_ptr<pgas::World> world;
+  std::unique_ptr<msg::Comm> comm;
+  std::unique_ptr<MdRunner> runner;
+
+  static FunctionalRig make(dd::GridDims dims, sim::Topology topo,
+                            RunConfig cfg, int atoms = 4000,
+                            std::uint64_t seed = 3) {
+    md::GrappaSpec spec;
+    spec.target_atoms = atoms;
+    spec.density = 50.0;
+    spec.seed = seed;
+    FunctionalRig rig;
+    constexpr double kRlist = 1.0;
+    rig.dd = std::make_unique<dd::Decomposition>(md::build_grappa(spec), dims,
+                                                 kRlist);
+    rig.machine =
+        std::make_unique<sim::Machine>(topo, sim::CostModel::h100_eos());
+    rig.machine->trace().set_enabled(true);
+    rig.world = std::make_unique<pgas::World>(*rig.machine);
+    rig.comm = std::make_unique<msg::Comm>(*rig.machine);
+    rig.runner = std::make_unique<MdRunner>(
+        *rig.machine, *rig.world, *rig.comm,
+        halo::make_functional_workload(*rig.dd), cfg, &rig.ff);
+    return rig;
+  }
+};
+
+/// Skeleton rig at a grappa-like size (density 100/nm^3, cubic box).
+struct SkeletonRig {
+  std::unique_ptr<sim::Machine> machine;
+  std::unique_ptr<pgas::World> world;
+  std::unique_ptr<msg::Comm> comm;
+  std::unique_ptr<MdRunner> runner;
+
+  static SkeletonRig make(int atoms, int ranks, sim::Topology topo,
+                          RunConfig cfg,
+                          sim::CostModel cm = sim::CostModel::h100_eos()) {
+    const double density = 100.0;
+    const double rc = 1.30;  // pair-list radius (cutoff + large nstlist=200 Verlet buffer)
+    const float box_len = static_cast<float>(std::cbrt(atoms / density));
+    const md::Box box(box_len, box_len, box_len);
+    const dd::DomainGrid grid(box, dd::choose_grid(box, ranks, rc));
+    SkeletonRig rig;
+    rig.machine = std::make_unique<sim::Machine>(topo, cm);
+    rig.machine->trace().set_enabled(true);
+    rig.world = std::make_unique<pgas::World>(*rig.machine);
+    rig.comm = std::make_unique<msg::Comm>(*rig.machine);
+    rig.runner = std::make_unique<MdRunner>(
+        *rig.machine, *rig.world, *rig.comm,
+        halo::make_skeleton_workload(grid, rc, density), cfg);
+    return rig;
+  }
+};
+
+/// Reference single-rank trajectory with the same fixed pair list.
+inline md::System reference_trajectory(md::System sys, const md::ForceField& ff,
+                                       int steps, double dt_ps,
+                                       double rlist = 1.0) {
+  md::PairList list;
+  list.build_local(sys.box, sys.x, sys.natoms(), rlist);
+  const md::LeapfrogIntegrator integ(dt_ps);
+  for (int s = 0; s < steps; ++s) {
+    std::vector<md::Vec3> f(sys.x.size());
+    md::compute_nonbonded(sys.box, ff, sys.x, sys.type, list, f);
+    integ.step(sys.box, ff, sys.type, f, sys.v, sys.x);
+  }
+  return sys;
+}
+
+}  // namespace hs::runner::testing

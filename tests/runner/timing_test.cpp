@@ -1,0 +1,98 @@
+#include "runner/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runner_test_util.hpp"
+
+namespace hs::runner {
+namespace {
+
+using testing::SkeletonRig;
+
+TEST(KernelClassification, PackAndUnpackNames) {
+  EXPECT_TRUE(is_pack_kernel("FusedPackCommX"));
+  EXPECT_TRUE(is_pack_kernel("PackCommX_p1"));
+  EXPECT_TRUE(is_pack_kernel("PackX_p0"));
+  EXPECT_TRUE(is_unpack_kernel("FusedCommUnpackF"));
+  EXPECT_TRUE(is_unpack_kernel("CommUnpackF_p2"));
+  EXPECT_TRUE(is_unpack_kernel("UnpackF_p0"));
+  EXPECT_FALSE(is_pack_kernel("nb_local"));
+  EXPECT_FALSE(is_unpack_kernel("reduce"));
+  EXPECT_FALSE(is_pack_kernel("UnpackF_p0"));
+  EXPECT_FALSE(is_unpack_kernel("PackX_p0"));
+}
+
+TEST(DeviceTiming, IntervalsSatisfyDefinitions) {
+  RunConfig cfg;
+  auto rig = SkeletonRig::make(180000, 4, sim::Topology::dgx_h100(1, 4), cfg);
+  rig.runner->run(12);
+  const auto t = analyze_device_timing(rig.machine->trace(),
+                                       rig.runner->step_end_times(), 4);
+  EXPECT_GT(t.local_us, 0.0);
+  EXPECT_GT(t.nonlocal_us, 0.0);
+  EXPECT_GE(t.nonoverlap_us, 0.0);
+  // Non-overlap is a suffix of the non-local window.
+  EXPECT_LE(t.nonoverlap_us, t.nonlocal_us + 1e-9);
+  // Step covers local + exposed non-local.
+  EXPECT_GE(t.step_us, t.local_us + t.nonoverlap_us - 1.0);
+  EXPECT_NEAR(t.other_us, t.step_us - t.local_us - t.nonoverlap_us, 1e-6);
+  EXPECT_EQ(t.measured_steps, 9);
+}
+
+TEST(DeviceTiming, WarmupStepsAreExcluded) {
+  RunConfig cfg;
+  auto rig = SkeletonRig::make(45000, 4, sim::Topology::dgx_h100(1, 4), cfg);
+  rig.runner->run(10);
+  const auto all = analyze_device_timing(rig.machine->trace(),
+                                         rig.runner->step_end_times(), 4, 0);
+  const auto tail = analyze_device_timing(rig.machine->trace(),
+                                          rig.runner->step_end_times(), 4, 5);
+  EXPECT_GT(all.measured_steps, tail.measured_steps);
+  EXPECT_GT(tail.local_us, 0.0);
+}
+
+TEST(DeviceTiming, MpiExposesMoreNonOverlapThanShmem) {
+  // The central §6.3 observation: NVSHMEM overlaps communication with local
+  // work; MPI leaves it exposed on the critical path.
+  RunConfig shmem_cfg;
+  shmem_cfg.transport = halo::Transport::Shmem;
+  RunConfig mpi_cfg;
+  mpi_cfg.transport = halo::Transport::Mpi;
+  auto a = SkeletonRig::make(45000, 4, sim::Topology::dgx_h100(1, 4), shmem_cfg);
+  auto b = SkeletonRig::make(45000, 4, sim::Topology::dgx_h100(1, 4), mpi_cfg);
+  a.runner->run(12);
+  b.runner->run(12);
+  const auto ts = analyze_device_timing(a.machine->trace(),
+                                        a.runner->step_end_times(), 4);
+  const auto tm = analyze_device_timing(b.machine->trace(),
+                                        b.runner->step_end_times(), 4);
+  EXPECT_LT(ts.nonoverlap_us, tm.nonoverlap_us);
+  EXPECT_LT(ts.nonlocal_us, tm.nonlocal_us);
+}
+
+TEST(DeviceTiming, LocalWorkGrowsLinearlyWithSystemSize) {
+  // §6.3: "local work duration grows nearly linearly (1.7-2.0 ns/atom)".
+  RunConfig cfg;
+  auto small = SkeletonRig::make(45000, 4, sim::Topology::dgx_h100(1, 4), cfg);
+  auto large = SkeletonRig::make(180000, 4, sim::Topology::dgx_h100(1, 4), cfg);
+  small.runner->run(10);
+  large.runner->run(10);
+  const auto ts = analyze_device_timing(small.machine->trace(),
+                                        small.runner->step_end_times(), 4);
+  const auto tl = analyze_device_timing(large.machine->trace(),
+                                        large.runner->step_end_times(), 4);
+  // 4x atoms => local work between 3x and 4.5x (the fixed overhead shrinks
+  // the ratio slightly below 4).
+  EXPECT_GT(tl.local_us, 3.0 * ts.local_us);
+  EXPECT_LT(tl.local_us, 4.5 * ts.local_us);
+}
+
+TEST(DeviceTiming, EmptyTraceYieldsZeros) {
+  sim::Trace trace;
+  const auto t = analyze_device_timing(trace, {}, 4);
+  EXPECT_EQ(t.local_us, 0.0);
+  EXPECT_EQ(t.measured_steps, 0);
+}
+
+}  // namespace
+}  // namespace hs::runner

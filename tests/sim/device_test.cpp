@@ -1,0 +1,147 @@
+#include "sim/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hs::sim {
+namespace {
+
+TEST(Device, SingleSpanRunsAtFullSpeed) {
+  Engine e;
+  Device d(e, 0, 0);
+  SimTime done_at = -1;
+  e.schedule_at(0, [&] {
+    d.begin_span(1000.0, 0.5, 0, [&] { done_at = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(done_at, 1000);
+}
+
+TEST(Device, UndersubscribedSpansDoNotSlowEachOther) {
+  Engine e;
+  Device d(e, 0, 0);
+  SimTime a = -1, b = -1;
+  e.schedule_at(0, [&] {
+    d.begin_span(1000.0, 0.4, 0, [&] { a = e.now(); });
+    d.begin_span(2000.0, 0.4, 0, [&] { b = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(a, 1000);
+  EXPECT_EQ(b, 2000);
+}
+
+TEST(Device, OversubscriptionStretchesProportionally) {
+  Engine e;
+  Device d(e, 0, 0);
+  SimTime a = -1, b = -1;
+  e.schedule_at(0, [&] {
+    // Two spans each demanding 100% of the device: both run at half speed.
+    d.begin_span(1000.0, 1.0, 0, [&] { a = e.now(); });
+    d.begin_span(1000.0, 1.0, 0, [&] { b = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(a, 2000);
+  EXPECT_EQ(b, 2000);
+}
+
+TEST(Device, LateArrivalSlowsRemainderOnly) {
+  Engine e;
+  Device d(e, 0, 0);
+  SimTime a = -1, b = -1;
+  e.schedule_at(0, [&] {
+    d.begin_span(1000.0, 1.0, 0, [&] { a = e.now(); });
+  });
+  // Second full-demand span arrives halfway through the first.
+  e.schedule_at(500, [&] {
+    d.begin_span(1000.0, 1.0, 0, [&] { b = e.now(); });
+  });
+  e.run();
+  // First span: 500 ns at speed 1 (500 work) + 500 work at speed 1/2 =>
+  // finishes at 500 + 1000 = 1500. Then second has 500 work left at full
+  // speed => 1500 + 500 = 2000... but it did 500 work in [500,1500] at 1/2.
+  EXPECT_EQ(a, 1500);
+  EXPECT_EQ(b, 2000);
+}
+
+TEST(Device, HighPriorityPreemptsLow) {
+  Engine e;
+  Device d(e, 0, 0);
+  SimTime low_done = -1, high_done = -1;
+  e.schedule_at(0, [&] {
+    d.begin_span(1000.0, 1.0, /*priority=*/0, [&] { low_done = e.now(); });
+    d.begin_span(1000.0, 1.0, /*priority=*/1, [&] { high_done = e.now(); });
+  });
+  e.run();
+  // High priority takes the whole device; low is starved until it finishes.
+  EXPECT_EQ(high_done, 1000);
+  EXPECT_EQ(low_done, 2000);
+}
+
+TEST(Device, PartialDemandLeavesRoomForLowPriority) {
+  Engine e;
+  Device d(e, 0, 0);
+  SimTime low_done = -1, high_done = -1;
+  e.schedule_at(0, [&] {
+    d.begin_span(1000.0, 0.25, 1, [&] { high_done = e.now(); });
+    d.begin_span(750.0, 1.0, 0, [&] { low_done = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(high_done, 1000);
+  // Low gets 0.75 of its demand while high is resident: 750 work at 0.75
+  // speed = 1000 ns => both finish at 1000.
+  EXPECT_EQ(low_done, 1000);
+}
+
+TEST(Device, CommKernelInflatesLocalKernel) {
+  // The paper's §6.3 observation: a comm kernel demanding ~12% of SMs
+  // stretches an SM-saturating local kernel by that share.
+  Engine e;
+  Device d(e, 0, 0);
+  SimTime local_done = -1;
+  e.schedule_at(0, [&] {
+    d.begin_span(100000.0, 0.95, 0, [&] { local_done = e.now(); });
+    d.begin_span(800000.0, 0.12, 0, [] {});  // long-lived comm span
+  });
+  e.run_until(300000);
+  // demand sum 1.07 > 1 => speed 1/1.07 => ~107000 ns.
+  EXPECT_NEAR(static_cast<double>(local_done), 107000.0, 200.0);
+}
+
+TEST(Device, ZeroWorkSpanCompletesImmediately) {
+  Engine e;
+  Device d(e, 0, 0);
+  bool done = false;
+  e.schedule_at(5, [&] { d.begin_span(0.0, 0.5, 0, [&] { done = true; }); });
+  e.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Device, ResidentDemandTracksSpans) {
+  Engine e;
+  Device d(e, 0, 0);
+  e.schedule_at(0, [&] {
+    d.begin_span(100.0, 0.3, 0, [] {});
+    d.begin_span(100.0, 0.4, 0, [] {});
+    EXPECT_NEAR(d.resident_demand(), 0.7, 1e-12);
+    EXPECT_EQ(d.resident_spans(), 2);
+  });
+  e.run();
+  EXPECT_EQ(d.resident_spans(), 0);
+}
+
+TEST(Device, CallbackCanStartNewSpan) {
+  Engine e;
+  Device d(e, 0, 0);
+  SimTime second_done = -1;
+  e.schedule_at(0, [&] {
+    d.begin_span(100.0, 1.0, 0, [&] {
+      d.begin_span(50.0, 1.0, 0, [&] { second_done = e.now(); });
+    });
+  });
+  e.run();
+  EXPECT_EQ(second_done, 150);
+}
+
+}  // namespace
+}  // namespace hs::sim

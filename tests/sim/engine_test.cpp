@@ -1,0 +1,92 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace hs::sim {
+namespace {
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(30, [&] { order.push_back(3); });
+  e.schedule_at(10, [&] { order.push_back(1); });
+  e.schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(e.run(), 30);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, SameTimeEventsRunFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, CallbacksCanScheduleMore) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(1, [&] {
+    ++fired;
+    e.schedule_after(5, [&] { ++fired; });
+  });
+  EXPECT_EQ(e.run(), 6);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, ScheduleNowRunsAfterQueuedSameTime) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(0, [&] {
+    order.push_back(1);
+    e.schedule_now([&] { order.push_back(3); });
+  });
+  e.schedule_at(0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, RunUntilStopsAtHorizon) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(10, [&] { ++fired; });
+  e.schedule_at(100, [&] { ++fired; });
+  EXPECT_FALSE(e.run_until(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), 10);
+  EXPECT_TRUE(e.run_until(200));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, CountsProcessedEvents) {
+  Engine e;
+  for (int i = 0; i < 5; ++i) e.schedule_at(i, [] {});
+  e.run();
+  EXPECT_EQ(e.events_processed(), 5u);
+}
+
+TEST(Engine, RecordedErrorIsRethrownByRun) {
+  Engine e;
+  e.schedule_at(1, [&] {
+    e.record_error(std::make_exception_ptr(std::runtime_error("boom")));
+  });
+  e.schedule_at(2, [] { FAIL() << "must not run after error"; });
+  EXPECT_THROW(e.run(), std::runtime_error);
+}
+
+TEST(Engine, IdleReflectsQueueState) {
+  Engine e;
+  EXPECT_TRUE(e.idle());
+  e.schedule_at(1, [] {});
+  EXPECT_FALSE(e.idle());
+  e.run();
+  EXPECT_TRUE(e.idle());
+}
+
+}  // namespace
+}  // namespace hs::sim

@@ -1,0 +1,113 @@
+#include "sim/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hs::sim {
+namespace {
+
+FabricParams test_params() {
+  FabricParams p;
+  p.loopback = LinkParams{10, 0, 100.0};
+  p.nvlink = LinkParams{100, 10, 10.0};
+  p.ib = LinkParams{1000, 100, 1.0};
+  return p;
+}
+
+TEST(Fabric, EstimateNvlink) {
+  Engine e;
+  Fabric f(e, Topology::dgx_h100(2, 4), test_params());
+  // Devices 0 and 1: same node => NVLink. 1000 B at 10 B/ns = 100 ns wire.
+  EXPECT_EQ(f.link(0, 1), LinkType::NVLink);
+  EXPECT_EQ(f.estimate(0, 1, 1000, 1), 100 + 10 + 100);
+}
+
+TEST(Fabric, EstimateIbAcrossNodes) {
+  Engine e;
+  Fabric f(e, Topology::dgx_h100(2, 4), test_params());
+  EXPECT_EQ(f.link(0, 4), LinkType::IB);
+  EXPECT_EQ(f.estimate(0, 4, 500, 2), 1000 + 200 + 500);
+}
+
+TEST(Fabric, TransferDeliversDataAtCompletionTime) {
+  Engine e;
+  Fabric f(e, Topology::dgx_h100(2, 4), test_params());
+  int payload = 0;
+  SimTime delivered_at = -1;
+  TransferRequest req;
+  req.src_device = 0;
+  req.dst_device = 1;
+  req.bytes = 1000;
+  req.deliver = [&] {
+    payload = 7;
+    delivered_at = e.now();
+  };
+  SimTime completed_at = -1;
+  f.transfer(std::move(req), [&] { completed_at = e.now(); });
+  EXPECT_EQ(payload, 0);  // nothing moved yet
+  e.run();
+  EXPECT_EQ(payload, 7);
+  EXPECT_EQ(delivered_at, 210);
+  EXPECT_EQ(completed_at, 210);
+}
+
+TEST(Fabric, IbNicSerializesBandwidthButPipelinesLatency) {
+  Engine e;
+  Fabric f(e, Topology::dgx_h100(2, 1), test_params());
+  std::vector<SimTime> done;
+  for (int i = 0; i < 2; ++i) {
+    TransferRequest req;
+    req.src_device = 0;
+    req.dst_device = 1;
+    req.bytes = 500;  // occupancy 500/1 + 100 = 600 ns
+    f.transfer(std::move(req), [&] { done.push_back(e.now()); });
+  }
+  e.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], 600 + 1000);          // first: occupancy + latency
+  EXPECT_EQ(done[1], 600 + 600 + 1000);    // second queues behind first
+}
+
+TEST(Fabric, NvlinkTransfersDoNotQueue) {
+  Engine e;
+  Fabric f(e, Topology::dgx_h100(1, 2), test_params());
+  std::vector<SimTime> done;
+  for (int i = 0; i < 2; ++i) {
+    TransferRequest req;
+    req.src_device = 0;
+    req.dst_device = 1;
+    req.bytes = 100;
+    f.transfer(std::move(req), [&] { done.push_back(e.now()); });
+  }
+  e.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], done[1]);  // full parallelism on NVLink
+}
+
+TEST(Fabric, ProxySlowdownInflatesIbPerMessageCost) {
+  Engine e;
+  Fabric f(e, Topology::dgx_h100(2, 1), test_params());
+  const SimTime healthy = f.estimate(0, 1, 0, 10);
+  f.set_proxy_slowdown(0, 50.0);
+  const SimTime contended = f.estimate(0, 1, 0, 10);
+  EXPECT_EQ(healthy, 1000 + 10 * 100);
+  EXPECT_EQ(contended, 1000 + 10 * 100 * 50);
+}
+
+TEST(Fabric, ProxySlowdownDoesNotAffectNvlink) {
+  Engine e;
+  Fabric f(e, Topology::dgx_h100(1, 2), test_params());
+  f.set_proxy_slowdown(0, 50.0);
+  EXPECT_EQ(f.estimate(0, 1, 1000, 1), 100 + 10 + 100);
+}
+
+TEST(Fabric, LoopbackIsCheap) {
+  Engine e;
+  Fabric f(e, Topology::dgx_h100(1, 2), test_params());
+  EXPECT_EQ(f.link(0, 0), LinkType::Loopback);
+  EXPECT_LT(f.estimate(0, 0, 1000, 1), f.estimate(0, 1, 1000, 1));
+}
+
+}  // namespace
+}  // namespace hs::sim

@@ -1,0 +1,99 @@
+// Direct coverage of two later-added device mechanisms: open-ended
+// occupancy holds (SM resource sharing of resident comm kernels) and
+// per-kernel device-side dispatch overhead (what CUDA graphs shrink).
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+
+namespace hs::sim {
+namespace {
+
+TEST(DeviceHold, SlowsCoResidentWorkWhileHeld) {
+  Engine e;
+  Device d(e, 0, 0);
+  SimTime work_done = -1;
+  Device::SpanId hold = 0;
+  e.schedule_at(0, [&] {
+    hold = d.begin_hold(0.25, 0);
+    d.begin_span(1000.0, 1.0, 0, [&] { work_done = e.now(); });
+  });
+  // Release the hold at t = 500.
+  e.schedule_at(500, [&] { d.end_hold(hold); });
+  e.run();
+  // While held: demand 1.25 => speed 0.8 => 400 work done by t=500; the
+  // remaining 600 at full speed => done at 1100.
+  EXPECT_EQ(work_done, 1100);
+}
+
+TEST(DeviceHold, HoldAloneNeverCompletes) {
+  Engine e;
+  Device d(e, 0, 0);
+  e.schedule_at(0, [&] { d.begin_hold(0.5, 0); });
+  EXPECT_TRUE(e.run_until(1'000'000));
+  EXPECT_EQ(d.resident_spans(), 1);  // still resident, not completed
+}
+
+TEST(DeviceHold, PriorityTiersApplyToHolds) {
+  Engine e;
+  Device d(e, 0, 0);
+  SimTime low_done = -1;
+  Device::SpanId hold = 0;
+  e.schedule_at(0, [&] {
+    hold = d.begin_hold(1.0, /*priority=*/1);  // high-priority full hold
+    d.begin_span(100.0, 1.0, /*priority=*/0, [&] { low_done = e.now(); });
+  });
+  e.schedule_at(300, [&] { d.end_hold(hold); });
+  e.run();
+  // Fully starved until the hold releases.
+  EXPECT_EQ(low_done, 400);
+}
+
+TEST(KernelDispatch, DelaysKernelStart) {
+  Machine m(Topology::dgx_h100(1, 1), CostModel::h100_eos());
+  m.trace().set_enabled(true);
+  Stream& s = m.create_stream(0, "s", StreamPriority::kHigh);
+  KernelSpec spec;
+  spec.name = "k";
+  spec.sm_demand = 1.0;
+  spec.dispatch_ns = 700;
+  spec.body = [](KernelContext& ctx) -> Task { co_await ctx.compute(100.0); };
+  s.launch(std::move(spec));
+  m.run();
+  ASSERT_EQ(m.trace().records().size(), 1u);
+  EXPECT_EQ(m.trace().records()[0].begin, 700);
+  EXPECT_EQ(m.trace().records()[0].end, 800);
+}
+
+TEST(KernelDispatch, SerializedKernelsPayDispatchEach) {
+  Machine m(Topology::dgx_h100(1, 1), CostModel::h100_eos());
+  Stream& s = m.create_stream(0, "s", StreamPriority::kHigh);
+  SimTime done = -1;
+  for (int i = 0; i < 3; ++i) {
+    KernelSpec spec;
+    spec.name = "k";
+    spec.sm_demand = 1.0;
+    spec.dispatch_ns = 500;
+    auto* engine = &m.engine();
+    spec.body = [](KernelContext& ctx) -> Task { co_await ctx.compute(100.0); };
+    spec.on_complete = [&done, engine] { done = engine->now(); };
+    s.launch(std::move(spec));
+  }
+  m.run();
+  EXPECT_EQ(done, 3 * (500 + 100));
+}
+
+TEST(KernelDispatch, ZeroDispatchStartsImmediately) {
+  Machine m(Topology::dgx_h100(1, 1), CostModel::h100_eos());
+  m.trace().set_enabled(true);
+  Stream& s = m.create_stream(0, "s", StreamPriority::kHigh);
+  KernelSpec spec;
+  spec.name = "k";
+  spec.sm_demand = 1.0;
+  spec.body = [](KernelContext& ctx) -> Task { co_await ctx.compute(50.0); };
+  s.launch(std::move(spec));
+  m.run();
+  EXPECT_EQ(m.trace().records()[0].begin, 0);
+}
+
+}  // namespace
+}  // namespace hs::sim

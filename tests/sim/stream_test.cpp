@@ -1,0 +1,153 @@
+#include "sim/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace hs::sim {
+namespace {
+
+KernelSpec simple_kernel(std::string name, double work_ns,
+                         std::function<void()> fn = {}) {
+  KernelSpec spec;
+  spec.name = std::move(name);
+  spec.sm_demand = 1.0;
+  spec.body = [work_ns, fn](KernelContext& ctx) -> Task {
+    co_await ctx.compute(work_ns);
+    if (fn) fn();  // "data work" executes at span completion time
+  };
+  return spec;
+}
+
+TEST(Stream, KernelsRunInOrder) {
+  Machine m(Topology::dgx_h100(1, 1), CostModel::h100_eos());
+  Stream& s = m.create_stream(0, "s0", StreamPriority::kHigh);
+  std::vector<std::pair<int, SimTime>> done;
+  s.launch(simple_kernel("k1", 100.0, [&] { done.push_back({1, m.engine().now()}); }));
+  s.launch(simple_kernel("k2", 50.0, [&] { done.push_back({2, m.engine().now()}); }));
+  m.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], (std::pair<int, SimTime>{1, 100}));
+  EXPECT_EQ(done[1], (std::pair<int, SimTime>{2, 150}));
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Stream, RecordAndWaitOrderAcrossStreams) {
+  Machine m(Topology::dgx_h100(1, 1), CostModel::h100_eos());
+  Stream& a = m.create_stream(0, "a", StreamPriority::kHigh);
+  Stream& b = m.create_stream(0, "b", StreamPriority::kHigh);
+  SimTime b_done = -1;
+  a.launch(simple_kernel("producer", 200.0));
+  auto ev = a.record();
+  b.wait(ev);
+  b.launch(simple_kernel("consumer", 100.0, [&] { b_done = m.engine().now(); }));
+  m.run();
+  // Consumer starts only after producer's event: 200 + (shared-device)
+  // execution. Both kernels demand the full device but do not overlap.
+  EXPECT_EQ(b_done, 300);
+  EXPECT_EQ(ev->completed_at(), 200);
+}
+
+TEST(Stream, WaitOnCompletedEventIsFree) {
+  Machine m(Topology::dgx_h100(1, 1), CostModel::h100_eos());
+  Stream& s = m.create_stream(0, "s", StreamPriority::kHigh);
+  auto ev = s.make_event();
+  ev->complete();
+  SimTime done = -1;
+  s.wait(ev);
+  s.launch(simple_kernel("k", 10.0, [&] { done = m.engine().now(); }));
+  m.run();
+  EXPECT_EQ(done, 10);
+}
+
+TEST(Stream, KernelsOnDifferentStreamsShareTheDevice) {
+  Machine m(Topology::dgx_h100(1, 1), CostModel::h100_eos());
+  Stream& a = m.create_stream(0, "a", StreamPriority::kHigh);
+  Stream& b = m.create_stream(0, "b", StreamPriority::kHigh);
+  SimTime a_done = -1, b_done = -1;
+  a.launch(simple_kernel("ka", 1000.0, [&] { a_done = m.engine().now(); }));
+  b.launch(simple_kernel("kb", 1000.0, [&] { b_done = m.engine().now(); }));
+  m.run();
+  // Full-demand kernels co-resident => processor sharing doubles both.
+  EXPECT_EQ(a_done, 2000);
+  EXPECT_EQ(b_done, 2000);
+}
+
+TEST(Stream, PriorityTierPreemptsAcrossStreams) {
+  Machine m(Topology::dgx_h100(1, 1), CostModel::h100_eos());
+  Stream& low = m.create_stream(0, "prune", StreamPriority::kLow);
+  Stream& mid = m.create_stream(0, "update", StreamPriority::kMedium);
+  SimTime low_done = -1, mid_done = -1;
+  low.launch(simple_kernel("prune", 1000.0, [&] { low_done = m.engine().now(); }));
+  mid.launch(simple_kernel("reduce", 500.0, [&] { mid_done = m.engine().now(); }));
+  m.run();
+  // §5.4: the medium-priority reduction preempts the rolling prune.
+  EXPECT_EQ(mid_done, 500);
+  EXPECT_EQ(low_done, 1500);
+}
+
+TEST(Stream, SpawnedBlockGroupsGateKernelCompletion) {
+  Machine m(Topology::dgx_h100(1, 1), CostModel::h100_eos());
+  Stream& s = m.create_stream(0, "s", StreamPriority::kHigh);
+  KernelSpec spec;
+  spec.name = "fused";
+  spec.sm_demand = 0.2;
+  spec.body = [](KernelContext& ctx) -> Task {
+    for (int i = 1; i <= 3; ++i) {
+      ctx.spawn([](KernelContext& c, double w) -> Task {
+        co_await c.compute(w);
+      }(ctx, 100.0 * i));
+    }
+    co_return;
+  };
+  s.launch(spec);
+  SimTime after = -1;
+  s.launch(simple_kernel("next", 10.0, [&] { after = m.engine().now(); }));
+  m.run();
+  // Fused kernel ends when the slowest block group (300 ns) ends.
+  EXPECT_EQ(after, 310);
+}
+
+TEST(Stream, AsyncOpBlocksFollowingWork) {
+  Machine m(Topology::dgx_h100(1, 1), CostModel::h100_eos());
+  Stream& s = m.create_stream(0, "s", StreamPriority::kHigh);
+  SimTime k_done = -1;
+  s.enqueue_async("dma", [&](std::function<void()> done) {
+    m.engine().schedule_after(400, std::move(done));
+  });
+  s.launch(simple_kernel("k", 100.0, [&] { k_done = m.engine().now(); }));
+  m.run();
+  EXPECT_EQ(k_done, 500);
+}
+
+TEST(Stream, TraceRecordsKernelIntervals) {
+  Machine m(Topology::dgx_h100(1, 1), CostModel::h100_eos());
+  m.trace().set_enabled(true);
+  m.trace().set_step(42);
+  Stream& s = m.create_stream(0, "nonlocal", StreamPriority::kHigh);
+  s.launch(simple_kernel("packX", 250.0));
+  m.run();
+  ASSERT_EQ(m.trace().records().size(), 1u);
+  const TraceRecord& r = m.trace().records()[0];
+  EXPECT_EQ(r.name, "packX");
+  EXPECT_EQ(r.stream, "nonlocal");
+  EXPECT_EQ(r.begin, 0);
+  EXPECT_EQ(r.end, 250);
+  EXPECT_EQ(r.step, 42);
+  EXPECT_EQ(r.device, 0);
+}
+
+TEST(Stream, CallbackIsStreamOrdered) {
+  Machine m(Topology::dgx_h100(1, 1), CostModel::h100_eos());
+  Stream& s = m.create_stream(0, "s", StreamPriority::kHigh);
+  SimTime cb_at = -1;
+  s.launch(simple_kernel("k", 123.0));
+  s.enqueue_callback([&] { cb_at = m.engine().now(); });
+  m.run();
+  EXPECT_EQ(cb_at, 123);
+}
+
+}  // namespace
+}  // namespace hs::sim

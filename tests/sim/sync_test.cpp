@@ -1,0 +1,155 @@
+#include "sim/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hs::sim {
+namespace {
+
+Task wait_signal(Signal* sig, std::int64_t thr, Engine* e, SimTime* woke_at) {
+  co_await sig->wait_ge(thr);
+  *woke_at = e->now();
+}
+
+TEST(Signal, WaiterWakesWhenThresholdReached) {
+  Engine e;
+  Signal sig(e);
+  SimTime woke_at = -1;
+  Task t = wait_signal(&sig, 3, &e, &woke_at);
+  t.bind({&e, nullptr, 0});
+  t.start();
+  e.schedule_at(10, [&] { sig.store(2); });
+  e.schedule_at(20, [&] { sig.store(3); });
+  e.run();
+  EXPECT_EQ(woke_at, 20);
+}
+
+TEST(Signal, AlreadySatisfiedDoesNotSuspend) {
+  Engine e;
+  Signal sig(e);
+  sig.store(5);
+  SimTime woke_at = -1;
+  Task t = wait_signal(&sig, 5, &e, &woke_at);
+  t.bind({&e, nullptr, 0});
+  t.start();
+  EXPECT_EQ(woke_at, 0);  // resumed synchronously via await_ready
+  e.run();
+}
+
+TEST(Signal, AddAccumulates) {
+  Engine e;
+  Signal sig(e);
+  sig.add(2);
+  sig.add(3);
+  EXPECT_EQ(sig.value(), 5);
+}
+
+TEST(Signal, WhenGeCallbackStyle) {
+  Engine e;
+  Signal sig(e);
+  std::vector<int> order;
+  sig.when_ge(1, [&] { order.push_back(1); });
+  sig.when_ge(2, [&] { order.push_back(2); });
+  e.schedule_at(5, [&] { sig.store(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Signal, ResetDoesNotWakeWaiters) {
+  Engine e;
+  Signal sig(e);
+  bool woke = false;
+  sig.when_ge(1, [&] { woke = true; });
+  sig.reset(10);  // reuse between steps: raw value change, no wake
+  e.run();
+  EXPECT_FALSE(woke);
+  EXPECT_EQ(sig.value(), 10);
+  sig.store(10);  // an actual store at the same value does wake
+  e.run();
+  EXPECT_TRUE(woke);
+}
+
+TEST(GpuEvent, CompleteWakesAllWaiters) {
+  Engine e;
+  GpuEvent ev(e);
+  int woken = 0;
+  ev.when_complete([&] { ++woken; });
+  ev.when_complete([&] { ++woken; });
+  EXPECT_FALSE(ev.is_complete());
+  e.schedule_at(7, [&] { ev.complete(); });
+  e.run();
+  EXPECT_TRUE(ev.is_complete());
+  EXPECT_EQ(ev.completed_at(), 7);
+  EXPECT_EQ(woken, 2);
+}
+
+TEST(GpuEvent, WaitAfterCompleteRunsImmediately) {
+  Engine e;
+  GpuEvent ev(e);
+  ev.complete();
+  bool ran = false;
+  ev.when_complete([&] { ran = true; });
+  e.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(GpuEvent, DoubleCompleteIsIdempotent) {
+  Engine e;
+  GpuEvent ev(e);
+  e.schedule_at(3, [&] { ev.complete(); });
+  e.run();
+  ev.complete();
+  EXPECT_EQ(ev.completed_at(), 3);
+}
+
+Task barrier_participant(BlockBarrier* bar, SimTime pre_delay, Engine* e,
+                         std::vector<SimTime>* done_times) {
+  co_await Delay{pre_delay};
+  co_await bar->arrive_and_wait();
+  done_times->push_back(e->now());
+}
+
+TEST(BlockBarrier, AllParticipantsReleaseTogether) {
+  Engine e;
+  BlockBarrier bar(e, 3);
+  std::vector<SimTime> done;
+  std::vector<Task> tasks;
+  for (SimTime d : {5, 10, 20}) {
+    tasks.push_back(barrier_participant(&bar, d, &e, &done));
+    tasks.back().bind({&e, nullptr, 0});
+    tasks.back().start();
+  }
+  e.run();
+  ASSERT_EQ(done.size(), 3u);
+  for (SimTime t : done) EXPECT_EQ(t, 20);  // release at last arrival
+}
+
+TEST(BlockBarrier, IsReusableAcrossGenerations) {
+  Engine e;
+  BlockBarrier bar(e, 2);
+  std::vector<SimTime> done;
+  std::vector<Task> tasks;
+  // First generation releases at t=10; the second starts at t=10 (after the
+  // first run() drains) and releases at 10 + max(25, 30) = 40.
+  for (SimTime d : {10, 5}) {
+    tasks.push_back(barrier_participant(&bar, d, &e, &done));
+    tasks.back().bind({&e, nullptr, 0});
+    tasks.back().start();
+  }
+  e.run();
+  for (SimTime d : {25, 30}) {
+    tasks.push_back(barrier_participant(&bar, d, &e, &done));
+    tasks.back().bind({&e, nullptr, 0});
+    tasks.back().start();
+  }
+  e.run();
+  ASSERT_EQ(done.size(), 4u);
+  EXPECT_EQ(done[0], 10);
+  EXPECT_EQ(done[1], 10);
+  EXPECT_EQ(done[2], 40);
+  EXPECT_EQ(done[3], 40);
+}
+
+}  // namespace
+}  // namespace hs::sim

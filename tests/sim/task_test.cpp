@@ -1,0 +1,89 @@
+#include "sim/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hs::sim {
+namespace {
+
+Task delayer(std::vector<SimTime>* log, Engine* engine, SimTime d1, SimTime d2) {
+  co_await Delay{d1};
+  log->push_back(engine->now());
+  co_await Delay{d2};
+  log->push_back(engine->now());
+}
+
+TEST(Task, DelaysAdvanceLocalTime) {
+  Engine e;
+  std::vector<SimTime> log;
+  Task t = delayer(&log, &e, 10, 5);
+  t.bind({&e, nullptr, 0});
+  bool completed = false;
+  t.set_on_complete([&] { completed = true; });
+  t.start();
+  e.run();
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(log, (std::vector<SimTime>{10, 15}));
+  EXPECT_TRUE(t.done());
+}
+
+Task zero_delay(int* count) {
+  co_await Delay{0};  // await_ready fast-path
+  ++*count;
+}
+
+TEST(Task, ZeroDelayDoesNotSuspend) {
+  Engine e;
+  int count = 0;
+  Task t = zero_delay(&count);
+  t.bind({&e, nullptr, 0});
+  t.start();
+  EXPECT_EQ(count, 1);  // ran to completion synchronously
+  e.run();
+}
+
+Task capture_ctx(ExecContext* out) {
+  *out = co_await CurrentContext{};
+}
+
+TEST(Task, CurrentContextExposesBinding) {
+  Engine e;
+  ExecContext seen;
+  Task t = capture_ctx(&seen);
+  t.bind({&e, nullptr, 7});
+  t.start();
+  e.run();
+  EXPECT_EQ(seen.engine, &e);
+  EXPECT_EQ(seen.priority, 7);
+}
+
+Task thrower() {
+  co_await Delay{1};
+  throw std::runtime_error("device fault");
+}
+
+TEST(Task, ExceptionSurfacesThroughEngineRun) {
+  Engine e;
+  Task t = thrower();
+  t.bind({&e, nullptr, 0});
+  t.start();
+  EXPECT_THROW(e.run(), std::runtime_error);
+}
+
+TEST(Task, ConcurrentTasksInterleaveDeterministically) {
+  Engine e;
+  std::vector<SimTime> log_a, log_b;
+  Task a = delayer(&log_a, &e, 10, 10);
+  Task b = delayer(&log_b, &e, 5, 10);
+  a.bind({&e, nullptr, 0});
+  b.bind({&e, nullptr, 0});
+  a.start();
+  b.start();
+  e.run();
+  EXPECT_EQ(log_a, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(log_b, (std::vector<SimTime>{5, 15}));
+}
+
+}  // namespace
+}  // namespace hs::sim

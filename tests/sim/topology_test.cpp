@@ -1,0 +1,43 @@
+#include "sim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hs::sim {
+namespace {
+
+TEST(Topology, DgxNodesAreSeparateNvlinkDomains) {
+  const auto topo = Topology::dgx_h100(4, 8);
+  EXPECT_EQ(topo.device_count(), 32);
+  EXPECT_EQ(topo.node_of(0), 0);
+  EXPECT_EQ(topo.node_of(8), 1);
+  EXPECT_TRUE(topo.same_nvlink_domain(0, 7));
+  EXPECT_FALSE(topo.same_nvlink_domain(7, 8));
+  EXPECT_EQ(topo.link(0, 7), LinkType::NVLink);
+  EXPECT_EQ(topo.link(0, 8), LinkType::IB);
+  EXPECT_EQ(topo.link(3, 3), LinkType::Loopback);
+}
+
+TEST(Topology, Nvl72RackIsOneNvlinkDomain) {
+  const auto topo = Topology::gb200_nvl72(8, 4);
+  EXPECT_EQ(topo.device_count(), 32);
+  // Every pair of distinct devices is NVLink-reachable (Fig. 4's MNNVL).
+  EXPECT_EQ(topo.link(0, 31), LinkType::NVLink);
+  EXPECT_TRUE(topo.same_nvlink_domain(0, 31));
+  // Nodes still exist (CPU-side placement) even though links are uniform.
+  EXPECT_EQ(topo.node_of(31), 7);
+}
+
+TEST(Topology, SingleGpuHasOnlyLoopback) {
+  const auto topo = Topology::dgx_h100(1, 1);
+  EXPECT_EQ(topo.device_count(), 1);
+  EXPECT_EQ(topo.link(0, 0), LinkType::Loopback);
+}
+
+TEST(Topology, LinkTypeNames) {
+  EXPECT_EQ(to_string(LinkType::Loopback), "loopback");
+  EXPECT_EQ(to_string(LinkType::NVLink), "nvlink");
+  EXPECT_EQ(to_string(LinkType::IB), "ib");
+}
+
+}  // namespace
+}  // namespace hs::sim

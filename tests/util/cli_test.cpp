@@ -1,0 +1,61 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hs::util {
+namespace {
+
+TEST(Cli, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--steps=100", "--size=45k"};
+  Cli cli(3, argv);
+  EXPECT_EQ(cli.get_int("steps", 0), 100);
+  EXPECT_EQ(cli.get("size", ""), "45k");
+}
+
+TEST(Cli, ParsesSpaceForm) {
+  const char* argv[] = {"prog", "--steps", "200"};
+  Cli cli(3, argv);
+  EXPECT_EQ(cli.get_int("steps", 0), 200);
+}
+
+TEST(Cli, BooleanSwitch) {
+  const char* argv[] = {"prog", "--verbose"};
+  Cli cli(2, argv);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_FALSE(cli.get_bool("quiet", false));
+}
+
+TEST(Cli, Fallbacks) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv);
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(cli.get("missing", "d"), "d");
+  EXPECT_FALSE(cli.has("missing"));
+}
+
+TEST(Cli, Positional) {
+  const char* argv[] = {"prog", "input.dat", "--flag=1", "output.dat"};
+  Cli cli(4, argv);
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.dat");
+  EXPECT_EQ(cli.positional()[1], "output.dat");
+}
+
+TEST(Cli, UnusedFlagsReported) {
+  const char* argv[] = {"prog", "--used=1", "--typo=2"};
+  Cli cli(3, argv);
+  (void)cli.get_int("used", 0);
+  const auto unused = cli.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Cli, DoubleParsing) {
+  const char* argv[] = {"prog", "--x=2.75"};
+  Cli cli(2, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 0.0), 2.75);
+}
+
+}  // namespace
+}  // namespace hs::util

@@ -1,0 +1,78 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace hs::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-3.5, 2.25);
+    EXPECT_GE(x, -3.5);
+    EXPECT_LT(x, 2.25);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(13);
+  std::array<int, 7> hist{};
+  for (int i = 0; i < 70000; ++i) {
+    const auto v = rng.next_below(7);
+    ASSERT_LT(v, 7u);
+    ++hist[v];
+  }
+  // Roughly uniform: every bucket within 10% of the expectation.
+  for (int count : hist) EXPECT_NEAR(count, 10000, 1000);
+}
+
+TEST(Rng, NormalHasZeroMeanUnitVariance) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, SplitmixIsStable) {
+  // Pin the seeding function so streams never silently change: downstream
+  // experiments depend on bit-stable workloads.
+  std::uint64_t s = 0;
+  EXPECT_EQ(splitmix64(s), 0xe220a8397b1dcdafULL);
+}
+
+}  // namespace
+}  // namespace hs::util

@@ -1,0 +1,45 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hs::util {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"size", "ns/day"});
+  t.add_row({"45k", "1649.00"});
+  t.add_row({"180k", "1103.00"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("size"), std::string::npos);
+  EXPECT_NE(out.find("45k"), std::string::npos);
+  EXPECT_NE(out.find("1103.00"), std::string::npos);
+  // Header separator line exists.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, FmtDouble) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(3.0, 0), "3");
+  EXPECT_EQ(Table::fmt(static_cast<long long>(42)), "42");
+}
+
+TEST(Table, RowsCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+}  // namespace
+}  // namespace hs::util
