@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_cuda_graph"
+  "../bench/abl_cuda_graph.pdb"
+  "CMakeFiles/abl_cuda_graph.dir/abl_cuda_graph.cpp.o"
+  "CMakeFiles/abl_cuda_graph.dir/abl_cuda_graph.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cuda_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

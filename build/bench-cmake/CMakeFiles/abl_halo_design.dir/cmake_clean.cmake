@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_halo_design"
+  "../bench/abl_halo_design.pdb"
+  "CMakeFiles/abl_halo_design.dir/abl_halo_design.cpp.o"
+  "CMakeFiles/abl_halo_design.dir/abl_halo_design.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_halo_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

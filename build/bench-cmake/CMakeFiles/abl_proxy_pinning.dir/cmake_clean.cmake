@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_proxy_pinning"
+  "../bench/abl_proxy_pinning.pdb"
+  "CMakeFiles/abl_proxy_pinning.dir/abl_proxy_pinning.cpp.o"
+  "CMakeFiles/abl_proxy_pinning.dir/abl_proxy_pinning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_proxy_pinning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

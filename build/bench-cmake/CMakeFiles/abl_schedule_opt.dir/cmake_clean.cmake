@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_schedule_opt"
+  "../bench/abl_schedule_opt.pdb"
+  "CMakeFiles/abl_schedule_opt.dir/abl_schedule_opt.cpp.o"
+  "CMakeFiles/abl_schedule_opt.dir/abl_schedule_opt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_schedule_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_pme_flow"
+  "../bench/ext_pme_flow.pdb"
+  "CMakeFiles/ext_pme_flow.dir/ext_pme_flow.cpp.o"
+  "CMakeFiles/ext_pme_flow.dir/ext_pme_flow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_pme_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

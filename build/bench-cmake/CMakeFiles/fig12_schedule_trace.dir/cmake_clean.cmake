@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_schedule_trace"
+  "../bench/fig12_schedule_trace.pdb"
+  "CMakeFiles/fig12_schedule_trace.dir/fig12_schedule_trace.cpp.o"
+  "CMakeFiles/fig12_schedule_trace.dir/fig12_schedule_trace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_schedule_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

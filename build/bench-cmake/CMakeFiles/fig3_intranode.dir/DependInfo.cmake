@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_intranode.cpp" "bench-cmake/CMakeFiles/fig3_intranode.dir/fig3_intranode.cpp.o" "gcc" "bench-cmake/CMakeFiles/fig3_intranode.dir/fig3_intranode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runner/CMakeFiles/hs_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/halo/CMakeFiles/hs_halo.dir/DependInfo.cmake"
+  "/root/repo/build/src/dd/CMakeFiles/hs_dd.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/hs_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/pgas/CMakeFiles/hs_pgas.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/hs_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

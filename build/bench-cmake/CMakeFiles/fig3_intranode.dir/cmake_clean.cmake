@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_intranode"
+  "../bench/fig3_intranode.pdb"
+  "CMakeFiles/fig3_intranode.dir/fig3_intranode.cpp.o"
+  "CMakeFiles/fig3_intranode.dir/fig3_intranode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_intranode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_mnnvl"
+  "../bench/fig4_mnnvl.pdb"
+  "CMakeFiles/fig4_mnnvl.dir/fig4_mnnvl.cpp.o"
+  "CMakeFiles/fig4_mnnvl.dir/fig4_mnnvl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_mnnvl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_internode"
+  "../bench/fig5_internode.pdb"
+  "CMakeFiles/fig5_internode.dir/fig5_internode.cpp.o"
+  "CMakeFiles/fig5_internode.dir/fig5_internode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_internode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_device_timing_intranode"
+  "../bench/fig6_device_timing_intranode.pdb"
+  "CMakeFiles/fig6_device_timing_intranode.dir/fig6_device_timing_intranode.cpp.o"
+  "CMakeFiles/fig6_device_timing_intranode.dir/fig6_device_timing_intranode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_device_timing_intranode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

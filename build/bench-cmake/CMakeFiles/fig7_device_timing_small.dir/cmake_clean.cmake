@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_device_timing_small"
+  "../bench/fig7_device_timing_small.pdb"
+  "CMakeFiles/fig7_device_timing_small.dir/fig7_device_timing_small.cpp.o"
+  "CMakeFiles/fig7_device_timing_small.dir/fig7_device_timing_small.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_device_timing_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

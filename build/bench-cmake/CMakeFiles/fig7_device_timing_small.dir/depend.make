@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_device_timing_small.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_device_timing_large"
+  "../bench/fig8_device_timing_large.pdb"
+  "CMakeFiles/fig8_device_timing_large.dir/fig8_device_timing_large.cpp.o"
+  "CMakeFiles/fig8_device_timing_large.dir/fig8_device_timing_large.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_device_timing_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_device_timing_large.
+# This may be replaced when dependencies are built.

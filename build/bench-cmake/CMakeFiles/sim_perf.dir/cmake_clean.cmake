@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sim_perf"
+  "../bench/sim_perf.pdb"
+  "CMakeFiles/sim_perf.dir/sim_perf.cpp.o"
+  "CMakeFiles/sim_perf.dir/sim_perf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/md_stability"
+  "../examples/md_stability.pdb"
+  "CMakeFiles/md_stability.dir/md_stability.cpp.o"
+  "CMakeFiles/md_stability.dir/md_stability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/pme_validation"
+  "../examples/pme_validation.pdb"
+  "CMakeFiles/pme_validation.dir/pme_validation.cpp.o"
+  "CMakeFiles/pme_validation.dir/pme_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pme_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

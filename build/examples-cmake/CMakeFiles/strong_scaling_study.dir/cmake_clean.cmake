@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/strong_scaling_study"
+  "../examples/strong_scaling_study.pdb"
+  "CMakeFiles/strong_scaling_study.dir/strong_scaling_study.cpp.o"
+  "CMakeFiles/strong_scaling_study.dir/strong_scaling_study.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strong_scaling_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

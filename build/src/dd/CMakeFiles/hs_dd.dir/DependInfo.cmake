@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dd/decomposition.cpp" "src/dd/CMakeFiles/hs_dd.dir/decomposition.cpp.o" "gcc" "src/dd/CMakeFiles/hs_dd.dir/decomposition.cpp.o.d"
+  "/root/repo/src/dd/geometry.cpp" "src/dd/CMakeFiles/hs_dd.dir/geometry.cpp.o" "gcc" "src/dd/CMakeFiles/hs_dd.dir/geometry.cpp.o.d"
+  "/root/repo/src/dd/grid.cpp" "src/dd/CMakeFiles/hs_dd.dir/grid.cpp.o" "gcc" "src/dd/CMakeFiles/hs_dd.dir/grid.cpp.o.d"
+  "/root/repo/src/dd/plan.cpp" "src/dd/CMakeFiles/hs_dd.dir/plan.cpp.o" "gcc" "src/dd/CMakeFiles/hs_dd.dir/plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/md/CMakeFiles/hs_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_dd.dir/decomposition.cpp.o"
+  "CMakeFiles/hs_dd.dir/decomposition.cpp.o.d"
+  "CMakeFiles/hs_dd.dir/geometry.cpp.o"
+  "CMakeFiles/hs_dd.dir/geometry.cpp.o.d"
+  "CMakeFiles/hs_dd.dir/grid.cpp.o"
+  "CMakeFiles/hs_dd.dir/grid.cpp.o.d"
+  "CMakeFiles/hs_dd.dir/plan.cpp.o"
+  "CMakeFiles/hs_dd.dir/plan.cpp.o.d"
+  "libhs_dd.a"
+  "libhs_dd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_dd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/halo/mpi_halo.cpp" "src/halo/CMakeFiles/hs_halo.dir/mpi_halo.cpp.o" "gcc" "src/halo/CMakeFiles/hs_halo.dir/mpi_halo.cpp.o.d"
+  "/root/repo/src/halo/shmem_halo.cpp" "src/halo/CMakeFiles/hs_halo.dir/shmem_halo.cpp.o" "gcc" "src/halo/CMakeFiles/hs_halo.dir/shmem_halo.cpp.o.d"
+  "/root/repo/src/halo/tmpi_halo.cpp" "src/halo/CMakeFiles/hs_halo.dir/tmpi_halo.cpp.o" "gcc" "src/halo/CMakeFiles/hs_halo.dir/tmpi_halo.cpp.o.d"
+  "/root/repo/src/halo/workload.cpp" "src/halo/CMakeFiles/hs_halo.dir/workload.cpp.o" "gcc" "src/halo/CMakeFiles/hs_halo.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dd/CMakeFiles/hs_dd.dir/DependInfo.cmake"
+  "/root/repo/build/src/pgas/CMakeFiles/hs_pgas.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/hs_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/hs_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_halo.dir/mpi_halo.cpp.o"
+  "CMakeFiles/hs_halo.dir/mpi_halo.cpp.o.d"
+  "CMakeFiles/hs_halo.dir/shmem_halo.cpp.o"
+  "CMakeFiles/hs_halo.dir/shmem_halo.cpp.o.d"
+  "CMakeFiles/hs_halo.dir/tmpi_halo.cpp.o"
+  "CMakeFiles/hs_halo.dir/tmpi_halo.cpp.o.d"
+  "CMakeFiles/hs_halo.dir/workload.cpp.o"
+  "CMakeFiles/hs_halo.dir/workload.cpp.o.d"
+  "libhs_halo.a"
+  "libhs_halo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_halo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

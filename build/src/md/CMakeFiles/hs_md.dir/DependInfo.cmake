@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/md/cell_list.cpp" "src/md/CMakeFiles/hs_md.dir/cell_list.cpp.o" "gcc" "src/md/CMakeFiles/hs_md.dir/cell_list.cpp.o.d"
+  "/root/repo/src/md/ewald.cpp" "src/md/CMakeFiles/hs_md.dir/ewald.cpp.o" "gcc" "src/md/CMakeFiles/hs_md.dir/ewald.cpp.o.d"
+  "/root/repo/src/md/fft.cpp" "src/md/CMakeFiles/hs_md.dir/fft.cpp.o" "gcc" "src/md/CMakeFiles/hs_md.dir/fft.cpp.o.d"
+  "/root/repo/src/md/forcefield.cpp" "src/md/CMakeFiles/hs_md.dir/forcefield.cpp.o" "gcc" "src/md/CMakeFiles/hs_md.dir/forcefield.cpp.o.d"
+  "/root/repo/src/md/integrator.cpp" "src/md/CMakeFiles/hs_md.dir/integrator.cpp.o" "gcc" "src/md/CMakeFiles/hs_md.dir/integrator.cpp.o.d"
+  "/root/repo/src/md/nonbonded.cpp" "src/md/CMakeFiles/hs_md.dir/nonbonded.cpp.o" "gcc" "src/md/CMakeFiles/hs_md.dir/nonbonded.cpp.o.d"
+  "/root/repo/src/md/pair_list.cpp" "src/md/CMakeFiles/hs_md.dir/pair_list.cpp.o" "gcc" "src/md/CMakeFiles/hs_md.dir/pair_list.cpp.o.d"
+  "/root/repo/src/md/system.cpp" "src/md/CMakeFiles/hs_md.dir/system.cpp.o" "gcc" "src/md/CMakeFiles/hs_md.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_md.dir/cell_list.cpp.o"
+  "CMakeFiles/hs_md.dir/cell_list.cpp.o.d"
+  "CMakeFiles/hs_md.dir/ewald.cpp.o"
+  "CMakeFiles/hs_md.dir/ewald.cpp.o.d"
+  "CMakeFiles/hs_md.dir/fft.cpp.o"
+  "CMakeFiles/hs_md.dir/fft.cpp.o.d"
+  "CMakeFiles/hs_md.dir/forcefield.cpp.o"
+  "CMakeFiles/hs_md.dir/forcefield.cpp.o.d"
+  "CMakeFiles/hs_md.dir/integrator.cpp.o"
+  "CMakeFiles/hs_md.dir/integrator.cpp.o.d"
+  "CMakeFiles/hs_md.dir/nonbonded.cpp.o"
+  "CMakeFiles/hs_md.dir/nonbonded.cpp.o.d"
+  "CMakeFiles/hs_md.dir/pair_list.cpp.o"
+  "CMakeFiles/hs_md.dir/pair_list.cpp.o.d"
+  "CMakeFiles/hs_md.dir/system.cpp.o"
+  "CMakeFiles/hs_md.dir/system.cpp.o.d"
+  "libhs_md.a"
+  "libhs_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_msg.dir/comm.cpp.o"
+  "CMakeFiles/hs_msg.dir/comm.cpp.o.d"
+  "libhs_msg.a"
+  "libhs_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pgas/symmetric_heap.cpp" "src/pgas/CMakeFiles/hs_pgas.dir/symmetric_heap.cpp.o" "gcc" "src/pgas/CMakeFiles/hs_pgas.dir/symmetric_heap.cpp.o.d"
+  "/root/repo/src/pgas/team.cpp" "src/pgas/CMakeFiles/hs_pgas.dir/team.cpp.o" "gcc" "src/pgas/CMakeFiles/hs_pgas.dir/team.cpp.o.d"
+  "/root/repo/src/pgas/world.cpp" "src/pgas/CMakeFiles/hs_pgas.dir/world.cpp.o" "gcc" "src/pgas/CMakeFiles/hs_pgas.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_pgas.dir/symmetric_heap.cpp.o"
+  "CMakeFiles/hs_pgas.dir/symmetric_heap.cpp.o.d"
+  "CMakeFiles/hs_pgas.dir/team.cpp.o"
+  "CMakeFiles/hs_pgas.dir/team.cpp.o.d"
+  "CMakeFiles/hs_pgas.dir/world.cpp.o"
+  "CMakeFiles/hs_pgas.dir/world.cpp.o.d"
+  "libhs_pgas.a"
+  "libhs_pgas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_pgas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_runner.dir/md_runner.cpp.o"
+  "CMakeFiles/hs_runner.dir/md_runner.cpp.o.d"
+  "CMakeFiles/hs_runner.dir/pme_flow.cpp.o"
+  "CMakeFiles/hs_runner.dir/pme_flow.cpp.o.d"
+  "CMakeFiles/hs_runner.dir/timing.cpp.o"
+  "CMakeFiles/hs_runner.dir/timing.cpp.o.d"
+  "libhs_runner.a"
+  "libhs_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/costmodel.cpp" "src/sim/CMakeFiles/hs_sim.dir/costmodel.cpp.o" "gcc" "src/sim/CMakeFiles/hs_sim.dir/costmodel.cpp.o.d"
+  "/root/repo/src/sim/device.cpp" "src/sim/CMakeFiles/hs_sim.dir/device.cpp.o" "gcc" "src/sim/CMakeFiles/hs_sim.dir/device.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/hs_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/hs_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/fabric.cpp" "src/sim/CMakeFiles/hs_sim.dir/fabric.cpp.o" "gcc" "src/sim/CMakeFiles/hs_sim.dir/fabric.cpp.o.d"
+  "/root/repo/src/sim/kernel.cpp" "src/sim/CMakeFiles/hs_sim.dir/kernel.cpp.o" "gcc" "src/sim/CMakeFiles/hs_sim.dir/kernel.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/hs_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/hs_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/stream.cpp" "src/sim/CMakeFiles/hs_sim.dir/stream.cpp.o" "gcc" "src/sim/CMakeFiles/hs_sim.dir/stream.cpp.o.d"
+  "/root/repo/src/sim/sync.cpp" "src/sim/CMakeFiles/hs_sim.dir/sync.cpp.o" "gcc" "src/sim/CMakeFiles/hs_sim.dir/sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_sim.dir/costmodel.cpp.o"
+  "CMakeFiles/hs_sim.dir/costmodel.cpp.o.d"
+  "CMakeFiles/hs_sim.dir/device.cpp.o"
+  "CMakeFiles/hs_sim.dir/device.cpp.o.d"
+  "CMakeFiles/hs_sim.dir/engine.cpp.o"
+  "CMakeFiles/hs_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/hs_sim.dir/fabric.cpp.o"
+  "CMakeFiles/hs_sim.dir/fabric.cpp.o.d"
+  "CMakeFiles/hs_sim.dir/kernel.cpp.o"
+  "CMakeFiles/hs_sim.dir/kernel.cpp.o.d"
+  "CMakeFiles/hs_sim.dir/machine.cpp.o"
+  "CMakeFiles/hs_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/hs_sim.dir/stream.cpp.o"
+  "CMakeFiles/hs_sim.dir/stream.cpp.o.d"
+  "CMakeFiles/hs_sim.dir/sync.cpp.o"
+  "CMakeFiles/hs_sim.dir/sync.cpp.o.d"
+  "libhs_sim.a"
+  "libhs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

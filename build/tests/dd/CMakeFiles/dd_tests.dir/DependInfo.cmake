@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dd/exchange_test.cpp" "tests/dd/CMakeFiles/dd_tests.dir/exchange_test.cpp.o" "gcc" "tests/dd/CMakeFiles/dd_tests.dir/exchange_test.cpp.o.d"
+  "/root/repo/tests/dd/geometry_test.cpp" "tests/dd/CMakeFiles/dd_tests.dir/geometry_test.cpp.o" "gcc" "tests/dd/CMakeFiles/dd_tests.dir/geometry_test.cpp.o.d"
+  "/root/repo/tests/dd/grid_test.cpp" "tests/dd/CMakeFiles/dd_tests.dir/grid_test.cpp.o" "gcc" "tests/dd/CMakeFiles/dd_tests.dir/grid_test.cpp.o.d"
+  "/root/repo/tests/dd/integration_test.cpp" "tests/dd/CMakeFiles/dd_tests.dir/integration_test.cpp.o" "gcc" "tests/dd/CMakeFiles/dd_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/dd/lifecycle_test.cpp" "tests/dd/CMakeFiles/dd_tests.dir/lifecycle_test.cpp.o" "gcc" "tests/dd/CMakeFiles/dd_tests.dir/lifecycle_test.cpp.o.d"
+  "/root/repo/tests/dd/plan_test.cpp" "tests/dd/CMakeFiles/dd_tests.dir/plan_test.cpp.o" "gcc" "tests/dd/CMakeFiles/dd_tests.dir/plan_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dd/CMakeFiles/hs_dd.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/hs_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

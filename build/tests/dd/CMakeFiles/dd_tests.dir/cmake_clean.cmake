@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dd_tests.dir/exchange_test.cpp.o"
+  "CMakeFiles/dd_tests.dir/exchange_test.cpp.o.d"
+  "CMakeFiles/dd_tests.dir/geometry_test.cpp.o"
+  "CMakeFiles/dd_tests.dir/geometry_test.cpp.o.d"
+  "CMakeFiles/dd_tests.dir/grid_test.cpp.o"
+  "CMakeFiles/dd_tests.dir/grid_test.cpp.o.d"
+  "CMakeFiles/dd_tests.dir/integration_test.cpp.o"
+  "CMakeFiles/dd_tests.dir/integration_test.cpp.o.d"
+  "CMakeFiles/dd_tests.dir/lifecycle_test.cpp.o"
+  "CMakeFiles/dd_tests.dir/lifecycle_test.cpp.o.d"
+  "CMakeFiles/dd_tests.dir/plan_test.cpp.o"
+  "CMakeFiles/dd_tests.dir/plan_test.cpp.o.d"
+  "dd_tests"
+  "dd_tests.pdb"
+  "dd_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dd_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo_tests.dir/mpi_halo_test.cpp.o"
+  "CMakeFiles/halo_tests.dir/mpi_halo_test.cpp.o.d"
+  "CMakeFiles/halo_tests.dir/shmem_halo_test.cpp.o"
+  "CMakeFiles/halo_tests.dir/shmem_halo_test.cpp.o.d"
+  "CMakeFiles/halo_tests.dir/tmpi_halo_test.cpp.o"
+  "CMakeFiles/halo_tests.dir/tmpi_halo_test.cpp.o.d"
+  "CMakeFiles/halo_tests.dir/transport_equivalence_test.cpp.o"
+  "CMakeFiles/halo_tests.dir/transport_equivalence_test.cpp.o.d"
+  "CMakeFiles/halo_tests.dir/workload_test.cpp.o"
+  "CMakeFiles/halo_tests.dir/workload_test.cpp.o.d"
+  "halo_tests"
+  "halo_tests.pdb"
+  "halo_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

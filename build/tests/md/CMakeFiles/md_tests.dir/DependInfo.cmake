@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/md/box_test.cpp" "tests/md/CMakeFiles/md_tests.dir/box_test.cpp.o" "gcc" "tests/md/CMakeFiles/md_tests.dir/box_test.cpp.o.d"
+  "/root/repo/tests/md/cell_list_test.cpp" "tests/md/CMakeFiles/md_tests.dir/cell_list_test.cpp.o" "gcc" "tests/md/CMakeFiles/md_tests.dir/cell_list_test.cpp.o.d"
+  "/root/repo/tests/md/ewald_test.cpp" "tests/md/CMakeFiles/md_tests.dir/ewald_test.cpp.o" "gcc" "tests/md/CMakeFiles/md_tests.dir/ewald_test.cpp.o.d"
+  "/root/repo/tests/md/fft_test.cpp" "tests/md/CMakeFiles/md_tests.dir/fft_test.cpp.o" "gcc" "tests/md/CMakeFiles/md_tests.dir/fft_test.cpp.o.d"
+  "/root/repo/tests/md/forcefield_test.cpp" "tests/md/CMakeFiles/md_tests.dir/forcefield_test.cpp.o" "gcc" "tests/md/CMakeFiles/md_tests.dir/forcefield_test.cpp.o.d"
+  "/root/repo/tests/md/integrator_test.cpp" "tests/md/CMakeFiles/md_tests.dir/integrator_test.cpp.o" "gcc" "tests/md/CMakeFiles/md_tests.dir/integrator_test.cpp.o.d"
+  "/root/repo/tests/md/nonbonded_test.cpp" "tests/md/CMakeFiles/md_tests.dir/nonbonded_test.cpp.o" "gcc" "tests/md/CMakeFiles/md_tests.dir/nonbonded_test.cpp.o.d"
+  "/root/repo/tests/md/pair_list_test.cpp" "tests/md/CMakeFiles/md_tests.dir/pair_list_test.cpp.o" "gcc" "tests/md/CMakeFiles/md_tests.dir/pair_list_test.cpp.o.d"
+  "/root/repo/tests/md/system_test.cpp" "tests/md/CMakeFiles/md_tests.dir/system_test.cpp.o" "gcc" "tests/md/CMakeFiles/md_tests.dir/system_test.cpp.o.d"
+  "/root/repo/tests/md/vec3_test.cpp" "tests/md/CMakeFiles/md_tests.dir/vec3_test.cpp.o" "gcc" "tests/md/CMakeFiles/md_tests.dir/vec3_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/md/CMakeFiles/hs_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_tests.dir/box_test.cpp.o"
+  "CMakeFiles/md_tests.dir/box_test.cpp.o.d"
+  "CMakeFiles/md_tests.dir/cell_list_test.cpp.o"
+  "CMakeFiles/md_tests.dir/cell_list_test.cpp.o.d"
+  "CMakeFiles/md_tests.dir/ewald_test.cpp.o"
+  "CMakeFiles/md_tests.dir/ewald_test.cpp.o.d"
+  "CMakeFiles/md_tests.dir/fft_test.cpp.o"
+  "CMakeFiles/md_tests.dir/fft_test.cpp.o.d"
+  "CMakeFiles/md_tests.dir/forcefield_test.cpp.o"
+  "CMakeFiles/md_tests.dir/forcefield_test.cpp.o.d"
+  "CMakeFiles/md_tests.dir/integrator_test.cpp.o"
+  "CMakeFiles/md_tests.dir/integrator_test.cpp.o.d"
+  "CMakeFiles/md_tests.dir/nonbonded_test.cpp.o"
+  "CMakeFiles/md_tests.dir/nonbonded_test.cpp.o.d"
+  "CMakeFiles/md_tests.dir/pair_list_test.cpp.o"
+  "CMakeFiles/md_tests.dir/pair_list_test.cpp.o.d"
+  "CMakeFiles/md_tests.dir/system_test.cpp.o"
+  "CMakeFiles/md_tests.dir/system_test.cpp.o.d"
+  "CMakeFiles/md_tests.dir/vec3_test.cpp.o"
+  "CMakeFiles/md_tests.dir/vec3_test.cpp.o.d"
+  "md_tests"
+  "md_tests.pdb"
+  "md_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msg_tests.dir/comm_test.cpp.o"
+  "CMakeFiles/msg_tests.dir/comm_test.cpp.o.d"
+  "msg_tests"
+  "msg_tests.pdb"
+  "msg_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pgas/symmetric_heap_test.cpp" "tests/pgas/CMakeFiles/pgas_tests.dir/symmetric_heap_test.cpp.o" "gcc" "tests/pgas/CMakeFiles/pgas_tests.dir/symmetric_heap_test.cpp.o.d"
+  "/root/repo/tests/pgas/team_test.cpp" "tests/pgas/CMakeFiles/pgas_tests.dir/team_test.cpp.o" "gcc" "tests/pgas/CMakeFiles/pgas_tests.dir/team_test.cpp.o.d"
+  "/root/repo/tests/pgas/world_test.cpp" "tests/pgas/CMakeFiles/pgas_tests.dir/world_test.cpp.o" "gcc" "tests/pgas/CMakeFiles/pgas_tests.dir/world_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pgas/CMakeFiles/hs_pgas.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

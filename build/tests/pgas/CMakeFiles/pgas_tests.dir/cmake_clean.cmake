@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgas_tests.dir/symmetric_heap_test.cpp.o"
+  "CMakeFiles/pgas_tests.dir/symmetric_heap_test.cpp.o.d"
+  "CMakeFiles/pgas_tests.dir/team_test.cpp.o"
+  "CMakeFiles/pgas_tests.dir/team_test.cpp.o.d"
+  "CMakeFiles/pgas_tests.dir/world_test.cpp.o"
+  "CMakeFiles/pgas_tests.dir/world_test.cpp.o.d"
+  "pgas_tests"
+  "pgas_tests.pdb"
+  "pgas_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgas_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runner_tests.dir/calibration_test.cpp.o"
+  "CMakeFiles/runner_tests.dir/calibration_test.cpp.o.d"
+  "CMakeFiles/runner_tests.dir/consistency_test.cpp.o"
+  "CMakeFiles/runner_tests.dir/consistency_test.cpp.o.d"
+  "CMakeFiles/runner_tests.dir/md_runner_test.cpp.o"
+  "CMakeFiles/runner_tests.dir/md_runner_test.cpp.o.d"
+  "CMakeFiles/runner_tests.dir/pme_flow_test.cpp.o"
+  "CMakeFiles/runner_tests.dir/pme_flow_test.cpp.o.d"
+  "CMakeFiles/runner_tests.dir/robustness_test.cpp.o"
+  "CMakeFiles/runner_tests.dir/robustness_test.cpp.o.d"
+  "CMakeFiles/runner_tests.dir/schedule_test.cpp.o"
+  "CMakeFiles/runner_tests.dir/schedule_test.cpp.o.d"
+  "CMakeFiles/runner_tests.dir/timing_test.cpp.o"
+  "CMakeFiles/runner_tests.dir/timing_test.cpp.o.d"
+  "runner_tests"
+  "runner_tests.pdb"
+  "runner_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runner_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

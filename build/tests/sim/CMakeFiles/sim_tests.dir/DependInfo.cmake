@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/device_test.cpp" "tests/sim/CMakeFiles/sim_tests.dir/device_test.cpp.o" "gcc" "tests/sim/CMakeFiles/sim_tests.dir/device_test.cpp.o.d"
+  "/root/repo/tests/sim/engine_test.cpp" "tests/sim/CMakeFiles/sim_tests.dir/engine_test.cpp.o" "gcc" "tests/sim/CMakeFiles/sim_tests.dir/engine_test.cpp.o.d"
+  "/root/repo/tests/sim/fabric_test.cpp" "tests/sim/CMakeFiles/sim_tests.dir/fabric_test.cpp.o" "gcc" "tests/sim/CMakeFiles/sim_tests.dir/fabric_test.cpp.o.d"
+  "/root/repo/tests/sim/hold_dispatch_test.cpp" "tests/sim/CMakeFiles/sim_tests.dir/hold_dispatch_test.cpp.o" "gcc" "tests/sim/CMakeFiles/sim_tests.dir/hold_dispatch_test.cpp.o.d"
+  "/root/repo/tests/sim/stream_test.cpp" "tests/sim/CMakeFiles/sim_tests.dir/stream_test.cpp.o" "gcc" "tests/sim/CMakeFiles/sim_tests.dir/stream_test.cpp.o.d"
+  "/root/repo/tests/sim/sync_test.cpp" "tests/sim/CMakeFiles/sim_tests.dir/sync_test.cpp.o" "gcc" "tests/sim/CMakeFiles/sim_tests.dir/sync_test.cpp.o.d"
+  "/root/repo/tests/sim/task_test.cpp" "tests/sim/CMakeFiles/sim_tests.dir/task_test.cpp.o" "gcc" "tests/sim/CMakeFiles/sim_tests.dir/task_test.cpp.o.d"
+  "/root/repo/tests/sim/topology_test.cpp" "tests/sim/CMakeFiles/sim_tests.dir/topology_test.cpp.o" "gcc" "tests/sim/CMakeFiles/sim_tests.dir/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

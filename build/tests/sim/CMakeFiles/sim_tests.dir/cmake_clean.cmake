@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/device_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/device_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/engine_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/engine_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/fabric_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/fabric_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/hold_dispatch_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/hold_dispatch_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/stream_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/stream_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sync_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sync_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/task_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/task_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/topology_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/topology_test.cpp.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
