@@ -9,7 +9,9 @@
 
 using namespace hs;
 
-int main() {
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  bench::Observability obs(cli);
   bench::print_header(
       "Ablation — CUDA-graph step scheduling (NVSHMEM / thread-MPI only)",
       "Paper §3: accumulated API overheads reach >50% of CPU wall-time at\n"
@@ -26,10 +28,13 @@ int main() {
       spec.topology = sim::Topology::dgx_h100(1, 4);
       spec.config.transport = tr;
 
+      const std::string tag =
+          (tr == halo::Transport::Shmem ? "shmem " : "tmpi ") +
+          bench::size_label(atoms);
       spec.config.use_cuda_graph = false;
-      const auto off = bench::run_case(spec);
+      const auto off = bench::run_case(spec, &obs, "nograph " + tag);
       spec.config.use_cuda_graph = true;
-      const auto on = bench::run_case(spec);
+      const auto on = bench::run_case(spec, &obs, "graph " + tag);
 
       table.add_row(
           {bench::size_label(atoms),
@@ -42,5 +47,5 @@ int main() {
     }
   }
   table.print(std::cout);
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

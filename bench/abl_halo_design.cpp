@@ -15,7 +15,8 @@ struct Variant {
   halo::HaloTuning tuning;
 };
 
-void run_suite(const char* title, long long atoms, sim::Topology topo) {
+void run_suite(const char* title, long long atoms, sim::Topology topo,
+               bench::Observability& obs, const std::string& suite_tag) {
   std::cout << "\n" << title << "\n";
   util::Table table({"variant", "ns/day", "nonlocal us", "vs full"});
   const Variant variants[] = {
@@ -33,7 +34,8 @@ void run_suite(const char* title, long long atoms, sim::Topology topo) {
     spec.topology = topo;
     spec.config.transport = halo::Transport::Shmem;
     spec.config.halo_tuning = v.tuning;
-    const auto r = bench::run_case(spec);
+    const auto r =
+        bench::run_case(spec, &obs, suite_tag + " " + v.name);
     if (full == 0.0) full = r.perf.ns_per_day;
     table.add_row({v.name, util::Table::fmt(r.perf.ns_per_day, 0),
                    util::Table::fmt(r.timing.nonlocal_us, 1),
@@ -44,16 +46,18 @@ void run_suite(const char* title, long long atoms, sim::Topology topo) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  bench::Observability obs(cli);
   bench::print_header(
       "Ablation §5.1-5.2 — fused halo-exchange design choices",
       "Each optimization disabled individually (results identical by "
       "construction;\nonly timing changes).");
   // 32 ranks on one NVL72-style domain => 3D DD, all-NVLink.
   run_suite("Intra-domain NVLink, 32 GPUs, 3D DD, grappa 720k:", 720000,
-            sim::Topology::gb200_nvl72(8, 4));
+            sim::Topology::gb200_nvl72(8, 4), obs, "nvl72");
   // 8 nodes x 4 GPUs over IB => 3D DD, mixed NVLink+IB.
   run_suite("Multi-node NVLink+IB, 32 GPUs, 3D DD, grappa 360k:", 360000,
-            sim::Topology::dgx_h100(8, 4));
-  return 0;
+            sim::Topology::dgx_h100(8, 4), obs, "mixed");
+  return obs.finish() ? 0 : 1;
 }

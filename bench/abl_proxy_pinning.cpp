@@ -8,7 +8,9 @@
 
 using namespace hs;
 
-int main() {
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  bench::Observability obs(cli);
   bench::print_header(
       "Ablation §5.5 — NVSHMEM proxy-thread placement (multi-node IB)",
       "Paper: reserved-thread pinning shows no benefit over rank-level\n"
@@ -29,7 +31,14 @@ int main() {
         spec.topology = sim::Topology::dgx_h100(nodes, 4);
         spec.config.transport = halo::Transport::Shmem;
         spec.config.proxy_placement = placement;
-        const auto r = bench::run_case(spec);
+        const char* pname =
+            placement == pgas::ProxyPlacement::ReservedCore ? "reserved"
+            : placement == pgas::ProxyPlacement::RankPinned ? "rank-pinned"
+                                                            : "contended";
+        const auto r = bench::run_case(
+            spec, &obs,
+            std::string(pname) + " " + bench::size_label(atoms) + " " +
+                std::to_string(nodes) + "n");
         if (placement == pgas::ProxyPlacement::ReservedCore) {
           reserved_perf = r.perf.ns_per_day;
         }
@@ -45,5 +54,5 @@ int main() {
     }
   }
   table.print(std::cout);
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

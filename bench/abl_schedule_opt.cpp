@@ -8,7 +8,9 @@
 
 using namespace hs;
 
-int main() {
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  bench::Observability obs(cli);
   bench::print_header(
       "Ablation §5.4 — end-of-step schedule optimizations",
       "prune-on-low-priority-stream + third update stream, on vs off;\n"
@@ -25,13 +27,16 @@ int main() {
       spec.config.transport = tr;
       spec.config.prune_interval = 1;
 
+      const std::string tag =
+          (tr == halo::Transport::Mpi ? "mpi " : "shmem ") +
+          bench::size_label(atoms);
       spec.config.prune_low_priority_stream = true;
       spec.config.third_stream_for_update = true;
-      const auto optimized = bench::run_case(spec);
+      const auto optimized = bench::run_case(spec, &obs, "opt " + tag);
 
       spec.config.prune_low_priority_stream = false;
       spec.config.third_stream_for_update = false;
-      const auto original = bench::run_case(spec);
+      const auto original = bench::run_case(spec, &obs, "orig " + tag);
 
       table.add_row(
           {bench::size_label(atoms),
@@ -46,5 +51,5 @@ int main() {
     }
   }
   table.print(std::cout);
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

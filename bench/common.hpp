@@ -14,6 +14,8 @@
 #include "dd/geometry.hpp"
 #include "runner/md_runner.hpp"
 #include "runner/timing.hpp"
+#include "sim/trace_export.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace hs::bench {
@@ -41,7 +43,63 @@ struct CaseSpec {
   int warmup = 4;
 };
 
-inline CaseResult run_case(const CaseSpec& spec) {
+/// Observability sink shared by all benches: collects per-run traces into
+/// one Chrome-trace JSON file (`--trace-json=<path>`) and prints fabric /
+/// PGAS counter summaries plus per-step kernel aggregates (`--counters`,
+/// implied by `--trace-json`). With neither flag it is a no-op.
+class Observability {
+ public:
+  explicit Observability(const util::Cli& cli)
+      : trace_path_(cli.get("trace-json", "")),
+        counters_(cli.get_bool("counters", false)) {}
+
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+  ~Observability() { finish(); }
+
+  bool trace_enabled() const { return !trace_path_.empty(); }
+  bool counters_enabled() const { return counters_ || trace_enabled(); }
+  bool enabled() const { return counters_enabled(); }
+
+  /// Call once per finished run, before the machine is torn down.
+  void collect(const std::string& label, sim::Machine& machine,
+               pgas::World* world, int warmup = 0) {
+    if (trace_enabled()) writer_.add(machine.trace(), label);
+    if (!counters_enabled()) return;
+    std::cout << "\n--- observability: " << label << " ---\n";
+    sim::print_counters(std::cout, machine.fabric().counters());
+    if (world != nullptr) pgas::print_counters(std::cout, world->counters());
+    runner::print_trace_aggregate(
+        std::cout, runner::aggregate_trace(machine.trace(), warmup));
+  }
+
+  /// Write the accumulated trace file (also runs from the destructor).
+  /// Returns false if the file could not be written — call explicitly at
+  /// the end of main and propagate into the exit code, so scripted runs
+  /// don't mistake a failed dump for success.
+  bool finish() {
+    if (!trace_enabled() || finished_) return ok_;
+    finished_ = true;
+    if (writer_.write_file(trace_path_)) {
+      std::cout << "\ntrace written: " << trace_path_ << " ("
+                << writer_.event_count() << " events)\n";
+    } else {
+      std::cerr << "\nfailed to write trace file: " << trace_path_ << "\n";
+      ok_ = false;
+    }
+    return ok_;
+  }
+
+ private:
+  std::string trace_path_;
+  bool counters_ = false;
+  bool finished_ = false;
+  bool ok_ = true;
+  sim::ChromeTraceWriter writer_;
+};
+
+inline CaseResult run_case(const CaseSpec& spec, Observability* obs = nullptr,
+                           const std::string& label = {}) {
   const int ranks = spec.topology.device_count();
   const float box_len =
       static_cast<float>(std::cbrt(static_cast<double>(spec.atoms) / kGrappaDensity));
@@ -64,6 +122,7 @@ inline CaseResult run_case(const CaseSpec& spec) {
   result.timing = runner::analyze_device_timing(
       machine.trace(), md_runner.step_end_times(), ranks, spec.warmup);
   result.grid = dims;
+  if (obs != nullptr) obs->collect(label, machine, &world, spec.warmup);
   return result;
 }
 

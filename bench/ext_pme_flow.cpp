@@ -14,7 +14,9 @@
 
 using namespace hs;
 
-int main() {
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  bench::Observability obs(cli);
   bench::print_header(
       "Extension — PP<->PME communication, CPU- vs GPU-initiated (§7)",
       "MPMD rank specialization: N PP ranks + 1..2 PME ranks; the PME mesh\n"
@@ -36,6 +38,7 @@ int main() {
     for (int mode = 0; mode < 2; ++mode) {
       sim::Machine machine(sim::Topology::dgx_h100(1, c.pp + c.pme),
                            sim::CostModel::h100_eos());
+      machine.trace().set_enabled(obs.enabled());
       pgas::World world(machine);
       runner::PmeFlowConfig cfg;
       cfg.n_pp_ranks = c.pp;
@@ -45,6 +48,9 @@ int main() {
       cfg.comm_mode = mode == 0 ? runner::PmeCommMode::CpuInitiated
                                 : runner::PmeCommMode::GpuInitiated;
       rep[mode] = runner::run_pme_flow(machine, world, cfg);
+      obs.collect((mode == 0 ? "cpu " : "gpu ") + std::to_string(c.pp) + "pp" +
+                      std::to_string(c.pme) + "pme",
+                  machine, &world);
     }
     table.add_row(
         {std::to_string(c.pp), std::to_string(c.pme), std::to_string(c.atoms),
@@ -59,5 +65,5 @@ int main() {
   std::cout << "\nGPU-initiated PP<->PME removes the per-step sync+send round "
                "trips from the\ncritical path — the same mechanism that the "
                "halo-exchange redesign exploits.\n";
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

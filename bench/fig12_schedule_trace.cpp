@@ -3,6 +3,12 @@
 // each transport and renders rank 0's kernel timeline for one steady-state
 // step — the MPI variant shows halo work serialized on the critical path
 // (Fig. 1), the NVSHMEM variant shows it fused and overlapped (Fig. 2).
+//
+//   $ fig12_schedule_trace [--trace-json=out.json] [--counters]
+//
+// --trace-json exports both transports' full kernel traces as one
+// Chrome-trace file (chrome://tracing / Perfetto); --counters prints the
+// fabric and PGAS op counters per run (implied by --trace-json).
 #include <algorithm>
 #include <iostream>
 #include <vector>
@@ -11,9 +17,10 @@
 
 using namespace hs;
 
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  bench::Observability obs(cli);
 
-
-int main() {
   bench::print_header(
       "Figs. 1-2 — GPU-resident schedules, MPI vs NVSHMEM (2D DD)",
       "16 ranks (4x4x1 decomposition, two communication phases), grappa "
@@ -28,6 +35,7 @@ int main() {
     spec.config.transport = tr;
     spec.steps = 8;
 
+    const bool mpi = tr == halo::Transport::Mpi;
     const int ranks = spec.topology.device_count();
     const float box_len = static_cast<float>(
         std::cbrt(static_cast<double>(spec.atoms) / bench::kGrappaDensity));
@@ -46,12 +54,12 @@ int main() {
         spec.config);
     md_runner.run(spec.steps);
     std::cout << "\n--- "
-              << (tr == halo::Transport::Mpi
-                      ? "Fig. 1 analogue: GPU-aware MPI schedule"
+              << (mpi ? "Fig. 1 analogue: GPU-aware MPI schedule"
                       : "Fig. 2 analogue: GPU-initiated NVSHMEM schedule")
               << " (rank 0, step 5) ---\n";
     runner::render_timeline(machine.trace(), /*device=*/0, /*step=*/5,
                             std::cout);
+    obs.collect(mpi ? "mpi" : "shmem", machine, &world, /*warmup=*/2);
   }
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

@@ -9,7 +9,9 @@
 
 using namespace hs;
 
-int main() {
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  bench::Observability obs(cli);
   bench::print_header(
       "Fig. 3 — Intra-node strong scaling, MPI vs NVSHMEM (DGX-H100)",
       "grappa water-ethanol analogue, reaction-field electrostatics;\n"
@@ -33,12 +35,14 @@ int main() {
       spec.atoms = atoms;
       spec.topology = sim::Topology::dgx_h100(1, gpus);
 
+      const std::string tag =
+          bench::size_label(atoms) + " " + std::to_string(gpus) + "gpu";
       spec.config.transport = halo::Transport::Mpi;
-      const auto mpi = bench::run_case(spec);
+      const auto mpi = bench::run_case(spec, &obs, "mpi " + tag);
       spec.config.transport = halo::Transport::ThreadMpi;
-      const auto tmpi = bench::run_case(spec);
+      const auto tmpi = bench::run_case(spec, &obs, "tmpi " + tag);
       spec.config.transport = halo::Transport::Shmem;
-      const auto shmem = bench::run_case(spec);
+      const auto shmem = bench::run_case(spec, &obs, "shmem " + tag);
 
       const auto ref = paper.find({atoms, gpus});
       table.add_row(
@@ -57,5 +61,5 @@ int main() {
   std::cout << "\nExpected shape (paper): NVSHMEM >= MPI everywhere, largest "
                "gain at 45k\n(+46% at 4 GPUs), converging toward parity by "
                "360k on 4 GPUs.\n";
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

@@ -10,7 +10,9 @@
 
 using namespace hs;
 
-int main() {
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  bench::Observability obs(cli);
   bench::print_header(
       "Fig. 4 — NVSHMEM strong scaling on GB200 NVL72 (multi-node NVLink)",
       "4 GPUs/node, rack-wide NVLink domain; efficiency vs 1 node.\n"
@@ -29,10 +31,12 @@ int main() {
       spec.topology = sim::Topology::gb200_nvl72(nodes, 4);
       spec.cost_model = sim::CostModel::gb200_nvl72();
 
+      const std::string tag =
+          bench::size_label(atoms) + " " + std::to_string(nodes) + "n";
       spec.config.transport = halo::Transport::Shmem;
-      const auto shmem = bench::run_case(spec);
+      const auto shmem = bench::run_case(spec, &obs, "shmem " + tag);
       spec.config.transport = halo::Transport::Mpi;
-      const auto mpi = bench::run_case(spec);
+      const auto mpi = bench::run_case(spec, &obs, "mpi " + tag);
 
       if (nodes == 1) baseline = shmem.perf.ns_per_day;
       const double efficiency =
@@ -52,5 +56,5 @@ int main() {
   std::cout << "\nExpected shape (paper): high efficiency at 2 nodes "
                "(84-88%) decaying with\nscale; the larger system scales "
                "better; NVSHMEM up to ~2x over MPI at scale.\n";
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

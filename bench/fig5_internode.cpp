@@ -10,7 +10,9 @@
 
 using namespace hs;
 
-int main() {
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  bench::Observability obs(cli);
   bench::print_header(
       "Fig. 5 — Multi-node strong scaling over NVLink+IB (Eos, 4 GPUs/node)",
       "Paper anchors: 720k @8 nodes: 944 (MPI) vs 1103 (NVSHMEM) ns/day;\n"
@@ -43,10 +45,12 @@ int main() {
         spec.warmup = 3;
       }
 
+      const std::string tag =
+          bench::size_label(s.atoms) + " " + std::to_string(nodes) + "n";
       spec.config.transport = halo::Transport::Mpi;
-      const auto mpi = bench::run_case(spec);
+      const auto mpi = bench::run_case(spec, &obs, "mpi " + tag);
       spec.config.transport = halo::Transport::Shmem;
-      const auto shmem = bench::run_case(spec);
+      const auto shmem = bench::run_case(spec, &obs, "shmem " + tag);
 
       if (nodes == base_nodes) {
         base_mpi = mpi.perf.ns_per_day;
@@ -70,5 +74,5 @@ int main() {
                "and at scale\n(S up to ~1.3 at high node counts); MPI "
                "marginally ahead for large systems\nat low node counts "
                "(compute-dominated regime).\n";
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

@@ -8,7 +8,9 @@
 
 using namespace hs;
 
-int main() {
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  bench::Observability obs(cli);
   bench::print_header(
       "Fig. 6 — Device-side timing, intra-node (4x H100, 1D DD)",
       "All values in us. Paper anchors: local ~22 us at 11.25k atoms/GPU\n"
@@ -26,7 +28,10 @@ int main() {
       spec.config.transport = tr;
       spec.steps = 24;
       spec.warmup = 6;
-      const auto r = bench::run_case(spec);
+      const auto r = bench::run_case(
+          spec, &obs,
+          std::string(tr == halo::Transport::Mpi ? "mpi " : "shmem ") +
+              bench::size_label(atoms));
       table.add_row({bench::size_label(atoms),
                      bench::size_label(atoms / 4),
                      tr == halo::Transport::Mpi ? "MPI" : "NVSHMEM",
@@ -42,5 +47,5 @@ int main() {
                "non-local work is\nfar smaller than MPI's; by 90k atoms/GPU "
                "local and non-local converge and\nthe transport difference "
                "becomes negligible.\n";
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

@@ -7,7 +7,9 @@
 
 using namespace hs;
 
-int main() {
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  bench::Observability obs(cli);
   bench::print_header(
       "Fig. 7 — Device-side timing, multi-node, 11.25k atoms/GPU",
       "All values in us. Paper anchors: local ~22 us throughout; non-local\n"
@@ -29,7 +31,10 @@ int main() {
       spec.config.transport = tr;
       spec.steps = 24;
       spec.warmup = 6;
-      const auto r = bench::run_case(spec);
+      const auto r = bench::run_case(
+          spec, &obs,
+          std::string(tr == halo::Transport::Mpi ? "mpi " : "shmem ") +
+              bench::size_label(pt.atoms));
       table.add_row({bench::size_label(pt.atoms), std::to_string(pt.nodes * 4),
                      bench::grid_name(r.grid),
                      tr == halo::Transport::Mpi ? "MPI" : "NVSHMEM",
@@ -44,5 +49,5 @@ int main() {
   std::cout << "\nExpected shape (paper): non-local dominates the step at "
                "this size; pulse\ncount (DD dimensionality) drives its "
                "growth; NVSHMEM stays ahead of MPI.\n";
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

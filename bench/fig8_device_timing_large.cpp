@@ -7,7 +7,9 @@
 
 using namespace hs;
 
-int main() {
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  bench::Observability obs(cli);
   bench::print_header(
       "Fig. 8 — Device-side timing, multi-node, 90k atoms/GPU",
       "All values in us. Paper anchors: 1D: local ~151 vs non-local 153-165\n"
@@ -31,7 +33,10 @@ int main() {
       spec.config.transport = tr;
       spec.steps = 20;
       spec.warmup = 5;
-      const auto r = bench::run_case(spec);
+      const auto r = bench::run_case(
+          spec, &obs,
+          std::string(tr == halo::Transport::Mpi ? "mpi " : "shmem ") +
+              bench::size_label(pt.atoms));
       table.add_row({bench::size_label(pt.atoms), std::to_string(pt.nodes * 4),
                      bench::grid_name(r.grid),
                      tr == halo::Transport::Mpi ? "MPI" : "NVSHMEM",
@@ -47,5 +52,5 @@ int main() {
                "NVSHMEM non-local\nadvantage grows with DD dimensionality "
                "while its local work is slightly\nslower from SM resource "
                "sharing.\n";
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

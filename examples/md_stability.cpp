@@ -4,7 +4,8 @@
 // Communication layers must be physics-neutral: both decomposed runs must
 // track the reference within float accumulation noise.
 //
-//   $ md_stability [--atoms=3000] [--steps=30]
+//   $ md_stability [--atoms=3000] [--steps=30] [--trace-json=out.json]
+//                  [--counters]
 #include <cmath>
 #include <iostream>
 #include <vector>
@@ -14,6 +15,8 @@
 #include "md/nonbonded.hpp"
 #include "md/system.hpp"
 #include "runner/md_runner.hpp"
+#include "runner/timing.hpp"
+#include "sim/trace_export.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -34,10 +37,13 @@ double total_energy(const md::System& sys, const md::ForceField& ff) {
 }
 
 md::System run_decomposed(const md::System& start, const md::ForceField& ff,
-                          halo::Transport transport, int steps) {
+                          halo::Transport transport, int steps,
+                          sim::ChromeTraceWriter* writer, bool counters,
+                          const std::string& label) {
   dd::Decomposition dd(start, dd::GridDims{2, 2, 1}, kRlist);
   sim::Machine machine(sim::Topology::dgx_h100(2, 2),
                        sim::CostModel::h100_eos());
+  machine.trace().set_enabled(writer != nullptr || counters);
   pgas::World world(machine);
   msg::Comm comm(machine);
   runner::RunConfig config;
@@ -46,6 +52,15 @@ md::System run_decomposed(const md::System& start, const md::ForceField& ff,
   runner::MdRunner runner(machine, world, comm,
                           halo::make_functional_workload(dd), config, &ff);
   runner.run(steps);
+  if (writer != nullptr) writer->add(machine.trace(), label);
+  if (counters) {
+    std::cout << "--- observability: " << label << " ---\n";
+    sim::print_counters(std::cout, machine.fabric().counters());
+    pgas::print_counters(std::cout, world.counters());
+    runner::print_trace_aggregate(std::cout,
+                                  runner::aggregate_trace(machine.trace()));
+    std::cout << "\n";
+  }
   return dd.gather();
 }
 
@@ -77,10 +92,15 @@ int main(int argc, char** argv) {
     }
   }
 
+  const std::string trace_json = cli.get("trace-json", "");
+  const bool counters = cli.get_bool("counters", false);
+  sim::ChromeTraceWriter writer;
+  sim::ChromeTraceWriter* wp = trace_json.empty() ? nullptr : &writer;
+
   const md::System via_mpi =
-      run_decomposed(start, ff, halo::Transport::Mpi, steps);
-  const md::System via_shmem =
-      run_decomposed(start, ff, halo::Transport::Shmem, steps);
+      run_decomposed(start, ff, halo::Transport::Mpi, steps, wp, counters, "mpi");
+  const md::System via_shmem = run_decomposed(
+      start, ff, halo::Transport::Shmem, steps, wp, counters, "shmem");
 
   auto drift = [&](const md::System& sys) {
     return (total_energy(sys, ff) - e0) / std::abs(e0);
@@ -106,5 +126,14 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\nBoth transports must track the reference to within float\n"
                "accumulation noise — the halo exchange is physics-neutral.\n";
+  if (wp != nullptr) {
+    if (writer.write_file(trace_json)) {
+      std::cout << "trace written: " << trace_json << " ("
+                << writer.event_count() << " events)\n";
+    } else {
+      std::cerr << "failed to write trace file: " << trace_json << "\n";
+      return 1;
+    }
+  }
   return 0;
 }

@@ -3,6 +3,7 @@
 // verify physics on the way out.
 //
 //   $ quickstart [--atoms=4000] [--steps=20] [--transport=shmem|mpi]
+//                [--trace-json=out.json] [--counters]
 //
 // This exercises the full public API in functional mode: system building
 // (hs::md), domain decomposition (hs::dd), the simulated cluster
@@ -15,6 +16,7 @@
 #include "md/system.hpp"
 #include "runner/md_runner.hpp"
 #include "runner/timing.hpp"
+#include "sim/trace_export.hpp"
 #include "util/cli.hpp"
 
 using namespace hs;
@@ -71,5 +73,26 @@ int main(int argc, char** argv) {
             << "device timing: local " << timing.local_us
             << " us, non-local " << timing.nonlocal_us
             << " us, non-overlap " << timing.nonoverlap_us << " us\n";
+
+  // 6. Optional observability dump (Chrome trace + fabric/PGAS counters).
+  if (cli.get_bool("counters", false)) {
+    std::cout << "\n";
+    sim::print_counters(std::cout, machine.fabric().counters());
+    pgas::print_counters(std::cout, world.counters());
+    runner::print_trace_aggregate(std::cout,
+                                  runner::aggregate_trace(machine.trace(), 2));
+  }
+  const std::string trace_json = cli.get("trace-json", "");
+  if (!trace_json.empty()) {
+    sim::ChromeTraceWriter writer;
+    writer.add(machine.trace(), use_mpi ? "mpi" : "shmem");
+    if (writer.write_file(trace_json)) {
+      std::cout << "trace written: " << trace_json << " ("
+                << writer.event_count() << " events)\n";
+    } else {
+      std::cerr << "failed to write trace file: " << trace_json << "\n";
+      return 1;
+    }
+  }
   return 0;
 }

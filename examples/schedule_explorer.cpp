@@ -6,12 +6,14 @@
 //   $ schedule_explorer [--atoms=720000] [--nodes=4] [--transport=shmem|mpi]
 //                       [--no-fuse] [--no-depsplit] [--no-tma] [--no-fusesig]
 //                       [--old-prune] [--step=5] [--rank=0]
+//                       [--trace-json=out.json] [--counters]
 #include <cmath>
 #include <iostream>
 
 #include "dd/geometry.hpp"
 #include "runner/md_runner.hpp"
 #include "runner/timing.hpp"
+#include "sim/trace_export.hpp"
 #include "util/cli.hpp"
 
 using namespace hs;
@@ -63,5 +65,25 @@ int main(int argc, char** argv) {
   const auto perf = runner.perf(2);
   std::cout << "\nthroughput: " << perf.ns_per_day << " ns/day ("
             << perf.ms_per_step * 1000.0 << " us/step)\n";
+
+  if (cli.get_bool("counters", false)) {
+    std::cout << "\n";
+    sim::print_counters(std::cout, machine.fabric().counters());
+    pgas::print_counters(std::cout, world.counters());
+    runner::print_trace_aggregate(std::cout,
+                                  runner::aggregate_trace(machine.trace(), 2));
+  }
+  const std::string trace_json = cli.get("trace-json", "");
+  if (!trace_json.empty()) {
+    sim::ChromeTraceWriter writer;
+    writer.add(machine.trace(), use_mpi ? "mpi" : "shmem");
+    if (writer.write_file(trace_json)) {
+      std::cout << "trace written: " << trace_json << " ("
+                << writer.event_count() << " events)\n";
+    } else {
+      std::cerr << "failed to write trace file: " << trace_json << "\n";
+      return 1;
+    }
+  }
   return 0;
 }

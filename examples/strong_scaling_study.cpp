@@ -4,12 +4,15 @@
 //
 //   $ strong_scaling_study [--atoms=1440000] [--gpus-per-node=4]
 //                          [--max-nodes=32] [--fabric=ib|nvl72]
+//                          [--trace-json=out.json] [--counters]
 #include <cmath>
 #include <iostream>
+#include <string>
 
 #include "dd/geometry.hpp"
 #include "runner/md_runner.hpp"
 #include "runner/timing.hpp"
+#include "sim/trace_export.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -21,6 +24,9 @@ int main(int argc, char** argv) {
   const int gpus_per_node = static_cast<int>(cli.get_int("gpus-per-node", 4));
   const int max_nodes = static_cast<int>(cli.get_int("max-nodes", 32));
   const bool nvl72 = cli.get("fabric", "ib") == "nvl72";
+  const std::string trace_json = cli.get("trace-json", "");
+  const bool counters = cli.get_bool("counters", false) || !trace_json.empty();
+  sim::ChromeTraceWriter writer;
 
   constexpr double kDensity = 100.0;
   constexpr double kCutoff = 1.3;
@@ -57,6 +63,7 @@ int main(int argc, char** argv) {
     double perf[2] = {0, 0};
     for (int t = 0; t < 2; ++t) {
       sim::Machine machine(topo, cost);
+      machine.trace().set_enabled(counters);
       pgas::World world(machine);
       msg::Comm comm(machine);
       runner::RunConfig config;
@@ -66,6 +73,17 @@ int main(int argc, char** argv) {
           halo::make_skeleton_workload(grid, kCutoff, kDensity), config);
       runner.run(14);
       perf[t] = runner.perf(4).ns_per_day;
+      const std::string label =
+          (t == 0 ? "mpi " : "shmem ") + std::to_string(nodes) + "n";
+      if (!trace_json.empty()) writer.add(machine.trace(), label);
+      if (counters) {
+        std::cout << "--- observability: " << label << " ---\n";
+        sim::print_counters(std::cout, machine.fabric().counters());
+        pgas::print_counters(std::cout, world.counters());
+        runner::print_trace_aggregate(
+            std::cout, runner::aggregate_trace(machine.trace(), 4));
+        std::cout << "\n";
+      }
     }
     if (base == 0.0) {
       base = perf[1];
@@ -85,5 +103,14 @@ int main(int argc, char** argv) {
   std::cout << "\nScaling saturates near 10-25k atoms/GPU (GPU "
                "under-utilization, paper §6.2);\nthe NVSHMEM advantage (S) "
                "grows with node count as latency dominates.\n";
+  if (!trace_json.empty()) {
+    if (writer.write_file(trace_json)) {
+      std::cout << "trace written: " << trace_json << " ("
+                << writer.event_count() << " events)\n";
+    } else {
+      std::cerr << "failed to write trace file: " << trace_json << "\n";
+      return 1;
+    }
+  }
   return 0;
 }

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Observability smoke test: run the Figs. 1-2 bench with --trace-json and
+# validate that the output file is non-empty, well-formed Chrome-trace JSON
+# with duration events for both transports.
+#
+#   $ scripts/smoke_trace.sh [build-dir]   # default: build
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+BENCH="$BUILD_DIR/bench/fig12_schedule_trace"
+VALIDATE="$BUILD_DIR/tools/trace_validate"
+for bin in "$BENCH" "$VALIDATE"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "smoke_trace: missing $bin — build first (cmake --build $BUILD_DIR -j)" >&2
+    exit 2
+  fi
+done
+
+OUT="$(mktemp --suffix=.json)"
+trap 'rm -f "$OUT"' EXIT
+
+"$BENCH" "--trace-json=$OUT" > /dev/null
+if [[ ! -s "$OUT" ]]; then
+  echo "smoke_trace: FAIL — $OUT is empty" >&2
+  exit 1
+fi
+"$VALIDATE" "$OUT"
+# Both transports must be present as named processes in the export.
+for label in mpi shmem; do
+  if ! grep -q "\"name\":\"$label dev0\"" "$OUT"; then
+    echo "smoke_trace: FAIL — no '$label' process in trace" >&2
+    exit 1
+  fi
+done
+echo "smoke_trace: OK"

@@ -1,0 +1,56 @@
+// PGAS-operation observability counters.
+//
+// Calls and bytes per NVSHMEM-analogue op, the taxonomy "Demystifying
+// NVSHMEM" uses: puts, fused put-with-signal, gets (TMA loads), TMA remote
+// stores, signal-only ops, and signal waits. Fabric-level link/NIC
+// accounting lives in sim::FabricCounters; this layer attributes the same
+// traffic to API operations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace hs::pgas {
+
+enum class PgasOp {
+  Put,         // put_nbi
+  PutSignal,   // put_signal_nbi (fused data + notification)
+  Get,         // tma_load_async (device-initiated bulk get)
+  TmaStore,    // tma_store_async (bulk async remote store)
+  SignalOp,    // signal_op (notification-only message)
+  SignalWait,  // signal_wait_until analogue (waits on world signals)
+};
+inline constexpr int kPgasOpCount = 6;
+
+std::string to_string(PgasOp op);
+
+struct OpCounters {
+  std::uint64_t calls = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct WorldCounters {
+  std::array<OpCounters, kPgasOpCount> by_op{};
+
+  OpCounters& op(PgasOp o) { return by_op[static_cast<std::size_t>(o)]; }
+  const OpCounters& op(PgasOp o) const {
+    return by_op[static_cast<std::size_t>(o)];
+  }
+
+  std::uint64_t total_calls() const {
+    std::uint64_t n = 0;
+    for (const auto& c : by_op) n += c.calls;
+    return n;
+  }
+  std::uint64_t total_bytes() const {
+    std::uint64_t n = 0;
+    for (const auto& c : by_op) n += c.bytes;
+    return n;
+  }
+};
+
+void print_counters(std::ostream& os, const WorldCounters& counters);
+
+}  // namespace hs::pgas

@@ -3,8 +3,34 @@
 #include "pgas/team.hpp"
 
 #include <cassert>
+#include <ostream>
 
 namespace hs::pgas {
+
+std::string to_string(PgasOp op) {
+  switch (op) {
+    case PgasOp::Put: return "put";
+    case PgasOp::PutSignal: return "put_signal_nbi";
+    case PgasOp::Get: return "get";
+    case PgasOp::TmaStore: return "tma_store";
+    case PgasOp::SignalOp: return "signal_op";
+    case PgasOp::SignalWait: return "signal_wait";
+  }
+  return "?";
+}
+
+void print_counters(std::ostream& os, const WorldCounters& counters) {
+  os << "pgas counters:\n";
+  for (int i = 0; i < kPgasOpCount; ++i) {
+    const auto op = static_cast<PgasOp>(i);
+    const OpCounters& c = counters.op(op);
+    if (c.calls == 0) continue;
+    os << "  " << to_string(op) << ": " << c.calls << " calls";
+    if (op != PgasOp::SignalWait) os << ", " << c.bytes << " bytes";
+    os << "\n";
+  }
+  if (counters.total_calls() == 0) os << "  (no operations)\n";
+}
 
 World::World(sim::Machine& machine, std::size_t heap_bytes_per_pe)
     : machine_(&machine),
@@ -73,35 +99,64 @@ int World::messages_for(std::size_t bytes, int chunk_bytes) const {
   return static_cast<int>((bytes + chunk - 1) / chunk);
 }
 
-void World::put_nbi(int src_pe, int dst_pe, std::size_t bytes,
-                    std::function<void()> copy,
-                    std::function<void()> on_delivered) {
+void World::count(PgasOp op, std::size_t bytes) {
+  OpCounters& c = counters_.op(op);
+  ++c.calls;
+  c.bytes += bytes;
+}
+
+WorldCounters World::counters() const {
+  WorldCounters out = counters_;
+  std::uint64_t waits = 0;
+  for (const auto& sig : signals_) waits += sig->wait_count();
+  out.op(PgasOp::SignalWait).calls = waits - wait_base_;
+  return out;
+}
+
+void World::reset_counters() {
+  wait_base_ = 0;
+  for (const auto& sig : signals_) wait_base_ += sig->wait_count();
+  counters_ = WorldCounters{};
+}
+
+void World::issue_put(int src_pe, int dst_pe, std::size_t bytes,
+                      std::function<void()> deliver,
+                      std::function<void()> on_delivered) {
   sim::TransferRequest req;
   req.src_device = device_of(src_pe);
   req.dst_device = device_of(dst_pe);
   req.bytes = bytes;
   req.num_messages = 1;  // one contiguous RDMA write / remote store burst
-  req.deliver = std::move(copy);
+  req.deliver = std::move(deliver);
   machine_->fabric().transfer(std::move(req), std::move(on_delivered));
+}
+
+void World::put_nbi(int src_pe, int dst_pe, std::size_t bytes,
+                    std::function<void()> copy,
+                    std::function<void()> on_delivered) {
+  count(PgasOp::Put, bytes);
+  issue_put(src_pe, dst_pe, bytes, std::move(copy), std::move(on_delivered));
 }
 
 void World::put_signal_nbi(int src_pe, int dst_pe, std::size_t bytes,
                            std::function<void()> copy, sim::Signal& signal,
                            std::int64_t sig_value,
                            std::function<void()> on_delivered) {
+  count(PgasOp::PutSignal, bytes);
   // The signal is delivered with (after) the data in one fused operation —
   // this is the nvshmem put-with-signal completion order guarantee.
   auto fused = [copy = std::move(copy), &signal, sig_value] {
     if (copy) copy();
     signal.store(sig_value);
   };
-  put_nbi(src_pe, dst_pe, bytes, std::move(fused), std::move(on_delivered));
+  issue_put(src_pe, dst_pe, bytes, std::move(fused), std::move(on_delivered));
 }
 
 void World::signal_op(int src_pe, int dst_pe, sim::Signal& signal,
                       std::int64_t sig_value) {
-  put_nbi(src_pe, dst_pe, sizeof(std::int64_t),
-          [&signal, sig_value] { signal.store(sig_value); });
+  count(PgasOp::SignalOp, sizeof(std::int64_t));
+  issue_put(src_pe, dst_pe, sizeof(std::int64_t),
+            [&signal, sig_value] { signal.store(sig_value); }, {});
 }
 
 void World::tma_store_async(int src_pe, int dst_pe, std::size_t bytes,
@@ -109,6 +164,7 @@ void World::tma_store_async(int src_pe, int dst_pe, std::size_t bytes,
                             std::function<void()> on_complete) {
   assert(nvlink_reachable(src_pe, dst_pe) &&
          "TMA remote store requires NVLink reachability");
+  count(PgasOp::TmaStore, bytes);
   sim::TransferRequest req;
   req.src_device = device_of(src_pe);
   req.dst_device = device_of(dst_pe);
@@ -123,6 +179,7 @@ void World::tma_load_async(int dst_pe, int src_pe, std::size_t bytes,
                            std::function<void()> on_complete) {
   assert(nvlink_reachable(dst_pe, src_pe) &&
          "TMA remote load requires NVLink reachability");
+  count(PgasOp::Get, bytes);
   sim::TransferRequest req;
   // A get is modelled as a transfer from the remote source device.
   req.src_device = device_of(src_pe);

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "pgas/counters.hpp"
 #include "pgas/symmetric_heap.hpp"
 #include "sim/machine.hpp"
 
@@ -138,8 +139,21 @@ class World {
   /// used to curb SM resource competition, §7).
   auto barrier_all() { return host_barrier_->arrive_and_wait(); }
 
+  // ---- Observability ---------------------------------------------------
+  /// Per-op call/byte totals since construction (or the last reset).
+  /// SignalWait counts acquire-waits on world-owned signal words, summed
+  /// at query time.
+  WorldCounters counters() const;
+  void reset_counters();
+
  private:
   int messages_for(std::size_t bytes, int chunk_bytes) const;
+  void count(PgasOp op, std::size_t bytes);
+  /// Issue the fabric transfer for a put-shaped op (shared by put_nbi,
+  /// put_signal_nbi, and signal_op so each counts as its own op).
+  void issue_put(int src_pe, int dst_pe, std::size_t bytes,
+                 std::function<void()> deliver,
+                 std::function<void()> on_delivered);
 
   sim::Machine* machine_;
   std::unique_ptr<SymmetricHeap> heap_;
@@ -153,6 +167,9 @@ class World {
   std::vector<std::vector<Registration>> registered_;  // per PE
   std::unique_ptr<sim::BlockBarrier> host_barrier_;
   std::vector<std::unique_ptr<class Team>> teams_;
+  WorldCounters counters_;
+  std::uint64_t wait_base_ = 0;  // signal waits consumed by reset_counters
+
 };
 
 }  // namespace hs::pgas

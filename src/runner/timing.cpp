@@ -74,6 +74,57 @@ DeviceTimingReport analyze_device_timing(
   return rep;
 }
 
+TraceAggregate aggregate_trace(const sim::Trace& trace, int warmup) {
+  TraceAggregate agg;
+  std::map<std::string, util::RunningStats> by_name;
+  struct Window {
+    sim::SimTime pack_begin = sim::kNever;
+    sim::SimTime unpack_end = -1;
+  };
+  std::map<std::pair<int, std::int64_t>, Window> windows;
+
+  for (const auto& rec : trace.records()) {
+    if (rec.step < warmup) continue;
+    by_name[rec.name].add(sim::to_us(rec.end - rec.begin));
+    if (is_pack_kernel(rec.name) || is_unpack_kernel(rec.name)) {
+      Window& w = windows[{rec.device, rec.step}];
+      if (is_pack_kernel(rec.name)) {
+        w.pack_begin = std::min(w.pack_begin, rec.begin);
+      } else {
+        w.unpack_end = std::max(w.unpack_end, rec.end);
+      }
+    }
+  }
+
+  agg.kernels.reserve(by_name.size());
+  for (auto& [name, stats] : by_name) agg.kernels.push_back({name, stats});
+  for (const auto& [key, w] : windows) {
+    if (w.pack_begin == sim::kNever || w.unpack_end < 0) continue;
+    const double us = sim::to_us(w.unpack_end - w.pack_begin);
+    agg.exchange_us.add(us);
+    agg.exchange_samples.push_back(us);
+  }
+  return agg;
+}
+
+void print_trace_aggregate(std::ostream& os, const TraceAggregate& agg) {
+  os << "kernel stats (us):\n";
+  for (const auto& k : agg.kernels) {
+    os << "  " << k.name << ": n=" << k.us.count() << " mean="
+       << k.us.mean() << " min=" << k.us.min() << " max=" << k.us.max()
+       << "\n";
+  }
+  if (agg.kernels.empty()) os << "  (no kernels)\n";
+  if (agg.exchange_us.count() > 0) {
+    os << "exchange latency (us): n=" << agg.exchange_us.count()
+       << " mean=" << agg.exchange_us.mean()
+       << " p50=" << agg.exchange_percentile(50.0)
+       << " p90=" << agg.exchange_percentile(90.0)
+       << " p99=" << agg.exchange_percentile(99.0)
+       << " max=" << agg.exchange_us.max() << "\n";
+  }
+}
+
 void render_timeline(const sim::Trace& trace, int device, std::int64_t step,
                      std::ostream& os, int width) {
   std::vector<sim::TraceRecord> recs;

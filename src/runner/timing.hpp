@@ -14,11 +14,13 @@
 #pragma once
 
 #include <iosfwd>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
+#include "util/stats.hpp"
 
 namespace hs::runner {
 
@@ -46,5 +48,32 @@ DeviceTimingReport analyze_device_timing(
 /// (the Figs. 1-2 schedule illustrations), grouped by stream.
 void render_timeline(const sim::Trace& trace, int device, std::int64_t step,
                      std::ostream& os, int width = 72);
+
+/// Per-kernel-name duration statistics over the measured window.
+struct KernelStat {
+  std::string name;
+  util::RunningStats us;  // one sample per trace record
+};
+
+/// Streaming aggregation of a whole trace: kernel time by name plus the
+/// per-(rank, step) exchange latency distribution (first pack-kernel start
+/// to last unpack-kernel end — the §6.3 non-local window), from which the
+/// benches report percentiles.
+struct TraceAggregate {
+  std::vector<KernelStat> kernels;        // sorted by name
+  util::RunningStats exchange_us;         // one sample per (rank, step)
+  std::vector<double> exchange_samples;   // same samples, for percentiles
+
+  double exchange_percentile(double p) const {
+    return util::percentile(exchange_samples, p);
+  }
+};
+
+/// Aggregate records with step >= warmup.
+TraceAggregate aggregate_trace(const sim::Trace& trace, int warmup = 0);
+
+/// Table of kernel stats (count/mean/min/max) and exchange-latency
+/// percentiles (p50/p90/p99).
+void print_trace_aggregate(std::ostream& os, const TraceAggregate& agg);
 
 }  // namespace hs::runner

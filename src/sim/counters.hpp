@@ -1,0 +1,58 @@
+// Fabric-level observability counters.
+//
+// Every transfer that crosses the fabric is accounted here, split by
+// LinkType, plus per-device NIC accumulators for the IB path: how long the
+// NIC was occupied, how long transfers queued waiting for it, and how much
+// extra service time the proxy-thread slowdown injected (§5.5). These are
+// the simulated analogue of the per-operation counters "Demystifying
+// NVSHMEM" uses to explain NVLink-vs-IB behaviour.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "sim/topology.hpp"
+
+namespace hs::sim {
+
+struct LinkCounters {
+  std::uint64_t transfers = 0;  // fabric transfer() calls
+  std::uint64_t messages = 0;   // wire messages (chunked transfers count all)
+  std::uint64_t bytes = 0;      // payload bytes
+};
+
+struct FabricCounters {
+  /// Indexed by static_cast<int>(LinkType).
+  std::array<LinkCounters, 3> by_link{};
+
+  // Per source device, IB path only.
+  std::vector<std::uint64_t> nic_busy_ns;     // NIC occupancy (service time)
+  std::vector<std::uint64_t> nic_queue_ns;    // waiting for a busy NIC
+  std::vector<std::uint64_t> proxy_delay_ns;  // extra service from slowdown
+
+  LinkCounters& link(LinkType type) {
+    return by_link[static_cast<std::size_t>(type)];
+  }
+  const LinkCounters& link(LinkType type) const {
+    return by_link[static_cast<std::size_t>(type)];
+  }
+
+  std::uint64_t total_transfers() const {
+    std::uint64_t n = 0;
+    for (const auto& c : by_link) n += c.transfers;
+    return n;
+  }
+  std::uint64_t total_bytes() const {
+    std::uint64_t n = 0;
+    for (const auto& c : by_link) n += c.bytes;
+    return n;
+  }
+};
+
+/// One-line-per-link human-readable summary (plus NIC/proxy accumulators
+/// for devices that used the IB path).
+void print_counters(std::ostream& os, const FabricCounters& counters);
+
+}  // namespace hs::sim

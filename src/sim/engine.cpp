@@ -1,21 +1,32 @@
 #include "sim/engine.hpp"
 
-#include <cassert>
+#include <algorithm>
+#include <string>
 
 namespace hs::sim {
 
 void Engine::schedule_at(SimTime t, std::function<void()> fn) {
-  assert(t >= now_ && "cannot schedule into the past");
-  queue_.push(Item{t, next_seq_++, std::move(fn)});
+  if (t < now_) {
+    throw std::invalid_argument("Engine::schedule_at: t=" + std::to_string(t) +
+                                " is before now=" + std::to_string(now_));
+  }
+  queue_.push_back(Item{t, next_seq_++, std::move(fn)});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
 }
 
 void Engine::step_one() {
-  // Move out of the queue before calling: the callback may schedule more.
-  Item item = std::move(const_cast<Item&>(queue_.top()));
-  queue_.pop();
+  // pop_heap moves the earliest item to the back; take it out before
+  // calling, since the callback may schedule more events.
+  std::pop_heap(queue_.begin(), queue_.end(), Later{});
+  Item item = std::move(queue_.back());
+  queue_.pop_back();
   now_ = item.t;
   ++processed_;
-  item.fn();
+  try {
+    item.fn();
+  } catch (...) {
+    record_error(std::current_exception());
+  }
 }
 
 SimTime Engine::run() {
@@ -30,7 +41,7 @@ SimTime Engine::run() {
 
 bool Engine::run_until(SimTime horizon) {
   while (!queue_.empty() && !first_error_) {
-    if (queue_.top().t > horizon) return false;
+    if (queue_.front().t > horizon) return false;
     step_one();
   }
   if (first_error_) {

@@ -8,7 +8,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <stdexcept>
 #include <vector>
 
@@ -20,7 +19,11 @@ class Engine {
  public:
   SimTime now() const { return now_; }
 
-  /// Schedule fn at absolute time t (must be >= now()).
+  /// Schedule fn at absolute time t. Scheduling into the past corrupts
+  /// causality, so t < now() throws std::invalid_argument (in every build
+  /// type — a release-mode assert would let the corruption through
+  /// silently). When thrown from inside a running event, step_one routes
+  /// the error through record_error and run() rethrows it.
   void schedule_at(SimTime t, std::function<void()> fn);
   /// Schedule fn dt nanoseconds from now.
   void schedule_after(SimTime dt, std::function<void()> fn) {
@@ -49,6 +52,11 @@ class Engine {
     std::uint64_t seq;
     std::function<void()> fn;
   };
+  // std::push_heap/pop_heap comparator: max-heap under "later" puts the
+  // earliest (time, seq) at the front. The comparator touches only the POD
+  // ordering key, never the callback, so heap rebalancing (which moves
+  // elements) is safe — unlike the previous std::priority_queue setup,
+  // which required a const_cast move out of top() before pop().
   struct Later {
     bool operator()(const Item& a, const Item& b) const {
       if (a.t != b.t) return a.t > b.t;
@@ -58,7 +66,7 @@ class Engine {
 
   void step_one();
 
-  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  std::vector<Item> queue_;  // binary heap ordered by Later
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <ostream>
 
 #include "util/rng.hpp"
 
@@ -22,7 +23,17 @@ Fabric::Fabric(Engine& engine, Topology topology, FabricParams params)
       topology_(topology),
       params_(params),
       nic_busy_until_(static_cast<std::size_t>(topology.device_count()), 0),
-      proxy_slowdown_(static_cast<std::size_t>(topology.device_count()), 1.0) {}
+      proxy_slowdown_(static_cast<std::size_t>(topology.device_count()), 1.0) {
+  reset_counters();
+}
+
+void Fabric::reset_counters() {
+  counters_ = FabricCounters{};
+  const auto n = static_cast<std::size_t>(topology_.device_count());
+  counters_.nic_busy_ns.assign(n, 0);
+  counters_.nic_queue_ns.assign(n, 0);
+  counters_.proxy_delay_ns.assign(n, 0);
+}
 
 const LinkParams& Fabric::params_for(LinkType type) const {
   switch (type) {
@@ -51,28 +62,44 @@ void Fabric::transfer(TransferRequest req, std::function<void()> on_complete) {
   double msg_overhead = static_cast<double>(p.per_message_ns) * req.num_messages;
   const double wire = static_cast<double>(req.bytes) / p.bytes_per_ns;
 
+  LinkCounters& lc = counters_.link(type);
+  ++lc.transfers;
+  lc.messages += static_cast<std::uint64_t>(req.num_messages);
+  lc.bytes += req.bytes;
+
+  SimTime jitter = 0;
+  if (max_jitter_ns_ > 0) {
+    // Deterministic per-transfer jitter (splitmix64 stream).
+    jitter = static_cast<SimTime>(
+        util::splitmix64(jitter_state_) %
+        static_cast<std::uint64_t>(max_jitter_ns_ + 1));
+  }
+
   SimTime complete_at;
   if (type == LinkType::IB) {
     // NIC occupancy (bandwidth + per-message issue) serializes per source
     // device; wire latency pipelines. A contended proxy thread inflates the
-    // whole message service — the proxy drives every byte (§5.5).
+    // whole message service — the proxy drives every byte (§5.5). Jitter is
+    // part of the occupancy window: a slowed wire holds the NIC, so a
+    // follow-up transfer cannot start before the jittered one drained.
+    const auto src = static_cast<std::size_t>(req.src_device);
     const double slow = proxy_slowdown_[req.src_device];
-    const SimTime occupancy =
+    const SimTime service =
         static_cast<SimTime>(std::llround((msg_overhead + wire) * slow));
+    const SimTime occupancy = service + jitter;
     SimTime& busy = nic_busy_until_[req.src_device];
     const SimTime start = std::max(engine_->now(), busy);
     busy = start + occupancy;
     complete_at = start + occupancy + p.latency_ns;
-  } else {
-    complete_at = engine_->now() + p.latency_ns +
-                  static_cast<SimTime>(std::llround(msg_overhead + wire));
-  }
 
-  if (max_jitter_ns_ > 0) {
-    // Deterministic per-transfer jitter (splitmix64 stream).
-    complete_at += static_cast<SimTime>(
-        util::splitmix64(jitter_state_) %
-        static_cast<std::uint64_t>(max_jitter_ns_ + 1));
+    counters_.nic_busy_ns[src] += static_cast<std::uint64_t>(occupancy);
+    counters_.nic_queue_ns[src] +=
+        static_cast<std::uint64_t>(start - engine_->now());
+    counters_.proxy_delay_ns[src] += static_cast<std::uint64_t>(
+        service - static_cast<SimTime>(std::llround(msg_overhead + wire)));
+  } else {
+    complete_at = engine_->now() + p.latency_ns + jitter +
+                  static_cast<SimTime>(std::llround(msg_overhead + wire));
   }
 
   engine_->schedule_at(
@@ -91,6 +118,23 @@ void Fabric::set_timing_jitter(std::uint64_t seed, SimTime max_jitter_ns) {
 void Fabric::set_proxy_slowdown(int device, double factor) {
   assert(factor >= 1.0);
   proxy_slowdown_[device] = factor;
+}
+
+void print_counters(std::ostream& os, const FabricCounters& counters) {
+  os << "fabric counters:\n";
+  for (LinkType type : {LinkType::Loopback, LinkType::NVLink, LinkType::IB}) {
+    const LinkCounters& c = counters.link(type);
+    if (c.transfers == 0) continue;
+    os << "  " << to_string(type) << ": " << c.transfers << " transfers, "
+       << c.messages << " messages, " << c.bytes << " bytes\n";
+  }
+  if (counters.total_transfers() == 0) os << "  (no transfers)\n";
+  for (std::size_t d = 0; d < counters.nic_busy_ns.size(); ++d) {
+    if (counters.nic_busy_ns[d] == 0 && counters.nic_queue_ns[d] == 0) continue;
+    os << "  nic[dev" << d << "]: busy " << counters.nic_busy_ns[d]
+       << " ns, queued " << counters.nic_queue_ns[d] << " ns, proxy delay "
+       << counters.proxy_delay_ns[d] << " ns\n";
+  }
 }
 
 }  // namespace hs::sim

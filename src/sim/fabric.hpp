@@ -17,6 +17,7 @@
 #include <functional>
 #include <vector>
 
+#include "sim/counters.hpp"
 #include "sim/engine.hpp"
 #include "sim/task.hpp"
 #include "sim/topology.hpp"
@@ -66,8 +67,14 @@ class Fabric {
   /// Timing-fault injection: add deterministic pseudo-random extra latency
   /// (uniform in [0, max_jitter_ns]) to every transfer. Used by robustness
   /// tests to show the halo signal/event protocols produce identical data
-  /// under arbitrary message reordering; 0 disables (default).
+  /// under arbitrary message reordering; 0 disables (default). On IB the
+  /// jitter extends the NIC occupancy window (a slow wire keeps the NIC
+  /// busy), so back-to-back transfers still serialize correctly.
   void set_timing_jitter(std::uint64_t seed, SimTime max_jitter_ns);
+
+  /// Transfer/byte accounting since construction (or the last reset).
+  const FabricCounters& counters() const { return counters_; }
+  void reset_counters();
 
  private:
   const LinkParams& params_for(LinkType type) const;
@@ -79,6 +86,7 @@ class Fabric {
   std::vector<double> proxy_slowdown_;    // per source device, IB only
   std::uint64_t jitter_state_ = 0;        // splitmix64 state; 0 = off
   SimTime max_jitter_ns_ = 0;
+  FabricCounters counters_;
 };
 
 }  // namespace hs::sim

@@ -3,6 +3,7 @@
 namespace hs::sim {
 
 void Signal::when_ge(std::int64_t threshold, std::function<void()> fn) {
+  ++wait_count_;
   if (value_ >= threshold) {
     engine_->schedule_now(std::move(fn));
     return;

@@ -46,8 +46,14 @@ class Signal {
   /// Invoke fn (via the engine) once value() >= threshold.
   void when_ge(std::int64_t threshold, std::function<void()> fn);
 
+  /// Number of acquire-waits started on this signal (wait_ge + when_ge),
+  /// including those satisfied immediately. Observability: the simulated
+  /// analogue of counting nvshmem_signal_wait_until calls.
+  std::uint64_t wait_count() const { return wait_count_; }
+
   /// Awaitable acquire-wait: co_await sig.wait_ge(v).
   auto wait_ge(std::int64_t threshold) {
+    ++wait_count_;
     struct Awaiter {
       Signal* sig;
       std::int64_t threshold;
@@ -65,6 +71,7 @@ class Signal {
 
   Engine* engine_;
   std::int64_t value_ = 0;
+  std::uint64_t wait_count_ = 0;
   struct Waiter {
     std::int64_t threshold;
     std::function<void()> fn;

@@ -1,0 +1,133 @@
+#include "sim/trace_export.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+
+namespace hs::sim {
+
+namespace {
+
+// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Chrome-trace timestamps are microseconds; keep ns resolution as
+// fractional microseconds without floating-point formatting surprises.
+std::string us(SimTime ns) {
+  const SimTime whole = ns / 1000;
+  const SimTime frac = ns % 1000;
+  std::string out = std::to_string(whole);
+  if (frac != 0) {
+    std::string f = std::to_string(frac);
+    out += "." + std::string(3 - f.size(), '0') + f;
+  }
+  return out;
+}
+
+}  // namespace
+
+void ChromeTraceWriter::add(const Trace& trace, std::string label) {
+  Source src;
+  src.records = trace.records();
+  src.label = std::move(label);
+  src.pid_base = next_pid_;
+  int max_device = -1;
+  for (const auto& rec : src.records) {
+    max_device = std::max(max_device, rec.device);
+  }
+  next_pid_ += max_device + 2;  // disjoint pid range per source
+  sources_.push_back(std::move(src));
+}
+
+std::size_t ChromeTraceWriter::event_count() const {
+  std::size_t n = 0;
+  for (const auto& src : sources_) n += src.records.size();
+  return n;
+}
+
+void ChromeTraceWriter::write(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  for (const auto& src : sources_) {
+    // tids per (pid, stream name), in first-appearance order (stable across
+    // runs because the trace itself is deterministic).
+    std::map<std::pair<int, std::string>, int> tids;
+    std::map<int, int> tids_used;
+    for (const auto& rec : src.records) {
+      const int pid = src.pid_base + rec.device;
+      auto [it, inserted] = tids.try_emplace({pid, rec.stream}, 0);
+      if (inserted) {
+        it->second = ++tids_used[pid];
+        sep();
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+           << ",\"tid\":" << it->second << ",\"args\":{\"name\":\""
+           << escape(rec.stream) << "\"}}";
+      }
+    }
+    // Process-name metadata for every device that appeared.
+    std::map<int, bool> pids;
+    for (const auto& rec : src.records) pids[src.pid_base + rec.device] = true;
+    for (const auto& [pid, _] : pids) {
+      const int device = pid - src.pid_base;
+      sep();
+      os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+         << ",\"args\":{\"name\":\""
+         << escape(src.label.empty()
+                       ? "dev" + std::to_string(device)
+                       : src.label + " dev" + std::to_string(device))
+         << "\"}}";
+    }
+    for (const auto& rec : src.records) {
+      const int pid = src.pid_base + rec.device;
+      const int tid = tids.at({pid, rec.stream});
+      sep();
+      os << "{\"name\":\"" << escape(rec.name)
+         << "\",\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":" << us(rec.begin)
+         << ",\"dur\":" << us(rec.end - rec.begin) << ",\"pid\":" << pid
+         << ",\"tid\":" << tid << ",\"args\":{\"step\":" << rec.step << "}}";
+    }
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool ChromeTraceWriter::write_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write(os);
+  return static_cast<bool>(os);
+}
+
+void write_chrome_trace(const Trace& trace, std::ostream& os) {
+  ChromeTraceWriter writer;
+  writer.add(trace);
+  writer.write(os);
+}
+
+}  // namespace hs::sim

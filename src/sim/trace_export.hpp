@@ -1,0 +1,49 @@
+// Chrome/Perfetto trace_events export for sim::Trace.
+//
+// Renders the simulated %%globaltimer records as a Chrome-trace JSON file
+// (chrome://tracing, Perfetto UI, or speedscope all load it): one process
+// per simulated device (pid), one thread per stream (tid), and every
+// kernel/copy as a complete duration event (ph:"X") tagged with its MD
+// step. Several traces (e.g. one per transport in a comparison bench) can
+// land in one file — each add() gets a disjoint pid range and a process
+// name prefixed with its label.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace hs::sim {
+
+class ChromeTraceWriter {
+ public:
+  /// Snapshot `trace`'s records under process names "<label> dev<N>"
+  /// ("dev<N>" when the label is empty). Call once per run/machine.
+  void add(const Trace& trace, std::string label = {});
+
+  std::size_t event_count() const;
+  bool empty() const { return event_count() == 0; }
+
+  /// Emit the whole trace_events JSON document.
+  void write(std::ostream& os) const;
+  /// Convenience: write to `path`; returns false if the file cannot be
+  /// opened.
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct Source {
+    std::vector<TraceRecord> records;
+    std::string label;
+    int pid_base = 0;
+  };
+  std::vector<Source> sources_;
+  int next_pid_ = 0;
+};
+
+/// One-shot export of a single trace.
+void write_chrome_trace(const Trace& trace, std::ostream& os);
+
+}  // namespace hs::sim

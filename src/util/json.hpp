@@ -1,0 +1,76 @@
+// Minimal JSON parser — just enough to round-trip and validate the
+// observability layer's Chrome-trace output (tests and the trace_validate
+// tool). Parses the full JSON grammar into a small value tree; not a
+// performance-oriented or streaming parser.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hs::util::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Value() = default;
+  explicit Value(bool b) : type_(Type::Bool), bool_(b) {}
+  explicit Value(double d) : type_(Type::Number), num_(d) {}
+  explicit Value(std::string s) : type_(Type::String), str_(std::move(s)) {}
+  explicit Value(Array a)
+      : type_(Type::Array), arr_(std::make_shared<Array>(std::move(a))) {}
+  explicit Value(Object o)
+      : type_(Type::Object), obj_(std::make_shared<Object>(std::move(o))) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_object() const { return type_ == Type::Object; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_bool() const { return type_ == Type::Bool; }
+
+  bool as_bool() const { return require(Type::Bool), bool_; }
+  double as_number() const { return require(Type::Number), num_; }
+  const std::string& as_string() const { return require(Type::String), str_; }
+  const Array& as_array() const { return require(Type::Array), *arr_; }
+  const Object& as_object() const { return require(Type::Object), *obj_; }
+
+  /// Object member access; throws std::out_of_range if absent.
+  const Value& at(const std::string& key) const { return as_object().at(key); }
+  bool contains(const std::string& key) const {
+    return is_object() && obj_->count(key) != 0;
+  }
+  /// Array element access.
+  const Value& at(std::size_t i) const { return as_array().at(i); }
+  std::size_t size() const {
+    return is_array() ? arr_->size() : as_object().size();
+  }
+
+ private:
+  void require(Type t) const {
+    if (type_ != t) throw std::runtime_error("json: wrong value type");
+  }
+
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::shared_ptr<Array> arr_;
+  std::shared_ptr<Object> obj_;
+};
+
+/// Parse a complete JSON document; throws std::runtime_error (with a byte
+/// offset in the message) on malformed input or trailing garbage.
+Value parse(std::string_view text);
+
+}  // namespace hs::util::json

@@ -1,0 +1,138 @@
+// Counter accounting for the PGAS op layer: every op counts once, under its
+// own op kind, with hand-computed byte totals, and the fabric sees matching
+// per-link traffic for 2-rank exchanges over both transports.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "pgas/world.hpp"
+
+namespace hs::pgas {
+namespace {
+
+using sim::CostModel;
+using sim::LinkType;
+using sim::Topology;
+
+TEST(WorldCountersTest, NvlinkTwoRankExchangeHandComputedBytes) {
+  sim::Machine m(Topology::dgx_h100(1, 2), CostModel::h100_eos());
+  World w(m, 1 << 20);
+  const SymHandle h = w.alloc(4096);
+  auto arr = w.alloc_signals(1);
+
+  // One put each way, one put_signal, one bare signal op, one TMA store,
+  // one TMA load.
+  w.put_nbi(0, 1, 1000, {});
+  w.put_nbi(1, 0, 500, {});
+  w.put_signal_nbi(0, 1, 2048, {}, w.signal(arr, 1, 0), 1);
+  w.signal_op(1, 0, w.signal(arr, 0, 0), 1);
+  w.tma_store_async(0, 1, 4096, {});
+  w.tma_load_async(1, 0, 256, {});
+  m.run();
+
+  const WorldCounters c = w.counters();
+  EXPECT_EQ(c.op(PgasOp::Put).calls, 2u);
+  EXPECT_EQ(c.op(PgasOp::Put).bytes, 1500u);
+  EXPECT_EQ(c.op(PgasOp::PutSignal).calls, 1u);
+  EXPECT_EQ(c.op(PgasOp::PutSignal).bytes, 2048u);
+  EXPECT_EQ(c.op(PgasOp::SignalOp).calls, 1u);
+  EXPECT_EQ(c.op(PgasOp::SignalOp).bytes, sizeof(std::int64_t));
+  EXPECT_EQ(c.op(PgasOp::TmaStore).calls, 1u);
+  EXPECT_EQ(c.op(PgasOp::TmaStore).bytes, 4096u);
+  EXPECT_EQ(c.op(PgasOp::Get).calls, 1u);
+  EXPECT_EQ(c.op(PgasOp::Get).bytes, 256u);
+  EXPECT_EQ(c.total_calls(), 6u);
+  EXPECT_EQ(c.total_bytes(), 1500u + 2048u + 8u + 4096u + 256u);
+
+  // The fabric saw the same traffic, all of it on NVLink.
+  const auto& fc = m.fabric().counters();
+  EXPECT_EQ(fc.link(LinkType::NVLink).transfers, 6u);
+  EXPECT_EQ(fc.link(LinkType::NVLink).bytes, c.total_bytes());
+  EXPECT_EQ(fc.link(LinkType::IB).transfers, 0u);
+  // Puts and signal ops are single messages; TMA ops chunk.
+  const auto chunk = static_cast<std::size_t>(m.cost().tma_chunk_bytes);
+  const auto tma_msgs = (4096u + chunk - 1) / chunk + (256u + chunk - 1) / chunk;
+  EXPECT_EQ(fc.link(LinkType::NVLink).messages, 4u + tma_msgs);
+}
+
+TEST(WorldCountersTest, IbTwoRankExchangeHandComputedBytes) {
+  sim::Machine m(Topology::dgx_h100(2, 1), CostModel::h100_eos());
+  World w(m, 1 << 20);
+  auto arr = w.alloc_signals(1);
+
+  w.put_signal_nbi(0, 1, 4096, {}, w.signal(arr, 1, 0), 1);
+  w.put_nbi(1, 0, 1024, {});
+  w.signal_op(0, 1, w.signal(arr, 1, 0), 2);
+  m.run();
+
+  const WorldCounters c = w.counters();
+  EXPECT_EQ(c.op(PgasOp::PutSignal).calls, 1u);
+  EXPECT_EQ(c.op(PgasOp::PutSignal).bytes, 4096u);
+  EXPECT_EQ(c.op(PgasOp::Put).calls, 1u);
+  EXPECT_EQ(c.op(PgasOp::Put).bytes, 1024u);
+  EXPECT_EQ(c.op(PgasOp::SignalOp).calls, 1u);
+  EXPECT_EQ(c.total_bytes(), 4096u + 1024u + 8u);
+
+  const auto& fc = m.fabric().counters();
+  EXPECT_EQ(fc.link(LinkType::IB).transfers, 3u);
+  EXPECT_EQ(fc.link(LinkType::IB).bytes, 4096u + 1024u + 8u);
+  EXPECT_EQ(fc.link(LinkType::NVLink).transfers, 0u);
+  // Every IB transfer held dev0's or dev1's NIC for > 0 ns.
+  EXPECT_GT(fc.nic_busy_ns[0], 0u);
+  EXPECT_GT(fc.nic_busy_ns[1], 0u);
+}
+
+TEST(WorldCountersTest, PutSignalDoesNotDoubleCountAsPut) {
+  sim::Machine m(Topology::dgx_h100(1, 2), CostModel::h100_eos());
+  World w(m, 1 << 20);
+  auto arr = w.alloc_signals(1);
+  w.put_signal_nbi(0, 1, 128, {}, w.signal(arr, 1, 0), 1);
+  m.run();
+  const WorldCounters c = w.counters();
+  EXPECT_EQ(c.op(PgasOp::Put).calls, 0u);
+  EXPECT_EQ(c.op(PgasOp::SignalOp).calls, 0u);
+  EXPECT_EQ(c.op(PgasOp::PutSignal).calls, 1u);
+}
+
+TEST(WorldCountersTest, CountsSignalWaits) {
+  sim::Machine m(Topology::dgx_h100(1, 2), CostModel::h100_eos());
+  World w(m, 1 << 20);
+  auto arr = w.alloc_signals(2);
+
+  int fired = 0;
+  w.signal(arr, 1, 0).when_ge(1, [&] { ++fired; });
+  w.signal(arr, 1, 1).when_ge(2, [&] { ++fired; });
+  EXPECT_EQ(w.counters().op(PgasOp::SignalWait).calls, 2u);
+
+  w.put_signal_nbi(0, 1, 64, {}, w.signal(arr, 1, 0), 1);
+  w.signal_op(0, 1, w.signal(arr, 1, 1), 2);
+  m.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(w.counters().op(PgasOp::SignalWait).calls, 2u);
+}
+
+TEST(WorldCountersTest, ResetRebasesCounters) {
+  sim::Machine m(Topology::dgx_h100(1, 2), CostModel::h100_eos());
+  World w(m, 1 << 20);
+  auto arr = w.alloc_signals(1);
+  w.signal(arr, 1, 0).when_ge(1, [] {});
+  w.put_signal_nbi(0, 1, 64, {}, w.signal(arr, 1, 0), 1);
+  m.run();
+  EXPECT_EQ(w.counters().op(PgasOp::PutSignal).calls, 1u);
+  EXPECT_EQ(w.counters().op(PgasOp::SignalWait).calls, 1u);
+
+  w.reset_counters();
+  EXPECT_EQ(w.counters().total_calls(), 0u);
+  EXPECT_EQ(w.counters().op(PgasOp::SignalWait).calls, 0u);
+
+  // Post-reset activity is counted from zero.
+  w.signal(arr, 1, 0).when_ge(2, [] {});
+  w.put_nbi(0, 1, 32, {});
+  m.run();
+  EXPECT_EQ(w.counters().op(PgasOp::Put).calls, 1u);
+  EXPECT_EQ(w.counters().op(PgasOp::SignalWait).calls, 1u);
+}
+
+}  // namespace
+}  // namespace hs::pgas

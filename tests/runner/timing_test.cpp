@@ -87,6 +87,80 @@ TEST(DeviceTiming, LocalWorkGrowsLinearlyWithSystemSize) {
   EXPECT_LT(tl.local_us, 4.5 * ts.local_us);
 }
 
+TEST(TraceAggregation, KernelStatsAndExchangePercentiles) {
+  sim::Trace t;
+  t.set_enabled(true);
+  // Device 0, step 0: exchange window 1000..9000 ns = 8 us.
+  t.record(0, "compute", "nb_local", 0, 10000, 0);
+  t.record(0, "comm", "PackX_p0", 1000, 2000, 0);
+  t.record(0, "comm", "UnpackF_p0", 5000, 9000, 0);
+  // Device 0, step 1: window 11000..21000 = 10 us.
+  t.record(0, "comm", "PackX_p0", 11000, 12000, 1);
+  t.record(0, "comm", "UnpackF_p0", 13000, 21000, 1);
+  // Device 1, step 0: window 500..6500 = 6 us.
+  t.record(1, "comm", "PackX_p0", 500, 1500, 0);
+  t.record(1, "comm", "UnpackF_p0", 2000, 6500, 0);
+
+  const TraceAggregate agg = aggregate_trace(t);
+  ASSERT_EQ(agg.kernels.size(), 3u);  // sorted by name
+  EXPECT_EQ(agg.kernels[0].name, "PackX_p0");
+  EXPECT_EQ(agg.kernels[0].us.count(), 3u);
+  EXPECT_DOUBLE_EQ(agg.kernels[0].us.mean(), 1.0);
+  EXPECT_EQ(agg.kernels[1].name, "UnpackF_p0");
+  EXPECT_DOUBLE_EQ(agg.kernels[1].us.max(), 8.0);
+  EXPECT_EQ(agg.kernels[2].name, "nb_local");
+  EXPECT_DOUBLE_EQ(agg.kernels[2].us.mean(), 10.0);
+
+  // One exchange sample per (device, step) pair.
+  EXPECT_EQ(agg.exchange_us.count(), 3u);
+  EXPECT_DOUBLE_EQ(agg.exchange_us.mean(), 8.0);
+  EXPECT_DOUBLE_EQ(agg.exchange_percentile(0.0), 6.0);
+  EXPECT_DOUBLE_EQ(agg.exchange_percentile(50.0), 8.0);
+  EXPECT_DOUBLE_EQ(agg.exchange_percentile(100.0), 10.0);
+}
+
+TEST(TraceAggregation, WarmupStepsAreDropped) {
+  sim::Trace t;
+  t.set_enabled(true);
+  t.record(0, "comm", "PackX_p0", 0, 1000, 0);
+  t.record(0, "comm", "UnpackF_p0", 2000, 3000, 0);
+  t.record(0, "comm", "PackX_p0", 10000, 11000, 1);
+  t.record(0, "comm", "UnpackF_p0", 12000, 15000, 1);
+  const TraceAggregate agg = aggregate_trace(t, /*warmup=*/1);
+  EXPECT_EQ(agg.exchange_us.count(), 1u);
+  EXPECT_DOUBLE_EQ(agg.exchange_us.mean(), 5.0);  // 15000 - 10000 ns
+  EXPECT_EQ(agg.kernels.size(), 2u);
+  EXPECT_EQ(agg.kernels[0].us.count(), 1u);
+}
+
+TEST(TraceAggregation, HalfOpenWindowsAreIgnored) {
+  sim::Trace t;
+  t.set_enabled(true);
+  t.record(0, "comm", "PackX_p0", 0, 1000, 0);   // pack with no unpack
+  t.record(1, "comm", "UnpackF_p0", 0, 1000, 0); // unpack with no pack
+  const TraceAggregate agg = aggregate_trace(t);
+  EXPECT_EQ(agg.exchange_us.count(), 0u);
+  EXPECT_DOUBLE_EQ(agg.exchange_percentile(50.0), 0.0);  // empty -> 0
+}
+
+TEST(TraceAggregation, RealRunProducesConsistentAggregate) {
+  RunConfig cfg;
+  auto rig = SkeletonRig::make(45000, 4, sim::Topology::dgx_h100(1, 4), cfg);
+  rig.runner->run(10);
+  const TraceAggregate agg = aggregate_trace(rig.machine->trace(), 2);
+  EXPECT_FALSE(agg.kernels.empty());
+  // 4 ranks x 8 measured steps.
+  EXPECT_EQ(agg.exchange_us.count(), 32u);
+  EXPECT_GT(agg.exchange_us.mean(), 0.0);
+  EXPECT_LE(agg.exchange_percentile(50.0), agg.exchange_percentile(99.0));
+  EXPECT_LE(agg.exchange_percentile(99.0), agg.exchange_us.max() + 1e-9);
+  // The aggregate exchange window is the same quantity analyze_device_timing
+  // averages as "non-local" work.
+  const auto rep = analyze_device_timing(rig.machine->trace(),
+                                         rig.runner->step_end_times(), 4);
+  EXPECT_NEAR(agg.exchange_us.mean(), rep.nonlocal_us, rep.nonlocal_us * 0.5);
+}
+
 TEST(DeviceTiming, EmptyTraceYieldsZeros) {
   sim::Trace trace;
   const auto t = analyze_device_timing(trace, {}, 4);

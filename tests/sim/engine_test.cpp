@@ -79,6 +79,53 @@ TEST(Engine, RecordedErrorIsRethrownByRun) {
   EXPECT_THROW(e.run(), std::runtime_error);
 }
 
+TEST(Engine, SchedulingIntoThePastThrows) {
+  // Regression: this used to be assert-only, silently corrupting causality
+  // in builds without assertions.
+  Engine e;
+  e.schedule_at(100, [] {});
+  e.run();
+  EXPECT_EQ(e.now(), 100);
+  EXPECT_THROW(e.schedule_at(50, [] {}), std::invalid_argument);
+  // Present/future times still fine.
+  EXPECT_NO_THROW(e.schedule_at(100, [] {}));
+  EXPECT_NO_THROW(e.schedule_at(200, [] {}));
+}
+
+TEST(Engine, PastScheduleInsideCallbackIsRoutedThroughRecordError) {
+  Engine e;
+  bool later_ran = false;
+  e.schedule_at(10, [&] { e.schedule_at(5, [] {}); });
+  e.schedule_at(20, [&] { later_ran = true; });
+  EXPECT_THROW(e.run(), std::invalid_argument);
+  EXPECT_FALSE(later_ran);  // simulation stopped at the first error
+}
+
+TEST(Engine, CallbackSchedulingManyMoreKeepsDeterministicOrder) {
+  // Exercises heap rebalancing around pops now that the queue is a plain
+  // vector heap (the const_cast-move-out-of-top hack is gone).
+  Engine e;
+  std::vector<std::pair<SimTime, int>> order;
+  for (int i = 0; i < 8; ++i) {
+    e.schedule_at(10 * (i + 1), [&order, &e, i] {
+      order.push_back({e.now(), i});
+      e.schedule_after(5, [&order, &e, i] { order.push_back({e.now(), 100 + i}); });
+      e.schedule_after(0, [&order, &e, i] { order.push_back({e.now(), 200 + i}); });
+    });
+  }
+  e.run();
+  ASSERT_EQ(order.size(), 24u);
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    EXPECT_LE(order[k - 1].first, order[k].first);
+  }
+  // Same-time FIFO: the 200-series event runs right after its scheduler.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(3 * i)].second, i);
+    EXPECT_EQ(order[static_cast<std::size_t>(3 * i + 1)].second, 200 + i);
+    EXPECT_EQ(order[static_cast<std::size_t>(3 * i + 2)].second, 100 + i);
+  }
+}
+
 TEST(Engine, IdleReflectsQueueState) {
   Engine e;
   EXPECT_TRUE(e.idle());

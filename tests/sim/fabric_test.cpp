@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
+
+#include "util/rng.hpp"
 
 namespace hs::sim {
 namespace {
@@ -100,6 +103,99 @@ TEST(Fabric, ProxySlowdownDoesNotAffectNvlink) {
   Fabric f(e, Topology::dgx_h100(1, 2), test_params());
   f.set_proxy_slowdown(0, 50.0);
   EXPECT_EQ(f.estimate(0, 1, 1000, 1), 100 + 10 + 100);
+}
+
+TEST(Fabric, JitterExtendsIbNicOccupancy) {
+  // Regression: jitter used to be added to complete_at only, after the
+  // nic_busy_until_ update, so a follow-up IB transfer could start (and
+  // finish) before the jittered wire actually drained.
+  Engine e;
+  Fabric f(e, Topology::dgx_h100(2, 1), test_params());
+  const std::uint64_t seed = 3;
+  const SimTime max_jitter = 500;
+  f.set_timing_jitter(seed, max_jitter);
+
+  // Replicate the fabric's jitter stream to get exact expected times.
+  std::uint64_t state = seed;
+  const auto j1 = static_cast<SimTime>(
+      util::splitmix64(state) % static_cast<std::uint64_t>(max_jitter + 1));
+  const auto j2 = static_cast<SimTime>(
+      util::splitmix64(state) % static_cast<std::uint64_t>(max_jitter + 1));
+  ASSERT_GT(j1, j2);  // seed chosen so the broken ordering is observable
+
+  std::vector<SimTime> done;
+  for (int i = 0; i < 2; ++i) {
+    TransferRequest req;
+    req.src_device = 0;
+    req.dst_device = 1;
+    req.bytes = 500;  // service = 500/1 + 100 = 600 ns
+    f.transfer(std::move(req), [&] { done.push_back(e.now()); });
+  }
+  e.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], 600 + j1 + 1000);
+  EXPECT_EQ(done[1], (600 + j1) + (600 + j2) + 1000);
+  // The NIC must fully drain the first (jittered) transfer before the
+  // second completes its own occupancy window.
+  EXPECT_GE(done[1] - done[0], 600);
+}
+
+TEST(Fabric, CountersAccumulatePerLinkType) {
+  Engine e;
+  Fabric f(e, Topology::dgx_h100(2, 4), test_params());
+
+  auto send = [&](int src, int dst, std::size_t bytes, int msgs) {
+    TransferRequest req;
+    req.src_device = src;
+    req.dst_device = dst;
+    req.bytes = bytes;
+    req.num_messages = msgs;
+    f.transfer(std::move(req));
+  };
+  send(0, 0, 64, 1);     // loopback
+  send(0, 1, 1000, 2);   // nvlink
+  send(2, 3, 500, 1);    // nvlink
+  send(0, 4, 2048, 4);   // ib
+  e.run();
+
+  const FabricCounters& c = f.counters();
+  EXPECT_EQ(c.link(LinkType::Loopback).transfers, 1u);
+  EXPECT_EQ(c.link(LinkType::Loopback).bytes, 64u);
+  EXPECT_EQ(c.link(LinkType::NVLink).transfers, 2u);
+  EXPECT_EQ(c.link(LinkType::NVLink).messages, 3u);
+  EXPECT_EQ(c.link(LinkType::NVLink).bytes, 1500u);
+  EXPECT_EQ(c.link(LinkType::IB).transfers, 1u);
+  EXPECT_EQ(c.link(LinkType::IB).messages, 4u);
+  EXPECT_EQ(c.link(LinkType::IB).bytes, 2048u);
+  EXPECT_EQ(c.total_transfers(), 4u);
+  EXPECT_EQ(c.total_bytes(), 64u + 1500u + 2048u);
+  // IB occupancy: 4 * 100 + 2048/1 = 2448 ns on dev0's NIC, no queueing.
+  ASSERT_EQ(c.nic_busy_ns.size(), 8u);
+  EXPECT_EQ(c.nic_busy_ns[0], 2448u);
+  EXPECT_EQ(c.nic_queue_ns[0], 0u);
+  EXPECT_EQ(c.proxy_delay_ns[0], 0u);
+
+  f.reset_counters();
+  EXPECT_EQ(f.counters().total_transfers(), 0u);
+  EXPECT_EQ(f.counters().nic_busy_ns[0], 0u);
+}
+
+TEST(Fabric, CountersTrackQueueingAndProxyDelay) {
+  Engine e;
+  Fabric f(e, Topology::dgx_h100(2, 1), test_params());
+  f.set_proxy_slowdown(0, 2.0);
+  for (int i = 0; i < 2; ++i) {
+    TransferRequest req;
+    req.src_device = 0;
+    req.dst_device = 1;
+    req.bytes = 500;  // healthy service 600 ns -> slowed to 1200 ns
+    f.transfer(std::move(req));
+  }
+  e.run();
+  const FabricCounters& c = f.counters();
+  EXPECT_EQ(c.nic_busy_ns[0], 2400u);    // 2 * 1200
+  EXPECT_EQ(c.nic_queue_ns[0], 1200u);   // second waited behind the first
+  EXPECT_EQ(c.proxy_delay_ns[0], 1200u); // 2 * (1200 - 600)
 }
 
 TEST(Fabric, LoopbackIsCheap) {

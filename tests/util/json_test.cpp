@@ -1,0 +1,73 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace hs::util::json {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedContainers) {
+  const Value v = parse(R"({"a":[1,2,{"b":true}],"c":{"d":null}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.size(), 2u);
+  const Value& a = v.at("a");
+  ASSERT_TRUE(a.is_array());
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a.at(1).as_number(), 2.0);
+  EXPECT_TRUE(a.at(2).at("b").as_bool());
+  EXPECT_TRUE(v.at("c").at("d").is_null());
+  EXPECT_TRUE(v.contains("c"));
+  EXPECT_FALSE(v.contains("z"));
+}
+
+TEST(Json, DecodesStringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  // \u escape, BMP code point (é = U+00E9 -> UTF-8 0xC3 0xA9).
+  EXPECT_EQ(parse(R"("café")").as_string(), "caf\xc3\xa9");
+}
+
+TEST(Json, HandlesWhitespaceEverywhere) {
+  const Value v = parse("  { \"k\" :\n[ 1 ,\t2 ] }  ");
+  EXPECT_EQ(v.at("k").size(), 2u);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(parse(""), std::runtime_error);
+  EXPECT_THROW(parse("{"), std::runtime_error);
+  EXPECT_THROW(parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(parse("{\"a\":}"), std::runtime_error);
+  EXPECT_THROW(parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(parse("01"), std::runtime_error);
+  EXPECT_THROW(parse("nul"), std::runtime_error);
+  EXPECT_THROW(parse("1 2"), std::runtime_error);  // trailing garbage
+}
+
+TEST(Json, ErrorMessageCarriesByteOffset) {
+  try {
+    parse("[1, oops]");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("4"), std::string::npos);
+  }
+}
+
+TEST(Json, WrongTypeAccessThrows) {
+  const Value v = parse("[1]");
+  EXPECT_THROW(v.as_object(), std::runtime_error);
+  EXPECT_THROW(v.at("key"), std::runtime_error);
+  EXPECT_THROW(v.at(0).as_string(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hs::util::json

@@ -1,0 +1,81 @@
+// Validate a Chrome-trace JSON file produced by --trace-json.
+//
+//   $ trace_validate out.json
+//
+// Checks the file is well-formed JSON, has a non-empty traceEvents array,
+// and that every duration event carries the expected fields with sane
+// values (non-negative ts/dur, pid/tid present, step tag). Exit code 0 on
+// success; prints a one-line summary. Used by scripts/smoke_trace.sh and
+// handy after any bench run.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "util/json.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: trace_validate <trace.json>\n";
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::cerr << "trace_validate: cannot open " << argv[1] << "\n";
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  if (text.empty()) {
+    std::cerr << "trace_validate: " << argv[1] << " is empty\n";
+    return 1;
+  }
+
+  try {
+    const auto doc = hs::util::json::parse(text);
+    if (!doc.is_object() || !doc.contains("traceEvents")) {
+      std::cerr << "trace_validate: missing traceEvents\n";
+      return 1;
+    }
+    const auto& events = doc.at("traceEvents").as_array();
+    std::size_t durations = 0;
+    std::set<double> pids;
+    std::set<std::pair<double, double>> tids;
+    for (const auto& ev : events) {
+      const std::string& ph = ev.at("ph").as_string();
+      const double pid = ev.at("pid").as_number();
+      pids.insert(pid);
+      if (ph == "M") continue;  // metadata (process/thread names)
+      if (ph != "X") {
+        std::cerr << "trace_validate: unexpected event phase '" << ph << "'\n";
+        return 1;
+      }
+      const double ts = ev.at("ts").as_number();
+      const double dur = ev.at("dur").as_number();
+      if (ts < 0 || dur < 0) {
+        std::cerr << "trace_validate: negative ts/dur in event '"
+                  << ev.at("name").as_string() << "'\n";
+        return 1;
+      }
+      tids.insert({pid, ev.at("tid").as_number()});
+      if (!ev.at("args").contains("step")) {
+        std::cerr << "trace_validate: event without step tag\n";
+        return 1;
+      }
+      ++durations;
+    }
+    if (durations == 0) {
+      std::cerr << "trace_validate: no duration events\n";
+      return 1;
+    }
+    std::cout << "ok: " << durations << " duration events, " << pids.size()
+              << " processes, " << tids.size() << " threads\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "trace_validate: " << e.what() << "\n";
+    return 1;
+  }
+}
