@@ -12,10 +12,12 @@
 #include <string>
 
 #include "dd/geometry.hpp"
+#include "runner/critical_path.hpp"
 #include "runner/md_runner.hpp"
 #include "runner/timing.hpp"
 #include "sim/trace_export.hpp"
 #include "util/cli.hpp"
+#include "util/metrics.hpp"
 #include "util/table.hpp"
 
 namespace hs::bench {
@@ -44,58 +46,147 @@ struct CaseSpec {
 };
 
 /// Observability sink shared by all benches: collects per-run traces into
-/// one Chrome-trace JSON file (`--trace-json=<path>`) and prints fabric /
+/// one Chrome-trace JSON file (`--trace-json=<path>`), prints fabric /
 /// PGAS counter summaries plus per-step kernel aggregates (`--counters`,
-/// implied by `--trace-json`). With neither flag it is a no-op.
+/// implied by `--trace-json`), walks the causal span graph into a per-step
+/// critical-path breakdown (`--critical-path`), and dumps per-case scalar
+/// metrics for tools/bench_diff (`--metrics-json=<path>`). With no flag it
+/// is a no-op.
 class Observability {
  public:
   explicit Observability(const util::Cli& cli)
       : trace_path_(cli.get("trace-json", "")),
-        counters_(cli.get_bool("counters", false)) {}
+        metrics_path_(cli.get("metrics-json", "")),
+        counters_(cli.get_bool("counters", false)),
+        critical_path_(cli.get_bool("critical-path", false)) {}
 
   Observability(const Observability&) = delete;
   Observability& operator=(const Observability&) = delete;
   ~Observability() { finish(); }
 
   bool trace_enabled() const { return !trace_path_.empty(); }
+  bool metrics_enabled() const { return !metrics_path_.empty(); }
   bool counters_enabled() const { return counters_ || trace_enabled(); }
-  bool enabled() const { return counters_enabled(); }
+  bool critical_path_enabled() const {
+    return critical_path_ || metrics_enabled();
+  }
+  bool enabled() const {
+    return counters_enabled() || critical_path_enabled() || metrics_enabled();
+  }
 
   /// Call once per finished run, before the machine is torn down.
   void collect(const std::string& label, sim::Machine& machine,
                pgas::World* world, int warmup = 0) {
     if (trace_enabled()) writer_.add(machine.trace(), label);
-    if (!counters_enabled()) return;
-    std::cout << "\n--- observability: " << label << " ---\n";
-    sim::print_counters(std::cout, machine.fabric().counters());
-    if (world != nullptr) pgas::print_counters(std::cout, world->counters());
-    runner::print_trace_aggregate(
-        std::cout, runner::aggregate_trace(machine.trace(), warmup));
+    if (!enabled()) return;
+    const bool chatty = counters_enabled() || critical_path_;
+    if (chatty) std::cout << "\n--- observability: " << label << " ---\n";
+    if (counters_enabled()) {
+      sim::print_counters(std::cout, machine.fabric().counters());
+      if (world != nullptr) pgas::print_counters(std::cout, world->counters());
+      runner::print_trace_aggregate(
+          std::cout, runner::aggregate_trace(machine.trace(), warmup));
+    }
+    runner::CriticalPathReport crit;
+    if (critical_path_enabled()) {
+      crit = runner::compute_critical_path(machine.trace(), warmup);
+      if (critical_path_) print_critical_path(std::cout, crit);
+    }
+    if (metrics_enabled()) {
+      record_metrics(label, machine, world, warmup, crit);
+    }
   }
 
-  /// Write the accumulated trace file (also runs from the destructor).
-  /// Returns false if the file could not be written — call explicitly at
-  /// the end of main and propagate into the exit code, so scripted runs
-  /// don't mistake a failed dump for success.
+  /// Write the accumulated trace/metrics files (also runs from the
+  /// destructor). Returns false if any file could not be written — call
+  /// explicitly at the end of main and propagate into the exit code, so
+  /// scripted runs don't mistake a failed dump for success.
   bool finish() {
-    if (!trace_enabled() || finished_) return ok_;
+    if (finished_) return ok_;
     finished_ = true;
-    if (writer_.write_file(trace_path_)) {
-      std::cout << "\ntrace written: " << trace_path_ << " ("
-                << writer_.event_count() << " events)\n";
-    } else {
-      std::cerr << "\nfailed to write trace file: " << trace_path_ << "\n";
-      ok_ = false;
+    if (trace_enabled()) {
+      if (writer_.write_file(trace_path_)) {
+        std::cout << "\ntrace written: " << trace_path_ << " ("
+                  << writer_.event_count() << " events)\n";
+      } else {
+        std::cerr << "\nfailed to write trace file: " << trace_path_ << "\n";
+        ok_ = false;
+      }
+    }
+    if (metrics_enabled()) {
+      if (util::metrics::write_file(metrics_path_, metrics_)) {
+        std::cout << "metrics written: " << metrics_path_ << " ("
+                  << metrics_.cases.size() << " cases)\n";
+      } else {
+        std::cerr << "\nfailed to write metrics file: " << metrics_path_
+                  << "\n";
+        ok_ = false;
+      }
     }
     return ok_;
   }
 
  private:
+  void record_metrics(const std::string& label, sim::Machine& machine,
+                      pgas::World* world, int warmup,
+                      const runner::CriticalPathReport& crit) {
+    const auto agg = runner::aggregate_trace(machine.trace(), warmup);
+    const auto set = [&](const std::string& key, double v) {
+      metrics_.set(label, key, v);
+    };
+    set("exchange_mean_us", agg.exchange_us.mean());
+    set("exchange_p50_us", agg.exchange_percentile(50.0));
+    set("exchange_p90_us", agg.exchange_percentile(90.0));
+    set("exchange_p99_us", agg.exchange_percentile(99.0));
+    set("exchange_max_us", agg.exchange_us.max());
+    set("exchange_count", static_cast<double>(agg.exchange_us.count()));
+    set("crit_window_us", crit.window_mean_us());
+    for (int c = 0; c < runner::kPathCategoryCount; ++c) {
+      const auto cat = static_cast<runner::PathCategory>(c);
+      set("crit_" + std::string(runner::to_string(cat)) + "_us",
+          crit.category_mean_us(cat));
+    }
+    const auto& fab = machine.fabric().counters();
+    for (const sim::LinkType link :
+         {sim::LinkType::Loopback, sim::LinkType::NVLink, sim::LinkType::IB}) {
+      const auto& c = fab.link(link);
+      const std::string prefix = "fabric_" + std::string(to_string(link));
+      set(prefix + "_transfers", static_cast<double>(c.transfers));
+      set(prefix + "_messages", static_cast<double>(c.messages));
+      set(prefix + "_bytes", static_cast<double>(c.bytes));
+    }
+    set("fabric_total_bytes", static_cast<double>(fab.total_bytes()));
+    double nic_busy = 0.0;
+    double nic_queue = 0.0;
+    double proxy_delay = 0.0;
+    for (const auto v : fab.nic_busy_ns) nic_busy += static_cast<double>(v);
+    for (const auto v : fab.nic_queue_ns) nic_queue += static_cast<double>(v);
+    for (const auto v : fab.proxy_delay_ns) {
+      proxy_delay += static_cast<double>(v);
+    }
+    set("nic_busy_ns", nic_busy);
+    set("nic_queue_ns", nic_queue);
+    set("proxy_delay_ns", proxy_delay);
+    if (world != nullptr) {
+      const pgas::WorldCounters pc = world->counters();
+      for (int o = 0; o < pgas::kPgasOpCount; ++o) {
+        const auto op = static_cast<pgas::PgasOp>(o);
+        const auto& c = pc.op(op);
+        const std::string prefix = "pgas_" + pgas::to_string(op);
+        set(prefix + "_calls", static_cast<double>(c.calls));
+        set(prefix + "_bytes", static_cast<double>(c.bytes));
+      }
+    }
+  }
+
   std::string trace_path_;
+  std::string metrics_path_;
   bool counters_ = false;
+  bool critical_path_ = false;
   bool finished_ = false;
   bool ok_ = true;
   sim::ChromeTraceWriter writer_;
+  util::metrics::Report metrics_;
 };
 
 inline CaseResult run_case(const CaseSpec& spec, Observability* obs = nullptr,

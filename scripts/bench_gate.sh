@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Bench regression gate: run the Figs. 1-2 schedule bench with
+# --metrics-json and diff the metrics against the stored baseline with
+# tools/bench_diff. The simulator is deterministic, so any drift past the
+# threshold is a real model/schedule change — refresh the baseline
+# deliberately with --update after reviewing it.
+#
+#   $ scripts/bench_gate.sh [build-dir] [--update] [--threshold=0.10]
+set -euo pipefail
+
+BUILD_DIR="build"
+UPDATE=0
+THRESHOLD="--threshold=0.10"
+for arg in "$@"; do
+  case "$arg" in
+    --update) UPDATE=1 ;;
+    --threshold=*) THRESHOLD="$arg" ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+BENCH="$BUILD_DIR/bench/fig12_schedule_trace"
+DIFF="$BUILD_DIR/tools/bench_diff"
+BASELINE="scripts/baselines/fig12_schedule_trace.json"
+for bin in "$BENCH" "$DIFF"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "bench_gate: missing $bin — build first (cmake --build $BUILD_DIR -j)" >&2
+    exit 2
+  fi
+done
+
+OUT="$(mktemp --suffix=.json)"
+trap 'rm -f "$OUT"' EXIT
+"$BENCH" "--metrics-json=$OUT" > /dev/null
+if [[ ! -s "$OUT" ]]; then
+  echo "bench_gate: FAIL — bench wrote no metrics" >&2
+  exit 1
+fi
+
+if [[ "$UPDATE" == 1 || ! -f "$BASELINE" ]]; then
+  mkdir -p "$(dirname "$BASELINE")"
+  cp "$OUT" "$BASELINE"
+  echo "bench_gate: baseline written to $BASELINE"
+  exit 0
+fi
+
+"$DIFF" "$BASELINE" "$OUT" "$THRESHOLD"
+echo "bench_gate: OK"

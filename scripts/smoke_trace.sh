@@ -35,4 +35,9 @@ for label in mpi shmem; do
     exit 1
   fi
 done
+# The causal span graph must surface as Perfetto flow events.
+if ! grep -q '"ph":"s"' "$OUT"; then
+  echo "smoke_trace: FAIL — no flow events (causal edges) in trace" >&2
+  exit 1
+fi
 echo "smoke_trace: OK"

@@ -58,8 +58,8 @@ ShmemHaloExchange::ShmemHaloExchange(sim::Machine& machine, pgas::World& world,
   stage_sym_ = world.alloc(bytes_for(max_stage) *
                            static_cast<std::size_t>(std::max(1, n_pulses)));
   if (n_pulses > 0) {
-    coord_sig_ = world.alloc_signals(n_pulses);
-    force_sig_ = world.alloc_signals(n_pulses);
+    coord_sig_ = world.alloc_signals(n_pulses, "coordSig");
+    force_sig_ = world.alloc_signals(n_pulses, "forceSig");
   }
 
   unpack_done_.resize(static_cast<std::size_t>(n_ranks));
@@ -128,6 +128,11 @@ sim::Task ShmemHaloExchange::coord_pulse_task(sim::KernelContext& ctx,
   const bool partition = tuning_.dependency_partitioning;
 
   auto pending = std::make_shared<sim::Signal>(machine_->engine());
+  // Local completion word for the TMA bulk stores: its blocked waits are
+  // transfer-bound time on this rank, so bind it to the trace here (the
+  // cross-rank consumed_/unpack_done_ waits stay unbound — their producers
+  // run on other devices and would misattribute).
+  pending->bind_trace(&machine_->trace(), rank, "tmaStorePending");
   int segments = 0;
 
   // Reuse protection: the peer must have finished consuming last step's
@@ -301,6 +306,7 @@ sim::Task ShmemHaloExchange::force_pulse_task(sim::KernelContext& ctx,
       }
       // Device-initiated bulk get from the peer's force array.
       auto got = std::make_shared<sim::Signal>(machine_->engine());
+      got->bind_trace(&machine_->trace(), rank, "tmaLoadPending");
       std::function<void()> deliver;
       if (st != nullptr) {
         // Resolve the peer's wire at issue time (it is final: the peer

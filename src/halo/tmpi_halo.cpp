@@ -103,6 +103,7 @@ sim::Task ThreadMpiHaloExchange::coord_phase(int rank, sim::Stream& stream,
             req.src_device = rank;
             req.dst_device = dst;
             req.bytes = bytes;
+            req.label = "dma_x";
             req.deliver = [wire, peer, peer_offset] {
               if (peer == nullptr) return;
               std::copy(wire->begin(), wire->end(),
@@ -161,6 +162,7 @@ sim::Task ThreadMpiHaloExchange::force_phase(int rank, sim::Stream& stream,
             req.src_device = rank;
             req.dst_device = dst;
             req.bytes = bytes;
+            req.label = "dma_f";
             req.deliver = [self, wire, dst, p] {
               self->force_stage_[static_cast<std::size_t>(dst)]
                                 [static_cast<std::size_t>(p)] = *wire;

@@ -40,6 +40,7 @@ void Comm::start_transfer(const Key& key, PendingSend send, PendingRecv recv) {
   req.dst_device = device_of(std::get<1>(key));
   req.bytes = send.bytes;
   req.num_messages = 1;
+  req.label = "mpi_msg";
   req.deliver = std::move(send.copy);
   // GPU-aware MPI adds library/rendezvous overhead on top of the wire time;
   // the intra-node staging path costs more than the tuned IB RDMA path.

@@ -49,7 +49,7 @@ bool World::nvlink_reachable(int from_pe, int to_pe) const {
          sim::LinkType::IB;
 }
 
-World::SignalArray World::alloc_signals(int count) {
+World::SignalArray World::alloc_signals(int count, const std::string& name) {
   assert(count > 0);
   SignalArray arr;
   arr.id = static_cast<int>(signal_array_offsets_.size());
@@ -57,7 +57,12 @@ World::SignalArray World::alloc_signals(int count) {
   signal_array_offsets_.push_back(
       static_cast<int>(signals_.size() / static_cast<std::size_t>(n_pes())));
   for (int i = 0; i < count * n_pes(); ++i) {
-    signals_.push_back(std::make_unique<sim::Signal>(machine_->engine()));
+    auto sig = std::make_unique<sim::Signal>(machine_->engine());
+    // Slot layout is index-major (slot*n_pes + pe): PE i%n_pes owns this
+    // word, and its blocked waits show up on that device in the trace.
+    sig->bind_trace(&machine_->trace(), i % n_pes(),
+                    name + "[" + std::to_string(i / n_pes()) + "]");
+    signals_.push_back(std::move(sig));
   }
   return arr;
 }
@@ -121,12 +126,13 @@ void World::reset_counters() {
 
 void World::issue_put(int src_pe, int dst_pe, std::size_t bytes,
                       std::function<void()> deliver,
-                      std::function<void()> on_delivered) {
+                      std::function<void()> on_delivered, const char* label) {
   sim::TransferRequest req;
   req.src_device = device_of(src_pe);
   req.dst_device = device_of(dst_pe);
   req.bytes = bytes;
   req.num_messages = 1;  // one contiguous RDMA write / remote store burst
+  req.label = label;
   req.deliver = std::move(deliver);
   machine_->fabric().transfer(std::move(req), std::move(on_delivered));
 }
@@ -135,7 +141,8 @@ void World::put_nbi(int src_pe, int dst_pe, std::size_t bytes,
                     std::function<void()> copy,
                     std::function<void()> on_delivered) {
   count(PgasOp::Put, bytes);
-  issue_put(src_pe, dst_pe, bytes, std::move(copy), std::move(on_delivered));
+  issue_put(src_pe, dst_pe, bytes, std::move(copy), std::move(on_delivered),
+            "put");
 }
 
 void World::put_signal_nbi(int src_pe, int dst_pe, std::size_t bytes,
@@ -149,14 +156,16 @@ void World::put_signal_nbi(int src_pe, int dst_pe, std::size_t bytes,
     if (copy) copy();
     signal.store(sig_value);
   };
-  issue_put(src_pe, dst_pe, bytes, std::move(fused), std::move(on_delivered));
+  issue_put(src_pe, dst_pe, bytes, std::move(fused), std::move(on_delivered),
+            "put_signal");
 }
 
 void World::signal_op(int src_pe, int dst_pe, sim::Signal& signal,
                       std::int64_t sig_value) {
   count(PgasOp::SignalOp, sizeof(std::int64_t));
   issue_put(src_pe, dst_pe, sizeof(std::int64_t),
-            [&signal, sig_value] { signal.store(sig_value); }, {});
+            [&signal, sig_value] { signal.store(sig_value); }, {},
+            "signal_op");
 }
 
 void World::tma_store_async(int src_pe, int dst_pe, std::size_t bytes,
@@ -170,6 +179,7 @@ void World::tma_store_async(int src_pe, int dst_pe, std::size_t bytes,
   req.dst_device = device_of(dst_pe);
   req.bytes = bytes;
   req.num_messages = messages_for(bytes, machine_->cost().tma_chunk_bytes);
+  req.label = "tma_store";
   req.deliver = std::move(copy);
   machine_->fabric().transfer(std::move(req), std::move(on_complete));
 }
@@ -186,6 +196,7 @@ void World::tma_load_async(int dst_pe, int src_pe, std::size_t bytes,
   req.dst_device = device_of(dst_pe);
   req.bytes = bytes;
   req.num_messages = messages_for(bytes, machine_->cost().tma_chunk_bytes);
+  req.label = "tma_get";
   req.deliver = std::move(copy);
   machine_->fabric().transfer(std::move(req), std::move(on_complete));
 }

@@ -73,7 +73,9 @@ class World {
     int id = -1;
     int count = 0;
   };
-  SignalArray alloc_signals(int count);
+  /// `name` labels the array's Wait spans in the causal trace (each PE's
+  /// slot is bound to the trace with its owning device).
+  SignalArray alloc_signals(int count, const std::string& name = "sig");
   sim::Signal& signal(SignalArray arr, int pe, int index);
   /// Raw value reset on every PE (between runs; not a synchronizing store).
   void reset_signals(SignalArray arr, std::int64_t value = 0);
@@ -153,7 +155,7 @@ class World {
   /// put_signal_nbi, and signal_op so each counts as its own op).
   void issue_put(int src_pe, int dst_pe, std::size_t bytes,
                  std::function<void()> deliver,
-                 std::function<void()> on_delivered);
+                 std::function<void()> on_delivered, const char* label);
 
   sim::Machine* machine_;
   std::unique_ptr<SymmetricHeap> heap_;

@@ -1,0 +1,290 @@
+#include "runner/critical_path.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "runner/timing.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace hs::runner {
+
+std::string_view to_string(PathCategory cat) {
+  switch (cat) {
+    case PathCategory::Launch: return "launch";
+    case PathCategory::Pack: return "pack";
+    case PathCategory::Compute: return "compute";
+    case PathCategory::Transfer: return "transfer";
+    case PathCategory::NicQueue: return "nic_queue";
+    case PathCategory::Proxy: return "proxy";
+    case PathCategory::SignalWait: return "signal_wait";
+    case PathCategory::Unpack: return "unpack";
+    case PathCategory::Sync: return "sync";
+    case PathCategory::Other: return "other";
+  }
+  return "?";
+}
+
+double CriticalPathReport::category_mean_us(PathCategory cat) const {
+  if (steps.empty()) return 0.0;
+  return total_us[static_cast<std::size_t>(cat)] /
+         static_cast<double>(steps.size());
+}
+
+double CriticalPathReport::category_percentile(PathCategory cat,
+                                               double p) const {
+  return util::percentile(samples[static_cast<std::size_t>(cat)], p);
+}
+
+double CriticalPathReport::window_mean_us() const {
+  if (steps.empty()) return 0.0;
+  return total_window_us / static_cast<double>(steps.size());
+}
+
+double CriticalPathReport::window_percentile(double p) const {
+  return util::percentile(window_samples, p);
+}
+
+namespace {
+
+// A candidate attribution interval; on overlap the highest priority wins.
+struct Mark {
+  sim::SimTime begin;
+  sim::SimTime end;
+  PathCategory cat;
+  int priority;
+};
+
+// Split a Transfer span into its NIC-queue / proxy-delay / wire portions,
+// clipped to [lo, hi], and append the non-empty pieces.
+void add_transfer_portions(const sim::TraceRecord& t, sim::SimTime lo,
+                           sim::SimTime hi, int priority,
+                           std::vector<Mark>& marks) {
+  const sim::SimTime q_end = t.begin + t.queue_ns;
+  const sim::SimTime p_end = q_end + t.proxy_ns;
+  const auto push = [&](sim::SimTime b, sim::SimTime e, PathCategory cat) {
+    b = std::max(b, lo);
+    e = std::min(e, hi);
+    if (b < e) marks.push_back({b, e, cat, priority});
+  };
+  push(t.begin, q_end, PathCategory::NicQueue);
+  push(q_end, p_end, PathCategory::Proxy);
+  push(p_end, t.end, PathCategory::Transfer);
+}
+
+}  // namespace
+
+CriticalPathReport compute_critical_path(const sim::Trace& trace, int warmup) {
+  CriticalPathReport rep;
+
+  // ---- Index the span graph -------------------------------------------
+  std::unordered_map<std::uint64_t, const sim::TraceRecord*> by_span;
+  int max_device = -1;
+  for (const auto& rec : trace.records()) {
+    if (rec.span != 0) by_span.emplace(rec.span, &rec);
+    max_device = std::max(max_device, rec.device);
+  }
+  if (max_device < 0) return rep;
+  const auto n_dev = static_cast<std::size_t>(max_device + 1);
+
+  std::vector<std::vector<const sim::TraceRecord*>> kernels(n_dev);
+  std::vector<std::vector<const sim::TraceRecord*>> waits(n_dev);
+  std::vector<std::vector<const sim::TraceRecord*>> incoming(n_dev);
+  for (const auto& rec : trace.records()) {
+    const auto d = static_cast<std::size_t>(rec.device);
+    switch (rec.kind) {
+      case sim::SpanKind::Kernel: kernels[d].push_back(&rec); break;
+      case sim::SpanKind::Wait: waits[d].push_back(&rec); break;
+      case sim::SpanKind::Transfer:
+        if (rec.peer >= 0 && rec.peer <= max_device) {
+          incoming[static_cast<std::size_t>(rec.peer)].push_back(&rec);
+        }
+        break;
+    }
+  }
+  const auto by_begin = [](const sim::TraceRecord* a,
+                           const sim::TraceRecord* b) {
+    return a->begin < b->begin;
+  };
+  for (auto& v : kernels) std::sort(v.begin(), v.end(), by_begin);
+  for (auto& v : waits) std::sort(v.begin(), v.end(), by_begin);
+  for (auto& v : incoming) std::sort(v.begin(), v.end(), by_begin);
+
+  // Wait span -> producing transfer (signal set->wait under a fabric
+  // cause); kernel spans gated by an event wait.
+  std::unordered_map<std::uint64_t, const sim::TraceRecord*> wait_producer;
+  std::unordered_set<std::uint64_t> event_gated;
+  for (const auto& edge : trace.edges()) {
+    if (edge.kind == sim::EdgeKind::SignalSetWait) {
+      const auto it = by_span.find(edge.src);
+      if (it != by_span.end() && it->second->kind == sim::SpanKind::Transfer) {
+        wait_producer[edge.dst] = it->second;
+      }
+    } else if (edge.kind == sim::EdgeKind::EventWait) {
+      event_gated.insert(edge.dst);
+    }
+  }
+
+  // ---- Exchange windows (same definition as aggregate_trace) ----------
+  struct Window {
+    sim::SimTime pack_begin = sim::kNever;
+    sim::SimTime unpack_end = -1;
+  };
+  std::map<std::pair<int, std::int64_t>, Window> windows;
+  for (const auto& rec : trace.records()) {
+    if (rec.kind != sim::SpanKind::Kernel || rec.step < warmup) continue;
+    if (is_pack_kernel(rec.name)) {
+      Window& w = windows[{rec.device, rec.step}];
+      w.pack_begin = std::min(w.pack_begin, rec.begin);
+    } else if (is_unpack_kernel(rec.name)) {
+      Window& w = windows[{rec.device, rec.step}];
+      w.unpack_end = std::max(w.unpack_end, rec.end);
+    }
+  }
+
+  // ---- Attribute each window ------------------------------------------
+  for (const auto& [key, win] : windows) {
+    if (win.pack_begin == sim::kNever || win.unpack_end <= win.pack_begin) {
+      continue;  // incomplete step (truncated trace)
+    }
+    const auto [device, step] = key;
+    const auto d = static_cast<std::size_t>(device);
+    const sim::SimTime w0 = win.pack_begin;
+    const sim::SimTime w1 = win.unpack_end;
+
+    std::vector<Mark> marks;
+    // Priority 1: fabric transfers inbound to this device — the MPI path
+    // has no wait spans, so these explain the pack->unpack gap there.
+    for (const auto* t : incoming[d]) {
+      if (t->end <= w0) continue;
+      if (t->begin >= w1) break;
+      add_transfer_portions(*t, w0, w1, 1, marks);
+    }
+    // Priorities 2-3: kernels. This step's halo kernels are Pack/Unpack;
+    // anything else overlapping the window is overlapped Compute.
+    for (const auto* k : kernels[d]) {
+      if (k->end <= w0) continue;
+      if (k->begin >= w1) break;
+      PathCategory cat = PathCategory::Compute;
+      int priority = 2;
+      if (k->step == step && is_pack_kernel(k->name)) {
+        cat = PathCategory::Pack;
+        priority = 3;
+      } else if (k->step == step && is_unpack_kernel(k->name)) {
+        cat = PathCategory::Unpack;
+        priority = 3;
+      }
+      marks.push_back({std::max(k->begin, w0), std::min(k->end, w1), cat,
+                       priority});
+    }
+    // Priority 4: blocked signal waits; priority 5: the portions of those
+    // waits explained by the producing transfer's queue/proxy/wire phases.
+    for (const auto* w : waits[d]) {
+      if (w->end <= w0) continue;
+      if (w->begin >= w1) break;
+      const sim::SimTime lo = std::max(w->begin, w0);
+      const sim::SimTime hi = std::min(w->end, w1);
+      marks.push_back({lo, hi, PathCategory::SignalWait, 4});
+      const auto it = wait_producer.find(w->span);
+      if (it != wait_producer.end()) {
+        add_transfer_portions(*it->second, lo, hi, 5, marks);
+      }
+    }
+
+    // Boundary sweep: every mark edge (already clipped) plus the window
+    // ends partition [w0, w1] into elementary segments, each either fully
+    // covered by a mark or a gap.
+    std::vector<sim::SimTime> cuts{w0, w1};
+    for (const Mark& m : marks) {
+      cuts.push_back(m.begin);
+      cuts.push_back(m.end);
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+    StepBreakdown br;
+    br.device = device;
+    br.step = step;
+    br.window_us = sim::to_us(w1 - w0);
+    const auto add = [&br](PathCategory cat, sim::SimTime ns) {
+      br.us[static_cast<std::size_t>(cat)] += sim::to_us(ns);
+    };
+
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+      const sim::SimTime a = cuts[i];
+      const sim::SimTime b = cuts[i + 1];
+      const Mark* best = nullptr;
+      for (const Mark& m : marks) {
+        if (m.begin <= a && m.end >= b &&
+            (best == nullptr || m.priority > best->priority)) {
+          best = &m;
+        }
+      }
+      if (best != nullptr) {
+        add(best->cat, b - a);
+        continue;
+      }
+      // Gap. If a kernel starts exactly at its end, the trailing queue_ns
+      // of the gap is launch overhead; the rest is stream sync when the
+      // kernel was gated on an event, otherwise unattributed host time.
+      const sim::TraceRecord* next = nullptr;
+      for (const auto* k : kernels[d]) {
+        if (k->begin == b) {
+          next = k;
+          break;
+        }
+        if (k->begin > b) break;
+      }
+      if (next == nullptr) {
+        add(PathCategory::Other, b - a);
+        continue;
+      }
+      const sim::SimTime launch = std::min(b - a, next->queue_ns);
+      add(PathCategory::Launch, launch);
+      if (b - a > launch) {
+        add(event_gated.contains(next->span) ? PathCategory::Sync
+                                             : PathCategory::Other,
+            (b - a) - launch);
+      }
+    }
+
+    rep.total_window_us += br.window_us;
+    rep.window_samples.push_back(br.window_us);
+    for (int c = 0; c < kPathCategoryCount; ++c) {
+      rep.total_us[static_cast<std::size_t>(c)] +=
+          br.us[static_cast<std::size_t>(c)];
+      rep.samples[static_cast<std::size_t>(c)].push_back(
+          br.us[static_cast<std::size_t>(c)]);
+    }
+    rep.steps.push_back(std::move(br));
+  }
+  return rep;
+}
+
+void print_critical_path(std::ostream& os, const CriticalPathReport& rep) {
+  os << "critical path (exchange window, " << rep.steps.size()
+     << " windows, mean " << util::Table::fmt(rep.window_mean_us(), 2)
+     << " us):\n";
+  if (rep.steps.empty()) {
+    os << "  (no complete exchange windows)\n";
+    return;
+  }
+  util::Table table({"category", "mean us", "share %", "p50 us", "p99 us"});
+  for (int c = 0; c < kPathCategoryCount; ++c) {
+    const auto cat = static_cast<PathCategory>(c);
+    const double mean = rep.category_mean_us(cat);
+    if (mean == 0.0) continue;
+    table.add_row({std::string(to_string(cat)), util::Table::fmt(mean, 2),
+                   util::Table::fmt(100.0 * rep.total_us[static_cast<std::size_t>(c)] /
+                                        rep.total_window_us,
+                                    1),
+                   util::Table::fmt(rep.category_percentile(cat, 50.0), 2),
+                   util::Table::fmt(rep.category_percentile(cat, 99.0), 2)});
+  }
+  table.print(os);
+}
+
+}  // namespace hs::runner

@@ -405,6 +405,13 @@ sim::Task MdRunner::rank_loop(int rank, int steps) {
 
 void MdRunner::run(int steps) {
   assert(steps > 0);
+  if (machine_->trace().enabled()) {
+    // ~16 spans per rank-step (kernels + waits + transfers) is a generous
+    // upper bound for the skeleton schedule; avoids growth reallocations.
+    machine_->trace().reserve(machine_->trace().records().size() +
+                              static_cast<std::size_t>(steps) *
+                                  static_cast<std::size_t>(num_ranks()) * 16);
+  }
   for (int r = 0; r < num_ranks(); ++r) {
     per_rank_step_end_[static_cast<std::size_t>(r)].assign(
         static_cast<std::size_t>(steps), 0);

@@ -126,6 +126,7 @@ sim::Task pp_loop(FlowState* fs, int pp) {
       req.src_device = pp;
       req.dst_device = server;
       req.bytes = bytes;
+      req.label = "pme_x";
       req.deliver = [fs2, server] {
         fs2->world->signal(fs2->x_arrived, server, 0).add(1);
       };
@@ -297,6 +298,7 @@ sim::Task pme_loop(FlowState* fs, int pme_index) {
         req.src_device = device;
         req.dst_device = client;
         req.bytes = static_cast<std::size_t>(fs->config.atoms_per_pp_rank) * 12;
+        req.label = "pme_f";
         auto* fs2 = fs;
         const sim::SimTime protocol =
             fs->machine->fabric().link(device, client) == sim::LinkType::IB
@@ -330,8 +332,8 @@ PmeFlowReport run_pme_flow(sim::Machine& machine, pgas::World& world,
   fs.machine = &machine;
   fs.world = &world;
   fs.config = config;
-  fs.x_arrived = world.alloc_signals(1);
-  fs.f_ready = world.alloc_signals(1);
+  fs.x_arrived = world.alloc_signals(1, "pmeXArrived");
+  fs.f_ready = world.alloc_signals(1, "pmeFReady");
   fs.step_end.assign(static_cast<std::size_t>(config.n_pp_ranks),
                      std::vector<sim::SimTime>(
                          static_cast<std::size_t>(config.steps), 0));

@@ -84,6 +84,9 @@ TraceAggregate aggregate_trace(const sim::Trace& trace, int warmup) {
   std::map<std::pair<int, std::int64_t>, Window> windows;
 
   for (const auto& rec : trace.records()) {
+    // Kernel spans only: fabric Transfer and signal Wait spans overlap the
+    // stream-resident work and would double-count into the kernel stats.
+    if (rec.kind != sim::SpanKind::Kernel) continue;
     if (rec.step < warmup) continue;
     by_name[rec.name].add(sim::to_us(rec.end - rec.begin));
     if (is_pack_kernel(rec.name) || is_unpack_kernel(rec.name)) {

@@ -3,14 +3,21 @@
 #include <algorithm>
 #include <string>
 
+#include "sim/trace.hpp"
+
 namespace hs::sim {
 
 void Engine::schedule_at(SimTime t, std::function<void()> fn) {
+  schedule_with_cause(t, 0, std::move(fn));
+}
+
+void Engine::schedule_with_cause(SimTime t, std::uint64_t cause_span,
+                                 std::function<void()> fn) {
   if (t < now_) {
     throw std::invalid_argument("Engine::schedule_at: t=" + std::to_string(t) +
                                 " is before now=" + std::to_string(now_));
   }
-  queue_.push_back(Item{t, next_seq_++, std::move(fn)});
+  queue_.push_back(Item{t, next_seq_++, std::move(fn), cause_span});
   std::push_heap(queue_.begin(), queue_.end(), Later{});
 }
 
@@ -22,11 +29,13 @@ void Engine::step_one() {
   queue_.pop_back();
   now_ = item.t;
   ++processed_;
+  if (trace_ != nullptr) trace_->set_cause(item.cause);
   try {
     item.fn();
   } catch (...) {
     record_error(std::current_exception());
   }
+  if (trace_ != nullptr) trace_->set_cause(0);
 }
 
 SimTime Engine::run() {

@@ -15,9 +15,17 @@
 
 namespace hs::sim {
 
+class Trace;
+
 class Engine {
  public:
   SimTime now() const { return now_; }
+
+  /// Attach the trace that receives the ambient causality context: while an
+  /// event scheduled via schedule_with_cause runs, trace->cause() returns
+  /// the span that scheduled it. Optional; unbound engines skip the
+  /// bookkeeping entirely.
+  void bind_trace(Trace* trace) { trace_ = trace; }
 
   /// Schedule fn at absolute time t. Scheduling into the past corrupts
   /// causality, so t < now() throws std::invalid_argument (in every build
@@ -25,6 +33,11 @@ class Engine {
   /// silently). When thrown from inside a running event, step_one routes
   /// the error through record_error and run() rethrows it.
   void schedule_at(SimTime t, std::function<void()> fn);
+  /// schedule_at, plus: while fn runs, the bound trace's ambient cause is
+  /// `cause_span` (the span whose completion made this event happen — e.g.
+  /// a fabric transfer delivering data). 0 behaves like schedule_at.
+  void schedule_with_cause(SimTime t, std::uint64_t cause_span,
+                           std::function<void()> fn);
   /// Schedule fn dt nanoseconds from now.
   void schedule_after(SimTime dt, std::function<void()> fn) {
     schedule_at(now_ + dt, std::move(fn));
@@ -51,6 +64,7 @@ class Engine {
     SimTime t;
     std::uint64_t seq;
     std::function<void()> fn;
+    std::uint64_t cause = 0;  // ambient trace span while fn runs
   };
   // std::push_heap/pop_heap comparator: max-heap under "later" puts the
   // earliest (time, seq) at the front. The comparator touches only the POD
@@ -67,6 +81,7 @@ class Engine {
   void step_one();
 
   std::vector<Item> queue_;  // binary heap ordered by Later
+  Trace* trace_ = nullptr;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;

@@ -23,9 +23,12 @@ Fabric::Fabric(Engine& engine, Topology topology, FabricParams params)
       topology_(topology),
       params_(params),
       nic_busy_until_(static_cast<std::size_t>(topology.device_count()), 0),
+      last_nic_span_(static_cast<std::size_t>(topology.device_count()), 0),
       proxy_slowdown_(static_cast<std::size_t>(topology.device_count()), 1.0) {
   reset_counters();
 }
+
+void Fabric::bind_trace(Trace* trace) { trace_ = trace; }
 
 void Fabric::reset_counters() {
   counters_ = FabricCounters{};
@@ -76,6 +79,8 @@ void Fabric::transfer(TransferRequest req, std::function<void()> on_complete) {
   }
 
   SimTime complete_at;
+  SimTime span_queue = 0;  // NIC queueing before service starts
+  SimTime span_proxy = 0;  // proxy-induced extra service time
   if (type == LinkType::IB) {
     // NIC occupancy (bandwidth + per-message issue) serializes per source
     // device; wire latency pipelines. A contended proxy thread inflates the
@@ -97,13 +102,29 @@ void Fabric::transfer(TransferRequest req, std::function<void()> on_complete) {
         static_cast<std::uint64_t>(start - engine_->now());
     counters_.proxy_delay_ns[src] += static_cast<std::uint64_t>(
         service - static_cast<SimTime>(std::llround(msg_overhead + wire)));
+    span_queue = start - engine_->now();
+    span_proxy = service - static_cast<SimTime>(std::llround(msg_overhead + wire));
   } else {
     complete_at = engine_->now() + p.latency_ns + jitter +
                   static_cast<SimTime>(std::llround(msg_overhead + wire));
   }
 
-  engine_->schedule_at(
-      complete_at,
+  std::uint64_t span = 0;
+  if (trace_ != nullptr && trace_->enabled()) {
+    std::string name = req.label.empty() ? "xfer" : req.label;
+    name += " " + to_string(type) + " ->d" + std::to_string(req.dst_device);
+    span = trace_->record(req.src_device, "fabric", std::move(name),
+                          engine_->now(), complete_at, -1, SpanKind::Transfer,
+                          span_queue, span_proxy, req.dst_device);
+    if (type == LinkType::IB) {
+      auto& last = last_nic_span_[static_cast<std::size_t>(req.src_device)];
+      if (span_queue > 0) trace_->add_edge(last, span, EdgeKind::NicQueue);
+      last = span;
+    }
+  }
+
+  engine_->schedule_with_cause(
+      complete_at, span,
       [deliver = std::move(req.deliver), done = std::move(on_complete)] {
         if (deliver) deliver();
         if (done) done();

@@ -15,12 +15,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "sim/counters.hpp"
 #include "sim/engine.hpp"
 #include "sim/task.hpp"
 #include "sim/topology.hpp"
+#include "sim/trace.hpp"
 
 namespace hs::sim {
 
@@ -41,6 +43,9 @@ struct TransferRequest {
   int dst_device = 0;
   std::size_t bytes = 0;
   int num_messages = 1;
+  /// Trace label (e.g. the PGAS op that issued the transfer); empty uses
+  /// "xfer <link>".
+  std::string label;
   /// Performs the real data movement; runs at delivery time.
   std::function<void()> deliver;
 };
@@ -58,6 +63,13 @@ class Fabric {
 
   /// Start an asynchronous transfer; `on_complete` runs after `deliver`.
   void transfer(TransferRequest req, std::function<void()> on_complete = {});
+
+  /// Attach a trace: every transfer becomes a Transfer span on the source
+  /// device (stream "fabric") covering issue -> delivery, with the NIC
+  /// queueing and proxy-induced service delay recorded as queue_ns /
+  /// proxy_ns. Queued IB transfers get a NicQueue edge from the previous
+  /// NIC occupant, and the delivery event runs under the span's cause.
+  void bind_trace(Trace* trace);
 
   /// Scale the per-message cost of IB transfers issued from `device`
   /// (models a contended NVSHMEM proxy thread, §5.5). Factor 1 = healthy.
@@ -80,9 +92,11 @@ class Fabric {
   const LinkParams& params_for(LinkType type) const;
 
   Engine* engine_;
+  Trace* trace_ = nullptr;
   Topology topology_;
   FabricParams params_;
   std::vector<SimTime> nic_busy_until_;   // per source device, IB only
+  std::vector<std::uint64_t> last_nic_span_;  // NicQueue edge producers
   std::vector<double> proxy_slowdown_;    // per source device, IB only
   std::uint64_t jitter_state_ = 0;        // splitmix64 state; 0 = off
   SimTime max_jitter_ns_ = 0;

@@ -9,6 +9,8 @@ Machine::Machine(Topology topology, CostModel cost_model)
         std::make_unique<Device>(engine_, d, topology.node_of(d)));
   }
   fabric_ = std::make_unique<Fabric>(engine_, topology, cost_model_.fabric);
+  engine_.bind_trace(&trace_);
+  fabric_->bind_trace(&trace_);
 }
 
 Stream& Machine::create_stream(int device_id, std::string name, int priority) {

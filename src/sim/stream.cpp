@@ -63,10 +63,22 @@ void Stream::enqueue_callback(std::function<void()> fn) {
 }
 
 void Stream::finish_current(SimTime started, const std::string& kernel_name,
-                            std::int64_t tag) {
+                            std::int64_t tag, SimTime queue_ns) {
   if (trace_ != nullptr) {
-    trace_->record(device_->id(), name_, kernel_name, started, engine_->now(),
-                   tag);
+    const std::uint64_t span =
+        trace_->record(device_->id(), name_, kernel_name, started,
+                       engine_->now(), tag, SpanKind::Kernel, queue_ns);
+    if (span != 0) {
+      trace_->add_edge(last_span_, span, EdgeKind::StreamOrder);
+      for (const std::uint64_t producer : pending_wait_spans_) {
+        trace_->add_edge(producer, span, EdgeKind::EventWait);
+      }
+      // Async ops completed by a fabric delivery inherit its cause: the
+      // DMA copy's span depends on the transfer that carried its bytes.
+      trace_->add_edge(trace_->cause(), span, EdgeKind::FabricTransfer);
+      last_span_ = span;
+    }
+    pending_wait_spans_.clear();
   }
   busy_ = false;
   assert(!ops_.empty());
@@ -79,6 +91,7 @@ void Stream::pump() {
     Op& front = ops_.front();
     switch (front.type) {
       case Op::Type::Record:
+        front.event->set_origin_span(last_span_);
         front.event->complete();
         ops_.pop_front();
         break;
@@ -92,7 +105,13 @@ void Stream::pump() {
           break;
         }
         busy_ = true;
-        front.event->when_complete([this] {
+        const GpuEventPtr ev = front.event;
+        front.event->when_complete([this, ev] {
+          // The next op on this stream was gated on the event: remember the
+          // producing span so its record gets an EventWait edge.
+          if (ev->origin_span() != 0) {
+            pending_wait_spans_.push_back(ev->origin_span());
+          }
           busy_ = false;
           ops_.pop_front();
           pump();
@@ -107,10 +126,10 @@ void Stream::pump() {
         const SimTime dispatch = front.spec.dispatch_ns;
         current_ = std::make_unique<KernelInstance>(
             *engine_, *device_, priority_, std::move(front.spec),
-            [this, kernel_name, tag] {
+            [this, kernel_name, tag, dispatch] {
               const SimTime started = current_->started_at();
               retired_ = std::move(current_);
-              finish_current(started, kernel_name, tag);
+              finish_current(started, kernel_name, tag, dispatch);
             });
         if (dispatch > 0) {
           engine_->schedule_after(dispatch, [this] { current_->start(); });
@@ -125,7 +144,9 @@ void Stream::pump() {
         const SimTime started = engine_->now();
         const std::string op_name = front.name;
         auto op_fn = std::move(front.async_op);
-        op_fn([this, started, op_name] { finish_current(started, op_name, -1); });
+        op_fn([this, started, op_name] {
+          finish_current(started, op_name, -1, 0);
+        });
         return;
       }
     }

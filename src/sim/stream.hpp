@@ -73,7 +73,7 @@ class Stream {
 
   void pump();
   void finish_current(SimTime started, const std::string& kernel_name,
-                      std::int64_t tag);
+                      std::int64_t tag, SimTime queue_ns);
 
   Engine* engine_;
   Device* device_;
@@ -81,6 +81,8 @@ class Stream {
   std::string name_;
   int priority_;
   std::deque<Op> ops_;
+  std::uint64_t last_span_ = 0;  // previous op's trace span (stream order)
+  std::vector<std::uint64_t> pending_wait_spans_;  // EventWait producers
   bool busy_ = false;
   std::unique_ptr<KernelInstance> current_;
   std::unique_ptr<KernelInstance> retired_;  // deferred destruction

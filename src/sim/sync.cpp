@@ -8,7 +8,7 @@ void Signal::when_ge(std::int64_t threshold, std::function<void()> fn) {
     engine_->schedule_now(std::move(fn));
     return;
   }
-  waiters_.push_back({threshold, std::move(fn)});
+  waiters_.push_back({threshold, std::move(fn), engine_->now()});
 }
 
 void Signal::wake() {
@@ -19,6 +19,15 @@ void Signal::wake() {
   keep.reserve(waiters_.size());
   for (auto& w : waiters_) {
     if (value_ >= w.threshold) {
+      if (trace_ != nullptr && trace_->enabled()) {
+        // The wait span covers registration -> release; the releasing
+        // store's ambient cause (a fabric transfer, when the store came
+        // from a put-with-signal delivery) becomes the producer edge.
+        const std::uint64_t span =
+            trace_->record(device_, "sync", name_, w.since, engine_->now(),
+                           -1, SpanKind::Wait);
+        trace_->add_edge(trace_->cause(), span, EdgeKind::SignalSetWait);
+      }
       ready.push_back(std::move(w.fn));
     } else {
       keep.push_back(std::move(w));

@@ -15,9 +15,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "sim/task.hpp"
+#include "sim/trace.hpp"
 
 namespace hs::sim {
 
@@ -30,6 +32,17 @@ enum class SignalOrder { Relaxed, Release };
 class Signal {
  public:
   explicit Signal(Engine& engine) : engine_(&engine) {}
+
+  /// Opt this signal into causal tracing: every *blocked* acquire-wait
+  /// becomes a Wait span on `device` (stream "sync") from registration to
+  /// release, with a SignalSetWait edge from the releasing store's ambient
+  /// cause (e.g. the fabric transfer that delivered the put-with-signal).
+  /// Immediately-satisfied waits emit nothing — they cost nothing.
+  void bind_trace(Trace* trace, int device, std::string name) {
+    trace_ = trace;
+    device_ = device;
+    name_ = std::move(name);
+  }
 
   std::int64_t value() const { return value_; }
 
@@ -59,7 +72,8 @@ class Signal {
       std::int64_t threshold;
       bool await_ready() const { return sig->value_ >= threshold; }
       void await_suspend(Task::Handle h) {
-        sig->waiters_.push_back({threshold, [h] { h.resume(); }});
+        sig->waiters_.push_back(
+            {threshold, [h] { h.resume(); }, sig->engine_->now()});
       }
       void await_resume() const {}
     };
@@ -70,11 +84,15 @@ class Signal {
   void wake();
 
   Engine* engine_;
+  Trace* trace_ = nullptr;
+  int device_ = -1;
+  std::string name_;
   std::int64_t value_ = 0;
   std::uint64_t wait_count_ = 0;
   struct Waiter {
     std::int64_t threshold;
     std::function<void()> fn;
+    SimTime since = 0;  // registration time, for the Wait span
   };
   std::vector<Waiter> waiters_;
 };
@@ -85,6 +103,12 @@ class GpuEvent {
 
   bool is_complete() const { return complete_; }
   SimTime completed_at() const { return completed_at_; }
+
+  /// Trace span whose completion this event marks (set by Stream on the
+  /// Record op; 0 = unknown). Lets a later stream-wait draw an EventWait
+  /// edge back to the producing work.
+  void set_origin_span(std::uint64_t span) { origin_span_ = span; }
+  std::uint64_t origin_span() const { return origin_span_; }
 
   void complete();
   void when_complete(std::function<void()> fn);
@@ -105,6 +129,7 @@ class GpuEvent {
   Engine* engine_;
   bool complete_ = false;
   SimTime completed_at_ = -1;
+  std::uint64_t origin_span_ = 0;
   std::vector<std::function<void()>> waiters_;
 };
 

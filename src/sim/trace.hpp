@@ -5,15 +5,49 @@
 // of the paper's %%globaltimer instrumentation (§6.3): the timing figures
 // (Figs 6-8) are computed from these records, and the schedule-illustration
 // bench (Figs 1-2) renders them as a timeline.
+//
+// Beyond flat records, the trace is a causal event graph: every record is a
+// span with a unique id, and producers register typed dependency edges
+// between spans (stream order, event waits, signal set->wait, fabric
+// delivery, NIC queueing). The graph is what runner/critical_path walks to
+// attribute exchange latency to the paper's categories, and what the Chrome
+// export renders as Perfetto flow arrows.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/logging.hpp"
 
 namespace hs::sim {
+
+/// What a span measures. Kernel spans are stream-resident work (kernels and
+/// DMA copy-engine ops), Transfer spans are fabric occupancy windows, Wait
+/// spans are blocked signal acquire-waits.
+enum class SpanKind : std::uint8_t { Kernel, Transfer, Wait };
+
+/// Why a span could not start (or finish) earlier.
+enum class EdgeKind : std::uint8_t {
+  StreamOrder,    // previous op on the same stream
+  EventWait,      // cudaStreamWaitEvent: recorded span -> waiting span
+  SignalSetWait,  // signal store/add -> the wait it released
+  FabricTransfer, // fabric delivery -> work completed by it
+  NicQueue,       // previous NIC occupant -> queued IB transfer
+};
+
+inline const char* to_string(EdgeKind kind) {
+  switch (kind) {
+    case EdgeKind::StreamOrder: return "stream_order";
+    case EdgeKind::EventWait: return "event_wait";
+    case EdgeKind::SignalSetWait: return "signal_wait";
+    case EdgeKind::FabricTransfer: return "fabric_transfer";
+    case EdgeKind::NicQueue: return "nic_queue";
+  }
+  return "?";
+}
 
 struct TraceRecord {
   int device = -1;
@@ -22,10 +56,29 @@ struct TraceRecord {
   SimTime begin = 0;
   SimTime end = 0;
   std::int64_t step = -1;
+  std::uint64_t span = 0;  // unique id; 0 = invalid/disabled
+  SpanKind kind = SpanKind::Kernel;
+  /// Kernel: launch/dispatch overhead preceding `begin`. Transfer: time the
+  /// request sat in the source NIC's queue after `begin`.
+  SimTime queue_ns = 0;
+  /// Transfer only: extra service time induced by a contended proxy thread.
+  SimTime proxy_ns = 0;
+  /// Transfer only: destination device (device is the source).
+  int peer = -1;
+};
+
+/// Directed dependency: `src` had to happen(-ish) before `dst`.
+struct TraceEdge {
+  std::uint64_t src = 0;
+  std::uint64_t dst = 0;
+  EdgeKind kind = EdgeKind::StreamOrder;
 };
 
 class Trace {
  public:
+  /// Default soft cap on the record count (see set_soft_cap).
+  static constexpr std::size_t kDefaultSoftCap = 4'000'000;
+
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
@@ -34,20 +87,73 @@ class Trace {
 
   /// `tag` >= 0 overrides the ambient step annotation (kernels carry their
   /// MD step explicitly because host loops launch several steps ahead).
-  void record(int device, std::string stream, std::string name, SimTime begin,
-              SimTime end, std::int64_t tag = -1) {
-    if (!enabled_) return;
+  /// Returns the new span id (0 when tracing is disabled).
+  std::uint64_t record(int device, std::string stream, std::string name,
+                       SimTime begin, SimTime end, std::int64_t tag = -1,
+                       SpanKind kind = SpanKind::Kernel, SimTime queue_ns = 0,
+                       SimTime proxy_ns = 0, int peer = -1) {
+    if (!enabled_) return 0;
+    const std::uint64_t span = ++next_span_;
     records_.push_back({device, std::move(stream), std::move(name), begin, end,
-                        tag >= 0 ? tag : step_});
+                        tag >= 0 ? tag : step_, span, kind, queue_ns, proxy_ns,
+                        peer});
+    if (records_.size() > soft_cap_ && !cap_warned_) {
+      cap_warned_ = true;
+      HS_WARN("trace: record count exceeded soft cap (" << soft_cap_
+              << "); long runs should disable tracing or raise the cap "
+                 "(Trace::set_soft_cap)");
+    }
+    return span;
   }
 
+  /// Register a causal edge between two spans. No-ops on disabled tracing,
+  /// invalid (0) endpoints, or self-edges, so callers can pass candidate
+  /// ids unconditionally.
+  void add_edge(std::uint64_t src, std::uint64_t dst, EdgeKind kind) {
+    if (!enabled_ || src == 0 || dst == 0 || src == dst) return;
+    edges_.push_back({src, dst, kind});
+  }
+
+  /// Ambient causality context: the span whose completion scheduled the
+  /// currently-running engine event (0 = none). Set by the engine around
+  /// each event dispatched via schedule_with_cause; instrumentation points
+  /// read it to attribute downstream effects (e.g. a signal store performed
+  /// by a fabric delivery) to the transfer that caused them.
+  void set_cause(std::uint64_t span) { cause_ = span; }
+  std::uint64_t cause() const { return cause_; }
+
+  /// Pre-size the record storage (e.g. steps * ranks * kernels-per-step).
+  void reserve(std::size_t n) { records_.reserve(n); }
+
+  /// Records beyond the soft cap still land, but the first crossing logs a
+  /// one-time warning — long runs with tracing left on should not balloon
+  /// memory silently.
+  void set_soft_cap(std::size_t cap) { soft_cap_ = cap; }
+  std::size_t soft_cap() const { return soft_cap_; }
+
   const std::vector<TraceRecord>& records() const { return records_; }
-  void clear() { records_.clear(); }
+  const std::vector<TraceEdge>& edges() const { return edges_; }
+
+  /// Drop all records/edges and reset the ambient step to "no step", so a
+  /// reused trace does not tag new records with the previous run's last
+  /// step. Span ids keep counting up: ids stay unique across clears.
+  void clear() {
+    records_.clear();
+    edges_.clear();
+    step_ = -1;
+    cause_ = 0;
+    cap_warned_ = false;
+  }
 
  private:
   bool enabled_ = false;
   std::int64_t step_ = -1;
+  std::uint64_t next_span_ = 0;
+  std::uint64_t cause_ = 0;
+  std::size_t soft_cap_ = kDefaultSoftCap;
+  bool cap_warned_ = false;
   std::vector<TraceRecord> records_;
+  std::vector<TraceEdge> edges_;
 };
 
 }  // namespace hs::sim

@@ -52,6 +52,7 @@ std::string us(SimTime ns) {
 void ChromeTraceWriter::add(const Trace& trace, std::string label) {
   Source src;
   src.records = trace.records();
+  src.edges = trace.edges();
   src.label = std::move(label);
   src.pid_base = next_pid_;
   int max_device = -1;
@@ -68,8 +69,15 @@ std::size_t ChromeTraceWriter::event_count() const {
   return n;
 }
 
+std::size_t ChromeTraceWriter::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& src : sources_) n += src.edges.size();
+  return n;
+}
+
 void ChromeTraceWriter::write(std::ostream& os) const {
   os << "{\"traceEvents\":[";
+  std::uint64_t flow_id = 1;  // unique per s/f pair across all sources
   bool first = true;
   auto sep = [&] {
     if (!first) os << ",\n";
@@ -104,14 +112,45 @@ void ChromeTraceWriter::write(std::ostream& os) const {
                        : src.label + " dev" + std::to_string(device))
          << "\"}}";
     }
+    std::map<std::uint64_t, const TraceRecord*> by_span;
     for (const auto& rec : src.records) {
       const int pid = src.pid_base + rec.device;
       const int tid = tids.at({pid, rec.stream});
+      if (rec.span != 0) by_span.emplace(rec.span, &rec);
+      const char* cat = "kernel";
+      if (rec.kind == SpanKind::Transfer) cat = "transfer";
+      if (rec.kind == SpanKind::Wait) cat = "wait";
       sep();
-      os << "{\"name\":\"" << escape(rec.name)
-         << "\",\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":" << us(rec.begin)
+      os << "{\"name\":\"" << escape(rec.name) << "\",\"cat\":\"" << cat
+         << "\",\"ph\":\"X\",\"ts\":" << us(rec.begin)
          << ",\"dur\":" << us(rec.end - rec.begin) << ",\"pid\":" << pid
          << ",\"tid\":" << tid << ",\"args\":{\"step\":" << rec.step << "}}";
+    }
+    // Causal edges as Perfetto flow pairs: the start binds to the end of
+    // the producing span, the finish (bp:"e" = enclosing slice) to the
+    // start of the consumer.
+    for (const auto& edge : src.edges) {
+      const auto s = by_span.find(edge.src);
+      const auto f = by_span.find(edge.dst);
+      if (s == by_span.end() || f == by_span.end()) continue;
+      const auto emit = [&](const char* ph, const TraceRecord& rec,
+                            SimTime ts) {
+        const int pid = src.pid_base + rec.device;
+        const int tid = tids.at({pid, rec.stream});
+        sep();
+        os << "{\"name\":\"" << to_string(edge.kind)
+           << "\",\"cat\":\"flow\",\"ph\":\"" << ph << "\",\"id\":" << flow_id;
+        if (ph[0] == 'f') os << ",\"bp\":\"e\"";
+        os << ",\"pid\":" << pid << ",\"tid\":" << tid << ",\"ts\":" << us(ts)
+           << "}";
+      };
+      // Keep the pair time-ordered (a wait span begins before the transfer
+      // that releases it ends) while still binding inside the dst slice.
+      const SimTime f_ts = std::min(
+          std::max(f->second->begin, s->second->end), f->second->end);
+      emit("s", *s->second, s->second->end);
+      emit("f", *f->second, f_ts);
+      ++flow_id;
     }
   }
   os << "],\"displayTimeUnit\":\"ms\"}\n";

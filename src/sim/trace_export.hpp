@@ -4,9 +4,11 @@
 // (chrome://tracing, Perfetto UI, or speedscope all load it): one process
 // per simulated device (pid), one thread per stream (tid), and every
 // kernel/copy as a complete duration event (ph:"X") tagged with its MD
-// step. Several traces (e.g. one per transport in a comparison bench) can
-// land in one file — each add() gets a disjoint pid range and a process
-// name prefixed with its label.
+// step. Causal trace edges become Perfetto flow events (ph:"s"/"f" pairs),
+// so dependency arrows — signal set->wait, NIC queueing, fabric deliveries
+// — render in the viewer. Several traces (e.g. one per transport in a
+// comparison bench) can land in one file — each add() gets a disjoint pid
+// range and a process name prefixed with its label.
 #pragma once
 
 #include <cstddef>
@@ -25,6 +27,7 @@ class ChromeTraceWriter {
   void add(const Trace& trace, std::string label = {});
 
   std::size_t event_count() const;
+  std::size_t edge_count() const;
   bool empty() const { return event_count() == 0; }
 
   /// Emit the whole trace_events JSON document.
@@ -36,6 +39,7 @@ class ChromeTraceWriter {
  private:
   struct Source {
     std::vector<TraceRecord> records;
+    std::vector<TraceEdge> edges;
     std::string label;
     int pid_base = 0;
   };

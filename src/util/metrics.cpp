@@ -1,0 +1,180 @@
+#include "util/metrics.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace hs::util::metrics {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_number(double v) {
+  // Integral values print without an exponent or trailing ".000000".
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::ostringstream os;
+    os << static_cast<long long>(v);
+    return os.str();
+  }
+  std::ostringstream os;
+  os.precision(15);
+  os << v;
+  return os.str();
+}
+
+const json::Object& cases_of(const json::Value& doc, const char* which) {
+  if (!doc.is_object() || !doc.contains("schema") ||
+      !doc.at("schema").is_string() || doc.at("schema").as_string() != kSchema ||
+      !doc.contains("cases") || !doc.at("cases").is_object()) {
+    throw std::runtime_error(std::string("metrics: ") + which +
+                             " is not a " + std::string(kSchema) + " document");
+  }
+  return doc.at("cases").as_object();
+}
+
+}  // namespace
+
+Case& Report::case_for(const std::string& label) {
+  for (Case& c : cases) {
+    if (c.label == label) return c;
+  }
+  cases.push_back({label, {}});
+  return cases.back();
+}
+
+void Report::set(const std::string& label, const std::string& key,
+                 double value) {
+  case_for(label).values.emplace_back(key, value);
+}
+
+void write_json(std::ostream& os, const Report& report) {
+  os << "{\"schema\":\"" << kSchema << "\",\"cases\":{";
+  bool first_case = true;
+  for (const Case& c : report.cases) {
+    if (!first_case) os << ",";
+    first_case = false;
+    os << "\n  \"" << escape(c.label) << "\":{";
+    bool first_kv = true;
+    for (const auto& [key, value] : c.values) {
+      if (!std::isfinite(value)) continue;  // JSON cannot hold NaN/inf
+      if (!first_kv) os << ",";
+      first_kv = false;
+      os << "\"" << escape(key) << "\":" << format_number(value);
+    }
+    os << "}";
+  }
+  os << "\n}}\n";
+}
+
+bool write_file(const std::string& path, const Report& report) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_json(os, report);
+  return static_cast<bool>(os);
+}
+
+bool is_time_metric(std::string_view key) {
+  return key.ends_with("_us") || key.ends_with("_ns");
+}
+
+DiffResult diff(const json::Value& base, const json::Value& cand,
+                double threshold) {
+  const json::Object& base_cases = cases_of(base, "baseline");
+  const json::Object& cand_cases = cases_of(cand, "candidate");
+
+  DiffResult result;
+  for (const auto& [label, base_case] : base_cases) {
+    const auto cand_it = cand_cases.find(label);
+    if (cand_it == cand_cases.end()) {
+      result.notes.push_back("case '" + label + "' missing from candidate");
+      result.regression = true;
+      continue;
+    }
+    const json::Object& cand_case = cand_it->second.as_object();
+    for (const auto& [key, base_val] : base_case.as_object()) {
+      if (!base_val.is_number()) continue;
+      const auto kv = cand_case.find(key);
+      if (kv == cand_case.end() || !kv->second.is_number()) {
+        result.notes.push_back("metric '" + label + "." + key +
+                               "' missing from candidate");
+        if (is_time_metric(key)) result.regression = true;
+        continue;
+      }
+      const double b = base_val.as_number();
+      const double c = kv->second.as_number();
+      double rel = 0.0;
+      if (b != 0.0) {
+        rel = (c - b) / b;
+      } else if (c != 0.0) {
+        rel = std::numeric_limits<double>::infinity();
+      }
+      if (std::fabs(rel) <= threshold) continue;
+      Delta d;
+      d.case_label = label;
+      d.key = key;
+      d.base = b;
+      d.cand = c;
+      d.rel = rel;
+      d.regression = is_time_metric(key) && rel > threshold;
+      if (d.regression) result.regression = true;
+      result.deltas.push_back(std::move(d));
+    }
+  }
+  return result;
+}
+
+void print_diff(std::ostream& os, const DiffResult& result, double threshold) {
+  if (result.deltas.empty() && result.notes.empty()) {
+    os << "bench_diff: no metric moved more than "
+       << Table::fmt(100.0 * threshold, 1) << "%\n";
+  }
+  if (!result.deltas.empty()) {
+    Table table({"case", "metric", "base", "cand", "delta %", "verdict"});
+    for (const Delta& d : result.deltas) {
+      table.add_row({d.case_label, d.key, Table::fmt(d.base, 3),
+                     Table::fmt(d.cand, 3),
+                     (std::isinf(d.rel) ? std::string("inf")
+                                        : Table::fmt(100.0 * d.rel, 1)),
+                     d.regression ? "REGRESSION"
+                                  : (is_time_metric(d.key) ? "improved"
+                                                           : "changed")});
+    }
+    table.print(os);
+  }
+  for (const std::string& note : result.notes) {
+    os << "note: " << note << "\n";
+  }
+  os << (result.regression ? "bench_diff: REGRESSION past "
+                           : "bench_diff: OK within ")
+     << Table::fmt(100.0 * threshold, 1) << "% threshold\n";
+}
+
+}  // namespace hs::util::metrics

@@ -1,0 +1,73 @@
+// Bench metrics files and regression diffing.
+//
+// Benches emit a flat per-case metrics JSON ("halosim-bench-metrics-v1"):
+// one object per case label holding scalar metrics. `diff` compares two
+// such files and flags regressions — time-like metrics (keys suffixed
+// `_us` or `_ns`) whose candidate value grew past the threshold — so CI
+// can gate on `tools/bench_diff`'s exit code instead of eyeballing bench
+// tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hs::util::json {
+class Value;
+}
+
+namespace hs::util::metrics {
+
+inline constexpr std::string_view kSchema = "halosim-bench-metrics-v1";
+
+struct Case {
+  std::string label;
+  /// Insertion-ordered metric name -> value pairs.
+  std::vector<std::pair<std::string, double>> values;
+};
+
+struct Report {
+  std::vector<Case> cases;
+
+  /// Append (or extend) the case named `label`.
+  Case& case_for(const std::string& label);
+  void set(const std::string& label, const std::string& key, double value);
+};
+
+/// Serialize as the v1 schema. Non-finite values (NaN empty-percentiles,
+/// infinities) are skipped — JSON cannot represent them.
+void write_json(std::ostream& os, const Report& report);
+/// Returns false if the file cannot be written.
+bool write_file(const std::string& path, const Report& report);
+
+/// True for keys the regression gate treats as "lower is better" times.
+bool is_time_metric(std::string_view key);
+
+struct Delta {
+  std::string case_label;
+  std::string key;
+  double base = 0.0;
+  double cand = 0.0;
+  double rel = 0.0;        // (cand - base) / base
+  bool regression = false;  // time metric that grew past the threshold
+};
+
+struct DiffResult {
+  std::vector<Delta> deltas;       // every metric whose |rel| > threshold
+  std::vector<std::string> notes;  // missing cases/keys, schema mismatches
+  bool regression = false;
+};
+
+/// Compare two parsed metrics documents. Only cases/keys present in
+/// `base` are checked; a case or time-metric key missing from `cand` is a
+/// regression (the gate cannot vouch for it). Throws std::runtime_error
+/// if either document does not follow the v1 schema.
+DiffResult diff(const json::Value& base, const json::Value& cand,
+                double threshold);
+
+/// Human-readable rendering of a diff (table of deltas plus notes).
+void print_diff(std::ostream& os, const DiffResult& result, double threshold);
+
+}  // namespace hs::util::metrics

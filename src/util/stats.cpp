@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace hs::util {
 
@@ -23,7 +24,9 @@ double stddev(std::span<const double> xs) {
 double median(std::span<const double> xs) { return percentile(xs, 50.0); }
 
 double percentile(std::span<const double> xs, double p) {
-  if (xs.empty()) return 0.0;
+  // NaN, not 0: an empty sample set (e.g. warmup consumed every step) must
+  // not masquerade as a measured zero latency.
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
   std::vector<double> sorted(xs.begin(), xs.end());
   std::sort(sorted.begin(), sorted.end());
   const double clamped = std::clamp(p, 0.0, 100.0);

@@ -10,7 +10,7 @@ namespace hs::util {
 double mean(std::span<const double> xs);
 double stddev(std::span<const double> xs);  // sample stddev; 0 for n < 2
 double median(std::span<const double> xs);  // midpoint of sorted copy
-/// Linear-interpolated percentile, p in [0, 100].
+/// Linear-interpolated percentile, p in [0, 100]. NaN on an empty span.
 double percentile(std::span<const double> xs, double p);
 
 /// Streaming accumulator (Welford) for per-step timing series.

@@ -1,0 +1,148 @@
+#include "runner/critical_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "runner/timing.hpp"
+#include "runner_test_util.hpp"
+#include "sim/trace.hpp"
+
+namespace hs::runner {
+namespace {
+
+using testing::SkeletonRig;
+
+TEST(CriticalPath, EmptyTraceYieldsEmptyReport) {
+  sim::Trace trace;
+  const auto rep = compute_critical_path(trace);
+  EXPECT_TRUE(rep.steps.empty());
+  EXPECT_EQ(rep.window_mean_us(), 0.0);
+  EXPECT_TRUE(std::isnan(rep.window_percentile(50.0)));
+}
+
+// Hand-built trace: pack [0,100], a signal wait [100,600] released by a
+// transfer [0,600] with queue 100 ns / proxy 50 ns, unpack [600,700], and
+// a 100 ns launch-gap before a compute kernel. Attribution must partition
+// the window [0, 700] exactly.
+TEST(CriticalPath, SyntheticAttributionPartitionsWindow) {
+  sim::Trace trace;
+  trace.set_enabled(true);
+  trace.record(0, "comm", "PackX", 0, 100, 0);
+  const auto xfer = trace.record(1, "nic", "put ->d0", 0, 600, 0,
+                                 sim::SpanKind::Transfer, 100, 50, 0);
+  const auto wait = trace.record(0, "sync", "coordSig[0]", 100, 600, 0,
+                                 sim::SpanKind::Wait);
+  trace.add_edge(xfer, wait, sim::EdgeKind::SignalSetWait);
+  trace.record(0, "comm", "UnpackF", 600, 700, 0);
+
+  const auto rep = compute_critical_path(trace);
+  ASSERT_EQ(rep.steps.size(), 1u);
+  const StepBreakdown& br = rep.steps[0];
+  EXPECT_EQ(br.device, 0);
+  EXPECT_EQ(br.step, 0);
+  EXPECT_DOUBLE_EQ(br.window_us, 0.7);
+  // Exact partition: categories sum to the window.
+  EXPECT_NEAR(br.attributed_us(), br.window_us, 1e-9);
+  const auto us = [&](PathCategory c) {
+    return br.us[static_cast<std::size_t>(c)];
+  };
+  EXPECT_DOUBLE_EQ(us(PathCategory::Pack), 0.1);
+  EXPECT_DOUBLE_EQ(us(PathCategory::Unpack), 0.1);
+  // The wait [100,600] decomposes into the producer transfer's phases that
+  // overlap it: queue ends at 100, proxy covers [100,150], wire the rest.
+  EXPECT_DOUBLE_EQ(us(PathCategory::NicQueue), 0.0);
+  EXPECT_DOUBLE_EQ(us(PathCategory::Proxy), 0.05);
+  EXPECT_DOUBLE_EQ(us(PathCategory::Transfer), 0.45);
+  EXPECT_DOUBLE_EQ(us(PathCategory::SignalWait), 0.0);
+}
+
+// A gap before a kernel whose queue_ns covers part of it becomes Launch;
+// the remainder is Sync when the kernel was event-gated.
+TEST(CriticalPath, GapsSplitIntoLaunchAndSync) {
+  sim::Trace trace;
+  trace.set_enabled(true);
+  trace.record(0, "comm", "PackX", 0, 100, 0);
+  // 200 ns gap, then an event-gated unpack with 50 ns dispatch overhead.
+  const auto producer = trace.record(0, "compute", "nb_local", 0, 80, 0);
+  const auto unpack = trace.record(0, "comm", "UnpackF", 300, 400, 0,
+                                   sim::SpanKind::Kernel, 50);
+  trace.add_edge(producer, unpack, sim::EdgeKind::EventWait);
+
+  const auto rep = compute_critical_path(trace);
+  ASSERT_EQ(rep.steps.size(), 1u);
+  const StepBreakdown& br = rep.steps[0];
+  const auto us = [&](PathCategory c) {
+    return br.us[static_cast<std::size_t>(c)];
+  };
+  EXPECT_NEAR(br.attributed_us(), br.window_us, 1e-9);
+  // Window [0,400]: pack 100, compute [0,80] is under pack (priority), gap
+  // [100,300] = 150 sync + 50 launch, unpack 100.
+  EXPECT_DOUBLE_EQ(us(PathCategory::Launch), 0.05);
+  EXPECT_DOUBLE_EQ(us(PathCategory::Sync), 0.15);
+  EXPECT_DOUBLE_EQ(us(PathCategory::Pack), 0.1);
+  EXPECT_DOUBLE_EQ(us(PathCategory::Unpack), 0.1);
+}
+
+// Fig. 7-style small-system run on a 2-node DGX topology: the per-step
+// attribution must reconcile with the measured exchange window within 1%,
+// and the NVSHMEM path must show real transfer/pack/unpack time.
+TEST(CriticalPath, RealRunAttributionReconcilesWithExchangeWindow) {
+  RunConfig cfg;  // Shmem transport by default
+  auto rig = SkeletonRig::make(90000, 8, sim::Topology::dgx_h100(2, 4), cfg);
+  rig.runner->run(12);
+  constexpr int kWarmup = 3;
+  const auto rep = compute_critical_path(rig.machine->trace(), kWarmup);
+  // 8 ranks x 9 measured steps.
+  ASSERT_EQ(rep.steps.size(), 72u);
+  for (const StepBreakdown& br : rep.steps) {
+    EXPECT_GE(br.step, kWarmup);
+    ASSERT_GT(br.window_us, 0.0);
+    // Acceptance: per-step category sums reconcile with the measured
+    // exchange latency within 1%.
+    EXPECT_NEAR(br.attributed_us(), br.window_us, 0.01 * br.window_us)
+        << "device " << br.device << " step " << br.step;
+  }
+  const auto us = [&](PathCategory c) { return rep.category_mean_us(c); };
+  EXPECT_GT(us(PathCategory::Pack), 0.0);
+  EXPECT_GT(us(PathCategory::Unpack), 0.0);
+  // Inter-node pulses cross IB: wire time must be attributed.
+  EXPECT_GT(us(PathCategory::Transfer), 0.0);
+  // The mean window must match aggregate_trace's exchange latency — both
+  // use the same first-pack -> last-unpack definition.
+  const auto agg = aggregate_trace(rig.machine->trace(), kWarmup);
+  EXPECT_EQ(rep.steps.size(), agg.exchange_us.count());
+  EXPECT_NEAR(rep.window_mean_us(), agg.exchange_us.mean(),
+              1e-6 * agg.exchange_us.mean());
+  // Percentile plumbing is live.
+  EXPECT_LE(rep.window_percentile(50.0), rep.window_percentile(99.0));
+}
+
+// The MPI path has no signal waits; transfers inbound to the device must
+// still explain the pack -> unpack gap without breaking the partition.
+TEST(CriticalPath, MpiRunStillPartitions) {
+  RunConfig cfg;
+  cfg.transport = halo::Transport::Mpi;
+  auto rig = SkeletonRig::make(45000, 4, sim::Topology::dgx_h100(1, 4), cfg);
+  rig.runner->run(8);
+  const auto rep = compute_critical_path(rig.machine->trace(), 2);
+  ASSERT_FALSE(rep.steps.empty());
+  for (const StepBreakdown& br : rep.steps) {
+    EXPECT_NEAR(br.attributed_us(), br.window_us, 0.01 * br.window_us);
+  }
+}
+
+TEST(CriticalPath, WarmupSkipsEarlySteps) {
+  RunConfig cfg;
+  auto rig = SkeletonRig::make(45000, 4, sim::Topology::dgx_h100(1, 4), cfg);
+  rig.runner->run(6);
+  const auto all = compute_critical_path(rig.machine->trace(), 0);
+  const auto late = compute_critical_path(rig.machine->trace(), 4);
+  EXPECT_EQ(all.steps.size(), 24u);
+  EXPECT_EQ(late.steps.size(), 8u);
+  for (const StepBreakdown& br : late.steps) EXPECT_GE(br.step, 4);
+}
+
+}  // namespace
+}  // namespace hs::runner

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "runner_test_util.hpp"
 
 namespace hs::runner {
@@ -133,6 +135,45 @@ TEST(TraceAggregation, WarmupStepsAreDropped) {
   EXPECT_EQ(agg.kernels[0].us.count(), 1u);
 }
 
+TEST(TraceAggregation, WarmupEqualToStepCountLeavesNothing) {
+  sim::Trace t;
+  t.set_enabled(true);
+  t.record(0, "comm", "PackX_p0", 0, 1000, 0);
+  t.record(0, "comm", "UnpackF_p0", 2000, 3000, 0);
+  t.record(0, "comm", "PackX_p0", 10000, 11000, 1);
+  t.record(0, "comm", "UnpackF_p0", 12000, 15000, 1);
+  // Steps 0 and 1 exist; warmup == 2 drops both.
+  const TraceAggregate agg = aggregate_trace(t, /*warmup=*/2);
+  EXPECT_EQ(agg.exchange_us.count(), 0u);
+  EXPECT_TRUE(agg.kernels.empty());
+  EXPECT_TRUE(std::isnan(agg.exchange_percentile(50.0)));
+}
+
+TEST(TraceAggregation, WarmupBeyondStepCountLeavesNothing) {
+  sim::Trace t;
+  t.set_enabled(true);
+  t.record(0, "comm", "PackX_p0", 0, 1000, 0);
+  t.record(0, "comm", "UnpackF_p0", 2000, 3000, 0);
+  const TraceAggregate agg = aggregate_trace(t, /*warmup=*/100);
+  EXPECT_EQ(agg.exchange_us.count(), 0u);
+  EXPECT_TRUE(agg.kernels.empty());
+  EXPECT_TRUE(std::isnan(agg.exchange_percentile(99.0)));
+  EXPECT_EQ(agg.exchange_us.mean(), 0.0);  // RunningStats: 0 for no samples
+}
+
+TEST(TraceAggregation, SingleStepTraceAggregates) {
+  sim::Trace t;
+  t.set_enabled(true);
+  t.record(0, "comm", "PackX_p0", 0, 1000, 0);
+  t.record(0, "comm", "UnpackF_p0", 2000, 3000, 0);
+  const TraceAggregate agg = aggregate_trace(t, /*warmup=*/0);
+  EXPECT_EQ(agg.exchange_us.count(), 1u);
+  EXPECT_DOUBLE_EQ(agg.exchange_us.mean(), 3.0);  // 3000 ns window
+  // A single sample pins every percentile to it.
+  EXPECT_DOUBLE_EQ(agg.exchange_percentile(50.0), 3.0);
+  EXPECT_DOUBLE_EQ(agg.exchange_percentile(99.0), 3.0);
+}
+
 TEST(TraceAggregation, HalfOpenWindowsAreIgnored) {
   sim::Trace t;
   t.set_enabled(true);
@@ -140,7 +181,7 @@ TEST(TraceAggregation, HalfOpenWindowsAreIgnored) {
   t.record(1, "comm", "UnpackF_p0", 0, 1000, 0); // unpack with no pack
   const TraceAggregate agg = aggregate_trace(t);
   EXPECT_EQ(agg.exchange_us.count(), 0u);
-  EXPECT_DOUBLE_EQ(agg.exchange_percentile(50.0), 0.0);  // empty -> 0
+  EXPECT_TRUE(std::isnan(agg.exchange_percentile(50.0)));  // empty -> NaN
 }
 
 TEST(TraceAggregation, RealRunProducesConsistentAggregate) {

@@ -127,6 +127,103 @@ TEST(ChromeTraceExport, EmptyTraceStillProducesValidJson) {
   EXPECT_TRUE(doc.at("traceEvents").as_array().empty());
 }
 
+TEST(ChromeTraceExport, EdgesBecomePairedFlowEvents) {
+  Trace t;
+  t.set_enabled(true);
+  const auto xfer =
+      t.record(0, "nic", "put ->d1", 100, 900, 0, SpanKind::Transfer, 0, 0, 1);
+  const auto wait =
+      t.record(1, "sync", "coordSig[0]", 200, 900, 0, SpanKind::Wait);
+  const auto unpack = t.record(1, "comm", "unpack_f", 900, 1200, 0);
+  t.add_edge(xfer, wait, EdgeKind::SignalSetWait);
+  t.add_edge(wait, unpack, EdgeKind::StreamOrder);
+
+  ChromeTraceWriter w;
+  w.add(t);
+  EXPECT_EQ(w.edge_count(), 2u);
+  const json::Value doc = export_to_json(w);
+
+  std::map<double, int> starts;
+  std::map<double, int> finishes;
+  std::set<std::string> flow_names;
+  for (const auto& ev : doc.at("traceEvents").as_array()) {
+    const std::string& ph = ev.at("ph").as_string();
+    if (ph == "X") {
+      // Span kinds surface as event categories.
+      const std::string& name = ev.at("name").as_string();
+      if (name == "put ->d1") {
+        EXPECT_EQ(ev.at("cat").as_string(), "transfer");
+      }
+      if (name == "coordSig[0]") {
+        EXPECT_EQ(ev.at("cat").as_string(), "wait");
+      }
+      if (name == "unpack_f") {
+        EXPECT_EQ(ev.at("cat").as_string(), "kernel");
+      }
+      continue;
+    }
+    if (ph != "s" && ph != "f") continue;
+    flow_names.insert(ev.at("name").as_string());
+    EXPECT_EQ(ev.at("cat").as_string(), "flow");
+    EXPECT_GE(ev.at("ts").as_number(), 0.0);
+    if (ph == "s") {
+      ++starts[ev.at("id").as_number()];
+    } else {
+      EXPECT_EQ(ev.at("bp").as_string(), "e");
+      ++finishes[ev.at("id").as_number()];
+    }
+  }
+  // Every flow id has exactly one start and one finish.
+  ASSERT_EQ(starts.size(), 2u);
+  ASSERT_EQ(finishes.size(), 2u);
+  for (const auto& [id, n] : starts) {
+    EXPECT_EQ(n, 1);
+    EXPECT_EQ(finishes[id], 1);
+  }
+  EXPECT_TRUE(flow_names.contains("signal_wait"));
+  EXPECT_TRUE(flow_names.contains("stream_order"));
+}
+
+TEST(ChromeTraceExport, FlowTimestampsStayInsideDestinationSlice) {
+  Trace t;
+  t.set_enabled(true);
+  // The wait begins before the transfer ends (the usual signal-wait shape);
+  // the finish event must be clamped into the wait's slice and never
+  // precede the start event.
+  const auto xfer =
+      t.record(0, "nic", "put", 0, 800, 0, SpanKind::Transfer, 0, 0, 1);
+  const auto wait = t.record(1, "sync", "sig", 300, 800, 0, SpanKind::Wait);
+  t.add_edge(xfer, wait, EdgeKind::SignalSetWait);
+  ChromeTraceWriter w;
+  w.add(t);
+  const json::Value doc = export_to_json(w);
+  double s_ts = -1;
+  double f_ts = -1;
+  for (const auto& ev : doc.at("traceEvents").as_array()) {
+    if (ev.at("ph").as_string() == "s") s_ts = ev.at("ts").as_number();
+    if (ev.at("ph").as_string() == "f") f_ts = ev.at("ts").as_number();
+  }
+  ASSERT_GE(s_ts, 0.0);
+  ASSERT_GE(f_ts, 0.0);
+  EXPECT_GE(f_ts, s_ts);   // time-ordered pair
+  EXPECT_LE(f_ts, 0.8);    // inside the wait slice [0.3, 0.8] us
+  EXPECT_GE(f_ts, 0.3);
+}
+
+TEST(ChromeTraceExport, DropsEdgesWhoseSpansAreMissing) {
+  Trace t;
+  t.set_enabled(true);
+  const auto a = t.record(0, "s", "k", 0, 10, 0);
+  t.add_edge(a, a + 100, EdgeKind::StreamOrder);  // dst never recorded
+  ChromeTraceWriter w;
+  w.add(t);
+  const json::Value doc = export_to_json(w);  // must still be valid JSON
+  for (const auto& ev : doc.at("traceEvents").as_array()) {
+    const std::string& ph = ev.at("ph").as_string();
+    EXPECT_TRUE(ph == "X" || ph == "M") << "dangling edge emitted " << ph;
+  }
+}
+
 TEST(ChromeTraceExport, EscapesSpecialCharactersInNames) {
   Trace t;
   t.set_enabled(true);

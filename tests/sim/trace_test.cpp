@@ -1,0 +1,122 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "util/logging.hpp"
+
+namespace hs::sim {
+namespace {
+
+TEST(Trace, DisabledRecordReturnsInvalidSpan) {
+  Trace t;  // disabled by default
+  EXPECT_EQ(t.record(0, "s", "k", 0, 10), 0u);
+  EXPECT_TRUE(t.records().empty());
+  t.add_edge(1, 2, EdgeKind::StreamOrder);
+  EXPECT_TRUE(t.edges().empty());
+}
+
+TEST(Trace, SpanIdsAreUniqueAndMonotonic) {
+  Trace t;
+  t.set_enabled(true);
+  const auto a = t.record(0, "s", "k1", 0, 10);
+  const auto b = t.record(0, "s", "k2", 10, 20);
+  EXPECT_GT(a, 0u);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(t.records()[0].span, a);
+  EXPECT_EQ(t.records()[1].span, b);
+}
+
+TEST(Trace, EdgesDropInvalidAndSelfEndpoints) {
+  Trace t;
+  t.set_enabled(true);
+  const auto a = t.record(0, "s", "k1", 0, 10);
+  const auto b = t.record(0, "s", "k2", 10, 20);
+  t.add_edge(0, b, EdgeKind::StreamOrder);  // invalid src
+  t.add_edge(a, 0, EdgeKind::StreamOrder);  // invalid dst
+  t.add_edge(a, a, EdgeKind::StreamOrder);  // self edge
+  EXPECT_TRUE(t.edges().empty());
+  t.add_edge(a, b, EdgeKind::SignalSetWait);
+  ASSERT_EQ(t.edges().size(), 1u);
+  EXPECT_EQ(t.edges()[0].src, a);
+  EXPECT_EQ(t.edges()[0].dst, b);
+  EXPECT_EQ(t.edges()[0].kind, EdgeKind::SignalSetWait);
+}
+
+TEST(Trace, ClearResetsStepCauseAndGraphButNotSpanIds) {
+  Trace t;
+  t.set_enabled(true);
+  t.set_step(7);
+  t.set_cause(42);
+  const auto a = t.record(0, "s", "k", 0, 10);
+  const auto b = t.record(0, "s", "k2", 10, 20);
+  t.add_edge(a, b, EdgeKind::StreamOrder);
+  t.clear();
+  EXPECT_TRUE(t.records().empty());
+  EXPECT_TRUE(t.edges().empty());
+  EXPECT_EQ(t.step(), -1);  // new records must not inherit the old step
+  EXPECT_EQ(t.cause(), 0u);
+  const auto c = t.record(0, "s", "k3", 0, 10);
+  EXPECT_GT(c, b);  // span ids stay unique across clears
+  EXPECT_EQ(t.records()[0].step, -1);
+}
+
+TEST(Trace, SoftCapWarnsOnceAndKeepsRecording) {
+  Trace t;
+  t.set_enabled(true);
+  t.set_soft_cap(2);
+  std::ostringstream log;
+  util::set_log_sink(&log);
+  const util::LogLevel old_level = util::log_level();
+  util::set_log_level(util::LogLevel::Warn);
+  t.record(0, "s", "k1", 0, 1);
+  t.record(0, "s", "k2", 1, 2);
+  EXPECT_EQ(log.str().find("soft cap"), std::string::npos);
+  t.record(0, "s", "k3", 2, 3);  // crosses the cap: one warning
+  EXPECT_NE(log.str().find("soft cap"), std::string::npos);
+  const auto once = log.str().size();
+  t.record(0, "s", "k4", 3, 4);  // no second warning
+  EXPECT_EQ(log.str().size(), once);
+  EXPECT_EQ(t.records().size(), 4u);  // records past the cap still land
+  // clear() re-arms the warning for the next run.
+  t.clear();
+  t.record(0, "s", "k1", 0, 1);
+  t.record(0, "s", "k2", 1, 2);
+  t.record(0, "s", "k3", 2, 3);
+  EXPECT_GT(log.str().size(), once);
+  util::set_log_sink(nullptr);
+  util::set_log_level(old_level);
+}
+
+TEST(Trace, ReserveDoesNotChangeContents) {
+  Trace t;
+  t.set_enabled(true);
+  t.record(0, "s", "k", 0, 10);
+  t.reserve(1000);
+  ASSERT_EQ(t.records().size(), 1u);
+  EXPECT_EQ(t.records()[0].name, "k");
+}
+
+TEST(Trace, EngineScopesAmbientCauseToScheduledEvents) {
+  Engine engine;
+  Trace t;
+  t.set_enabled(true);
+  engine.bind_trace(&t);
+  const auto producer = t.record(0, "s", "xfer", 0, 100, -1,
+                                 SpanKind::Transfer);
+  std::uint64_t seen_inside = 99;
+  std::uint64_t seen_plain = 99;
+  engine.schedule_with_cause(100, producer,
+                             [&] { seen_inside = t.cause(); });
+  engine.schedule_at(200, [&] { seen_plain = t.cause(); });
+  engine.run();
+  EXPECT_EQ(seen_inside, producer);  // ambient cause inside the delivery
+  EXPECT_EQ(seen_plain, 0u);         // and cleared outside it
+  EXPECT_EQ(t.cause(), 0u);
+}
+
+}  // namespace
+}  // namespace hs::sim

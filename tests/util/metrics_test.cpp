@@ -1,0 +1,111 @@
+#include "util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace hs::util::metrics {
+namespace {
+
+json::Value round_trip(const Report& r) {
+  std::ostringstream os;
+  write_json(os, r);
+  return json::parse(os.str());
+}
+
+TEST(Metrics, WriteJsonRoundTrips) {
+  Report r;
+  r.set("fig7/mpi", "exchange_mean_us", 118.375);
+  r.set("fig7/mpi", "exchange_count", 18);
+  r.set("fig7/shmem", "exchange_mean_us", 74.2);
+  const json::Value doc = round_trip(r);
+  EXPECT_EQ(doc.at("schema").as_string(), kSchema);
+  const auto& cases = doc.at("cases").as_object();
+  ASSERT_EQ(cases.size(), 2u);
+  EXPECT_DOUBLE_EQ(cases.at("fig7/mpi").at("exchange_mean_us").as_number(),
+                   118.375);
+  EXPECT_DOUBLE_EQ(cases.at("fig7/mpi").at("exchange_count").as_number(), 18.0);
+}
+
+TEST(Metrics, NonFiniteValuesAreSkipped) {
+  Report r;
+  r.set("c", "good_us", 1.5);
+  r.set("c", "nan_us", std::numeric_limits<double>::quiet_NaN());
+  r.set("c", "inf_us", std::numeric_limits<double>::infinity());
+  const json::Value doc = round_trip(r);  // parse throws on bare NaN tokens
+  const auto& c = doc.at("cases").at("c");
+  EXPECT_TRUE(c.contains("good_us"));
+  EXPECT_FALSE(c.contains("nan_us"));
+  EXPECT_FALSE(c.contains("inf_us"));
+}
+
+TEST(Metrics, TimeMetricSuffixes) {
+  EXPECT_TRUE(is_time_metric("exchange_mean_us"));
+  EXPECT_TRUE(is_time_metric("nic_queue_ns"));
+  EXPECT_FALSE(is_time_metric("exchange_count"));
+  EXPECT_FALSE(is_time_metric("fabric_total_bytes"));
+}
+
+TEST(Metrics, DiffFlagsOnlyTimeRegressions) {
+  const auto base = json::parse(R"({"schema":"halosim-bench-metrics-v1",
+    "cases":{"a":{"t_us":100.0,"bytes":1000.0}}})");
+  const auto worse = json::parse(R"({"schema":"halosim-bench-metrics-v1",
+    "cases":{"a":{"t_us":120.0,"bytes":2000.0}}})");
+  const auto result = diff(base, worse, 0.10);
+  EXPECT_TRUE(result.regression);
+  ASSERT_EQ(result.deltas.size(), 2u);
+  for (const Delta& d : result.deltas) {
+    // Only the time metric is a gate failure; byte-count drift is reported
+    // but not gated.
+    EXPECT_EQ(d.regression, d.key == "t_us");
+  }
+}
+
+TEST(Metrics, DiffIgnoresImprovementsAndSmallDrift) {
+  const auto base = json::parse(R"({"schema":"halosim-bench-metrics-v1",
+    "cases":{"a":{"t_us":100.0}}})");
+  const auto better = json::parse(R"({"schema":"halosim-bench-metrics-v1",
+    "cases":{"a":{"t_us":80.0}}})");
+  const auto small = json::parse(R"({"schema":"halosim-bench-metrics-v1",
+    "cases":{"a":{"t_us":105.0}}})");
+  EXPECT_FALSE(diff(base, better, 0.10).regression);
+  const auto r = diff(base, small, 0.10);
+  EXPECT_FALSE(r.regression);
+  EXPECT_TRUE(r.deltas.empty());  // within threshold: not even reported
+}
+
+TEST(Metrics, MissingCaseOrTimeMetricIsARegression) {
+  const auto base = json::parse(R"({"schema":"halosim-bench-metrics-v1",
+    "cases":{"a":{"t_us":100.0},"b":{"t_us":50.0}}})");
+  const auto no_case = json::parse(R"({"schema":"halosim-bench-metrics-v1",
+    "cases":{"a":{"t_us":100.0}}})");
+  const auto no_key = json::parse(R"({"schema":"halosim-bench-metrics-v1",
+    "cases":{"a":{"other":1.0},"b":{"t_us":50.0}}})");
+  EXPECT_TRUE(diff(base, no_case, 0.10).regression);
+  EXPECT_FALSE(diff(base, no_case, 0.10).notes.empty());
+  EXPECT_TRUE(diff(base, no_key, 0.10).regression);
+}
+
+TEST(Metrics, DiffRejectsWrongSchema) {
+  const auto good = json::parse(R"({"schema":"halosim-bench-metrics-v1",
+    "cases":{}})");
+  const auto bad = json::parse(R"({"schema":"something-else","cases":{}})");
+  EXPECT_THROW(diff(bad, good, 0.1), std::runtime_error);
+  EXPECT_THROW(diff(good, bad, 0.1), std::runtime_error);
+}
+
+TEST(Metrics, CaseForMergesByLabel) {
+  Report r;
+  r.set("a", "x", 1.0);
+  r.set("a", "y", 2.0);
+  r.set("b", "x", 3.0);
+  ASSERT_EQ(r.cases.size(), 2u);
+  EXPECT_EQ(r.cases[0].values.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hs::util::metrics

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 namespace hs::util {
@@ -9,8 +10,15 @@ namespace {
 
 TEST(Stats, MeanOfEmptyIsZero) {
   EXPECT_EQ(mean({}), 0.0);
-  EXPECT_EQ(median({}), 0.0);
   EXPECT_EQ(stddev({}), 0.0);
+}
+
+TEST(Stats, EmptyPercentileIsNaN) {
+  // An empty sample set (e.g. warmup swallowed every measured step) must
+  // not report a zero latency.
+  EXPECT_TRUE(std::isnan(percentile({}, 50.0)));
+  EXPECT_TRUE(std::isnan(percentile({}, 99.0)));
+  EXPECT_TRUE(std::isnan(median({})));
 }
 
 TEST(Stats, MeanAndStddev) {

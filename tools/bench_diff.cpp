@@ -1,0 +1,82 @@
+// Compare two bench metrics JSON files ("halosim-bench-metrics-v1", as
+// written by --metrics-json) and gate on regressions.
+//
+//   $ bench_diff baseline.json candidate.json [--threshold=0.10]
+//
+// Prints a table of every metric that moved more than the threshold, plus
+// notes for cases/metrics the candidate dropped. Exit codes: 0 — no
+// regression; 1 — a time-like metric (suffix `_us`/`_ns`) grew past the
+// threshold, or the candidate lost a case/time metric the baseline had;
+// 2 — usage or I/O error. scripts/bench_gate.sh builds a CI gate on this.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "util/json.hpp"
+#include "util/metrics.hpp"
+
+namespace {
+
+bool read_file(const char* path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.10;
+  const char* base_path = nullptr;
+  const char* cand_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threshold=", 0) == 0) {
+      char* end = nullptr;
+      threshold = std::strtod(arg.c_str() + 12, &end);
+      if (end == nullptr || *end != '\0' || threshold < 0) {
+        std::cerr << "bench_diff: bad threshold '" << arg << "'\n";
+        return 2;
+      }
+    } else if (base_path == nullptr) {
+      base_path = argv[i];
+    } else if (cand_path == nullptr) {
+      cand_path = argv[i];
+    } else {
+      std::cerr << "bench_diff: unexpected argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+  if (base_path == nullptr || cand_path == nullptr) {
+    std::cerr << "usage: bench_diff <baseline.json> <candidate.json>"
+                 " [--threshold=0.10]\n";
+    return 2;
+  }
+
+  std::string base_text;
+  std::string cand_text;
+  if (!read_file(base_path, base_text)) {
+    std::cerr << "bench_diff: cannot open " << base_path << "\n";
+    return 2;
+  }
+  if (!read_file(cand_path, cand_text)) {
+    std::cerr << "bench_diff: cannot open " << cand_path << "\n";
+    return 2;
+  }
+
+  try {
+    const auto base = hs::util::json::parse(base_text);
+    const auto cand = hs::util::json::parse(cand_text);
+    const auto result = hs::util::metrics::diff(base, cand, threshold);
+    hs::util::metrics::print_diff(std::cout, result, threshold);
+    return result.regression ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_diff: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -3,13 +3,16 @@
 //   $ trace_validate out.json
 //
 // Checks the file is well-formed JSON, has a non-empty traceEvents array,
-// and that every duration event carries the expected fields with sane
-// values (non-negative ts/dur, pid/tid present, step tag). Exit code 0 on
-// success; prints a one-line summary. Used by scripts/smoke_trace.sh and
-// handy after any bench run.
+// that every duration event carries the expected fields with sane values
+// (non-negative ts/dur, pid/tid present, step tag), and that flow events
+// pair up: every flow id has exactly one start (ph:"s") and one finish
+// (ph:"f", with the bp:"e" binding-point). Exit code 0 on success; prints
+// a one-line summary. Used by scripts/smoke_trace.sh and handy after any
+// bench run.
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -44,11 +47,34 @@ int main(int argc, char** argv) {
     std::size_t durations = 0;
     std::set<double> pids;
     std::set<std::pair<double, double>> tids;
+    std::map<double, int> flow_starts;
+    std::map<double, int> flow_finishes;
     for (const auto& ev : events) {
       const std::string& ph = ev.at("ph").as_string();
       const double pid = ev.at("pid").as_number();
       pids.insert(pid);
       if (ph == "M") continue;  // metadata (process/thread names)
+      if (ph == "s" || ph == "f") {  // causal flow arrows
+        if (!ev.contains("id")) {
+          std::cerr << "trace_validate: flow event without id\n";
+          return 1;
+        }
+        if (ev.at("ts").as_number() < 0) {
+          std::cerr << "trace_validate: negative ts in flow event\n";
+          return 1;
+        }
+        const double id = ev.at("id").as_number();
+        if (ph == "s") {
+          ++flow_starts[id];
+        } else {
+          if (!ev.contains("bp") || ev.at("bp").as_string() != "e") {
+            std::cerr << "trace_validate: flow finish without bp:\"e\"\n";
+            return 1;
+          }
+          ++flow_finishes[id];
+        }
+        continue;
+      }
       if (ph != "X") {
         std::cerr << "trace_validate: unexpected event phase '" << ph << "'\n";
         return 1;
@@ -71,7 +97,22 @@ int main(int argc, char** argv) {
       std::cerr << "trace_validate: no duration events\n";
       return 1;
     }
-    std::cout << "ok: " << durations << " duration events, " << pids.size()
+    if (flow_starts.size() != flow_finishes.size()) {
+      std::cerr << "trace_validate: " << flow_starts.size()
+                << " flow starts vs " << flow_finishes.size()
+                << " flow finishes\n";
+      return 1;
+    }
+    for (const auto& [id, n] : flow_starts) {
+      const auto it = flow_finishes.find(id);
+      if (n != 1 || it == flow_finishes.end() || it->second != 1) {
+        std::cerr << "trace_validate: flow id " << id
+                  << " is not a single s/f pair\n";
+        return 1;
+      }
+    }
+    std::cout << "ok: " << durations << " duration events, "
+              << flow_starts.size() << " flow pairs, " << pids.size()
               << " processes, " << tids.size() << " threads\n";
     return 0;
   } catch (const std::exception& e) {
