@@ -1,8 +1,27 @@
 // Wall-clock performance of the simulator itself (google-benchmark):
-// discrete-event throughput, coroutine task churn, and a full simulated MD
-// step at bench scale — documents how expensive the figure reproductions
-// are to run.
+// discrete-event throughput, same-time delivery churn, coroutine task
+// churn, and a full simulated MD step at bench scale — documents how
+// expensive the figure reproductions are to run.
+//
+// Beyond the interactive tables, the binary can emit its results in the
+// bench-metrics-v1 schema so the wall-clock perf trajectory is gated just
+// like the simulated-time figures:
+//
+//   $ sim_perf --metrics-json=out.json [--benchmark_min_time=...]
+//
+// Keys are `<benchmark>_wall_ns` (per-iteration wall time) and
+// `<benchmark>_per_item_wall_ns` (per processed item: engine events for
+// BM_EngineEventThroughput, simulated rank-steps for BM_SimulatedStep).
+// All are `_ns`-suffixed, so tools/bench_diff treats them as
+// lower-is-better time metrics; scripts/perf_smoke.sh diffs them against
+// scripts/baselines/BENCH_sim_perf.json with a generous threshold.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "common.hpp"
 
@@ -24,6 +43,28 @@ void BM_EngineEventThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineEventThroughput);
 
+// Same-time delivery churn: every event immediately schedules follow-up
+// work at the current timestamp, the dominant pattern in stream pump /
+// signal wake chains. Exercises the engine's O(1) FIFO bucket rather than
+// the far-future heap.
+void BM_EngineScheduleNowChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    long long counter = 0;
+    for (int t = 0; t < 100; ++t) {
+      engine.schedule_at(t, [&engine, &counter] {
+        for (int k = 0; k < 33; ++k) {
+          engine.schedule_now([&counter] { ++counter; });
+        }
+      });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 100 * 34);
+}
+BENCHMARK(BM_EngineScheduleNowChurn);
+
 void BM_DeviceProcessorSharing(benchmark::State& state) {
   for (auto _ : state) {
     sim::Engine engine;
@@ -41,6 +82,29 @@ void BM_DeviceProcessorSharing(benchmark::State& state) {
 }
 BENCHMARK(BM_DeviceProcessorSharing);
 
+// Tiered sharing with holds and mixed priorities: the §5.4 three-stream
+// shape, stressing the incremental tier bookkeeping.
+void BM_DeviceTieredSharing(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::Device device(engine, 0, 0);
+    int done = 0;
+    for (int i = 0; i < 500; ++i) {
+      engine.schedule_at(i * 3, [&device, &done, i] {
+        const auto hold = device.begin_hold(0.1, 2);
+        device.begin_span(200.0, 0.5, i % 3, [&device, hold, &done] {
+          device.end_hold(hold);
+          ++done;
+        });
+      });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_DeviceTieredSharing);
+
 void BM_SimulatedStep(benchmark::State& state) {
   const int ranks = static_cast<int>(state.range(0));
   for (auto _ : state) {
@@ -57,6 +121,82 @@ void BM_SimulatedStep(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatedStep)->Arg(4)->Arg(16)->Arg(64);
 
+// Captures per-benchmark wall-clock results for the metrics-v1 dump while
+// still printing the normal console table. Across repetitions the minimum
+// is kept — the least-noisy wall-clock statistic for a regression gate.
+class MetricsReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (!run.aggregate_name.empty() || run.error_occurred ||
+          run.iterations == 0) {
+        continue;
+      }
+      const std::string name = run.benchmark_name();
+      const double wall_ns = run.real_accumulated_time * 1e9 /
+                             static_cast<double>(run.iterations);
+      keep_min(name + "_wall_ns", wall_ns);
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end() && it->second.value > 0.0) {
+        keep_min(name + "_per_item_wall_ns", 1e9 / it->second.value);
+      }
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  util::metrics::Report metrics() const {
+    util::metrics::Report report;
+    for (const auto& [key, value] : values_) {
+      report.set("sim_perf", sanitize(key), value);
+    }
+    return report;
+  }
+
+ private:
+  static std::string sanitize(std::string key) {
+    std::replace(key.begin(), key.end(), '/', '_');
+    return key;
+  }
+  void keep_min(const std::string& key, double v) {
+    const auto it = values_.find(key);
+    if (it == values_.end() || v < it->second) values_[key] = v;
+  }
+  std::map<std::string, double> values_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off our flag before google-benchmark sees the argument list.
+  std::string metrics_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    constexpr const char* kFlag = "--metrics-json=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      metrics_path = argv[i] + std::strlen(kFlag);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+
+  MetricsReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!metrics_path.empty()) {
+    const util::metrics::Report report = reporter.metrics();
+    if (!util::metrics::write_file(metrics_path, report)) {
+      std::cerr << "sim_perf: failed to write metrics file: " << metrics_path
+                << "\n";
+      return 1;
+    }
+    std::cout << "metrics written: " << metrics_path << " ("
+              << report.cases.size() << " cases)\n";
+  }
+  return 0;
+}

@@ -5,15 +5,20 @@
 # threshold is a real model/schedule change — refresh the baseline
 # deliberately with --update after reviewing it.
 #
-#   $ scripts/bench_gate.sh [build-dir] [--update] [--threshold=0.10]
+#   $ scripts/bench_gate.sh [build-dir] [--update] [--threshold=0.10] [--wall]
+#
+# --wall additionally runs scripts/perf_smoke.sh, the *wall-clock* smoke
+# gate over bench/sim_perf (generous threshold; see that script).
 set -euo pipefail
 
 BUILD_DIR="build"
 UPDATE=0
+WALL=0
 THRESHOLD="--threshold=0.10"
 for arg in "$@"; do
   case "$arg" in
     --update) UPDATE=1 ;;
+    --wall) WALL=1 ;;
     --threshold=*) THRESHOLD="$arg" ;;
     *) BUILD_DIR="$arg" ;;
   esac
@@ -44,8 +49,13 @@ if [[ "$UPDATE" == 1 || ! -f "$BASELINE" ]]; then
   mkdir -p "$(dirname "$BASELINE")"
   cp "$OUT" "$BASELINE"
   echo "bench_gate: baseline written to $BASELINE"
-  exit 0
+else
+  "$DIFF" "$BASELINE" "$OUT" "$THRESHOLD"
+  echo "bench_gate: OK"
 fi
 
-"$DIFF" "$BASELINE" "$OUT" "$THRESHOLD"
-echo "bench_gate: OK"
+if [[ "$WALL" == 1 ]]; then
+  WALL_ARGS=("$BUILD_DIR")
+  if [[ "$UPDATE" == 1 ]]; then WALL_ARGS+=(--update); fi
+  "$REPO_ROOT/scripts/perf_smoke.sh" "${WALL_ARGS[@]}"
+fi

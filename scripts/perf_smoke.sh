@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Wall-clock perf smoke: run bench/sim_perf with reduced per-benchmark time,
+# dump bench-metrics-v1 JSON, and diff it against the stored baseline
+# (scripts/baselines/BENCH_sim_perf.json) with a deliberately generous
+# threshold — wall time is noisy (shared machines, turbo, cache state), so
+# the gate only catches real regressions (e.g. an accidental O(n) in the
+# engine), not jitter. Refresh the baseline with --update after reviewing.
+#
+#   $ scripts/perf_smoke.sh [build-dir] [--update] [--threshold=0.75]
+set -euo pipefail
+
+BUILD_DIR="build"
+UPDATE=0
+THRESHOLD="--threshold=0.75"
+for arg in "$@"; do
+  case "$arg" in
+    --update) UPDATE=1 ;;
+    --threshold=*) THRESHOLD="$arg" ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+BENCH="$BUILD_DIR/bench/sim_perf"
+DIFF="$BUILD_DIR/tools/bench_diff"
+BASELINE="scripts/baselines/BENCH_sim_perf.json"
+for bin in "$BENCH" "$DIFF"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "perf_smoke: missing $bin — build first (cmake --build $BUILD_DIR -j)" >&2
+    exit 2
+  fi
+done
+
+OUT="$(mktemp --suffix=.json)"
+trap 'rm -f "$OUT"' EXIT
+# Short per-benchmark runtime: this is a smoke gate, not a measurement.
+"$BENCH" "--metrics-json=$OUT" --benchmark_min_time=0.05 > /dev/null
+if [[ ! -s "$OUT" ]]; then
+  echo "perf_smoke: FAIL — sim_perf wrote no metrics" >&2
+  exit 1
+fi
+
+if [[ "$UPDATE" == 1 || ! -f "$BASELINE" ]]; then
+  mkdir -p "$(dirname "$BASELINE")"
+  cp "$OUT" "$BASELINE"
+  echo "perf_smoke: baseline written to $BASELINE"
+  exit 0
+fi
+
+"$DIFF" "$BASELINE" "$OUT" "$THRESHOLD"
+echo "perf_smoke: OK"

@@ -126,7 +126,8 @@ void World::reset_counters() {
 
 void World::issue_put(int src_pe, int dst_pe, std::size_t bytes,
                       std::function<void()> deliver,
-                      std::function<void()> on_delivered, const char* label) {
+                      std::function<void()> on_delivered, const char* label,
+                      sim::Signal* signal, std::int64_t sig_value) {
   sim::TransferRequest req;
   req.src_device = device_of(src_pe);
   req.dst_device = device_of(dst_pe);
@@ -134,6 +135,8 @@ void World::issue_put(int src_pe, int dst_pe, std::size_t bytes,
   req.num_messages = 1;  // one contiguous RDMA write / remote store burst
   req.label = label;
   req.deliver = std::move(deliver);
+  req.signal = signal;
+  req.signal_value = sig_value;
   machine_->fabric().transfer(std::move(req), std::move(on_delivered));
 }
 
@@ -151,21 +154,17 @@ void World::put_signal_nbi(int src_pe, int dst_pe, std::size_t bytes,
                            std::function<void()> on_delivered) {
   count(PgasOp::PutSignal, bytes);
   // The signal is delivered with (after) the data in one fused operation —
-  // this is the nvshmem put-with-signal completion order guarantee.
-  auto fused = [copy = std::move(copy), &signal, sig_value] {
-    if (copy) copy();
-    signal.store(sig_value);
-  };
-  issue_put(src_pe, dst_pe, bytes, std::move(fused), std::move(on_delivered),
-            "put_signal");
+  // this is the nvshmem put-with-signal completion order guarantee. The
+  // fabric enforces the order; no composed closure per call.
+  issue_put(src_pe, dst_pe, bytes, std::move(copy), std::move(on_delivered),
+            "put_signal", &signal, sig_value);
 }
 
 void World::signal_op(int src_pe, int dst_pe, sim::Signal& signal,
                       std::int64_t sig_value) {
   count(PgasOp::SignalOp, sizeof(std::int64_t));
-  issue_put(src_pe, dst_pe, sizeof(std::int64_t),
-            [&signal, sig_value] { signal.store(sig_value); }, {},
-            "signal_op");
+  issue_put(src_pe, dst_pe, sizeof(std::int64_t), {}, {}, "signal_op",
+            &signal, sig_value);
 }
 
 void World::tma_store_async(int src_pe, int dst_pe, std::size_t bytes,

@@ -152,10 +152,13 @@ class World {
   int messages_for(std::size_t bytes, int chunk_bytes) const;
   void count(PgasOp op, std::size_t bytes);
   /// Issue the fabric transfer for a put-shaped op (shared by put_nbi,
-  /// put_signal_nbi, and signal_op so each counts as its own op).
+  /// put_signal_nbi, and signal_op so each counts as its own op). The
+  /// optional signal rides on the TransferRequest — the fabric stores it
+  /// after delivery, so no composed closure is needed per put-with-signal.
   void issue_put(int src_pe, int dst_pe, std::size_t bytes,
                  std::function<void()> deliver,
-                 std::function<void()> on_delivered, const char* label);
+                 std::function<void()> on_delivered, const char* label,
+                 sim::Signal* signal = nullptr, std::int64_t sig_value = 0);
 
   sim::Machine* machine_;
   std::unique_ptr<SymmetricHeap> heap_;

@@ -1,9 +1,9 @@
 #include "sim/device.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <limits>
-#include <vector>
 
 namespace hs::sim {
 
@@ -18,12 +18,51 @@ Device::Device(Engine& engine, int id, int node, double sm_capacity)
   assert(sm_capacity_ > 0.0);
 }
 
+const Device::Span* Device::find_span(SpanId id) const {
+  const auto it = std::lower_bound(
+      spans_.begin(), spans_.end(), id,
+      [](const Span& s, SpanId target) { return s.id < target; });
+  return it != spans_.end() && it->id == id ? &*it : nullptr;
+}
+
+Device::Span* Device::find_span(SpanId id) {
+  return const_cast<Span*>(std::as_const(*this).find_span(id));
+}
+
+void Device::refresh_tier(int priority) {
+  // Sum member demands in id order — spans_ is id-sorted, so this is the
+  // same left-to-right summation the old per-recompute map walk produced,
+  // keeping the cached value bit-identical to a fresh derivation.
+  double demand = 0.0;
+  bool present = false;
+  for (const Span& s : spans_) {
+    if (s.priority == priority) {
+      demand += s.demand;
+      present = true;
+    }
+  }
+  const auto it = std::lower_bound(
+      tiers_.begin(), tiers_.end(), priority,
+      [](const Tier& t, int target) { return t.priority > target; });
+  if (!present) {
+    if (it != tiers_.end() && it->priority == priority) tiers_.erase(it);
+    return;
+  }
+  if (it != tiers_.end() && it->priority == priority) {
+    it->demand = demand;
+  } else {
+    tiers_.insert(it, Tier{priority, demand, 0.0});
+  }
+}
+
 Device::SpanId Device::begin_span(double work_ns, double demand, int priority,
-                                  std::function<void()> on_done) {
+                                  InlineTask on_done) {
   assert(work_ns >= 0.0 && demand > 0.0);
   settle();
   const SpanId id = next_id_++;
-  spans_.emplace(id, Span{work_ns, demand, priority, 1.0, kNever, std::move(on_done)});
+  spans_.push_back(
+      Span{id, work_ns, demand, priority, 1.0, kNever, std::move(on_done)});
+  refresh_tier(priority);
   recompute();
   schedule_check();
   return id;
@@ -34,8 +73,9 @@ Device::SpanId Device::begin_hold(double demand, int priority) {
   settle();
   const SpanId id = next_id_++;
   // Infinite remaining work: never completes on its own.
-  spans_.emplace(id, Span{std::numeric_limits<double>::infinity(), demand,
-                          priority, 1.0, kNever, nullptr});
+  spans_.push_back(Span{id, std::numeric_limits<double>::infinity(), demand,
+                        priority, 1.0, kNever, nullptr});
+  refresh_tier(priority);
   recompute();
   schedule_check();
   return id;
@@ -43,29 +83,31 @@ Device::SpanId Device::begin_hold(double demand, int priority) {
 
 void Device::end_hold(SpanId id) {
   settle();
-  const auto it = spans_.find(id);
-  assert(it != spans_.end() && "end_hold on unknown span");
-  spans_.erase(it);
+  Span* span = find_span(id);
+  assert(span != nullptr && "end_hold on unknown span");
+  const int priority = span->priority;
+  spans_.erase(spans_.begin() + (span - spans_.data()));
+  refresh_tier(priority);
   recompute();
   schedule_check();
 }
 
 double Device::resident_demand() const {
   double total = 0.0;
-  for (const auto& [_, s] : spans_) total += s.demand;
+  for (const Span& s : spans_) total += s.demand;
   return total;
 }
 
 double Device::span_speed(SpanId id) const {
-  const auto it = spans_.find(id);
-  return it != spans_.end() ? it->second.speed : 0.0;
+  const Span* span = find_span(id);
+  return span != nullptr ? span->speed : 0.0;
 }
 
 void Device::settle() {
   const SimTime now = engine_->now();
   const SimTime elapsed = now - last_settle_;
   if (elapsed > 0) {
-    for (auto& [_, s] : spans_) {
+    for (Span& s : spans_) {
       s.remaining -= static_cast<double>(elapsed) * s.speed;
       if (s.remaining < 0.0) s.remaining = 0.0;
     }
@@ -76,42 +118,44 @@ void Device::settle() {
 void Device::recompute() {
   // Priority-tiered proportional sharing: serve tiers from highest priority
   // down; within a tier every span runs at the same fraction of its demand.
-  std::vector<int> priorities;
-  for (const auto& [_, s] : spans_) priorities.push_back(s.priority);
-  std::sort(priorities.begin(), priorities.end(), std::greater<>());
-  priorities.erase(std::unique(priorities.begin(), priorities.end()),
-                   priorities.end());
-
+  // The per-tier demand sums are already cached; this pass only cascades
+  // the capacity allocation (O(tiers)) and refreshes span speeds/finish
+  // times (O(spans), no allocation).
   double capacity = sm_capacity_;
-  const SimTime now = engine_->now();
-  for (int prio : priorities) {
-    double tier_demand = 0.0;
-    for (const auto& [_, s] : spans_) {
-      if (s.priority == prio) tier_demand += s.demand;
-    }
-    const double alloc = std::min(capacity, tier_demand);
-    const double scale = tier_demand > 0.0 ? alloc / tier_demand : 0.0;
+  for (Tier& tier : tiers_) {
+    const double alloc = std::min(capacity, tier.demand);
+    tier.scale = tier.demand > 0.0 ? alloc / tier.demand : 0.0;
     capacity -= alloc;
-    for (auto& [_, s] : spans_) {
-      if (s.priority != prio) continue;
-      s.speed = scale;
-      if (s.remaining <= kWorkEpsilon) {
-        s.finish_at = now;
-      } else if (s.speed <= 0.0 || !std::isfinite(s.remaining)) {
-        s.finish_at = kNever;  // starved, or an open-ended hold
-      } else {
-        s.finish_at = now + static_cast<SimTime>(std::ceil(s.remaining / s.speed));
+  }
+
+  const SimTime now = engine_->now();
+  min_finish_ = kNever;
+  for (Span& s : spans_) {
+    // Tier lookup is a linear probe: realistic schedules use <= 3 stream
+    // priorities, so this beats any associative structure.
+    double scale = 0.0;
+    for (const Tier& tier : tiers_) {
+      if (tier.priority == s.priority) {
+        scale = tier.scale;
+        break;
       }
     }
+    s.speed = scale;
+    if (s.remaining <= kWorkEpsilon) {
+      s.finish_at = now;
+    } else if (s.speed <= 0.0 || !std::isfinite(s.remaining)) {
+      s.finish_at = kNever;  // starved, or an open-ended hold
+    } else {
+      s.finish_at = now + static_cast<SimTime>(std::ceil(s.remaining / s.speed));
+    }
+    min_finish_ = std::min(min_finish_, s.finish_at);
   }
 }
 
 void Device::schedule_check() {
-  SimTime next = kNever;
-  for (const auto& [_, s] : spans_) next = std::min(next, s.finish_at);
-  if (next == kNever) return;
+  if (min_finish_ == kNever) return;
   const std::uint64_t gen = ++sched_gen_;
-  engine_->schedule_at(next, [this, gen] { on_check(gen); });
+  engine_->schedule_at(min_finish_, [this, gen] { on_check(gen); });
 }
 
 void Device::on_check(std::uint64_t gen) {
@@ -121,21 +165,45 @@ void Device::on_check(std::uint64_t gen) {
 
   // Collect due spans in id order (deterministic), remove them, then fire
   // their callbacks. Callbacks may start new spans reentrantly; that is
-  // safe because each mutation re-settles and reschedules.
-  std::vector<std::function<void()>> done;
-  for (auto it = spans_.begin(); it != spans_.end();) {
-    if (it->second.finish_at <= now) {
-      done.push_back(std::move(it->second.on_done));
-      it = spans_.erase(it);
+  // safe because each mutation re-settles and reschedules. The scratch
+  // vector is swapped out (not referenced in place) so its capacity is
+  // reused across checks without aliasing reentrant ones.
+  std::vector<InlineTask> done = std::move(done_scratch_);
+  done.clear();
+  bool tiers_dirty[3] = {};  // common case; fallback flag for exotic prios
+  std::vector<int> dirty_other;
+  const auto due = [&](const Span& s) {
+    if (s.finish_at > now) return false;
+    if (s.priority >= 0 && s.priority < 3) {
+      tiers_dirty[s.priority] = true;
     } else {
-      ++it;
+      dirty_other.push_back(s.priority);
+    }
+    return true;
+  };
+  std::size_t kept = 0;
+  for (Span& s : spans_) {
+    if (due(s)) {
+      done.push_back(std::move(s.on_done));
+    } else {
+      if (kept != static_cast<std::size_t>(&s - spans_.data())) {
+        spans_[kept] = std::move(s);
+      }
+      ++kept;
     }
   }
+  spans_.resize(kept);
+  for (int p = 0; p < 3; ++p) {
+    if (tiers_dirty[p]) refresh_tier(p);
+  }
+  for (const int p : dirty_other) refresh_tier(p);
   recompute();
   schedule_check();
-  for (auto& fn : done) {
+  for (InlineTask& fn : done) {
     if (fn) fn();
   }
+  done.clear();
+  if (done_scratch_.capacity() < done.capacity()) done_scratch_ = std::move(done);
 }
 
 }  // namespace hs::sim

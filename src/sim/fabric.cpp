@@ -4,7 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <ostream>
+#include <utility>
 
+#include "sim/sync.hpp"
 #include "util/rng.hpp"
 
 namespace hs::sim {
@@ -111,7 +113,8 @@ void Fabric::transfer(TransferRequest req, std::function<void()> on_complete) {
 
   std::uint64_t span = 0;
   if (trace_ != nullptr && trace_->enabled()) {
-    std::string name = req.label.empty() ? "xfer" : req.label;
+    std::string name =
+        (req.label == nullptr || *req.label == '\0') ? "xfer" : req.label;
     name += " " + to_string(type) + " ->d" + std::to_string(req.dst_device);
     span = trace_->record(req.src_device, "fabric", std::move(name),
                           engine_->now(), complete_at, -1, SpanKind::Transfer,
@@ -123,12 +126,42 @@ void Fabric::transfer(TransferRequest req, std::function<void()> on_complete) {
     }
   }
 
-  engine_->schedule_with_cause(
-      complete_at, span,
-      [deliver = std::move(req.deliver), done = std::move(on_complete)] {
-        if (deliver) deliver();
-        if (done) done();
-      });
+  std::uint32_t slot;
+  if (!free_ops_.empty()) {
+    slot = free_ops_.back();
+    free_ops_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(pending_.size());
+    pending_.emplace_back();
+  }
+  PendingOp& op = pending_[slot];
+  op.deliver = std::move(req.deliver);
+  op.done = std::move(on_complete);
+  op.signal = req.signal;
+  op.signal_value = req.signal_value;
+
+  engine_->schedule_with_cause(complete_at, span,
+                               [this, slot] { complete_op(slot); });
+}
+
+void Fabric::complete_op(std::uint32_t slot) {
+  // Move the record out and free the slot first: the callbacks may issue
+  // new transfers (or grow pending_), so the slot reference would dangle.
+  PendingOp& op = pending_[slot];
+  auto deliver = std::move(op.deliver);
+  auto done = std::move(op.done);
+  Signal* const signal = op.signal;
+  const std::int64_t signal_value = op.signal_value;
+  op.deliver = nullptr;
+  op.done = nullptr;
+  op.signal = nullptr;
+  free_ops_.push_back(slot);
+
+  if (deliver) deliver();
+  // Put-with-signal completion order: the signal becomes visible only after
+  // the data landed (nvshmem_putmem_signal_nbi semantics).
+  if (signal != nullptr) signal->store(signal_value);
+  if (done) done();
 }
 
 void Fabric::set_timing_jitter(std::uint64_t seed, SimTime max_jitter_ns) {

@@ -38,16 +38,25 @@ struct FabricParams {
   LinkParams ib{4500, 900, 45.0};        // NDR400-ish effective
 };
 
+class Signal;
+
 struct TransferRequest {
   int src_device = 0;
   int dst_device = 0;
   std::size_t bytes = 0;
   int num_messages = 1;
-  /// Trace label (e.g. the PGAS op that issued the transfer); empty uses
-  /// "xfer <link>".
-  std::string label;
+  /// Trace label (e.g. the PGAS op that issued the transfer); all call
+  /// sites pass string literals, so this is a borrowed pointer. Null or
+  /// empty uses "xfer <link>".
+  const char* label = nullptr;
   /// Performs the real data movement; runs at delivery time.
   std::function<void()> deliver;
+  /// Fused receiver-side notification (put-with-signal): stored with
+  /// `signal_value` after `deliver` runs, before the issuer's on_complete.
+  /// Carrying the pair here instead of folding the store into `deliver`
+  /// keeps the common put-with-signal path free of a composed closure.
+  Signal* signal = nullptr;
+  std::int64_t signal_value = 0;
 };
 
 class Fabric {
@@ -90,6 +99,17 @@ class Fabric {
 
  private:
   const LinkParams& params_for(LinkType type) const;
+  void complete_op(std::uint32_t slot);
+
+  /// An in-flight transfer's completion record. Pooled (free-list) so the
+  /// steady state allocates nothing per transfer, and the engine event
+  /// only captures {this, slot} — small enough to stay inline.
+  struct PendingOp {
+    std::function<void()> deliver;
+    std::function<void()> done;
+    Signal* signal = nullptr;
+    std::int64_t signal_value = 0;
+  };
 
   Engine* engine_;
   Trace* trace_ = nullptr;
@@ -100,6 +120,8 @@ class Fabric {
   std::vector<double> proxy_slowdown_;    // per source device, IB only
   std::uint64_t jitter_state_ = 0;        // splitmix64 state; 0 = off
   SimTime max_jitter_ns_ = 0;
+  std::vector<PendingOp> pending_;        // slot pool for in-flight ops
+  std::vector<std::uint32_t> free_ops_;   // free slots in pending_
   FabricCounters counters_;
 };
 

@@ -1,0 +1,273 @@
+// InlineTask: the simulator's move-only callback type.
+//
+// The DES hot path (engine events, span completions, signal wakes) fires
+// tens of millions of one-shot callbacks per figure reproduction. A
+// std::function there costs a heap allocation whenever the capture exceeds
+// the library's tiny SBO (16 bytes on libstdc++) and a manager-dispatched
+// move every time the binary heap rebalances. InlineTask fixes the size
+// for the common case instead:
+//
+//  * captures up to kInlineBytes (48) with a nothrow move constructor are
+//    stored inline — no allocation, and trivially-copyable captures
+//    relocate with a plain memcpy (manage_ == nullptr);
+//  * larger captures go to a thread-local slab: fixed 128-byte blocks
+//    carved from 8 KiB chunks and recycled through a free list, so even
+//    the overflow path settles into zero steady-state allocations. Blocks
+//    above the slab size (rare; asserts in debug that you notice) fall
+//    back to operator new.
+//
+// InlineTask converts implicitly from any callable — including a moved-in
+// std::function, which at 32 bytes lands inline — so it is a drop-in
+// replacement for std::function<void()> parameters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace hs::sim {
+
+namespace detail {
+
+/// Thread-local free-list slab for InlineTask overflow captures. The
+/// simulator is single-threaded per Engine, so thread_local state needs no
+/// locking; memory is returned to the OS at thread exit (keeps the
+/// sanitizer build leak-clean).
+class TaskSlab {
+ public:
+  static constexpr std::size_t kBlockBytes = 128;
+  static constexpr std::size_t kBlocksPerChunk = 64;
+
+  static void* allocate(std::size_t bytes, std::size_t align) {
+    if (bytes > kBlockBytes || align > alignof(std::max_align_t)) {
+      return ::operator new(bytes, std::align_val_t{align});
+    }
+    TaskSlab& slab = instance();
+    if (slab.free_ == nullptr) slab.grow();
+    Block* block = slab.free_;
+    slab.free_ = block->next;
+    return block;
+  }
+
+  static void deallocate(void* p, std::size_t bytes,
+                         std::size_t align) noexcept {
+    if (bytes > kBlockBytes || align > alignof(std::max_align_t)) {
+      ::operator delete(p, std::align_val_t{align});
+      return;
+    }
+    TaskSlab& slab = instance();
+    Block* block = static_cast<Block*>(p);
+    block->next = slab.free_;
+    slab.free_ = block;
+  }
+
+  /// Blocks currently sitting in the free list (introspection for tests).
+  static std::size_t free_blocks() {
+    std::size_t n = 0;
+    for (Block* b = instance().free_; b != nullptr; b = b->next) ++n;
+    return n;
+  }
+
+ private:
+  struct Block {
+    Block* next;
+  };
+  struct ChunkDeleter {
+    void operator()(std::byte* p) const noexcept {
+      ::operator delete(p, std::align_val_t{alignof(std::max_align_t)});
+    }
+  };
+
+  static TaskSlab& instance() {
+    static thread_local TaskSlab slab;
+    return slab;
+  }
+
+  void grow() {
+    auto* raw = static_cast<std::byte*>(::operator new(
+        kBlockBytes * kBlocksPerChunk,
+        std::align_val_t{alignof(std::max_align_t)}));
+    chunks_.emplace_back(raw);
+    for (std::size_t i = kBlocksPerChunk; i-- > 0;) {
+      auto* block = reinterpret_cast<Block*>(raw + i * kBlockBytes);
+      block->next = free_;
+      free_ = block;
+    }
+  }
+
+  Block* free_ = nullptr;
+  std::vector<std::unique_ptr<std::byte, ChunkDeleter>> chunks_;
+};
+
+}  // namespace detail
+
+class InlineTask {
+ public:
+  /// Captures up to this size (with a nothrow move) are stored inline.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  InlineTask() noexcept = default;
+  InlineTask(std::nullptr_t) noexcept {}  // NOLINT: match std::function
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, InlineTask> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  InlineTask(F&& f) {  // NOLINT: implicit, drop-in for std::function params
+    construct(std::forward<F>(f));
+  }
+
+  /// Assign a callable in place (used by the engine's slot pool to build
+  /// the capture directly in its slot, skipping intermediate moves).
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, InlineTask> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  InlineTask& operator=(F&& f) {
+    reset();
+    construct(std::forward<F>(f));
+    return *this;
+  }
+
+ private:
+  template <typename F>
+  void construct(F&& f) {
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      if constexpr (sizeof(Fn) < kInlineBytes) {
+        // Moves relocate the whole fixed-size buffer (one unrolled memcpy,
+        // no per-type dispatch); zero the tail so they read defined bytes.
+        std::memset(storage_.inline_bytes + sizeof(Fn), 0,
+                    kInlineBytes - sizeof(Fn));
+      }
+      ::new (static_cast<void*>(storage_.inline_bytes)) Fn(std::forward<F>(f));
+      invoke_ = [](InlineTask& self) {
+        (*std::launder(
+            reinterpret_cast<Fn*>(self.storage_.inline_bytes)))();
+      };
+      if constexpr (!trivially_relocatable<Fn>()) {
+        manage_ = [](Action action, InlineTask& self, InlineTask* other) {
+          Fn* fn =
+              std::launder(reinterpret_cast<Fn*>(self.storage_.inline_bytes));
+          if (action == Action::kMove) {
+            ::new (static_cast<void*>(other->storage_.inline_bytes))
+                Fn(std::move(*fn));
+          }
+          fn->~Fn();
+        };
+      }
+    } else {
+      void* mem = detail::TaskSlab::allocate(sizeof(Fn), alignof(Fn));
+      storage_.heap = ::new (mem) Fn(std::forward<F>(f));
+      heap_ = true;
+      invoke_ = [](InlineTask& self) {
+        (*static_cast<Fn*>(self.storage_.heap))();
+      };
+      manage_ = [](Action action, InlineTask& self, InlineTask* other) {
+        if (action == Action::kMove) {
+          other->storage_.heap = self.storage_.heap;
+          return;  // ownership transferred; no destruction
+        }
+        Fn* fn = static_cast<Fn*>(self.storage_.heap);
+        fn->~Fn();
+        detail::TaskSlab::deallocate(fn, sizeof(Fn), alignof(Fn));
+      };
+    }
+  }
+
+ public:
+  InlineTask(InlineTask&& other) noexcept { move_from(other); }
+  InlineTask& operator=(InlineTask&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineTask(const InlineTask&) = delete;
+  InlineTask& operator=(const InlineTask&) = delete;
+  ~InlineTask() { reset(); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  void operator()() { invoke_(*this); }
+
+  /// True when the capture lives in the inline buffer (tests).
+  bool is_inline() const noexcept { return invoke_ != nullptr && !heap_; }
+
+  /// True when this object can be relocated by copying its bytes and
+  /// abandoning the source without running its destructor: empty tasks,
+  /// trivially-copyable inline captures (manage_ == nullptr), and slab
+  /// captures (a pointer transfer). The engine's slot pool grows with a
+  /// plain memcpy for such slots instead of per-element move dispatch.
+  bool memcpy_relocatable() const noexcept {
+    return manage_ == nullptr || heap_;
+  }
+
+  /// Compile-time form of memcpy_relocatable() for a capture type: true
+  /// unless Fn lands inline with a non-trivial manager. Lets the engine
+  /// count "sticky" (non-relocatable) slots incrementally instead of
+  /// scanning the pool on every growth.
+  template <typename Fn>
+  static constexpr bool capture_memcpy_relocatable() {
+    return !fits_inline<Fn>() || trivially_relocatable<Fn>();
+  }
+
+ private:
+  enum class Action : std::uint8_t { kMove, kDestroy };
+  using InvokeFn = void (*)(InlineTask&);
+  using ManageFn = void (*)(Action, InlineTask&, InlineTask*);
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+  template <typename Fn>
+  static constexpr bool trivially_relocatable() {
+    return std::is_trivially_copyable_v<Fn> &&
+           std::is_trivially_destructible_v<Fn>;
+  }
+
+  void move_from(InlineTask& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    heap_ = other.heap_;
+    if (invoke_ != nullptr) {
+      if (manage_ == nullptr) {
+        // Trivially relocatable inline capture.
+        std::memcpy(storage_.inline_bytes, other.storage_.inline_bytes,
+                    kInlineBytes);
+      } else {
+        other.manage_(Action::kMove, other, this);
+      }
+    }
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+    other.heap_ = false;
+  }
+
+  void reset() noexcept {
+    if (manage_ != nullptr) manage_(Action::kDestroy, *this, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+    heap_ = false;
+  }
+
+  union Storage {
+    alignas(std::max_align_t) std::byte inline_bytes[kInlineBytes];
+    void* heap;
+  };
+  Storage storage_;
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+  bool heap_ = false;
+};
+
+}  // namespace hs::sim

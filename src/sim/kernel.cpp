@@ -5,13 +5,23 @@
 namespace hs::sim {
 
 KernelInstance::KernelInstance(Engine& engine, Device& device, int priority,
-                               KernelSpec spec,
-                               std::function<void()> on_complete)
+                               KernelSpec spec, InlineTask on_complete)
     : engine_(&engine), spec_(std::move(spec)), on_complete_(std::move(on_complete)) {
   ctx_.exec_ = ExecContext{&engine, &device, priority};
   ctx_.sm_demand_ = spec_.sm_demand;
   ctx_.name_ = spec_.name;
   ctx_.instance_ = this;
+}
+
+void KernelInstance::reset(KernelSpec spec, InlineTask on_complete) {
+  assert(pending_ == 0 && "reset of a kernel still in flight");
+  tasks_.clear();  // destroys the previous kernel's coroutine frames
+  spec_ = std::move(spec);
+  on_complete_ = std::move(on_complete);
+  ctx_.sm_demand_ = spec_.sm_demand;
+  ctx_.name_ = spec_.name;
+  body_started_ = false;
+  started_at_ = -1;
 }
 
 void KernelInstance::start() {

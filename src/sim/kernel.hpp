@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sim/device.hpp"
+#include "sim/inline_task.hpp"
 #include "sim/task.hpp"
 
 namespace hs::sim {
@@ -101,11 +102,19 @@ class KernelContext {
   KernelInstance* instance_ = nullptr;
 };
 
-/// Internal: a launched kernel in flight. Owned by the stream.
+/// Internal: a launched kernel in flight. Owned by the stream, which reuses
+/// one instance per stream across launches (see reset) so back-to-back
+/// kernels perform no per-launch heap allocation for the instance itself.
 class KernelInstance {
  public:
   KernelInstance(Engine& engine, Device& device, int priority, KernelSpec spec,
-                 std::function<void()> on_complete);
+                 InlineTask on_complete);
+
+  /// Rebind a completed (or never-started) instance to a new launch,
+  /// reusing the task-vector storage. The engine/device/priority binding is
+  /// fixed at construction — an instance is only ever reused by its own
+  /// stream.
+  void reset(KernelSpec spec, InlineTask on_complete);
 
   /// Start the body coroutine. Called by the stream when the kernel reaches
   /// the head of the queue.
@@ -114,6 +123,11 @@ class KernelInstance {
   void add_task(Task task);
 
   const std::string& name() const { return spec_.name; }
+  /// Transfer the kernel name out (for the trace record of a finished
+  /// kernel; the spec is dead weight after completion).
+  std::string take_name() { return std::move(spec_.name); }
+  std::int64_t tag() const { return spec_.tag; }
+  SimTime dispatch_ns() const { return spec_.dispatch_ns; }
   SimTime started_at() const { return started_at_; }
 
  private:
@@ -122,7 +136,7 @@ class KernelInstance {
   Engine* engine_;
   KernelContext ctx_;
   KernelSpec spec_;
-  std::function<void()> on_complete_;
+  InlineTask on_complete_;
   std::vector<Task> tasks_;
   int pending_ = 0;
   bool body_started_ = false;

@@ -12,6 +12,8 @@ Stream::Stream(Engine& engine, Device& device, Trace* trace, std::string name,
       name_(std::move(name)),
       priority_(priority) {}
 
+Stream::~Stream() = default;
+
 void Stream::launch(KernelSpec spec) {
   Op op;
   op.type = Op::Type::Kernel;
@@ -54,7 +56,7 @@ void Stream::enqueue_async(std::string name,
   pump();
 }
 
-void Stream::enqueue_callback(std::function<void()> fn) {
+void Stream::enqueue_callback(InlineTask fn) {
   Op op;
   op.type = Op::Type::Callback;
   op.callback = std::move(fn);
@@ -62,11 +64,20 @@ void Stream::enqueue_callback(std::function<void()> fn) {
   pump();
 }
 
-void Stream::finish_current(SimTime started, const std::string& kernel_name,
+void Stream::on_kernel_done() {
+  // Park the instance for reuse by the next launch; its coroutine frames
+  // stay alive until then (deferred destruction — the completing frame is
+  // still on the stack below us).
+  retired_ = std::move(current_);
+  finish_current(retired_->started_at(), retired_->take_name(),
+                 retired_->tag(), retired_->dispatch_ns());
+}
+
+void Stream::finish_current(SimTime started, std::string kernel_name,
                             std::int64_t tag, SimTime queue_ns) {
   if (trace_ != nullptr) {
     const std::uint64_t span =
-        trace_->record(device_->id(), name_, kernel_name, started,
+        trace_->record(device_->id(), name_, std::move(kernel_name), started,
                        engine_->now(), tag, SpanKind::Kernel, queue_ns);
     if (span != 0) {
       trace_->add_edge(last_span_, span, EdgeKind::StreamOrder);
@@ -120,19 +131,19 @@ void Stream::pump() {
       }
       case Op::Type::Kernel: {
         busy_ = true;
-        retired_.reset();  // previous kernel's frames can go now
-        const std::string kernel_name = front.spec.name;
-        const std::int64_t tag = front.spec.tag;
-        const SimTime dispatch = front.spec.dispatch_ns;
-        current_ = std::make_unique<KernelInstance>(
-            *engine_, *device_, priority_, std::move(front.spec),
-            [this, kernel_name, tag, dispatch] {
-              const SimTime started = current_->started_at();
-              retired_ = std::move(current_);
-              finish_current(started, kernel_name, tag, dispatch);
-            });
-        if (dispatch > 0) {
-          engine_->schedule_after(dispatch, [this] { current_->start(); });
+        // Reuse the retired instance (its frames can be destroyed now);
+        // only the first launch on a stream allocates one.
+        if (retired_ != nullptr) {
+          current_ = std::move(retired_);
+          current_->reset(std::move(front.spec), [this] { on_kernel_done(); });
+        } else {
+          current_ = std::make_unique<KernelInstance>(
+              *engine_, *device_, priority_, std::move(front.spec),
+              [this] { on_kernel_done(); });
+        }
+        if (current_->dispatch_ns() > 0) {
+          engine_->schedule_after(current_->dispatch_ns(),
+                                  [this] { current_->start(); });
         } else {
           current_->start();
         }
@@ -140,12 +151,12 @@ void Stream::pump() {
       }
       case Op::Type::Async: {
         busy_ = true;
-        retired_.reset();
         const SimTime started = engine_->now();
-        const std::string op_name = front.name;
+        async_name_ = std::move(front.name);
         auto op_fn = std::move(front.async_op);
-        op_fn([this, started, op_name] {
-          finish_current(started, op_name, -1, 0);
+        // 16-byte capture: lands in the std::function SBO, no allocation.
+        op_fn([this, started] {
+          finish_current(started, std::move(async_name_), -1, 0);
         });
         return;
       }

@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "sim/inline_task.hpp"
 #include "sim/kernel.hpp"
 #include "sim/sync.hpp"
 #include "sim/trace.hpp"
@@ -28,6 +29,7 @@ class Stream {
  public:
   Stream(Engine& engine, Device& device, Trace* trace, std::string name,
          int priority);
+  ~Stream();
 
   Stream(const Stream&) = delete;
   Stream& operator=(const Stream&) = delete;
@@ -55,7 +57,7 @@ class Stream {
                      std::function<void(std::function<void()> done)> op);
 
   /// Enqueue a zero-duration host-visible callback (stream-ordered).
-  void enqueue_callback(std::function<void()> fn);
+  void enqueue_callback(InlineTask fn);
 
   bool idle() const { return ops_.empty() && !busy_; }
   GpuEventPtr make_event() { return std::make_shared<GpuEvent>(*engine_); }
@@ -68,11 +70,12 @@ class Stream {
     GpuEventPtr event;            // Record / Wait
     std::string name;             // Async
     std::function<void(std::function<void()>)> async_op;  // Async
-    std::function<void()> callback;                       // Callback
+    InlineTask callback;                                  // Callback
   };
 
   void pump();
-  void finish_current(SimTime started, const std::string& kernel_name,
+  void on_kernel_done();
+  void finish_current(SimTime started, std::string kernel_name,
                       std::int64_t tag, SimTime queue_ns);
 
   Engine* engine_;
@@ -84,8 +87,9 @@ class Stream {
   std::uint64_t last_span_ = 0;  // previous op's trace span (stream order)
   std::vector<std::uint64_t> pending_wait_spans_;  // EventWait producers
   bool busy_ = false;
+  std::string async_name_;  // in-flight Async op name (one at a time)
   std::unique_ptr<KernelInstance> current_;
-  std::unique_ptr<KernelInstance> retired_;  // deferred destruction
+  std::unique_ptr<KernelInstance> retired_;  // parked for reuse by next launch
 };
 
 }  // namespace hs::sim

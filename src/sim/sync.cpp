@@ -2,7 +2,7 @@
 
 namespace hs::sim {
 
-void Signal::when_ge(std::int64_t threshold, std::function<void()> fn) {
+void Signal::when_ge(std::int64_t threshold, InlineTask fn) {
   ++wait_count_;
   if (value_ >= threshold) {
     engine_->schedule_now(std::move(fn));
@@ -12,12 +12,13 @@ void Signal::when_ge(std::int64_t threshold, std::function<void()> fn) {
 }
 
 void Signal::wake() {
-  // Collect satisfied waiters in registration order, then hand them to the
-  // engine. Swap-out first: a woken waiter may register new waiters.
-  std::vector<Waiter> keep;
-  std::vector<std::function<void()>> ready;
-  keep.reserve(waiters_.size());
-  for (auto& w : waiters_) {
+  if (waiters_.empty()) return;
+  // Collect satisfied waiters in registration order, compacting the rest
+  // in place (stable). No user code runs inside this loop — releases are
+  // deferred through the engine — so neither vector can be mutated
+  // reentrantly, and ready_scratch_ is safely reused across wakes.
+  std::size_t kept = 0;
+  for (Waiter& w : waiters_) {
     if (value_ >= w.threshold) {
       if (trace_ != nullptr && trace_->enabled()) {
         // The wait span covers registration -> release; the releasing
@@ -28,13 +29,17 @@ void Signal::wake() {
                            -1, SpanKind::Wait);
         trace_->add_edge(trace_->cause(), span, EdgeKind::SignalSetWait);
       }
-      ready.push_back(std::move(w.fn));
+      ready_scratch_.push_back(std::move(w.fn));
     } else {
-      keep.push_back(std::move(w));
+      if (kept != static_cast<std::size_t>(&w - waiters_.data())) {
+        waiters_[kept] = std::move(w);
+      }
+      ++kept;
     }
   }
-  waiters_ = std::move(keep);
-  for (auto& fn : ready) engine_->schedule_now(std::move(fn));
+  waiters_.resize(kept);
+  for (InlineTask& fn : ready_scratch_) engine_->schedule_now(std::move(fn));
+  ready_scratch_.clear();
 }
 
 void GpuEvent::complete() {
@@ -43,10 +48,10 @@ void GpuEvent::complete() {
   completed_at_ = engine_->now();
   auto waiters = std::move(waiters_);
   waiters_.clear();
-  for (auto& fn : waiters) engine_->schedule_now(std::move(fn));
+  for (InlineTask& fn : waiters) engine_->schedule_now(std::move(fn));
 }
 
-void GpuEvent::when_complete(std::function<void()> fn) {
+void GpuEvent::when_complete(InlineTask fn) {
   if (complete_) {
     engine_->schedule_now(std::move(fn));
     return;

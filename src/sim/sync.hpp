@@ -13,11 +13,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/inline_task.hpp"
 #include "sim/task.hpp"
 #include "sim/trace.hpp"
 
@@ -57,7 +57,7 @@ class Signal {
   void reset(std::int64_t v = 0) { value_ = v; }  // no wake: reuse between steps
 
   /// Invoke fn (via the engine) once value() >= threshold.
-  void when_ge(std::int64_t threshold, std::function<void()> fn);
+  void when_ge(std::int64_t threshold, InlineTask fn);
 
   /// Number of acquire-waits started on this signal (wait_ge + when_ge),
   /// including those satisfied immediately. Observability: the simulated
@@ -91,10 +91,11 @@ class Signal {
   std::uint64_t wait_count_ = 0;
   struct Waiter {
     std::int64_t threshold;
-    std::function<void()> fn;
+    InlineTask fn;
     SimTime since = 0;  // registration time, for the Wait span
   };
   std::vector<Waiter> waiters_;
+  std::vector<InlineTask> ready_scratch_;  // reused by wake(), no per-wake alloc
 };
 
 class GpuEvent {
@@ -111,7 +112,7 @@ class GpuEvent {
   std::uint64_t origin_span() const { return origin_span_; }
 
   void complete();
-  void when_complete(std::function<void()> fn);
+  void when_complete(InlineTask fn);
 
   auto wait() {
     struct Awaiter {
@@ -130,7 +131,7 @@ class GpuEvent {
   bool complete_ = false;
   SimTime completed_at_ = -1;
   std::uint64_t origin_span_ = 0;
-  std::vector<std::function<void()>> waiters_;
+  std::vector<InlineTask> waiters_;
 };
 
 using GpuEventPtr = std::shared_ptr<GpuEvent>;
@@ -167,7 +168,7 @@ class BlockBarrier {
   Engine* engine_;
   int expected_;
   int arrived_ = 0;
-  std::vector<std::function<void()>> waiters_;
+  std::vector<InlineTask> waiters_;
 };
 
 }  // namespace hs::sim

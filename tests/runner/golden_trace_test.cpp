@@ -1,0 +1,147 @@
+// Golden-trace determinism test.
+//
+// Runs a reduced fig12_schedule_trace case (both transports, fixed
+// configuration — the simulator has no hidden seeds, so the configuration
+// IS the seed) and canonicalizes everything observable about the run:
+// every engine event count, every trace record's (time, span) pair, every
+// causal edge, and the byte-exact Chrome-trace JSON export. The result is
+// compared against a checked-in fixture generated before the PR-3 engine /
+// device fast-path rewrite, proving the optimization is bit-identical:
+// same (time, seq) event order, same spans, same Chrome trace.
+//
+// Regenerate (only when a deliberate model change lands) with:
+//   HS_GOLDEN_REGEN=1 ./runner_tests --gtest_filter='GoldenTrace.*'
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "dd/geometry.hpp"
+#include "halo/workload.hpp"
+#include "msg/comm.hpp"
+#include "pgas/world.hpp"
+#include "runner/md_runner.hpp"
+#include "sim/machine.hpp"
+#include "sim/trace_export.hpp"
+
+namespace hs {
+namespace {
+
+constexpr const char* kFixturePath =
+    HS_FIXTURE_DIR "/golden_trace_fig12.txt";
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// One transport's run, canonicalized. Mirrors bench/common.hpp run_case at
+// fig12's topology shape (2D decomposition => two communication phases)
+// but at reduced scale so the fixture stays reviewable.
+std::string run_and_canonicalize(halo::Transport transport) {
+  constexpr long long kAtoms = 180000;
+  constexpr int kSteps = 4;
+  const sim::Topology topology = sim::Topology::dgx_h100(4, 4);
+  const int ranks = topology.device_count();
+  constexpr double kDensity = 100.0;
+  constexpr double kCutoff = 1.30;
+
+  const auto box_len = static_cast<float>(
+      std::cbrt(static_cast<double>(kAtoms) / kDensity));
+  const md::Box box(box_len, box_len, box_len);
+  const dd::DomainGrid grid(box, dd::choose_grid(box, ranks, kCutoff));
+
+  sim::Machine machine(topology, sim::CostModel::h100_eos());
+  machine.trace().set_enabled(true);
+  pgas::World world(machine);
+  msg::Comm comm(machine);
+  runner::RunConfig config;
+  config.transport = transport;
+  runner::MdRunner md(machine, world, comm,
+                      halo::make_skeleton_workload(grid, kCutoff, kDensity),
+                      config);
+  md.run(kSteps);
+
+  std::ostringstream out;
+  out << "transport=" << (transport == halo::Transport::Mpi ? "mpi" : "shmem")
+      << " events=" << machine.engine().events_processed()
+      << " final_ns=" << machine.engine().now() << "\n";
+  const auto& trace = machine.trace();
+  out << "records=" << trace.records().size()
+      << " edges=" << trace.edges().size() << "\n";
+  for (const auto& r : trace.records()) {
+    out << "R " << r.span << " d" << r.device << " " << r.stream << " "
+        << r.name << " [" << r.begin << "," << r.end << "] step=" << r.step
+        << " k=" << static_cast<int>(r.kind) << " q=" << r.queue_ns
+        << " p=" << r.proxy_ns << " peer=" << r.peer << "\n";
+  }
+  for (const auto& e : trace.edges()) {
+    out << "E " << e.src << "->" << e.dst << " " << to_string(e.kind) << "\n";
+  }
+  // The Chrome export is the user-visible artifact; hash it byte-exactly.
+  std::ostringstream chrome;
+  sim::write_chrome_trace(trace, chrome);
+  const std::string json = chrome.str();
+  out << "chrome_bytes=" << json.size() << " chrome_fnv1a=" << fnv1a(json)
+      << "\n";
+  return out.str();
+}
+
+TEST(GoldenTrace, Fig12CaseIsBitIdentical) {
+  std::string canonical;
+  for (halo::Transport tr : {halo::Transport::Mpi, halo::Transport::Shmem}) {
+    canonical += run_and_canonicalize(tr);
+  }
+
+  if (std::getenv("HS_GOLDEN_REGEN") != nullptr) {
+    std::ofstream out(kFixturePath, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << kFixturePath;
+    out << canonical;
+    GTEST_SKIP() << "fixture regenerated at " << kFixturePath;
+  }
+
+  std::ifstream in(kFixturePath, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing fixture " << kFixturePath
+                         << " — regenerate with HS_GOLDEN_REGEN=1";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string expected = buf.str();
+
+  // Compare line-by-line so a drift reports the first diverging event
+  // instead of a megabyte diff.
+  std::istringstream got(canonical);
+  std::istringstream want(expected);
+  std::string got_line;
+  std::string want_line;
+  std::size_t line = 0;
+  while (std::getline(want, want_line)) {
+    ++line;
+    ASSERT_TRUE(std::getline(got, got_line))
+        << "trace truncated at fixture line " << line << ": " << want_line;
+    ASSERT_EQ(got_line, want_line) << "first divergence at line " << line;
+  }
+  EXPECT_FALSE(std::getline(got, got_line))
+      << "trace has extra content after fixture line " << line << ": "
+      << got_line;
+  EXPECT_EQ(canonical, expected);
+}
+
+// Determinism within one build: two identical runs must agree bit-exactly
+// (guards against unordered containers / pointer-keyed iteration sneaking
+// into the hot path, independent of the checked-in fixture).
+TEST(GoldenTrace, RepeatedRunsAreBitIdentical) {
+  const std::string a = run_and_canonicalize(halo::Transport::Shmem);
+  const std::string b = run_and_canonicalize(halo::Transport::Shmem);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace hs

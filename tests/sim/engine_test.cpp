@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <stdexcept>
 #include <vector>
+
+#include "sim/trace.hpp"
 
 namespace hs::sim {
 namespace {
@@ -133,6 +136,107 @@ TEST(Engine, IdleReflectsQueueState) {
   EXPECT_FALSE(e.idle());
   e.run();
   EXPECT_TRUE(e.idle());
+}
+
+// The queue is two-level: future events sit in the heap, events scheduled
+// at the current time go to a FIFO bucket. Same-time events must still run
+// in global schedule (seq) order across BOTH levels: heap entries at time t
+// were scheduled before now reached t, so they all precede any bucket
+// entry added while events at t are running.
+TEST(Engine, SameTimeFifoAcrossBucketAndHeap) {
+  Engine e;
+  std::vector<int> order;
+  // A and B land in the heap (scheduled while now=0 < 5).
+  e.schedule_at(5, [&] {
+    order.push_back(1);
+    e.schedule_now([&] { order.push_back(3); });  // bucket
+  });
+  e.schedule_at(5, [&] {
+    order.push_back(2);
+    e.schedule_now([&] { order.push_back(4); });  // bucket
+  });
+  e.run();
+  EXPECT_EQ(e.now(), 5);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Engine, ScheduleNowChainsStayAtCurrentTimeInFifoOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(7, [&] {
+    order.push_back(0);
+    e.schedule_now([&] {
+      order.push_back(1);
+      e.schedule_now([&] { order.push_back(3); });
+    });
+    e.schedule_now([&] { order.push_back(2); });
+  });
+  e.run();
+  EXPECT_EQ(e.now(), 7);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+// Regression: run_until used to leave an error recorded mid-run sitting in
+// the engine when stepping stopped (horizon or drained queue) — the caller
+// only learned about it on the *next* run()/run_until(). It must surface
+// when the call that observed it returns.
+TEST(Engine, RunUntilSurfacesRecordedErrorAtReturn) {
+  Engine e;
+  e.schedule_at(10, [] { throw std::runtime_error("boom"); });
+  e.schedule_at(100, [] { FAIL() << "must not run after error"; });
+  EXPECT_THROW(e.run_until(50), std::runtime_error);
+  // The error was consumed by the rethrow; the engine can keep going.
+  EXPECT_NO_THROW(e.run_until(60));
+}
+
+TEST(Engine, RunUntilSurfacesErrorRecordedBeforeStepping) {
+  Engine e;
+  e.record_error(std::make_exception_ptr(std::runtime_error("early")));
+  EXPECT_THROW(e.run_until(1000), std::runtime_error);
+}
+
+// Forces slot-pool growth while non-memcpy-relocatable callbacks (inline
+// captures with a non-trivial destructor) are live, exercising the
+// element-wise relocation path in grow_slots.
+TEST(Engine, PoolGrowthPreservesNonRelocatableCallbacks) {
+  Engine e;
+  auto counter = std::make_shared<int>(0);
+  constexpr int kEvents = 3000;  // > initial pool capacity (1024)
+  for (int i = 0; i < kEvents; ++i) {
+    e.schedule_at(i + 1, [counter] { ++*counter; });
+  }
+  EXPECT_GT(counter.use_count(), kEvents);
+  e.run();
+  EXPECT_EQ(*counter, kEvents);
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+// Same growth scenario, all-relocatable captures (the realloc fast path).
+TEST(Engine, PoolGrowthPreservesTriviallyCopyableCallbacks) {
+  Engine e;
+  long long sum = 0;
+  constexpr int kEvents = 3000;
+  for (int i = 0; i < kEvents; ++i) {
+    e.schedule_at(i + 1, [&sum, i] { sum += i; });
+  }
+  e.run();
+  EXPECT_EQ(sum, static_cast<long long>(kEvents) * (kEvents - 1) / 2);
+}
+
+// The ambient cause must follow events through the same-time FIFO bucket,
+// not just the heap.
+TEST(Engine, CausePropagatesThroughSameTimeBucket) {
+  Trace t;
+  t.set_enabled(true);
+  Engine e;
+  e.bind_trace(&t);
+  std::uint64_t seen = 0;
+  e.schedule_at(10, [&] {
+    e.schedule_with_cause(e.now(), 77, [&] { seen = t.cause(); });
+  });
+  e.run();
+  EXPECT_EQ(seen, 77u);
+  EXPECT_EQ(t.cause(), 0u);
 }
 
 }  // namespace

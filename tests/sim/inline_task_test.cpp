@@ -1,0 +1,163 @@
+#include "sim/inline_task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace hs::sim {
+namespace {
+
+TEST(InlineTask, DefaultConstructedIsEmpty) {
+  InlineTask t;
+  EXPECT_FALSE(static_cast<bool>(t));
+  InlineTask n(nullptr);
+  EXPECT_FALSE(static_cast<bool>(n));
+}
+
+TEST(InlineTask, SmallCaptureStoresInline) {
+  int hits = 0;
+  InlineTask t([&hits] { ++hits; });
+  EXPECT_TRUE(static_cast<bool>(t));
+  EXPECT_TRUE(t.is_inline());
+  t();
+  t();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineTask, CaptureAtInlineLimitStaysInline) {
+  std::array<std::int64_t, 5> payload{};  // 40 bytes + 8-byte reference
+  payload.back() = 42;
+  std::int64_t out = 0;
+  auto fn = [payload, &out]() mutable { out = payload.back(); };
+  static_assert(sizeof(fn) == InlineTask::kInlineBytes);
+  InlineTask t(std::move(fn));
+  EXPECT_TRUE(t.is_inline());
+  t();
+  EXPECT_EQ(out, 42);
+}
+
+TEST(InlineTask, LargeCaptureUsesSlabAndRecyclesBlocks) {
+  std::array<std::int64_t, 12> big{};  // 96 bytes > kInlineBytes
+  big[11] = 7;
+  std::int64_t out = 0;
+  {
+    InlineTask t([big, &out] { out = big[11]; });
+    EXPECT_TRUE(static_cast<bool>(t));
+    EXPECT_FALSE(t.is_inline());
+    t();
+  }
+  EXPECT_EQ(out, 7);
+  // Destroying the task returned its block to the thread-local free list;
+  // the next overflow capture reuses it rather than growing the slab.
+  const std::size_t free_before = detail::TaskSlab::free_blocks();
+  {
+    InlineTask t([big, &out] { out = big[0]; });
+    EXPECT_EQ(detail::TaskSlab::free_blocks(), free_before - 1);
+  }
+  EXPECT_EQ(detail::TaskSlab::free_blocks(), free_before);
+}
+
+TEST(InlineTask, MoveTransfersInlineCapture) {
+  int hits = 0;
+  InlineTask a([&hits] { ++hits; });
+  InlineTask b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT: inspecting moved-from
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineTask, MoveTransfersNonTrivialCapture) {
+  auto flag = std::make_shared<int>(0);
+  InlineTask a([flag] { ++*flag; });
+  EXPECT_EQ(flag.use_count(), 2);
+  InlineTask b(std::move(a));
+  EXPECT_EQ(flag.use_count(), 2);  // exactly one live copy after the move
+  b();
+  EXPECT_EQ(*flag, 1);
+}
+
+TEST(InlineTask, MoveAssignDestroysPreviousCapture) {
+  auto old_cap = std::make_shared<int>(0);
+  auto new_cap = std::make_shared<int>(0);
+  InlineTask t([old_cap] {});
+  InlineTask src([new_cap] { ++*new_cap; });
+  t = std::move(src);
+  EXPECT_EQ(old_cap.use_count(), 1);  // previous capture released
+  t();
+  EXPECT_EQ(*new_cap, 1);
+}
+
+TEST(InlineTask, DestructorReleasesCapture) {
+  auto flag = std::make_shared<int>(0);
+  {
+    InlineTask t([flag] {});
+    EXPECT_EQ(flag.use_count(), 2);
+  }
+  EXPECT_EQ(flag.use_count(), 1);
+}
+
+TEST(InlineTask, InPlaceAssignFromCallableReplacesCapture) {
+  int first = 0;
+  int second = 0;
+  InlineTask t([&first] { ++first; });
+  t = [&second] { ++second; };  // the engine's slot-pool assignment path
+  t();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(InlineTask, AcceptsMovedInStdFunction) {
+  int hits = 0;
+  std::function<void()> f = [&hits] { ++hits; };
+  InlineTask t(std::move(f));
+  t();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineTask, MemcpyRelocatableClassification) {
+  InlineTask empty;
+  EXPECT_TRUE(empty.memcpy_relocatable());
+
+  int x = 0;
+  InlineTask trivial([&x] { ++x; });  // trivially-copyable inline capture
+  EXPECT_TRUE(trivial.memcpy_relocatable());
+
+  auto sp = std::make_shared<int>(0);
+  InlineTask nontrivial([sp] {});  // inline but needs its manager on moves
+  EXPECT_TRUE(nontrivial.is_inline());
+  EXPECT_FALSE(nontrivial.memcpy_relocatable());
+
+  std::array<std::int64_t, 12> big{};
+  InlineTask slab([big] { (void)big; });  // slab pointer: relocates by copy
+  EXPECT_FALSE(slab.is_inline());
+  EXPECT_TRUE(slab.memcpy_relocatable());
+
+  // Compile-time classification matches the runtime one.
+  auto trivial_fn = [&x] { ++x; };
+  auto nontrivial_fn = [sp] {};
+  auto slab_fn = [big] { (void)big; };
+  static_assert(
+      InlineTask::capture_memcpy_relocatable<decltype(trivial_fn)>());
+  static_assert(
+      !InlineTask::capture_memcpy_relocatable<decltype(nontrivial_fn)>());
+  static_assert(InlineTask::capture_memcpy_relocatable<decltype(slab_fn)>());
+}
+
+TEST(InlineTask, MovedFromTaskCanBeReassignedAndInvoked) {
+  int hits = 0;
+  InlineTask a([&hits] { ++hits; });
+  InlineTask b(std::move(a));
+  a = [&hits] { hits += 10; };
+  a();
+  b();
+  EXPECT_EQ(hits, 11);
+}
+
+}  // namespace
+}  // namespace hs::sim
