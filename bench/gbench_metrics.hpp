@@ -1,0 +1,128 @@
+// Shared bench-metrics-v1 plumbing for the google-benchmark binaries
+// (sim_perf, md_kernels).
+//
+// MetricsReporter captures per-benchmark wall-clock results for the
+// metrics dump while still printing the normal console table. Across
+// repetitions the minimum is kept — the least-noisy wall-clock statistic
+// for a regression gate. Keys are `<benchmark>_wall_ns` (per iteration)
+// and `<benchmark>_per_item_wall_ns` (per processed item); binaries may
+// add derived, non-time metrics (e.g. speedup ratios, which
+// tools/bench_diff reports but never gates) before the dump.
+//
+// run_benchmark_main() peels `--metrics-json=PATH` off argv before
+// google-benchmark parses it, runs the registered benchmarks, applies the
+// binary's `derive` hook, and writes the report.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/metrics.hpp"
+
+namespace hs::bench {
+
+class MetricsReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit MetricsReporter(std::string case_label)
+      : case_label_(std::move(case_label)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (!run.aggregate_name.empty() || run.error_occurred ||
+          run.iterations == 0) {
+        continue;
+      }
+      const std::string name = run.benchmark_name();
+      const double wall_ns = run.real_accumulated_time * 1e9 /
+                             static_cast<double>(run.iterations);
+      keep_min(name + "_wall_ns", wall_ns);
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end() && it->second.value > 0.0) {
+        keep_min(name + "_per_item_wall_ns", 1e9 / it->second.value);
+      }
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  /// Captured value for `<benchmark>_wall_ns` style keys (pre-sanitize,
+  /// i.e. with '/'); 0 when absent. For derive hooks.
+  double value_or_zero(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? 0.0 : it->second;
+  }
+
+  /// Add a derived metric (sanitized like the captured ones). Use keys
+  /// NOT suffixed _ns/_us for ratios: bench_diff reports but never gates
+  /// them, so a speedup metric can only inform, not flake.
+  void set(const std::string& key, double value) { values_[key] = value; }
+
+  util::metrics::Report metrics() const {
+    util::metrics::Report report;
+    for (const auto& [key, value] : values_) {
+      report.set(case_label_, sanitize(key), value);
+    }
+    return report;
+  }
+
+ private:
+  static std::string sanitize(std::string key) {
+    std::replace(key.begin(), key.end(), '/', '_');
+    return key;
+  }
+  void keep_min(const std::string& key, double v) {
+    const auto it = values_.find(key);
+    if (it == values_.end() || v < it->second) values_[key] = v;
+  }
+
+  std::string case_label_;
+  std::map<std::string, double> values_;
+};
+
+/// Common main() body: parse flags, run benchmarks, derive extra metrics,
+/// dump the report. Returns the process exit code.
+inline int run_benchmark_main(
+    int argc, char** argv, const std::string& case_label,
+    const std::function<void(MetricsReporter&)>& derive = nullptr) {
+  // Peel off our flag before google-benchmark sees the argument list.
+  std::string metrics_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    constexpr const char* kFlag = "--metrics-json=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      metrics_path = argv[i] + std::strlen(kFlag);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+
+  MetricsReporter reporter(case_label);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (derive) derive(reporter);
+
+  if (!metrics_path.empty()) {
+    const util::metrics::Report report = reporter.metrics();
+    if (!util::metrics::write_file(metrics_path, report)) {
+      std::cerr << case_label
+                << ": failed to write metrics file: " << metrics_path << "\n";
+      return 1;
+    }
+    std::cout << "metrics written: " << metrics_path << " ("
+              << report.cases.size() << " cases)\n";
+  }
+  return 0;
+}
+
+}  // namespace hs::bench

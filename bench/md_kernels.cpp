@@ -1,0 +1,167 @@
+// Wall-clock microbenchmarks for the MD kernels (google-benchmark): pair
+// list construction (scalar vs cluster), nonbonded force evaluation
+// (scalar vs the batched cluster fast path), and the SoA gather/scatter
+// shims, at grappa-like functional-run sizes (density 50 atoms/nm^3,
+// cutoff 0.9 nm, rlist 1.0 nm).
+//
+// Like sim_perf, the binary emits bench-metrics-v1 JSON:
+//
+//   $ md_kernels --metrics-json=out.json [--benchmark_min_time=...]
+//
+// `_wall_ns` keys are gated against scripts/baselines/BENCH_md_kernels.json
+// by scripts/perf_smoke.sh. Derived `nb_cluster_speedup_<atoms>` ratios
+// (scalar wall / cluster wall, higher is better) are reported but never
+// gated by bench_diff; scripts/md_smoke.sh asserts the fast path stays
+// >= 2x at the >= 10k-atom sizes.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gbench_metrics.hpp"
+#include "md/cluster_nonbonded.hpp"
+#include "md/cluster_pair_list.hpp"
+#include "md/nonbonded.hpp"
+#include "md/pair_list.hpp"
+#include "md/system.hpp"
+
+using namespace hs;
+
+namespace {
+
+constexpr double kCutoff = 0.9;
+constexpr double kRlist = 1.0;
+
+/// One prebuilt system per benchmarked size (building a 48k-atom grappa
+/// system per iteration would dwarf the kernel under test).
+struct SizedCase {
+  md::System sys;
+  md::ForceField ff{md::grappa_atom_types(), kCutoff};
+  md::PairList scalar_list;
+  md::ClusterPairList cluster_list;
+
+  explicit SizedCase(int atoms) {
+    md::GrappaSpec spec;
+    spec.target_atoms = atoms;
+    spec.density = 50.0;
+    sys = md::build_grappa(spec);
+    scalar_list.build_local(sys.box, sys.x, sys.natoms(), kRlist);
+    cluster_list.build_local(sys.box, sys.x, sys.natoms(), kRlist);
+  }
+};
+
+SizedCase& case_for(int atoms) {
+  static std::map<int, SizedCase> cases;
+  return cases.try_emplace(atoms, atoms).first->second;
+}
+
+void BM_PairListBuildScalar(benchmark::State& state) {
+  SizedCase& c = case_for(static_cast<int>(state.range(0)));
+  md::PairList list;  // reused across iterations: the steady-state rebuild
+  for (auto _ : state) {
+    list.build_local(c.sys.box, c.sys.x, c.sys.natoms(), kRlist);
+    benchmark::DoNotOptimize(list.size());
+  }
+  state.SetItemsProcessed(state.iterations() * c.sys.natoms());
+}
+BENCHMARK(BM_PairListBuildScalar)->Arg(3000)->Arg(12000)->Arg(48000);
+
+void BM_PairListBuildCluster(benchmark::State& state) {
+  SizedCase& c = case_for(static_cast<int>(state.range(0)));
+  md::ClusterPairList list;
+  for (auto _ : state) {
+    list.build_local(c.sys.box, c.sys.x, c.sys.natoms(), kRlist);
+    benchmark::DoNotOptimize(list.pair_count());
+  }
+  state.SetItemsProcessed(state.iterations() * c.sys.natoms());
+}
+BENCHMARK(BM_PairListBuildCluster)->Arg(3000)->Arg(12000)->Arg(48000);
+
+void BM_NonbondedScalar(benchmark::State& state) {
+  SizedCase& c = case_for(static_cast<int>(state.range(0)));
+  std::vector<md::Vec3> f(c.sys.x.size());
+  for (auto _ : state) {
+    std::fill(f.begin(), f.end(), md::Vec3{});
+    const md::Energies e = md::compute_nonbonded(
+        c.sys.box, c.ff, c.sys.x, c.sys.type, c.scalar_list, f);
+    benchmark::DoNotOptimize(e.total());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(c.scalar_list.size()));
+  state.SetLabel("pairs");
+}
+BENCHMARK(BM_NonbondedScalar)->Arg(3000)->Arg(12000)->Arg(48000);
+
+void BM_NonbondedCluster(benchmark::State& state) {
+  SizedCase& c = case_for(static_cast<int>(state.range(0)));
+  const md::NbParamTable params(c.ff);
+  md::NbWorkspace ws;
+  std::vector<md::Vec3> f(c.sys.x.size());
+  for (auto _ : state) {
+    std::fill(f.begin(), f.end(), md::Vec3{});
+    const md::Energies e = md::compute_nonbonded_clusters(
+        c.sys.box, params, c.cluster_list, c.sys.x, c.sys.type, f, ws);
+    benchmark::DoNotOptimize(e.total());
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(c.cluster_list.pair_count()));
+  state.SetLabel("pairs");
+}
+BENCHMARK(BM_NonbondedCluster)->Arg(3000)->Arg(12000)->Arg(48000);
+
+void BM_SoaGatherScatter(benchmark::State& state) {
+  SizedCase& c = case_for(static_cast<int>(state.range(0)));
+  md::SoaVecs soa;
+  std::vector<md::Vec3> back(c.sys.x.size());
+  for (auto _ : state) {
+    soa.gather(c.sys.x);
+    soa.scatter(back);
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetItemsProcessed(state.iterations() * c.sys.natoms());
+}
+BENCHMARK(BM_SoaGatherScatter)->Arg(3000)->Arg(12000)->Arg(48000);
+
+void BM_ClusterGatherScatterAdd(benchmark::State& state) {
+  // The kernel's actual staging pattern: indexed gather through the
+  // cluster map, indexed scatter-add of forces back (pad slots skipped).
+  SizedCase& c = case_for(static_cast<int>(state.range(0)));
+  md::SoaVecs soa;
+  std::vector<md::Vec3> f(c.sys.x.size());
+  for (auto _ : state) {
+    soa.gather_indexed(c.sys.x, c.cluster_list.gather_atoms());
+    soa.scatter_add_indexed(f, c.cluster_list.cluster_atoms());
+    benchmark::DoNotOptimize(f.data());
+  }
+  state.SetItemsProcessed(state.iterations() * c.sys.natoms());
+}
+BENCHMARK(BM_ClusterGatherScatterAdd)->Arg(3000)->Arg(12000)->Arg(48000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::run_benchmark_main(
+      argc, argv, "md_kernels", [](bench::MetricsReporter& reporter) {
+        for (const int atoms : {3000, 12000, 48000}) {
+          const std::string n = std::to_string(atoms);
+          const double scalar =
+              reporter.value_or_zero("BM_NonbondedScalar/" + n + "_wall_ns");
+          const double cluster =
+              reporter.value_or_zero("BM_NonbondedCluster/" + n + "_wall_ns");
+          if (scalar > 0.0 && cluster > 0.0) {
+            reporter.set("nb_cluster_speedup_" + n, scalar / cluster);
+          }
+          const double sbuild =
+              reporter.value_or_zero("BM_PairListBuildScalar/" + n +
+                                     "_wall_ns");
+          const double cbuild =
+              reporter.value_or_zero("BM_PairListBuildCluster/" + n +
+                                     "_wall_ns");
+          if (sbuild > 0.0 && cbuild > 0.0) {
+            reporter.set("list_build_cluster_speedup_" + n, sbuild / cbuild);
+          }
+        }
+      });
+}

@@ -18,12 +18,11 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
-#include <cstring>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "common.hpp"
+#include "gbench_metrics.hpp"
 
 using namespace hs;
 
@@ -121,82 +120,8 @@ void BM_SimulatedStep(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatedStep)->Arg(4)->Arg(16)->Arg(64);
 
-// Captures per-benchmark wall-clock results for the metrics-v1 dump while
-// still printing the normal console table. Across repetitions the minimum
-// is kept — the least-noisy wall-clock statistic for a regression gate.
-class MetricsReporter : public benchmark::ConsoleReporter {
- public:
-  void ReportRuns(const std::vector<Run>& runs) override {
-    for (const Run& run : runs) {
-      if (!run.aggregate_name.empty() || run.error_occurred ||
-          run.iterations == 0) {
-        continue;
-      }
-      const std::string name = run.benchmark_name();
-      const double wall_ns = run.real_accumulated_time * 1e9 /
-                             static_cast<double>(run.iterations);
-      keep_min(name + "_wall_ns", wall_ns);
-      const auto it = run.counters.find("items_per_second");
-      if (it != run.counters.end() && it->second.value > 0.0) {
-        keep_min(name + "_per_item_wall_ns", 1e9 / it->second.value);
-      }
-    }
-    benchmark::ConsoleReporter::ReportRuns(runs);
-  }
-
-  util::metrics::Report metrics() const {
-    util::metrics::Report report;
-    for (const auto& [key, value] : values_) {
-      report.set("sim_perf", sanitize(key), value);
-    }
-    return report;
-  }
-
- private:
-  static std::string sanitize(std::string key) {
-    std::replace(key.begin(), key.end(), '/', '_');
-    return key;
-  }
-  void keep_min(const std::string& key, double v) {
-    const auto it = values_.find(key);
-    if (it == values_.end() || v < it->second) values_[key] = v;
-  }
-  std::map<std::string, double> values_;
-};
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Peel off our flag before google-benchmark sees the argument list.
-  std::string metrics_path;
-  std::vector<char*> args;
-  for (int i = 0; i < argc; ++i) {
-    constexpr const char* kFlag = "--metrics-json=";
-    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
-      metrics_path = argv[i] + std::strlen(kFlag);
-    } else {
-      args.push_back(argv[i]);
-    }
-  }
-  int filtered_argc = static_cast<int>(args.size());
-  benchmark::Initialize(&filtered_argc, args.data());
-  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
-    return 1;
-  }
-
-  MetricsReporter reporter;
-  benchmark::RunSpecifiedBenchmarks(&reporter);
-  benchmark::Shutdown();
-
-  if (!metrics_path.empty()) {
-    const util::metrics::Report report = reporter.metrics();
-    if (!util::metrics::write_file(metrics_path, report)) {
-      std::cerr << "sim_perf: failed to write metrics file: " << metrics_path
-                << "\n";
-      return 1;
-    }
-    std::cout << "metrics written: " << metrics_path << " ("
-              << report.cases.size() << " cases)\n";
-  }
-  return 0;
+  return bench::run_benchmark_main(argc, argv, "sim_perf");
 }

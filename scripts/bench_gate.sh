@@ -8,7 +8,9 @@
 #   $ scripts/bench_gate.sh [build-dir] [--update] [--threshold=0.10] [--wall]
 #
 # --wall additionally runs scripts/perf_smoke.sh, the *wall-clock* smoke
-# gate over bench/sim_perf (generous threshold; see that script).
+# gate over the google-benchmark binaries (bench/sim_perf,
+# bench/md_kernels; generous threshold, see that script), and
+# scripts/md_smoke.sh --skip-asan, the cluster-kernel speedup floor.
 set -euo pipefail
 
 BUILD_DIR="build"
@@ -58,4 +60,5 @@ if [[ "$WALL" == 1 ]]; then
   WALL_ARGS=("$BUILD_DIR")
   if [[ "$UPDATE" == 1 ]]; then WALL_ARGS+=(--update); fi
   "$REPO_ROOT/scripts/perf_smoke.sh" "${WALL_ARGS[@]}"
+  "$REPO_ROOT/scripts/md_smoke.sh" "$BUILD_DIR" --skip-asan
 fi

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# MD kernel smoke: exercise the SoA/cluster-pair fast path two ways.
+#
+#  1. Sanitizer pass — configure a HALOSIM_SANITIZE=ON tree (ASan+UBSan)
+#     and run the md + runner test binaries plus a short md_kernels sweep
+#     in it, so the masked/batched kernels (pad slots, gather/scatter
+#     shims, mask expansion) are exercised under the sanitizers.
+#  2. Speedup floor — run md_kernels in the regular (optimized) tree and
+#     assert the derived nb_cluster_speedup_<atoms> metrics stay >= the
+#     floor at the >= 10k-atom sizes. perf_smoke.sh gates absolute wall
+#     times; this asserts the cluster kernel keeps beating the scalar
+#     kernel on the same machine, which is noise-robust.
+#
+#   $ scripts/md_smoke.sh [build-dir] [--asan-dir=build-asan] [--min-speedup=2.0] [--skip-asan]
+set -euo pipefail
+
+BUILD_DIR="build"
+ASAN_DIR="build-asan"
+MIN_SPEEDUP="2.0"
+SKIP_ASAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --asan-dir=*) ASAN_DIR="${arg#--asan-dir=}" ;;
+    --min-speedup=*) MIN_SPEEDUP="${arg#--min-speedup=}" ;;
+    --skip-asan) SKIP_ASAN=1 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+if [[ "$SKIP_ASAN" != 1 ]]; then
+  if [[ ! -d "$ASAN_DIR" ]]; then
+    cmake -B "$ASAN_DIR" -S . -DHALOSIM_SANITIZE=ON > /dev/null
+  fi
+  cmake --build "$ASAN_DIR" -j --target md_tests runner_tests md_kernels \
+    > /dev/null
+  "$ASAN_DIR/tests/md/md_tests" --gtest_brief=1
+  "$ASAN_DIR/tests/runner/runner_tests" --gtest_brief=1
+  # Tiny sweep: the point is sanitizer coverage of the kernels, not timing.
+  "$ASAN_DIR/bench/md_kernels" --benchmark_min_time=0.01 \
+    --benchmark_filter='/3000$' > /dev/null
+  echo "md_smoke: sanitizer pass OK ($ASAN_DIR)"
+fi
+
+BENCH="$BUILD_DIR/bench/md_kernels"
+if [[ ! -x "$BENCH" ]]; then
+  echo "md_smoke: missing $BENCH — build first (cmake --build $BUILD_DIR -j)" >&2
+  exit 2
+fi
+
+OUT="$(mktemp --suffix=.json)"
+trap 'rm -f "$OUT"' EXIT
+"$BENCH" "--metrics-json=$OUT" --benchmark_min_time=0.1 \
+  --benchmark_filter='BM_Nonbonded' > /dev/null
+if [[ ! -s "$OUT" ]]; then
+  echo "md_smoke: FAIL — md_kernels wrote no metrics" >&2
+  exit 1
+fi
+
+python3 - "$OUT" "$MIN_SPEEDUP" <<'EOF'
+import json
+import sys
+
+report = json.load(open(sys.argv[1]))
+floor = float(sys.argv[2])
+metrics = report["cases"]["md_kernels"]
+failed = False
+for atoms in (12000, 48000):
+    key = f"nb_cluster_speedup_{atoms}"
+    speedup = metrics.get(key)
+    if speedup is None:
+        print(f"md_smoke: FAIL — {key} missing from metrics")
+        failed = True
+        continue
+    status = "OK" if speedup >= floor else "FAIL"
+    print(f"md_smoke: {key} = {speedup:.2f}x (floor {floor:.2f}x) {status}")
+    failed = failed or speedup < floor
+sys.exit(1 if failed else 0)
+EOF
+echo "md_smoke: OK"

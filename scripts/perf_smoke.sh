@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# Wall-clock perf smoke: run bench/sim_perf with reduced per-benchmark time,
-# dump bench-metrics-v1 JSON, and diff it against the stored baseline
-# (scripts/baselines/BENCH_sim_perf.json) with a deliberately generous
+# Wall-clock perf smoke: run each google-benchmark binary (bench/sim_perf,
+# bench/md_kernels) with reduced per-benchmark time, dump bench-metrics-v1
+# JSON, and diff it against the stored baseline
+# (scripts/baselines/BENCH_<name>.json) with a deliberately generous
 # threshold — wall time is noisy (shared machines, turbo, cache state), so
 # the gate only catches real regressions (e.g. an accidental O(n) in the
-# engine), not jitter. Refresh the baseline with --update after reviewing.
+# engine, or the cluster kernel losing its SIMD path), not jitter. Only
+# `_ns`/`_us`-suffixed keys are gated; derived ratios (e.g.
+# nb_cluster_speedup_*) are reported by bench_diff but never gated here —
+# scripts/md_smoke.sh asserts the speedup floor. Refresh baselines with
+# --update after reviewing.
 #
 #   $ scripts/perf_smoke.sh [build-dir] [--update] [--threshold=0.75]
 set -euo pipefail
@@ -23,31 +28,36 @@ done
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$REPO_ROOT"
 
-BENCH="$BUILD_DIR/bench/sim_perf"
 DIFF="$BUILD_DIR/tools/bench_diff"
-BASELINE="scripts/baselines/BENCH_sim_perf.json"
-for bin in "$BENCH" "$DIFF"; do
-  if [[ ! -x "$bin" ]]; then
-    echo "perf_smoke: missing $bin — build first (cmake --build $BUILD_DIR -j)" >&2
+BENCHES=(sim_perf md_kernels)
+for name in "${BENCHES[@]}"; do
+  if [[ ! -x "$BUILD_DIR/bench/$name" ]]; then
+    echo "perf_smoke: missing $BUILD_DIR/bench/$name — build first (cmake --build $BUILD_DIR -j)" >&2
     exit 2
   fi
 done
+if [[ ! -x "$DIFF" ]]; then
+  echo "perf_smoke: missing $DIFF — build first (cmake --build $BUILD_DIR -j)" >&2
+  exit 2
+fi
 
 OUT="$(mktemp --suffix=.json)"
 trap 'rm -f "$OUT"' EXIT
-# Short per-benchmark runtime: this is a smoke gate, not a measurement.
-"$BENCH" "--metrics-json=$OUT" --benchmark_min_time=0.05 > /dev/null
-if [[ ! -s "$OUT" ]]; then
-  echo "perf_smoke: FAIL — sim_perf wrote no metrics" >&2
-  exit 1
-fi
-
-if [[ "$UPDATE" == 1 || ! -f "$BASELINE" ]]; then
-  mkdir -p "$(dirname "$BASELINE")"
-  cp "$OUT" "$BASELINE"
-  echo "perf_smoke: baseline written to $BASELINE"
-  exit 0
-fi
-
-"$DIFF" "$BASELINE" "$OUT" "$THRESHOLD"
-echo "perf_smoke: OK"
+for name in "${BENCHES[@]}"; do
+  BASELINE="scripts/baselines/BENCH_${name}.json"
+  # Short per-benchmark runtime: this is a smoke gate, not a measurement.
+  "$BUILD_DIR/bench/$name" "--metrics-json=$OUT" --benchmark_min_time=0.05 \
+    > /dev/null
+  if [[ ! -s "$OUT" ]]; then
+    echo "perf_smoke: FAIL — $name wrote no metrics" >&2
+    exit 1
+  fi
+  if [[ "$UPDATE" == 1 || ! -f "$BASELINE" ]]; then
+    mkdir -p "$(dirname "$BASELINE")"
+    cp "$OUT" "$BASELINE"
+    echo "perf_smoke: baseline written to $BASELINE"
+  else
+    "$DIFF" "$BASELINE" "$OUT" "$THRESHOLD"
+    echo "perf_smoke: $name OK"
+  fi
+done

@@ -57,6 +57,7 @@ md::System Decomposition::gather() const {
   if (std::find(seen.begin(), seen.end(), false) != seen.end()) {
     throw std::runtime_error("gather: lost atoms during decomposition");
   }
+  out.sync_soa();
   return out;
 }
 
@@ -86,16 +87,23 @@ std::vector<RankPairLists> build_pair_lists(
   std::vector<RankPairLists> lists(states.size());
   for (std::size_t r = 0; r < states.size(); ++r) {
     const DomainState& st = states[r];
-    md::ZoneFilter filter;
+    md::ZoneFilter& filter = lists[r].filter;
     for (int d = 0; d < 3; ++d) {
       filter.decomposed[d] = grid.dims().along(d) > 1;
       filter.hi[d] = grid.hi(static_cast<int>(r), d);
     }
-    lists[r].local.build_local(grid.box(), st.x, st.n_home, rlist);
-    lists[r].nonlocal.build_nonlocal(grid.box(), st.x, st.n_home, rlist,
-                                     &filter);
+    lists[r].rebuild(grid.box(), st.x, st.n_home, rlist);
   }
   return lists;
+}
+
+void RankPairLists::rebuild(const md::Box& box,
+                            std::span<const md::Vec3> positions, int n_home,
+                            double rlist) {
+  local.build_local(box, positions, n_home, rlist);
+  nonlocal.build_nonlocal(box, positions, n_home, rlist, &filter);
+  cluster_local.build_local(box, positions, n_home, rlist);
+  cluster_nonlocal.build_nonlocal(box, positions, n_home, rlist, &filter);
 }
 
 }  // namespace hs::dd

@@ -3,9 +3,11 @@
 // correctness oracle for the transport implementations.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "dd/plan.hpp"
+#include "md/cluster_pair_list.hpp"
 #include "md/integrator.hpp"
 #include "md/nonbonded.hpp"
 #include "md/pair_list.hpp"
@@ -51,11 +53,21 @@ class Decomposition {
   int global_atoms_ = 0;
 };
 
-/// Per-rank pair lists for a decomposed step: the local list covers
-/// home-home pairs, the non-local list home-halo pairs.
+/// Per-rank pair lists for a decomposed step: the local lists cover
+/// home-home pairs, the non-local lists home-halo (and corner-rule
+/// halo-halo) pairs. Scalar and cluster flavours describe the same pair
+/// set; the runner picks one per RunConfig::use_cluster_kernels. The
+/// rank's ZoneFilter is kept so drifted lists can be rebuilt in place.
 struct RankPairLists {
   md::PairList local;
   md::PairList nonlocal;
+  md::ClusterPairList cluster_local;
+  md::ClusterPairList cluster_nonlocal;
+  md::ZoneFilter filter;
+
+  /// Rebuild all four lists from the rank's current positions.
+  void rebuild(const md::Box& box, std::span<const md::Vec3> positions,
+               int n_home, double rlist);
 };
 
 /// Build both lists for every rank. `rlist` must equal the plan's

@@ -6,12 +6,14 @@
 
 namespace hs::md {
 
-CellList::CellList(const Box& box, double min_cell_size) : box_(box) {
+void CellList::reset(const Box& box, double min_cell_size) {
   assert(min_cell_size > 0.0);
+  box_ = box;
   for (int d = 0; d < 3; ++d) {
     dims_[d] = std::max(
         1, static_cast<int>(std::floor(box.length(d) / min_cell_size)));
   }
+  // assign() recycles capacity; an unbuilt list reads as all-empty.
   heads_.assign(static_cast<std::size_t>(num_cells()), -1);
 }
 

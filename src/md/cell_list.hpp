@@ -1,4 +1,9 @@
 // Uniform-grid cell list for O(N) neighbour searching under PBC.
+//
+// The object is reusable: `reset()` + `build()` recycle the bin storage
+// from the previous build (PairList / ClusterPairList keep CellList
+// members alive across rebuilds, so steady-state list builds allocate
+// nothing once the vectors have reached their high-water mark).
 #pragma once
 
 #include <span>
@@ -10,9 +15,15 @@ namespace hs::md {
 
 class CellList {
  public:
+  CellList() = default;
+
   /// Cells are at least `min_cell_size` wide so a radius-r query with
   /// r <= min_cell_size only needs the 27-cell stencil.
-  CellList(const Box& box, double min_cell_size);
+  CellList(const Box& box, double min_cell_size) { reset(box, min_cell_size); }
+
+  /// Re-dimension for a (possibly different) box / cell size, recycling
+  /// the per-cell storage of the previous build.
+  void reset(const Box& box, double min_cell_size);
 
   /// Bin the given positions (wrapped into the box for binning; indices
   /// refer to the input span).
@@ -21,32 +32,54 @@ class CellList {
   int cells_per_dim(int d) const { return dims_[d]; }
   int num_cells() const { return dims_[0] * dims_[1] * dims_[2]; }
 
+  /// Flat cell index a position bins into.
+  int cell_index(const Vec3& p) const {
+    const Vec3 w = box_.wrap(p);
+    int c[3];
+    cell_of(w, c);
+    return (c[0] * dims_[1] + c[1]) * dims_[2] + c[2];
+  }
+
+  /// First binned atom of a cell (-1 when empty) / next atom in the same
+  /// cell (-1 at the end) — the classic linked-cell chain.
+  int head(int cell) const { return heads_[static_cast<std::size_t>(cell)]; }
+  int next(int atom) const { return next_[static_cast<std::size_t>(atom)]; }
+
+  /// Invoke fn(cell) for every distinct cell of the 27-cell stencil
+  /// around `cell` (includes `cell` itself). With fewer than 3 cells per
+  /// dim the stencil wraps onto the same cell more than once; each
+  /// distinct cell is visited exactly once.
+  template <typename Fn>
+  void for_each_stencil_cell(int cell, Fn&& fn) const {
+    int c[3];
+    c[0] = cell / (dims_[1] * dims_[2]);
+    c[1] = (cell / dims_[2]) % dims_[1];
+    c[2] = cell % dims_[2];
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dz = -1; dz <= 1; ++dz) {
+          if ((dims_[0] == 1 && dx != 0) || (dims_[0] == 2 && dx == 1)) continue;
+          if ((dims_[1] == 1 && dy != 0) || (dims_[1] == 2 && dy == 1)) continue;
+          if ((dims_[2] == 1 && dz != 0) || (dims_[2] == 2 && dz == 1)) continue;
+          const int cx = mod(c[0] + dx, dims_[0]);
+          const int cy = mod(c[1] + dy, dims_[1]);
+          const int cz = mod(c[2] + dz, dims_[2]);
+          fn((cx * dims_[1] + cy) * dims_[2] + cz);
+        }
+      }
+    }
+  }
+
   /// Invoke fn(j) for every binned atom in the 27-cell stencil around
   /// position p (includes p's own cell; caller filters distances/self).
   template <typename Fn>
   void for_each_candidate(const Vec3& p, Fn&& fn) const {
-    const Vec3 w = box_.wrap(p);
-    int c[3];
-    cell_of(w, c);
-    for (int dx = -1; dx <= 1; ++dx) {
-      for (int dy = -1; dy <= 1; ++dy) {
-        for (int dz = -1; dz <= 1; ++dz) {
-          const int cx = mod(c[0] + dx, dims_[0]);
-          const int cy = mod(c[1] + dy, dims_[1]);
-          const int cz = mod(c[2] + dz, dims_[2]);
-          // With fewer than 3 cells per dim the stencil wraps onto the same
-          // cell more than once; visit each distinct cell exactly once.
-          if ((dims_[0] == 1 && dx != 0) || (dims_[0] == 2 && dx == 1)) continue;
-          if ((dims_[1] == 1 && dy != 0) || (dims_[1] == 2 && dy == 1)) continue;
-          if ((dims_[2] == 1 && dz != 0) || (dims_[2] == 2 && dz == 1)) continue;
-          const int cell = (cx * dims_[1] + cy) * dims_[2] + cz;
-          for (int k = heads_[static_cast<std::size_t>(cell)]; k >= 0;
-               k = next_[static_cast<std::size_t>(k)]) {
-            fn(k);
-          }
-        }
+    for_each_stencil_cell(cell_index(p), [&](int cell) {
+      for (int k = heads_[static_cast<std::size_t>(cell)]; k >= 0;
+           k = next_[static_cast<std::size_t>(k)]) {
+        fn(k);
       }
-    }
+    });
   }
 
  private:
@@ -54,7 +87,7 @@ class CellList {
   void cell_of(const Vec3& wrapped, int out[3]) const;
 
   Box box_;
-  int dims_[3];
+  int dims_[3] = {1, 1, 1};
   std::vector<int> heads_;  // per cell: first atom index or -1
   std::vector<int> next_;   // per atom: next atom in the same cell or -1
 };

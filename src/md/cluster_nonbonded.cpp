@@ -1,0 +1,323 @@
+#include "md/cluster_nonbonded.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace hs::md {
+
+namespace {
+constexpr int kC = ClusterPairList::kClusterSize;
+
+#if defined(__SSE2__)
+inline float hsum(__m128 v) {
+  __m128 s = _mm_add_ps(v, _mm_movehl_ps(v, v));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+  return _mm_cvtss_f32(s);
+}
+#endif
+
+/// Branchless wrap of one component into [0, l). The bias makes the
+/// int-cast truncate like floor for any v > -8l, which covers every
+/// stored coordinate (halo image shifts are at most one box length).
+inline float wrap1(float v, float l, float inv_l) {
+  const float q = v * inv_l + 8.0f;
+  float w = v - l * (static_cast<float>(static_cast<int>(q)) - 8.0f);
+  w = w < 0.0f ? w + l : w;
+  w = w >= l ? w - l : w;
+  return w;
+}
+}  // namespace
+
+NbParamTable::NbParamTable(const ForceField& ff)
+    : ntypes_(ff.num_types()),
+      cutoff2_(static_cast<float>(ff.cutoff2())),
+      krf_(static_cast<float>(ff.krf())),
+      crf_(static_cast<float>(ff.crf())) {
+  table_.resize(static_cast<std::size_t>(ntypes_ * ntypes_));
+  for (int ti = 0; ti < ntypes_; ++ti) {
+    for (int tj = 0; tj < ntypes_; ++tj) {
+      const PairParams& p = ff.pair_params(ti, tj);
+      TypePair& out = table_[static_cast<std::size_t>(ti * ntypes_ + tj)];
+      out.c6 = static_cast<float>(p.c6);
+      out.c12 = static_cast<float>(p.c12);
+      out.qq = static_cast<float>(kCoulombFactor * ff.type(ti).charge *
+                                  ff.type(tj).charge);
+    }
+  }
+}
+
+Energies compute_nonbonded_clusters(const Box& box, const NbParamTable& params,
+                                    const ClusterPairList& list,
+                                    std::span<const Vec3> positions,
+                                    std::span<const int> types,
+                                    std::span<Vec3> forces, NbWorkspace& ws) {
+  assert(forces.size() == positions.size());
+  assert(types.size() == positions.size());
+  Energies e;
+  if (list.num_clusters() == 0) return e;
+
+  const float lx = box.length(0), ly = box.length(1), lz = box.length(2);
+  const float inv_lx = 1.0f / lx, inv_ly = 1.0f / ly, inv_lz = 1.0f / lz;
+  const float hlx = 0.5f * lx, hly = 0.5f * ly, hlz = 0.5f * lz;
+
+  // Stage cluster-ordered coordinates, wrapped into [0, L) per component
+  // once per slot. With every staged coordinate wrapped, the per-pair
+  // minimum image reduces to one branchless half-box select per
+  // component — no rounding call in the hot loop.
+  const std::span<const std::int32_t> gather = list.gather_atoms();
+  ws.xc.resize(gather.size());
+  ws.fc.assign_zero(gather.size());
+  ws.tc.resize(gather.size());
+  for (std::size_t k = 0; k < gather.size(); ++k) {
+    const Vec3& p = positions[static_cast<std::size_t>(gather[k])];
+    ws.xc.x[k] = wrap1(p.x, lx, inv_lx);
+    ws.xc.y[k] = wrap1(p.y, ly, inv_ly);
+    ws.xc.z[k] = wrap1(p.z, lz, inv_lz);
+    ws.tc[k] = types[static_cast<std::size_t>(gather[k])];
+  }
+
+  const float rc2 = params.cutoff2();
+  const float krf = params.krf();
+  const float crf = params.crf();
+
+  double e_lj = 0.0, e_coul = 0.0;
+  const std::span<const ClusterPairList::JEntry> jents = list.j_entries();
+
+#if defined(__SSE2__)
+  // 4xM lane blocks as SSE vectors: each i slot against its four j slots
+  // at once. divps/sqrtps are IEEE-exact, so the SIMD and portable paths
+  // differ only in summation order (covered by the documented kernel
+  // tolerance, not bit-exactness, versus the reference path).
+  //
+  // Nibble -> lane-mask LUT: one aligned 16-byte load per i row replaces
+  // a scalar mask expansion (and its store-forward stall) per entry.
+  alignas(16) static constexpr float kRowMask[16][4] = {
+      {0, 0, 0, 0}, {1, 0, 0, 0}, {0, 1, 0, 0}, {1, 1, 0, 0},
+      {0, 0, 1, 0}, {1, 0, 1, 0}, {0, 1, 1, 0}, {1, 1, 1, 0},
+      {0, 0, 0, 1}, {1, 0, 0, 1}, {0, 1, 0, 1}, {1, 1, 0, 1},
+      {0, 0, 1, 1}, {1, 0, 1, 1}, {0, 1, 1, 1}, {1, 1, 1, 1}};
+
+  const __m128 lxv = _mm_set1_ps(lx), lyv = _mm_set1_ps(ly),
+               lzv = _mm_set1_ps(lz);
+  const __m128 hlxv = _mm_set1_ps(hlx), hlyv = _mm_set1_ps(hly),
+               hlzv = _mm_set1_ps(hlz);
+  const __m128 nhlxv = _mm_set1_ps(-hlx), nhlyv = _mm_set1_ps(-hly),
+               nhlzv = _mm_set1_ps(-hlz);
+  const __m128 rc2v = _mm_set1_ps(rc2), onev = _mm_set1_ps(1.0f);
+  const __m128 krfv = _mm_set1_ps(krf), crfv = _mm_set1_ps(crf);
+  const __m128 two_krfv = _mm_set1_ps(2.0f * krf);
+  const __m128 twelvev = _mm_set1_ps(12.0f), sixv = _mm_set1_ps(6.0f);
+  const __m128 zerov = _mm_setzero_ps();
+
+  for (const ClusterPairList::IEntry& ie : list.i_entries()) {
+    const std::size_t ib = static_cast<std::size_t>(ie.ci) * kC;
+    float xi[kC], yi[kC], zi[kC];
+    int ti[kC];
+    for (int s = 0; s < kC; ++s) {
+      xi[s] = ws.xc.x[ib + s];
+      yi[s] = ws.xc.y[ib + s];
+      zi[s] = ws.xc.z[ib + s];
+      ti[s] = ws.tc[ib + s];
+    }
+    // Per-i-slot vector force accumulators, horizontally summed once per
+    // i entry (not per j entry) — amortizes the shuffle-heavy reduction
+    // over every j entry of the row.
+    __m128 fixv[kC], fiyv[kC], fizv[kC];
+    for (int s = 0; s < kC; ++s) fixv[s] = fiyv[s] = fizv[s] = zerov;
+    // Per-i-entry float energy partials; the cross-entry accumulation
+    // stays double (the GROMACS GPU-kernel precision split).
+    __m128 eljv = zerov, ecoulv = zerov;
+
+    for (std::int32_t en = ie.j_begin; en < ie.j_end; ++en) {
+      const ClusterPairList::JEntry& je = jents[static_cast<std::size_t>(en)];
+      const std::size_t jb = static_cast<std::size_t>(je.cj) * kC;
+      const __m128 xjv = _mm_loadu_ps(ws.xc.x.data() + jb);
+      const __m128 yjv = _mm_loadu_ps(ws.xc.y.data() + jb);
+      const __m128 zjv = _mm_loadu_ps(ws.xc.z.data() + jb);
+      const std::int32_t* tj = ws.tc.data() + jb;
+      __m128 fjxv = zerov, fjyv = zerov, fjzv = zerov;
+
+      for (int ii = 0; ii < kC; ++ii) {
+        const unsigned nib = (je.mask >> (ii * kC)) & 0xFu;
+        // All-masked rows (pad i slots, the empty diagonal row of a
+        // self entry) would only add exact +/-0 — skip them. Bit-neutral
+        // and well-predicted.
+        if (nib == 0) continue;
+        // Per-type-pair parameters via register inserts (tiny table,
+        // L1-resident; _mm_setr_ps avoids store-forward stalls).
+        const NbParamTable::TypePair* trow = params.row(ti[ii]);
+        const NbParamTable::TypePair& p0 = trow[tj[0]];
+        const NbParamTable::TypePair& p1 = trow[tj[1]];
+        const NbParamTable::TypePair& p2 = trow[tj[2]];
+        const NbParamTable::TypePair& p3 = trow[tj[3]];
+        const __m128 c6 = _mm_setr_ps(p0.c6, p1.c6, p2.c6, p3.c6);
+        const __m128 c12 = _mm_setr_ps(p0.c12, p1.c12, p2.c12, p3.c12);
+        const __m128 qq = _mm_setr_ps(p0.qq, p1.qq, p2.qq, p3.qq);
+        const __m128 wmv = _mm_load_ps(kRowMask[nib]);
+
+        // Minimum image on wrapped coordinates: one half-box select per
+        // component (dx is in (-L, L) by construction).
+        __m128 dx = _mm_sub_ps(_mm_set1_ps(xi[ii]), xjv);
+        __m128 dy = _mm_sub_ps(_mm_set1_ps(yi[ii]), yjv);
+        __m128 dz = _mm_sub_ps(_mm_set1_ps(zi[ii]), zjv);
+        dx = _mm_add_ps(dx, _mm_and_ps(_mm_cmplt_ps(dx, nhlxv), lxv));
+        dx = _mm_sub_ps(dx, _mm_and_ps(_mm_cmpgt_ps(dx, hlxv), lxv));
+        dy = _mm_add_ps(dy, _mm_and_ps(_mm_cmplt_ps(dy, nhlyv), lyv));
+        dy = _mm_sub_ps(dy, _mm_and_ps(_mm_cmpgt_ps(dy, hlyv), lyv));
+        dz = _mm_add_ps(dz, _mm_and_ps(_mm_cmplt_ps(dz, nhlzv), lzv));
+        dz = _mm_sub_ps(dz, _mm_and_ps(_mm_cmpgt_ps(dz, hlzv), lzv));
+        const __m128 r2 =
+            _mm_add_ps(_mm_add_ps(_mm_mul_ps(dx, dx), _mm_mul_ps(dy, dy)),
+                       _mm_mul_ps(dz, dz));
+
+        // Branch-free masking: in-range lanes select the stored mask bit;
+        // the safe denominator keeps excluded lanes finite so every
+        // w * term is exactly +/-0.
+        const __m128 in =
+            _mm_and_ps(_mm_cmple_ps(r2, rc2v), _mm_cmpneq_ps(r2, zerov));
+        const __m128 w = _mm_and_ps(in, wmv);
+        const __m128 r2s =
+            _mm_or_ps(_mm_and_ps(in, r2), _mm_andnot_ps(in, onev));
+
+        const __m128 rinv2 = _mm_div_ps(onev, r2s);
+        const __m128 rinv6 = _mm_mul_ps(_mm_mul_ps(rinv2, rinv2), rinv2);
+        const __m128 rinv = _mm_sqrt_ps(rinv2);
+        const __m128 rinv12 = _mm_mul_ps(rinv6, rinv6);
+        const __m128 elj =
+            _mm_sub_ps(_mm_mul_ps(c12, rinv12), _mm_mul_ps(c6, rinv6));
+        const __m128 flj = _mm_mul_ps(
+            _mm_sub_ps(_mm_mul_ps(twelvev, _mm_mul_ps(c12, rinv12)),
+                       _mm_mul_ps(sixv, _mm_mul_ps(c6, rinv6))),
+            rinv2);
+        const __m128 vqq = _mm_mul_ps(
+            qq, _mm_sub_ps(_mm_add_ps(rinv, _mm_mul_ps(krfv, r2s)), crfv));
+        const __m128 fqq =
+            _mm_mul_ps(qq, _mm_sub_ps(_mm_mul_ps(rinv, rinv2), two_krfv));
+        const __m128 fscale = _mm_mul_ps(w, _mm_add_ps(flj, fqq));
+
+        const __m128 fxv = _mm_mul_ps(fscale, dx);
+        const __m128 fyv = _mm_mul_ps(fscale, dy);
+        const __m128 fzv = _mm_mul_ps(fscale, dz);
+        fixv[ii] = _mm_add_ps(fixv[ii], fxv);
+        fiyv[ii] = _mm_add_ps(fiyv[ii], fyv);
+        fizv[ii] = _mm_add_ps(fizv[ii], fzv);
+        fjxv = _mm_sub_ps(fjxv, fxv);
+        fjyv = _mm_sub_ps(fjyv, fyv);
+        fjzv = _mm_sub_ps(fjzv, fzv);
+        eljv = _mm_add_ps(eljv, _mm_mul_ps(w, elj));
+        ecoulv = _mm_add_ps(ecoulv, _mm_mul_ps(w, vqq));
+      }
+
+      float* fcx = ws.fc.x.data() + jb;
+      float* fcy = ws.fc.y.data() + jb;
+      float* fcz = ws.fc.z.data() + jb;
+      _mm_storeu_ps(fcx, _mm_add_ps(_mm_loadu_ps(fcx), fjxv));
+      _mm_storeu_ps(fcy, _mm_add_ps(_mm_loadu_ps(fcy), fjyv));
+      _mm_storeu_ps(fcz, _mm_add_ps(_mm_loadu_ps(fcz), fjzv));
+    }
+
+    for (int s = 0; s < kC; ++s) {
+      ws.fc.x[ib + s] += hsum(fixv[s]);
+      ws.fc.y[ib + s] += hsum(fiyv[s]);
+      ws.fc.z[ib + s] += hsum(fizv[s]);
+    }
+    e_lj += static_cast<double>(hsum(eljv));
+    e_coul += static_cast<double>(hsum(ecoulv));
+  }
+#else
+  // Portable fallback: same masking/minimum-image scheme, scalar lanes.
+  for (const ClusterPairList::IEntry& ie : list.i_entries()) {
+    const std::size_t ib = static_cast<std::size_t>(ie.ci) * kC;
+    float xi[kC], yi[kC], zi[kC];
+    int ti[kC];
+    float fix[kC] = {}, fiy[kC] = {}, fiz[kC] = {};
+    for (int s = 0; s < kC; ++s) {
+      xi[s] = ws.xc.x[ib + s];
+      yi[s] = ws.xc.y[ib + s];
+      zi[s] = ws.xc.z[ib + s];
+      ti[s] = ws.tc[ib + s];
+    }
+
+    for (std::int32_t en = ie.j_begin; en < ie.j_end; ++en) {
+      const ClusterPairList::JEntry& je = jents[static_cast<std::size_t>(en)];
+      const std::size_t jb = static_cast<std::size_t>(je.cj) * kC;
+      const float* xj = ws.xc.x.data() + jb;
+      const float* yj = ws.xc.y.data() + jb;
+      const float* zj = ws.xc.z.data() + jb;
+      float fjx[kC] = {}, fjy[kC] = {}, fjz[kC] = {};
+      // Per-entry float energy partials; the cross-entry accumulation
+      // stays double (the GROMACS GPU-kernel precision split).
+      float elj_e = 0.0f, ecoul_e = 0.0f;
+
+      for (int ii = 0; ii < kC; ++ii) {
+        const NbParamTable::TypePair* trow = params.row(ti[ii]);
+        const float xii = xi[ii], yii = yi[ii], zii = zi[ii];
+        const unsigned row_mask = (je.mask >> (ii * kC)) & 0xFu;
+        for (int jj = 0; jj < kC; ++jj) {
+          // Minimum image on wrapped coordinates: one half-box select
+          // per component (dx is in (-L, L) by construction).
+          float dx = xii - xj[jj];
+          float dy = yii - yj[jj];
+          float dz = zii - zj[jj];
+          dx += (dx < -hlx ? lx : 0.0f) - (dx > hlx ? lx : 0.0f);
+          dy += (dy < -hly ? ly : 0.0f) - (dy > hly ? ly : 0.0f);
+          dz += (dz < -hlz ? lz : 0.0f) - (dz > hlz ? lz : 0.0f);
+          const float r2 = dx * dx + dy * dy + dz * dz;
+
+          // Branch-free masking, mirroring the SIMD path.
+          const bool in = (r2 <= rc2) & (r2 != 0.0f);
+          const float w = in && ((row_mask >> jj) & 1u) ? 1.0f : 0.0f;
+          const float r2s = in ? r2 : 1.0f;
+
+          const NbParamTable::TypePair& tp =
+              trow[ws.tc[jb + static_cast<std::size_t>(jj)]];
+          const float rinv2 = 1.0f / r2s;
+          const float rinv6 = rinv2 * rinv2 * rinv2;
+          const float rinv = std::sqrt(rinv2);
+          const float elj = tp.c12 * rinv6 * rinv6 - tp.c6 * rinv6;
+          const float flj =
+              (12.0f * tp.c12 * rinv6 * rinv6 - 6.0f * tp.c6 * rinv6) *
+              rinv2;
+          const float vqq = tp.qq * (rinv + krf * r2s - crf);
+          const float fqq = tp.qq * (rinv * rinv2 - 2.0f * krf);
+          const float fscale = w * (flj + fqq);
+
+          fix[ii] += fscale * dx;
+          fiy[ii] += fscale * dy;
+          fiz[ii] += fscale * dz;
+          fjx[jj] -= fscale * dx;
+          fjy[jj] -= fscale * dy;
+          fjz[jj] -= fscale * dz;
+          elj_e += w * elj;
+          ecoul_e += w * vqq;
+        }
+      }
+
+      e_lj += static_cast<double>(elj_e);
+      e_coul += static_cast<double>(ecoul_e);
+      for (int s = 0; s < kC; ++s) {
+        ws.fc.x[jb + s] += fjx[s];
+        ws.fc.y[jb + s] += fjy[s];
+        ws.fc.z[jb + s] += fjz[s];
+      }
+    }
+
+    for (int s = 0; s < kC; ++s) {
+      ws.fc.x[ib + s] += fix[s];
+      ws.fc.y[ib + s] += fiy[s];
+      ws.fc.z[ib + s] += fiz[s];
+    }
+  }
+#endif
+
+  ws.fc.scatter_add_indexed(forces, list.cluster_atoms());
+  e.lj = e_lj;
+  e.coulomb = e_coul;
+  return e;
+}
+
+}  // namespace hs::md

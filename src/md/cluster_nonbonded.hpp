@@ -1,0 +1,78 @@
+// Batched cluster-pair nonbonded kernel (the NxM fast path).
+//
+// Evaluates one i-cluster against its j-cluster entries over SoA
+// coordinates, with:
+//  * a precomputed per-type-pair parameter table (c6, c12, f*qi*qj) — no
+//    per-pair ForceField::pair_params / evaluate indirection;
+//  * branch-free cutoff masking: every slot pair of an entry is computed
+//    and multiplied by a {0,1} weight combining the stored interaction
+//    mask with the runtime cutoff check (pad slots and buffer-shell pairs
+//    contribute exactly +/-0.0);
+//  * float pair arithmetic (the GROMACS GPU kernels' precision) with
+//    double-precision energy accumulation preserved.
+//
+// The scalar compute_nonbonded() path remains the reference oracle;
+// equivalence is tolerance-checked by tests (see DESIGN.md for the
+// determinism statement: a fixed list gives bit-stable results, cluster
+// vs scalar agreement is tolerance-based).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "md/box.hpp"
+#include "md/cluster_pair_list.hpp"
+#include "md/forcefield.hpp"
+#include "md/nonbonded.hpp"
+#include "md/soa.hpp"
+
+namespace hs::md {
+
+/// Flattened force-field constants for the batched kernel: one
+/// (c6, c12, qq) triple per ordered type pair, qq = f * q_i * q_j.
+class NbParamTable {
+ public:
+  struct TypePair {
+    float c6 = 0.0f;
+    float c12 = 0.0f;
+    float qq = 0.0f;
+  };
+
+  explicit NbParamTable(const ForceField& ff);
+
+  int num_types() const { return ntypes_; }
+  const TypePair* row(int ti) const {
+    return table_.data() + static_cast<std::size_t>(ti * ntypes_);
+  }
+  float cutoff2() const { return cutoff2_; }
+  float krf() const { return krf_; }
+  float crf() const { return crf_; }
+
+ private:
+  int ntypes_;
+  std::vector<TypePair> table_;
+  float cutoff2_;
+  float krf_;
+  float crf_;
+};
+
+/// Reusable SoA staging buffers (cluster-ordered coordinates, force
+/// accumulators, type indices). Keep one per call site so steady-state
+/// kernel invocations allocate nothing.
+struct NbWorkspace {
+  SoaVecs xc;                   // cluster-ordered coordinates
+  SoaVecs fc;                   // cluster-ordered force accumulators
+  std::vector<std::int32_t> tc; // cluster-ordered type indices
+};
+
+/// Cluster-pair counterpart of compute_nonbonded(): accumulate forces for
+/// all masked pairs of `list` within the force-field cutoff; returns the
+/// pair energies (double accumulation). Forces obey Newton's third law
+/// within the kernel, exactly as the scalar path.
+Energies compute_nonbonded_clusters(const Box& box, const NbParamTable& params,
+                                    const ClusterPairList& list,
+                                    std::span<const Vec3> positions,
+                                    std::span<const int> types,
+                                    std::span<Vec3> forces, NbWorkspace& ws);
+
+}  // namespace hs::md

@@ -1,0 +1,256 @@
+#include "md/cluster_pair_list.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hs::md {
+
+namespace {
+constexpr int kC = ClusterPairList::kClusterSize;
+
+int popcount16(std::uint16_t m) {
+  int n = 0;
+  while (m != 0) {
+    m &= static_cast<std::uint16_t>(m - 1);
+    ++n;
+  }
+  return n;
+}
+}  // namespace
+
+void ClusterPairList::clear_build(double rlist) {
+  rlist_ = rlist;
+  // clear() keeps capacity: steady-state rebuilds reuse the previous
+  // build's high-water storage (plus an explicit reserve for the first
+  // build after a size jump).
+  const std::size_t prev_j = j_entries_.size();
+  const std::size_t prev_i = i_entries_.size();
+  atoms_.clear();
+  gather_atoms_.clear();
+  cluster_cell_.clear();
+  i_entries_.clear();
+  j_entries_.clear();
+  i_entries_.reserve(prev_i);
+  j_entries_.reserve(prev_j);
+  num_clusters_ = 0;
+  pair_count_ = 0;
+}
+
+void ClusterPairList::clusterize(CellList& cells, const Box& box,
+                                 std::span<const Vec3> positions,
+                                 int range_begin, int range_end, double rlist,
+                                 std::vector<std::int32_t>& cell_begin) {
+  cells.reset(box, rlist);
+  cells.build(positions.subspan(static_cast<std::size_t>(range_begin),
+                                static_cast<std::size_t>(range_end -
+                                                         range_begin)));
+  const int ncells = cells.num_cells();
+  cell_begin.assign(static_cast<std::size_t>(ncells) + 1, 0);
+  for (int c = 0; c < ncells; ++c) {
+    cell_begin[static_cast<std::size_t>(c)] = num_clusters_;
+    scratch_.clear();
+    for (int k = cells.head(c); k >= 0; k = cells.next(k)) {
+      scratch_.push_back(range_begin + k);
+    }
+    for (std::size_t at = 0; at < scratch_.size(); at += kC) {
+      const std::size_t take = std::min<std::size_t>(kC, scratch_.size() - at);
+      for (std::size_t s = 0; s < kC; ++s) {
+        const std::int32_t a = s < take ? scratch_[at + s] : -1;
+        atoms_.push_back(a);
+        gather_atoms_.push_back(a >= 0 ? a : scratch_[at]);
+      }
+      cluster_cell_.push_back(c);
+      ++num_clusters_;
+    }
+  }
+  cell_begin[static_cast<std::size_t>(ncells)] = num_clusters_;
+}
+
+void ClusterPairList::finish_i_entry(std::int32_t ci, std::int32_t j_begin) {
+  const auto j_end = static_cast<std::int32_t>(j_entries_.size());
+  if (j_end > j_begin) i_entries_.push_back({ci, j_begin, j_end});
+}
+
+void ClusterPairList::build_local(const Box& box,
+                                  std::span<const Vec3> positions, int n_home,
+                                  double rlist) {
+  assert(n_home >= 0 && static_cast<std::size_t>(n_home) <= positions.size());
+  clear_build(rlist);
+  clusterize(cells_, box, positions, 0, n_home, rlist, cell_begin_);
+
+  const float r2 = static_cast<float>(rlist * rlist);
+  for (std::int32_t ci = 0; ci < num_clusters_; ++ci) {
+    const auto j_begin = static_cast<std::int32_t>(j_entries_.size());
+    cells_.for_each_stencil_cell(
+        cluster_cell_[static_cast<std::size_t>(ci)], [&](int cell) {
+          const std::int32_t lo = cell_begin_[static_cast<std::size_t>(cell)];
+          const std::int32_t hi =
+              cell_begin_[static_cast<std::size_t>(cell) + 1];
+          for (std::int32_t cj = std::max(lo, ci); cj < hi; ++cj) {
+            std::uint16_t mask = 0;
+            for (int ii = 0; ii < kC; ++ii) {
+              const std::int32_t i = atoms_[static_cast<std::size_t>(
+                  ci * kC + ii)];
+              if (i < 0) break;  // pads are trailing
+              const int jj0 = ci == cj ? ii + 1 : 0;
+              for (int jj = jj0; jj < kC; ++jj) {
+                const std::int32_t j = atoms_[static_cast<std::size_t>(
+                    cj * kC + jj)];
+                if (j < 0) break;
+                if (box.distance2(positions[static_cast<std::size_t>(i)],
+                                  positions[static_cast<std::size_t>(j)]) <=
+                    r2) {
+                  mask |= static_cast<std::uint16_t>(1u << (ii * kC + jj));
+                }
+              }
+            }
+            if (mask != 0) {
+              j_entries_.push_back({cj, mask});
+              pair_count_ += static_cast<std::size_t>(popcount16(mask));
+            }
+          }
+        });
+    finish_i_entry(ci, j_begin);
+  }
+}
+
+void ClusterPairList::build_nonlocal(const Box& box,
+                                     std::span<const Vec3> positions,
+                                     int n_home, double rlist,
+                                     const ZoneFilter* filter) {
+  assert(n_home >= 0 && static_cast<std::size_t>(n_home) <= positions.size());
+  clear_build(rlist);
+  const int n_total = static_cast<int>(positions.size());
+  if (n_total == n_home) return;
+
+  clusterize(cells_, box, positions, 0, n_home, rlist, cell_begin_);
+  const std::int32_t halo_first = num_clusters_;
+  clusterize(halo_cells_, box, positions, n_home, n_total, rlist,
+             halo_cell_begin_);
+  // Same box, same minimum cell width => identical grids, so a home
+  // cluster's cell id addresses the matching halo-grid cell directly.
+  for (int d = 0; d < 3; ++d) {
+    assert(cells_.cells_per_dim(d) == halo_cells_.cells_per_dim(d));
+  }
+
+  const float r2 = static_cast<float>(rlist * rlist);
+
+  // Home-halo entries: i over home clusters, j over halo clusters.
+  for (std::int32_t ci = 0; ci < halo_first; ++ci) {
+    const auto j_begin = static_cast<std::int32_t>(j_entries_.size());
+    halo_cells_.for_each_stencil_cell(
+        cluster_cell_[static_cast<std::size_t>(ci)], [&](int cell) {
+          const std::int32_t lo =
+              halo_cell_begin_[static_cast<std::size_t>(cell)];
+          const std::int32_t hi =
+              halo_cell_begin_[static_cast<std::size_t>(cell) + 1];
+          for (std::int32_t cj = lo; cj < hi; ++cj) {
+            std::uint16_t mask = 0;
+            for (int ii = 0; ii < kC; ++ii) {
+              const std::int32_t i =
+                  atoms_[static_cast<std::size_t>(ci * kC + ii)];
+              if (i < 0) break;
+              for (int jj = 0; jj < kC; ++jj) {
+                const std::int32_t j =
+                    atoms_[static_cast<std::size_t>(cj * kC + jj)];
+                if (j < 0) break;
+                if (box.distance2(positions[static_cast<std::size_t>(i)],
+                                  positions[static_cast<std::size_t>(j)]) <=
+                    r2) {
+                  mask |= static_cast<std::uint16_t>(1u << (ii * kC + jj));
+                }
+              }
+            }
+            if (mask != 0) {
+              j_entries_.push_back({cj, mask});
+              pair_count_ += static_cast<std::size_t>(popcount16(mask));
+            }
+          }
+        });
+    finish_i_entry(ci, j_begin);
+  }
+
+  // Halo-halo entries assigned to this rank by the corner rule.
+  if (filter == nullptr) return;
+  for (std::int32_t ci = halo_first; ci < num_clusters_; ++ci) {
+    const auto j_begin = static_cast<std::int32_t>(j_entries_.size());
+    halo_cells_.for_each_stencil_cell(
+        cluster_cell_[static_cast<std::size_t>(ci)], [&](int cell) {
+          const std::int32_t lo =
+              halo_cell_begin_[static_cast<std::size_t>(cell)];
+          const std::int32_t hi =
+              halo_cell_begin_[static_cast<std::size_t>(cell) + 1];
+          for (std::int32_t cj = std::max(lo, ci); cj < hi; ++cj) {
+            std::uint16_t mask = 0;
+            for (int ii = 0; ii < kC; ++ii) {
+              const std::int32_t i =
+                  atoms_[static_cast<std::size_t>(ci * kC + ii)];
+              if (i < 0) break;
+              const int jj0 = ci == cj ? ii + 1 : 0;
+              for (int jj = jj0; jj < kC; ++jj) {
+                const std::int32_t j =
+                    atoms_[static_cast<std::size_t>(cj * kC + jj)];
+                if (j < 0) break;
+                const Vec3& a = positions[static_cast<std::size_t>(i)];
+                const Vec3& b = positions[static_cast<std::size_t>(j)];
+                if (box.distance2(a, b) <= r2 && filter->corner_is_mine(a, b)) {
+                  mask |= static_cast<std::uint16_t>(1u << (ii * kC + jj));
+                }
+              }
+            }
+            if (mask != 0) {
+              j_entries_.push_back({cj, mask});
+              pair_count_ += static_cast<std::size_t>(popcount16(mask));
+            }
+          }
+        });
+    finish_i_entry(ci, j_begin);
+  }
+}
+
+std::size_t ClusterPairList::prune(const Box& box,
+                                   std::span<const Vec3> positions,
+                                   double r_prune) {
+  assert(r_prune <= rlist_);
+  const float r2 = static_cast<float>(r_prune * r_prune);
+  std::size_t removed = 0;
+  std::vector<IEntry> kept_i;
+  std::vector<JEntry> kept_j;
+  kept_i.reserve(i_entries_.size());
+  kept_j.reserve(j_entries_.size());
+  for (const IEntry& ie : i_entries_) {
+    const auto j_begin = static_cast<std::int32_t>(kept_j.size());
+    for (std::int32_t e = ie.j_begin; e < ie.j_end; ++e) {
+      const JEntry& je = j_entries_[static_cast<std::size_t>(e)];
+      bool any_near = false;
+      for (int ii = 0; ii < kC && !any_near; ++ii) {
+        const std::int32_t i =
+            atoms_[static_cast<std::size_t>(ie.ci * kC + ii)];
+        if (i < 0) break;
+        for (int jj = 0; jj < kC; ++jj) {
+          if (((je.mask >> (ii * kC + jj)) & 1u) == 0) continue;
+          const std::int32_t j =
+              atoms_[static_cast<std::size_t>(je.cj * kC + jj)];
+          if (box.distance2(positions[static_cast<std::size_t>(i)],
+                            positions[static_cast<std::size_t>(j)]) <= r2) {
+            any_near = true;
+            break;
+          }
+        }
+      }
+      if (any_near) {
+        kept_j.push_back(je);
+      } else {
+        removed += static_cast<std::size_t>(popcount16(je.mask));
+      }
+    }
+    const auto j_end = static_cast<std::int32_t>(kept_j.size());
+    if (j_end > j_begin) kept_i.push_back({ie.ci, j_begin, j_end});
+  }
+  i_entries_ = std::move(kept_i);
+  j_entries_ = std::move(kept_j);
+  pair_count_ -= removed;
+  return removed;
+}
+
+}  // namespace hs::md

@@ -1,0 +1,136 @@
+// Cluster-pair (NxM) neighbour list, GROMACS nbnxm-style.
+//
+// Atoms are binned into cells of at least `rlist` width and grouped, per
+// cell, into i-clusters of kClusterSize (=4) atoms. The list stores, per
+// i-cluster, a range of j-cluster entries; each entry carries a 16-bit
+// interaction mask with bit (ii*4 + jj) set when the atom pair
+// (slot ii of ci, slot jj of cj) must be evaluated. Masks encode the
+// topology rules — pad slots, each-unordered-pair-once deduplication,
+// the eighth-shell corner ownership for halo-halo pairs — and the rlist
+// radius at build time; the runtime cutoff check in the batched kernel
+// handles everything that drifts inside the Verlet buffer afterwards.
+//
+// The masked pair set is exactly the scalar PairList's pair set for the
+// same inputs (asserted by tests), so the cluster list inherits the
+// Verlet-buffer reuse contract: built with rlist = cutoff + buffer, it
+// stays valid until some atom moves farther than buffer/2.
+//
+// For non-local (home-halo) lists, home atoms and halo atoms are
+// clustered separately (zones are never mixed within a cluster, as in
+// GROMACS) on two cell grids with identical dimensions; cluster ids are
+// global across both zones so one SoA gather covers every cluster the
+// kernel touches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "md/box.hpp"
+#include "md/cell_list.hpp"
+#include "md/pair_list.hpp"  // ZoneFilter
+
+namespace hs::md {
+
+class ClusterPairList {
+ public:
+  static constexpr int kClusterSize = 4;
+  static constexpr int kMaskBits = kClusterSize * kClusterSize;
+
+  struct JEntry {
+    std::int32_t cj = 0;
+    std::uint16_t mask = 0;  // bit (ii*kClusterSize + jj)
+  };
+  struct IEntry {
+    std::int32_t ci = 0;
+    std::int32_t j_begin = 0;  // range into j_entries()
+    std::int32_t j_end = 0;
+  };
+
+  ClusterPairList() = default;
+
+  /// Build the local list: all pairs (each unordered pair once) within
+  /// rlist among positions[0 .. n_home).
+  void build_local(const Box& box, std::span<const Vec3> positions, int n_home,
+                   double rlist);
+
+  /// Build the non-local list: pairs within rlist with at least one halo
+  /// atom. Without a filter only home-halo pairs are listed; with a
+  /// ZoneFilter, halo-halo pairs whose minimum corner falls in this
+  /// rank's domain are included too (see PairList::build_nonlocal).
+  void build_nonlocal(const Box& box, std::span<const Vec3> positions,
+                      int n_home, double rlist,
+                      const ZoneFilter* filter = nullptr);
+
+  /// Rolling prune: drop j-cluster entries whose masked pairs are all
+  /// beyond r_prune (<= rlist) at the current positions. Returns the
+  /// number of masked pairs removed. Entry-granular, so the surviving
+  /// list produces bit-identical forces (dropped entries contributed
+  /// exactly zero for any r_prune >= the force cutoff).
+  std::size_t prune(const Box& box, std::span<const Vec3> positions,
+                    double r_prune);
+
+  int num_clusters() const { return num_clusters_; }
+  double rlist() const { return rlist_; }
+
+  /// Masked-in atom pairs (the cluster analogue of PairList::size()).
+  std::size_t pair_count() const { return pair_count_; }
+
+  /// Original atom index per cluster slot (num_clusters * kClusterSize
+  /// entries; -1 for pad slots). Use for scatter-add of forces.
+  std::span<const std::int32_t> cluster_atoms() const { return atoms_; }
+
+  /// Like cluster_atoms() but with pad slots replaced by the cluster's
+  /// first atom: every entry is a valid index, so coordinate/type gathers
+  /// need no branch (pad slots are masked out of every interaction).
+  std::span<const std::int32_t> gather_atoms() const { return gather_atoms_; }
+
+  std::span<const IEntry> i_entries() const { return i_entries_; }
+  std::span<const JEntry> j_entries() const { return j_entries_; }
+
+  /// Invoke fn(i, j) for every masked atom pair (original indices).
+  template <typename Fn>
+  void for_each_pair(Fn&& fn) const {
+    for (const IEntry& ie : i_entries_) {
+      for (std::int32_t e = ie.j_begin; e < ie.j_end; ++e) {
+        const JEntry& je = j_entries_[static_cast<std::size_t>(e)];
+        for (int ii = 0; ii < kClusterSize; ++ii) {
+          for (int jj = 0; jj < kClusterSize; ++jj) {
+            if ((je.mask >> (ii * kClusterSize + jj)) & 1u) {
+              fn(atoms_[static_cast<std::size_t>(ie.ci * kClusterSize + ii)],
+                 atoms_[static_cast<std::size_t>(je.cj * kClusterSize + jj)]);
+            }
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  void clear_build(double rlist);
+  /// Bin `positions[range_begin..range_end)` with `cells` and append one
+  /// cluster per <=4 atoms of each cell. `cell_begin` receives, per cell,
+  /// the first cluster id (num_cells+1 prefix array).
+  void clusterize(CellList& cells, const Box& box,
+                  std::span<const Vec3> positions, int range_begin,
+                  int range_end, double rlist,
+                  std::vector<std::int32_t>& cell_begin);
+  void finish_i_entry(std::int32_t ci, std::int32_t j_begin);
+
+  CellList cells_;       // reused: home (local) / home (nonlocal i-side)
+  CellList halo_cells_;  // reused: halo zone (nonlocal builds)
+  std::vector<std::int32_t> cell_begin_;       // cluster ranges per cell
+  std::vector<std::int32_t> halo_cell_begin_;  // cluster ranges per halo cell
+  std::vector<std::int32_t> scratch_;          // per-cell atom staging
+
+  std::vector<std::int32_t> atoms_;
+  std::vector<std::int32_t> gather_atoms_;
+  std::vector<std::int32_t> cluster_cell_;  // cell id per cluster
+  std::vector<IEntry> i_entries_;
+  std::vector<JEntry> j_entries_;
+  int num_clusters_ = 0;
+  double rlist_ = 0.0;
+  std::size_t pair_count_ = 0;
+};
+
+}  // namespace hs::md

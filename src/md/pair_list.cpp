@@ -5,13 +5,23 @@
 
 namespace hs::md {
 
+void PairList::clear_build(double rlist) {
+  rlist_ = rlist;
+  // clear() keeps capacity; the reserve covers the first build after the
+  // list object is reused for a larger system, so steady-state rebuilds
+  // never reallocate the pair vector.
+  const std::size_t prev = pairs_.size();
+  pairs_.clear();
+  pairs_.reserve(prev);
+}
+
 void PairList::build_local(const Box& box, std::span<const Vec3> positions,
                            int n_home, double rlist) {
   assert(n_home >= 0 && static_cast<std::size_t>(n_home) <= positions.size());
-  rlist_ = rlist;
-  pairs_.clear();
+  clear_build(rlist);
   const auto home = positions.first(static_cast<std::size_t>(n_home));
-  CellList cells(box, rlist);
+  CellList& cells = cells_;
+  cells.reset(box, rlist);
   cells.build(home);
   const float r2 = static_cast<float>(rlist * rlist);
   for (int i = 0; i < n_home; ++i) {
@@ -29,14 +39,14 @@ void PairList::build_nonlocal(const Box& box, std::span<const Vec3> positions,
                               int n_home, double rlist,
                               const ZoneFilter* filter) {
   assert(n_home >= 0 && static_cast<std::size_t>(n_home) <= positions.size());
-  rlist_ = rlist;
-  pairs_.clear();
+  clear_build(rlist);
   const int n_total = static_cast<int>(positions.size());
   if (n_total == n_home) return;
   const float r2 = static_cast<float>(rlist * rlist);
 
   // Bin the halo atoms; query around each home atom (home-halo pairs).
-  CellList halo_cells(box, rlist);
+  CellList& halo_cells = cells_;
+  halo_cells.reset(box, rlist);
   halo_cells.build(positions.subspan(static_cast<std::size_t>(n_home)));
   for (int i = 0; i < n_home; ++i) {
     halo_cells.for_each_candidate(

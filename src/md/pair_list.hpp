@@ -79,6 +79,9 @@ class PairList {
                     double r_prune);
 
  private:
+  void clear_build(double rlist);
+
+  CellList cells_;       // reused across builds (home / halo binning)
   std::vector<Pair> pairs_;
   double rlist_ = 0.0;
 };

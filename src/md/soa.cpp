@@ -1,0 +1,53 @@
+#include "md/soa.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hs::md {
+
+void SoaVecs::assign_zero(std::size_t n) {
+  x.assign(n, 0.0f);
+  y.assign(n, 0.0f);
+  z.assign(n, 0.0f);
+}
+
+void SoaVecs::gather(std::span<const Vec3> src) {
+  resize(src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    x[i] = src[i].x;
+    y[i] = src[i].y;
+    z[i] = src[i].z;
+  }
+}
+
+void SoaVecs::gather_indexed(std::span<const Vec3> src,
+                             std::span<const std::int32_t> idx) {
+  resize(idx.size());
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    assert(idx[k] >= 0 &&
+           static_cast<std::size_t>(idx[k]) < src.size());
+    const Vec3& v = src[static_cast<std::size_t>(idx[k])];
+    x[k] = v.x;
+    y[k] = v.y;
+    z[k] = v.z;
+  }
+}
+
+void SoaVecs::scatter(std::span<Vec3> dst) const {
+  assert(dst.size() == size());
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = Vec3{x[i], y[i], z[i]};
+  }
+}
+
+void SoaVecs::scatter_add_indexed(std::span<Vec3> dst,
+                                  std::span<const std::int32_t> idx) const {
+  assert(idx.size() == size());
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    if (idx[k] < 0) continue;
+    assert(static_cast<std::size_t>(idx[k]) < dst.size());
+    dst[static_cast<std::size_t>(idx[k])] += Vec3{x[k], y[k], z[k]};
+  }
+}
+
+}  // namespace hs::md

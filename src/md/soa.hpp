@@ -1,0 +1,60 @@
+// Structure-of-arrays coordinate/force storage for the batched kernels.
+//
+// The cluster-pair nonbonded fast path works on x[]/y[]/z[] float arrays
+// (GROMACS nbnxm layout): contiguous per-component loads vectorize, and
+// gathering a 4-atom cluster touches three short runs instead of twelve
+// interleaved Vec3 fields. AoS (`std::vector<Vec3>`) remains the exchange
+// format — halo pack/unpack and the dd reference exchanges index single
+// atoms — so SoaVecs provides the gather/scatter shims between the two.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "md/vec3.hpp"
+
+namespace hs::md {
+
+struct SoaVecs {
+  std::vector<float> x;
+  std::vector<float> y;
+  std::vector<float> z;
+
+  std::size_t size() const { return x.size(); }
+
+  void resize(std::size_t n) {
+    x.resize(n);
+    y.resize(n);
+    z.resize(n);
+  }
+
+  /// Resize to n and zero every component (recycles capacity).
+  void assign_zero(std::size_t n);
+
+  Vec3 at(std::size_t i) const { return {x[i], y[i], z[i]}; }
+  void set(std::size_t i, const Vec3& v) {
+    x[i] = v.x;
+    y[i] = v.y;
+    z[i] = v.z;
+  }
+
+  /// AoS -> SoA, same order (resizes to src.size()).
+  void gather(std::span<const Vec3> src);
+
+  /// AoS -> SoA through an index map: slot k holds src[idx[k]]. Every
+  /// index must be valid (pad slots are pre-resolved by the caller, see
+  /// ClusterPairList::gather_atoms()). Resizes to idx.size().
+  void gather_indexed(std::span<const Vec3> src,
+                      std::span<const std::int32_t> idx);
+
+  /// SoA -> AoS, same order (dst.size() must equal size()).
+  void scatter(std::span<Vec3> dst) const;
+
+  /// dst[idx[k]] += (x,y,z)[k] for every k with idx[k] >= 0; negative
+  /// indices (cluster pad slots) are skipped.
+  void scatter_add_indexed(std::span<Vec3> dst,
+                           std::span<const std::int32_t> idx) const;
+};
+
+}  // namespace hs::md

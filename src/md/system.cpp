@@ -12,6 +12,22 @@ namespace {
 constexpr double kBoltzmann = 0.00831446262;
 }  // namespace
 
+void System::sync_soa(const ForceField* ff) {
+  x_soa.gather(x);
+  type_soa.assign(type.begin(), type.end());
+  if (ff != nullptr) {
+    charge_soa.resize(type.size());
+    for (std::size_t i = 0; i < type.size(); ++i) {
+      charge_soa[i] = ff->type(type[i]).charge;
+    }
+  }
+}
+
+void System::scatter_soa() {
+  assert(x_soa.size() == x.size());
+  x_soa.scatter(x);
+}
+
 std::vector<AtomType> grappa_atom_types() {
   return {
       AtomType{0.25f, 0.65f, +0.10f, 18.0f},  // W+
@@ -96,6 +112,7 @@ System build_grappa(const GrappaSpec& spec) {
                  static_cast<float>(pz / mass_total)};
   for (auto& v : sys.v) v -= vcm;
 
+  sys.sync_soa();
   return sys;
 }
 

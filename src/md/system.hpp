@@ -13,6 +13,7 @@
 
 #include "md/box.hpp"
 #include "md/forcefield.hpp"
+#include "md/soa.hpp"
 #include "md/vec3.hpp"
 
 namespace hs::md {
@@ -23,7 +24,23 @@ struct System {
   std::vector<Vec3> v;   // velocities (nm/ps)
   std::vector<int> type; // atom type index into the force field
 
+  // SoA mirror of the particle data for the batched kernels: split x/y/z
+  // coordinate streams plus flat per-atom type/charge arrays. The AoS
+  // fields above stay authoritative; call sync_soa() after mutating them
+  // (build_grappa and dd::Decomposition::gather do this for you).
+  SoaVecs x_soa;
+  std::vector<std::int32_t> type_soa;
+  std::vector<float> charge_soa;  // filled when a force field is given
+
   int natoms() const { return static_cast<int>(x.size()); }
+
+  /// Refresh the SoA mirror from the AoS fields. With a force field the
+  /// per-atom charge array is (re)derived from the type array too.
+  void sync_soa(const ForceField* ff = nullptr);
+
+  /// Write the SoA coordinates back into the AoS positions (the inverse
+  /// shim, for code that mutates the SoA view).
+  void scatter_soa();
 };
 
 struct GrappaSpec {

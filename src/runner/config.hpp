@@ -34,6 +34,19 @@ struct RunConfig {
   /// restriction the paper describes for GROMACS' CUDA-graph support).
   bool use_cuda_graph = false;
 
+  /// Cluster-pair (NxM) nonbonded fast path: SoA coordinates, 4-atom
+  /// cluster lists with interaction masks, and a batched kernel with a
+  /// precomputed type-pair parameter table. Off: the scalar reference
+  /// kernels (same pair set; forces agree to float tolerance).
+  bool use_cluster_kernels = true;
+
+  /// Verlet-buffer list reuse: rebuild a rank's pair lists only when one
+  /// of its atoms has drifted farther than half the buffer
+  /// ((comm_cutoff - force cutoff) / 2) from its position at the last
+  /// build. Off: lists are built once at start and only pruned
+  /// (pre-existing behaviour; valid for short runs inside the buffer).
+  bool rebuild_on_drift = true;
+
   /// Rolling prune cadence in steps (0 disables pruning).
   int prune_interval = 4;
 

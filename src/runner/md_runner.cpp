@@ -28,6 +28,22 @@ MdRunner::MdRunner(sim::Machine& machine, pgas::World& world, msg::Comm& comm,
       f_local_[static_cast<std::size_t>(r)].assign(
           static_cast<std::size_t>(state(r)->n_home), md::Vec3{});
     }
+    if (config_.use_cluster_kernels) {
+      nb_params_.emplace(*ff_);
+      nb_ws_.resize(static_cast<std::size_t>(n));
+    }
+    rebuild_counts_.assign(static_cast<std::size_t>(n), 0);
+    // Verlet-buffer reuse: the lists (rlist = comm_cutoff) stay valid
+    // until an atom drifts more than half the buffer past its build-time
+    // position; a non-positive buffer disables drift rebuilds.
+    const double buffer = workload_.plan.comm_cutoff - ff_->cutoff();
+    if (config_.rebuild_on_drift && buffer > 0.0) {
+      drift_limit2_ = (buffer / 2.0) * (buffer / 2.0);
+      x_ref_.resize(static_cast<std::size_t>(n));
+      for (int r = 0; r < n; ++r) {
+        x_ref_[static_cast<std::size_t>(r)] = state(r)->x;
+      }
+    }
   }
 
   for (int r = 0; r < n; ++r) {
@@ -93,11 +109,20 @@ sim::KernelSpec MdRunner::nb_local_spec(int rank, std::int64_t step) {
     // distinct local/non-local force outputs); ReduceF folds them into f.
     auto& fl = self->f_local_[static_cast<std::size_t>(rank)];
     const auto nh = fl.size();
-    md::compute_nonbonded(self->workload_.plan.grid.box(), *self->ff_,
-                          std::span<const md::Vec3>(st->x.data(), nh),
-                          std::span<const int>(st->type.data(), nh),
-                          self->lists_[static_cast<std::size_t>(rank)].local,
-                          std::span<md::Vec3>(fl.data(), nh));
+    auto& lists = self->lists_[static_cast<std::size_t>(rank)];
+    if (self->nb_params_.has_value()) {
+      md::compute_nonbonded_clusters(
+          self->workload_.plan.grid.box(), *self->nb_params_,
+          lists.cluster_local, std::span<const md::Vec3>(st->x.data(), nh),
+          std::span<const int>(st->type.data(), nh),
+          std::span<md::Vec3>(fl.data(), nh),
+          self->nb_ws_[static_cast<std::size_t>(rank)]);
+    } else {
+      md::compute_nonbonded(self->workload_.plan.grid.box(), *self->ff_,
+                            std::span<const md::Vec3>(st->x.data(), nh),
+                            std::span<const int>(st->type.data(), nh),
+                            lists.local, std::span<md::Vec3>(fl.data(), nh));
+    }
     co_return;
   };
   return spec;
@@ -130,9 +155,16 @@ sim::KernelSpec MdRunner::nb_nonlocal_spec(int rank, std::int64_t step) {
   spec.body = [self, st, rank, cost](sim::KernelContext& ctx) -> sim::Task {
     co_await ctx.compute(cost);
     if (st == nullptr) co_return;
-    md::compute_nonbonded(
-        self->workload_.plan.grid.box(), *self->ff_, st->x, st->type,
-        self->lists_[static_cast<std::size_t>(rank)].nonlocal, st->f);
+    auto& lists = self->lists_[static_cast<std::size_t>(rank)];
+    if (self->nb_params_.has_value()) {
+      md::compute_nonbonded_clusters(
+          self->workload_.plan.grid.box(), *self->nb_params_,
+          lists.cluster_nonlocal, st->x, st->type, st->f,
+          self->nb_ws_[static_cast<std::size_t>(rank)]);
+    } else {
+      md::compute_nonbonded(self->workload_.plan.grid.box(), *self->ff_,
+                            st->x, st->type, lists.nonlocal, st->f);
+    }
     co_return;
   };
   return spec;
@@ -168,7 +200,7 @@ sim::KernelSpec MdRunner::integrate_spec(int rank, std::int64_t step) {
   dd::DomainState* st = state(rank);
   auto* self = this;
   const double cost = cm.integrate_cost(workload_.home_atoms(rank));
-  spec.body = [self, st, cost](sim::KernelContext& ctx) -> sim::Task {
+  spec.body = [self, st, rank, cost](sim::KernelContext& ctx) -> sim::Task {
     co_await ctx.compute(cost);
     if (st == nullptr) co_return;
     const auto nh = static_cast<std::size_t>(st->n_home);
@@ -178,6 +210,7 @@ sim::KernelSpec MdRunner::integrate_spec(int rank, std::int64_t step) {
         std::span<const md::Vec3>(st->f.data(), nh),
         std::span<md::Vec3>(st->v.data(), nh),
         std::span<md::Vec3>(st->x.data(), nh));
+    self->maybe_rebuild_lists(rank);
     co_return;
   };
   return spec;
@@ -223,11 +256,35 @@ sim::KernelSpec MdRunner::prune_spec(int rank, std::int64_t step) {
     // itself, and it keeps the working list short between rebuilds.
     auto& lists = self->lists_[static_cast<std::size_t>(rank)];
     const double rlist = self->workload_.plan.comm_cutoff;
-    lists.local.prune(self->workload_.plan.grid.box(), st->x, rlist);
-    lists.nonlocal.prune(self->workload_.plan.grid.box(), st->x, rlist);
+    const md::Box& box = self->workload_.plan.grid.box();
+    lists.local.prune(box, st->x, rlist);
+    lists.nonlocal.prune(box, st->x, rlist);
+    lists.cluster_local.prune(box, st->x, rlist);
+    lists.cluster_nonlocal.prune(box, st->x, rlist);
     co_return;
   };
   return spec;
+}
+
+void MdRunner::maybe_rebuild_lists(int rank) {
+  if (drift_limit2_ < 0.0) return;
+  dd::DomainState* st = state(rank);
+  auto& ref = x_ref_[static_cast<std::size_t>(rank)];
+  assert(ref.size() == st->x.size());
+  const md::Box& box = workload_.plan.grid.box();
+  bool drifted = false;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    if (static_cast<double>(box.distance2(st->x[i], ref[i])) >
+        drift_limit2_) {
+      drifted = true;
+      break;
+    }
+  }
+  if (!drifted) return;
+  lists_[static_cast<std::size_t>(rank)].rebuild(
+      box, st->x, st->n_home, workload_.plan.comm_cutoff);
+  ref = st->x;
+  ++rebuild_counts_[static_cast<std::size_t>(rank)];
 }
 
 // ---- step loop ----------------------------------------------------------

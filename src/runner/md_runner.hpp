@@ -21,6 +21,7 @@
 #include "halo/mpi_halo.hpp"
 #include "halo/shmem_halo.hpp"
 #include "halo/tmpi_halo.hpp"
+#include "md/cluster_nonbonded.hpp"
 #include "md/integrator.hpp"
 #include "md/nonbonded.hpp"
 #include "runner/config.hpp"
@@ -59,6 +60,11 @@ class MdRunner {
   /// Pair-list sizes after the run (functional mode; tests/pruning).
   const std::vector<dd::RankPairLists>& pair_lists() const { return lists_; }
 
+  /// Per-rank count of drift-triggered list rebuilds (functional mode).
+  const std::vector<std::int64_t>& list_rebuilds() const {
+    return rebuild_counts_;
+  }
+
  private:
   struct RankStreams {
     sim::Stream* local = nullptr;
@@ -85,6 +91,10 @@ class MdRunner {
   sim::KernelSpec clear_spec(int rank, std::int64_t step);
   sim::KernelSpec prune_spec(int rank, std::int64_t step);
 
+  /// Drift check + in-place list rebuild (Verlet-buffer contract); runs
+  /// inside the integrate kernel body after positions advance.
+  void maybe_rebuild_lists(int rank);
+
   sim::Machine* machine_;
   pgas::World* world_;
   msg::Comm* comm_;
@@ -100,6 +110,16 @@ class MdRunner {
   std::vector<RankStreams> streams_;
   std::vector<dd::RankPairLists> lists_;
   std::vector<std::vector<md::Vec3>> f_local_;  // per rank, home atoms
+
+  // Cluster fast path (functional mode, config.use_cluster_kernels).
+  std::optional<md::NbParamTable> nb_params_;
+  std::vector<md::NbWorkspace> nb_ws_;  // per rank; kernels run serially
+
+  // Verlet-buffer reuse: positions at the last list build and the squared
+  // drift limit ((rlist - cutoff)/2)^2; negative disables rebuilds.
+  std::vector<std::vector<md::Vec3>> x_ref_;  // per rank, n_total atoms
+  double drift_limit2_ = -1.0;
+  std::vector<std::int64_t> rebuild_counts_;
 
   // update-event ring per rank for ordering + launch-ahead throttling.
   std::vector<std::vector<sim::GpuEventPtr>> update_events_;

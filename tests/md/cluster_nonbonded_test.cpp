@@ -1,0 +1,262 @@
+#include "md/cluster_nonbonded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "md/nonbonded.hpp"
+#include "md/pair_list.hpp"
+#include "md/system.hpp"
+#include "util/rng.hpp"
+
+namespace hs::md {
+namespace {
+
+std::vector<Vec3> random_positions(int n, const Box& box, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Vec3> x;
+  for (int i = 0; i < n; ++i) {
+    x.push_back(Vec3{static_cast<float>(rng.uniform(0, box.length(0))),
+                     static_cast<float>(rng.uniform(0, box.length(1))),
+                     static_cast<float>(rng.uniform(0, box.length(2)))});
+  }
+  return x;
+}
+
+std::vector<int> random_types(int n, int ntypes, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<int> t;
+  for (int i = 0; i < n; ++i) {
+    t.push_back(static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(ntypes))));
+  }
+  return t;
+}
+
+// Float pair arithmetic vs the double reference: tolerances looser than
+// the scalar kernel's but far tighter than any physical effect.
+void expect_forces_close(std::span<const Vec3> got, std::span<const Vec3> ref) {
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    for (int d = 0; d < 3; ++d) {
+      const float g = got[i][d], r = ref[i][d];
+      EXPECT_NEAR(g, r, 1e-3f + 1e-4f * std::abs(r)) << "atom " << i;
+    }
+  }
+}
+
+TEST(ClusterNonbonded, MatchesReferenceOnRandomBoxes) {
+  const ForceField ff(grappa_atom_types(), 0.9);
+  const NbParamTable params(ff);
+  NbWorkspace ws;
+  struct Case {
+    float lx, ly, lz;
+    int n;
+    std::uint64_t seed;
+  };
+  for (const auto& c : {Case{6, 6, 6, 400, 1}, Case{4, 5, 6, 300, 2},
+                        Case{3.5f, 3.5f, 3.5f, 150, 3}}) {
+    const Box box(c.lx, c.ly, c.lz);
+    const auto x = random_positions(c.n, box, c.seed);
+    const auto t = random_types(c.n, ff.num_types(), c.seed + 100);
+
+    ClusterPairList list;
+    list.build_local(box, x, c.n, ff.cutoff());
+    std::vector<Vec3> f(x.size());
+    const Energies e = compute_nonbonded_clusters(box, params, list, x, t, f,
+                                                  ws);
+
+    std::vector<Vec3> f_ref(x.size());
+    const Energies e_ref =
+        compute_nonbonded_reference(box, ff, x, t, f_ref);
+
+    expect_forces_close(f, f_ref);
+    EXPECT_NEAR(e.lj, e_ref.lj, 1e-4 * (1.0 + std::abs(e_ref.lj)));
+    EXPECT_NEAR(e.coulomb, e_ref.coulomb,
+                1e-4 * (1.0 + std::abs(e_ref.coulomb)));
+  }
+}
+
+TEST(ClusterNonbonded, MatchesScalarKernelOnSameList) {
+  // Same rlist, same pair set: scalar kernel over the scalar list vs the
+  // batched kernel over the cluster list.
+  const ForceField ff(grappa_atom_types(), 0.9);
+  const NbParamTable params(ff);
+  NbWorkspace ws;
+  const Box box(6, 6, 6);
+  const auto x = random_positions(500, box, 4);
+  const auto t = random_types(500, ff.num_types(), 5);
+
+  PairList scalar_list;
+  scalar_list.build_local(box, x, 500, 1.0);
+  std::vector<Vec3> f_scalar(x.size());
+  const Energies e_scalar =
+      compute_nonbonded(box, ff, x, t, scalar_list, f_scalar);
+
+  ClusterPairList cluster_list;
+  cluster_list.build_local(box, x, 500, 1.0);
+  std::vector<Vec3> f_cluster(x.size());
+  const Energies e_cluster = compute_nonbonded_clusters(
+      box, params, cluster_list, x, t, f_cluster, ws);
+
+  expect_forces_close(f_cluster, f_scalar);
+  EXPECT_NEAR(e_cluster.lj, e_scalar.lj, 1e-4 * (1.0 + std::abs(e_scalar.lj)));
+  EXPECT_NEAR(e_cluster.coulomb, e_scalar.coulomb,
+              1e-4 * (1.0 + std::abs(e_scalar.coulomb)));
+}
+
+TEST(ClusterNonbonded, ForcesObeyNewtonsThirdLaw) {
+  const ForceField ff(grappa_atom_types(), 0.9);
+  const NbParamTable params(ff);
+  NbWorkspace ws;
+  const Box box(5, 5, 5);
+  const auto x = random_positions(350, box, 6);
+  const auto t = random_types(350, ff.num_types(), 7);
+  ClusterPairList list;
+  list.build_local(box, x, 350, 1.0);
+  std::vector<Vec3> f(x.size());
+  compute_nonbonded_clusters(box, params, list, x, t, f, ws);
+
+  double sx = 0, sy = 0, sz = 0, l1 = 0;
+  for (const auto& v : f) {
+    sx += v.x;
+    sy += v.y;
+    sz += v.z;
+    l1 += std::abs(v.x) + std::abs(v.y) + std::abs(v.z);
+  }
+  // The net force is a sum of exactly cancelling +/- pair terms; allow
+  // only float accumulation noise relative to the total force magnitude.
+  const double tol = 1e-6 * (1.0 + l1);
+  EXPECT_NEAR(sx, 0.0, tol);
+  EXPECT_NEAR(sy, 0.0, tol);
+  EXPECT_NEAR(sz, 0.0, tol);
+}
+
+TEST(ClusterNonbonded, BufferedListStaysValidUnderSmallDrift) {
+  // Build at rlist = cutoff + buffer, drift every atom by < buffer/2,
+  // evaluate with the stale list: the runtime cutoff mask must yield the
+  // same result as a reference evaluation at the drifted positions.
+  const ForceField ff(grappa_atom_types(), 0.9);
+  const NbParamTable params(ff);
+  NbWorkspace ws;
+  const Box box(6, 6, 6);
+  auto x = random_positions(400, box, 8);
+  const auto t = random_types(400, ff.num_types(), 9);
+  const double buffer = 0.2;
+  ClusterPairList list;
+  list.build_local(box, x, 400, ff.cutoff() + buffer);
+
+  util::Rng rng(10);
+  for (auto& p : x) {
+    const float d = static_cast<float>(buffer / 2.0 * 0.99 / std::sqrt(3.0));
+    p = box.wrap(p + Vec3{static_cast<float>(rng.uniform(-d, d)),
+                          static_cast<float>(rng.uniform(-d, d)),
+                          static_cast<float>(rng.uniform(-d, d))});
+  }
+
+  std::vector<Vec3> f(x.size());
+  const Energies e = compute_nonbonded_clusters(box, params, list, x, t, f,
+                                                ws);
+  std::vector<Vec3> f_ref(x.size());
+  const Energies e_ref = compute_nonbonded_reference(box, ff, x, t, f_ref);
+  expect_forces_close(f, f_ref);
+  EXPECT_NEAR(e.total(), e_ref.total(), 1e-4 * (1.0 + std::abs(e_ref.total())));
+}
+
+TEST(ClusterNonbonded, PruneAtCutoffIsBitNeutral) {
+  // Entries dropped by prune(r >= cutoff) contributed exactly +/-0.0, so
+  // forces and energies after pruning are bit-identical.
+  const ForceField ff(grappa_atom_types(), 0.9);
+  const NbParamTable params(ff);
+  NbWorkspace ws;
+  const Box box(6, 6, 6);
+  const auto x = random_positions(400, box, 11);
+  const auto t = random_types(400, ff.num_types(), 12);
+  ClusterPairList list;
+  list.build_local(box, x, 400, 1.1);  // buffered
+
+  std::vector<Vec3> f_before(x.size());
+  const Energies e_before =
+      compute_nonbonded_clusters(box, params, list, x, t, f_before, ws);
+  const std::size_t removed = list.prune(box, x, ff.cutoff());
+  EXPECT_GT(removed, 0u);
+  std::vector<Vec3> f_after(x.size());
+  const Energies e_after =
+      compute_nonbonded_clusters(box, params, list, x, t, f_after, ws);
+
+  EXPECT_EQ(e_before.lj, e_after.lj);
+  EXPECT_EQ(e_before.coulomb, e_after.coulomb);
+  for (std::size_t i = 0; i < f_before.size(); ++i) {
+    EXPECT_EQ(f_before[i], f_after[i]) << i;
+  }
+}
+
+TEST(ClusterNonbonded, TinySystemsWithPadSlots) {
+  const ForceField ff(grappa_atom_types(), 0.9);
+  const NbParamTable params(ff);
+  NbWorkspace ws;
+  const Box box(3, 3, 3);
+  for (int n : {1, 2, 3, 5, 9}) {
+    const auto x = random_positions(n, box, 20 + static_cast<std::uint64_t>(n));
+    const auto t = random_types(n, ff.num_types(),
+                                30 + static_cast<std::uint64_t>(n));
+    ClusterPairList list;
+    list.build_local(box, x, n, 1.0);
+    std::vector<Vec3> f(x.size());
+    const Energies e = compute_nonbonded_clusters(box, params, list, x, t, f,
+                                                  ws);
+    std::vector<Vec3> f_ref(x.size());
+    const Energies e_ref = compute_nonbonded_reference(box, ff, x, t, f_ref);
+    expect_forces_close(f, f_ref);
+    EXPECT_NEAR(e.total(), e_ref.total(),
+                1e-4 * (1.0 + std::abs(e_ref.total())))
+        << n << " atoms";
+  }
+}
+
+TEST(ClusterNonbonded, NonlocalListCoversHaloForces) {
+  // Decomposed-step shape: home atoms [0, n_home), halo beyond. The
+  // cluster non-local kernel must reproduce the scalar non-local kernel
+  // (home-halo pairs only; Newton's -F lands in halo slots).
+  const ForceField ff(grappa_atom_types(), 0.9);
+  const NbParamTable params(ff);
+  NbWorkspace ws;
+  const Box box(6, 6, 6);
+  const auto x = random_positions(500, box, 13);
+  const auto t = random_types(500, ff.num_types(), 14);
+  const int n_home = 320;
+
+  PairList scalar_list;
+  scalar_list.build_nonlocal(box, x, n_home, 1.0);
+  std::vector<Vec3> f_scalar(x.size());
+  compute_nonbonded(box, ff, x, t, scalar_list, f_scalar);
+
+  ClusterPairList cluster_list;
+  cluster_list.build_nonlocal(box, x, n_home, 1.0);
+  std::vector<Vec3> f_cluster(x.size());
+  compute_nonbonded_clusters(box, params, cluster_list, x, t, f_cluster, ws);
+
+  expect_forces_close(f_cluster, f_scalar);
+}
+
+TEST(NbParamTable, MirrorsForceFieldParameters) {
+  const ForceField ff(grappa_atom_types(), 0.9);
+  const NbParamTable params(ff);
+  ASSERT_EQ(params.num_types(), ff.num_types());
+  EXPECT_FLOAT_EQ(params.cutoff2(), static_cast<float>(ff.cutoff2()));
+  for (int ti = 0; ti < ff.num_types(); ++ti) {
+    for (int tj = 0; tj < ff.num_types(); ++tj) {
+      const auto& p = ff.pair_params(ti, tj);
+      const auto& tp = params.row(ti)[tj];
+      EXPECT_FLOAT_EQ(tp.c6, static_cast<float>(p.c6));
+      EXPECT_FLOAT_EQ(tp.c12, static_cast<float>(p.c12));
+      EXPECT_FLOAT_EQ(tp.qq,
+                      static_cast<float>(kCoulombFactor * ff.type(ti).charge *
+                                         ff.type(tj).charge));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hs::md

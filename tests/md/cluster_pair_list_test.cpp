@@ -1,0 +1,222 @@
+#include "md/cluster_pair_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "md/pair_list.hpp"
+#include "util/rng.hpp"
+
+namespace hs::md {
+namespace {
+
+std::vector<Vec3> random_positions(int n, const Box& box, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Vec3> x;
+  for (int i = 0; i < n; ++i) {
+    x.push_back(Vec3{static_cast<float>(rng.uniform(0, box.length(0))),
+                     static_cast<float>(rng.uniform(0, box.length(1))),
+                     static_cast<float>(rng.uniform(0, box.length(2)))});
+  }
+  return x;
+}
+
+using PairSet = std::set<std::pair<int, int>>;
+
+// Cluster entries may list a pair in either orientation; normalize to
+// (min, max) for comparison against the scalar list.
+PairSet to_set(const ClusterPairList& list) {
+  PairSet s;
+  list.for_each_pair([&](std::int32_t i, std::int32_t j) {
+    s.insert({std::min(i, j), std::max(i, j)});
+  });
+  return s;
+}
+
+PairSet to_set(const PairList& list) {
+  PairSet s;
+  for (const auto& p : list.pairs()) s.insert({p.i, p.j});
+  return s;
+}
+
+TEST(ClusterPairList, LocalListMatchesScalarList) {
+  const Box box(6, 6, 6);
+  for (std::uint64_t seed : {5u, 6u, 7u}) {
+    const auto x = random_positions(400, box, seed);
+    PairList scalar;
+    scalar.build_local(box, x, 400, 1.0);
+    ClusterPairList cluster;
+    cluster.build_local(box, x, 400, 1.0);
+    EXPECT_EQ(to_set(cluster), to_set(scalar)) << "seed " << seed;
+    EXPECT_EQ(cluster.pair_count(), scalar.size());
+  }
+}
+
+TEST(ClusterPairList, ListsEachPairAtMostOnce) {
+  const Box box(5, 5, 5);
+  const auto x = random_positions(300, box, 8);
+  ClusterPairList cluster;
+  cluster.build_local(box, x, 300, 1.2);
+  std::size_t visits = 0;
+  PairSet seen;
+  cluster.for_each_pair([&](std::int32_t i, std::int32_t j) {
+    EXPECT_NE(i, j);
+    EXPECT_GE(i, 0);
+    EXPECT_GE(j, 0);
+    seen.insert({std::min(i, j), std::max(i, j)});
+    ++visits;
+  });
+  EXPECT_EQ(visits, seen.size()) << "some pair listed twice";
+  EXPECT_EQ(visits, cluster.pair_count());
+}
+
+TEST(ClusterPairList, NonlocalHomeHaloMatchesScalar) {
+  const Box box(6, 6, 6);
+  const auto x = random_positions(300, box, 7);
+  const int n_home = 200;
+  PairList scalar;
+  scalar.build_nonlocal(box, x, n_home, 1.0);
+  ClusterPairList cluster;
+  cluster.build_nonlocal(box, x, n_home, 1.0);
+  EXPECT_EQ(to_set(cluster), to_set(scalar));
+}
+
+TEST(ClusterPairList, NonlocalWithZoneFilterMatchesScalar) {
+  // With a ZoneFilter the non-local list adds corner-rule halo-halo
+  // pairs; the cluster flavour must reproduce the scalar pair set
+  // exactly (the runner relies on this for exactly-once coverage).
+  const Box box(6, 6, 6);
+  for (std::uint64_t seed : {11u, 12u}) {
+    const auto x = random_positions(500, box, seed);
+    const int n_home = 300;
+    ZoneFilter filter;
+    filter.decomposed[0] = true;
+    filter.decomposed[1] = true;
+    filter.hi[0] = 3.0f;
+    filter.hi[1] = 4.0f;
+    PairList scalar;
+    scalar.build_nonlocal(box, x, n_home, 1.0, &filter);
+    ClusterPairList cluster;
+    cluster.build_nonlocal(box, x, n_home, 1.0, &filter);
+    EXPECT_EQ(to_set(cluster), to_set(scalar)) << "seed " << seed;
+    EXPECT_EQ(cluster.pair_count(), scalar.size());
+  }
+}
+
+TEST(ClusterPairList, NonlocalEmptyHaloYieldsEmptyList) {
+  const Box box(5, 5, 5);
+  const auto x = random_positions(100, box, 8);
+  ClusterPairList cluster;
+  cluster.build_nonlocal(box, x, 100, 1.0);
+  EXPECT_EQ(cluster.pair_count(), 0u);
+  EXPECT_TRUE(cluster.i_entries().empty());
+}
+
+TEST(ClusterPairList, PruneMatchesScalarSurvivors) {
+  const Box box(6, 6, 6);
+  auto x = random_positions(300, box, 9);
+  ClusterPairList cluster;
+  cluster.build_local(box, x, 300, 1.2);
+  PairList scalar;
+  scalar.build_local(box, x, 300, 1.2);
+  const std::size_t before = cluster.pair_count();
+  const std::size_t removed = cluster.prune(box, x, 1.0);
+  EXPECT_EQ(cluster.pair_count() + removed, before);
+  scalar.prune(box, x, 1.0);
+  // Entry-granular prune keeps whole j-entries, so the cluster list may
+  // retain extra (distant, zero-force) pairs — but never fewer than the
+  // scalar survivors, and it must have dropped something here.
+  EXPECT_GT(removed, 0u);
+  const PairSet cs = to_set(cluster);
+  for (const auto& p : to_set(scalar)) {
+    EXPECT_TRUE(cs.count(p)) << p.first << "," << p.second;
+  }
+}
+
+TEST(ClusterPairList, BufferedListSurvivesSmallDisplacements) {
+  // Verlet-buffer contract, cluster flavour: built with rlist = rc +
+  // buffer, the masked pair set covers every pair within rc after
+  // displacements below buffer/2 per atom.
+  const Box box(6, 6, 6);
+  auto x = random_positions(300, box, 10);
+  const double rc = 0.9, buffer = 0.2;
+  ClusterPairList cluster;
+  cluster.build_local(box, x, 300, rc + buffer);
+  util::Rng rng(11);
+  auto moved = x;
+  for (auto& p : moved) {
+    const float d = static_cast<float>(buffer / 2.0 * 0.99 / std::sqrt(3.0));
+    p = box.wrap(p + Vec3{static_cast<float>(rng.uniform(-d, d)),
+                          static_cast<float>(rng.uniform(-d, d)),
+                          static_cast<float>(rng.uniform(-d, d))});
+  }
+  const PairSet listed = to_set(cluster);
+  for (int i = 0; i < 300; ++i) {
+    for (int j = i + 1; j < 300; ++j) {
+      if (box.distance2(moved[static_cast<std::size_t>(i)],
+                        moved[static_cast<std::size_t>(j)]) <=
+          static_cast<float>(rc * rc)) {
+        EXPECT_TRUE(listed.count({i, j})) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(ClusterPairList, RebuildReusesStorageAndMatches) {
+  // The list object is rebuilt in place across steps; the second build
+  // must be indistinguishable from a fresh object's.
+  const Box box(6, 6, 6);
+  ClusterPairList reused;
+  for (std::uint64_t seed = 20; seed < 24; ++seed) {
+    const auto x = random_positions(350, box, seed);
+    reused.build_local(box, x, 350, 1.0);
+    ClusterPairList fresh;
+    fresh.build_local(box, x, 350, 1.0);
+    EXPECT_EQ(to_set(reused), to_set(fresh)) << "seed " << seed;
+    EXPECT_EQ(reused.pair_count(), fresh.pair_count());
+  }
+}
+
+TEST(ClusterPairList, TinyAndEmptySystemsAreSafe) {
+  const Box box(3, 3, 3);
+  ClusterPairList cluster;
+  cluster.build_local(box, {}, 0, 1.0);
+  EXPECT_EQ(cluster.pair_count(), 0u);
+  // 1, 2, 3, 5 atoms: exercise pad slots in every cluster shape.
+  for (int n : {1, 2, 3, 5}) {
+    const auto x = random_positions(n, box, 30 + static_cast<std::uint64_t>(n));
+    cluster.build_local(box, x, n, 1.0);
+    PairList scalar;
+    scalar.build_local(box, x, n, 1.0);
+    EXPECT_EQ(to_set(cluster), to_set(scalar)) << n << " atoms";
+  }
+}
+
+TEST(ClusterPairList, GatherAtomsResolvePads) {
+  const Box box(4, 4, 4);
+  const auto x = random_positions(37, box, 40);  // not a multiple of 4
+  ClusterPairList cluster;
+  cluster.build_local(box, x, 37, 1.0);
+  const auto atoms = cluster.cluster_atoms();
+  const auto gather = cluster.gather_atoms();
+  ASSERT_EQ(atoms.size(), gather.size());
+  ASSERT_EQ(atoms.size(),
+            static_cast<std::size_t>(cluster.num_clusters()) *
+                ClusterPairList::kClusterSize);
+  for (std::size_t k = 0; k < atoms.size(); ++k) {
+    if (atoms[k] >= 0) {
+      EXPECT_EQ(gather[k], atoms[k]);
+    } else {
+      // Pad slots gather the cluster's first atom (a valid index).
+      const std::size_t base =
+          k / ClusterPairList::kClusterSize * ClusterPairList::kClusterSize;
+      EXPECT_EQ(gather[k], atoms[base]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hs::md

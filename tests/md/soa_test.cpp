@@ -1,0 +1,72 @@
+#include "md/soa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hs::md {
+namespace {
+
+std::vector<Vec3> random_vecs(int n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Vec3> v;
+  for (int i = 0; i < n; ++i) {
+    v.push_back(Vec3{static_cast<float>(rng.uniform(-5, 5)),
+                     static_cast<float>(rng.uniform(-5, 5)),
+                     static_cast<float>(rng.uniform(-5, 5))});
+  }
+  return v;
+}
+
+TEST(SoaVecs, GatherScatterRoundTrips) {
+  const auto src = random_vecs(137, 1);
+  SoaVecs soa;
+  soa.gather(src);
+  ASSERT_EQ(soa.size(), src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(soa.at(i), src[i]);
+  }
+  std::vector<Vec3> back(src.size());
+  soa.scatter(back);
+  EXPECT_EQ(back, src);
+}
+
+TEST(SoaVecs, GatherIndexedFollowsMap) {
+  const auto src = random_vecs(50, 2);
+  const std::vector<std::int32_t> idx = {4, 4, 0, 49, 17, 3};
+  SoaVecs soa;
+  soa.gather_indexed(src, idx);
+  ASSERT_EQ(soa.size(), idx.size());
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    EXPECT_EQ(soa.at(k), src[static_cast<std::size_t>(idx[k])]);
+  }
+}
+
+TEST(SoaVecs, ScatterAddIndexedSkipsNegativeAndAccumulates) {
+  SoaVecs soa;
+  soa.resize(4);
+  soa.set(0, Vec3{1, 2, 3});
+  soa.set(1, Vec3{10, 20, 30});
+  soa.set(2, Vec3{100, 200, 300});
+  soa.set(3, Vec3{-1, -1, -1});  // pad slot, must be skipped
+  const std::vector<std::int32_t> idx = {1, 1, 0, -1};
+  std::vector<Vec3> dst(2, Vec3{0.5f, 0.5f, 0.5f});
+  soa.scatter_add_indexed(dst, idx);
+  EXPECT_EQ(dst[0], (Vec3{100.5f, 200.5f, 300.5f}));
+  EXPECT_EQ(dst[1], (Vec3{11.5f, 22.5f, 33.5f}));
+}
+
+TEST(SoaVecs, AssignZeroRecyclesAndZeroes) {
+  SoaVecs soa;
+  soa.gather(random_vecs(32, 3));
+  soa.assign_zero(8);
+  ASSERT_EQ(soa.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(soa.at(i), (Vec3{0, 0, 0}));
+  }
+}
+
+}  // namespace
+}  // namespace hs::md

@@ -65,10 +65,15 @@ INSTANTIATE_TEST_SUITE_P(
     [](const auto& info) { return std::string(info.param.name); });
 
 TEST(MdRunner, PruningDoesNotChangeTrajectory) {
+  // Drift rebuilds off: this test isolates pruning on a fixed list (a
+  // rebuild after the last prune would reset the list sizes compared
+  // below; rebuild behaviour has its own tests).
   RunConfig with_prune;
   with_prune.prune_interval = 2;
+  with_prune.rebuild_on_drift = false;
   RunConfig without_prune;
   without_prune.prune_interval = 0;
+  without_prune.rebuild_on_drift = false;
 
   auto a = FunctionalRig::make(dd::GridDims{2, 2, 1},
                                sim::Topology::dgx_h100(1, 4), with_prune);
@@ -88,6 +93,88 @@ TEST(MdRunner, PruningDoesNotChangeTrajectory) {
   // But the prune did happen.
   EXPECT_LT(a.runner->pair_lists()[0].local.size(),
             b.runner->pair_lists()[0].local.size());
+}
+
+TEST(MdRunner, DriftRebuildTriggersAndPreservesTrajectory) {
+  // The hot jittered-lattice start drifts ~0.01 nm/step; with buffer
+  // rlist - cutoff = 0.1 the half-buffer limit (0.05) is crossed within
+  // 6 steps, so rebuilds must fire. The rebuilt lists cover the same
+  // physical pair set (drift < buffer), so the trajectory may differ
+  // from the fixed-list run only by float summation order.
+  RunConfig rebuild_cfg;  // rebuild_on_drift defaults on
+  RunConfig fixed_cfg;
+  fixed_cfg.rebuild_on_drift = false;
+
+  auto a = FunctionalRig::make(dd::GridDims{2, 2, 1},
+                               sim::Topology::dgx_h100(1, 4), rebuild_cfg);
+  auto b = FunctionalRig::make(dd::GridDims{2, 2, 1},
+                               sim::Topology::dgx_h100(1, 4), fixed_cfg);
+  a.runner->run(6);
+  b.runner->run(6);
+
+  std::int64_t rebuilds = 0;
+  for (auto c : a.runner->list_rebuilds()) rebuilds += c;
+  EXPECT_GT(rebuilds, 0) << "drift never crossed the half-buffer limit";
+  for (auto c : b.runner->list_rebuilds()) EXPECT_EQ(c, 0);
+
+  const md::System ga = a.dd->gather();
+  const md::System gb = b.dd->gather();
+  for (int i = 0; i < ga.natoms(); ++i) {
+    const md::Vec3 d = ga.box.min_image(ga.x[static_cast<std::size_t>(i)],
+                                        gb.x[static_cast<std::size_t>(i)]);
+    EXPECT_LT(md::norm(d), 1e-4f) << i;
+  }
+}
+
+TEST(MdRunner, NoRebuildInsideBufferIsBitwiseStable) {
+  // Within the half-buffer window (3 steps ~ 0.03 nm of drift) the
+  // rebuild knob must be a no-op: no rebuilds fire, and the trajectory
+  // is bitwise identical to a run with the knob off.
+  RunConfig on_cfg;
+  RunConfig off_cfg;
+  off_cfg.rebuild_on_drift = false;
+
+  auto a = FunctionalRig::make(dd::GridDims{2, 2, 1},
+                               sim::Topology::dgx_h100(1, 4), on_cfg);
+  auto b = FunctionalRig::make(dd::GridDims{2, 2, 1},
+                               sim::Topology::dgx_h100(1, 4), off_cfg);
+  a.runner->run(3);
+  b.runner->run(3);
+  for (auto c : a.runner->list_rebuilds()) EXPECT_EQ(c, 0);
+
+  const md::System ga = a.dd->gather();
+  const md::System gb = b.dd->gather();
+  for (int i = 0; i < ga.natoms(); ++i) {
+    EXPECT_EQ(ga.x[static_cast<std::size_t>(i)],
+              gb.x[static_cast<std::size_t>(i)])
+        << i;
+  }
+}
+
+TEST(MdRunner, ClusterKernelsMatchScalarPath) {
+  // The cluster fast path evaluates the same pair set as the scalar
+  // kernels in float instead of double pair arithmetic; over 6 steps the
+  // trajectories agree to well under the reference-test tolerance.
+  RunConfig cluster_cfg;  // use_cluster_kernels defaults on
+  RunConfig scalar_cfg;
+  scalar_cfg.use_cluster_kernels = false;
+
+  auto a = FunctionalRig::make(dd::GridDims{2, 2, 1},
+                               sim::Topology::dgx_h100(1, 4), cluster_cfg);
+  auto b = FunctionalRig::make(dd::GridDims{2, 2, 1},
+                               sim::Topology::dgx_h100(1, 4), scalar_cfg);
+  a.runner->run(6);
+  b.runner->run(6);
+
+  const md::System ga = a.dd->gather();
+  const md::System gb = b.dd->gather();
+  double max_err = 0.0;
+  for (int i = 0; i < ga.natoms(); ++i) {
+    const md::Vec3 d = ga.box.min_image(ga.x[static_cast<std::size_t>(i)],
+                                        gb.x[static_cast<std::size_t>(i)]);
+    max_err = std::max(max_err, static_cast<double>(md::norm(d)));
+  }
+  EXPECT_LT(max_err, 1e-4);
 }
 
 TEST(MdRunner, CpuPeBarrierPreservesResults) {
