@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
     for (halo::Transport tr :
          {halo::Transport::Shmem, halo::Transport::ThreadMpi}) {
       bench::CaseSpec spec;
+      spec.workers = bench::cli_workers(cli);
       spec.atoms = atoms;
       spec.topology = sim::Topology::dgx_h100(1, 4);
       spec.config.transport = tr;

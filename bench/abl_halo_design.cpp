@@ -16,7 +16,8 @@ struct Variant {
 };
 
 void run_suite(const char* title, long long atoms, sim::Topology topo,
-               bench::Observability& obs, const std::string& suite_tag) {
+               bench::Observability& obs, const std::string& suite_tag,
+               int workers) {
   std::cout << "\n" << title << "\n";
   util::Table table({"variant", "ns/day", "nonlocal us", "vs full"});
   const Variant variants[] = {
@@ -32,6 +33,7 @@ void run_suite(const char* title, long long atoms, sim::Topology topo,
     bench::CaseSpec spec;
     spec.atoms = atoms;
     spec.topology = topo;
+    spec.workers = workers;
     spec.config.transport = halo::Transport::Shmem;
     spec.config.halo_tuning = v.tuning;
     const auto r =
@@ -55,9 +57,11 @@ int main(int argc, char** argv) {
       "construction;\nonly timing changes).");
   // 32 ranks on one NVL72-style domain => 3D DD, all-NVLink.
   run_suite("Intra-domain NVLink, 32 GPUs, 3D DD, grappa 720k:", 720000,
-            sim::Topology::gb200_nvl72(8, 4), obs, "nvl72");
+            sim::Topology::gb200_nvl72(8, 4), obs, "nvl72",
+            bench::cli_workers(cli));
   // 8 nodes x 4 GPUs over IB => 3D DD, mixed NVLink+IB.
   run_suite("Multi-node NVLink+IB, 32 GPUs, 3D DD, grappa 360k:", 360000,
-            sim::Topology::dgx_h100(8, 4), obs, "mixed");
+            sim::Topology::dgx_h100(8, 4), obs, "mixed",
+            bench::cli_workers(cli));
   return obs.finish() ? 0 : 1;
 }

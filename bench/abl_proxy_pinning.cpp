@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
             pgas::ProxyPlacement::RankPinned,
             pgas::ProxyPlacement::ContendedCore}) {
         bench::CaseSpec spec;
+        spec.workers = bench::cli_workers(cli);
         spec.atoms = atoms;
         spec.topology = sim::Topology::dgx_h100(nodes, 4);
         spec.config.transport = halo::Transport::Shmem;

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   for (long long atoms : {180000LL, 360000LL, 720000LL}) {
     for (halo::Transport tr : {halo::Transport::Mpi, halo::Transport::Shmem}) {
       bench::CaseSpec spec;
+      spec.workers = bench::cli_workers(cli);
       spec.atoms = atoms;
       spec.topology = sim::Topology::dgx_h100(1, 4);
       spec.config.transport = tr;

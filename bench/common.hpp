@@ -43,6 +43,10 @@ struct CaseSpec {
   runner::RunConfig config{};
   int steps = 16;
   int warmup = 4;
+  /// 0 = classic sequential engine; >= 1 = partitioned parallel engine with
+  /// that many worker threads (every bench accepts --workers=N; the output
+  /// is bit-identical across N >= 1 — see DESIGN.md "Parallel engine").
+  int workers = 0;
 };
 
 /// Observability sink shared by all benches: collects per-run traces into
@@ -189,6 +193,11 @@ class Observability {
   util::metrics::Report metrics_;
 };
 
+/// Parse the shared --workers=N flag (parallel engine worker count).
+inline int cli_workers(const util::Cli& cli) {
+  return static_cast<int>(cli.get_int("workers", 0));
+}
+
 inline CaseResult run_case(const CaseSpec& spec, Observability* obs = nullptr,
                            const std::string& label = {}) {
   const int ranks = spec.topology.device_count();
@@ -198,7 +207,15 @@ inline CaseResult run_case(const CaseSpec& spec, Observability* obs = nullptr,
   const dd::GridDims dims = dd::choose_grid(box, ranks, kCommCutoff);
   const dd::DomainGrid grid(box, dims);
 
-  sim::Machine machine(spec.topology, spec.cost_model);
+  sim::MachineOptions machine_options;
+  machine_options.workers = spec.workers;
+  if (spec.workers > 0 && spec.config.transport == halo::Transport::Mpi) {
+    // The MPI transport is CPU-blocking across ranks and refuses the
+    // partitioned engine; comparative benches keep their MPI baseline on
+    // the classic engine so --workers still works for the whole suite.
+    machine_options.workers = 0;
+  }
+  sim::Machine machine(spec.topology, spec.cost_model, machine_options);
   machine.trace().set_enabled(true);
   pgas::World world(machine);
   msg::Comm comm(machine);

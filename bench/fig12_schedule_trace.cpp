@@ -43,7 +43,10 @@ int main(int argc, char** argv) {
     const dd::DomainGrid grid(
         box, dd::choose_grid(box, ranks, bench::kCommCutoff));
 
-    sim::Machine machine(spec.topology, spec.cost_model);
+    sim::MachineOptions machine_options;
+    // The MPI half is CPU-blocking and stays on the classic engine.
+    machine_options.workers = mpi ? 0 : bench::cli_workers(cli);
+    sim::Machine machine(spec.topology, spec.cost_model, machine_options);
     machine.trace().set_enabled(true);
     pgas::World world(machine);
     msg::Comm comm(machine);

@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
   for (long long atoms : {45000LL, 90000LL, 180000LL, 360000LL}) {
     for (int gpus : {4, 8}) {
       bench::CaseSpec spec;
+      spec.workers = bench::cli_workers(cli);
       spec.atoms = atoms;
       spec.topology = sim::Topology::dgx_h100(1, gpus);
 

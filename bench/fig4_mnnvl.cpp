@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
     double baseline = 0.0;
     for (int nodes : {1, 2, 4, 8}) {
       bench::CaseSpec spec;
+      spec.workers = bench::cli_workers(cli);
       spec.atoms = atoms;
       spec.topology = sim::Topology::gb200_nvl72(nodes, 4);
       spec.cost_model = sim::CostModel::gb200_nvl72();

@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
     int base_nodes = s.nodes.front();
     for (int nodes : s.nodes) {
       bench::CaseSpec spec;
+      spec.workers = bench::cli_workers(cli);
       spec.atoms = s.atoms;
       spec.topology = sim::Topology::dgx_h100(nodes, 4);
       // Fewer steps at very large rank counts to keep the bench snappy.

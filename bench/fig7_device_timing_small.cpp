@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   for (const Point pt : {Point{90000, 2}, Point{180000, 4}, Point{360000, 8}}) {
     for (halo::Transport tr : {halo::Transport::Mpi, halo::Transport::Shmem}) {
       bench::CaseSpec spec;
+      spec.workers = bench::cli_workers(cli);
       spec.atoms = pt.atoms;
       spec.topology = sim::Topology::dgx_h100(pt.nodes, 4);
       spec.config.transport = tr;

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
        {Point{720000, 2}, Point{1440000, 4}, Point{2880000, 8}}) {
     for (halo::Transport tr : {halo::Transport::Mpi, halo::Transport::Shmem}) {
       bench::CaseSpec spec;
+      spec.workers = bench::cli_workers(cli);
       spec.atoms = pt.atoms;
       spec.topology = sim::Topology::dgx_h100(pt.nodes, 4);
       spec.config.transport = tr;

@@ -1,0 +1,151 @@
+// Parallel-engine strong scaling: wall-clock throughput of the partitioned
+// (PDES) engine on a 72-rank fig-style halo-exchange case, swept over
+// worker counts.
+//
+//   $ pdes_scaling [--workers-list=0,1,2,4,8] [--atoms=720000] [--steps=6]
+//                  [--metrics-json=out.json]
+//
+// Every run simulates the identical workload; partitioned runs (workers
+// >= 1) are bit-identical to each other by construction (verified here via
+// a final-clock/event-count cross-check), so the sweep isolates pure host
+// parallelism. The metrics JSON (bench-metrics-v1) records wall ms per
+// run, speedup vs workers=1, and the host CPU count — wall-clock speedup
+// saturates at the physical core count, so baselines must be read against
+// host_cpus (a 1-core container cannot show > 1x no matter the workers).
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+
+using namespace hs;
+
+namespace {
+
+std::vector<int> parse_list(const std::string& csv) {
+  std::vector<int> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stoi(item));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const long long atoms = cli.get_int("atoms", 720000);
+  const int steps = static_cast<int>(cli.get_int("steps", 6));
+  const std::vector<int> workers_list =
+      parse_list(cli.get("workers-list", "0,1,2,4,8"));
+  const std::string metrics_path = cli.get("metrics-json", "");
+  const unsigned host_cpus = std::thread::hardware_concurrency();
+
+  bench::print_header(
+      "PDES strong scaling — 72-rank halo exchange, workers sweep",
+      "gb200_nvl72(18,4) = 72 ranks, Shmem transport, grappa " +
+          bench::size_label(atoms) + ", " + std::to_string(steps) +
+          " steps.\nworkers=0 is the classic sequential engine; workers>=1 "
+          "the partitioned\nengine (bit-identical output for every N). "
+          "host_cpus=" + std::to_string(host_cpus) +
+          " bounds the attainable wall speedup.");
+
+  util::Table table({"workers", "engine", "wall ms", "events", "Mev/s",
+                     "vs workers=1", "sim final ms"});
+  util::metrics::Report metrics;
+  double base_wall_ms = 0.0;
+  sim::SimTime partitioned_final = -1;
+  std::uint64_t partitioned_events = 0;
+  bool parity_ok = true;
+
+  for (const int workers : workers_list) {
+    bench::CaseSpec spec;
+    spec.atoms = atoms;
+    spec.steps = steps;
+    spec.topology = sim::Topology::gb200_nvl72(18, 4);
+    spec.cost_model = sim::CostModel::gb200_nvl72();
+    spec.config.transport = halo::Transport::Shmem;
+    spec.workers = workers;
+
+    const float box_len = static_cast<float>(std::cbrt(
+        static_cast<double>(atoms) / bench::kGrappaDensity));
+    const md::Box box(box_len, box_len, box_len);
+    const dd::DomainGrid grid(
+        box, dd::choose_grid(box, spec.topology.device_count(),
+                             bench::kCommCutoff));
+
+    sim::MachineOptions machine_options;
+    machine_options.workers = workers;
+    sim::Machine machine(spec.topology, spec.cost_model, machine_options);
+    pgas::World world(machine);
+    msg::Comm comm(machine);
+    runner::MdRunner md_runner(
+        machine, world, comm,
+        halo::make_skeleton_workload(grid, bench::kCommCutoff,
+                                     bench::kGrappaDensity),
+        spec.config);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    md_runner.run(steps);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const std::uint64_t events = machine.events_processed();
+    const sim::SimTime final_ns = machine.final_time();
+
+    if (workers == 1) base_wall_ms = wall_ms;
+    if (workers >= 1) {
+      // Cross-check the bit-identity contract on the cheap observables.
+      if (partitioned_final < 0) {
+        partitioned_final = final_ns;
+        partitioned_events = events;
+      } else if (final_ns != partitioned_final ||
+                 events != partitioned_events) {
+        parity_ok = false;
+      }
+    }
+
+    const std::string label = "workers" + std::to_string(workers);
+    table.add_row(
+        {std::to_string(workers), workers == 0 ? "classic" : "partitioned",
+         util::Table::fmt(wall_ms, 1), std::to_string(events),
+         util::Table::fmt(static_cast<double>(events) / (wall_ms * 1e3), 2),
+         workers >= 1 && base_wall_ms > 0.0
+             ? util::Table::fmt(base_wall_ms / wall_ms, 2) + "x"
+             : "-",
+         util::Table::fmt(sim::to_ms(final_ns), 2)});
+    metrics.set(label, "wall_ms", wall_ms);
+    metrics.set(label, "events", static_cast<double>(events));
+    // Throughput, not latency — keep the key clear of the _us/_ns suffixes
+    // bench_diff gates on (growth here is an improvement).
+    metrics.set(label, "mevents_per_s",
+                static_cast<double>(events) / (wall_ms * 1e3));
+    if (workers >= 1 && base_wall_ms > 0.0) {
+      metrics.set(label, "speedup_vs_workers1", base_wall_ms / wall_ms);
+    }
+    metrics.set(label, "host_cpus", static_cast<double>(host_cpus));
+    metrics.set(label, "sim_final_ns", static_cast<double>(final_ns));
+  }
+  table.print(std::cout);
+
+  if (!parity_ok) {
+    std::cerr << "pdes_scaling: FAIL — partitioned runs disagreed on "
+                 "final clock / event count (bit-identity broken)\n";
+    return 1;
+  }
+  std::cout << "\npartitioned runs agree on final clock and event count.\n";
+
+  if (!metrics_path.empty()) {
+    if (!util::metrics::write_file(metrics_path, metrics)) {
+      std::cerr << "failed to write metrics file: " << metrics_path << "\n";
+      return 1;
+    }
+    std::cout << "metrics written: " << metrics_path << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Thread-sanitizer smoke for the parallel (partitioned) engine.
+#
+# Configures a HALOSIM_SANITIZE=thread tree and runs, under TSan:
+#   1. the ParallelDriver unit tests (window protocol, deterministic
+#      message injection, error propagation),
+#   2. the runner parity suite (workers 1 vs N bit-identity, jitter
+#      stress, classic-vs-partitioned canonical equality), and
+#   3. one fig-style bench sweep across worker counts (pdes_scaling,
+#      small case) so real halo-exchange traffic crosses lane boundaries
+#      with the race detector watching.
+#
+# Any data race in the lane/inbox/window-barrier machinery fails the run.
+# Wired into scripts/bench_gate.sh --wall.
+#
+#   $ scripts/threads_smoke.sh [--tsan-dir=build-tsan]
+set -euo pipefail
+
+TSAN_DIR="build-tsan"
+for arg in "$@"; do
+  case "$arg" in
+    --tsan-dir=*) TSAN_DIR="${arg#--tsan-dir=}" ;;
+    *) TSAN_DIR="$arg" ;;
+  esac
+done
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+if [[ ! -d "$TSAN_DIR" ]]; then
+  cmake -B "$TSAN_DIR" -S . -DHALOSIM_SANITIZE=thread > /dev/null
+fi
+cmake --build "$TSAN_DIR" -j --target sim_tests runner_tests pdes_scaling \
+  > /dev/null
+
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+
+"$TSAN_DIR/tests/sim/sim_tests" --gtest_brief=1 \
+  --gtest_filter='ParallelDriverTest.*'
+"$TSAN_DIR/tests/runner/runner_tests" --gtest_brief=1 \
+  --gtest_filter='ParallelParity.*'
+# Small sweep: the point is TSan coverage of cross-lane traffic, not timing.
+"$TSAN_DIR/bench/pdes_scaling" --atoms=90000 --steps=3 \
+  --workers-list=1,2,4 > /dev/null
+echo "threads_smoke: OK ($TSAN_DIR)"

@@ -60,16 +60,18 @@ ShmemHaloExchange::ShmemHaloExchange(sim::Machine& machine, pgas::World& world,
   if (n_pulses > 0) {
     coord_sig_ = world.alloc_signals(n_pulses, "coordSig");
     force_sig_ = world.alloc_signals(n_pulses, "forceSig");
+    consumed_ack_ = world.alloc_signals(n_pulses, "consumedAck");
   }
 
   unpack_done_.resize(static_cast<std::size_t>(n_ranks));
   force_stage_.resize(static_cast<std::size_t>(n_ranks));
   force_wire_.resize(static_cast<std::size_t>(n_ranks));
   for (int r = 0; r < n_ranks; ++r) {
-    consumed_.push_back(std::make_unique<sim::Signal>(machine.engine()));
     auto& done = unpack_done_[static_cast<std::size_t>(r)];
     for (int p = 0; p < n_pulses; ++p) {
-      done.push_back(std::make_unique<sim::Signal>(machine.engine()));
+      // Only rank r ever waits or stores these (its own pulse ordering),
+      // so they are homed on r's lane.
+      done.push_back(std::make_unique<sim::Signal>(machine.device_engine(r)));
     }
     force_stage_[static_cast<std::size_t>(r)].resize(
         static_cast<std::size_t>(n_pulses));
@@ -127,18 +129,20 @@ sim::Task ShmemHaloExchange::coord_pulse_task(sim::KernelContext& ctx,
   const int indep = meta.send_size - meta.num_dependent;
   const bool partition = tuning_.dependency_partitioning;
 
-  auto pending = std::make_shared<sim::Signal>(machine_->engine());
+  auto pending = std::make_shared<sim::Signal>(machine_->device_engine(rank));
   // Local completion word for the TMA bulk stores: its blocked waits are
-  // transfer-bound time on this rank, so bind it to the trace here (the
-  // cross-rank consumed_/unpack_done_ waits stay unbound — their producers
-  // run on other devices and would misattribute).
-  pending->bind_trace(&machine_->trace(), rank, "tmaStorePending");
+  // transfer-bound time on this rank, so bind it to this rank's trace lane
+  // (the unpack_done_ waits stay unbound — they order same-rank pulses and
+  // would double-count).
+  pending->bind_trace(&machine_->device_trace(rank), rank, "tmaStorePending");
   int segments = 0;
 
   // Reuse protection: the peer must have finished consuming last step's
-  // halo coordinates before we overwrite its slots (see consumed_ decl).
+  // halo coordinates before we overwrite its slots. We wait on our *own*
+  // consumedAck word; the peer's force-kernel completion pushed the ack
+  // here via the fabric (see consumed_ack_ decl).
   {
-    sim::Signal& ack = *consumed_[static_cast<std::size_t>(meta.send_rank)];
+    sim::Signal& ack = world_->signal(consumed_ack_, rank, p);
     const bool ready = ack.value() >= sigval - 1;
     co_await ack.wait_ge(sigval - 1);
     if (!ready) co_await sim::Delay{cm.signal_poll_ns};
@@ -305,8 +309,8 @@ sim::Task ShmemHaloExchange::force_pulse_task(sim::KernelContext& ctx,
         if (!ready) co_await sim::Delay{cm.signal_poll_ns};
       }
       // Device-initiated bulk get from the peer's force array.
-      auto got = std::make_shared<sim::Signal>(machine_->engine());
-      got->bind_trace(&machine_->trace(), rank, "tmaLoadPending");
+      auto got = std::make_shared<sim::Signal>(machine_->device_engine(rank));
+      got->bind_trace(&machine_->device_trace(rank), rank, "tmaLoadPending");
       std::function<void()> deliver;
       if (st != nullptr) {
         // Resolve the peer's wire at issue time (it is final: the peer
@@ -416,12 +420,18 @@ std::vector<sim::KernelSpec> ShmemHaloExchange::force_kernels(
     auto* dev = &machine_->device(rank);
     // The kernel covering pulse 0 is the last of the step's force kernels:
     // its completion means this rank no longer reads its halo coordinates.
-    sim::Signal* consumed =
-        first_pulse == 0 ? consumed_[static_cast<std::size_t>(rank)].get()
-                         : nullptr;
-    spec.on_complete = [dev, hold, consumed, sigval] {
+    // Push a consumption ack to each rank that writes into our halo slots
+    // (pulse symmetry: the pulse-q writer into us is our pulse-q recv_rank),
+    // as a fabric signal_op so the waiter's word stays lane-local.
+    const bool acks = first_pulse == 0;
+    spec.on_complete = [this, dev, hold, rank, sigval, acks] {
       dev->end_hold(*hold);
-      if (consumed != nullptr) consumed->store(sigval);
+      if (!acks) return;
+      for (int q = 0; q < total_pulses(); ++q) {
+        const int writer = pulse(rank, q).recv_rank;
+        world_->signal_op(rank, writer,
+                          world_->signal(consumed_ack_, writer, q), sigval);
+      }
     };
     return spec;
   };

@@ -98,12 +98,15 @@ class ShmemHaloExchange {
   pgas::World::SignalArray coord_sig_;   // arrival of coordinate pulse data
   pgas::World::SignalArray force_sig_;   // force data arrival / readiness
   std::vector<std::vector<std::unique_ptr<sim::Signal>>> unpack_done_;
-  // Per-rank consumption ack: set to step+1 when a rank's force kernel has
-  // finished, i.e. its halo coordinates for that step are no longer read.
-  // A sender must not overwrite a peer's halo slots for step n+1 before the
-  // peer acknowledged step n (the reuse-protection the paper's per-step PE
-  // synchronization provides; here it is GPU-resident).
-  std::vector<std::unique_ptr<sim::Signal>> consumed_;
+  // Consumption acks: word [R][p] is set to step+1 once the rank whose halo
+  // slots R's pulse-p coordinates land in has finished its force kernels for
+  // that step (its halo coordinates are no longer read). A sender must not
+  // overwrite a peer's halo slots for step n+1 before the peer acknowledged
+  // step n — the reuse protection the paper's per-step PE synchronization
+  // provides, here GPU-resident. The ack travels as a signal_op over the
+  // fabric so each rank only ever waits on its *own* symmetric word
+  // (lane-local in partitioned runs; remote stores arrive via the fabric).
+  pgas::World::SignalArray consumed_ack_;
 
   // Functional-mode buffers: incoming force staging per [rank][pulse].
   std::vector<std::vector<std::vector<md::Vec3>>> force_stage_;

@@ -35,8 +35,11 @@ ThreadMpiHaloExchange::ThreadMpiHaloExchange(sim::Machine& machine,
 sim::GpuEventPtr ThreadMpiHaloExchange::event(
     std::map<std::tuple<std::int64_t, int, int>, sim::GpuEventPtr>& table,
     std::int64_t step, int rank, int p) {
+  std::lock_guard<std::mutex> lock(event_mu_);
   auto& slot = table[{step, rank, p}];
-  if (!slot) slot = std::make_shared<sim::GpuEvent>(machine_->engine());
+  if (!slot) {
+    slot = std::make_shared<sim::GpuEvent>(machine_->device_engine(rank));
+  }
   // Prune entries older than any plausible launch-ahead window.
   while (!table.empty() && std::get<0>(table.begin()->first) < step - 8) {
     table.erase(table.begin());
@@ -95,7 +98,7 @@ sim::Task ThreadMpiHaloExchange::coord_phase(int rank, sim::Stream& stream,
     stream.enqueue_async(
         "DmaX_p" + std::to_string(p),
         [fabric, rank, dst, bytes, setup, wire, peer, peer_offset, copied,
-         engine = &machine_->engine()](std::function<void()> done) {
+         engine = &machine_->device_engine(rank)](std::function<void()> done) {
           engine->schedule_after(setup, [fabric, rank, dst, bytes, wire, peer,
                                          peer_offset, copied,
                                          done = std::move(done)] {
@@ -104,15 +107,18 @@ sim::Task ThreadMpiHaloExchange::coord_phase(int rank, sim::Stream& stream,
             req.dst_device = dst;
             req.bytes = bytes;
             req.label = "dma_x";
-            req.deliver = [wire, peer, peer_offset] {
-              if (peer == nullptr) return;
-              std::copy(wire->begin(), wire->end(),
-                        peer->x.begin() + peer_offset);
-            };
-            fabric->transfer(std::move(req), [copied, done = std::move(done)] {
+            // The copy event completes with the delivery: both are
+            // destination-side effects (the event's waiters are the
+            // receiver's stream), so in partitioned mode they must run on
+            // the destination lane together.
+            req.deliver = [wire, peer, peer_offset, copied] {
+              if (peer != nullptr) {
+                std::copy(wire->begin(), wire->end(),
+                          peer->x.begin() + peer_offset);
+              }
               copied->complete();
-              done();
-            });
+            };
+            fabric->transfer(std::move(req), std::move(done));
           });
         });
   }
@@ -149,7 +155,7 @@ sim::Task ThreadMpiHaloExchange::force_phase(int rank, sim::Stream& stream,
     stream.enqueue_async(
         "DmaF_p" + std::to_string(p),
         [self, fabric, rank, dst, p, bytes, setup, wire, st, meta_ptr, copied,
-         engine = &machine_->engine()](std::function<void()> done) {
+         engine = &machine_->device_engine(rank)](std::function<void()> done) {
           // Capture at copy time (the stream has finished the producers).
           if (st != nullptr) {
             wire->assign(st->f.begin() + meta_ptr->atom_offset,
@@ -163,14 +169,14 @@ sim::Task ThreadMpiHaloExchange::force_phase(int rank, sim::Stream& stream,
             req.dst_device = dst;
             req.bytes = bytes;
             req.label = "dma_f";
-            req.deliver = [self, wire, dst, p] {
+            // Staging write + event completion are both destination-side
+            // effects; deliver them together on the destination lane.
+            req.deliver = [self, wire, dst, p, copied] {
               self->force_stage_[static_cast<std::size_t>(dst)]
                                 [static_cast<std::size_t>(p)] = *wire;
-            };
-            fabric->transfer(std::move(req), [copied, done = std::move(done)] {
               copied->complete();
-              done();
-            });
+            };
+            fabric->transfer(std::move(req), std::move(done));
           });
         });
 

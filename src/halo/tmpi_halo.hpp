@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "halo/workload.hpp"
@@ -57,14 +58,20 @@ class ThreadMpiHaloExchange {
   }
 
   /// Cross-rank GPU events, shared process-wide exactly like thread-MPI.
-  /// Key: (step, rank, pulse). Whichever host loop needs one first creates
-  /// it; entries older than the launch-ahead window are pruned.
+  /// Key: (step, rank, pulse); the event is homed on the key rank's lane
+  /// engine (its waiters live there; completion arrives there via the DMA
+  /// delivery). Whichever host loop needs one first creates it; entries
+  /// older than the launch-ahead window are pruned. The table itself is
+  /// shared across ranks, so lookups are mutex-guarded — in partitioned
+  /// runs two lanes may fault in the same (step, rank, pulse) entry
+  /// concurrently.
   sim::GpuEventPtr event(std::map<std::tuple<std::int64_t, int, int>,
                                   sim::GpuEventPtr>& table,
                          std::int64_t step, int rank, int p);
 
   sim::Machine* machine_;
   Workload workload_;
+  std::mutex event_mu_;
   std::map<std::tuple<std::int64_t, int, int>, sim::GpuEventPtr> coord_copied_;
   std::map<std::tuple<std::int64_t, int, int>, sim::GpuEventPtr> force_copied_;
   // Incoming force staging per [rank][pulse] (functional mode).

@@ -40,7 +40,8 @@ World::World(sim::Machine& machine, std::size_t heap_bytes_per_pe)
              ProxyPlacement::RankPinned),
       registered_(static_cast<std::size_t>(machine.device_count())),
       host_barrier_(std::make_unique<sim::BlockBarrier>(machine.engine(),
-                                                        machine.device_count())) {}
+                                                        machine.device_count())),
+      counter_rows_(static_cast<std::size_t>(machine.device_count())) {}
 
 World::~World() = default;
 
@@ -57,10 +58,13 @@ World::SignalArray World::alloc_signals(int count, const std::string& name) {
   signal_array_offsets_.push_back(
       static_cast<int>(signals_.size() / static_cast<std::size_t>(n_pes())));
   for (int i = 0; i < count * n_pes(); ++i) {
-    auto sig = std::make_unique<sim::Signal>(machine_->engine());
     // Slot layout is index-major (slot*n_pes + pe): PE i%n_pes owns this
-    // word, and its blocked waits show up on that device in the trace.
-    sig->bind_trace(&machine_->trace(), i % n_pes(),
+    // word — it lives on that PE's lane engine (waits and wakes are
+    // lane-local; remote setters reach it via the fabric), and its blocked
+    // waits show up on that device in the trace.
+    const int owner = i % n_pes();
+    auto sig = std::make_unique<sim::Signal>(machine_->device_engine(owner));
+    sig->bind_trace(&machine_->device_trace(owner), owner,
                     name + "[" + std::to_string(i / n_pes()) + "]");
     signals_.push_back(std::move(sig));
   }
@@ -104,14 +108,21 @@ int World::messages_for(std::size_t bytes, int chunk_bytes) const {
   return static_cast<int>((bytes + chunk - 1) / chunk);
 }
 
-void World::count(PgasOp op, std::size_t bytes) {
-  OpCounters& c = counters_.op(op);
+void World::count(int pe, PgasOp op, std::size_t bytes) {
+  OpCounters& c = counter_rows_[static_cast<std::size_t>(pe)].op(op);
   ++c.calls;
   c.bytes += bytes;
 }
 
 WorldCounters World::counters() const {
-  WorldCounters out = counters_;
+  WorldCounters out;
+  for (const auto& row : counter_rows_) {
+    for (int i = 0; i < kPgasOpCount; ++i) {
+      const auto op = static_cast<PgasOp>(i);
+      out.op(op).calls += row.op(op).calls;
+      out.op(op).bytes += row.op(op).bytes;
+    }
+  }
   std::uint64_t waits = 0;
   for (const auto& sig : signals_) waits += sig->wait_count();
   out.op(PgasOp::SignalWait).calls = waits - wait_base_;
@@ -121,7 +132,7 @@ WorldCounters World::counters() const {
 void World::reset_counters() {
   wait_base_ = 0;
   for (const auto& sig : signals_) wait_base_ += sig->wait_count();
-  counters_ = WorldCounters{};
+  for (auto& row : counter_rows_) row = WorldCounters{};
 }
 
 void World::issue_put(int src_pe, int dst_pe, std::size_t bytes,
@@ -143,7 +154,7 @@ void World::issue_put(int src_pe, int dst_pe, std::size_t bytes,
 void World::put_nbi(int src_pe, int dst_pe, std::size_t bytes,
                     std::function<void()> copy,
                     std::function<void()> on_delivered) {
-  count(PgasOp::Put, bytes);
+  count(src_pe, PgasOp::Put, bytes);
   issue_put(src_pe, dst_pe, bytes, std::move(copy), std::move(on_delivered),
             "put");
 }
@@ -152,7 +163,7 @@ void World::put_signal_nbi(int src_pe, int dst_pe, std::size_t bytes,
                            std::function<void()> copy, sim::Signal& signal,
                            std::int64_t sig_value,
                            std::function<void()> on_delivered) {
-  count(PgasOp::PutSignal, bytes);
+  count(src_pe, PgasOp::PutSignal, bytes);
   // The signal is delivered with (after) the data in one fused operation —
   // this is the nvshmem put-with-signal completion order guarantee. The
   // fabric enforces the order; no composed closure per call.
@@ -162,7 +173,7 @@ void World::put_signal_nbi(int src_pe, int dst_pe, std::size_t bytes,
 
 void World::signal_op(int src_pe, int dst_pe, sim::Signal& signal,
                       std::int64_t sig_value) {
-  count(PgasOp::SignalOp, sizeof(std::int64_t));
+  count(src_pe, PgasOp::SignalOp, sizeof(std::int64_t));
   issue_put(src_pe, dst_pe, sizeof(std::int64_t), {}, {}, "signal_op",
             &signal, sig_value);
 }
@@ -172,7 +183,7 @@ void World::tma_store_async(int src_pe, int dst_pe, std::size_t bytes,
                             std::function<void()> on_complete) {
   assert(nvlink_reachable(src_pe, dst_pe) &&
          "TMA remote store requires NVLink reachability");
-  count(PgasOp::TmaStore, bytes);
+  count(src_pe, PgasOp::TmaStore, bytes);
   sim::TransferRequest req;
   req.src_device = device_of(src_pe);
   req.dst_device = device_of(dst_pe);
@@ -188,11 +199,13 @@ void World::tma_load_async(int dst_pe, int src_pe, std::size_t bytes,
                            std::function<void()> on_complete) {
   assert(nvlink_reachable(dst_pe, src_pe) &&
          "TMA remote load requires NVLink reachability");
-  count(PgasOp::Get, bytes);
+  count(dst_pe, PgasOp::Get, bytes);
   sim::TransferRequest req;
-  // A get is modelled as a transfer from the remote source device.
+  // A get is modelled as a transfer from the remote source device, but the
+  // *destination* PE executes the TMA load — it is the issuing lane.
   req.src_device = device_of(src_pe);
   req.dst_device = device_of(dst_pe);
+  req.issue_device = device_of(dst_pe);
   req.bytes = bytes;
   req.num_messages = messages_for(bytes, machine_->cost().tma_chunk_bytes);
   req.label = "tma_get";

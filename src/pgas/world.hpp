@@ -150,7 +150,10 @@ class World {
 
  private:
   int messages_for(std::size_t bytes, int chunk_bytes) const;
-  void count(PgasOp op, std::size_t bytes);
+  /// Account an op to the *issuing* PE's counter row. Rows are per PE so
+  /// that partitioned lanes never write a shared accumulator; counters()
+  /// sums them in PE order (deterministic either way).
+  void count(int pe, PgasOp op, std::size_t bytes);
   /// Issue the fabric transfer for a put-shaped op (shared by put_nbi,
   /// put_signal_nbi, and signal_op so each counts as its own op). The
   /// optional signal rides on the TransferRequest — the fabric stores it
@@ -172,7 +175,7 @@ class World {
   std::vector<std::vector<Registration>> registered_;  // per PE
   std::unique_ptr<sim::BlockBarrier> host_barrier_;
   std::vector<std::unique_ptr<class Team>> teams_;
-  WorldCounters counters_;
+  std::vector<WorldCounters> counter_rows_;  // per issuing PE
   std::uint64_t wait_base_ = 0;  // signal waits consumed by reset_counters
 
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace hs::runner {
 
@@ -17,6 +18,22 @@ MdRunner::MdRunner(sim::Machine& machine, pgas::World& world, msg::Comm& comm,
       ff_(ff) {
   const int n = num_ranks();
   assert(n == machine.device_count());
+  if (machine.partitioned()) {
+    // The MPI transport rendezvous-blocks ranks against each other through
+    // a shared CPU-side comm object, and the CPU PE barrier arrives on a
+    // shared engine — both assume one timeline. Parallel (partitioned)
+    // runs support Shmem and ThreadMpi only.
+    if (config_.transport == halo::Transport::Mpi) {
+      throw std::invalid_argument(
+          "MPI transport is CPU-blocking across ranks and cannot run "
+          "partitioned; use workers=0 or Shmem/ThreadMpi");
+    }
+    if (config_.cpu_pe_barrier) {
+      throw std::invalid_argument(
+          "cpu_pe_barrier uses a shared host barrier and cannot run "
+          "partitioned; use workers=0");
+    }
+  }
   if (workload_.functional()) {
     assert(ff_ != nullptr && "functional runs need a force field");
     integrator_.emplace(config_.dt_fs * 1e-3);  // fs -> ps
@@ -353,15 +370,17 @@ sim::Task MdRunner::rank_loop(int rank, int steps) {
     } else if (tmpi) {
       // Host-async event-driven enqueue; the "join" returns as soon as all
       // launches are issued (the phase never blocks on the GPU).
-      auto done = std::make_shared<sim::GpuEvent>(machine_->engine());
-      machine_->spawn_host_task(tmpi_->coord_phase(rank, *s.nonlocal, step),
-                                [done] { done->complete(); });
+      auto done = std::make_shared<sim::GpuEvent>(machine_->device_engine(rank));
+      machine_->spawn_host_task_on(rank,
+                                   tmpi_->coord_phase(rank, *s.nonlocal, step),
+                                   [done] { done->complete(); });
       co_await done->wait();
     } else {
       // CPU-blocking MPI phases (Fig. 1). Joined via completion event.
-      auto done = std::make_shared<sim::GpuEvent>(machine_->engine());
-      machine_->spawn_host_task(mpi_->coord_phase(rank, *s.nonlocal, step),
-                                [done] { done->complete(); });
+      auto done = std::make_shared<sim::GpuEvent>(machine_->device_engine(rank));
+      machine_->spawn_host_task_on(rank,
+                                   mpi_->coord_phase(rank, *s.nonlocal, step),
+                                   [done] { done->complete(); });
       co_await done->wait();
     }
 
@@ -387,14 +406,16 @@ sim::Task MdRunner::rank_loop(int rank, int steps) {
         s.nonlocal->launch(std::move(spec));
       }
     } else if (tmpi) {
-      auto done = std::make_shared<sim::GpuEvent>(machine_->engine());
-      machine_->spawn_host_task(tmpi_->force_phase(rank, *s.nonlocal, step),
-                                [done] { done->complete(); });
+      auto done = std::make_shared<sim::GpuEvent>(machine_->device_engine(rank));
+      machine_->spawn_host_task_on(rank,
+                                   tmpi_->force_phase(rank, *s.nonlocal, step),
+                                   [done] { done->complete(); });
       co_await done->wait();
     } else {
-      auto done = std::make_shared<sim::GpuEvent>(machine_->engine());
-      machine_->spawn_host_task(mpi_->force_phase(rank, *s.nonlocal, step),
-                                [done] { done->complete(); });
+      auto done = std::make_shared<sim::GpuEvent>(machine_->device_engine(rank));
+      machine_->spawn_host_task_on(rank,
+                                   mpi_->force_phase(rank, *s.nonlocal, step),
+                                   [done] { done->complete(); });
       co_await done->wait();
     }
 
@@ -439,10 +460,11 @@ sim::Task MdRunner::rank_loop(int rank, int steps) {
     update_events_[static_cast<std::size_t>(rank)].push_back(update_done);
 
     auto* self = this;
-    update_done->when_complete([self, rank, step] {
-      self->per_rank_step_end_[static_cast<std::size_t>(rank)]
-          [static_cast<std::size_t>(step)] = self->machine_->engine().now();
-    });
+    update_done->when_complete(
+        [self, rank, step, eng = &machine_->device_engine(rank)] {
+          self->per_rank_step_end_[static_cast<std::size_t>(rank)]
+              [static_cast<std::size_t>(step)] = eng->now();
+        });
 
     // 6. Optimized schedule: prune at end of step on the low-priority
     // stream, relaxed from the critical path (§5.4).
@@ -477,7 +499,7 @@ void MdRunner::run(int steps) {
         static_cast<std::size_t>(steps));
   }
   for (int r = 0; r < num_ranks(); ++r) {
-    machine_->spawn_host_task(rank_loop(r, steps));
+    machine_->spawn_host_task_on(r, rank_loop(r, steps));
   }
   machine_->run();
 

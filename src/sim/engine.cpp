@@ -12,7 +12,10 @@ namespace hs::sim {
 
 Engine::~Engine() {
   // Slots are placement-constructed lazily in raw storage; destroy every
-  // one that was ever handed out (free or pending).
+  // one that was ever handed out (free or pending). Destruction runs under
+  // this engine's slab scope so debris drains to the right free lists
+  // (blocks find their owner via their header either way).
+  detail::TaskSlab::Scope slab_scope(&slab_);
   for (std::uint32_t s = 0; s < slot_count_; ++s) slots_[s].~Slot();
   std::free(slots_);
 }
@@ -112,12 +115,17 @@ void Engine::step_one() {
 }
 
 SimTime Engine::run() {
+  // Events run under this engine's slab scope: callbacks that create
+  // InlineTasks outside a schedule_* call (signal waiters, stream ops)
+  // allocate from the lane-local slab rather than the shared fallback.
+  detail::TaskSlab::Scope slab_scope(&slab_);
   while (!idle() && !first_error_) step_one();
   rethrow_pending_error();
   return now_;
 }
 
 bool Engine::run_until(SimTime horizon) {
+  detail::TaskSlab::Scope slab_scope(&slab_);
   while (!idle() && !first_error_) {
     if (next_time() > horizon) break;
     step_one();

@@ -83,6 +83,10 @@ class Engine {
     const std::uint32_t slot = acquire_slot();
     Slot& s = slot_ref(slot);
     try {
+      // Route any overflow-capture slab traffic to this engine's slab, so
+      // cross-engine scheduling (the parallel coordinator injecting inbox
+      // messages) never touches another lane's allocator.
+      detail::TaskSlab::Scope slab_scope(&slab_);
       s.fn = std::forward<F>(fn);
     } catch (...) {
       free_slots_.push_back(slot);
@@ -127,6 +131,10 @@ class Engine {
 
   std::uint64_t events_processed() const { return processed_; }
   bool idle() const { return heap_.empty() && bucket_count_ == 0; }
+
+  /// Earliest pending event time, or kNever when idle. The parallel
+  /// coordinator uses this to compute the next safe window's base.
+  SimTime next_event_time() const { return idle() ? kNever : next_time(); }
 
   /// Record a simulation error (e.g. an exception escaping a device task).
   /// run()/run_until() rethrow the first recorded error once they stop
@@ -246,6 +254,7 @@ class Engine {
   std::uint32_t slot_cap_ = 0;
   std::uint32_t sticky_slots_ = 0;       // live slots not memcpy-relocatable
   std::vector<std::uint32_t> free_slots_;
+  detail::TaskSlab slab_;  // overflow-capture pool for this engine's events
   Trace* trace_ = nullptr;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <utility>
 
+#include "sim/parallel.hpp"
 #include "sim/sync.hpp"
 #include "util/rng.hpp"
 
@@ -26,18 +27,64 @@ Fabric::Fabric(Engine& engine, Topology topology, FabricParams params)
       params_(params),
       nic_busy_until_(static_cast<std::size_t>(topology.device_count()), 0),
       last_nic_span_(static_cast<std::size_t>(topology.device_count()), 0),
-      proxy_slowdown_(static_cast<std::size_t>(topology.device_count()), 1.0) {
+      proxy_slowdown_(static_cast<std::size_t>(topology.device_count()), 1.0),
+      pending_(static_cast<std::size_t>(topology.device_count())),
+      free_ops_(static_cast<std::size_t>(topology.device_count())) {
   reset_counters();
 }
 
 void Fabric::bind_trace(Trace* trace) { trace_ = trace; }
 
+void Fabric::configure_partitioned(std::vector<Engine*> lane_engines,
+                                   std::vector<Trace*> lane_traces,
+                                   ParallelDriver* driver) {
+  assert(lane_engines.size() ==
+         static_cast<std::size_t>(topology_.device_count()));
+  assert(lane_traces.size() == lane_engines.size());
+  lane_engines_ = std::move(lane_engines);
+  lane_traces_ = std::move(lane_traces);
+  driver_ = driver;
+  lane_jitter_.assign(lane_engines_.size(), 0);
+  reset_counters();
+}
+
+namespace {
+void zero_counters(FabricCounters& c, std::size_t devices) {
+  c = FabricCounters{};
+  c.nic_busy_ns.assign(devices, 0);
+  c.nic_queue_ns.assign(devices, 0);
+  c.proxy_delay_ns.assign(devices, 0);
+}
+}  // namespace
+
 void Fabric::reset_counters() {
-  counters_ = FabricCounters{};
   const auto n = static_cast<std::size_t>(topology_.device_count());
-  counters_.nic_busy_ns.assign(n, 0);
-  counters_.nic_queue_ns.assign(n, 0);
-  counters_.proxy_delay_ns.assign(n, 0);
+  zero_counters(counters_, n);
+  if (partitioned()) {
+    lane_counters_.resize(n);
+    for (auto& row : lane_counters_) zero_counters(row, n);
+  }
+}
+
+const FabricCounters& Fabric::counters() const {
+  if (!partitioned()) return counters_;
+  // Lane rows are written lane-locally during the run; summing them here
+  // (reporting path) in device order is deterministic.
+  const auto n = static_cast<std::size_t>(topology_.device_count());
+  zero_counters(counters_agg_, n);
+  for (const auto& row : lane_counters_) {
+    for (std::size_t l = 0; l < row.by_link.size(); ++l) {
+      counters_agg_.by_link[l].transfers += row.by_link[l].transfers;
+      counters_agg_.by_link[l].messages += row.by_link[l].messages;
+      counters_agg_.by_link[l].bytes += row.by_link[l].bytes;
+    }
+    for (std::size_t d = 0; d < n; ++d) {
+      counters_agg_.nic_busy_ns[d] += row.nic_busy_ns[d];
+      counters_agg_.nic_queue_ns[d] += row.nic_queue_ns[d];
+      counters_agg_.proxy_delay_ns[d] += row.proxy_delay_ns[d];
+    }
+  }
+  return counters_agg_;
 }
 
 const LinkParams& Fabric::params_for(LinkType type) const {
@@ -61,22 +108,33 @@ SimTime Fabric::estimate(int src, int dst, std::size_t bytes,
 
 void Fabric::transfer(TransferRequest req, std::function<void()> on_complete) {
   assert(req.num_messages >= 1);
+  const int issue =
+      req.issue_device >= 0 ? req.issue_device : req.src_device;
+  Engine& eng = engine_for(issue);
+  Trace* tr = trace_for(issue);
   const LinkType type = link(req.src_device, req.dst_device);
   const LinkParams& p = params_for(type);
 
   double msg_overhead = static_cast<double>(p.per_message_ns) * req.num_messages;
   const double wire = static_cast<double>(req.bytes) / p.bytes_per_ns;
 
-  LinkCounters& lc = counters_.link(type);
+  FabricCounters& row = counter_row(issue);
+  LinkCounters& lc = row.link(type);
   ++lc.transfers;
   lc.messages += static_cast<std::uint64_t>(req.num_messages);
   lc.bytes += req.bytes;
 
   SimTime jitter = 0;
   if (max_jitter_ns_ > 0) {
-    // Deterministic per-transfer jitter (splitmix64 stream).
+    // Deterministic per-transfer jitter. Classic mode draws from one
+    // splitmix64 stream; partitioned mode draws from a per-lane stream so
+    // the sequence a lane sees is independent of other lanes' activity
+    // (and therefore of the worker count).
+    std::uint64_t& state =
+        partitioned() ? lane_jitter_[static_cast<std::size_t>(issue)]
+                      : jitter_state_;
     jitter = static_cast<SimTime>(
-        util::splitmix64(jitter_state_) %
+        util::splitmix64(state) %
         static_cast<std::uint64_t>(max_jitter_ns_ + 1));
   }
 
@@ -89,65 +147,95 @@ void Fabric::transfer(TransferRequest req, std::function<void()> on_complete) {
     // whole message service — the proxy drives every byte (§5.5). Jitter is
     // part of the occupancy window: a slowed wire holds the NIC, so a
     // follow-up transfer cannot start before the jittered one drained.
+    // The NIC being modeled belongs to the source device, so IB transfers
+    // must be issued from their source lane.
+    assert(issue == req.src_device);
     const auto src = static_cast<std::size_t>(req.src_device);
     const double slow = proxy_slowdown_[req.src_device];
     const SimTime service =
         static_cast<SimTime>(std::llround((msg_overhead + wire) * slow));
     const SimTime occupancy = service + jitter;
     SimTime& busy = nic_busy_until_[req.src_device];
-    const SimTime start = std::max(engine_->now(), busy);
+    const SimTime start = std::max(eng.now(), busy);
     busy = start + occupancy;
     complete_at = start + occupancy + p.latency_ns;
 
-    counters_.nic_busy_ns[src] += static_cast<std::uint64_t>(occupancy);
-    counters_.nic_queue_ns[src] +=
-        static_cast<std::uint64_t>(start - engine_->now());
-    counters_.proxy_delay_ns[src] += static_cast<std::uint64_t>(
+    row.nic_busy_ns[src] += static_cast<std::uint64_t>(occupancy);
+    row.nic_queue_ns[src] += static_cast<std::uint64_t>(start - eng.now());
+    row.proxy_delay_ns[src] += static_cast<std::uint64_t>(
         service - static_cast<SimTime>(std::llround(msg_overhead + wire)));
-    span_queue = start - engine_->now();
+    span_queue = start - eng.now();
     span_proxy = service - static_cast<SimTime>(std::llround(msg_overhead + wire));
   } else {
-    complete_at = engine_->now() + p.latency_ns + jitter +
+    complete_at = eng.now() + p.latency_ns + jitter +
                   static_cast<SimTime>(std::llround(msg_overhead + wire));
   }
 
   std::uint64_t span = 0;
-  if (trace_ != nullptr && trace_->enabled()) {
+  if (tr != nullptr && tr->enabled()) {
     std::string name =
         (req.label == nullptr || *req.label == '\0') ? "xfer" : req.label;
     name += " " + to_string(type) + " ->d" + std::to_string(req.dst_device);
-    span = trace_->record(req.src_device, "fabric", std::move(name),
-                          engine_->now(), complete_at, -1, SpanKind::Transfer,
-                          span_queue, span_proxy, req.dst_device);
+    span = tr->record(req.src_device, "fabric", std::move(name),
+                      eng.now(), complete_at, -1, SpanKind::Transfer,
+                      span_queue, span_proxy, req.dst_device);
     if (type == LinkType::IB) {
       auto& last = last_nic_span_[static_cast<std::size_t>(req.src_device)];
-      if (span_queue > 0) trace_->add_edge(last, span, EdgeKind::NicQueue);
+      if (span_queue > 0) tr->add_edge(last, span, EdgeKind::NicQueue);
       last = span;
     }
   }
 
-  std::uint32_t slot;
-  if (!free_ops_.empty()) {
-    slot = free_ops_.back();
-    free_ops_.pop_back();
-  } else {
-    slot = static_cast<std::uint32_t>(pending_.size());
-    pending_.emplace_back();
+  if (partitioned() && req.dst_device != issue) {
+    // Cross-lane completion. The receiver-side effects (data landing, then
+    // the fused signal) run on the destination lane via the conservative
+    // inbox protocol; complete_at carries at least the link latency beyond
+    // the current window horizon, so the post is always safe. The issuer's
+    // on_complete (local bookkeeping, e.g. NIC-free notifications) stays on
+    // the issuing lane at the same timestamp.
+    if (req.deliver || req.signal != nullptr) {
+      driver_->post(
+          issue, req.dst_device, complete_at, span,
+          [deliver = std::move(req.deliver), signal = req.signal,
+           value = req.signal_value]() mutable {
+            if (deliver) deliver();
+            if (signal != nullptr) signal->store(value);
+          });
+    }
+    if (on_complete) {
+      eng.schedule_with_cause(complete_at, span,
+                              [done = std::move(on_complete)]() mutable {
+                                done();
+                              });
+    }
+    return;
   }
-  PendingOp& op = pending_[slot];
+
+  auto& free_list = free_ops_[static_cast<std::size_t>(issue)];
+  auto& pool = pending_[static_cast<std::size_t>(issue)];
+  std::uint32_t slot;
+  if (!free_list.empty()) {
+    slot = free_list.back();
+    free_list.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(pool.size());
+    pool.emplace_back();
+  }
+  PendingOp& op = pool[slot];
   op.deliver = std::move(req.deliver);
   op.done = std::move(on_complete);
   op.signal = req.signal;
   op.signal_value = req.signal_value;
 
-  engine_->schedule_with_cause(complete_at, span,
-                               [this, slot] { complete_op(slot); });
+  eng.schedule_with_cause(complete_at, span, [this, issue, slot] {
+    complete_op(issue, slot);
+  });
 }
 
-void Fabric::complete_op(std::uint32_t slot) {
+void Fabric::complete_op(int device, std::uint32_t slot) {
   // Move the record out and free the slot first: the callbacks may issue
-  // new transfers (or grow pending_), so the slot reference would dangle.
-  PendingOp& op = pending_[slot];
+  // new transfers (or grow the pool), so the slot reference would dangle.
+  PendingOp& op = pending_[static_cast<std::size_t>(device)][slot];
   auto deliver = std::move(op.deliver);
   auto done = std::move(op.done);
   Signal* const signal = op.signal;
@@ -155,7 +243,7 @@ void Fabric::complete_op(std::uint32_t slot) {
   op.deliver = nullptr;
   op.done = nullptr;
   op.signal = nullptr;
-  free_ops_.push_back(slot);
+  free_ops_[static_cast<std::size_t>(device)].push_back(slot);
 
   if (deliver) deliver();
   // Put-with-signal completion order: the signal becomes visible only after
@@ -166,7 +254,14 @@ void Fabric::complete_op(std::uint32_t slot) {
 
 void Fabric::set_timing_jitter(std::uint64_t seed, SimTime max_jitter_ns) {
   jitter_state_ = seed;
+  jitter_seed_ = seed;
   max_jitter_ns_ = max_jitter_ns;
+  if (partitioned()) {
+    // Decorrelated per-lane streams derived from the one seed.
+    for (std::size_t d = 0; d < lane_jitter_.size(); ++d) {
+      lane_jitter_[d] = seed ^ (0x9e3779b97f4a7c15ull * (d + 1));
+    }
+  }
 }
 
 void Fabric::set_proxy_slowdown(int device, double factor) {

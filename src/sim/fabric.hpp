@@ -39,10 +39,17 @@ struct FabricParams {
 };
 
 class Signal;
+class ParallelDriver;
 
 struct TransferRequest {
   int src_device = 0;
   int dst_device = 0;
+  /// The device on whose lane (engine/trace/counters) the transfer is
+  /// issued and timed. Defaults (-1) to src_device — correct for puts. Get
+  /// semantics (e.g. TMA loads, where the *destination* PE executes the
+  /// operation) must set this to the issuing device. IB transfers must be
+  /// issued from their source device (the NIC being modeled is src's).
+  int issue_device = -1;
   std::size_t bytes = 0;
   int num_messages = 1;
   /// Trace label (e.g. the PGAS op that issued the transfer); all call
@@ -80,6 +87,17 @@ class Fabric {
   /// NIC occupant, and the delivery event runs under the span's cause.
   void bind_trace(Trace* trace);
 
+  /// Switch the fabric to partitioned (parallel) mode: each device's
+  /// transfers are issued on its lane engine, recorded in its lane trace,
+  /// and counted in a lane-local counter row (aggregated on demand by
+  /// counters()). Cross-lane completions (deliver + signal on the
+  /// destination) route through the driver's timestamped inbox protocol;
+  /// the issuer's on_complete stays on the issuing lane.
+  void configure_partitioned(std::vector<Engine*> lane_engines,
+                             std::vector<Trace*> lane_traces,
+                             ParallelDriver* driver);
+  bool partitioned() const { return driver_ != nullptr; }
+
   /// Scale the per-message cost of IB transfers issued from `device`
   /// (models a contended NVSHMEM proxy thread, §5.5). Factor 1 = healthy.
   void set_proxy_slowdown(int device, double factor);
@@ -93,17 +111,32 @@ class Fabric {
   /// busy), so back-to-back transfers still serialize correctly.
   void set_timing_jitter(std::uint64_t seed, SimTime max_jitter_ns);
 
-  /// Transfer/byte accounting since construction (or the last reset).
-  const FabricCounters& counters() const { return counters_; }
+  /// Transfer/byte accounting since construction (or the last reset). In
+  /// partitioned mode this aggregates the lane-local rows on each call
+  /// (post-run / reporting path, not hot).
+  const FabricCounters& counters() const;
   void reset_counters();
 
  private:
   const LinkParams& params_for(LinkType type) const;
-  void complete_op(std::uint32_t slot);
+  void complete_op(int device, std::uint32_t slot);
+  Engine& engine_for(int device) {
+    return partitioned() ? *lane_engines_[static_cast<std::size_t>(device)]
+                         : *engine_;
+  }
+  Trace* trace_for(int device) {
+    return partitioned() ? lane_traces_[static_cast<std::size_t>(device)]
+                         : trace_;
+  }
+  FabricCounters& counter_row(int device) {
+    return partitioned() ? lane_counters_[static_cast<std::size_t>(device)]
+                         : counters_;
+  }
 
-  /// An in-flight transfer's completion record. Pooled (free-list) so the
-  /// steady state allocates nothing per transfer, and the engine event
-  /// only captures {this, slot} — small enough to stay inline.
+  /// An in-flight transfer's completion record. Pooled per issuing device
+  /// (free-list) so the steady state allocates nothing per transfer, the
+  /// engine event only captures {this, device, slot} — small enough to
+  /// stay inline — and partitioned lanes never share a pool.
   struct PendingOp {
     std::function<void()> deliver;
     std::function<void()> done;
@@ -119,10 +152,19 @@ class Fabric {
   std::vector<std::uint64_t> last_nic_span_;  // NicQueue edge producers
   std::vector<double> proxy_slowdown_;    // per source device, IB only
   std::uint64_t jitter_state_ = 0;        // splitmix64 state; 0 = off
+  std::uint64_t jitter_seed_ = 0;
   SimTime max_jitter_ns_ = 0;
-  std::vector<PendingOp> pending_;        // slot pool for in-flight ops
-  std::vector<std::uint32_t> free_ops_;   // free slots in pending_
+  std::vector<std::vector<PendingOp>> pending_;   // per issue device
+  std::vector<std::vector<std::uint32_t>> free_ops_;
   FabricCounters counters_;
+
+  // Partitioned mode: lane plumbing + lane-local accounting.
+  std::vector<Engine*> lane_engines_;
+  std::vector<Trace*> lane_traces_;
+  ParallelDriver* driver_ = nullptr;
+  std::vector<FabricCounters> lane_counters_;    // row per issue device
+  std::vector<std::uint64_t> lane_jitter_;       // per-lane splitmix64 state
+  mutable FabricCounters counters_agg_;          // counters() scratch
 };
 
 }  // namespace hs::sim

@@ -10,11 +10,16 @@
 //  * captures up to kInlineBytes (48) with a nothrow move constructor are
 //    stored inline — no allocation, and trivially-copyable captures
 //    relocate with a plain memcpy (manage_ == nullptr);
-//  * larger captures go to a thread-local slab: fixed 128-byte blocks
-//    carved from 8 KiB chunks and recycled through a free list, so even
-//    the overflow path settles into zero steady-state allocations. Blocks
-//    above the slab size (rare; asserts in debug that you notice) fall
-//    back to operator new.
+//  * larger captures go to a slab: fixed 128-byte blocks carved from
+//    chunks and recycled through a free list, so even the overflow path
+//    settles into zero steady-state allocations. Each Engine owns a slab
+//    and installs it (TaskSlab::Scope) while constructing or running
+//    events, so partitioned parallel runs keep slab traffic lane-local;
+//    code with no engine context falls back to one process-wide slab.
+//    Every block carries a header naming its owning slab, so a task
+//    allocated under one engine and destroyed under another (or on the
+//    coordinator thread) still returns its block to the right free list.
+//    Captures above the slab block size fall back to operator new.
 //
 // InlineTask converts implicitly from any callable — including a moved-in
 // std::function, which at 32 bytes lands inline — so it is a drop-in
@@ -25,6 +30,7 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -34,24 +40,31 @@ namespace hs::sim {
 
 namespace detail {
 
-/// Thread-local free-list slab for InlineTask overflow captures. The
-/// simulator is single-threaded per Engine, so thread_local state needs no
-/// locking; memory is returned to the OS at thread exit (keeps the
-/// sanitizer build leak-clean).
+/// Free-list slab for InlineTask overflow captures. Instances are owned by
+/// Engines (one slab per lane in partitioned runs) and installed via Scope;
+/// allocate()/deallocate() route through the installed slab, falling back
+/// to a process-wide slab when no engine context is active (setup code,
+/// standalone tests). Each block is prefixed by a header naming its owning
+/// slab, so deallocation always returns the block to the slab that carved
+/// it — regardless of which thread or engine context performs the free.
+/// Free-list operations take the owning slab's mutex; the overflow path is
+/// off the hot path (captures ≤ 48 bytes stay inline), so the uncontended
+/// lock is noise.
 class TaskSlab {
  public:
   static constexpr std::size_t kBlockBytes = 128;
   static constexpr std::size_t kBlocksPerChunk = 64;
 
+  TaskSlab() = default;
+  TaskSlab(const TaskSlab&) = delete;
+  TaskSlab& operator=(const TaskSlab&) = delete;
+
   static void* allocate(std::size_t bytes, std::size_t align) {
     if (bytes > kBlockBytes || align > alignof(std::max_align_t)) {
       return ::operator new(bytes, std::align_val_t{align});
     }
-    TaskSlab& slab = instance();
-    if (slab.free_ == nullptr) slab.grow();
-    Block* block = slab.free_;
-    slab.free_ = block->next;
-    return block;
+    TaskSlab* slab = t_current != nullptr ? t_current : &fallback();
+    return slab->allocate_block();
   }
 
   static void deallocate(void* p, std::size_t bytes,
@@ -60,20 +73,59 @@ class TaskSlab {
       ::operator delete(p, std::align_val_t{align});
       return;
     }
-    TaskSlab& slab = instance();
-    Block* block = static_cast<Block*>(p);
-    block->next = slab.free_;
-    slab.free_ = block;
+    // The header, not the installed slab, decides where the block goes
+    // back: tasks may outlive the engine context they were created under.
+    Header* header = reinterpret_cast<Header*>(
+        static_cast<std::byte*>(p) - sizeof(Header));
+    header->owner->release_block(p);
   }
 
-  /// Blocks currently sitting in the free list (introspection for tests).
+  /// Blocks currently sitting in the free list of the slab allocate()
+  /// would use right now (introspection for tests).
   static std::size_t free_blocks() {
+    TaskSlab* slab = t_current != nullptr ? t_current : &fallback();
+    return slab->free_block_count();
+  }
+
+  std::size_t free_block_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
     std::size_t n = 0;
-    for (Block* b = instance().free_; b != nullptr; b = b->next) ++n;
+    for (Block* b = free_; b != nullptr; b = b->next) ++n;
     return n;
   }
 
+  /// Installs a slab as the allocation target for the current thread while
+  /// in scope (engines wrap event construction and execution in one).
+  class Scope {
+   public:
+    explicit Scope(TaskSlab* slab) noexcept : prev_(t_current) {
+      t_current = slab;
+    }
+    ~Scope() { t_current = prev_; }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    TaskSlab* prev_;
+  };
+
+  /// The process-wide slab used when no engine context is installed.
+  static TaskSlab& fallback() {
+    static TaskSlab slab;
+    return slab;
+  }
+
  private:
+  // Blocks are carved with a max_align_t-aligned header in front of the
+  // payload; the payload pointer is what allocate() hands out, so payload
+  // alignment stays alignof(max_align_t).
+  struct Header {
+    TaskSlab* owner;
+    void* reserved;  // pads the header to 16 bytes / max_align_t
+  };
+  static constexpr std::size_t kStride = sizeof(Header) + kBlockBytes;
+  static_assert(sizeof(Header) % alignof(std::max_align_t) == 0);
+
   struct Block {
     Block* next;
   };
@@ -83,23 +135,39 @@ class TaskSlab {
     }
   };
 
-  static TaskSlab& instance() {
-    static thread_local TaskSlab slab;
-    return slab;
+  void* allocate_block() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_ == nullptr) grow();
+    Block* block = free_;
+    free_ = block->next;
+    return block;
+  }
+
+  void release_block(void* payload) noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    Block* block = static_cast<Block*>(payload);
+    block->next = free_;
+    free_ = block;
   }
 
   void grow() {
     auto* raw = static_cast<std::byte*>(::operator new(
-        kBlockBytes * kBlocksPerChunk,
+        kStride * kBlocksPerChunk,
         std::align_val_t{alignof(std::max_align_t)}));
     chunks_.emplace_back(raw);
     for (std::size_t i = kBlocksPerChunk; i-- > 0;) {
-      auto* block = reinterpret_cast<Block*>(raw + i * kBlockBytes);
+      auto* header = reinterpret_cast<Header*>(raw + i * kStride);
+      header->owner = this;
+      auto* block =
+          reinterpret_cast<Block*>(raw + i * kStride + sizeof(Header));
       block->next = free_;
       free_ = block;
     }
   }
 
+  inline static thread_local TaskSlab* t_current = nullptr;
+
+  mutable std::mutex mu_;
   Block* free_ = nullptr;
   std::vector<std::unique_ptr<std::byte, ChunkDeleter>> chunks_;
 };

@@ -1,29 +1,129 @@
 #include "sim/machine.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 namespace hs::sim {
 
-Machine::Machine(Topology topology, CostModel cost_model)
-    : cost_model_(cost_model) {
+Machine::Machine(Topology topology, CostModel cost_model,
+                 MachineOptions options)
+    : options_(options), cost_model_(cost_model) {
+  if (options_.workers < 0) {
+    throw std::invalid_argument("MachineOptions::workers must be >= 0");
+  }
+  lookahead_ = compute_lookahead(topology);
+  if (options_.workers > 0) {
+    // One lane per device, regardless of worker count: the partition is a
+    // property of the simulated machine, so the lane-local (time, seq)
+    // orders — and with them every observable output — are identical for
+    // every worker count. Span id ranges are disjoint per lane (and
+    // disjoint from the master trace's own range, which keeps base 0).
+    lanes_.reserve(static_cast<std::size_t>(topology.device_count()));
+    for (int d = 0; d < topology.device_count(); ++d) {
+      lanes_.push_back(std::make_unique<Lane>());
+      lanes_.back()->trace.set_span_base(
+          (static_cast<std::uint64_t>(d) + 1) << 32);
+      lanes_.back()->engine.bind_trace(&lanes_.back()->trace);
+    }
+  }
   for (int d = 0; d < topology.device_count(); ++d) {
     devices_.push_back(
-        std::make_unique<Device>(engine_, d, topology.node_of(d)));
+        std::make_unique<Device>(device_engine(d), d, topology.node_of(d)));
   }
   fabric_ = std::make_unique<Fabric>(engine_, topology, cost_model_.fabric);
   engine_.bind_trace(&trace_);
   fabric_->bind_trace(&trace_);
+  if (partitioned()) {
+    std::vector<Engine*> engines;
+    std::vector<Trace*> traces;
+    for (auto& lane : lanes_) {
+      engines.push_back(&lane->engine);
+      traces.push_back(&lane->trace);
+    }
+    driver_ = std::make_unique<ParallelDriver>(engines, lookahead_,
+                                               options_.workers);
+    fabric_->configure_partitioned(std::move(engines), std::move(traces),
+                                   driver_.get());
+  }
+}
+
+SimTime Machine::compute_lookahead(const Topology& topology) const {
+  // The conservative window width: no cross-device interaction can take
+  // effect sooner than the fastest cross-device link's latency. Loopback
+  // never crosses lanes (src == dst), so it does not bound the window.
+  SimTime lookahead = kNever;
+  bool cross = false;
+  for (int src = 0; src < topology.device_count(); ++src) {
+    for (int dst = 0; dst < topology.device_count(); ++dst) {
+      if (src == dst) continue;
+      cross = true;
+      const LinkType type = topology.link(src, dst);
+      const SimTime latency =
+          type == LinkType::NVLink ? cost_model_.fabric.nvlink.latency_ns
+                                   : cost_model_.fabric.ib.latency_ns;
+      lookahead = std::min(lookahead, latency);
+    }
+  }
+  if (!cross) return 1;  // single-device machine: window width is moot
+  return std::max<SimTime>(1, lookahead);
 }
 
 Stream& Machine::create_stream(int device_id, std::string name, int priority) {
   streams_.push_back(std::make_unique<Stream>(
-      engine_, device(device_id), &trace_, std::move(name), priority));
+      device_engine(device_id), device(device_id), &device_trace(device_id),
+      std::move(name), priority));
   return *streams_.back();
 }
 
 void Machine::spawn_host_task(Task task, std::function<void()> on_complete) {
+  if (partitioned()) {
+    throw std::logic_error(
+        "Machine::spawn_host_task: partitioned mode requires a lane — use "
+        "spawn_host_task_on(device, ...)");
+  }
   task.bind(ExecContext{&engine_, nullptr, 0});
   if (on_complete) task.set_on_complete(std::move(on_complete));
   host_tasks_.push_back(std::move(task));
   host_tasks_.back().start();
+}
+
+void Machine::spawn_host_task_on(int device_id, Task task,
+                                 std::function<void()> on_complete) {
+  task.bind(ExecContext{&device_engine(device_id), nullptr, 0});
+  if (on_complete) task.set_on_complete(std::move(on_complete));
+  host_tasks_.push_back(std::move(task));
+  host_tasks_.back().start();
+}
+
+SimTime Machine::run() {
+  if (!partitioned()) return engine_.run();
+  // Lane traces inherit enablement at the start of every run (the caller
+  // may toggle trace().set_enabled between runs), and fold back into the
+  // master trace at the end, in a deterministic (begin, span) order.
+  std::vector<Trace*> lane_traces;
+  lane_traces.reserve(lanes_.size());
+  for (auto& lane : lanes_) {
+    lane->trace.set_enabled(trace_.enabled());
+    lane->trace.set_soft_cap(trace_.soft_cap());
+    lane_traces.push_back(&lane->trace);
+  }
+  const SimTime end = driver_->run();
+  trace_.merge_from(lane_traces);
+  return end;
+}
+
+std::uint64_t Machine::events_processed() const {
+  if (!partitioned()) return engine_.events_processed();
+  std::uint64_t total = 0;
+  for (const auto& lane : lanes_) total += lane->engine.events_processed();
+  return total;
+}
+
+SimTime Machine::final_time() const {
+  if (!partitioned()) return engine_.now();
+  SimTime end = 0;
+  for (const auto& lane : lanes_) end = std::max(end, lane->engine.now());
+  return end;
 }
 
 }  // namespace hs::sim

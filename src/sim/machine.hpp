@@ -1,5 +1,14 @@
 // Composition root of the simulated cluster: engine + topology + devices +
 // fabric + trace, plus stream and host-task lifetime management.
+//
+// Two execution modes (see DESIGN.md §"Parallel engine"):
+//
+//  * classic (workers == 0, the default): one Engine drives every device
+//    with a single global (time, seq) order — the correctness oracle;
+//  * partitioned (workers >= 1): one Engine + Trace *per device* ("lane"),
+//    advanced in conservative safe windows by a ParallelDriver. The lane
+//    structure is fixed by the device count, never by the worker count, so
+//    --workers=1 and --workers=N are bit-identical by construction.
 #pragma once
 
 #include <memory>
@@ -9,20 +18,53 @@
 #include "sim/device.hpp"
 #include "sim/engine.hpp"
 #include "sim/fabric.hpp"
+#include "sim/parallel.hpp"
 #include "sim/stream.hpp"
 #include "sim/trace.hpp"
 
 namespace hs::sim {
 
+struct MachineOptions {
+  /// 0 = classic sequential engine. >= 1 = partitioned parallel mode with
+  /// that many worker threads (1 runs the partitioned protocol on a single
+  /// thread — the determinism oracle for higher counts).
+  int workers = 0;
+};
+
 class Machine {
  public:
-  Machine(Topology topology, CostModel cost_model);
+  Machine(Topology topology, CostModel cost_model,
+          MachineOptions options = {});
 
+  /// The classic global engine. In partitioned mode this engine is dormant
+  /// (per-device code must use device_engine); it remains valid so that
+  /// setup-time helpers which never schedule (e.g. unused barriers) keep
+  /// working.
   Engine& engine() { return engine_; }
   Fabric& fabric() { return *fabric_; }
+  /// The master trace: records land here directly in classic mode, and are
+  /// deterministically merged here from the per-lane traces at the end of
+  /// each partitioned run().
   Trace& trace() { return trace_; }
   const CostModel& cost() const { return cost_model_; }
   const Topology& topology() const { return fabric_->topology(); }
+
+  bool partitioned() const { return !lanes_.empty(); }
+  int workers() const { return options_.workers; }
+
+  /// The engine that advances device `d`: the lane engine in partitioned
+  /// mode, the global engine otherwise. All simulation objects owned by a
+  /// device (streams, events, signals, pending host work) must schedule
+  /// through this.
+  Engine& device_engine(int d) {
+    return partitioned() ? lanes_[static_cast<std::size_t>(d)]->engine
+                         : engine_;
+  }
+  /// The trace that device `d`'s instrumentation records into.
+  Trace& device_trace(int d) {
+    return partitioned() ? lanes_[static_cast<std::size_t>(d)]->trace
+                         : trace_;
+  }
 
   int device_count() const { return static_cast<int>(devices_.size()); }
   Device& device(int i) { return *devices_[static_cast<std::size_t>(i)]; }
@@ -35,17 +77,47 @@ class Machine {
   /// the task finishes (the event-based "join" pattern; see task.hpp).
   void spawn_host_task(Task task, std::function<void()> on_complete = {});
 
-  /// Drive the simulation until all scheduled work has drained.
-  SimTime run() { return engine_.run(); }
+  /// spawn_host_task, homed on a device's lane: the coroutine's engine (and
+  /// thus every event it schedules) is device_engine(device_id). In classic
+  /// mode this is identical to spawn_host_task.
+  void spawn_host_task_on(int device_id, Task task,
+                          std::function<void()> on_complete = {});
+
+  /// Drive the simulation until all scheduled work has drained. Partitioned
+  /// mode runs the conservative window protocol and then merges the lane
+  /// traces into trace().
+  SimTime run();
+
+  /// Total events processed (across lanes in partitioned mode).
+  std::uint64_t events_processed() const;
+  /// Final simulated clock: engine().now() in classic mode, the max lane
+  /// clock in partitioned mode.
+  SimTime final_time() const;
+
+  /// The conservative lookahead: the minimum cross-device link latency in
+  /// the fabric (>= 1 ns). Exposed for tests and benches.
+  SimTime lookahead() const { return lookahead_; }
+  const ParallelDriver* driver() const { return driver_.get(); }
 
  private:
+  struct Lane {
+    Engine engine;
+    Trace trace;
+  };
+
+  SimTime compute_lookahead(const Topology& topology) const;
+
+  MachineOptions options_;
   Engine engine_;
   Trace trace_;
   CostModel cost_model_;
+  std::vector<std::unique_ptr<Lane>> lanes_;  // one per device (partitioned)
   std::vector<std::unique_ptr<Device>> devices_;
   std::unique_ptr<Fabric> fabric_;
+  std::unique_ptr<ParallelDriver> driver_;
   std::vector<std::unique_ptr<Stream>> streams_;
   std::vector<Task> host_tasks_;
+  SimTime lookahead_ = 1;
 };
 
 }  // namespace hs::sim

@@ -1,0 +1,166 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace hs::sim {
+
+ParallelDriver::ParallelDriver(std::vector<Engine*> engines,
+                               SimTime lookahead, int workers)
+    : engines_(std::move(engines)),
+      lookahead_(lookahead),
+      workers_(workers) {
+  if (engines_.empty()) {
+    throw std::invalid_argument("ParallelDriver: no lanes");
+  }
+  if (lookahead_ < 1) {
+    throw std::invalid_argument(
+        "ParallelDriver: lookahead must be >= 1 ns (zero-latency fabrics "
+        "admit no conservative window)");
+  }
+  workers_ = std::max(1, std::min<int>(workers_,
+                                       static_cast<int>(engines_.size())));
+  outbox_.resize(engines_.size());
+  msg_seq_.assign(engines_.size(), 0);
+  lane_error_.assign(engines_.size(), nullptr);
+  // The coordinator thread is worker 0; spawn the rest as a persistent
+  // pool parked on the window condvar.
+  threads_.reserve(static_cast<std::size_t>(workers_ - 1));
+  for (int w = 1; w < workers_; ++w) {
+    threads_.emplace_back([this] { worker_main(); });
+  }
+}
+
+ParallelDriver::~ParallelDriver() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ParallelDriver::post(int src_lane, int dst_lane, SimTime arrival,
+                          std::uint64_t cause, std::function<void()> fn) {
+  if (arrival <= window_horizon_) {
+    // A message landing inside (or before) the current window would have
+    // to be injected into a lane's past — the producer under-declared its
+    // latency relative to the lookahead. Fail loudly: silently accepting
+    // it would corrupt causality.
+    throw std::logic_error(
+        "ParallelDriver::post: arrival " + std::to_string(arrival) +
+        " is not beyond the window horizon " +
+        std::to_string(window_horizon_) + " (lookahead " +
+        std::to_string(lookahead_) + ")");
+  }
+  auto& box = outbox_[static_cast<std::size_t>(src_lane)];
+  box.push_back(Message{arrival, engines_[static_cast<std::size_t>(src_lane)]->now(),
+                        static_cast<std::uint32_t>(src_lane),
+                        static_cast<std::uint32_t>(dst_lane),
+                        msg_seq_[static_cast<std::size_t>(src_lane)]++, cause,
+                        std::move(fn)});
+}
+
+void ParallelDriver::drain_outboxes() {
+  inject_scratch_.clear();
+  for (auto& box : outbox_) {
+    for (auto& m : box) inject_scratch_.push_back(std::move(m));
+    box.clear();
+  }
+  if (inject_scratch_.empty()) return;
+  // Total order: (arrival, send time, src lane, per-src seq). The last two
+  // components make the key unique, so the injection order — and with it
+  // each destination engine's (time, seq) numbering — is independent of
+  // lane-to-thread assignment and worker count.
+  std::sort(inject_scratch_.begin(), inject_scratch_.end(),
+            [](const Message& a, const Message& b) {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              if (a.sent != b.sent) return a.sent < b.sent;
+              if (a.src_lane != b.src_lane) return a.src_lane < b.src_lane;
+              return a.seq < b.seq;
+            });
+  for (auto& m : inject_scratch_) {
+    engines_[m.dst_lane]->schedule_with_cause(m.arrival, m.cause,
+                                              std::move(m.fn));
+  }
+  delivered_ += inject_scratch_.size();
+  inject_scratch_.clear();
+}
+
+void ParallelDriver::claim_lanes(SimTime horizon) {
+  const auto n = static_cast<std::uint32_t>(engines_.size());
+  for (;;) {
+    const std::uint32_t lane = lane_cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (lane >= n) break;
+    try {
+      engines_[lane]->run_until(horizon);
+    } catch (...) {
+      lane_error_[lane] = std::current_exception();
+    }
+  }
+}
+
+void ParallelDriver::worker_main() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    const SimTime horizon = window_horizon_;
+    lock.unlock();
+    claim_lanes(horizon);
+    lock.lock();
+    if (--active_ == 0) cv_done_.notify_one();
+  }
+}
+
+void ParallelDriver::run_window(SimTime horizon) {
+  lane_cursor_.store(0, std::memory_order_relaxed);
+  window_horizon_ = horizon;
+  if (threads_.empty()) {
+    claim_lanes(horizon);
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      active_ = static_cast<int>(threads_.size());
+      ++generation_;
+    }
+    cv_start_.notify_all();
+    claim_lanes(horizon);
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return active_ == 0; });
+  }
+  ++windows_;
+}
+
+SimTime ParallelDriver::run() {
+  for (;;) {
+    // Inject pending cross-lane messages first: the previous window's
+    // outboxes (or setup-time posts) feed the next window's base.
+    drain_outboxes();
+    SimTime base = kNever;
+    for (const Engine* e : engines_) {
+      base = std::min(base, e->next_event_time());
+    }
+    if (base == kNever) break;
+    const SimTime horizon =
+        base > kNever - lookahead_ ? kNever : base + lookahead_ - 1;
+    run_window(horizon);
+    for (std::size_t lane = 0; lane < lane_error_.size(); ++lane) {
+      if (lane_error_[lane]) {
+        auto err = std::exchange(lane_error_[lane], nullptr);
+        std::rethrow_exception(err);
+      }
+    }
+  }
+  SimTime end = 0;
+  for (const Engine* e : engines_) end = std::max(end, e->now());
+  return end;
+}
+
+}  // namespace hs::sim

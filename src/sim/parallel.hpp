@@ -1,0 +1,120 @@
+// Conservative parallel discrete-event coordinator (PDES).
+//
+// Partitions a Machine's devices into lanes — one Engine + Trace per device
+// — and advances all lanes in *safe windows* of width equal to the fabric's
+// minimum cross-device link latency (the lookahead, after "Parallelizing a
+// modern GPU simulator", arXiv 2502.14691):
+//
+//   1. window base  W = min over lanes of next_event_time()
+//   2. every lane runs run_until(W + L - 1) — all events in [W, W+L)
+//   3. barrier; cross-lane interactions produced during the window
+//      (fabric deliveries, pgas signal stores) were queued as timestamped
+//      outbox messages; they are sorted by (arrival, send_time, src_lane,
+//      msg_seq) and injected into their destination lanes
+//   4. repeat until every lane is idle and no messages remain
+//
+// Why this is safe: any cross-lane effect issued at time t inside the
+// window arrives no earlier than t + L >= W + L, i.e. strictly after the
+// horizon every lane ran to — no lane can ever receive a message in its
+// past. Why this is deterministic: lanes are fixed per *device* (never per
+// worker), each lane's intra-window execution is sequential on one engine
+// with lane-local (time, seq) order, and the inter-window injection order
+// is a total order independent of how lanes were assigned to threads. The
+// worker count therefore only chooses how many OS threads claim lanes
+// inside a window — --workers=1 and --workers=N produce bit-identical
+// simulations by construction.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hs::sim {
+
+class Engine;
+
+class ParallelDriver {
+ public:
+  /// `engines[d]` is device d's lane. `lookahead` must be a lower bound on
+  /// every cross-lane interaction latency (>= 1). `workers` is the number
+  /// of OS threads that execute lanes inside a window (clamped to
+  /// [1, lanes]).
+  ParallelDriver(std::vector<Engine*> engines, SimTime lookahead,
+                 int workers);
+  ~ParallelDriver();
+  ParallelDriver(const ParallelDriver&) = delete;
+  ParallelDriver& operator=(const ParallelDriver&) = delete;
+
+  /// Queue a cross-lane interaction: run `fn` on lane `dst_lane` at
+  /// absolute time `arrival` (with the given ambient trace cause). Must be
+  /// called from within `src_lane`'s window execution, and `arrival` must
+  /// be >= the current window horizon + 1 — i.e. the interaction must
+  /// carry at least the lookahead of simulated latency.
+  void post(int src_lane, int dst_lane, SimTime arrival,
+            std::uint64_t cause, std::function<void()> fn);
+
+  /// Drive all lanes to completion. Returns the maximum lane time (the
+  /// simulation's final clock). Rethrows the first lane error, picking the
+  /// lowest lane index when several lanes fail in one window so the choice
+  /// is deterministic.
+  SimTime run();
+
+  SimTime lookahead() const { return lookahead_; }
+  int workers() const { return workers_; }
+  /// Cross-lane messages injected so far (introspection for tests).
+  std::uint64_t messages_delivered() const { return delivered_; }
+  /// Safe windows executed so far (introspection for tests).
+  std::uint64_t windows_run() const { return windows_; }
+
+ private:
+  struct Message {
+    SimTime arrival = 0;
+    SimTime sent = 0;
+    std::uint32_t src_lane = 0;
+    std::uint32_t dst_lane = 0;
+    std::uint64_t seq = 0;  // per-src-lane counter: ties break determinate
+    std::uint64_t cause = 0;
+    std::function<void()> fn;
+  };
+
+  void run_window(SimTime horizon);
+  void claim_lanes(SimTime horizon);
+  void worker_main();
+  void drain_outboxes();
+
+  std::vector<Engine*> engines_;
+  SimTime lookahead_;
+  int workers_;
+
+  // Per-src-lane outboxes: written lock-free by the (single) worker
+  // currently executing that lane, drained by the coordinator between
+  // windows.
+  std::vector<std::vector<Message>> outbox_;
+  std::vector<std::uint64_t> msg_seq_;
+  std::vector<Message> inject_scratch_;
+  std::vector<std::exception_ptr> lane_error_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t windows_ = 0;
+
+  // Persistent worker pool (spawned only when workers > 1). Generation
+  // counter + condvars form the window barrier; the atomic lane cursor
+  // load-balances lanes across the threads inside a window.
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  int active_ = 0;
+  bool stop_ = false;
+  SimTime window_horizon_ = 0;
+  std::atomic<std::uint32_t> lane_cursor_{0};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace hs::sim

@@ -14,9 +14,11 @@
 // export renders as Perfetto flow arrows.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -133,6 +135,43 @@ class Trace {
 
   const std::vector<TraceRecord>& records() const { return records_; }
   const std::vector<TraceEdge>& edges() const { return edges_; }
+
+  /// Start span numbering at `base` — partitioned runs give each lane's
+  /// Trace a disjoint id range (lane L starts at (L+1) << 32; a lane
+  /// records far fewer than 2^32 spans, and merged ids stay below 2^53 so
+  /// they survive a round-trip through JSON doubles). The partition of a
+  /// merged span is thus recoverable as span >> 32.
+  void set_span_base(std::uint64_t base) { next_span_ = base; }
+
+  /// Deterministically fold per-lane traces into this one (the parallel
+  /// coordinator calls this once at end of run). Records merge sorted by
+  /// (begin, span) — span ids are unique, so the order is a total one and
+  /// independent of lane count or thread schedule; edges concatenate in
+  /// lane order. The lanes are drained (cleared) so a second run() does not
+  /// re-merge stale spans; their span counters keep counting upward in
+  /// their own ranges.
+  void merge_from(const std::vector<Trace*>& lanes) {
+    std::size_t extra_records = 0;
+    std::size_t extra_edges = 0;
+    for (Trace* lane : lanes) {
+      extra_records += lane->records_.size();
+      extra_edges += lane->edges_.size();
+    }
+    records_.reserve(records_.size() + extra_records);
+    edges_.reserve(edges_.size() + extra_edges);
+    const std::size_t merged_begin = records_.size();
+    for (Trace* lane : lanes) {
+      for (auto& r : lane->records_) records_.push_back(std::move(r));
+      for (const auto& e : lane->edges_) edges_.push_back(e);
+      lane->records_.clear();
+      lane->edges_.clear();
+    }
+    std::sort(records_.begin() + static_cast<std::ptrdiff_t>(merged_begin),
+              records_.end(), [](const TraceRecord& a, const TraceRecord& b) {
+                if (a.begin != b.begin) return a.begin < b.begin;
+                return a.span < b.span;
+              });
+  }
 
   /// Drop all records/edges and reset the ambient step to "no step", so a
   /// reused trace does not tag new records with the previous run's last

@@ -124,7 +124,8 @@ void ChromeTraceWriter::write(std::ostream& os) const {
       os << "{\"name\":\"" << escape(rec.name) << "\",\"cat\":\"" << cat
          << "\",\"ph\":\"X\",\"ts\":" << us(rec.begin)
          << ",\"dur\":" << us(rec.end - rec.begin) << ",\"pid\":" << pid
-         << ",\"tid\":" << tid << ",\"args\":{\"step\":" << rec.step << "}}";
+         << ",\"tid\":" << tid << ",\"args\":{\"step\":" << rec.step
+         << ",\"span\":" << rec.span << "}}";
     }
     // Causal edges as Perfetto flow pairs: the start binds to the end of
     // the producing span, the finish (bp:"e" = enclosing slice) to the

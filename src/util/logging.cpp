@@ -1,12 +1,20 @@
 #include "util/logging.hpp"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace hs::util {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
+// The level is read on every HS_LOG site, including from parallel-engine
+// worker threads; the sink is written by tests that capture output. Keep the
+// level lock-free (relaxed is fine: there is no ordering contract between a
+// level change and in-flight messages) and serialize sink swaps + emission
+// under one mutex so concurrent messages never interleave bytes.
+std::atomic<LogLevel> g_level{LogLevel::Warn};
 std::ostream* g_sink = nullptr;
+std::mutex g_sink_mu;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -21,14 +29,31 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
-void set_log_sink(std::ostream* sink) { g_sink = sink; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_sink(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink = sink;
+}
 
 namespace detail {
 void emit(LogLevel level, const std::string& message) {
+  // Compose the full line first so the sink sees a single << of one string:
+  // even a shared stringstream sink then receives whole lines, never spliced
+  // fragments from two threads.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::lock_guard<std::mutex> lock(g_sink_mu);
   std::ostream& os = g_sink != nullptr ? *g_sink : std::cerr;
-  os << "[" << level_name(level) << "] " << message << '\n';
+  os << line;
 }
 }  // namespace detail
 

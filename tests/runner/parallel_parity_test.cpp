@@ -1,0 +1,264 @@
+// Parallel-engine parity tests: the bit-identity contract for partitioned
+// (PDES) runs.
+//
+//  1. --workers=1 vs --workers=N: the raw canonical output (merged trace
+//     records with span ids, counters, clocks, Chrome export hash) is
+//     byte-identical — the lane structure is per device, so the worker
+//     count is pure thread parallelism.
+//  2. classic (workers=0) vs partitioned: the *canonicalized* outputs
+//     agree — same simulated timeline, same per-step clocks, same fabric /
+//     pgas counter totals, same span population up to span-id relabeling
+//     (lanes allocate ids from (d+1)<<32; classic from 0).
+//  3. Randomized-jitter stress: with deterministic timing jitter enabled,
+//     workers=1 and workers=N still agree bit-exactly (per-lane jitter
+//     streams are independent of worker interleaving).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dd/geometry.hpp"
+#include "halo/workload.hpp"
+#include "msg/comm.hpp"
+#include "pgas/world.hpp"
+#include "runner/md_runner.hpp"
+#include "sim/machine.hpp"
+#include "sim/trace_export.hpp"
+
+namespace hs {
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct CaseSpec {
+  long long atoms = 40000;
+  int steps = 3;
+  sim::Topology topology = sim::Topology::dgx_h100(1, 4);
+  halo::Transport transport = halo::Transport::Shmem;
+  int workers = 0;
+  std::uint64_t jitter_seed = 0;  // 0 = no jitter
+  sim::SimTime jitter_ns = 0;
+};
+
+struct CaseResult {
+  std::string raw;        // span-exact canonical dump (contract 1 and 3)
+  std::string canonical;  // span-relabeled dump (contract 2)
+  sim::SimTime final_ns = 0;
+  std::vector<sim::SimTime> step_ends;
+};
+
+CaseResult run_case(const CaseSpec& spec) {
+  const int ranks = spec.topology.device_count();
+  constexpr double kDensity = 100.0;
+  constexpr double kCutoff = 1.30;
+  const auto box_len = static_cast<float>(
+      std::cbrt(static_cast<double>(spec.atoms) / kDensity));
+  const md::Box box(box_len, box_len, box_len);
+  const dd::DomainGrid grid(box, dd::choose_grid(box, ranks, kCutoff));
+
+  sim::MachineOptions options;
+  options.workers = spec.workers;
+  sim::Machine machine(spec.topology, sim::CostModel::h100_eos(), options);
+  machine.trace().set_enabled(true);
+  if (spec.jitter_ns > 0) {
+    machine.fabric().set_timing_jitter(spec.jitter_seed, spec.jitter_ns);
+  }
+  pgas::World world(machine);
+  msg::Comm comm(machine);
+  runner::RunConfig config;
+  config.transport = spec.transport;
+  runner::MdRunner md(machine, world, comm,
+                      halo::make_skeleton_workload(grid, kCutoff, kDensity),
+                      config);
+  md.run(spec.steps);
+
+  CaseResult result;
+  result.final_ns = machine.final_time();
+  result.step_ends = md.step_end_times();
+
+  const auto& trace = machine.trace();
+  std::ostringstream raw;
+  raw << "events=" << machine.events_processed()
+      << " final_ns=" << machine.final_time() << "\n";
+  raw << "records=" << trace.records().size()
+      << " edges=" << trace.edges().size() << "\n";
+  for (const auto& r : trace.records()) {
+    raw << "R " << r.span << " d" << r.device << " " << r.stream << " "
+        << r.name << " [" << r.begin << "," << r.end << "] step=" << r.step
+        << " k=" << static_cast<int>(r.kind) << " q=" << r.queue_ns
+        << " p=" << r.proxy_ns << " peer=" << r.peer << "\n";
+  }
+  for (const auto& e : trace.edges()) {
+    raw << "E " << e.src << "->" << e.dst << " " << to_string(e.kind) << "\n";
+  }
+  std::ostringstream chrome;
+  sim::write_chrome_trace(trace, chrome);
+  raw << "chrome_fnv1a=" << fnv1a(chrome.str()) << "\n";
+  {
+    std::ostringstream fc;
+    print_counters(fc, machine.fabric().counters());
+    raw << fc.str();
+  }
+  {
+    std::ostringstream wc;
+    print_counters(wc, world.counters());
+    raw << wc.str();
+  }
+  for (const auto t : result.step_ends) raw << "step_end=" << t << "\n";
+  result.raw = raw.str();
+
+  // Span-relabeled view for classic vs partitioned: keep everything except
+  // the span ids themselves (and the edge endpoints, compared by count per
+  // kind). Records are re-sorted on content so the master-trace record
+  // order (merge order vs interleaved classic order) drops out too.
+  std::vector<std::string> lines;
+  for (const auto& r : trace.records()) {
+    std::ostringstream line;
+    line << "R d" << r.device << " " << r.stream << " " << r.name << " ["
+         << r.begin << "," << r.end << "] step=" << r.step
+         << " k=" << static_cast<int>(r.kind) << " q=" << r.queue_ns
+         << " p=" << r.proxy_ns << " peer=" << r.peer;
+    lines.push_back(line.str());
+  }
+  std::sort(lines.begin(), lines.end());
+  std::map<std::string, int> edge_kinds;
+  for (const auto& e : trace.edges()) ++edge_kinds[to_string(e.kind)];
+  std::ostringstream canon;
+  canon << "final_ns=" << machine.final_time() << "\n";
+  for (const auto& l : lines) canon << l << "\n";
+  for (const auto& [kind, n] : edge_kinds) {
+    canon << "edges[" << kind << "]=" << n << "\n";
+  }
+  {
+    std::ostringstream fc;
+    print_counters(fc, machine.fabric().counters());
+    canon << fc.str();
+  }
+  {
+    std::ostringstream wc;
+    print_counters(wc, world.counters());
+    canon << wc.str();
+  }
+  for (const auto t : result.step_ends) canon << "step_end=" << t << "\n";
+  result.canonical = canon.str();
+  return result;
+}
+
+void expect_equal_by_line(const std::string& got, const std::string& want,
+                          const std::string& label) {
+  std::istringstream g(got);
+  std::istringstream w(want);
+  std::string gl;
+  std::string wl;
+  std::size_t line = 0;
+  while (std::getline(w, wl)) {
+    ++line;
+    ASSERT_TRUE(std::getline(g, gl))
+        << label << ": truncated at line " << line << ": " << wl;
+    ASSERT_EQ(gl, wl) << label << ": first divergence at line " << line;
+  }
+  EXPECT_FALSE(std::getline(g, gl))
+      << label << ": extra content after line " << line << ": " << gl;
+}
+
+TEST(ParallelParity, WorkerCountIsBitIdentical) {
+  // The fig12-shaped case: 16 ranks, mixed NVLink/IB, Shmem transport.
+  CaseSpec spec;
+  spec.atoms = 180000;
+  spec.steps = 4;
+  spec.topology = sim::Topology::dgx_h100(4, 4);
+  spec.workers = 1;
+  const CaseResult oracle = run_case(spec);
+  ASSERT_GT(oracle.final_ns, 0);
+  for (int workers : {2, 4, 8}) {
+    spec.workers = workers;
+    const CaseResult got = run_case(spec);
+    expect_equal_by_line(got.raw, oracle.raw,
+                         "workers=" + std::to_string(workers));
+  }
+}
+
+TEST(ParallelParity, WorkerCountIsBitIdenticalAcrossTopologies) {
+  struct Variant {
+    const char* name;
+    sim::Topology topology;
+    halo::Transport transport;
+  };
+  const Variant variants[] = {
+      {"ib_2x2", sim::Topology::dgx_h100(2, 2), halo::Transport::Shmem},
+      {"nvl72", sim::Topology::gb200_nvl72(2, 4), halo::Transport::Shmem},
+      {"tmpi_1x4", sim::Topology::dgx_h100(1, 4), halo::Transport::ThreadMpi},
+  };
+  for (const auto& v : variants) {
+    CaseSpec spec;
+    spec.topology = v.topology;
+    spec.transport = v.transport;
+    spec.workers = 1;
+    const CaseResult oracle = run_case(spec);
+    for (int workers : {2, 4}) {
+      spec.workers = workers;
+      const CaseResult got = run_case(spec);
+      expect_equal_by_line(got.raw, oracle.raw,
+                           std::string(v.name) +
+                               " workers=" + std::to_string(workers));
+    }
+  }
+}
+
+TEST(ParallelParity, PartitionedMatchesClassicCanonically) {
+  for (halo::Transport transport :
+       {halo::Transport::Shmem, halo::Transport::ThreadMpi}) {
+    CaseSpec spec;
+    spec.transport = transport;
+    spec.topology = transport == halo::Transport::ThreadMpi
+                        ? sim::Topology::dgx_h100(1, 4)
+                        : sim::Topology::dgx_h100(2, 2);
+    spec.workers = 0;
+    const CaseResult classic = run_case(spec);
+    spec.workers = 2;
+    const CaseResult partitioned = run_case(spec);
+    const std::string label =
+        transport == halo::Transport::Shmem ? "shmem" : "tmpi";
+    EXPECT_EQ(partitioned.final_ns, classic.final_ns) << label;
+    EXPECT_EQ(partitioned.step_ends, classic.step_ends) << label;
+    expect_equal_by_line(partitioned.canonical, classic.canonical, label);
+  }
+}
+
+TEST(ParallelParity, JitterStressStaysDeterministicAcrossWorkers) {
+  CaseSpec spec;
+  spec.topology = sim::Topology::dgx_h100(2, 2);
+  spec.jitter_seed = 0xfeedfacecafebeefull;
+  spec.jitter_ns = 250;
+  spec.workers = 1;
+  const CaseResult oracle = run_case(spec);
+  for (int workers : {2, 4, 8}) {
+    spec.workers = workers;
+    const CaseResult got = run_case(spec);
+    expect_equal_by_line(got.raw, oracle.raw,
+                         "jitter workers=" + std::to_string(workers));
+  }
+}
+
+TEST(ParallelParity, MpiTransportRefusesPartitionedMode) {
+  CaseSpec spec;
+  spec.transport = halo::Transport::Mpi;
+  spec.workers = 2;
+  EXPECT_THROW(run_case(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hs

@@ -52,7 +52,7 @@ TEST(InlineTask, LargeCaptureUsesSlabAndRecyclesBlocks) {
     t();
   }
   EXPECT_EQ(out, 7);
-  // Destroying the task returned its block to the thread-local free list;
+  // Destroying the task returned its block to the active slab's free list;
   // the next overflow capture reuses it rather than growing the slab.
   const std::size_t free_before = detail::TaskSlab::free_blocks();
   {
@@ -60,6 +60,46 @@ TEST(InlineTask, LargeCaptureUsesSlabAndRecyclesBlocks) {
     EXPECT_EQ(detail::TaskSlab::free_blocks(), free_before - 1);
   }
   EXPECT_EQ(detail::TaskSlab::free_blocks(), free_before);
+}
+
+TEST(InlineTask, SlabBlocksReturnToOwningSlab) {
+  std::array<std::int64_t, 12> big{};  // 96 bytes > kInlineBytes
+  detail::TaskSlab slab_a;
+  detail::TaskSlab slab_b;
+  InlineTask t;
+  {
+    detail::TaskSlab::Scope scope(&slab_a);
+    t = [big] { (void)big; };
+    EXPECT_FALSE(t.is_inline());
+    EXPECT_EQ(detail::TaskSlab::free_blocks(),
+              detail::TaskSlab::kBlocksPerChunk - 1);
+  }
+  // Destroying the capture under a *different* slab context must return
+  // the block to the slab that carved it, not the active one — the bug
+  // this guards against is a task allocated on one engine lane and
+  // destroyed on another corrupting an unrelated free list.
+  {
+    detail::TaskSlab::Scope scope(&slab_b);
+    t = InlineTask();
+  }
+  EXPECT_EQ(slab_a.free_block_count(), detail::TaskSlab::kBlocksPerChunk);
+  EXPECT_EQ(slab_b.free_block_count(), 0u);
+}
+
+TEST(InlineTask, ScopeNestsAndRestores) {
+  detail::TaskSlab slab;
+  detail::TaskSlab& fb = detail::TaskSlab::fallback();
+  const std::size_t fb_free = fb.free_block_count();
+  {
+    detail::TaskSlab::Scope scope(&slab);
+    std::array<std::int64_t, 12> big{};
+    InlineTask t([big] { (void)big; });
+    EXPECT_EQ(slab.free_block_count(),
+              detail::TaskSlab::kBlocksPerChunk - 1);
+  }
+  // Outside the scope the fallback slab is active again and untouched.
+  EXPECT_EQ(fb.free_block_count(), fb_free);
+  EXPECT_EQ(slab.free_block_count(), detail::TaskSlab::kBlocksPerChunk);
 }
 
 TEST(InlineTask, MoveTransfersInlineCapture) {

@@ -4,11 +4,14 @@
 //
 // Checks the file is well-formed JSON, has a non-empty traceEvents array,
 // that every duration event carries the expected fields with sane values
-// (non-negative ts/dur, pid/tid present, step tag), and that flow events
-// pair up: every flow id has exactly one start (ph:"s") and one finish
-// (ph:"f", with the bp:"e" binding-point). Exit code 0 on success; prints
-// a one-line summary. Used by scripts/smoke_trace.sh and handy after any
-// bench run.
+// (non-negative ts/dur, pid/tid present, step tag, unique span id), and
+// that flow events pair up: every flow id has exactly one start (ph:"s")
+// and one finish (ph:"f", with the bp:"e" binding-point). Span ids encode
+// their partition in the high bits (lane d allocates from (d+1)<<32;
+// classic runs allocate from 0), so a merged multi-partition trace is
+// accepted and the partition count reported. Exit code 0 on success;
+// prints a one-line summary. Used by scripts/smoke_trace.sh and handy
+// after any bench run.
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -47,6 +50,10 @@ int main(int argc, char** argv) {
     std::size_t durations = 0;
     std::set<double> pids;
     std::set<std::pair<double, double>> tids;
+    // Spans are unique within one exported trace; multi-source files (one
+    // machine per pid range) may repeat them, so key uniqueness by pid.
+    std::set<std::pair<double, std::uint64_t>> spans;
+    std::set<int> partitions;
     std::map<double, int> flow_starts;
     std::map<double, int> flow_finishes;
     for (const auto& ev : events) {
@@ -91,6 +98,21 @@ int main(int argc, char** argv) {
         std::cerr << "trace_validate: event without step tag\n";
         return 1;
       }
+      if (!ev.at("args").contains("span")) {
+        std::cerr << "trace_validate: event without span id\n";
+        return 1;
+      }
+      const double span_d = ev.at("args").at("span").as_number();
+      if (span_d < 0) {
+        std::cerr << "trace_validate: negative span id\n";
+        return 1;
+      }
+      const auto span = static_cast<std::uint64_t>(span_d);
+      if (span != 0 && !spans.insert({pid, span}).second) {
+        std::cerr << "trace_validate: duplicate span id " << span << "\n";
+        return 1;
+      }
+      partitions.insert(static_cast<int>(span >> 32));
       ++durations;
     }
     if (durations == 0) {
@@ -113,7 +135,8 @@ int main(int argc, char** argv) {
     }
     std::cout << "ok: " << durations << " duration events, "
               << flow_starts.size() << " flow pairs, " << pids.size()
-              << " processes, " << tids.size() << " threads\n";
+              << " processes, " << tids.size() << " threads, "
+              << partitions.size() << " span partition(s)\n";
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "trace_validate: " << e.what() << "\n";
