@@ -7,9 +7,13 @@
 #pragma once
 
 #include <cmath>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "dd/geometry.hpp"
 #include "runner/critical_path.hpp"
@@ -19,6 +23,7 @@
 #include "util/cli.hpp"
 #include "util/metrics.hpp"
 #include "util/table.hpp"
+#include "util/telemetry.hpp"
 
 namespace hs::bench {
 
@@ -53,14 +58,23 @@ struct CaseSpec {
 /// one Chrome-trace JSON file (`--trace-json=<path>`), prints fabric /
 /// PGAS counter summaries plus per-step kernel aggregates (`--counters`,
 /// implied by `--trace-json`), walks the causal span graph into a per-step
-/// critical-path breakdown (`--critical-path`), and dumps per-case scalar
-/// metrics for tools/bench_diff (`--metrics-json=<path>`). With no flag it
-/// is a no-op.
+/// critical-path breakdown (`--critical-path`), dumps per-case scalar
+/// metrics for tools/bench_diff (`--metrics-json=<path>`), and samples the
+/// machine's time-series telemetry (`--telemetry-json=<path>` /
+/// `--telemetry-csv=<path>`, window set by `--telemetry-every=<us>`,
+/// wall-clock series opted in with `--telemetry-host`). Telemetry rides
+/// into every other sink it can: counter tracks in the Chrome trace and a
+/// top-level `"telemetry"` section in the metrics file. With no flag it is
+/// a no-op.
 class Observability {
  public:
   explicit Observability(const util::Cli& cli)
       : trace_path_(cli.get("trace-json", "")),
         metrics_path_(cli.get("metrics-json", "")),
+        telemetry_path_(cli.get("telemetry-json", "")),
+        telemetry_csv_path_(cli.get("telemetry-csv", "")),
+        telemetry_every_us_(cli.get_int("telemetry-every", 100)),
+        telemetry_host_(cli.get_bool("telemetry-host", false)),
         counters_(cli.get_bool("counters", false)),
         critical_path_(cli.get_bool("critical-path", false)) {}
 
@@ -70,18 +84,42 @@ class Observability {
 
   bool trace_enabled() const { return !trace_path_.empty(); }
   bool metrics_enabled() const { return !metrics_path_.empty(); }
+  bool telemetry_enabled() const {
+    return !telemetry_path_.empty() || !telemetry_csv_path_.empty();
+  }
   bool counters_enabled() const { return counters_ || trace_enabled(); }
   bool critical_path_enabled() const {
     return critical_path_ || metrics_enabled();
   }
   bool enabled() const {
-    return counters_enabled() || critical_path_enabled() || metrics_enabled();
+    return counters_enabled() || critical_path_enabled() ||
+           metrics_enabled() || telemetry_enabled();
+  }
+
+  /// Turn the machine's telemetry registry on (when a telemetry sink was
+  /// requested). Must run right after Machine construction, before the
+  /// instrumented layers (World, MdRunner) are built — they register
+  /// their metrics at construction time.
+  void configure(sim::Machine& machine) const {
+    if (telemetry_enabled()) {
+      machine.enable_telemetry(telemetry_every_us_ * 1000);
+    }
   }
 
   /// Call once per finished run, before the machine is torn down.
   void collect(const std::string& label, sim::Machine& machine,
                pgas::World* world, int warmup = 0) {
     if (trace_enabled()) writer_.add(machine.trace(), label);
+    if (telemetry_enabled() && machine.telemetry_enabled()) {
+      if (trace_enabled()) writer_.add_counters(machine.telemetry());
+      std::ostringstream run;
+      machine.telemetry().write_json(run, telemetry_host_);
+      if (!telemetry_csv_path_.empty()) {
+        machine.telemetry().write_csv(telemetry_csv_, label, telemetry_host_,
+                                      telemetry_runs_.empty());
+      }
+      telemetry_runs_.emplace_back(label, run.str());
+    }
     if (!enabled()) return;
     const bool chatty = counters_enabled() || critical_path_;
     if (chatty) std::cout << "\n--- observability: " << label << " ---\n";
@@ -118,6 +156,9 @@ class Observability {
       }
     }
     if (metrics_enabled()) {
+      if (!telemetry_runs_.empty()) {
+        metrics_.telemetry_json = telemetry_wrapper();
+      }
       if (util::metrics::write_file(metrics_path_, metrics_)) {
         std::cout << "metrics written: " << metrics_path_ << " ("
                   << metrics_.cases.size() << " cases)\n";
@@ -127,10 +168,51 @@ class Observability {
         ok_ = false;
       }
     }
+    if (!telemetry_path_.empty()) {
+      std::ofstream os(telemetry_path_);
+      if (os) os << telemetry_wrapper() << "\n";
+      if (os) {
+        std::cout << "telemetry written: " << telemetry_path_ << " ("
+                  << telemetry_runs_.size() << " runs)\n";
+      } else {
+        std::cerr << "\nfailed to write telemetry file: " << telemetry_path_
+                  << "\n";
+        ok_ = false;
+      }
+    }
+    if (!telemetry_csv_path_.empty()) {
+      std::ofstream os(telemetry_csv_path_);
+      if (os) os << telemetry_csv_.str();
+      if (os) {
+        std::cout << "telemetry csv written: " << telemetry_csv_path_ << "\n";
+      } else {
+        std::cerr << "\nfailed to write telemetry csv: " << telemetry_csv_path_
+                  << "\n";
+        ok_ = false;
+      }
+    }
     return ok_;
   }
 
  private:
+  /// The standalone telemetry document (`halosim-telemetry-v1`): one inner
+  /// Registry::write_json object per collected run, keyed by label. The
+  /// same text embeds under bench-metrics' top-level "telemetry" key, so
+  /// halo_top reads either file shape.
+  std::string telemetry_wrapper() const {
+    std::string out = "{\"schema\":\"";
+    out += util::telemetry::kSchema;
+    out += "\",\"runs\":{";
+    bool first = true;
+    for (const auto& [label, json] : telemetry_runs_) {
+      if (!first) out += ",";
+      first = false;
+      out += "\n \"" + label + "\":" + json;
+    }
+    out += "\n}}";
+    return out;
+  }
+
   void record_metrics(const std::string& label, sim::Machine& machine,
                       pgas::World* world, int warmup,
                       const runner::CriticalPathReport& crit) {
@@ -185,12 +267,18 @@ class Observability {
 
   std::string trace_path_;
   std::string metrics_path_;
+  std::string telemetry_path_;
+  std::string telemetry_csv_path_;
+  long long telemetry_every_us_ = 100;
+  bool telemetry_host_ = false;
   bool counters_ = false;
   bool critical_path_ = false;
   bool finished_ = false;
   bool ok_ = true;
   sim::ChromeTraceWriter writer_;
   util::metrics::Report metrics_;
+  std::vector<std::pair<std::string, std::string>> telemetry_runs_;
+  std::ostringstream telemetry_csv_;
 };
 
 /// Parse the shared --workers=N flag (parallel engine worker count).
@@ -217,6 +305,7 @@ inline CaseResult run_case(const CaseSpec& spec, Observability* obs = nullptr,
   }
   sim::Machine machine(spec.topology, spec.cost_model, machine_options);
   machine.trace().set_enabled(true);
+  if (obs != nullptr) obs->configure(machine);
   pgas::World world(machine);
   msg::Comm comm(machine);
   runner::MdRunner md_runner(

@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
     machine_options.workers = mpi ? 0 : bench::cli_workers(cli);
     sim::Machine machine(spec.topology, spec.cost_model, machine_options);
     machine.trace().set_enabled(true);
+    obs.configure(machine);
     pgas::World world(machine);
     msg::Comm comm(machine);
     runner::MdRunner md_runner(

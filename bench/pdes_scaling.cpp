@@ -3,12 +3,16 @@
 // worker counts.
 //
 //   $ pdes_scaling [--workers-list=0,1,2,4,8] [--atoms=720000] [--steps=6]
-//                  [--metrics-json=out.json]
+//                  [--metrics-json=out.json] [--telemetry-json=out.json]
+//                  [--telemetry-host=true]
 //
 // Every run simulates the identical workload; partitioned runs (workers
 // >= 1) are bit-identical to each other by construction (verified here via
-// a final-clock/event-count cross-check), so the sweep isolates pure host
-// parallelism. The metrics JSON (bench-metrics-v1) records wall ms per
+// a final-clock/event-count cross-check, and — with --telemetry-json — a
+// byte-compare of every run's Sim-domain telemetry document), so the sweep
+// isolates pure host parallelism. The telemetry file includes the
+// wall-clock (Host) series by default: this is the bench halo_top reads
+// per-lane busy/barrier shares from. The metrics JSON (bench-metrics-v1) records wall ms per
 // run, speedup vs workers=1, and the host CPU count — wall-clock speedup
 // saturates at the physical core count, so baselines must be read against
 // host_cpus (a 1-core container cannot show > 1x no matter the workers).
@@ -44,6 +48,8 @@ int main(int argc, char** argv) {
   const std::vector<int> workers_list =
       parse_list(cli.get("workers-list", "0,1,2,4,8"));
   const std::string metrics_path = cli.get("metrics-json", "");
+  const std::string telemetry_path = cli.get("telemetry-json", "");
+  const bool telemetry_host = cli.get_bool("telemetry-host", true);
   const unsigned host_cpus = std::thread::hardware_concurrency();
 
   bench::print_header(
@@ -62,6 +68,9 @@ int main(int argc, char** argv) {
   sim::SimTime partitioned_final = -1;
   std::uint64_t partitioned_events = 0;
   bool parity_ok = true;
+  std::vector<std::pair<std::string, std::string>> telemetry_runs;
+  std::string partitioned_telemetry;  // Sim-domain canon, first workers>=1 run
+  bool telemetry_parity_ok = true;
 
   for (const int workers : workers_list) {
     bench::CaseSpec spec;
@@ -82,6 +91,7 @@ int main(int argc, char** argv) {
     sim::MachineOptions machine_options;
     machine_options.workers = workers;
     sim::Machine machine(spec.topology, spec.cost_model, machine_options);
+    if (!telemetry_path.empty()) machine.enable_telemetry();
     pgas::World world(machine);
     msg::Comm comm(machine);
     runner::MdRunner md_runner(
@@ -111,6 +121,22 @@ int main(int argc, char** argv) {
     }
 
     const std::string label = "workers" + std::to_string(workers);
+    if (machine.telemetry_enabled()) {
+      // The Sim-domain telemetry document is part of the bit-identity
+      // contract: every partitioned run must produce the same bytes.
+      std::ostringstream sim_only;
+      machine.telemetry().write_json(sim_only, /*include_host=*/false);
+      if (workers >= 1) {
+        if (partitioned_telemetry.empty()) {
+          partitioned_telemetry = sim_only.str();
+        } else if (sim_only.str() != partitioned_telemetry) {
+          telemetry_parity_ok = false;
+        }
+      }
+      std::ostringstream full;
+      machine.telemetry().write_json(full, telemetry_host);
+      telemetry_runs.emplace_back(label, full.str());
+    }
     table.add_row(
         {std::to_string(workers), workers == 0 ? "classic" : "partitioned",
          util::Table::fmt(wall_ms, 1), std::to_string(events),
@@ -138,7 +164,29 @@ int main(int argc, char** argv) {
                  "final clock / event count (bit-identity broken)\n";
     return 1;
   }
-  std::cout << "\npartitioned runs agree on final clock and event count.\n";
+  if (!telemetry_parity_ok) {
+    std::cerr << "pdes_scaling: FAIL — partitioned runs disagreed on the "
+                 "Sim-domain telemetry document (bit-identity broken)\n";
+    return 1;
+  }
+  std::cout << "\npartitioned runs agree on final clock and event count";
+  if (!telemetry_runs.empty()) std::cout << " and on Sim-domain telemetry";
+  std::cout << ".\n";
+
+  std::string telemetry_doc;
+  if (!telemetry_runs.empty()) {
+    telemetry_doc = "{\"schema\":\"";
+    telemetry_doc += util::telemetry::kSchema;
+    telemetry_doc += "\",\"runs\":{";
+    bool first = true;
+    for (const auto& [label, json] : telemetry_runs) {
+      if (!first) telemetry_doc += ",";
+      first = false;
+      telemetry_doc += "\n \"" + label + "\":" + json;
+    }
+    telemetry_doc += "\n}}";
+    metrics.telemetry_json = telemetry_doc;
+  }
 
   if (!metrics_path.empty()) {
     if (!util::metrics::write_file(metrics_path, metrics)) {
@@ -146,6 +194,17 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << "metrics written: " << metrics_path << "\n";
+  }
+  if (!telemetry_path.empty()) {
+    std::ofstream os(telemetry_path);
+    if (os) os << telemetry_doc << "\n";
+    if (!os) {
+      std::cerr << "failed to write telemetry file: " << telemetry_path
+                << "\n";
+      return 1;
+    }
+    std::cout << "telemetry written: " << telemetry_path << " ("
+              << telemetry_runs.size() << " runs)\n";
   }
   return 0;
 }

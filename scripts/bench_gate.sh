@@ -10,7 +10,8 @@
 # --wall additionally runs scripts/perf_smoke.sh, the *wall-clock* smoke
 # gate over the google-benchmark binaries (bench/sim_perf,
 # bench/md_kernels; generous threshold, see that script),
-# scripts/md_smoke.sh --skip-asan, the cluster-kernel speedup floor, and
+# scripts/md_smoke.sh --skip-asan, the cluster-kernel speedup floor,
+# scripts/telemetry_smoke.sh, the telemetry-export end-to-end check, and
 # scripts/threads_smoke.sh, the TSan pass over the parallel engine.
 set -euo pipefail
 
@@ -62,5 +63,6 @@ if [[ "$WALL" == 1 ]]; then
   if [[ "$UPDATE" == 1 ]]; then WALL_ARGS+=(--update); fi
   "$REPO_ROOT/scripts/perf_smoke.sh" "${WALL_ARGS[@]}"
   "$REPO_ROOT/scripts/md_smoke.sh" "$BUILD_DIR" --skip-asan
+  "$REPO_ROOT/scripts/telemetry_smoke.sh" "$BUILD_DIR"
   "$REPO_ROOT/scripts/threads_smoke.sh"
 fi

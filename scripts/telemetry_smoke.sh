@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Telemetry end-to-end smoke: run the Figs. 1-2 schedule bench with every
+# telemetry export enabled, then push each artifact through its consumer:
+#
+#   1. --telemetry-json + --telemetry-csv + --trace-json on
+#      fig12_schedule_trace (both transports, partitioned shmem run),
+#   2. tools/trace_validate over the Chrome trace — counter (ph:"C")
+#      events must have monotone timestamps and land on exported pids,
+#   3. tools/halo_top replaying the telemetry document — must render a
+#      per-lane table and a verdict line for every run,
+#   4. the metrics JSON must embed the telemetry section
+#      (halosim-telemetry-v1) and still pass bench_diff against itself.
+#
+# Everything here is simulated-time telemetry, so the artifacts are
+# deterministic; the smoke asserts the plumbing, not timing.
+# Wired into scripts/bench_gate.sh --wall.
+#
+#   $ scripts/telemetry_smoke.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+BENCH="$BUILD_DIR/bench/fig12_schedule_trace"
+VALIDATE="$BUILD_DIR/tools/trace_validate"
+HALO_TOP="$BUILD_DIR/tools/halo_top"
+DIFF="$BUILD_DIR/tools/bench_diff"
+for bin in "$BENCH" "$VALIDATE" "$HALO_TOP" "$DIFF"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "telemetry_smoke: missing $bin — build first (cmake --build $BUILD_DIR -j)" >&2
+    exit 2
+  fi
+done
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$BENCH" --workers=2 \
+  "--metrics-json=$TMP/metrics.json" \
+  "--trace-json=$TMP/trace.json" \
+  "--telemetry-json=$TMP/telemetry.json" \
+  "--telemetry-csv=$TMP/telemetry.csv" > /dev/null
+
+for f in metrics.json trace.json telemetry.json telemetry.csv; do
+  if [[ ! -s "$TMP/$f" ]]; then
+    echo "telemetry_smoke: FAIL — bench wrote no $f" >&2
+    exit 1
+  fi
+done
+
+# Chrome trace with counter events must validate (flow pairing, counter
+# monotonicity, pid anchoring).
+"$VALIDATE" "$TMP/trace.json"
+
+# The replay profiler must produce a report (lane table + verdict) for
+# both runs in the document.
+TOP_OUT="$TMP/halo_top.out"
+"$HALO_TOP" "$TMP/telemetry.json" > "$TOP_OUT"
+for needle in "=== mpi ===" "=== shmem ===" "verdict:"; do
+  if ! grep -q "$needle" "$TOP_OUT"; then
+    echo "telemetry_smoke: FAIL — halo_top output missing '$needle'" >&2
+    cat "$TOP_OUT" >&2
+    exit 1
+  fi
+done
+
+# The metrics document embeds the telemetry section and halo_top can read
+# it from there too.
+if ! grep -q '"telemetry"' "$TMP/metrics.json"; then
+  echo "telemetry_smoke: FAIL — metrics JSON lacks the telemetry section" >&2
+  exit 1
+fi
+"$HALO_TOP" "$TMP/metrics.json" --run=shmem > /dev/null
+
+# Telemetry must never affect the diff gate: a document diffed against
+# itself is clean.
+"$DIFF" "$TMP/metrics.json" "$TMP/metrics.json" > /dev/null
+
+# CSV: header plus at least one row per run label.
+head -1 "$TMP/telemetry.csv" | grep -q '^run,metric,kind,unit,device,' || {
+  echo "telemetry_smoke: FAIL — bad CSV header" >&2
+  exit 1
+}
+for run in mpi shmem; do
+  grep -q "^$run," "$TMP/telemetry.csv" || {
+    echo "telemetry_smoke: FAIL — CSV has no rows for run '$run'" >&2
+    exit 1
+  }
+done
+
+echo "telemetry_smoke: OK"

@@ -7,8 +7,10 @@
 #   2. the runner parity suite (workers 1 vs N bit-identity, jitter
 #      stress, classic-vs-partitioned canonical equality), and
 #   3. one fig-style bench sweep across worker counts (pdes_scaling,
-#      small case) so real halo-exchange traffic crosses lane boundaries
-#      with the race detector watching.
+#      small case, telemetry sampling on) so real halo-exchange traffic —
+#      and the lane-homed telemetry recording plus the coordinator-side
+#      wall-clock reads — crosses lane boundaries with the race detector
+#      watching.
 #
 # Any data race in the lane/inbox/window-barrier machinery fails the run.
 # Wired into scripts/bench_gate.sh --wall.
@@ -39,7 +41,12 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
   --gtest_filter='ParallelDriverTest.*'
 "$TSAN_DIR/tests/runner/runner_tests" --gtest_brief=1 \
   --gtest_filter='ParallelParity.*'
-# Small sweep: the point is TSan coverage of cross-lane traffic, not timing.
+# Small sweep: the point is TSan coverage of cross-lane traffic, not
+# timing. --telemetry-json turns on the per-lane registries and the
+# coordinator's post-barrier wall-clock reads, the newest cross-thread
+# surface.
+TELEM_OUT="$(mktemp --suffix=.json)"
+trap 'rm -f "$TELEM_OUT"' EXIT
 "$TSAN_DIR/bench/pdes_scaling" --atoms=90000 --steps=3 \
-  --workers-list=1,2,4 > /dev/null
+  --workers-list=1,2,4 "--telemetry-json=$TELEM_OUT" > /dev/null
 echo "threads_smoke: OK ($TSAN_DIR)"

@@ -41,7 +41,26 @@ World::World(sim::Machine& machine, std::size_t heap_bytes_per_pe)
       registered_(static_cast<std::size_t>(machine.device_count())),
       host_barrier_(std::make_unique<sim::BlockBarrier>(machine.engine(),
                                                         machine.device_count())),
-      counter_rows_(static_cast<std::size_t>(machine.device_count())) {}
+      counter_rows_(static_cast<std::size_t>(machine.device_count())) {
+  if (machine.telemetry_enabled()) {
+    telemetry_.resize(static_cast<std::size_t>(n_pes()));
+    for (int pe = 0; pe < n_pes(); ++pe) {
+      PeTelemetry& t = telemetry_[static_cast<std::size_t>(pe)];
+      t.reg = &machine.telemetry_row(pe);
+      for (int i = 0; i < kPgasOpCount; ++i) {
+        const auto op = static_cast<PgasOp>(i);
+        if (op == PgasOp::SignalWait) continue;  // tracked via stall hist
+        const std::string base = "pgas." + to_string(op);
+        t.calls[static_cast<std::size_t>(i)] =
+            t.reg->counter(base + ".calls", "ops");
+        t.bytes[static_cast<std::size_t>(i)] =
+            t.reg->counter(base + ".bytes", "bytes");
+      }
+      t.signal_wait = t.reg->histogram(
+          "pgas.d" + std::to_string(pe) + ".signal_wait_ns", "ns", pe);
+    }
+  }
+}
 
 World::~World() = default;
 
@@ -66,6 +85,10 @@ World::SignalArray World::alloc_signals(int count, const std::string& name) {
     auto sig = std::make_unique<sim::Signal>(machine_->device_engine(owner));
     sig->bind_trace(&machine_->device_trace(owner), owner,
                     name + "[" + std::to_string(i / n_pes()) + "]");
+    if (!telemetry_.empty()) {
+      const PeTelemetry& t = telemetry_[static_cast<std::size_t>(owner)];
+      sig->bind_telemetry(t.reg, t.signal_wait);
+    }
     signals_.push_back(std::move(sig));
   }
   return arr;
@@ -112,6 +135,14 @@ void World::count(int pe, PgasOp op, std::size_t bytes) {
   OpCounters& c = counter_rows_[static_cast<std::size_t>(pe)].op(op);
   ++c.calls;
   c.bytes += bytes;
+  if (!telemetry_.empty()) {
+    const PeTelemetry& t = telemetry_[static_cast<std::size_t>(pe)];
+    const auto now = machine_->device_engine(pe).now();
+    t.reg->add(t.calls[static_cast<std::size_t>(static_cast<int>(op))], now,
+               1.0);
+    t.reg->add(t.bytes[static_cast<std::size_t>(static_cast<int>(op))], now,
+               static_cast<double>(bytes));
+  }
 }
 
 WorldCounters World::counters() const {

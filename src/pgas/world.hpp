@@ -16,6 +16,7 @@
 // buffers), while the fabric decides when.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -24,6 +25,7 @@
 #include "pgas/counters.hpp"
 #include "pgas/symmetric_heap.hpp"
 #include "sim/machine.hpp"
+#include "util/telemetry.hpp"
 
 namespace hs::pgas {
 
@@ -146,6 +148,12 @@ class World {
   /// SignalWait counts acquire-waits on world-owned signal words, summed
   /// at query time.
   WorldCounters counters() const;
+  /// One issuing PE's raw counter row, before the signal-wait fold-in that
+  /// counters() performs. Rows are lane-homed, so workers=1 and workers=N
+  /// must produce identical rows per PE (asserted by parallel_parity_test).
+  const WorldCounters& counter_row_of(int pe) const {
+    return counter_rows_[static_cast<std::size_t>(pe)];
+  }
   void reset_counters();
 
  private:
@@ -178,6 +186,19 @@ class World {
   std::vector<WorldCounters> counter_rows_;  // per issuing PE
   std::uint64_t wait_base_ = 0;  // signal waits consumed by reset_counters
 
+  /// Telemetry ids for one issuing PE's lane registry (mirrors
+  /// counter_rows_; empty = machine telemetry disabled at construction).
+  /// Op series use *global* names (`pgas.<op>.calls`) so the lane rows
+  /// merge into world totals; the signal-wait stall histogram is
+  /// device-qualified (`pgas.d<pe>.signal_wait_ns`) and handed to every
+  /// signal word the PE owns.
+  struct PeTelemetry {
+    util::telemetry::Registry* reg = nullptr;
+    std::array<util::telemetry::MetricId, kPgasOpCount> calls;
+    std::array<util::telemetry::MetricId, kPgasOpCount> bytes;
+    util::telemetry::MetricId signal_wait;
+  };
+  std::vector<PeTelemetry> telemetry_;
 };
 
 }  // namespace hs::pgas

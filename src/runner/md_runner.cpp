@@ -83,6 +83,15 @@ MdRunner::MdRunner(sim::Machine& machine, pgas::World& world, msg::Comm& comm,
   streams_.resize(static_cast<std::size_t>(n));
   update_events_.resize(static_cast<std::size_t>(n));
   per_rank_step_end_.resize(static_cast<std::size_t>(n));
+  if (machine.telemetry_enabled()) {
+    telemetry_.resize(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      auto& t = telemetry_[static_cast<std::size_t>(r)];
+      t.reg = &machine.telemetry_row(r);
+      t.step_ns = t.reg->histogram("md.d" + std::to_string(r) + ".step_ns",
+                                   "ns", r);
+    }
+  }
   for (int r = 0; r < n; ++r) {
     auto& s = streams_[static_cast<std::size_t>(r)];
     const std::string suffix = std::to_string(r);
@@ -462,8 +471,19 @@ sim::Task MdRunner::rank_loop(int rank, int steps) {
     auto* self = this;
     update_done->when_complete(
         [self, rank, step, eng = &machine_->device_engine(rank)] {
-          self->per_rank_step_end_[static_cast<std::size_t>(rank)]
-              [static_cast<std::size_t>(step)] = eng->now();
+          const sim::SimTime now = eng->now();
+          auto& ends = self->per_rank_step_end_[static_cast<std::size_t>(rank)];
+          ends[static_cast<std::size_t>(step)] = now;
+          if (!self->telemetry_.empty()) {
+            // Step durations are rank-local: this rank's updates complete
+            // in step order, so step-1's end is already recorded. Step 0
+            // measures from t=0 and therefore includes setup.
+            const RankTelemetry& t =
+                self->telemetry_[static_cast<std::size_t>(rank)];
+            const sim::SimTime prev =
+                step > 0 ? ends[static_cast<std::size_t>(step - 1)] : 0;
+            t.reg->observe(t.step_ns, now, static_cast<double>(now - prev));
+          }
         });
 
     // 6. Optimized schedule: prune at end of step on the low-priority

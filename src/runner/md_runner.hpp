@@ -25,6 +25,7 @@
 #include "md/integrator.hpp"
 #include "md/nonbonded.hpp"
 #include "runner/config.hpp"
+#include "util/telemetry.hpp"
 
 namespace hs::runner {
 
@@ -125,6 +126,15 @@ class MdRunner {
   std::vector<std::vector<sim::GpuEventPtr>> update_events_;
   std::vector<std::vector<sim::SimTime>> per_rank_step_end_;
   std::vector<sim::SimTime> step_end_times_;
+
+  /// Per-rank step-duration histogram (`md.d<r>.step_ns`), registered in
+  /// the rank's lane registry when machine telemetry is on. Empty =
+  /// disabled.
+  struct RankTelemetry {
+    util::telemetry::Registry* reg = nullptr;
+    util::telemetry::MetricId step_ns;
+  };
+  std::vector<RankTelemetry> telemetry_;
 };
 
 }  // namespace hs::runner

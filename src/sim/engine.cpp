@@ -105,6 +105,16 @@ void Engine::step_one() {
   free_slots_.push_back(slot);
 
   ++processed_;
+  if (telemetry_.registry != nullptr) {
+    telemetry_.registry->add(telemetry_.events, now_, 1.0);
+    // Queue depth is a coarse load gauge; sampling every 64 events keeps
+    // the series (and the cost) proportional to work done, not to time.
+    if ((processed_ & 63u) == 0) {
+      telemetry_.registry->set(
+          telemetry_.queue_depth, now_,
+          static_cast<double>(heap_.size() + bucket_count_));
+    }
+  }
   if (trace_ != nullptr) trace_->set_cause(cause);
   try {
     fn();

@@ -34,10 +34,21 @@
 
 #include "sim/inline_task.hpp"
 #include "sim/time.hpp"
+#include "util/telemetry.hpp"
 
 namespace hs::sim {
 
 class Trace;
+
+/// Telemetry instrumentation bound to an engine (see Machine's
+/// enable_telemetry). A null registry disables everything — the hot paths
+/// pay one pointer compare.
+struct EngineTelemetry {
+  util::telemetry::Registry* registry = nullptr;
+  util::telemetry::MetricId events;        // counter: events executed
+  util::telemetry::MetricId schedule_now;  // counter: same-time churn
+  util::telemetry::MetricId queue_depth;   // gauge, sampled every 64 events
+};
 
 class Engine {
   /// Constrains the schedule_* templates to void() callables (including
@@ -59,6 +70,12 @@ class Engine {
   /// the span that scheduled it. Optional; unbound engines skip the
   /// bookkeeping entirely.
   void bind_trace(Trace* trace) { trace_ = trace; }
+
+  /// Attach telemetry probes (events / schedule-now / queue-depth). The
+  /// registry must outlive the engine; {} detaches.
+  void bind_telemetry(const EngineTelemetry& telemetry) {
+    telemetry_ = telemetry;
+  }
 
   /// Schedule fn at absolute time t. Scheduling into the past corrupts
   /// causality, so t < now() throws std::invalid_argument (in every build
@@ -102,6 +119,9 @@ class Engine {
     s.cause = cause_span;
     const std::uint64_t seq = next_seq_++;
     if (t == now_) {
+      if (telemetry_.registry != nullptr) {
+        telemetry_.registry->add(telemetry_.schedule_now, now_, 1.0);
+      }
       bucket_push(BucketItem{seq, slot});
     } else {
       heap_push(HeapKey{t, seq, slot});
@@ -255,6 +275,7 @@ class Engine {
   std::uint32_t sticky_slots_ = 0;       // live slots not memcpy-relocatable
   std::vector<std::uint32_t> free_slots_;
   detail::TaskSlab slab_;  // overflow-capture pool for this engine's events
+  EngineTelemetry telemetry_;
   Trace* trace_ = nullptr;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;

@@ -35,6 +35,33 @@ Fabric::Fabric(Engine& engine, Topology topology, FabricParams params)
 
 void Fabric::bind_trace(Trace* trace) { trace_ = trace; }
 
+void Fabric::bind_telemetry(
+    const std::vector<util::telemetry::Registry*>& rows) {
+  assert(rows.size() == static_cast<std::size_t>(topology_.device_count()));
+  telemetry_.clear();
+  telemetry_.resize(rows.size());
+  for (std::size_t d = 0; d < rows.size(); ++d) {
+    TelemetryRow& row = telemetry_[d];
+    row.reg = rows[d];
+    // Link series share one name across devices — they merge into global
+    // per-link rates, matching the classic single-registry layout. NIC
+    // series are per-device by construction (the NIC belongs to the
+    // issuing device), so the name carries the device.
+    for (const LinkType type :
+         {LinkType::Loopback, LinkType::NVLink, LinkType::IB}) {
+      const auto i = static_cast<std::size_t>(type);
+      const std::string prefix = "fabric." + to_string(type) + ".";
+      row.link_transfers[i] = row.reg->counter(prefix + "transfers", "ops");
+      row.link_bytes[i] = row.reg->counter(prefix + "bytes", "bytes");
+    }
+    const std::string dev = "fabric.d" + std::to_string(d) + ".";
+    const int device = static_cast<int>(d);
+    row.nic_busy = row.reg->counter(dev + "nic_busy_ns", "ns", device);
+    row.nic_queue = row.reg->counter(dev + "nic_queue_ns", "ns", device);
+    row.proxy_delay = row.reg->counter(dev + "proxy_delay_ns", "ns", device);
+  }
+}
+
 void Fabric::configure_partitioned(std::vector<Engine*> lane_engines,
                                    std::vector<Trace*> lane_traces,
                                    ParallelDriver* driver) {
@@ -124,6 +151,16 @@ void Fabric::transfer(TransferRequest req, std::function<void()> on_complete) {
   lc.messages += static_cast<std::uint64_t>(req.num_messages);
   lc.bytes += req.bytes;
 
+  TelemetryRow* telem =
+      telemetry_.empty() ? nullptr
+                         : &telemetry_[static_cast<std::size_t>(issue)];
+  if (telem != nullptr) {
+    const auto li = static_cast<std::size_t>(type);
+    telem->reg->add(telem->link_transfers[li], eng.now(), 1.0);
+    telem->reg->add(telem->link_bytes[li], eng.now(),
+                    static_cast<double>(req.bytes));
+  }
+
   SimTime jitter = 0;
   if (max_jitter_ns_ > 0) {
     // Deterministic per-transfer jitter. Classic mode draws from one
@@ -166,6 +203,14 @@ void Fabric::transfer(TransferRequest req, std::function<void()> on_complete) {
         service - static_cast<SimTime>(std::llround(msg_overhead + wire)));
     span_queue = start - eng.now();
     span_proxy = service - static_cast<SimTime>(std::llround(msg_overhead + wire));
+    if (telem != nullptr) {
+      telem->reg->add(telem->nic_busy, eng.now(),
+                      static_cast<double>(occupancy));
+      telem->reg->add(telem->nic_queue, eng.now(),
+                      static_cast<double>(span_queue));
+      telem->reg->add(telem->proxy_delay, eng.now(),
+                      static_cast<double>(span_proxy));
+    }
   } else {
     complete_at = eng.now() + p.latency_ns + jitter +
                   static_cast<SimTime>(std::llround(msg_overhead + wire));

@@ -23,6 +23,7 @@
 #include "sim/task.hpp"
 #include "sim/topology.hpp"
 #include "sim/trace.hpp"
+#include "util/telemetry.hpp"
 
 namespace hs::sim {
 
@@ -116,6 +117,23 @@ class Fabric {
   /// (post-run / reporting path, not hot).
   const FabricCounters& counters() const;
   void reset_counters();
+  /// The lane-local counter row for transfers issued by `device`
+  /// (classic mode: the single shared accumulator). Exposed so tests can
+  /// assert the per-lane rows themselves — not just their sum — are
+  /// worker-count independent.
+  const FabricCounters& counter_row_of(int device) const {
+    return partitioned() ? lane_counters_[static_cast<std::size_t>(device)]
+                         : counters_;
+  }
+
+  /// Attach per-window telemetry: `rows[d]` receives the series for
+  /// transfers *issued by* device d (per-link transfer/byte counters plus
+  /// the per-device NIC busy/queue/proxy-delay streams). Partitioned
+  /// machines pass the lane registries — lane-homed like the counter
+  /// rows; classic machines pass the master registry for every device.
+  /// Registration happens here; an empty vector (default) disables the
+  /// hot-path sampling entirely.
+  void bind_telemetry(const std::vector<util::telemetry::Registry*>& rows);
 
  private:
   const LinkParams& params_for(LinkType type) const;
@@ -132,6 +150,17 @@ class Fabric {
     return partitioned() ? lane_counters_[static_cast<std::size_t>(device)]
                          : counters_;
   }
+
+  /// Telemetry ids for one issuing device's registry (mirrors the
+  /// counter_row pattern; empty telemetry_ = disabled).
+  struct TelemetryRow {
+    util::telemetry::Registry* reg = nullptr;
+    std::array<util::telemetry::MetricId, 3> link_transfers;  // by LinkType
+    std::array<util::telemetry::MetricId, 3> link_bytes;
+    util::telemetry::MetricId nic_busy;
+    util::telemetry::MetricId nic_queue;
+    util::telemetry::MetricId proxy_delay;
+  };
 
   /// An in-flight transfer's completion record. Pooled per issuing device
   /// (free-list) so the steady state allocates nothing per transfer, the
@@ -165,6 +194,7 @@ class Fabric {
   std::vector<FabricCounters> lane_counters_;    // row per issue device
   std::vector<std::uint64_t> lane_jitter_;       // per-lane splitmix64 state
   mutable FabricCounters counters_agg_;          // counters() scratch
+  std::vector<TelemetryRow> telemetry_;          // row per issue device
 };
 
 }  // namespace hs::sim

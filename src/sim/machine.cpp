@@ -68,6 +68,44 @@ SimTime Machine::compute_lookahead(const Topology& topology) const {
   return std::max<SimTime>(1, lookahead);
 }
 
+void Machine::enable_telemetry(std::int64_t window_ns,
+                               std::size_t series_capacity) {
+  telemetry_.enable(window_ns, series_capacity);
+  std::vector<util::telemetry::Registry*> rows;
+  rows.reserve(devices_.size());
+  if (partitioned()) {
+    // One registry per lane, written lane-locally during the run. Engine
+    // metrics carry the device in the name: in partitioned mode each
+    // device *is* an engine, so the per-lane series is the interesting
+    // signal (lane imbalance, per-lane churn).
+    for (std::size_t d = 0; d < lanes_.size(); ++d) {
+      Lane& lane = *lanes_[d];
+      lane.telemetry.enable(window_ns, series_capacity);
+      rows.push_back(&lane.telemetry);
+      const std::string prefix = "engine.d" + std::to_string(d) + ".";
+      EngineTelemetry probe;
+      probe.registry = &lane.telemetry;
+      probe.events = lane.telemetry.counter(prefix + "events", "events",
+                                            static_cast<int>(d));
+      probe.schedule_now = lane.telemetry.counter(
+          prefix + "schedule_now", "events", static_cast<int>(d));
+      probe.queue_depth = lane.telemetry.gauge(prefix + "queue_depth",
+                                               "events", static_cast<int>(d));
+      lane.engine.bind_telemetry(probe);
+    }
+    driver_->bind_telemetry(&telemetry_, rows);
+  } else {
+    EngineTelemetry probe;
+    probe.registry = &telemetry_;
+    probe.events = telemetry_.counter("engine.events", "events");
+    probe.schedule_now = telemetry_.counter("engine.schedule_now", "events");
+    probe.queue_depth = telemetry_.gauge("engine.queue_depth", "events");
+    engine_.bind_telemetry(probe);
+    rows.assign(devices_.size(), &telemetry_);
+  }
+  fabric_->bind_telemetry(rows);
+}
+
 Stream& Machine::create_stream(int device_id, std::string name, int priority) {
   streams_.push_back(std::make_unique<Stream>(
       device_engine(device_id), device(device_id), &device_trace(device_id),
@@ -91,8 +129,14 @@ void Machine::spawn_host_task_on(int device_id, Task task,
                                  std::function<void()> on_complete) {
   task.bind(ExecContext{&device_engine(device_id), nullptr, 0});
   if (on_complete) task.set_on_complete(std::move(on_complete));
-  host_tasks_.push_back(std::move(task));
-  host_tasks_.back().start();
+  // Partitioned lanes spawn host tasks mid-run from their own worker
+  // threads (e.g. the thread-MPI coordination phases), so the frames live
+  // in the lane — the shared host_tasks_ vector would race.
+  std::vector<Task>& tasks =
+      partitioned() ? lanes_[static_cast<std::size_t>(device_id)]->host_tasks
+                    : host_tasks_;
+  tasks.push_back(std::move(task));
+  tasks.back().start();
 }
 
 SimTime Machine::run() {
@@ -109,6 +153,16 @@ SimTime Machine::run() {
   }
   const SimTime end = driver_->run();
   trace_.merge_from(lane_traces);
+  if (telemetry_.enabled()) {
+    // Fold lane rows into the master registry in device order — a
+    // deterministic merge (samples are keyed by sim time and combined by
+    // metric name), then reset the rows so repeated runs don't double
+    // count. Coordinator-side driver metrics are already in telemetry_.
+    for (auto& lane : lanes_) {
+      telemetry_.merge(lane->telemetry);
+      lane->telemetry.reset_values();
+    }
+  }
   return end;
 }
 

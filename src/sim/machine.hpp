@@ -21,6 +21,7 @@
 #include "sim/parallel.hpp"
 #include "sim/stream.hpp"
 #include "sim/trace.hpp"
+#include "util/telemetry.hpp"
 
 namespace hs::sim {
 
@@ -99,10 +100,38 @@ class Machine {
   SimTime lookahead() const { return lookahead_; }
   const ParallelDriver* driver() const { return driver_.get(); }
 
+  // ---- Telemetry -------------------------------------------------------
+  /// Turn on per-window time-series telemetry (util/telemetry). Must be
+  /// called before constructing instrumented layers (pgas::World,
+  /// MdRunner, ...) — they register their metrics at construction time.
+  /// Binds the engine / fabric / parallel-driver probes: classic mode
+  /// records straight into telemetry(); partitioned mode records into
+  /// per-lane registries that run() merges into telemetry() in device
+  /// order (deterministic, so --workers=1 ≡ --workers=N byte-identical).
+  void enable_telemetry(
+      std::int64_t window_ns = util::telemetry::Registry::kDefaultWindowNs,
+      std::size_t series_capacity =
+          util::telemetry::Registry::kDefaultSeriesCapacity);
+  bool telemetry_enabled() const { return telemetry_.enabled(); }
+  /// The master registry (merged from lane rows after partitioned runs).
+  util::telemetry::Registry& telemetry() { return telemetry_; }
+  const util::telemetry::Registry& telemetry() const { return telemetry_; }
+  /// The registry device `d`'s instrumentation must record into: the lane
+  /// row in partitioned mode, the master registry otherwise.
+  util::telemetry::Registry& telemetry_row(int d) {
+    return partitioned() ? lanes_[static_cast<std::size_t>(d)]->telemetry
+                         : telemetry_;
+  }
+
  private:
   struct Lane {
     Engine engine;
     Trace trace;
+    util::telemetry::Registry telemetry;
+    // Host-task frames spawned on this lane. Lane-homed (not the shared
+    // host_tasks_) because transports spawn host tasks mid-run from lane
+    // coroutines, and two worker threads may do so concurrently.
+    std::vector<Task> host_tasks;
   };
 
   SimTime compute_lookahead(const Topology& topology) const;
@@ -110,6 +139,7 @@ class Machine {
   MachineOptions options_;
   Engine engine_;
   Trace trace_;
+  util::telemetry::Registry telemetry_;
   CostModel cost_model_;
   std::vector<std::unique_ptr<Lane>> lanes_;  // one per device (partitioned)
   std::vector<std::unique_ptr<Device>> devices_;

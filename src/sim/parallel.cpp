@@ -1,6 +1,7 @@
 #include "sim/parallel.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -42,6 +43,42 @@ ParallelDriver::~ParallelDriver() {
   }
   cv_start_.notify_all();
   for (auto& t : threads_) t.join();
+}
+
+void ParallelDriver::bind_telemetry(
+    util::telemetry::Registry* master,
+    const std::vector<util::telemetry::Registry*>& lanes) {
+  namespace tm = util::telemetry;
+  auto state = std::make_unique<TelemetryState>();
+  state->master = master;
+  state->windows = master->counter("pdes.windows", "windows");
+  state->window_width = master->histogram("pdes.window_width_ns", "ns");
+  state->window_messages =
+      master->histogram("pdes.window_messages", "messages");
+  state->window_wall = master->histogram("pdes.window_wall_ns", "ns", -1,
+                                         tm::Domain::Host);
+  // Lookahead as a gauge so a telemetry file is self-describing: window
+  // width and lane events can be read against the bound without the run
+  // config at hand.
+  master->set(master->gauge("pdes.lookahead_ns", "ns"), 0,
+              static_cast<double>(lookahead_));
+  state->lanes.reserve(lanes.size());
+  for (std::size_t l = 0; l < lanes.size(); ++l) {
+    const std::string prefix = "pdes.lane" + std::to_string(l) + ".";
+    const int device = static_cast<int>(l);
+    LaneTelemetry lt;
+    lt.reg = lanes[l];
+    lt.window_events =
+        lt.reg->histogram(prefix + "window_events", "events", device);
+    lt.busy_wall = lt.reg->counter(prefix + "busy_wall_ns", "ns", device,
+                                   tm::Domain::Host);
+    lt.barrier_wall = lt.reg->counter(prefix + "barrier_wall_ns", "ns",
+                                      device, tm::Domain::Host);
+    state->lanes.push_back(lt);
+  }
+  state->prev_events.assign(engines_.size(), 0);
+  state->lane_wall_ns.assign(engines_.size(), 0);
+  telemetry_ = std::move(state);
 }
 
 void ParallelDriver::post(int src_lane, int dst_lane, SimTime arrival,
@@ -96,6 +133,22 @@ void ParallelDriver::claim_lanes(SimTime horizon) {
   for (;;) {
     const std::uint32_t lane = lane_cursor_.fetch_add(1, std::memory_order_relaxed);
     if (lane >= n) break;
+    if (telemetry_ != nullptr) {
+      // Per-lane wall stopwatch (Host domain). Exactly one worker claims a
+      // lane per window, and the window barrier sequences this store
+      // before the coordinator reads it — same pattern as lane_error_.
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        engines_[lane]->run_until(horizon);
+      } catch (...) {
+        lane_error_[lane] = std::current_exception();
+      }
+      telemetry_->lane_wall_ns[lane] =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      continue;
+    }
     try {
       engines_[lane]->run_until(horizon);
     } catch (...) {
@@ -138,10 +191,38 @@ void ParallelDriver::run_window(SimTime horizon) {
   ++windows_;
 }
 
+void ParallelDriver::record_window_telemetry(SimTime base, SimTime horizon,
+                                             std::uint64_t injected,
+                                             std::int64_t window_wall_ns) {
+  TelemetryState& t = *telemetry_;
+  // All series are sampled at the window base — a deterministic simulated
+  // timestamp, identical for every worker count.
+  t.master->add(t.windows, base, 1.0);
+  t.master->observe(t.window_width, base,
+                    static_cast<double>(horizon - base + 1));
+  t.master->observe(t.window_messages, base, static_cast<double>(injected));
+  t.master->observe(t.window_wall, base,
+                    static_cast<double>(window_wall_ns));
+  for (std::size_t l = 0; l < engines_.size(); ++l) {
+    const std::uint64_t total = engines_[l]->events_processed();
+    LaneTelemetry& lt = t.lanes[l];
+    lt.reg->observe(lt.window_events, base,
+                    static_cast<double>(total - t.prev_events[l]));
+    t.prev_events[l] = total;
+    const std::int64_t busy = t.lane_wall_ns[l];
+    lt.reg->add(lt.busy_wall, base, static_cast<double>(busy));
+    lt.reg->add(lt.barrier_wall, base,
+                static_cast<double>(std::max<std::int64_t>(
+                    0, window_wall_ns - busy)));
+    t.lane_wall_ns[l] = 0;
+  }
+}
+
 SimTime ParallelDriver::run() {
   for (;;) {
     // Inject pending cross-lane messages first: the previous window's
     // outboxes (or setup-time posts) feed the next window's base.
+    const std::uint64_t delivered_before = delivered_;
     drain_outboxes();
     SimTime base = kNever;
     for (const Engine* e : engines_) {
@@ -150,7 +231,18 @@ SimTime ParallelDriver::run() {
     if (base == kNever) break;
     const SimTime horizon =
         base > kNever - lookahead_ ? kNever : base + lookahead_ - 1;
-    run_window(horizon);
+    if (telemetry_ != nullptr) {
+      const auto w0 = std::chrono::steady_clock::now();
+      run_window(horizon);
+      const auto wall_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - w0)
+              .count();
+      record_window_telemetry(base, horizon, delivered_ - delivered_before,
+                              wall_ns);
+    } else {
+      run_window(horizon);
+    }
     for (std::size_t lane = 0; lane < lane_error_.size(); ++lane) {
       if (lane_error_[lane]) {
         auto err = std::exchange(lane_error_[lane], nullptr);

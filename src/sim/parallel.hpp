@@ -30,11 +30,13 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/telemetry.hpp"
 
 namespace hs::sim {
 
@@ -66,6 +68,19 @@ class ParallelDriver {
   /// is deterministic.
   SimTime run();
 
+  /// Attach per-window telemetry. Coordinator-side series (window count /
+  /// width / injected messages, all Domain::Sim — deterministic) land in
+  /// `master`; per-lane series land in `lanes[L]`: events per window
+  /// (lookahead utilization, Sim) plus wall-clock busy / barrier-wait
+  /// accumulators (Domain::Host — real time, excluded from the default
+  /// export because it can never be worker-count independent). All
+  /// recording is done by the coordinator between windows, except the
+  /// per-lane wall stopwatch written by whichever worker claimed the lane
+  /// (one writer per lane per window; the window barrier orders it before
+  /// the coordinator reads).
+  void bind_telemetry(util::telemetry::Registry* master,
+                      const std::vector<util::telemetry::Registry*>& lanes);
+
   SimTime lookahead() const { return lookahead_; }
   int workers() const { return workers_; }
   /// Cross-lane messages injected so far (introspection for tests).
@@ -84,10 +99,30 @@ class ParallelDriver {
     std::function<void()> fn;
   };
 
+  struct LaneTelemetry {
+    util::telemetry::Registry* reg = nullptr;
+    util::telemetry::MetricId window_events;  // hist: events per window
+    util::telemetry::MetricId busy_wall;      // counter (Host): lane run time
+    util::telemetry::MetricId barrier_wall;   // counter (Host): barrier wait
+  };
+  struct TelemetryState {
+    util::telemetry::Registry* master = nullptr;
+    util::telemetry::MetricId windows;          // counter
+    util::telemetry::MetricId window_width;     // hist: horizon - base + 1
+    util::telemetry::MetricId window_messages;  // hist: inbox depth drained
+    util::telemetry::MetricId window_wall;      // hist (Host): window wall ns
+    std::vector<LaneTelemetry> lanes;
+    std::vector<std::uint64_t> prev_events;    // per lane, last window's total
+    std::vector<std::int64_t> lane_wall_ns;    // per lane, this window
+  };
+
   void run_window(SimTime horizon);
   void claim_lanes(SimTime horizon);
   void worker_main();
   void drain_outboxes();
+  void record_window_telemetry(SimTime base, SimTime horizon,
+                               std::uint64_t injected,
+                               std::int64_t window_wall_ns);
 
   std::vector<Engine*> engines_;
   SimTime lookahead_;
@@ -102,6 +137,7 @@ class ParallelDriver {
   std::vector<std::exception_ptr> lane_error_;
   std::uint64_t delivered_ = 0;
   std::uint64_t windows_ = 0;
+  std::unique_ptr<TelemetryState> telemetry_;  // null = disabled
 
   // Persistent worker pool (spawned only when workers > 1). Generation
   // counter + condvars form the window barrier; the atomic lane cursor

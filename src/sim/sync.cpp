@@ -20,6 +20,10 @@ void Signal::wake() {
   std::size_t kept = 0;
   for (Waiter& w : waiters_) {
     if (value_ >= w.threshold) {
+      if (telemetry_ != nullptr) {
+        telemetry_->observe(stall_ns_, engine_->now(),
+                            static_cast<double>(engine_->now() - w.since));
+      }
       if (trace_ != nullptr && trace_->enabled()) {
         // The wait span covers registration -> release; the releasing
         // store's ambient cause (a fabric transfer, when the store came

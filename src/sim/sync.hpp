@@ -20,6 +20,7 @@
 #include "sim/inline_task.hpp"
 #include "sim/task.hpp"
 #include "sim/trace.hpp"
+#include "util/telemetry.hpp"
 
 namespace hs::sim {
 
@@ -42,6 +43,16 @@ class Signal {
     trace_ = trace;
     device_ = device;
     name_ = std::move(name);
+  }
+
+  /// Record every *blocked* acquire-wait's stall (registration ->
+  /// release, in sim ns) into a telemetry histogram — the signal-wait
+  /// stall series. The registry should be the owning device's lane row
+  /// (pgas::World binds it when machine telemetry is on).
+  void bind_telemetry(util::telemetry::Registry* registry,
+                      util::telemetry::MetricId stall_ns) {
+    telemetry_ = registry;
+    stall_ns_ = stall_ns;
   }
 
   std::int64_t value() const { return value_; }
@@ -85,6 +96,8 @@ class Signal {
 
   Engine* engine_;
   Trace* trace_ = nullptr;
+  util::telemetry::Registry* telemetry_ = nullptr;
+  util::telemetry::MetricId stall_ns_;
   int device_ = -1;
   std::string name_;
   std::int64_t value_ = 0;

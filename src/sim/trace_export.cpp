@@ -1,6 +1,7 @@
 #include "sim/trace_export.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <ostream>
@@ -47,6 +48,18 @@ std::string us(SimTime ns) {
   return out;
 }
 
+// Counter values: integers print exactly (the common case — event counts,
+// byte totals), anything else round-trips through %.17g.
+std::string num(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      v > -9.0e15 && v < 9.0e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
 }  // namespace
 
 void ChromeTraceWriter::add(const Trace& trace, std::string label) {
@@ -55,12 +68,46 @@ void ChromeTraceWriter::add(const Trace& trace, std::string label) {
   src.edges = trace.edges();
   src.label = std::move(label);
   src.pid_base = next_pid_;
-  int max_device = -1;
   for (const auto& rec : src.records) {
-    max_device = std::max(max_device, rec.device);
+    src.max_device = std::max(src.max_device, rec.device);
   }
-  next_pid_ += max_device + 2;  // disjoint pid range per source
+  next_pid_ += src.max_device + 2;  // disjoint pid range per source
   sources_.push_back(std::move(src));
+}
+
+void ChromeTraceWriter::add_counters(
+    const util::telemetry::Registry& registry) {
+  if (sources_.empty() || !registry.enabled()) return;
+  Source& src = sources_.back();
+  const SimTime window = registry.window_ns();
+  // A counter naming a device the trace never saw still needs a pid inside
+  // this source's range — grow it up front (valid while this source is the
+  // last one, which attaching to sources_.back() guarantees) so the global
+  // pseudo-pid below is stable across metrics.
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    const auto& m = registry.metric(i);
+    if (m.domain == util::telemetry::Domain::Host) continue;
+    if (m.device > src.max_device) {
+      next_pid_ += m.device - src.max_device;
+      src.max_device = m.device;
+    }
+  }
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    const auto& m = registry.metric(i);
+    if (m.domain == util::telemetry::Domain::Host) continue;
+    // Device-qualified counters ride their device's pid; device -1
+    // (global) rides the pseudo-process one past the last device.
+    const int pid = m.device >= 0 ? src.pid_base + m.device
+                                  : src.pid_base + src.max_device + 1;
+    for (const auto& b : m.series.buckets()) {
+      const double value =
+          m.kind == util::telemetry::Kind::Gauge && b.count > 0
+              ? b.sum / static_cast<double>(b.count)
+              : b.sum;
+      src.counters.push_back(
+          CounterSample{m.name, pid, b.index * window, value});
+    }
+  }
 }
 
 std::size_t ChromeTraceWriter::event_count() const {
@@ -99,18 +146,28 @@ void ChromeTraceWriter::write(std::ostream& os) const {
            << escape(rec.stream) << "\"}}";
       }
     }
-    // Process-name metadata for every device that appeared.
+    // Process-name metadata for every device that appeared (in records or
+    // counter samples; the global telemetry pseudo-pid sits one past the
+    // last device).
     std::map<int, bool> pids;
     for (const auto& rec : src.records) pids[src.pid_base + rec.device] = true;
+    for (const auto& c : src.counters) pids[c.pid] = true;
     for (const auto& [pid, _] : pids) {
       const int device = pid - src.pid_base;
+      std::string name = device == src.max_device + 1
+                             ? "telemetry"
+                             : "dev" + std::to_string(device);
+      if (!src.label.empty()) name = src.label + " " + name;
       sep();
       os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
-         << ",\"args\":{\"name\":\""
-         << escape(src.label.empty()
-                       ? "dev" + std::to_string(device)
-                       : src.label + " dev" + std::to_string(device))
-         << "\"}}";
+         << ",\"args\":{\"name\":\"" << escape(name) << "\"}}";
+    }
+    for (const auto& c : src.counters) {
+      sep();
+      os << "{\"name\":\"" << escape(c.name)
+         << "\",\"cat\":\"telemetry\",\"ph\":\"C\",\"ts\":" << us(c.ts)
+         << ",\"pid\":" << c.pid << ",\"args\":{\"value\":" << num(c.value)
+         << "}}";
     }
     std::map<std::uint64_t, const TraceRecord*> by_span;
     for (const auto& rec : src.records) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sim/trace.hpp"
+#include "util/telemetry.hpp"
 
 namespace hs::sim {
 
@@ -25,6 +26,15 @@ class ChromeTraceWriter {
   /// Snapshot `trace`'s records under process names "<label> dev<N>"
   /// ("dev<N>" when the label is empty). Call once per run/machine.
   void add(const Trace& trace, std::string label = {});
+
+  /// Interleave a telemetry registry's Sim-domain series into the most
+  /// recently add()ed source as Chrome counter events (ph:"C"): one
+  /// counter track per metric, one sample per series bucket (bucket sum;
+  /// mean for gauges). Device-qualified metrics land on the device's pid;
+  /// global metrics (device = -1) land on a "telemetry" pseudo-process at
+  /// the top of the source's pid range. Host-domain metrics are skipped —
+  /// wall-clock series would break trace determinism. Call after add().
+  void add_counters(const util::telemetry::Registry& registry);
 
   std::size_t event_count() const;
   std::size_t edge_count() const;
@@ -37,11 +47,19 @@ class ChromeTraceWriter {
   bool write_file(const std::string& path) const;
 
  private:
+  struct CounterSample {
+    std::string name;
+    int pid = 0;
+    SimTime ts = 0;
+    double value = 0.0;
+  };
   struct Source {
     std::vector<TraceRecord> records;
     std::vector<TraceEdge> edges;
+    std::vector<CounterSample> counters;
     std::string label;
     int pid_base = 0;
+    int max_device = -1;
   };
   std::vector<Source> sources_;
   int next_pid_ = 0;

@@ -91,7 +91,11 @@ void write_json(std::ostream& os, const Report& report) {
     }
     os << "}";
   }
-  os << "\n}}\n";
+  os << "\n}";
+  if (!report.telemetry_json.empty()) {
+    os << ",\n\"telemetry\":" << report.telemetry_json;
+  }
+  os << "}\n";
 }
 
 bool write_file(const std::string& path, const Report& report) {
@@ -119,13 +123,23 @@ DiffResult diff(const json::Value& base, const json::Value& cand,
       continue;
     }
     const json::Object& cand_case = cand_it->second.as_object();
+    // Keys in only one document are schema drift, not perf movement:
+    // report them as added/removed so a rename or a new series does not
+    // fail the gate (a whole missing *case* above still does).
+    for (const auto& [key, cand_val] : cand_case) {
+      if (!cand_val.is_number()) continue;
+      const auto bv = base_case.as_object().find(key);
+      if (bv == base_case.as_object().end() || !bv->second.is_number()) {
+        result.notes.push_back("metric '" + label + "." + key +
+                               "' added in candidate");
+      }
+    }
     for (const auto& [key, base_val] : base_case.as_object()) {
       if (!base_val.is_number()) continue;
       const auto kv = cand_case.find(key);
       if (kv == cand_case.end() || !kv->second.is_number()) {
         result.notes.push_back("metric '" + label + "." + key +
-                               "' missing from candidate");
-        if (is_time_metric(key)) result.regression = true;
+                               "' removed in candidate");
         continue;
       }
       const double b = base_val.as_number();

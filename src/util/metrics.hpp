@@ -30,6 +30,12 @@ struct Case {
 
 struct Report {
   std::vector<Case> cases;
+  /// Pre-rendered `halosim-telemetry-v1` JSON object (the output of
+  /// telemetry::Registry::write_json, or a `{"schema":...,"runs":{...}}`
+  /// wrapper). Embedded verbatim under a top-level `"telemetry"` key when
+  /// non-empty; `diff` only reads `"cases"`, so the section never affects
+  /// regression gating.
+  std::string telemetry_json;
 
   /// Append (or extend) the case named `label`.
   Case& case_for(const std::string& label);
@@ -60,10 +66,12 @@ struct DiffResult {
   bool regression = false;
 };
 
-/// Compare two parsed metrics documents. Only cases/keys present in
-/// `base` are checked; a case or time-metric key missing from `cand` is a
-/// regression (the gate cannot vouch for it). Throws std::runtime_error
-/// if either document does not follow the v1 schema.
+/// Compare two parsed metrics documents. A case missing from `cand` is a
+/// regression (the gate cannot vouch for it), but a *metric key* present
+/// in only one document is reported as an added/removed note without
+/// failing the gate — benches grow and retire metrics across commits, and
+/// a renamed key should not read as a perf regression. Throws
+/// std::runtime_error if either document does not follow the v1 schema.
 DiffResult diff(const json::Value& base, const json::Value& cand,
                 double threshold);
 

@@ -1,0 +1,315 @@
+#include "util/telemetry.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace hs::util::telemetry {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_number(double v) {
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::ostringstream os;
+    os << static_cast<long long>(v);
+    return os.str();
+  }
+  std::ostringstream os;
+  os.precision(15);
+  os << v;
+  return os.str();
+}
+
+/// Export order: by name. Registration order differs between classic and
+/// partitioned machines (and between lane-merge layouts), the name order
+/// does not.
+std::vector<const Metric*> sorted_metrics(const Registry& reg,
+                                          bool include_host) {
+  std::vector<const Metric*> out;
+  out.reserve(reg.size());
+  for (const Metric& m : reg.metrics()) {
+    if (m.domain == Domain::Host && !include_host) continue;
+    out.push_back(&m);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Metric* a, const Metric* b) { return a->name < b->name; });
+  return out;
+}
+
+}  // namespace
+
+std::string_view to_string(Kind kind) {
+  switch (kind) {
+    case Kind::Counter: return "counter";
+    case Kind::Gauge: return "gauge";
+    case Kind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+std::string_view to_string(Domain domain) {
+  switch (domain) {
+    case Domain::Sim: return "sim";
+    case Domain::Host: return "host";
+  }
+  return "?";
+}
+
+void Series::record(std::int64_t bucket_index, double v) {
+  if (buckets_.empty() || bucket_index > buckets_.back().index) {
+    buckets_.push_back(BucketStats{bucket_index});
+    buckets_.back().record(v);
+    return;
+  }
+  if (bucket_index == buckets_.back().index) {
+    buckets_.back().record(v);
+    return;
+  }
+  // Out-of-order sample (merged registries, host-domain clocks). Binary
+  // search keeps the vector sorted; samples older than a window trim()
+  // already evicted are dropped rather than resurrecting a partial bucket.
+  if (bucket_index < floor_) {
+    ++dropped_;
+    return;
+  }
+  const auto it = std::lower_bound(
+      buckets_.begin(), buckets_.end(), bucket_index,
+      [](const BucketStats& b, std::int64_t idx) { return b.index < idx; });
+  if (it != buckets_.end() && it->index == bucket_index) {
+    it->record(v);
+  } else {
+    auto inserted = buckets_.insert(it, BucketStats{bucket_index});
+    inserted->record(v);
+  }
+}
+
+void Series::trim(std::size_t capacity) {
+  if (buckets_.size() <= capacity) return;
+  const std::size_t excess = buckets_.size() - capacity;
+  dropped_ += excess;
+  buckets_.erase(buckets_.begin(),
+                 buckets_.begin() + static_cast<std::ptrdiff_t>(excess));
+  if (buckets_.front().index > floor_) floor_ = buckets_.front().index;
+}
+
+void Series::merge(const Series& other, std::size_t capacity) {
+  if (other.buckets_.empty()) {
+    dropped_ += other.dropped_;
+    if (other.floor_ > floor_) floor_ = other.floor_;
+    return;
+  }
+  std::vector<BucketStats> merged;
+  merged.reserve(buckets_.size() + other.buckets_.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < buckets_.size() || j < other.buckets_.size()) {
+    if (j == other.buckets_.size() ||
+        (i < buckets_.size() &&
+         buckets_[i].index < other.buckets_[j].index)) {
+      merged.push_back(buckets_[i++]);
+    } else if (i == buckets_.size() ||
+               other.buckets_[j].index < buckets_[i].index) {
+      merged.push_back(other.buckets_[j++]);
+    } else {
+      BucketStats b = buckets_[i++];
+      b.combine(other.buckets_[j++]);
+      merged.push_back(b);
+    }
+  }
+  buckets_ = std::move(merged);
+  dropped_ += other.dropped_;
+  if (other.floor_ > floor_) floor_ = other.floor_;
+  trim(capacity);
+}
+
+void Registry::enable(std::int64_t window_ns, std::size_t series_capacity) {
+  assert(window_ns >= 1);
+  assert(series_capacity >= 1);
+  enabled_ = true;
+  window_ns_ = window_ns;
+  series_capacity_ = series_capacity;
+}
+
+MetricId Registry::register_metric(std::string name, Kind kind,
+                                   std::string unit, int device,
+                                   Domain domain) {
+  if (!enabled_) return MetricId{};
+  const auto it = index_.find(name);
+  if (it != index_.end()) {
+    assert(metrics_[it->second].kind == kind &&
+           "telemetry metric re-registered with a different kind");
+    return MetricId{it->second};
+  }
+  const auto idx = static_cast<std::uint32_t>(metrics_.size());
+  Metric m;
+  m.name = std::move(name);
+  m.kind = kind;
+  m.domain = domain;
+  m.unit = std::move(unit);
+  m.device = device;
+  metrics_.push_back(std::move(m));
+  index_.emplace(metrics_.back().name, idx);
+  return MetricId{idx};
+}
+
+MetricId Registry::counter(std::string name, std::string unit, int device,
+                           Domain domain) {
+  return register_metric(std::move(name), Kind::Counter, std::move(unit),
+                         device, domain);
+}
+
+MetricId Registry::gauge(std::string name, std::string unit, int device,
+                         Domain domain) {
+  return register_metric(std::move(name), Kind::Gauge, std::move(unit),
+                         device, domain);
+}
+
+MetricId Registry::histogram(std::string name, std::string unit, int device,
+                             Domain domain) {
+  return register_metric(std::move(name), Kind::Histogram, std::move(unit),
+                         device, domain);
+}
+
+void Registry::record(MetricId id, std::int64_t t_ns, double value) {
+  if (!enabled_ || !id.valid()) return;
+  Metric& m = metrics_[id.index];
+  if (m.count == 0) {
+    m.min = m.max = value;
+  } else {
+    if (value < m.min) m.min = value;
+    if (value > m.max) m.max = value;
+  }
+  ++m.count;
+  m.sum += value;
+  m.last = value;
+  if (m.kind == Kind::Histogram) m.hist.record(value);
+  const std::int64_t bucket = t_ns >= 0 ? t_ns / window_ns_ : 0;
+  m.series.record(bucket, value);
+  m.series.trim(series_capacity_);
+}
+
+const Metric* Registry::find(std::string_view name) const {
+  const auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &metrics_[it->second];
+}
+
+void Registry::merge(const Registry& other) {
+  if (!enabled_ || !other.enabled_) return;
+  for (const Metric& om : other.metrics_) {
+    const auto it = index_.find(om.name);
+    if (it == index_.end()) {
+      const auto idx = static_cast<std::uint32_t>(metrics_.size());
+      metrics_.push_back(om);
+      metrics_.back().series.trim(series_capacity_);
+      index_.emplace(metrics_.back().name, idx);
+      continue;
+    }
+    Metric& m = metrics_[it->second];
+    assert(m.kind == om.kind && "telemetry merge: kind mismatch");
+    if (om.count > 0) {
+      if (m.count == 0) {
+        m.min = om.min;
+        m.max = om.max;
+      } else {
+        if (om.min < m.min) m.min = om.min;
+        if (om.max > m.max) m.max = om.max;
+      }
+      m.count += om.count;
+      m.sum += om.sum;
+      m.last = om.last;
+    }
+    m.hist.merge(om.hist);
+    m.series.merge(om.series, series_capacity_);
+  }
+}
+
+void Registry::reset_values() {
+  for (Metric& m : metrics_) {
+    m.count = 0;
+    m.sum = m.min = m.max = m.last = 0.0;
+    m.hist = Histogram{};
+    m.series.clear();
+  }
+}
+
+void Registry::write_json(std::ostream& os, bool include_host) const {
+  os << "{\"window_ns\":" << window_ns_ << ",\"metrics\":[";
+  bool first = true;
+  for (const Metric* m : sorted_metrics(*this, include_host)) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"name\":\"" << escape(m->name) << "\",\"kind\":\""
+       << to_string(m->kind) << "\",\"domain\":\"" << to_string(m->domain)
+       << "\",\"unit\":\"" << escape(m->unit) << "\",\"device\":" << m->device
+       << ",\"count\":" << m->count << ",\"total\":" << format_number(m->total());
+    if (m->count > 0) {
+      os << ",\"min\":" << format_number(m->min)
+         << ",\"max\":" << format_number(m->max);
+    }
+    if (m->kind == Kind::Histogram) {
+      os << ",\"hist\":[";
+      bool first_b = true;
+      for (int b = 0; b < Histogram::kBuckets; ++b) {
+        if (m->hist.buckets[static_cast<std::size_t>(b)] == 0) continue;
+        if (!first_b) os << ",";
+        first_b = false;
+        os << "[" << b << ","
+           << m->hist.buckets[static_cast<std::size_t>(b)] << "]";
+      }
+      os << "]";
+    }
+    os << ",\"series\":{\"dropped\":" << m->series.dropped()
+       << ",\"buckets\":[";
+    bool first_s = true;
+    for (const BucketStats& b : m->series.buckets()) {
+      if (!first_s) os << ",";
+      first_s = false;
+      os << "[" << b.index << "," << b.count << "," << format_number(b.sum)
+         << "," << format_number(b.min) << "," << format_number(b.max) << "]";
+    }
+    os << "]}}";
+  }
+  os << "\n]}";
+}
+
+void Registry::write_csv(std::ostream& os, std::string_view run_label,
+                         bool include_host, bool with_header) const {
+  if (with_header) {
+    os << "run,metric,kind,unit,device,bucket_start_ns,count,sum,min,max\n";
+  }
+  for (const Metric* m : sorted_metrics(*this, include_host)) {
+    for (const BucketStats& b : m->series.buckets()) {
+      os << run_label << "," << m->name << "," << to_string(m->kind) << ","
+         << m->unit << "," << m->device << "," << b.index * window_ns_ << ","
+         << b.count << "," << format_number(b.sum) << ","
+         << format_number(b.min) << "," << format_number(b.max) << "\n";
+    }
+  }
+}
+
+}  // namespace hs::util::telemetry

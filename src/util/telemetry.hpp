@@ -1,0 +1,240 @@
+// Time-series telemetry registry.
+//
+// Named counters, gauges, and log2-bucketed histograms, each accumulated
+// into a per-window time series keyed by *simulated* time: every sample at
+// time t lands in bucket t / window_ns, so the series is a step-resolved
+// view of the run (NIC occupancy over time, events per safe window, signal
+// stalls per step) rather than an end-of-run total.
+//
+// Design constraints (see DESIGN.md §"Telemetry"):
+//
+//  * Deterministic and lane-homed. A partitioned machine gives every lane
+//    its own Registry, written lane-locally; the master registry absorbs
+//    the lane rows in device order after the run. Samples are keyed by sim
+//    time and merged by metric name, so --workers=1 and --workers=N
+//    produce byte-identical telemetry (export sorts by name, making the
+//    output independent of registration order too).
+//  * Sim vs Host domains. Metrics derived from the simulated clock are
+//    Domain::Sim and exported by default. Wall-clock measurements (e.g.
+//    per-lane barrier wait in the parallel driver) are real time and
+//    cannot be deterministic — they are Domain::Host and excluded from
+//    the default export (opt in with include_host).
+//  * Near-zero overhead when disabled. Instrumented call sites cache a
+//    Registry pointer that stays null while telemetry is off, so the hot
+//    paths pay one branch; record() itself is a handful of adds.
+//  * Bounded memory. Each series is a ring of at most `series_capacity`
+//    window buckets; on overflow the oldest buckets are dropped and
+//    counted in `dropped`, which the exporters report (no silent caps).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hs::util::telemetry {
+
+inline constexpr std::string_view kSchema = "halosim-telemetry-v1";
+
+enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
+enum class Domain : std::uint8_t { Sim, Host };
+
+std::string_view to_string(Kind kind);
+std::string_view to_string(Domain domain);
+
+/// Handle returned at registration time; invalid ids (default-constructed)
+/// make record calls no-ops, so call sites need no separate "registered"
+/// flag.
+struct MetricId {
+  static constexpr std::uint32_t kInvalid =
+      std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t index = kInvalid;
+  bool valid() const { return index != kInvalid; }
+};
+
+/// log2-bucketed value histogram: bucket 0 holds v < 1, bucket b >= 1
+/// holds v in [2^(b-1), 2^b). Bucketing uses integer bit width, so
+/// boundary values land deterministically (no floating-point log).
+struct Histogram {
+  static constexpr int kBuckets = 64;
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  static int bucket_of(double v) {
+    if (!(v >= 1.0)) return 0;  // v < 1, and NaN by convention
+    constexpr double kHuge = 9.2e18;  // beyond uint64 -> top bucket
+    if (v >= kHuge) return kBuckets - 1;
+    const int b = std::bit_width(static_cast<std::uint64_t>(v));
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+  /// Inclusive lower bound of bucket b.
+  static double bucket_floor(int b) {
+    return b == 0 ? 0.0 : static_cast<double>(1ull << (b - 1));
+  }
+  void record(double v) { ++buckets[static_cast<std::size_t>(bucket_of(v))]; }
+  void merge(const Histogram& other) {
+    for (int b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
+  }
+  std::uint64_t total() const {
+    std::uint64_t n = 0;
+    for (const auto c : buckets) n += c;
+    return n;
+  }
+};
+
+/// One time-window's accumulator within a series.
+struct BucketStats {
+  std::int64_t index = 0;  // window number: sample_time / window_ns
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  void record(double v) {
+    if (count == 0) {
+      min = max = v;
+    } else {
+      if (v < min) min = v;
+      if (v > max) max = v;
+    }
+    ++count;
+    sum += v;
+  }
+  void combine(const BucketStats& other) {
+    if (other.count == 0) return;
+    if (count == 0) {
+      *this = other;
+      return;
+    }
+    count += other.count;
+    sum += other.sum;
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+  }
+};
+
+/// Ring of per-window buckets, ordered by window index. Appends are
+/// amortized O(1) (sim time is monotone per lane, so buckets arrive in
+/// nondecreasing index order); merge is a sorted two-way merge.
+class Series {
+ public:
+  void record(std::int64_t bucket_index, double v);
+  void merge(const Series& other, std::size_t capacity);
+  void trim(std::size_t capacity);
+  void clear() {
+    buckets_.clear();
+    dropped_ = 0;
+    floor_ = std::numeric_limits<std::int64_t>::min();
+  }
+
+  const std::vector<BucketStats>& buckets() const { return buckets_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::vector<BucketStats> buckets_;  // sorted by index, unique
+  std::uint64_t dropped_ = 0;         // evicted (oldest) buckets
+  // Samples older than this window were evicted by trim(); late arrivals
+  // below it are dropped rather than resurrecting a partial bucket.
+  std::int64_t floor_ = std::numeric_limits<std::int64_t>::min();
+};
+
+struct Metric {
+  std::string name;
+  Kind kind = Kind::Counter;
+  Domain domain = Domain::Sim;
+  std::string unit;
+  int device = -1;  // device attribution (-1 = machine-global)
+
+  std::uint64_t count = 0;  // samples recorded
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double last = 0.0;  // most recent value (gauges)
+  Histogram hist;     // populated for Kind::Histogram only
+  Series series;
+
+  /// Counter -> accumulated sum; gauge -> last set value; histogram ->
+  /// sum of observed values.
+  double total() const { return kind == Kind::Gauge ? last : sum; }
+};
+
+class Registry {
+ public:
+  /// Default window: 100 simulated microseconds per bucket.
+  static constexpr std::int64_t kDefaultWindowNs = 100'000;
+  static constexpr std::size_t kDefaultSeriesCapacity = 4096;
+
+  /// Turn sampling on. Must be called before instrumented layers register
+  /// their metrics (registration on a disabled registry yields invalid
+  /// ids, keeping the disabled hot path free even of id bookkeeping).
+  void enable(std::int64_t window_ns = kDefaultWindowNs,
+              std::size_t series_capacity = kDefaultSeriesCapacity);
+  bool enabled() const { return enabled_; }
+  std::int64_t window_ns() const { return window_ns_; }
+  std::size_t series_capacity() const { return series_capacity_; }
+
+  // ---- Registration ---------------------------------------------------
+  // Re-registering a name returns the existing id (the kind must match).
+  MetricId counter(std::string name, std::string unit = {}, int device = -1,
+                   Domain domain = Domain::Sim);
+  MetricId gauge(std::string name, std::string unit = {}, int device = -1,
+                 Domain domain = Domain::Sim);
+  MetricId histogram(std::string name, std::string unit = {}, int device = -1,
+                     Domain domain = Domain::Sim);
+
+  // ---- Recording (hot path) -------------------------------------------
+  /// Counter increment at time t.
+  void add(MetricId id, std::int64_t t_ns, double delta = 1.0) {
+    record(id, t_ns, delta);
+  }
+  /// Gauge sample at time t.
+  void set(MetricId id, std::int64_t t_ns, double value) {
+    record(id, t_ns, value);
+  }
+  /// Histogram observation at time t.
+  void observe(MetricId id, std::int64_t t_ns, double value) {
+    record(id, t_ns, value);
+  }
+
+  // ---- Introspection --------------------------------------------------
+  std::size_t size() const { return metrics_.size(); }
+  const Metric& metric(std::size_t i) const { return metrics_[i]; }
+  const std::vector<Metric>& metrics() const { return metrics_; }
+  const Metric* find(std::string_view name) const;
+
+  // ---- Merge / lifecycle ----------------------------------------------
+  /// Additive merge: combines values of same-named metrics and registers
+  /// (appends) names this registry has not seen. Associative and
+  /// deterministic — merging lane rows in device order yields the same
+  /// registry regardless of how lanes were threaded.
+  void merge(const Registry& other);
+  /// Zero every metric's values and series; definitions (and ids) stay.
+  void reset_values();
+
+  // ---- Export ---------------------------------------------------------
+  /// One JSON object: {"window_ns":..,"dropped":..,"metrics":[...]},
+  /// metrics sorted by name. Host-domain metrics are wall-clock (not
+  /// deterministic) and skipped unless include_host.
+  void write_json(std::ostream& os, bool include_host = false) const;
+  /// CSV series dump, one row per (metric, window bucket), prefixed with
+  /// `run_label`. Emits the header row iff with_header.
+  void write_csv(std::ostream& os, std::string_view run_label,
+                 bool include_host = false, bool with_header = true) const;
+
+ private:
+  MetricId register_metric(std::string name, Kind kind, std::string unit,
+                           int device, Domain domain);
+  void record(MetricId id, std::int64_t t_ns, double value);
+
+  bool enabled_ = false;
+  std::int64_t window_ns_ = kDefaultWindowNs;
+  std::size_t series_capacity_ = kDefaultSeriesCapacity;
+  std::vector<Metric> metrics_;
+  std::map<std::string, std::uint32_t, std::less<>> index_;
+};
+
+}  // namespace hs::util::telemetry

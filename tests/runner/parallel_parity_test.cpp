@@ -73,6 +73,7 @@ CaseResult run_case(const CaseSpec& spec) {
   options.workers = spec.workers;
   sim::Machine machine(spec.topology, sim::CostModel::h100_eos(), options);
   machine.trace().set_enabled(true);
+  machine.enable_telemetry();
   if (spec.jitter_ns > 0) {
     machine.fabric().set_timing_jitter(spec.jitter_seed, spec.jitter_ns);
   }
@@ -116,6 +117,35 @@ CaseResult run_case(const CaseSpec& spec) {
     std::ostringstream wc;
     print_counters(wc, world.counters());
     raw << wc.str();
+  }
+  // Per-lane counter rows, field-wise. The aggregate sums above could mask
+  // compensating per-lane drift; these assert each device's own row (the
+  // lane-homed accumulator) is worker-count independent.
+  for (int d = 0; d < ranks; ++d) {
+    const sim::FabricCounters& f = machine.fabric().counter_row_of(d);
+    raw << "FROW d" << d;
+    for (const auto& link : f.by_link) {
+      raw << " " << link.transfers << "/" << link.messages << "/"
+          << link.bytes;
+    }
+    raw << " nic=";
+    for (const auto v : f.nic_busy_ns) raw << v << ",";
+    raw << " q=";
+    for (const auto v : f.nic_queue_ns) raw << v << ",";
+    raw << " proxy=";
+    for (const auto v : f.proxy_delay_ns) raw << v << ",";
+    raw << "\n";
+    const pgas::WorldCounters& w = world.counter_row_of(d);
+    raw << "WROW pe" << d;
+    for (const auto& op : w.by_op) raw << " " << op.calls << "/" << op.bytes;
+    raw << "\n";
+  }
+  // The merged Sim-domain telemetry document: per-window series keyed by
+  // sim time, so it must be byte-identical across worker counts too.
+  {
+    std::ostringstream telem;
+    machine.telemetry().write_json(telem, /*include_host=*/false);
+    raw << telem.str() << "\n";
   }
   for (const auto t : result.step_ends) raw << "step_end=" << t << "\n";
   result.raw = raw.str();

@@ -78,16 +78,43 @@ TEST(Metrics, DiffIgnoresImprovementsAndSmallDrift) {
   EXPECT_TRUE(r.deltas.empty());  // within threshold: not even reported
 }
 
-TEST(Metrics, MissingCaseOrTimeMetricIsARegression) {
+TEST(Metrics, MissingCaseIsARegressionButKeyDriftIsANote) {
   const auto base = json::parse(R"({"schema":"halosim-bench-metrics-v1",
     "cases":{"a":{"t_us":100.0},"b":{"t_us":50.0}}})");
   const auto no_case = json::parse(R"({"schema":"halosim-bench-metrics-v1",
     "cases":{"a":{"t_us":100.0}}})");
-  const auto no_key = json::parse(R"({"schema":"halosim-bench-metrics-v1",
+  const auto drift = json::parse(R"({"schema":"halosim-bench-metrics-v1",
     "cases":{"a":{"other":1.0},"b":{"t_us":50.0}}})");
+  // The candidate losing a whole case still fails the gate.
   EXPECT_TRUE(diff(base, no_case, 0.10).regression);
   EXPECT_FALSE(diff(base, no_case, 0.10).notes.empty());
-  EXPECT_TRUE(diff(base, no_key, 0.10).regression);
+  // A key present in only one document is schema drift: reported as
+  // added/removed notes, never gated on — a rename is not a perf
+  // regression.
+  const auto r = diff(base, drift, 0.10);
+  EXPECT_FALSE(r.regression);
+  ASSERT_EQ(r.notes.size(), 2u);
+  EXPECT_NE(r.notes[0].find("'a.other' added"), std::string::npos);
+  EXPECT_NE(r.notes[1].find("'a.t_us' removed"), std::string::npos);
+}
+
+TEST(Metrics, TelemetrySectionEmbedsWithoutAffectingDiff) {
+  Report r;
+  r.set("a", "t_us", 100.0);
+  r.telemetry_json =
+      R"({"schema":"halosim-telemetry-v1","runs":{"a":{"window_ns":100000,"metrics":[]}}})";
+  const json::Value doc = round_trip(r);
+  ASSERT_TRUE(doc.contains("telemetry"));
+  EXPECT_EQ(doc.at("telemetry").at("schema").as_string(),
+            "halosim-telemetry-v1");
+  // diff reads only "cases": identical cases compare clean even though
+  // only one side carries telemetry.
+  Report bare;
+  bare.set("a", "t_us", 100.0);
+  const auto result = diff(round_trip(bare), doc, 0.10);
+  EXPECT_FALSE(result.regression);
+  EXPECT_TRUE(result.deltas.empty());
+  EXPECT_TRUE(result.notes.empty());
 }
 
 TEST(Metrics, DiffRejectsWrongSchema) {

@@ -1,0 +1,249 @@
+#include "util/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace hs::util::telemetry {
+namespace {
+
+// ---- Histogram bucketing ------------------------------------------------
+
+TEST(TelemetryHistogram, BucketBoundariesAreExact) {
+  // Bucket 0: v < 1. Bucket b >= 1: [2^(b-1), 2^b) — powers of two open a
+  // new bucket, one-less-than stays in the previous one.
+  EXPECT_EQ(Histogram::bucket_of(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_of(0.999), 0);
+  EXPECT_EQ(Histogram::bucket_of(1.0), 1);
+  EXPECT_EQ(Histogram::bucket_of(2.0), 2);
+  EXPECT_EQ(Histogram::bucket_of(3.0), 2);
+  EXPECT_EQ(Histogram::bucket_of(4.0), 3);
+  EXPECT_EQ(Histogram::bucket_of(1023.0), 10);
+  EXPECT_EQ(Histogram::bucket_of(1024.0), 11);
+  EXPECT_EQ(Histogram::bucket_of(1.0e18), 60);
+  // NaN and negatives land in bucket 0 by convention; huge values clamp to
+  // the top bucket instead of overflowing the uint64 cast.
+  EXPECT_EQ(Histogram::bucket_of(-5.0), 0);
+  EXPECT_EQ(Histogram::bucket_of(std::nan("")), 0);
+  EXPECT_EQ(Histogram::bucket_of(1.0e19), Histogram::kBuckets - 1);
+}
+
+TEST(TelemetryHistogram, FloorInvertsBucketOf) {
+  for (int b = 0; b < Histogram::kBuckets - 1; ++b) {
+    const double floor = Histogram::bucket_floor(b);
+    if (b > 0) EXPECT_EQ(Histogram::bucket_of(floor), b) << "bucket " << b;
+  }
+}
+
+TEST(TelemetryHistogram, MergeAddsCounts) {
+  Histogram a;
+  Histogram b;
+  a.record(1.0);
+  a.record(100.0);
+  b.record(100.0);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.buckets[static_cast<std::size_t>(Histogram::bucket_of(100.0))],
+            2u);
+}
+
+// ---- Series -------------------------------------------------------------
+
+TEST(TelemetrySeries, EmptySeriesExports) {
+  Registry reg;
+  reg.enable();
+  reg.histogram("empty", "ns");
+  std::ostringstream os;
+  reg.write_json(os);
+  const auto doc = json::parse(os.str());
+  const auto& m = doc.at("metrics").at(0);
+  EXPECT_EQ(m.at("count").as_number(), 0.0);
+  EXPECT_FALSE(m.contains("min"));  // undefined without samples
+  EXPECT_EQ(m.at("series").at("buckets").size(), 0u);
+}
+
+TEST(TelemetrySeries, SingleSampleCarriesMinMax) {
+  Registry reg;
+  reg.enable();
+  const MetricId id = reg.histogram("one", "ns");
+  reg.observe(id, 250'000, 42.0);
+  const Metric* m = reg.find("one");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->count, 1u);
+  EXPECT_EQ(m->min, 42.0);
+  EXPECT_EQ(m->max, 42.0);
+  ASSERT_EQ(m->series.buckets().size(), 1u);
+  EXPECT_EQ(m->series.buckets()[0].index, 2);  // 250us / 100us window
+}
+
+TEST(TelemetrySeries, CapacityEvictsOldestAndCountsDropped) {
+  Registry reg;
+  reg.enable(/*window_ns=*/100, /*series_capacity=*/4);
+  const MetricId id = reg.counter("c");
+  for (std::int64_t t = 0; t < 10; ++t) reg.add(id, t * 100, 1.0);
+  const Metric* m = reg.find("c");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->series.buckets().size(), 4u);
+  EXPECT_EQ(m->series.dropped(), 6u);
+  EXPECT_EQ(m->series.buckets().front().index, 6);
+  EXPECT_EQ(m->series.buckets().back().index, 9);
+  EXPECT_EQ(m->sum, 10.0);  // totals survive series eviction
+}
+
+TEST(TelemetrySeries, OutOfOrderWithinRetainedRangeCombines) {
+  Registry reg;
+  reg.enable(/*window_ns=*/100, /*series_capacity=*/8);
+  const MetricId id = reg.counter("c");
+  reg.add(id, 500, 1.0);
+  reg.add(id, 100, 1.0);  // earlier window, still retained: binary insert
+  reg.add(id, 500, 1.0);
+  const Metric* m = reg.find("c");
+  ASSERT_EQ(m->series.buckets().size(), 2u);
+  EXPECT_EQ(m->series.buckets()[0].index, 1);
+  EXPECT_EQ(m->series.buckets()[1].index, 5);
+  EXPECT_EQ(m->series.buckets()[1].count, 2u);
+}
+
+// ---- Registry and merge -------------------------------------------------
+
+TEST(TelemetryRegistry, DisabledRegistrationYieldsInvalidIdsAndNoSamples) {
+  Registry reg;  // never enabled
+  const MetricId id = reg.counter("c");
+  EXPECT_FALSE(id.valid());
+  reg.add(id, 0, 1.0);  // must be a no-op, not a crash
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(TelemetryRegistry, ReregisteringANameReturnsTheSameId) {
+  Registry reg;
+  reg.enable();
+  const MetricId a = reg.counter("c", "ops");
+  const MetricId b = reg.counter("c", "ops");
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(TelemetryRegistry, MergeIsAssociativeAndOrderIndependentInExport) {
+  // Three lane rows with overlapping metric names, merged in the two
+  // possible association orders: the exported documents must be byte
+  // identical — this is the invariant the workers=1 vs workers=N telemetry
+  // parity rests on.
+  const auto make_lane = [](int lane) {
+    Registry reg;
+    reg.enable();
+    const MetricId c = reg.counter("shared.calls", "ops");
+    const MetricId h = reg.histogram("lane" + std::to_string(lane) + ".t",
+                                     "ns", lane);
+    reg.add(c, lane * 100'000, 1.0 + lane);
+    reg.observe(h, lane * 100'000, 10.0 * (lane + 1));
+    return reg;
+  };
+
+  Registry left;
+  left.enable();
+  {
+    Registry ab = make_lane(0);
+    ab.merge(make_lane(1));
+    left.merge(ab);
+    left.merge(make_lane(2));
+  }
+  Registry right;
+  right.enable();
+  {
+    Registry bc = make_lane(1);
+    bc.merge(make_lane(2));
+    right.merge(make_lane(0));
+    right.merge(bc);
+  }
+
+  std::ostringstream left_os;
+  std::ostringstream right_os;
+  left.write_json(left_os);
+  right.write_json(right_os);
+  EXPECT_EQ(left_os.str(), right_os.str());
+
+  const Metric* shared = left.find("shared.calls");
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared->sum, 1.0 + 2.0 + 3.0);
+  EXPECT_EQ(shared->series.buckets().size(), 3u);
+}
+
+TEST(TelemetryRegistry, ResetValuesKeepsDefinitions) {
+  Registry reg;
+  reg.enable();
+  const MetricId id = reg.counter("c");
+  reg.add(id, 0, 5.0);
+  reg.reset_values();
+  const Metric* m = reg.find("c");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->count, 0u);
+  EXPECT_EQ(m->sum, 0.0);
+  EXPECT_TRUE(m->series.buckets().empty());
+  reg.add(id, 0, 2.0);  // id still live after reset
+  EXPECT_EQ(reg.find("c")->sum, 2.0);
+}
+
+// ---- Export -------------------------------------------------------------
+
+TEST(TelemetryExport, JsonSortsByNameAndSkipsHostByDefault) {
+  Registry reg;
+  reg.enable();
+  const MetricId z = reg.counter("z.last");
+  const MetricId a = reg.counter("a.first");
+  const MetricId host =
+      reg.counter("h.wall", "ns", -1, Domain::Host);
+  reg.add(z, 0, 1.0);
+  reg.add(a, 0, 1.0);
+  reg.add(host, 0, 1.0);
+
+  std::ostringstream os;
+  reg.write_json(os);
+  const auto doc = json::parse(os.str());
+  const auto& metrics = doc.at("metrics").as_array();
+  ASSERT_EQ(metrics.size(), 2u);  // Host excluded
+  EXPECT_EQ(metrics[0].at("name").as_string(), "a.first");
+  EXPECT_EQ(metrics[1].at("name").as_string(), "z.last");
+
+  std::ostringstream with_host;
+  reg.write_json(with_host, /*include_host=*/true);
+  EXPECT_EQ(json::parse(with_host.str()).at("metrics").size(), 3u);
+}
+
+TEST(TelemetryExport, GaugeTotalIsLastValue) {
+  Registry reg;
+  reg.enable();
+  const MetricId g = reg.gauge("g");
+  reg.set(g, 0, 10.0);
+  reg.set(g, 100'000, 30.0);
+  std::ostringstream os;
+  reg.write_json(os);
+  const auto doc = json::parse(os.str());
+  EXPECT_EQ(doc.at("metrics").at(0).at("total").as_number(), 30.0);
+}
+
+TEST(TelemetryExport, CsvEmitsOneRowPerBucket) {
+  Registry reg;
+  reg.enable();
+  const MetricId c = reg.counter("c", "ops", 3);
+  reg.add(c, 0, 1.0);
+  reg.add(c, 150'000, 2.0);
+  std::ostringstream os;
+  reg.write_csv(os, "run1");
+  std::istringstream lines(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line,
+            "run,metric,kind,unit,device,bucket_start_ns,count,sum,min,max");
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.rfind("run1,c,counter,ops,3,0,", 0), 0u);
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.rfind("run1,c,counter,ops,3,100000,", 0), 0u);
+  EXPECT_FALSE(std::getline(lines, line));
+}
+
+}  // namespace
+}  // namespace hs::util::telemetry

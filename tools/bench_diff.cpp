@@ -4,10 +4,11 @@
 //   $ bench_diff baseline.json candidate.json [--threshold=0.10]
 //
 // Prints a table of every metric that moved more than the threshold, plus
-// notes for cases/metrics the candidate dropped. Exit codes: 0 — no
-// regression; 1 — a time-like metric (suffix `_us`/`_ns`) grew past the
-// threshold, or the candidate lost a case/time metric the baseline had;
-// 2 — usage or I/O error. scripts/bench_gate.sh builds a CI gate on this.
+// notes for metric keys present in only one file (added/removed — schema
+// drift, reported but never gated on). Exit codes: 0 — no regression;
+// 1 — a time-like metric (suffix `_us`/`_ns`) grew past the threshold, or
+// the candidate lost a whole case the baseline had; 2 — usage or I/O
+// error. scripts/bench_gate.sh builds a CI gate on this.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>

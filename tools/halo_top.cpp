@@ -1,0 +1,361 @@
+// halo_top — top-style utilization viewer for halosim telemetry.
+//
+//   $ halo_top telemetry.json [--run=<label>]
+//   $ halo_top --live [--atoms=90000] [--gpus=8] [--nodes=1] [--workers=4]
+//              [--steps=8] [--telemetry-every=100]
+//
+// Replay mode reads a `halosim-telemetry-v1` document — either the
+// standalone file written by --telemetry-json or a bench-metrics-v1 file
+// carrying an embedded top-level "telemetry" section — and prints, per
+// run, a per-device/per-lane utilization table (events, events per safe
+// window, wall busy vs barrier-wait time, NIC busy time, signal-wait
+// stalls, MD step time) plus the safe-window width series and a
+// barrier-dominance verdict: the share of lane wall time spent waiting at
+// PDES window barriers. Sim-only documents (no Host-domain series, e.g. a
+// parity artifact) fall back to a lane-imbalance heuristic for the
+// verdict.
+//
+// Live mode builds the same skeleton halo-exchange case the benches use,
+// runs it with telemetry on, and feeds the resulting document through the
+// identical analysis path — one code path, two sources.
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "util/json.hpp"
+
+using namespace hs;
+
+namespace {
+
+struct LaneRow {
+  double events = 0.0;          // engine events executed
+  double win_events_mean = 0.0; // mean events per safe window
+  double busy_ns = 0.0;         // Host: lane run time inside windows
+  double barrier_ns = 0.0;      // Host: window barrier wait
+  double nic_busy_ns = 0.0;     // fabric NIC occupancy charged to the lane
+  double sig_wait_ns = 0.0;     // pgas signal-wait stalls (sim ns)
+  double step_mean_ns = 0.0;    // mean MD step duration (sim ns)
+  bool has_wall = false;
+};
+
+struct MetricView {
+  std::string name;
+  int device = -1;
+  double count = 0.0;
+  double total = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  const util::json::Value* series = nullptr;  // {"dropped":..,"buckets":[..]}
+};
+
+double mean_of(const MetricView& m) {
+  return m.count > 0 ? m.total / m.count : 0.0;
+}
+
+std::vector<MetricView> parse_metrics(const util::json::Value& run) {
+  std::vector<MetricView> out;
+  for (const auto& m : run.at("metrics").as_array()) {
+    MetricView v;
+    v.name = m.at("name").as_string();
+    v.device = static_cast<int>(m.at("device").as_number());
+    v.count = m.at("count").as_number();
+    v.total = m.at("total").as_number();
+    if (m.contains("min")) v.min = m.at("min").as_number();
+    if (m.contains("max")) v.max = m.at("max").as_number();
+    if (m.contains("series")) v.series = &m.at("series");
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+const MetricView* find(const std::vector<MetricView>& ms,
+                       const std::string& name) {
+  for (const auto& m : ms) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string fmt_ms(double ns) { return util::Table::fmt(ns / 1e6, 2); }
+std::string fmt_us(double ns) { return util::Table::fmt(ns / 1e3, 1); }
+
+void report_run(const std::string& label, const util::json::Value& run) {
+  const double window_ns = run.at("window_ns").as_number();
+  const auto metrics = parse_metrics(run);
+
+  std::map<int, LaneRow> lanes;
+  for (const auto& m : metrics) {
+    if (m.device < 0) {
+      // Classic (non-partitioned) engines report one global event counter;
+      // show it as lane 0 so small runs still render a table.
+      if (m.name == "engine.events") lanes[0].events += m.total;
+      continue;
+    }
+    LaneRow& row = lanes[m.device];
+    if (ends_with(m.name, ".events") && m.name.rfind("engine.", 0) == 0) {
+      row.events += m.total;
+    } else if (ends_with(m.name, ".window_events")) {
+      row.win_events_mean = mean_of(m);
+    } else if (ends_with(m.name, ".busy_wall_ns")) {
+      row.busy_ns = m.total;
+      row.has_wall = true;
+    } else if (ends_with(m.name, ".barrier_wall_ns")) {
+      row.barrier_ns = m.total;
+      row.has_wall = true;
+    } else if (ends_with(m.name, ".nic_busy_ns")) {
+      row.nic_busy_ns = m.total;
+    } else if (ends_with(m.name, ".signal_wait_ns")) {
+      row.sig_wait_ns = m.total;
+    } else if (ends_with(m.name, ".step_ns")) {
+      row.step_mean_ns = mean_of(m);
+    }
+  }
+
+  std::cout << "\n=== " << label << " ===\n";
+  std::cout << "telemetry window: " << fmt_us(window_ns) << " us ("
+            << metrics.size() << " metrics)\n";
+
+  const MetricView* windows = find(metrics, "pdes.windows");
+  const MetricView* width = find(metrics, "pdes.window_width_ns");
+  const MetricView* msgs = find(metrics, "pdes.window_messages");
+  if (windows != nullptr && width != nullptr) {
+    std::cout << "safe windows: " << static_cast<long long>(windows->total)
+              << ", width mean " << fmt_us(mean_of(*width)) << " us (min "
+              << fmt_us(width->min) << ", max " << fmt_us(width->max) << ")";
+    if (msgs != nullptr) {
+      std::cout << ", " << util::Table::fmt(mean_of(*msgs), 1)
+                << " cross-lane msgs/window";
+    }
+    std::cout << "\n";
+    // Width over time: mean window width per telemetry bucket, a coarse
+    // strip chart of how the conservative horizon evolves through the run.
+    if (width->series != nullptr) {
+      const auto& buckets = width->series->at("buckets").as_array();
+      if (!buckets.empty()) {
+        const std::size_t shown = std::min<std::size_t>(buckets.size(), 12);
+        const std::size_t stride = (buckets.size() + shown - 1) / shown;
+        std::cout << "width series (us, per " << fmt_us(window_ns)
+                  << "us of sim time):";
+        for (std::size_t i = 0; i < buckets.size(); i += stride) {
+          const auto& b = buckets[i].as_array();
+          const double count = b.at(1).as_number();
+          const double sum = b.at(2).as_number();
+          std::cout << " " << util::Table::fmt(
+              count > 0 ? sum / count / 1e3 : 0.0, 1);
+        }
+        if (stride > 1) std::cout << "  (every " << stride << "th bucket)";
+        std::cout << "\n";
+      }
+    }
+  }
+
+  if (!lanes.empty()) {
+    bool any_wall = false;
+    for (const auto& [d, row] : lanes) any_wall |= row.has_wall;
+    util::Table table(any_wall
+                          ? std::vector<std::string>{"lane", "events",
+                                                     "ev/win", "busy ms",
+                                                     "barrier ms", "barrier %",
+                                                     "nic busy ms",
+                                                     "sigwait ms", "step us"}
+                          : std::vector<std::string>{"lane", "events",
+                                                     "ev/win", "nic busy ms",
+                                                     "sigwait ms", "step us"});
+    for (const auto& [device, row] : lanes) {
+      std::vector<std::string> cells{
+          std::to_string(device),
+          std::to_string(static_cast<long long>(row.events)),
+          util::Table::fmt(row.win_events_mean, 1)};
+      if (any_wall) {
+        const double wall = row.busy_ns + row.barrier_ns;
+        cells.push_back(fmt_ms(row.busy_ns));
+        cells.push_back(fmt_ms(row.barrier_ns));
+        cells.push_back(wall > 0
+                            ? util::Table::fmt(100.0 * row.barrier_ns / wall, 1)
+                            : "-");
+      }
+      cells.push_back(fmt_ms(row.nic_busy_ns));
+      cells.push_back(fmt_ms(row.sig_wait_ns));
+      cells.push_back(fmt_us(row.step_mean_ns));
+      table.add_row(cells);
+    }
+    table.print(std::cout);
+
+    // Barrier-dominance verdict. With wall-clock (Host) series: the share
+    // of total lane wall time spent blocked at window barriers. Without:
+    // lane load imbalance bounds it from below — the most-loaded lane sets
+    // each window's span while the others wait.
+    double busy = 0.0;
+    double barrier = 0.0;
+    double ev_max = 0.0;
+    double ev_sum = 0.0;
+    for (const auto& [d, row] : lanes) {
+      busy += row.busy_ns;
+      barrier += row.barrier_ns;
+      ev_max = std::max(ev_max, row.win_events_mean);
+      ev_sum += row.win_events_mean;
+    }
+    if (any_wall && busy + barrier > 0.0) {
+      const double share = 100.0 * barrier / (busy + barrier);
+      const char* verdict = share > 50.0   ? "barrier-dominated"
+                            : share > 25.0 ? "barrier-significant"
+                                           : "compute-dominated";
+      std::cout << "verdict: " << verdict << " — "
+                << util::Table::fmt(share, 1)
+                << "% of lane wall time is window-barrier wait (busy "
+                << fmt_ms(busy) << " ms, barrier " << fmt_ms(barrier)
+                << " ms)\n";
+    } else if (ev_sum > 0.0 && lanes.size() > 1) {
+      const double imbalance =
+          ev_max / (ev_sum / static_cast<double>(lanes.size()));
+      std::cout << "verdict: no wall-clock series in this document; lane "
+                   "load imbalance "
+                << util::Table::fmt(imbalance, 2)
+                << "x (max/mean events per window) — "
+                << (imbalance > 1.5 ? "likely barrier-dominated"
+                                    : "lanes are balanced")
+                << "\n";
+    }
+  }
+
+  // Fabric/pgas totals (global-name series merge across lanes).
+  double xfer = 0.0;
+  double bytes = 0.0;
+  for (const auto& m : metrics) {
+    if (m.name.rfind("fabric.", 0) == 0 && ends_with(m.name, ".transfers")) {
+      xfer += m.total;
+    }
+    if (m.name.rfind("fabric.", 0) == 0 && ends_with(m.name, ".bytes")) {
+      bytes += m.total;
+    }
+  }
+  if (xfer > 0.0) {
+    std::cout << "fabric: " << static_cast<long long>(xfer) << " transfers, "
+              << util::Table::fmt(bytes / 1e6, 2) << " MB\n";
+  }
+}
+
+int replay(const std::string& path, const std::string& only_run) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "halo_top: cannot open " << path << "\n";
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    const auto doc = util::json::parse(buf.str());
+    // Accept the standalone telemetry document or a bench-metrics file
+    // with an embedded "telemetry" section.
+    const util::json::Value* telemetry = &doc;
+    if (doc.contains("schema") &&
+        doc.at("schema").as_string() == util::metrics::kSchema) {
+      if (!doc.contains("telemetry")) {
+        std::cerr << "halo_top: " << path
+                  << " is a bench-metrics file without a telemetry section "
+                     "(re-run the bench with --telemetry-json)\n";
+        return 1;
+      }
+      telemetry = &doc.at("telemetry");
+    }
+    if (!telemetry->contains("schema") ||
+        telemetry->at("schema").as_string() != util::telemetry::kSchema) {
+      std::cerr << "halo_top: " << path << " is not a "
+                << util::telemetry::kSchema << " document\n";
+      return 1;
+    }
+    const auto& runs = telemetry->at("runs").as_object();
+    if (runs.empty()) {
+      std::cerr << "halo_top: no runs in " << path << "\n";
+      return 1;
+    }
+    bool matched = false;
+    for (const auto& [label, run] : runs) {
+      if (!only_run.empty() && label != only_run) continue;
+      matched = true;
+      report_run(label, run);
+    }
+    if (!matched) {
+      std::cerr << "halo_top: run '" << only_run << "' not found\n";
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "halo_top: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+int live(const util::Cli& cli) {
+  bench::CaseSpec spec;
+  spec.atoms = cli.get_int("atoms", 90000);
+  const int nodes = static_cast<int>(cli.get_int("nodes", 1));
+  const int gpus = static_cast<int>(cli.get_int("gpus", 8));
+  spec.topology = sim::Topology::dgx_h100(nodes, gpus);
+  spec.steps = static_cast<int>(cli.get_int("steps", 8));
+  spec.workers = static_cast<int>(cli.get_int("workers", 4));
+  spec.config.transport = halo::Transport::Shmem;
+  const long long every_us = cli.get_int("telemetry-every", 100);
+
+  const float box_len = static_cast<float>(
+      std::cbrt(static_cast<double>(spec.atoms) / bench::kGrappaDensity));
+  const md::Box box(box_len, box_len, box_len);
+  const dd::DomainGrid grid(
+      box, dd::choose_grid(box, spec.topology.device_count(),
+                           bench::kCommCutoff));
+
+  sim::MachineOptions machine_options;
+  machine_options.workers = spec.workers;
+  sim::Machine machine(spec.topology, spec.cost_model, machine_options);
+  machine.enable_telemetry(every_us * 1000);
+  pgas::World world(machine);
+  msg::Comm comm(machine);
+  runner::MdRunner md_runner(
+      machine, world, comm,
+      halo::make_skeleton_workload(grid, bench::kCommCutoff,
+                                   bench::kGrappaDensity),
+      spec.config);
+  md_runner.run(spec.steps);
+
+  // Route the live registry through the same JSON analysis path replay
+  // uses, wall-clock series included.
+  std::ostringstream os;
+  machine.telemetry().write_json(os, /*include_host=*/true);
+  try {
+    const auto run = util::json::parse(os.str());
+    report_run("live " + bench::size_label(spec.atoms) + " x" +
+                   std::to_string(spec.topology.device_count()) + " workers" +
+                   std::to_string(spec.workers),
+               run);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "halo_top: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  if (cli.get_bool("live", false)) return live(cli);
+  if (cli.positional().size() != 1) {
+    std::cerr << "usage: halo_top <telemetry.json> [--run=<label>]\n"
+                 "       halo_top --live [--atoms=N] [--gpus=N] [--nodes=N] "
+                 "[--workers=N] [--steps=N]\n";
+    return 2;
+  }
+  return replay(cli.positional()[0], cli.get("run", ""));
+}

@@ -4,9 +4,13 @@
 //
 // Checks the file is well-formed JSON, has a non-empty traceEvents array,
 // that every duration event carries the expected fields with sane values
-// (non-negative ts/dur, pid/tid present, step tag, unique span id), and
-// that flow events pair up: every flow id has exactly one start (ph:"s")
-// and one finish (ph:"f", with the bp:"e" binding-point). Span ids encode
+// (non-negative ts/dur, pid/tid present, step tag, unique span id), that
+// telemetry counter events (ph:"C") are sane — non-negative strictly
+// increasing ts per (pid, counter name), all args numeric, and every
+// counter pid anchored by a metadata or duration event so it sits inside
+// a source's pid range — and that flow events pair up: every flow id has
+// exactly one start (ph:"s") and one finish (ph:"f", with the bp:"e"
+// binding-point). Span ids encode
 // their partition in the high bits (lane d allocates from (d+1)<<32;
 // classic runs allocate from 0), so a merged multi-partition trace is
 // accepted and the partition count reported. Exit code 0 on success;
@@ -48,7 +52,14 @@ int main(int argc, char** argv) {
     }
     const auto& events = doc.at("traceEvents").as_array();
     std::size_t durations = 0;
+    std::size_t counters = 0;
     std::set<double> pids;
+    // Counter events may only use pids that metadata or duration events
+    // establish (each source's pid range, including its telemetry
+    // pseudo-process, names itself with ph:"M").
+    std::set<double> anchor_pids;
+    std::set<double> counter_pids;
+    std::map<std::pair<double, std::string>, double> counter_last_ts;
     std::set<std::pair<double, double>> tids;
     // Spans are unique within one exported trace; multi-source files (one
     // machine per pid range) may repeat them, so key uniqueness by pid.
@@ -60,7 +71,40 @@ int main(int argc, char** argv) {
       const std::string& ph = ev.at("ph").as_string();
       const double pid = ev.at("pid").as_number();
       pids.insert(pid);
-      if (ph == "M") continue;  // metadata (process/thread names)
+      if (ph == "M") {  // metadata (process/thread names)
+        anchor_pids.insert(pid);
+        continue;
+      }
+      if (ph == "C") {  // telemetry counter sample
+        const std::string& name = ev.at("name").as_string();
+        const double ts = ev.at("ts").as_number();
+        if (ts < 0) {
+          std::cerr << "trace_validate: negative ts in counter '" << name
+                    << "'\n";
+          return 1;
+        }
+        for (const auto& [key, value] : ev.at("args").as_object()) {
+          if (!value.is_number()) {
+            std::cerr << "trace_validate: non-numeric arg '" << key
+                      << "' in counter '" << name << "'\n";
+            return 1;
+          }
+        }
+        // One sample per series bucket: ts must strictly increase per
+        // (pid, counter) track.
+        auto [it, inserted] = counter_last_ts.try_emplace({pid, name}, ts);
+        if (!inserted) {
+          if (ts <= it->second) {
+            std::cerr << "trace_validate: non-monotone ts in counter '"
+                      << name << "' (pid " << pid << ")\n";
+            return 1;
+          }
+          it->second = ts;
+        }
+        counter_pids.insert(pid);
+        ++counters;
+        continue;
+      }
       if (ph == "s" || ph == "f") {  // causal flow arrows
         if (!ev.contains("id")) {
           std::cerr << "trace_validate: flow event without id\n";
@@ -93,6 +137,7 @@ int main(int argc, char** argv) {
                   << ev.at("name").as_string() << "'\n";
         return 1;
       }
+      anchor_pids.insert(pid);
       tids.insert({pid, ev.at("tid").as_number()});
       if (!ev.at("args").contains("step")) {
         std::cerr << "trace_validate: event without step tag\n";
@@ -119,6 +164,13 @@ int main(int argc, char** argv) {
       std::cerr << "trace_validate: no duration events\n";
       return 1;
     }
+    for (const double pid : counter_pids) {
+      if (anchor_pids.count(pid) == 0) {
+        std::cerr << "trace_validate: counter events on pid " << pid
+                  << " outside every source's pid range\n";
+        return 1;
+      }
+    }
     if (flow_starts.size() != flow_finishes.size()) {
       std::cerr << "trace_validate: " << flow_starts.size()
                 << " flow starts vs " << flow_finishes.size()
@@ -134,9 +186,10 @@ int main(int argc, char** argv) {
       }
     }
     std::cout << "ok: " << durations << " duration events, "
-              << flow_starts.size() << " flow pairs, " << pids.size()
-              << " processes, " << tids.size() << " threads, "
-              << partitions.size() << " span partition(s)\n";
+              << flow_starts.size() << " flow pairs, " << counters
+              << " counter samples, " << pids.size() << " processes, "
+              << tids.size() << " threads, " << partitions.size()
+              << " span partition(s)\n";
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "trace_validate: " << e.what() << "\n";
