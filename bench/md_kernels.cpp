@@ -15,6 +15,8 @@
 // >= 2x at the >= 10k-atom sizes.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <iostream>
 #include <map>
 #include <string>
 #include <vector>
@@ -24,6 +26,7 @@
 #include "md/cluster_pair_list.hpp"
 #include "md/nonbonded.hpp"
 #include "md/pair_list.hpp"
+#include "md/simd/isa.hpp"
 #include "md/system.hpp"
 
 using namespace hs;
@@ -111,6 +114,27 @@ void BM_NonbondedCluster(benchmark::State& state) {
 }
 BENCHMARK(BM_NonbondedCluster)->Arg(3000)->Arg(12000)->Arg(48000);
 
+/// Forced-ISA cluster kernel (BM_NonbondedCluster_<isa>): one instance is
+/// registered per host-supported ISA in main(), at 3k and the 24k
+/// acceptance size, so one run compares the 4x4 SSE2 path against the
+/// 4x8 AVX2/AVX-512 lane blocks on identical lists.
+void nonbonded_cluster_isa(benchmark::State& state, md::simd::KernelIsa isa) {
+  SizedCase& c = case_for(static_cast<int>(state.range(0)));
+  const md::NbParamTable params(c.ff);
+  md::NbWorkspace ws;
+  std::vector<md::Vec3> f(c.sys.x.size());
+  for (auto _ : state) {
+    std::fill(f.begin(), f.end(), md::Vec3{});
+    const md::Energies e = md::compute_nonbonded_clusters(
+        c.sys.box, params, c.cluster_list, c.sys.x, c.sys.type, f, ws, isa);
+    benchmark::DoNotOptimize(e.total());
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(c.cluster_list.pair_count()));
+  state.SetLabel("pairs");
+}
+
 void BM_SoaGatherScatter(benchmark::State& state) {
   SizedCase& c = case_for(static_cast<int>(state.range(0)));
   md::SoaVecs soa;
@@ -142,6 +166,30 @@ BENCHMARK(BM_ClusterGatherScatterAdd)->Arg(3000)->Arg(12000)->Arg(48000);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // `--print-isa`: report dispatch capabilities for scripts (md_smoke.sh
+  // uses it to enumerate the HALOSIM_FORCE_ISA sweep) and exit.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--print-isa") == 0) {
+      std::cout << "supported:";
+      for (const auto isa : md::simd::supported_isas()) {
+        std::cout << ' ' << md::simd::isa_name(isa);
+      }
+      std::cout << "\ndispatched: "
+                << md::simd::isa_name(md::simd::active_isa()) << "\n";
+      return 0;
+    }
+  }
+
+  for (const auto isa : md::simd::supported_isas()) {
+    const std::string name =
+        std::string("BM_NonbondedCluster_") + std::string(md::simd::isa_name(isa));
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [isa](benchmark::State& state) { nonbonded_cluster_isa(state, isa); })
+        ->Arg(3000)
+        ->Arg(24000);
+  }
+
   return bench::run_benchmark_main(
       argc, argv, "md_kernels", [](bench::MetricsReporter& reporter) {
         for (const int atoms : {3000, 12000, 48000}) {
@@ -161,6 +209,29 @@ int main(int argc, char** argv) {
                                      "_wall_ns");
           if (sbuild > 0.0 && cbuild > 0.0) {
             reporter.set("list_build_cluster_speedup_" + n, sbuild / cbuild);
+          }
+        }
+        // ISA provenance (non-time keys: bench_diff notes an ISA change as
+        // key drift, never gates it) plus wide-vs-SSE2 speedups at the
+        // acceptance sizes.
+        const auto active = md::simd::active_isa();
+        reporter.set("simd_isa_level",
+                     static_cast<double>(md::simd::isa_level(active)));
+        reporter.set("cluster_j_width",
+                     static_cast<double>(md::simd::j_cluster_width(active)));
+        for (const int atoms : {3000, 24000}) {
+          const std::string n = std::to_string(atoms);
+          const double sse2 = reporter.value_or_zero(
+              "BM_NonbondedCluster_sse2/" + n + "_wall_ns");
+          if (sse2 <= 0.0) continue;
+          for (const char* wide : {"avx2", "avx512"}) {
+            const double w = reporter.value_or_zero(
+                std::string("BM_NonbondedCluster_") + wide + "/" + n +
+                "_wall_ns");
+            if (w > 0.0) {
+              reporter.set(std::string("nb_") + wide + "_vs_sse2_speedup_" + n,
+                           sse2 / w);
+            }
           }
         }
       });

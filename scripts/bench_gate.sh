@@ -9,8 +9,10 @@
 #
 # --wall additionally runs scripts/perf_smoke.sh, the *wall-clock* smoke
 # gate over the google-benchmark binaries (bench/sim_perf,
-# bench/md_kernels; generous threshold, see that script),
-# scripts/md_smoke.sh --skip-asan, the cluster-kernel speedup floor,
+# bench/md_kernels, which includes per-ISA BM_NonbondedCluster_<isa> rows
+# for every host-supported kernel ISA; generous threshold, see that
+# script), scripts/md_smoke.sh --skip-asan, the cluster-kernel speedup
+# floors (widest-dispatch vs scalar, plus AVX2/AVX-512 4x8 vs SSE2 4x4),
 # scripts/telemetry_smoke.sh, the telemetry-export end-to-end check, and
 # scripts/threads_smoke.sh, the TSan pass over the parallel engine.
 set -euo pipefail

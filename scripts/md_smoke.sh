@@ -3,25 +3,32 @@
 #
 #  1. Sanitizer pass — configure a HALOSIM_SANITIZE=ON tree (ASan+UBSan)
 #     and run the md + runner test binaries plus a short md_kernels sweep
-#     in it, so the masked/batched kernels (pad slots, gather/scatter
-#     shims, mask expansion) are exercised under the sanitizers.
+#     in it, once per host-supported kernel ISA (HALOSIM_FORCE_ISA=scalar,
+#     sse2, avx2, avx512 — enumerated via `md_kernels --print-isa`), so
+#     every lane-block variant (pad slots, gather/scatter shims, mask
+#     expansion, 4x8 merged lists) runs under the sanitizers.
 #  2. Speedup floor — run md_kernels in the regular (optimized) tree and
 #     assert the derived nb_cluster_speedup_<atoms> metrics stay >= the
-#     floor at the >= 10k-atom sizes. perf_smoke.sh gates absolute wall
-#     times; this asserts the cluster kernel keeps beating the scalar
-#     kernel on the same machine, which is noise-robust.
+#     floor at the >= 10k-atom sizes (the default dispatch, i.e. the
+#     widest ISA, vs the scalar reference kernel), and that the AVX2/
+#     AVX-512 4x8 cluster kernels stay >= the ISA floor vs the SSE2 4x4
+#     kernel at 24k atoms when the host supports them. perf_smoke.sh
+#     gates absolute wall times; these ratios are noise-robust.
 #
-#   $ scripts/md_smoke.sh [build-dir] [--asan-dir=build-asan] [--min-speedup=2.0] [--skip-asan]
+#   $ scripts/md_smoke.sh [build-dir] [--asan-dir=build-asan] \
+#       [--min-speedup=2.0] [--min-isa-speedup=1.4] [--skip-asan]
 set -euo pipefail
 
 BUILD_DIR="build"
 ASAN_DIR="build-asan"
 MIN_SPEEDUP="2.0"
+MIN_ISA_SPEEDUP="1.4"
 SKIP_ASAN=0
 for arg in "$@"; do
   case "$arg" in
     --asan-dir=*) ASAN_DIR="${arg#--asan-dir=}" ;;
     --min-speedup=*) MIN_SPEEDUP="${arg#--min-speedup=}" ;;
+    --min-isa-speedup=*) MIN_ISA_SPEEDUP="${arg#--min-isa-speedup=}" ;;
     --skip-asan) SKIP_ASAN=1 ;;
     *) BUILD_DIR="$arg" ;;
   esac
@@ -36,12 +43,17 @@ if [[ "$SKIP_ASAN" != 1 ]]; then
   fi
   cmake --build "$ASAN_DIR" -j --target md_tests runner_tests md_kernels \
     > /dev/null
-  "$ASAN_DIR/tests/md/md_tests" --gtest_brief=1
-  "$ASAN_DIR/tests/runner/runner_tests" --gtest_brief=1
-  # Tiny sweep: the point is sanitizer coverage of the kernels, not timing.
-  "$ASAN_DIR/bench/md_kernels" --benchmark_min_time=0.01 \
-    --benchmark_filter='/3000$' > /dev/null
-  echo "md_smoke: sanitizer pass OK ($ASAN_DIR)"
+  ISAS="$("$ASAN_DIR/bench/md_kernels" --print-isa | sed -n 's/^supported: //p')"
+  for isa in $ISAS; do
+    echo "md_smoke: sanitizer pass, HALOSIM_FORCE_ISA=$isa"
+    HALOSIM_FORCE_ISA="$isa" "$ASAN_DIR/tests/md/md_tests" --gtest_brief=1
+    HALOSIM_FORCE_ISA="$isa" "$ASAN_DIR/tests/runner/runner_tests" \
+      --gtest_brief=1
+    # Tiny sweep: the point is sanitizer coverage of the kernels, not timing.
+    HALOSIM_FORCE_ISA="$isa" "$ASAN_DIR/bench/md_kernels" \
+      --benchmark_min_time=0.01 --benchmark_filter='/3000$' > /dev/null
+  done
+  echo "md_smoke: sanitizer pass OK ($ASAN_DIR; ISAs:$ISAS)"
 fi
 
 BENCH="$BUILD_DIR/bench/md_kernels"
@@ -50,6 +62,7 @@ if [[ ! -x "$BENCH" ]]; then
   exit 2
 fi
 
+SUPPORTED="$("$BENCH" --print-isa | sed -n 's/^supported: //p')"
 OUT="$(mktemp --suffix=.json)"
 trap 'rm -f "$OUT"' EXIT
 "$BENCH" "--metrics-json=$OUT" --benchmark_min_time=0.1 \
@@ -59,24 +72,36 @@ if [[ ! -s "$OUT" ]]; then
   exit 1
 fi
 
-python3 - "$OUT" "$MIN_SPEEDUP" <<'EOF'
+python3 - "$OUT" "$MIN_SPEEDUP" "$MIN_ISA_SPEEDUP" "$SUPPORTED" <<'EOF'
 import json
 import sys
 
 report = json.load(open(sys.argv[1]))
 floor = float(sys.argv[2])
+isa_floor = float(sys.argv[3])
+supported = sys.argv[4].split()
 metrics = report["cases"]["md_kernels"]
 failed = False
-for atoms in (12000, 48000):
-    key = f"nb_cluster_speedup_{atoms}"
-    speedup = metrics.get(key)
-    if speedup is None:
+
+
+def gate(key, minimum):
+    global failed
+    value = metrics.get(key)
+    if value is None:
         print(f"md_smoke: FAIL — {key} missing from metrics")
         failed = True
-        continue
-    status = "OK" if speedup >= floor else "FAIL"
-    print(f"md_smoke: {key} = {speedup:.2f}x (floor {floor:.2f}x) {status}")
-    failed = failed or speedup < floor
+        return
+    status = "OK" if value >= minimum else "FAIL"
+    print(f"md_smoke: {key} = {value:.2f}x (floor {minimum:.2f}x) {status}")
+    failed = failed or value < minimum
+
+
+for atoms in (12000, 48000):
+    gate(f"nb_cluster_speedup_{atoms}", floor)
+# 4x8 lane blocks vs the SSE2 4x4 kernel, when the host has them.
+for wide in ("avx2", "avx512"):
+    if wide in supported and "sse2" in supported:
+        gate(f"nb_{wide}_vs_sse2_speedup_24000", isa_floor)
 sys.exit(1 if failed else 0)
 EOF
 echo "md_smoke: OK"

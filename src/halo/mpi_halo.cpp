@@ -53,11 +53,9 @@ sim::Task MpiHaloExchange::coord_phase(int rank, sim::Stream& stream,
       co_await kctx.compute(machine_->cost().pack_cost(meta_ptr->send_size));
       // Pack runs "at" span completion: gather into the wire buffer now.
       if (st == nullptr) co_return;
-      wire->reserve(meta_ptr->index_map.size());
-      for (int idx : meta_ptr->index_map) {
-        wire->push_back(st->x[static_cast<std::size_t>(idx)] +
-                        meta_ptr->coord_shift);
-      }
+      wire->resize(meta_ptr->index_map.size());
+      pack_coordinates(st->x, meta_ptr->index_map, 0, wire->size(),
+                       meta_ptr->coord_shift, wire->data());
     };
     stream.launch(std::move(pack));
 
@@ -140,9 +138,7 @@ sim::Task MpiHaloExchange::force_phase(int rank, sim::Stream& stream,
       const auto& stage = self->force_stage_[static_cast<std::size_t>(r)]
                                             [static_cast<std::size_t>(p)];
       assert(static_cast<int>(stage.size()) == meta_ptr->send_size);
-      for (std::size_t k = 0; k < stage.size(); ++k) {
-        st->f[static_cast<std::size_t>(meta_ptr->index_map[k])] += stage[k];
-      }
+      unpack_forces(st->f, meta_ptr->index_map, stage);
     };
     stream.launch(std::move(unpack));
   }

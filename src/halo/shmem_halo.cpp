@@ -105,11 +105,10 @@ void ShmemHaloExchange::issue_coord_segment(
   std::function<void()> deliver;
   if (st != nullptr) {
     auto wire = std::make_shared<std::vector<md::Vec3>>();
-    wire->reserve(static_cast<std::size_t>(count));
-    for (int k = first_entry; k < first_entry + count; ++k) {
-      const int idx = meta.index_map[static_cast<std::size_t>(k)];
-      wire->push_back(st->x[static_cast<std::size_t>(idx)] + meta.coord_shift);
-    }
+    wire->resize(static_cast<std::size_t>(count));
+    pack_coordinates(st->x, meta.index_map, static_cast<std::size_t>(first_entry),
+                     static_cast<std::size_t>(count), meta.coord_shift,
+                     wire->data());
     deliver = [wire, peer, peer_offset] {
       std::copy(wire->begin(), wire->end(),
                 peer->x.begin() + peer_offset);
@@ -205,10 +204,9 @@ sim::Task ShmemHaloExchange::coord_pulse_task(sim::KernelContext& ctx,
     std::function<void()> deliver;
     if (st != nullptr) {
       auto wire = std::make_shared<std::vector<md::Vec3>>();
-      wire->reserve(static_cast<std::size_t>(meta.send_size));
-      for (int idx : meta.index_map) {
-        wire->push_back(st->x[static_cast<std::size_t>(idx)] + meta.coord_shift);
-      }
+      wire->resize(static_cast<std::size_t>(meta.send_size));
+      pack_coordinates(st->x, meta.index_map, 0, wire->size(),
+                       meta.coord_shift, wire->data());
       const int peer_offset = pulse(meta.send_rank, p).atom_offset;
       deliver = [wire, peer, peer_offset] {
         std::copy(wire->begin(), wire->end(), peer->x.begin() + peer_offset);
@@ -344,9 +342,7 @@ sim::Task ShmemHaloExchange::force_pulse_task(sim::KernelContext& ctx,
       const auto& stage = force_stage_[static_cast<std::size_t>(rank)]
                                       [static_cast<std::size_t>(p)];
       assert(static_cast<int>(stage.size()) == meta.send_size);
-      for (std::size_t k = 0; k < stage.size(); ++k) {
-        st->f[static_cast<std::size_t>(meta.index_map[k])] += stage[k];
-      }
+      unpack_forces(st->f, meta.index_map, stage);
     }
   }
   unpack_done_[static_cast<std::size_t>(rank)][static_cast<std::size_t>(p)]

@@ -2,7 +2,20 @@
 
 #include <cmath>
 
+#include "md/simd/ops.hpp"
+
 namespace hs::halo {
+
+void pack_coordinates(std::span<const md::Vec3> x,
+                      std::span<const int> index_map, std::size_t first,
+                      std::size_t count, md::Vec3 shift, md::Vec3* out) {
+  md::simd::pack_shifted(x, index_map, first, count, shift, out);
+}
+
+void unpack_forces(std::span<md::Vec3> f, std::span<const int> index_map,
+                   std::span<const md::Vec3> in) {
+  md::simd::unpack_accumulate(f, index_map, in);
+}
 
 Workload make_functional_workload(dd::Decomposition& dd) {
   Workload w;

@@ -9,11 +9,13 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "dd/decomposition.hpp"
 #include "dd/geometry.hpp"
 #include "dd/plan.hpp"
+#include "md/vec3.hpp"
 
 namespace hs::halo {
 
@@ -36,6 +38,19 @@ struct Workload {
                : static_cast<int>(halo_atoms_per_rank);
   }
 };
+
+/// Pack a send buffer: out[k] = x[index_map[first + k]] + shift for
+/// k in [0, count). All transports (tMPI, MPI, SHMEM) funnel through
+/// this so the gather runs on the runtime-dispatched SIMD path; it is
+/// an elementwise copy, so results are bit-identical at every ISA.
+void pack_coordinates(std::span<const md::Vec3> x,
+                      std::span<const int> index_map, std::size_t first,
+                      std::size_t count, md::Vec3 shift, md::Vec3* out);
+
+/// Unpack a received force stage: f[index_map[k]] += in[k]. One add per
+/// element in map order — bit-identical to the scalar loop at every ISA.
+void unpack_forces(std::span<md::Vec3> f, std::span<const int> index_map,
+                   std::span<const md::Vec3> in);
 
 /// Wrap a functional decomposition.
 Workload make_functional_workload(dd::Decomposition& dd);

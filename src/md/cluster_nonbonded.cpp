@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "md/simd/kernels.hpp"
+
 #if defined(__SSE2__)
 #include <emmintrin.h>
 #endif
@@ -30,48 +32,31 @@ inline float wrap1(float v, float l, float inv_l) {
   w = w >= l ? w - l : w;
   return w;
 }
-}  // namespace
 
-NbParamTable::NbParamTable(const ForceField& ff)
-    : ntypes_(ff.num_types()),
-      cutoff2_(static_cast<float>(ff.cutoff2())),
-      krf_(static_cast<float>(ff.krf())),
-      crf_(static_cast<float>(ff.crf())) {
-  table_.resize(static_cast<std::size_t>(ntypes_ * ntypes_));
-  for (int ti = 0; ti < ntypes_; ++ti) {
-    for (int tj = 0; tj < ntypes_; ++tj) {
-      const PairParams& p = ff.pair_params(ti, tj);
-      TypePair& out = table_[static_cast<std::size_t>(ti * ntypes_ + tj)];
-      out.c6 = static_cast<float>(p.c6);
-      out.c12 = static_cast<float>(p.c12);
-      out.qq = static_cast<float>(kCoulombFactor * ff.type(ti).charge *
-                                  ff.type(tj).charge);
-    }
-  }
-}
-
-Energies compute_nonbonded_clusters(const Box& box, const NbParamTable& params,
-                                    const ClusterPairList& list,
-                                    std::span<const Vec3> positions,
-                                    std::span<const int> types,
-                                    std::span<Vec3> forces, NbWorkspace& ws) {
-  assert(forces.size() == positions.size());
-  assert(types.size() == positions.size());
-  Energies e;
-  if (list.num_clusters() == 0) return e;
-
+/// Stage cluster-ordered coordinates, wrapped into [0, L) per component
+/// once per slot. With every staged coordinate wrapped, the per-pair
+/// minimum image reduces to one branchless half-box select per
+/// component — no rounding call in the hot loop.
+///
+/// 8-wide geometries stage a whole number of j-cluster pairs: when the
+/// cluster count is odd, one pad cluster replicates the last real
+/// cluster's slots (finite coordinates, valid type indices) so the
+/// trailing 8-wide loads stay in bounds. No mask bit ever points at it,
+/// so its force accumulators only receive exact +/-0 and the final
+/// scatter (which walks cluster_atoms(), the unpadded map) ignores it.
+void stage_workspace(const Box& box, const ClusterPairList& list,
+                     std::span<const Vec3> positions, std::span<const int> types,
+                     NbWorkspace& ws, int j_width) {
   const float lx = box.length(0), ly = box.length(1), lz = box.length(2);
   const float inv_lx = 1.0f / lx, inv_ly = 1.0f / ly, inv_lz = 1.0f / lz;
-  const float hlx = 0.5f * lx, hly = 0.5f * ly, hlz = 0.5f * lz;
-
-  // Stage cluster-ordered coordinates, wrapped into [0, L) per component
-  // once per slot. With every staged coordinate wrapped, the per-pair
-  // minimum image reduces to one branchless half-box select per
-  // component — no rounding call in the hot loop.
   const std::span<const std::int32_t> gather = list.gather_atoms();
-  ws.xc.resize(gather.size());
-  ws.fc.assign_zero(gather.size());
-  ws.tc.resize(gather.size());
+  const std::size_t staged =
+      j_width == 8
+          ? static_cast<std::size_t>(list.num_clusters_padded8()) * kC
+          : gather.size();
+  ws.xc.resize(staged);
+  ws.fc.assign_zero(staged);
+  ws.tc.resize(staged);
   for (std::size_t k = 0; k < gather.size(); ++k) {
     const Vec3& p = positions[static_cast<std::size_t>(gather[k])];
     ws.xc.x[k] = wrap1(p.x, lx, inv_lx);
@@ -79,27 +64,38 @@ Energies compute_nonbonded_clusters(const Box& box, const NbParamTable& params,
     ws.xc.z[k] = wrap1(p.z, lz, inv_lz);
     ws.tc[k] = types[static_cast<std::size_t>(gather[k])];
   }
+  for (std::size_t k = gather.size(); k < staged; ++k) {
+    ws.xc.x[k] = ws.xc.x[k - kC];
+    ws.xc.y[k] = ws.xc.y[k - kC];
+    ws.xc.z[k] = ws.xc.z[k - kC];
+    ws.tc[k] = ws.tc[k - kC];
+  }
+}
 
+#if defined(__SSE2__)
+// 4xM lane blocks as SSE vectors: each i slot against its four j slots
+// at once. divps/sqrtps are IEEE-exact, so the SIMD and portable paths
+// differ only in summation order (covered by the documented kernel
+// tolerance, not bit-exactness, versus the reference path).
+//
+// Nibble -> lane-mask LUT: one aligned 16-byte load per i row replaces
+// a scalar mask expansion (and its store-forward stall) per entry.
+alignas(16) constexpr float kRowMask[16][4] = {
+    {0, 0, 0, 0}, {1, 0, 0, 0}, {0, 1, 0, 0}, {1, 1, 0, 0},
+    {0, 0, 1, 0}, {1, 0, 1, 0}, {0, 1, 1, 0}, {1, 1, 1, 0},
+    {0, 0, 0, 1}, {1, 0, 0, 1}, {0, 1, 0, 1}, {1, 1, 0, 1},
+    {0, 0, 1, 1}, {1, 0, 1, 1}, {0, 1, 1, 1}, {1, 1, 1, 1}};
+
+Energies kernel_sse2(const Box& box, const NbParamTable& params,
+                     const ClusterPairList& list, NbWorkspace& ws) {
+  Energies e;
+  const float lx = box.length(0), ly = box.length(1), lz = box.length(2);
+  const float hlx = 0.5f * lx, hly = 0.5f * ly, hlz = 0.5f * lz;
   const float rc2 = params.cutoff2();
   const float krf = params.krf();
   const float crf = params.crf();
-
   double e_lj = 0.0, e_coul = 0.0;
   const std::span<const ClusterPairList::JEntry> jents = list.j_entries();
-
-#if defined(__SSE2__)
-  // 4xM lane blocks as SSE vectors: each i slot against its four j slots
-  // at once. divps/sqrtps are IEEE-exact, so the SIMD and portable paths
-  // differ only in summation order (covered by the documented kernel
-  // tolerance, not bit-exactness, versus the reference path).
-  //
-  // Nibble -> lane-mask LUT: one aligned 16-byte load per i row replaces
-  // a scalar mask expansion (and its store-forward stall) per entry.
-  alignas(16) static constexpr float kRowMask[16][4] = {
-      {0, 0, 0, 0}, {1, 0, 0, 0}, {0, 1, 0, 0}, {1, 1, 0, 0},
-      {0, 0, 1, 0}, {1, 0, 1, 0}, {0, 1, 1, 0}, {1, 1, 1, 0},
-      {0, 0, 0, 1}, {1, 0, 0, 1}, {0, 1, 0, 1}, {1, 1, 0, 1},
-      {0, 0, 1, 1}, {1, 0, 1, 1}, {0, 1, 1, 1}, {1, 1, 1, 1}};
 
   const __m128 lxv = _mm_set1_ps(lx), lyv = _mm_set1_ps(ly),
                lzv = _mm_set1_ps(lz);
@@ -228,8 +224,24 @@ Energies compute_nonbonded_clusters(const Box& box, const NbParamTable& params,
     e_lj += static_cast<double>(hsum(eljv));
     e_coul += static_cast<double>(hsum(ecoulv));
   }
-#else
-  // Portable fallback: same masking/minimum-image scheme, scalar lanes.
+  e.lj = e_lj;
+  e.coulomb = e_coul;
+  return e;
+}
+#endif  // __SSE2__
+
+// Portable scalar lanes: same masking/minimum-image scheme.
+Energies kernel_portable(const Box& box, const NbParamTable& params,
+                         const ClusterPairList& list, NbWorkspace& ws) {
+  Energies e;
+  const float lx = box.length(0), ly = box.length(1), lz = box.length(2);
+  const float hlx = 0.5f * lx, hly = 0.5f * ly, hlz = 0.5f * lz;
+  const float rc2 = params.cutoff2();
+  const float krf = params.krf();
+  const float crf = params.crf();
+  double e_lj = 0.0, e_coul = 0.0;
+  const std::span<const ClusterPairList::JEntry> jents = list.j_entries();
+
   for (const ClusterPairList::IEntry& ie : list.i_entries()) {
     const std::size_t ib = static_cast<std::size_t>(ie.ci) * kC;
     float xi[kC], yi[kC], zi[kC];
@@ -312,12 +324,82 @@ Energies compute_nonbonded_clusters(const Box& box, const NbParamTable& params,
       ws.fc.z[ib + s] += fiz[s];
     }
   }
-#endif
-
-  ws.fc.scatter_add_indexed(forces, list.cluster_atoms());
   e.lj = e_lj;
   e.coulomb = e_coul;
   return e;
+}
+
+}  // namespace
+
+NbParamTable::NbParamTable(const ForceField& ff)
+    : ntypes_(ff.num_types()),
+      cutoff2_(static_cast<float>(ff.cutoff2())),
+      krf_(static_cast<float>(ff.krf())),
+      crf_(static_cast<float>(ff.crf())) {
+  table_.resize(static_cast<std::size_t>(ntypes_ * ntypes_));
+  for (int ti = 0; ti < ntypes_; ++ti) {
+    for (int tj = 0; tj < ntypes_; ++tj) {
+      const PairParams& p = ff.pair_params(ti, tj);
+      TypePair& out = table_[static_cast<std::size_t>(ti * ntypes_ + tj)];
+      out.c6 = static_cast<float>(p.c6);
+      out.c12 = static_cast<float>(p.c12);
+      out.qq = static_cast<float>(kCoulombFactor * ff.type(ti).charge *
+                                  ff.type(tj).charge);
+    }
+  }
+}
+
+Energies compute_nonbonded_clusters(const Box& box, const NbParamTable& params,
+                                    const ClusterPairList& list,
+                                    std::span<const Vec3> positions,
+                                    std::span<const int> types,
+                                    std::span<Vec3> forces, NbWorkspace& ws,
+                                    simd::KernelIsa isa) {
+  assert(forces.size() == positions.size());
+  assert(types.size() == positions.size());
+  Energies e;
+  if (list.num_clusters() == 0) return e;
+
+  stage_workspace(box, list, positions, types, ws, simd::j_cluster_width(isa));
+
+  switch (isa) {
+    case simd::KernelIsa::Avx512:
+#if defined(HALOSIM_BUILD_AVX512)
+      e = simd::cluster_kernel_avx512(box, params, list, ws);
+      break;
+#else
+      [[fallthrough]];
+#endif
+    case simd::KernelIsa::Avx2:
+#if defined(HALOSIM_BUILD_AVX2)
+      e = simd::cluster_kernel_avx2(box, params, list, ws);
+      break;
+#else
+      [[fallthrough]];
+#endif
+    case simd::KernelIsa::Sse2:
+#if defined(__SSE2__)
+      e = kernel_sse2(box, params, list, ws);
+      break;
+#else
+      [[fallthrough]];
+#endif
+    case simd::KernelIsa::Scalar:
+      e = kernel_portable(box, params, list, ws);
+      break;
+  }
+
+  ws.fc.scatter_add_indexed(forces, list.cluster_atoms());
+  return e;
+}
+
+Energies compute_nonbonded_clusters(const Box& box, const NbParamTable& params,
+                                    const ClusterPairList& list,
+                                    std::span<const Vec3> positions,
+                                    std::span<const int> types,
+                                    std::span<Vec3> forces, NbWorkspace& ws) {
+  return compute_nonbonded_clusters(box, params, list, positions, types,
+                                    forces, ws, simd::active_isa());
 }
 
 }  // namespace hs::md

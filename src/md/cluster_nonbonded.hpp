@@ -24,6 +24,7 @@
 #include "md/cluster_pair_list.hpp"
 #include "md/forcefield.hpp"
 #include "md/nonbonded.hpp"
+#include "md/simd/isa.hpp"
 #include "md/soa.hpp"
 
 namespace hs::md {
@@ -44,6 +45,9 @@ class NbParamTable {
   const TypePair* row(int ti) const {
     return table_.data() + static_cast<std::size_t>(ti * ntypes_);
   }
+  /// Flat table base for vector gathers (float stride 3 per ordered type
+  /// pair: c6 at 3*(ti*ntypes + tj), c12 at +1, qq at +2).
+  const float* flat() const { return &table_.data()->c6; }
   float cutoff2() const { return cutoff2_; }
   float krf() const { return krf_; }
   float crf() const { return crf_; }
@@ -68,11 +72,24 @@ struct NbWorkspace {
 /// Cluster-pair counterpart of compute_nonbonded(): accumulate forces for
 /// all masked pairs of `list` within the force-field cutoff; returns the
 /// pair energies (double accumulation). Forces obey Newton's third law
-/// within the kernel, exactly as the scalar path.
+/// within the kernel, exactly as the scalar path. Dispatches the
+/// process-wide active ISA (simd::active_isa()).
 Energies compute_nonbonded_clusters(const Box& box, const NbParamTable& params,
                                     const ClusterPairList& list,
                                     std::span<const Vec3> positions,
                                     std::span<const int> types,
                                     std::span<Vec3> forces, NbWorkspace& ws);
+
+/// Explicit-ISA variant: Scalar/Sse2 run the 4x4 geometry, Avx2/Avx512
+/// the 4x8 geometry over the wide list view (staging pads the workspace
+/// to a whole number of j-cluster pairs; pad slots carry finite duplicate
+/// coordinates and zero mask bits, so they contribute exactly +/-0).
+/// The caller must pass an available ISA (see simd::isa_available()).
+Energies compute_nonbonded_clusters(const Box& box, const NbParamTable& params,
+                                    const ClusterPairList& list,
+                                    std::span<const Vec3> positions,
+                                    std::span<const int> types,
+                                    std::span<Vec3> forces, NbWorkspace& ws,
+                                    simd::KernelIsa isa);
 
 }  // namespace hs::md

@@ -32,8 +32,42 @@ void ClusterPairList::clear_build(double rlist) {
   j_entries_.clear();
   i_entries_.reserve(prev_i);
   j_entries_.reserve(prev_j);
+  wide_valid_ = false;
   num_clusters_ = 0;
   pair_count_ = 0;
+}
+
+void ClusterPairList::build_wide() const {
+  i_entries8_.clear();
+  j_entries8_.clear();
+  i_entries8_.reserve(i_entries_.size());
+  j_entries8_.reserve(j_entries_.size() / 2 + i_entries_.size());
+  for (const IEntry& ie : i_entries_) {
+    // Sort this row's entries by cj so pair members are adjacent (stencil
+    // cells interleave cj ranges; a cj appears at most once per row).
+    wide_scratch_.assign(
+        j_entries_.begin() + ie.j_begin, j_entries_.begin() + ie.j_end);
+    std::sort(wide_scratch_.begin(), wide_scratch_.end(),
+              [](const JEntry& a, const JEntry& b) { return a.cj < b.cj; });
+    const auto j_begin = static_cast<std::int32_t>(j_entries8_.size());
+    for (std::size_t k = 0; k < wide_scratch_.size();) {
+      const std::int32_t cj8 = wide_scratch_[k].cj >> 1;
+      std::uint32_t m = 0;
+      for (; k < wide_scratch_.size() && (wide_scratch_[k].cj >> 1) == cj8;
+           ++k) {
+        const JEntry& je = wide_scratch_[k];
+        const unsigned sub = (je.cj & 1) != 0 ? 4u : 0u;
+        for (int ii = 0; ii < kC; ++ii) {
+          const std::uint32_t nib = (je.mask >> (ii * kC)) & 0xFu;
+          m |= nib << (ii * 2 * kC + static_cast<int>(sub));
+        }
+      }
+      j_entries8_.push_back({cj8, m});
+    }
+    i_entries8_.push_back(
+        {ie.ci, j_begin, static_cast<std::int32_t>(j_entries8_.size())});
+  }
+  wide_valid_ = true;
 }
 
 void ClusterPairList::clusterize(CellList& cells, const Box& box,
@@ -249,6 +283,7 @@ std::size_t ClusterPairList::prune(const Box& box,
   }
   i_entries_ = std::move(kept_i);
   j_entries_ = std::move(kept_j);
+  wide_valid_ = false;
   pair_count_ -= removed;
   return removed;
 }

@@ -20,6 +20,14 @@
 // GROMACS) on two cell grids with identical dimensions; cluster ids are
 // global across both zones so one SoA gather covers every cluster the
 // kernel touches.
+//
+// The 4x4 list is canonical. 256/512-bit kernels consume j clusters two
+// at a time (the GROMACS 4x8 geometry): i_entries8()/j_entries8() expose
+// a lazily built view that merges each i row's entries by j-cluster pair
+// (cj8 = cj >> 1; the even cluster fills mask bits jj 0..3, the odd one
+// jj 4..7), widening the masks to 32 bits. The view holds exactly the
+// canonical pair set, is invalidated by build/prune, and keeps prune's
+// bit-neutrality: a dropped 4x4 entry only zeroes nibbles of a wide mask.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +53,12 @@ class ClusterPairList {
     std::int32_t ci = 0;
     std::int32_t j_begin = 0;  // range into j_entries()
     std::int32_t j_end = 0;
+  };
+  /// 4x8 view entry: one pair of adjacent j clusters (2*cj8, 2*cj8+1)
+  /// with a 32-bit mask, bit (ii*8 + jj) for jj in [0, 8).
+  struct JEntry8 {
+    std::int32_t cj8 = 0;
+    std::uint32_t mask = 0;
   };
 
   ClusterPairList() = default;
@@ -88,6 +102,22 @@ class ClusterPairList {
   std::span<const IEntry> i_entries() const { return i_entries_; }
   std::span<const JEntry> j_entries() const { return j_entries_; }
 
+  /// 4x8 view (i ranges address j_entries8()). Built lazily from the
+  /// canonical 4x4 list on first use after a build/prune.
+  std::span<const IEntry> i_entries8() const {
+    if (!wide_valid_) build_wide();
+    return i_entries8_;
+  }
+  std::span<const JEntry8> j_entries8() const {
+    if (!wide_valid_) build_wide();
+    return j_entries8_;
+  }
+
+  /// Cluster count rounded up to a whole number of j-cluster pairs: 8-wide
+  /// kernels stage this many clusters so the last pair's loads stay in
+  /// bounds (the pad cluster's mask bits are never set).
+  int num_clusters_padded8() const { return (num_clusters_ + 1) & ~1; }
+
   /// Invoke fn(i, j) for every masked atom pair (original indices).
   template <typename Fn>
   void for_each_pair(Fn&& fn) const {
@@ -116,6 +146,7 @@ class ClusterPairList {
                   int range_end, double rlist,
                   std::vector<std::int32_t>& cell_begin);
   void finish_i_entry(std::int32_t ci, std::int32_t j_begin);
+  void build_wide() const;
 
   CellList cells_;       // reused: home (local) / home (nonlocal i-side)
   CellList halo_cells_;  // reused: halo zone (nonlocal builds)
@@ -128,6 +159,12 @@ class ClusterPairList {
   std::vector<std::int32_t> cluster_cell_;  // cell id per cluster
   std::vector<IEntry> i_entries_;
   std::vector<JEntry> j_entries_;
+  // Lazy 4x8 view caches (logically derived state, hence mutable; lists
+  // are used single-threaded per rank).
+  mutable std::vector<IEntry> i_entries8_;
+  mutable std::vector<JEntry8> j_entries8_;
+  mutable std::vector<JEntry> wide_scratch_;  // per-row sort staging
+  mutable bool wide_valid_ = false;
   int num_clusters_ = 0;
   double rlist_ = 0.0;
   std::size_t pair_count_ = 0;

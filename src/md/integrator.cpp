@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "md/simd/kernels.hpp"
+
 namespace hs::md {
 
 void LeapfrogIntegrator::step(const Box& box, const ForceField& ff,
@@ -10,8 +12,36 @@ void LeapfrogIntegrator::step(const Box& box, const ForceField& ff,
                               std::span<const Vec3> forces,
                               std::span<Vec3> velocities,
                               std::span<Vec3> positions) const {
+  step(box, ff, types, forces, velocities, positions, simd::active_isa());
+}
+
+void LeapfrogIntegrator::step(const Box& box, const ForceField& ff,
+                              std::span<const int> types,
+                              std::span<const Vec3> forces,
+                              std::span<Vec3> velocities,
+                              std::span<Vec3> positions,
+                              simd::KernelIsa isa) const {
   assert(positions.size() == velocities.size() &&
          positions.size() == forces.size() && positions.size() == types.size());
+#if defined(HALOSIM_BUILD_AVX2)
+  if (isa >= simd::KernelIsa::Avx2 && !positions.empty()) {
+    // Per-type inv(m)*dt as float; thread_local so steady-state steps
+    // allocate nothing (lists are per-rank but ranks share types).
+    thread_local std::vector<float> inv_m_dt;
+    inv_m_dt.resize(static_cast<std::size_t>(ff.num_types()));
+    for (int t = 0; t < ff.num_types(); ++t) {
+      inv_m_dt[static_cast<std::size_t>(t)] =
+          static_cast<float>(dt_ / ff.type(t).mass);
+    }
+    simd::integrate_avx2(types.data(), forces.data(), velocities.data(),
+                         positions.data(), positions.size(), inv_m_dt.data(),
+                         static_cast<float>(dt_), box.length(0),
+                         box.length(1), box.length(2));
+    return;
+  }
+#else
+  (void)isa;
+#endif
   for (std::size_t i = 0; i < positions.size(); ++i) {
     const double inv_m =
         1.0 / ff.type(types[i]).mass;

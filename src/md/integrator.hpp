@@ -4,9 +4,11 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "md/box.hpp"
 #include "md/forcefield.hpp"
+#include "md/simd/isa.hpp"
 #include "md/vec3.hpp"
 
 namespace hs::md {
@@ -18,10 +20,19 @@ class LeapfrogIntegrator {
   double dt() const { return dt_; }
 
   /// v += f/m * dt ; x += v * dt ; wrap into the box.
-  /// `types`/`ff` supply per-atom masses.
+  /// `types`/`ff` supply per-atom masses. Dispatches simd::active_isa().
   void step(const Box& box, const ForceField& ff, std::span<const int> types,
             std::span<const Vec3> forces, std::span<Vec3> velocities,
             std::span<Vec3> positions) const;
+
+  /// Explicit-ISA variant. Scalar/Sse2 keep the legacy double-arithmetic
+  /// update (bit-exact with the pre-dispatch behaviour, required by the
+  /// forced-sse2 determinism contract); Avx2/Avx512 run the float
+  /// lane-block path with a per-type inv(m)*dt table (agrees to float
+  /// accumulation tolerance).
+  void step(const Box& box, const ForceField& ff, std::span<const int> types,
+            std::span<const Vec3> forces, std::span<Vec3> velocities,
+            std::span<Vec3> positions, simd::KernelIsa isa) const;
 
   /// Berendsen-style velocity rescaling toward `t_ref` with coupling time
   /// `tau` (used to keep long functional runs bounded; off by default).

@@ -1,0 +1,158 @@
+#include "md/simd/isa.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace hs::md::simd {
+
+namespace {
+
+bool cpu_has(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::Scalar:
+      return true;
+    case KernelIsa::Sse2:
+#if defined(__SSE2__)
+      return true;
+#else
+      return false;
+#endif
+    case KernelIsa::Avx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case KernelIsa::Avx512:
+#if defined(__x86_64__) || defined(__i386__)
+      // The 4x8 kernel uses F (masked math, gathers), DQ (f32x8
+      // broadcast/insert), VL (256-bit scatter) and BW-era mask ops.
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512dq") &&
+             __builtin_cpu_supports("avx512vl");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool compiled_in(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::Scalar:
+      return true;
+    case KernelIsa::Sse2:
+#if defined(__SSE2__)
+      return true;
+#else
+      return false;
+#endif
+    case KernelIsa::Avx2:
+#if defined(HALOSIM_BUILD_AVX2)
+      return true;
+#else
+      return false;
+#endif
+    case KernelIsa::Avx512:
+#if defined(HALOSIM_BUILD_AVX512)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+std::string available_names() {
+  std::string out;
+  for (KernelIsa isa : supported_isas()) {
+    if (!out.empty()) out += ", ";
+    out += isa_name(isa);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* isa_name(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::Scalar:
+      return "scalar";
+    case KernelIsa::Sse2:
+      return "sse2";
+    case KernelIsa::Avx2:
+      return "avx2";
+    case KernelIsa::Avx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+std::optional<KernelIsa> parse_isa(std::string_view name) {
+  if (name == "scalar") return KernelIsa::Scalar;
+  if (name == "sse2") return KernelIsa::Sse2;
+  if (name == "avx2") return KernelIsa::Avx2;
+  if (name == "avx512") return KernelIsa::Avx512;
+  return std::nullopt;
+}
+
+int isa_level(KernelIsa isa) { return static_cast<int>(isa); }
+
+int j_cluster_width(KernelIsa isa) {
+  return isa >= KernelIsa::Avx2 ? 8 : 4;
+}
+
+bool isa_available(KernelIsa isa) { return compiled_in(isa) && cpu_has(isa); }
+
+std::vector<KernelIsa> supported_isas() {
+  std::vector<KernelIsa> out;
+  for (KernelIsa isa : {KernelIsa::Scalar, KernelIsa::Sse2, KernelIsa::Avx2,
+                        KernelIsa::Avx512}) {
+    if (isa_available(isa)) out.push_back(isa);
+  }
+  return out;
+}
+
+KernelIsa detect_best_isa() {
+  KernelIsa best = KernelIsa::Scalar;
+  for (KernelIsa isa : supported_isas()) best = isa;
+  return best;
+}
+
+KernelIsa resolve_isa_checked(std::string_view name,
+                              std::span<const KernelIsa> available) {
+  const std::optional<KernelIsa> parsed = parse_isa(name);
+  if (!parsed.has_value()) {
+    throw std::invalid_argument(
+        "unknown kernel ISA '" + std::string(name) +
+        "' (HALOSIM_FORCE_ISA / kernel_isa); valid: scalar, sse2, avx2, "
+        "avx512");
+  }
+  for (KernelIsa isa : available) {
+    if (isa == *parsed) return *parsed;
+  }
+  throw std::runtime_error("kernel ISA '" + std::string(name) +
+                           "' is not available on this host/build "
+                           "(available: " +
+                           available_names() + ")");
+}
+
+KernelIsa resolve_isa(std::string_view override_name) {
+  std::string_view name = override_name;
+  if (name.empty()) {
+    const char* env = std::getenv("HALOSIM_FORCE_ISA");
+    if (env != nullptr && env[0] != '\0') name = env;
+  }
+  if (name.empty()) return detect_best_isa();
+  const std::vector<KernelIsa> available = supported_isas();
+  return resolve_isa_checked(name, available);
+}
+
+KernelIsa active_isa() {
+  static const KernelIsa isa = resolve_isa();
+  return isa;
+}
+
+}  // namespace hs::md::simd

@@ -1,0 +1,72 @@
+// Runtime CPU dispatch for the MD fast-path kernels.
+//
+// One process-wide KernelIsa decides which lane-block variant of every
+// per-step hot loop runs (cluster nonbonded, halo pack/unpack, leapfrog
+// update, force reduction/scatter). The choice is the widest ISA that is
+// both compiled in (per-TU -mavx2/-mavx512* flags, see src/md/CMakeLists)
+// and reported by cpuid at startup, overridable for determinism:
+//
+//   HALOSIM_FORCE_ISA=scalar|sse2|avx2|avx512   (env, global)
+//   RunConfig::kernel_isa                        (runner knob, MD kernels)
+//
+// Per-ISA cluster geometry (GROMACS nbnxm NxM scheme): 128-bit paths pair
+// each 4-atom i-cluster with 4-atom j-clusters (4x4, 16-bit masks);
+// 256/512-bit paths consume j clusters two at a time (4x8, 32-bit masks)
+// from the lazily merged wide view of the same canonical list.
+//
+// Determinism contract: elementwise kernels (pack, unpack, reduce,
+// gather/scatter) are bit-identical to scalar at every ISA. Reduction-
+// order-sensitive kernels (cluster nonbonded, the float leapfrog path)
+// engage only at Avx2/Avx512, so HALOSIM_FORCE_ISA=sse2 reproduces the
+// pre-dispatch behaviour bit-exactly.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace hs::md::simd {
+
+enum class KernelIsa { Scalar = 0, Sse2 = 1, Avx2 = 2, Avx512 = 3 };
+
+/// Lowercase name ("scalar", "sse2", "avx2", "avx512").
+const char* isa_name(KernelIsa isa);
+
+/// Inverse of isa_name(); nullopt for unknown strings.
+std::optional<KernelIsa> parse_isa(std::string_view name);
+
+/// Numeric level for telemetry/metrics (0..3, the enum value).
+int isa_level(KernelIsa isa);
+
+/// j-cluster width of the nonbonded kernel geometry: 4 (4x4 layout) for
+/// Scalar/Sse2, 8 (4x8 layout) for Avx2/Avx512.
+int j_cluster_width(KernelIsa isa);
+
+/// Compiled in AND supported by this CPU.
+bool isa_available(KernelIsa isa);
+
+/// Every available ISA, ascending (always starts with Scalar).
+std::vector<KernelIsa> supported_isas();
+
+/// Widest available ISA (ignores any override).
+KernelIsa detect_best_isa();
+
+/// Resolve the dispatch choice: `override_name` (when non-empty) takes
+/// precedence over the HALOSIM_FORCE_ISA environment variable, which
+/// takes precedence over detect_best_isa(). Throws std::invalid_argument
+/// for unknown names and std::runtime_error when the forced ISA is not
+/// available on this host/build. Not cached — callers that need a stable
+/// choice should use active_isa().
+KernelIsa resolve_isa(std::string_view override_name = {});
+
+/// resolve_isa(name) against an explicit availability list (exposed so
+/// the unsupported-force error path is unit-testable on any host).
+KernelIsa resolve_isa_checked(std::string_view name,
+                              std::span<const KernelIsa> available);
+
+/// Process-wide dispatch choice: resolve_isa("") computed once on first
+/// use and cached for the rest of the process.
+KernelIsa active_isa();
+
+}  // namespace hs::md::simd

@@ -1,0 +1,72 @@
+// Internal declarations of the per-ISA lane-block kernels. Each family
+// lives in its own translation unit compiled with the matching -m flags
+// (simd_avx2.cpp, simd_avx512.cpp); dispatchers in the generic TUs
+// (cluster_nonbonded.cpp, soa.cpp, integrator.cpp, simd/ops.cpp) switch
+// on KernelIsa behind the HALOSIM_BUILD_* guards. Callers must have
+// checked isa_available() — these entry points execute wide instructions
+// unconditionally.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "md/box.hpp"
+#include "md/cluster_nonbonded.hpp"
+#include "md/cluster_pair_list.hpp"
+#include "md/nonbonded.hpp"
+#include "md/vec3.hpp"
+
+namespace hs::md::simd {
+
+#if defined(HALOSIM_BUILD_AVX2)
+/// 4x8 cluster nonbonded kernel over the staged workspace (see
+/// compute_nonbonded_clusters for the staging/padding contract).
+Energies cluster_kernel_avx2(const Box& box, const NbParamTable& params,
+                             const ClusterPairList& list, NbWorkspace& ws);
+
+/// out[k] = x[idx[k]] + shift (halo pack gather; bit-identical to scalar).
+void pack_shifted_avx2(const Vec3* x, const std::int32_t* idx,
+                       std::size_t count, Vec3 shift, Vec3* out);
+
+/// dst[i] += src[i] over n Vec3 (force reduction; bit-identical).
+void accumulate_avx2(Vec3* dst, const Vec3* src, std::size_t n);
+
+/// AoS -> SoA, same order (bit-identical copy).
+void soa_gather_avx2(const Vec3* src, std::size_t n, float* x, float* y,
+                     float* z);
+
+/// AoS -> SoA through an index map (all indices valid).
+void soa_gather_indexed_avx2(const Vec3* src, const std::int32_t* idx,
+                             std::size_t n, float* x, float* y, float* z);
+
+/// SoA -> AoS, same order (bit-identical copy).
+void soa_scatter_avx2(const float* x, const float* y, const float* z,
+                      std::size_t n, Vec3* dst);
+
+/// Float-arithmetic leapfrog update: v = fma(f, inv_m_dt[type], v);
+/// x = fma(v, dt, x); wrap into [0, L). Engages at Avx2+ only (the
+/// Scalar/Sse2 dispatch keeps the legacy double-arithmetic path).
+void integrate_avx2(const std::int32_t* types, const Vec3* f, Vec3* v,
+                    Vec3* x, std::size_t n, const float* inv_m_dt, float dt,
+                    float lx, float ly, float lz);
+#endif  // HALOSIM_BUILD_AVX2
+
+#if defined(HALOSIM_BUILD_AVX512)
+/// 4x8 cluster nonbonded kernel, two i rows per 512-bit register.
+Energies cluster_kernel_avx512(const Box& box, const NbParamTable& params,
+                               const ClusterPairList& list, NbWorkspace& ws);
+
+/// f[idx[k]] += in[k] via masked gather/scatter. Indices must be unique
+/// (halo index maps and cluster slots are); duplicates within an 8-lane
+/// block would lose updates.
+void unpack_accumulate_avx512(Vec3* f, const std::int32_t* idx,
+                              const Vec3* in, std::size_t count);
+
+/// dst[idx[k]] += (x,y,z)[k] for idx[k] >= 0 (pad slots skipped); same
+/// uniqueness requirement as unpack_accumulate_avx512.
+void soa_scatter_add_indexed_avx512(const float* x, const float* y,
+                                    const float* z, const std::int32_t* idx,
+                                    std::size_t n, Vec3* dst);
+#endif  // HALOSIM_BUILD_AVX512
+
+}  // namespace hs::md::simd

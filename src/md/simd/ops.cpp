@@ -1,0 +1,73 @@
+#include "md/simd/ops.hpp"
+
+#include <cassert>
+
+#include "md/simd/kernels.hpp"
+
+namespace hs::md::simd {
+
+// The SIMD shims reinterpret Vec3 arrays as flat float streams.
+static_assert(sizeof(Vec3) == 3 * sizeof(float),
+              "Vec3 must be three packed floats");
+
+void pack_shifted(std::span<const Vec3> x, std::span<const int> idx,
+                  std::size_t first, std::size_t count, Vec3 shift, Vec3* out,
+                  KernelIsa isa) {
+  assert(first + count <= idx.size());
+  const int* ip = idx.data() + first;
+#if defined(HALOSIM_BUILD_AVX2)
+  if (isa >= KernelIsa::Avx2 && count != 0) {
+    pack_shifted_avx2(x.data(), ip, count, shift, out);
+    return;
+  }
+#endif
+  (void)isa;
+  for (std::size_t k = 0; k < count; ++k) {
+    out[k] = x[static_cast<std::size_t>(ip[k])] + shift;
+  }
+}
+
+void unpack_accumulate(std::span<Vec3> f, std::span<const int> idx,
+                       std::span<const Vec3> in, KernelIsa isa) {
+  assert(in.size() <= idx.size());
+#if defined(HALOSIM_BUILD_AVX512)
+  if (isa >= KernelIsa::Avx512 && !in.empty()) {
+    unpack_accumulate_avx512(f.data(), idx.data(), in.data(), in.size());
+    return;
+  }
+#endif
+  (void)isa;
+  for (std::size_t k = 0; k < in.size(); ++k) {
+    f[static_cast<std::size_t>(idx[k])] += in[k];
+  }
+}
+
+void accumulate(std::span<Vec3> dst, std::span<const Vec3> src,
+                KernelIsa isa) {
+  assert(src.size() <= dst.size());
+#if defined(HALOSIM_BUILD_AVX2)
+  if (isa >= KernelIsa::Avx2 && !src.empty()) {
+    accumulate_avx2(dst.data(), src.data(), src.size());
+    return;
+  }
+#endif
+  (void)isa;
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] += src[i];
+}
+
+void pack_shifted(std::span<const Vec3> x, std::span<const int> idx,
+                  std::size_t first, std::size_t count, Vec3 shift,
+                  Vec3* out) {
+  pack_shifted(x, idx, first, count, shift, out, active_isa());
+}
+
+void unpack_accumulate(std::span<Vec3> f, std::span<const int> idx,
+                       std::span<const Vec3> in) {
+  unpack_accumulate(f, idx, in, active_isa());
+}
+
+void accumulate(std::span<Vec3> dst, std::span<const Vec3> src) {
+  accumulate(dst, src, active_isa());
+}
+
+}  // namespace hs::md::simd

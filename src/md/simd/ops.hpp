@@ -1,0 +1,38 @@
+// ISA-dispatched elementwise bulk operations shared by the per-step hot
+// loops outside the cluster kernel: halo pack/unpack index gathers and
+// the local-force reduction. All three do exactly the scalar arithmetic
+// per element, so every ISA produces bit-identical results — safe to
+// dispatch unconditionally (unlike the reduction-order-sensitive cluster
+// and integrator kernels).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "md/simd/isa.hpp"
+#include "md/vec3.hpp"
+
+namespace hs::md::simd {
+
+/// out[k] = x[idx[first + k]] + shift for k in [0, count) — the halo
+/// send-buffer pack gather (sub-range form for chunked packs).
+void pack_shifted(std::span<const Vec3> x, std::span<const int> idx,
+                  std::size_t first, std::size_t count, Vec3 shift, Vec3* out,
+                  KernelIsa isa);
+
+/// f[idx[k]] += in[k] — the halo receive-side force accumulation.
+/// Indices must be unique (halo index maps are ascending unique).
+void unpack_accumulate(std::span<Vec3> f, std::span<const int> idx,
+                       std::span<const Vec3> in, KernelIsa isa);
+
+/// dst[i] += src[i] over src.size() elements — force reduction.
+void accumulate(std::span<Vec3> dst, std::span<const Vec3> src, KernelIsa isa);
+
+/// active_isa() conveniences for call sites without a resolved choice.
+void pack_shifted(std::span<const Vec3> x, std::span<const int> idx,
+                  std::size_t first, std::size_t count, Vec3 shift, Vec3* out);
+void unpack_accumulate(std::span<Vec3> f, std::span<const int> idx,
+                       std::span<const Vec3> in);
+void accumulate(std::span<Vec3> dst, std::span<const Vec3> src);
+
+}  // namespace hs::md::simd

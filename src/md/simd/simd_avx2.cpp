@@ -1,0 +1,365 @@
+// AVX2+FMA lane blocks (compiled with -mavx2 -mfma; see src/md/CMakeLists).
+//
+// Cluster nonbonded runs the 4x8 geometry: one 256-bit register holds a
+// whole j-cluster pair, so each i row evaluates 8 pairs per iteration
+// with the same branch-free masking scheme as the SSE2 4x4 kernel
+// (cutoff select + stored mask bit -> {0,1} weight, safe denominator).
+// Type-pair parameters come from the flat table via 32-bit gathers
+// (index tj*3 against the row base — the table is tiny and L1-resident,
+// the gather replaces 8 scalar struct loads + inserts per row).
+//
+// The elementwise kernels (pack, reduce, SoA shims) do exactly the
+// scalar arithmetic on 8 lanes, so they are bit-identical to the scalar
+// fallbacks at any n; the SoA<->AoS layout change uses the standard
+// 3x8 permute/blend transpose (two immediate blends per output register
+// around one cross-lane permute each).
+#include "md/simd/kernels.hpp"
+
+#if defined(HALOSIM_BUILD_AVX2)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace hs::md::simd {
+
+namespace {
+constexpr int kC = ClusterPairList::kClusterSize;
+
+inline float hsum8(__m256 v) {
+  __m128 s = _mm_add_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps(v, 1));
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+  return _mm_cvtss_f32(s);
+}
+
+// SoA (x,y,z) -> AoS transpose permute indices: each output register is
+// one cross-lane permute per source, blended by immediate masks (the x
+// components land at stream positions 0,3,6,..., so each output register
+// takes 3 (or 2) components from each source).
+inline __m256i perm_a() { return _mm256_setr_epi32(0, 0, 0, 1, 1, 1, 2, 2); }
+inline __m256i perm_b() { return _mm256_setr_epi32(2, 3, 3, 3, 4, 4, 4, 5); }
+inline __m256i perm_c() { return _mm256_setr_epi32(5, 5, 6, 6, 6, 7, 7, 7); }
+
+/// Interleave 8 lanes of (x, y, z) into 24 contiguous floats at `out`.
+inline void store_aos8(float* out, __m256 x, __m256 y, __m256 z) {
+  const __m256 xa = _mm256_permutevar8x32_ps(x, perm_a());
+  const __m256 ya = _mm256_permutevar8x32_ps(y, perm_a());
+  const __m256 za = _mm256_permutevar8x32_ps(z, perm_a());
+  // out0 = x0 y0 z0 x1 y1 z1 x2 y2 : y at lanes 1,4,7; z at lanes 2,5.
+  __m256 o0 = _mm256_blend_ps(xa, ya, 0b10010010);
+  o0 = _mm256_blend_ps(o0, za, 0b00100100);
+
+  const __m256 xb = _mm256_permutevar8x32_ps(x, perm_b());
+  const __m256 yb = _mm256_permutevar8x32_ps(y, perm_b());
+  const __m256 zb = _mm256_permutevar8x32_ps(z, perm_b());
+  // out1 = z2 x3 y3 z3 x4 y4 z4 x5 : x at lanes 1,4,7; y at lanes 2,5.
+  __m256 o1 = _mm256_blend_ps(zb, xb, 0b10010010);
+  o1 = _mm256_blend_ps(o1, yb, 0b00100100);
+
+  const __m256 xc = _mm256_permutevar8x32_ps(x, perm_c());
+  const __m256 yc = _mm256_permutevar8x32_ps(y, perm_c());
+  const __m256 zc = _mm256_permutevar8x32_ps(z, perm_c());
+  // out2 = y5 z5 x6 y6 z6 x7 y7 z7 : z at lanes 1,4,7; x at lanes 2,5.
+  __m256 o2 = _mm256_blend_ps(yc, zc, 0b10010010);
+  o2 = _mm256_blend_ps(o2, xc, 0b00100100);
+
+  _mm256_storeu_ps(out, o0);
+  _mm256_storeu_ps(out + 8, o1);
+  _mm256_storeu_ps(out + 16, o2);
+}
+
+/// Linear AoS stride-3 gather indices for one 8-lane block.
+inline __m256i lin3() { return _mm256_setr_epi32(0, 3, 6, 9, 12, 15, 18, 21); }
+
+}  // namespace
+
+Energies cluster_kernel_avx2(const Box& box, const NbParamTable& params,
+                             const ClusterPairList& list, NbWorkspace& ws) {
+  Energies e;
+  const float lx = box.length(0), ly = box.length(1), lz = box.length(2);
+  const float hlx = 0.5f * lx, hly = 0.5f * ly, hlz = 0.5f * lz;
+  double e_lj = 0.0, e_coul = 0.0;
+  const std::span<const ClusterPairList::JEntry8> jents = list.j_entries8();
+  const float* tbl = params.flat();
+  const int ntypes3 = params.num_types() * 3;
+
+  const __m256 lxv = _mm256_set1_ps(lx), lyv = _mm256_set1_ps(ly),
+               lzv = _mm256_set1_ps(lz);
+  const __m256 hlxv = _mm256_set1_ps(hlx), hlyv = _mm256_set1_ps(hly),
+               hlzv = _mm256_set1_ps(hlz);
+  const __m256 nhlxv = _mm256_set1_ps(-hlx), nhlyv = _mm256_set1_ps(-hly),
+               nhlzv = _mm256_set1_ps(-hlz);
+  const __m256 rc2v = _mm256_set1_ps(params.cutoff2());
+  const __m256 onev = _mm256_set1_ps(1.0f);
+  const __m256 krfv = _mm256_set1_ps(params.krf());
+  const __m256 crfv = _mm256_set1_ps(params.crf());
+  const __m256 two_krfv = _mm256_set1_ps(2.0f * params.krf());
+  const __m256 twelvev = _mm256_set1_ps(12.0f), sixv = _mm256_set1_ps(6.0f);
+  const __m256 zerov = _mm256_setzero_ps();
+  // Row-mask expansion without a LUT: broadcast the mask byte, AND with
+  // the per-lane bit, compare-equal -> all-ones lanes, AND with 1.0f.
+  const __m256i bitsv = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+
+  for (const ClusterPairList::IEntry& ie : list.i_entries8()) {
+    const std::size_t ib = static_cast<std::size_t>(ie.ci) * kC;
+    float xi[kC], yi[kC], zi[kC];
+    int ti[kC];
+    for (int s = 0; s < kC; ++s) {
+      xi[s] = ws.xc.x[ib + s];
+      yi[s] = ws.xc.y[ib + s];
+      zi[s] = ws.xc.z[ib + s];
+      ti[s] = ws.tc[ib + s];
+    }
+    __m256 fixv[kC], fiyv[kC], fizv[kC];
+    for (int s = 0; s < kC; ++s) fixv[s] = fiyv[s] = fizv[s] = zerov;
+    __m256 eljv = zerov, ecoulv = zerov;
+
+    for (std::int32_t en = ie.j_begin; en < ie.j_end; ++en) {
+      const ClusterPairList::JEntry8& je =
+          jents[static_cast<std::size_t>(en)];
+      const std::size_t jb = static_cast<std::size_t>(je.cj8) * 2 * kC;
+      const __m256 xjv = _mm256_loadu_ps(ws.xc.x.data() + jb);
+      const __m256 yjv = _mm256_loadu_ps(ws.xc.y.data() + jb);
+      const __m256 zjv = _mm256_loadu_ps(ws.xc.z.data() + jb);
+      const __m256i tj = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(ws.tc.data() + jb));
+      const __m256i tj3 = _mm256_add_epi32(_mm256_add_epi32(tj, tj), tj);
+      __m256 fjxv = zerov, fjyv = zerov, fjzv = zerov;
+
+      // Consecutive i slots usually share a type: memoize the gathered
+      // parameter row.
+      int cached_ti = -1;
+      __m256 c6 = zerov, c12 = zerov, qq = zerov;
+
+      for (int ii = 0; ii < kC; ++ii) {
+        const unsigned row = (je.mask >> (ii * 2 * kC)) & 0xFFu;
+        if (row == 0) continue;
+        if (ti[ii] != cached_ti) {
+          cached_ti = ti[ii];
+          const float* rbase = tbl + cached_ti * ntypes3;
+          c6 = _mm256_i32gather_ps(rbase, tj3, 4);
+          c12 = _mm256_i32gather_ps(rbase + 1, tj3, 4);
+          qq = _mm256_i32gather_ps(rbase + 2, tj3, 4);
+        }
+        const __m256i rowv = _mm256_set1_epi32(static_cast<int>(row));
+        const __m256 wmv = _mm256_and_ps(
+            _mm256_castsi256_ps(
+                _mm256_cmpeq_epi32(_mm256_and_si256(rowv, bitsv), bitsv)),
+            onev);
+
+        __m256 dx = _mm256_sub_ps(_mm256_set1_ps(xi[ii]), xjv);
+        __m256 dy = _mm256_sub_ps(_mm256_set1_ps(yi[ii]), yjv);
+        __m256 dz = _mm256_sub_ps(_mm256_set1_ps(zi[ii]), zjv);
+        dx = _mm256_add_ps(
+            dx, _mm256_and_ps(_mm256_cmp_ps(dx, nhlxv, _CMP_LT_OQ), lxv));
+        dx = _mm256_sub_ps(
+            dx, _mm256_and_ps(_mm256_cmp_ps(dx, hlxv, _CMP_GT_OQ), lxv));
+        dy = _mm256_add_ps(
+            dy, _mm256_and_ps(_mm256_cmp_ps(dy, nhlyv, _CMP_LT_OQ), lyv));
+        dy = _mm256_sub_ps(
+            dy, _mm256_and_ps(_mm256_cmp_ps(dy, hlyv, _CMP_GT_OQ), lyv));
+        dz = _mm256_add_ps(
+            dz, _mm256_and_ps(_mm256_cmp_ps(dz, nhlzv, _CMP_LT_OQ), lzv));
+        dz = _mm256_sub_ps(
+            dz, _mm256_and_ps(_mm256_cmp_ps(dz, hlzv, _CMP_GT_OQ), lzv));
+        const __m256 r2 = _mm256_fmadd_ps(
+            dx, dx, _mm256_fmadd_ps(dy, dy, _mm256_mul_ps(dz, dz)));
+
+        const __m256 in =
+            _mm256_and_ps(_mm256_cmp_ps(r2, rc2v, _CMP_LE_OQ),
+                          _mm256_cmp_ps(r2, zerov, _CMP_NEQ_OQ));
+        const __m256 w = _mm256_and_ps(in, wmv);
+        const __m256 r2s = _mm256_blendv_ps(onev, r2, in);
+
+        const __m256 rinv2 = _mm256_div_ps(onev, r2s);
+        const __m256 rinv6 =
+            _mm256_mul_ps(_mm256_mul_ps(rinv2, rinv2), rinv2);
+        const __m256 rinv = _mm256_sqrt_ps(rinv2);
+        const __m256 rinv12 = _mm256_mul_ps(rinv6, rinv6);
+        const __m256 elj =
+            _mm256_fmsub_ps(c12, rinv12, _mm256_mul_ps(c6, rinv6));
+        const __m256 flj = _mm256_mul_ps(
+            _mm256_sub_ps(
+                _mm256_mul_ps(twelvev, _mm256_mul_ps(c12, rinv12)),
+                _mm256_mul_ps(sixv, _mm256_mul_ps(c6, rinv6))),
+            rinv2);
+        const __m256 vqq = _mm256_mul_ps(
+            qq,
+            _mm256_sub_ps(_mm256_add_ps(rinv, _mm256_mul_ps(krfv, r2s)),
+                          crfv));
+        const __m256 fqq =
+            _mm256_mul_ps(qq, _mm256_fmsub_ps(rinv, rinv2, two_krfv));
+        const __m256 fscale = _mm256_mul_ps(w, _mm256_add_ps(flj, fqq));
+
+        const __m256 fxv = _mm256_mul_ps(fscale, dx);
+        const __m256 fyv = _mm256_mul_ps(fscale, dy);
+        const __m256 fzv = _mm256_mul_ps(fscale, dz);
+        fixv[ii] = _mm256_add_ps(fixv[ii], fxv);
+        fiyv[ii] = _mm256_add_ps(fiyv[ii], fyv);
+        fizv[ii] = _mm256_add_ps(fizv[ii], fzv);
+        fjxv = _mm256_sub_ps(fjxv, fxv);
+        fjyv = _mm256_sub_ps(fjyv, fyv);
+        fjzv = _mm256_sub_ps(fjzv, fzv);
+        eljv = _mm256_fmadd_ps(w, elj, eljv);
+        ecoulv = _mm256_fmadd_ps(w, vqq, ecoulv);
+      }
+
+      float* fcx = ws.fc.x.data() + jb;
+      float* fcy = ws.fc.y.data() + jb;
+      float* fcz = ws.fc.z.data() + jb;
+      _mm256_storeu_ps(fcx, _mm256_add_ps(_mm256_loadu_ps(fcx), fjxv));
+      _mm256_storeu_ps(fcy, _mm256_add_ps(_mm256_loadu_ps(fcy), fjyv));
+      _mm256_storeu_ps(fcz, _mm256_add_ps(_mm256_loadu_ps(fcz), fjzv));
+    }
+
+    for (int s = 0; s < kC; ++s) {
+      ws.fc.x[ib + s] += hsum8(fixv[s]);
+      ws.fc.y[ib + s] += hsum8(fiyv[s]);
+      ws.fc.z[ib + s] += hsum8(fizv[s]);
+    }
+    e_lj += static_cast<double>(hsum8(eljv));
+    e_coul += static_cast<double>(hsum8(ecoulv));
+  }
+  e.lj = e_lj;
+  e.coulomb = e_coul;
+  return e;
+}
+
+void pack_shifted_avx2(const Vec3* x, const std::int32_t* idx,
+                       std::size_t count, Vec3 shift, Vec3* out) {
+  const float* base = &x->x;
+  float* o = &out->x;
+  const __m256 sx = _mm256_set1_ps(shift.x);
+  const __m256 sy = _mm256_set1_ps(shift.y);
+  const __m256 sz = _mm256_set1_ps(shift.z);
+  std::size_t k = 0;
+  for (; k + 8 <= count; k += 8, o += 24) {
+    const __m256i iv = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(idx + k));
+    const __m256i i3 = _mm256_add_epi32(_mm256_add_epi32(iv, iv), iv);
+    const __m256 gx = _mm256_add_ps(_mm256_i32gather_ps(base, i3, 4), sx);
+    const __m256 gy = _mm256_add_ps(_mm256_i32gather_ps(base + 1, i3, 4), sy);
+    const __m256 gz = _mm256_add_ps(_mm256_i32gather_ps(base + 2, i3, 4), sz);
+    store_aos8(o, gx, gy, gz);
+  }
+  for (; k < count; ++k) {
+    out[k] = x[static_cast<std::size_t>(idx[k])] + shift;
+  }
+}
+
+void accumulate_avx2(Vec3* dst, const Vec3* src, std::size_t n) {
+  float* d = &dst->x;
+  const float* s = &src->x;
+  const std::size_t total = n * 3;
+  std::size_t k = 0;
+  for (; k + 8 <= total; k += 8) {
+    _mm256_storeu_ps(
+        d + k, _mm256_add_ps(_mm256_loadu_ps(d + k), _mm256_loadu_ps(s + k)));
+  }
+  for (; k < total; ++k) d[k] += s[k];
+}
+
+void soa_gather_avx2(const Vec3* src, std::size_t n, float* x, float* y,
+                     float* z) {
+  const float* p = &src->x;
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8, p += 24) {
+    _mm256_storeu_ps(x + k, _mm256_i32gather_ps(p, lin3(), 4));
+    _mm256_storeu_ps(y + k, _mm256_i32gather_ps(p + 1, lin3(), 4));
+    _mm256_storeu_ps(z + k, _mm256_i32gather_ps(p + 2, lin3(), 4));
+  }
+  for (; k < n; ++k) {
+    x[k] = src[k].x;
+    y[k] = src[k].y;
+    z[k] = src[k].z;
+  }
+}
+
+void soa_gather_indexed_avx2(const Vec3* src, const std::int32_t* idx,
+                             std::size_t n, float* x, float* y, float* z) {
+  const float* base = &src->x;
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m256i iv = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(idx + k));
+    const __m256i i3 = _mm256_add_epi32(_mm256_add_epi32(iv, iv), iv);
+    _mm256_storeu_ps(x + k, _mm256_i32gather_ps(base, i3, 4));
+    _mm256_storeu_ps(y + k, _mm256_i32gather_ps(base + 1, i3, 4));
+    _mm256_storeu_ps(z + k, _mm256_i32gather_ps(base + 2, i3, 4));
+  }
+  for (; k < n; ++k) {
+    const Vec3& v = src[static_cast<std::size_t>(idx[k])];
+    x[k] = v.x;
+    y[k] = v.y;
+    z[k] = v.z;
+  }
+}
+
+void soa_scatter_avx2(const float* x, const float* y, const float* z,
+                      std::size_t n, Vec3* dst) {
+  float* o = &dst->x;
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8, o += 24) {
+    store_aos8(o, _mm256_loadu_ps(x + k), _mm256_loadu_ps(y + k),
+               _mm256_loadu_ps(z + k));
+  }
+  for (; k < n; ++k) {
+    dst[k] = Vec3{x[k], y[k], z[k]};
+  }
+}
+
+void integrate_avx2(const std::int32_t* types, const Vec3* f, Vec3* v,
+                    Vec3* x, std::size_t n, const float* inv_m_dt, float dt,
+                    float lx, float ly, float lz) {
+  const float* fp = &f->x;
+  float* vp = &v->x;
+  float* xp = &x->x;
+  const __m256 dtv = _mm256_set1_ps(dt);
+  const __m256 zerov = _mm256_setzero_ps();
+  // Component-interleaved box lengths for the three registers of an
+  // 8-atom block (positions 0..23 cycle x,y,z).
+  const __m256 l0 = _mm256_setr_ps(lx, ly, lz, lx, ly, lz, lx, ly);
+  const __m256 l1 = _mm256_setr_ps(lz, lx, ly, lz, lx, ly, lz, lx);
+  const __m256 l2 = _mm256_setr_ps(ly, lz, lx, ly, lz, lx, ly, lz);
+  const __m256 ls[3] = {l0, l1, l2};
+  const __m256i perms[3] = {perm_a(), perm_b(), perm_c()};
+
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8, fp += 24, vp += 24, xp += 24) {
+    const __m256i tv = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(types + k));
+    const __m256 imdt = _mm256_i32gather_ps(inv_m_dt, tv, 4);
+    for (int r = 0; r < 3; ++r) {
+      const __m256 imr = _mm256_permutevar8x32_ps(imdt, perms[r]);
+      const __m256 fv = _mm256_loadu_ps(fp + 8 * r);
+      const __m256 vv = _mm256_loadu_ps(vp + 8 * r);
+      const __m256 xv = _mm256_loadu_ps(xp + 8 * r);
+      const __m256 vn = _mm256_fmadd_ps(fv, imr, vv);
+      __m256 xn = _mm256_fmadd_ps(vn, dtv, xv);
+      // Box::wrap, vectorized: w = x - l*floor(x/l); w >= l -> 0.
+      const __m256 q = _mm256_floor_ps(_mm256_div_ps(xn, ls[r]));
+      xn = _mm256_fnmadd_ps(q, ls[r], xn);
+      xn = _mm256_blendv_ps(xn, zerov,
+                            _mm256_cmp_ps(xn, ls[r], _CMP_GE_OQ));
+      _mm256_storeu_ps(vp + 8 * r, vn);
+      _mm256_storeu_ps(xp + 8 * r, xn);
+    }
+  }
+  const float lbox[3] = {lx, ly, lz};
+  for (; k < n; ++k) {
+    const float imdt = inv_m_dt[types[k]];
+    for (int d = 0; d < 3; ++d) {
+      const float vn = std::fmaf((&f[k].x)[d], imdt, (&v[k].x)[d]);
+      float xn = std::fmaf(vn, dt, (&x[k].x)[d]);
+      xn = xn - lbox[d] * std::floor(xn / lbox[d]);
+      if (xn >= lbox[d]) xn = 0.0f;
+      (&v[k].x)[d] = vn;
+      (&x[k].x)[d] = xn;
+    }
+  }
+}
+
+}  // namespace hs::md::simd
+
+#endif  // HALOSIM_BUILD_AVX2

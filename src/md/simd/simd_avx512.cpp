@@ -1,0 +1,263 @@
+// AVX-512 lane blocks (compiled with -mavx512f/bw/dq/vl -mfma).
+//
+// Cluster nonbonded keeps the 4x8 geometry but packs two i rows per
+// 512-bit register: the j-cluster pair is broadcast to both 256-bit
+// halves, each half evaluating a different i slot. The 32-bit wide mask
+// maps directly onto __mmask16 per row pair (rows 2r, 2r+1 occupy bits
+// [16r, 16r+16)), so masking costs one kmov instead of a broadcast/
+// compare sequence, and excluded lanes are zeroed with maskz moves.
+//
+// The scatter-capable unpack/scatter-add kernels live here too: 256-bit
+// masked gathers + scatters (VL) accumulate force contributions through
+// an index map without the scalar read-modify-write chain. Indices must
+// be unique within the map — halo index maps and cluster slot maps are.
+#include "md/simd/kernels.hpp"
+
+#if defined(HALOSIM_BUILD_AVX512)
+
+#include <immintrin.h>
+
+namespace hs::md::simd {
+
+namespace {
+constexpr int kC = ClusterPairList::kClusterSize;
+
+inline float hsum8(__m256 v) {
+  __m128 s = _mm_add_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps(v, 1));
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+  return _mm_cvtss_f32(s);
+}
+}  // namespace
+
+Energies cluster_kernel_avx512(const Box& box, const NbParamTable& params,
+                               const ClusterPairList& list, NbWorkspace& ws) {
+  Energies e;
+  const float lx = box.length(0), ly = box.length(1), lz = box.length(2);
+  const float hlx = 0.5f * lx, hly = 0.5f * ly, hlz = 0.5f * lz;
+  double e_lj = 0.0, e_coul = 0.0;
+  const std::span<const ClusterPairList::JEntry8> jents = list.j_entries8();
+  const float* tbl = params.flat();
+  const int ntypes3 = params.num_types() * 3;
+
+  const __m512 lxv = _mm512_set1_ps(lx), lyv = _mm512_set1_ps(ly),
+               lzv = _mm512_set1_ps(lz);
+  const __m512 hlxv = _mm512_set1_ps(hlx), hlyv = _mm512_set1_ps(hly),
+               hlzv = _mm512_set1_ps(hlz);
+  const __m512 nhlxv = _mm512_set1_ps(-hlx), nhlyv = _mm512_set1_ps(-hly),
+               nhlzv = _mm512_set1_ps(-hlz);
+  const __m512 rc2v = _mm512_set1_ps(params.cutoff2());
+  const __m512 onev = _mm512_set1_ps(1.0f);
+  const __m512 krfv = _mm512_set1_ps(params.krf());
+  const __m512 crfv = _mm512_set1_ps(params.crf());
+  const __m512 two_krfv = _mm512_set1_ps(2.0f * params.krf());
+  const __m512 twelvev = _mm512_set1_ps(12.0f), sixv = _mm512_set1_ps(6.0f);
+  const __m512 zerov = _mm512_setzero_ps();
+
+  for (const ClusterPairList::IEntry& ie : list.i_entries8()) {
+    const std::size_t ib = static_cast<std::size_t>(ie.ci) * kC;
+    float xi[kC], yi[kC], zi[kC];
+    int ti[kC];
+    for (int s = 0; s < kC; ++s) {
+      xi[s] = ws.xc.x[ib + s];
+      yi[s] = ws.xc.y[ib + s];
+      zi[s] = ws.xc.z[ib + s];
+      ti[s] = ws.tc[ib + s];
+    }
+    // One 512-bit force accumulator per row pair (lo half: row 2r, hi
+    // half: row 2r+1), reduced once per i entry.
+    __m512 fixv[2], fiyv[2], fizv[2];
+    for (int r = 0; r < 2; ++r) fixv[r] = fiyv[r] = fizv[r] = zerov;
+    __m512 eljv = zerov, ecoulv = zerov;
+
+    for (std::int32_t en = ie.j_begin; en < ie.j_end; ++en) {
+      const ClusterPairList::JEntry8& je =
+          jents[static_cast<std::size_t>(en)];
+      const std::size_t jb = static_cast<std::size_t>(je.cj8) * 2 * kC;
+      const __m512 xjv =
+          _mm512_broadcast_f32x8(_mm256_loadu_ps(ws.xc.x.data() + jb));
+      const __m512 yjv =
+          _mm512_broadcast_f32x8(_mm256_loadu_ps(ws.xc.y.data() + jb));
+      const __m512 zjv =
+          _mm512_broadcast_f32x8(_mm256_loadu_ps(ws.xc.z.data() + jb));
+      const __m256i tj = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(ws.tc.data() + jb));
+      const __m256i tj3 = _mm256_add_epi32(_mm256_add_epi32(tj, tj), tj);
+      __m512 fjxv = zerov, fjyv = zerov, fjzv = zerov;
+
+      for (int r = 0; r < 2; ++r) {
+        const unsigned m16 = (je.mask >> (16 * r)) & 0xFFFFu;
+        if (m16 == 0) continue;
+        const __mmask16 km = static_cast<__mmask16>(m16);
+
+        // Per-half parameter gathers: half h uses i row 2r+h's table row.
+        const __m256i idx_lo =
+            _mm256_add_epi32(tj3, _mm256_set1_epi32(ti[2 * r] * ntypes3));
+        const __m256i idx_hi = _mm256_add_epi32(
+            tj3, _mm256_set1_epi32(ti[2 * r + 1] * ntypes3));
+        const __m512i idx16 = _mm512_inserti32x8(
+            _mm512_castsi256_si512(idx_lo), idx_hi, 1);
+        const __m512 c6 = _mm512_i32gather_ps(idx16, tbl, 4);
+        const __m512 c12 = _mm512_i32gather_ps(idx16, tbl + 1, 4);
+        const __m512 qq = _mm512_i32gather_ps(idx16, tbl + 2, 4);
+
+        const __m512 xiv = _mm512_insertf32x8(
+            _mm512_castps256_ps512(_mm256_set1_ps(xi[2 * r])),
+            _mm256_set1_ps(xi[2 * r + 1]), 1);
+        const __m512 yiv = _mm512_insertf32x8(
+            _mm512_castps256_ps512(_mm256_set1_ps(yi[2 * r])),
+            _mm256_set1_ps(yi[2 * r + 1]), 1);
+        const __m512 ziv = _mm512_insertf32x8(
+            _mm512_castps256_ps512(_mm256_set1_ps(zi[2 * r])),
+            _mm256_set1_ps(zi[2 * r + 1]), 1);
+
+        __m512 dx = _mm512_sub_ps(xiv, xjv);
+        __m512 dy = _mm512_sub_ps(yiv, yjv);
+        __m512 dz = _mm512_sub_ps(ziv, zjv);
+        dx = _mm512_mask_add_ps(
+            dx, _mm512_cmp_ps_mask(dx, nhlxv, _CMP_LT_OQ), dx, lxv);
+        dx = _mm512_mask_sub_ps(
+            dx, _mm512_cmp_ps_mask(dx, hlxv, _CMP_GT_OQ), dx, lxv);
+        dy = _mm512_mask_add_ps(
+            dy, _mm512_cmp_ps_mask(dy, nhlyv, _CMP_LT_OQ), dy, lyv);
+        dy = _mm512_mask_sub_ps(
+            dy, _mm512_cmp_ps_mask(dy, hlyv, _CMP_GT_OQ), dy, lyv);
+        dz = _mm512_mask_add_ps(
+            dz, _mm512_cmp_ps_mask(dz, nhlzv, _CMP_LT_OQ), dz, lzv);
+        dz = _mm512_mask_sub_ps(
+            dz, _mm512_cmp_ps_mask(dz, hlzv, _CMP_GT_OQ), dz, lzv);
+        const __m512 r2 = _mm512_fmadd_ps(
+            dx, dx, _mm512_fmadd_ps(dy, dy, _mm512_mul_ps(dz, dz)));
+
+        const __mmask16 kin =
+            _mm512_cmp_ps_mask(r2, rc2v, _CMP_LE_OQ) &
+            _mm512_cmp_ps_mask(r2, zerov, _CMP_NEQ_OQ) & km;
+        const __m512 r2s = _mm512_mask_blend_ps(kin, onev, r2);
+
+        const __m512 rinv2 = _mm512_div_ps(onev, r2s);
+        const __m512 rinv6 =
+            _mm512_mul_ps(_mm512_mul_ps(rinv2, rinv2), rinv2);
+        const __m512 rinv = _mm512_sqrt_ps(rinv2);
+        const __m512 rinv12 = _mm512_mul_ps(rinv6, rinv6);
+        const __m512 elj =
+            _mm512_fmsub_ps(c12, rinv12, _mm512_mul_ps(c6, rinv6));
+        const __m512 flj = _mm512_mul_ps(
+            _mm512_sub_ps(
+                _mm512_mul_ps(twelvev, _mm512_mul_ps(c12, rinv12)),
+                _mm512_mul_ps(sixv, _mm512_mul_ps(c6, rinv6))),
+            rinv2);
+        const __m512 vqq = _mm512_mul_ps(
+            qq,
+            _mm512_sub_ps(_mm512_add_ps(rinv, _mm512_mul_ps(krfv, r2s)),
+                          crfv));
+        const __m512 fqq =
+            _mm512_mul_ps(qq, _mm512_fmsub_ps(rinv, rinv2, two_krfv));
+        const __m512 fscale =
+            _mm512_maskz_mov_ps(kin, _mm512_add_ps(flj, fqq));
+
+        const __m512 fxv = _mm512_mul_ps(fscale, dx);
+        const __m512 fyv = _mm512_mul_ps(fscale, dy);
+        const __m512 fzv = _mm512_mul_ps(fscale, dz);
+        fixv[r] = _mm512_add_ps(fixv[r], fxv);
+        fiyv[r] = _mm512_add_ps(fiyv[r], fyv);
+        fizv[r] = _mm512_add_ps(fizv[r], fzv);
+        fjxv = _mm512_sub_ps(fjxv, fxv);
+        fjyv = _mm512_sub_ps(fjyv, fyv);
+        fjzv = _mm512_sub_ps(fjzv, fzv);
+        eljv = _mm512_add_ps(eljv, _mm512_maskz_mov_ps(kin, elj));
+        ecoulv = _mm512_add_ps(ecoulv, _mm512_maskz_mov_ps(kin, vqq));
+      }
+
+      // Fold the two halves (rows share the same 8 j slots) and RMW.
+      const __m256 fjx8 = _mm256_add_ps(_mm512_castps512_ps256(fjxv),
+                                        _mm512_extractf32x8_ps(fjxv, 1));
+      const __m256 fjy8 = _mm256_add_ps(_mm512_castps512_ps256(fjyv),
+                                        _mm512_extractf32x8_ps(fjyv, 1));
+      const __m256 fjz8 = _mm256_add_ps(_mm512_castps512_ps256(fjzv),
+                                        _mm512_extractf32x8_ps(fjzv, 1));
+      float* fcx = ws.fc.x.data() + jb;
+      float* fcy = ws.fc.y.data() + jb;
+      float* fcz = ws.fc.z.data() + jb;
+      _mm256_storeu_ps(fcx, _mm256_add_ps(_mm256_loadu_ps(fcx), fjx8));
+      _mm256_storeu_ps(fcy, _mm256_add_ps(_mm256_loadu_ps(fcy), fjy8));
+      _mm256_storeu_ps(fcz, _mm256_add_ps(_mm256_loadu_ps(fcz), fjz8));
+    }
+
+    for (int r = 0; r < 2; ++r) {
+      ws.fc.x[ib + 2 * r] += hsum8(_mm512_castps512_ps256(fixv[r]));
+      ws.fc.x[ib + 2 * r + 1] += hsum8(_mm512_extractf32x8_ps(fixv[r], 1));
+      ws.fc.y[ib + 2 * r] += hsum8(_mm512_castps512_ps256(fiyv[r]));
+      ws.fc.y[ib + 2 * r + 1] += hsum8(_mm512_extractf32x8_ps(fiyv[r], 1));
+      ws.fc.z[ib + 2 * r] += hsum8(_mm512_castps512_ps256(fizv[r]));
+      ws.fc.z[ib + 2 * r + 1] += hsum8(_mm512_extractf32x8_ps(fizv[r], 1));
+    }
+    e_lj += static_cast<double>(
+        hsum8(_mm256_add_ps(_mm512_castps512_ps256(eljv),
+                            _mm512_extractf32x8_ps(eljv, 1))));
+    e_coul += static_cast<double>(
+        hsum8(_mm256_add_ps(_mm512_castps512_ps256(ecoulv),
+                            _mm512_extractf32x8_ps(ecoulv, 1))));
+  }
+  e.lj = e_lj;
+  e.coulomb = e_coul;
+  return e;
+}
+
+void unpack_accumulate_avx512(Vec3* f, const std::int32_t* idx, const Vec3* in,
+                              std::size_t count) {
+  float* fbase = &f->x;
+  const float* ibase = &in->x;
+  const __m256i lin3 = _mm256_setr_epi32(0, 3, 6, 9, 12, 15, 18, 21);
+  std::size_t k = 0;
+  for (; k + 8 <= count; k += 8, ibase += 24) {
+    const __m256i iv = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(idx + k));
+    const __m256i i3 = _mm256_add_epi32(_mm256_add_epi32(iv, iv), iv);
+    const __m256 sx = _mm256_add_ps(_mm256_i32gather_ps(ibase, lin3, 4),
+                                    _mm256_i32gather_ps(fbase, i3, 4));
+    const __m256 sy = _mm256_add_ps(_mm256_i32gather_ps(ibase + 1, lin3, 4),
+                                    _mm256_i32gather_ps(fbase + 1, i3, 4));
+    const __m256 sz = _mm256_add_ps(_mm256_i32gather_ps(ibase + 2, lin3, 4),
+                                    _mm256_i32gather_ps(fbase + 2, i3, 4));
+    _mm256_i32scatter_ps(fbase, i3, sx, 4);
+    _mm256_i32scatter_ps(fbase + 1, i3, sy, 4);
+    _mm256_i32scatter_ps(fbase + 2, i3, sz, 4);
+  }
+  for (; k < count; ++k) {
+    f[static_cast<std::size_t>(idx[k])] += in[k];
+  }
+}
+
+void soa_scatter_add_indexed_avx512(const float* x, const float* y,
+                                    const float* z, const std::int32_t* idx,
+                                    std::size_t n, Vec3* dst) {
+  float* base = &dst->x;
+  const __m256i neg1 = _mm256_set1_epi32(-1);
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m256i iv = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(idx + k));
+    // Pad slots carry idx = -1: mask them out of the gather and scatter
+    // (masked lanes touch no memory, so the garbage offsets are inert).
+    const __mmask8 km = _mm256_cmpgt_epi32_mask(iv, neg1);
+    const __m256i i3 = _mm256_add_epi32(_mm256_add_epi32(iv, iv), iv);
+    const __m256 zerov = _mm256_setzero_ps();
+    const __m256 dx = _mm256_mmask_i32gather_ps(zerov, km, i3, base, 4);
+    const __m256 dy = _mm256_mmask_i32gather_ps(zerov, km, i3, base + 1, 4);
+    const __m256 dz = _mm256_mmask_i32gather_ps(zerov, km, i3, base + 2, 4);
+    _mm256_mask_i32scatter_ps(base, km, i3,
+                              _mm256_add_ps(dx, _mm256_loadu_ps(x + k)), 4);
+    _mm256_mask_i32scatter_ps(base + 1, km, i3,
+                              _mm256_add_ps(dy, _mm256_loadu_ps(y + k)), 4);
+    _mm256_mask_i32scatter_ps(base + 2, km, i3,
+                              _mm256_add_ps(dz, _mm256_loadu_ps(z + k)), 4);
+  }
+  for (; k < n; ++k) {
+    if (idx[k] < 0) continue;
+    dst[static_cast<std::size_t>(idx[k])] += Vec3{x[k], y[k], z[k]};
+  }
+}
+
+}  // namespace hs::md::simd
+
+#endif  // HALOSIM_BUILD_AVX512

@@ -3,7 +3,15 @@
 #include <algorithm>
 #include <cassert>
 
+#include "md/simd/isa.hpp"
+#include "md/simd/kernels.hpp"
+
 namespace hs::md {
+
+// Every shim is an elementwise copy/add, so the SIMD paths are
+// bit-identical to the scalar loops (dispatch is free of determinism
+// concerns); tails shorter than the 8-lane width fall back to the same
+// scalar arithmetic inside the kernels.
 
 void SoaVecs::assign_zero(std::size_t n) {
   x.assign(n, 0.0f);
@@ -13,6 +21,13 @@ void SoaVecs::assign_zero(std::size_t n) {
 
 void SoaVecs::gather(std::span<const Vec3> src) {
   resize(src.size());
+#if defined(HALOSIM_BUILD_AVX2)
+  if (simd::active_isa() >= simd::KernelIsa::Avx2 && !src.empty()) {
+    simd::soa_gather_avx2(src.data(), src.size(), x.data(), y.data(),
+                          z.data());
+    return;
+  }
+#endif
   for (std::size_t i = 0; i < src.size(); ++i) {
     x[i] = src[i].x;
     y[i] = src[i].y;
@@ -23,6 +38,13 @@ void SoaVecs::gather(std::span<const Vec3> src) {
 void SoaVecs::gather_indexed(std::span<const Vec3> src,
                              std::span<const std::int32_t> idx) {
   resize(idx.size());
+#if defined(HALOSIM_BUILD_AVX2)
+  if (simd::active_isa() >= simd::KernelIsa::Avx2 && !idx.empty()) {
+    simd::soa_gather_indexed_avx2(src.data(), idx.data(), idx.size(),
+                                  x.data(), y.data(), z.data());
+    return;
+  }
+#endif
   for (std::size_t k = 0; k < idx.size(); ++k) {
     assert(idx[k] >= 0 &&
            static_cast<std::size_t>(idx[k]) < src.size());
@@ -35,6 +57,13 @@ void SoaVecs::gather_indexed(std::span<const Vec3> src,
 
 void SoaVecs::scatter(std::span<Vec3> dst) const {
   assert(dst.size() == size());
+#if defined(HALOSIM_BUILD_AVX2)
+  if (simd::active_isa() >= simd::KernelIsa::Avx2 && !dst.empty()) {
+    simd::soa_scatter_avx2(x.data(), y.data(), z.data(), dst.size(),
+                           dst.data());
+    return;
+  }
+#endif
   for (std::size_t i = 0; i < dst.size(); ++i) {
     dst[i] = Vec3{x[i], y[i], z[i]};
   }
@@ -42,7 +71,14 @@ void SoaVecs::scatter(std::span<Vec3> dst) const {
 
 void SoaVecs::scatter_add_indexed(std::span<Vec3> dst,
                                   std::span<const std::int32_t> idx) const {
-  assert(idx.size() == size());
+  assert(idx.size() <= size());
+#if defined(HALOSIM_BUILD_AVX512)
+  if (simd::active_isa() >= simd::KernelIsa::Avx512 && !idx.empty()) {
+    simd::soa_scatter_add_indexed_avx512(x.data(), y.data(), z.data(),
+                                         idx.data(), idx.size(), dst.data());
+    return;
+  }
+#endif
   for (std::size_t k = 0; k < idx.size(); ++k) {
     if (idx[k] < 0) continue;
     assert(static_cast<std::size_t>(idx[k]) < dst.size());

@@ -52,7 +52,10 @@ struct SoaVecs {
   void scatter(std::span<Vec3> dst) const;
 
   /// dst[idx[k]] += (x,y,z)[k] for every k with idx[k] >= 0; negative
-  /// indices (cluster pad slots) are skipped.
+  /// indices (cluster pad slots) are skipped. idx may be shorter than
+  /// size() — trailing slots (8-wide kernel padding, which only ever
+  /// holds exact +/-0) are ignored. Non-negative indices must be unique
+  /// (cluster slot maps are: each atom owns one slot).
   void scatter_add_indexed(std::span<Vec3> dst,
                            std::span<const std::int32_t> idx) const;
 };

@@ -1,6 +1,8 @@
 // Run configuration for the GPU-resident MD time-stepping loop.
 #pragma once
 
+#include <string>
+
 #include "halo/tuning.hpp"
 #include "pgas/world.hpp"
 
@@ -39,6 +41,12 @@ struct RunConfig {
   /// precomputed type-pair parameter table. Off: the scalar reference
   /// kernels (same pair set; forces agree to float tolerance).
   bool use_cluster_kernels = true;
+
+  /// Kernel ISA for the CPU-side MD math ("scalar", "sse2", "avx2",
+  /// "avx512"). Empty: the HALOSIM_FORCE_ISA environment variable if set,
+  /// else the widest ISA the host supports (md::simd::resolve_isa()).
+  /// Forcing "sse2" reproduces the pre-dispatch 4x4 numerics bit-exactly.
+  std::string kernel_isa;
 
   /// Verlet-buffer list reuse: rebuild a rank's pair lists only when one
   /// of its atoms has drifted farther than half the buffer

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "md/simd/ops.hpp"
+
 namespace hs::runner {
 
 MdRunner::MdRunner(sim::Machine& machine, pgas::World& world, msg::Comm& comm,
@@ -18,6 +20,10 @@ MdRunner::MdRunner(sim::Machine& machine, pgas::World& world, msg::Comm& comm,
       ff_(ff) {
   const int n = num_ranks();
   assert(n == machine.device_count());
+  // Resolve the kernel ISA once (config > HALOSIM_FORCE_ISA > cpuid) so
+  // every step of the run dispatches identically; throws on unknown or
+  // unsupported names before any state is built.
+  isa_ = md::simd::resolve_isa(config_.kernel_isa);
   if (machine.partitioned()) {
     // The MPI transport rendezvous-blocks ranks against each other through
     // a shared CPU-side comm object, and the CPU PE barrier arrives on a
@@ -90,6 +96,11 @@ MdRunner::MdRunner(sim::Machine& machine, pgas::World& world, msg::Comm& comm,
       t.reg = &machine.telemetry_row(r);
       t.step_ns = t.reg->histogram("md.d" + std::to_string(r) + ".step_ns",
                                    "ns", r);
+      // Report the dispatched ISA once at t=0 (gauge level: 0=scalar,
+      // 1=sse2, 2=avx2, 3=avx512) so traces record which path ran.
+      const auto isa_id = t.reg->gauge(
+          "md.d" + std::to_string(r) + ".simd_isa", "level", r);
+      t.reg->set(isa_id, 0, static_cast<double>(md::simd::isa_level(isa_)));
     }
   }
   for (int r = 0; r < n; ++r) {
@@ -142,7 +153,7 @@ sim::KernelSpec MdRunner::nb_local_spec(int rank, std::int64_t step) {
           lists.cluster_local, std::span<const md::Vec3>(st->x.data(), nh),
           std::span<const int>(st->type.data(), nh),
           std::span<md::Vec3>(fl.data(), nh),
-          self->nb_ws_[static_cast<std::size_t>(rank)]);
+          self->nb_ws_[static_cast<std::size_t>(rank)], self->isa_);
     } else {
       md::compute_nonbonded(self->workload_.plan.grid.box(), *self->ff_,
                             std::span<const md::Vec3>(st->x.data(), nh),
@@ -186,7 +197,7 @@ sim::KernelSpec MdRunner::nb_nonlocal_spec(int rank, std::int64_t step) {
       md::compute_nonbonded_clusters(
           self->workload_.plan.grid.box(), *self->nb_params_,
           lists.cluster_nonlocal, st->x, st->type, st->f,
-          self->nb_ws_[static_cast<std::size_t>(rank)]);
+          self->nb_ws_[static_cast<std::size_t>(rank)], self->isa_);
     } else {
       md::compute_nonbonded(self->workload_.plan.grid.box(), *self->ff_,
                             st->x, st->type, lists.nonlocal, st->f);
@@ -210,7 +221,8 @@ sim::KernelSpec MdRunner::reduce_spec(int rank, std::int64_t step) {
     co_await ctx.compute(cost);
     if (st == nullptr) co_return;
     auto& fl = self->f_local_[static_cast<std::size_t>(rank)];
-    for (std::size_t i = 0; i < fl.size(); ++i) st->f[i] += fl[i];
+    md::simd::accumulate(std::span<md::Vec3>(st->f.data(), fl.size()), fl,
+                         self->isa_);
     co_return;
   };
   return spec;
@@ -235,7 +247,7 @@ sim::KernelSpec MdRunner::integrate_spec(int rank, std::int64_t step) {
         std::span<const int>(st->type.data(), nh),
         std::span<const md::Vec3>(st->f.data(), nh),
         std::span<md::Vec3>(st->v.data(), nh),
-        std::span<md::Vec3>(st->x.data(), nh));
+        std::span<md::Vec3>(st->x.data(), nh), self->isa_);
     self->maybe_rebuild_lists(rank);
     co_return;
   };

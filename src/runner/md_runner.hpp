@@ -24,6 +24,7 @@
 #include "md/cluster_nonbonded.hpp"
 #include "md/integrator.hpp"
 #include "md/nonbonded.hpp"
+#include "md/simd/isa.hpp"
 #include "runner/config.hpp"
 #include "util/telemetry.hpp"
 
@@ -102,6 +103,10 @@ class MdRunner {
   halo::Workload workload_;
   RunConfig config_;
   const md::ForceField* ff_;
+  /// Kernel ISA for every CPU-side MD kernel this run (nonbonded clusters,
+  /// reduce, integrate); resolved once in the ctor from config.kernel_isa /
+  /// HALOSIM_FORCE_ISA so all steps dispatch identically.
+  md::simd::KernelIsa isa_ = md::simd::KernelIsa::Scalar;
   std::optional<md::LeapfrogIntegrator> integrator_;
 
   std::unique_ptr<halo::ShmemHaloExchange> shmem_;

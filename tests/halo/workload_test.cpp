@@ -2,10 +2,79 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "md/system.hpp"
+#include "util/rng.hpp"
 
 namespace hs::halo {
 namespace {
+
+std::vector<md::Vec3> random_vecs(int n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<md::Vec3> v;
+  for (int i = 0; i < n; ++i) {
+    v.push_back(md::Vec3{static_cast<float>(rng.uniform(-5, 5)),
+                         static_cast<float>(rng.uniform(-5, 5)),
+                         static_cast<float>(rng.uniform(-5, 5))});
+  }
+  return v;
+}
+
+TEST(HaloPackUnpack, MatchesScalarLoopBitExactly) {
+  // pack_coordinates/unpack_forces are the SIMD-dispatched gathers the
+  // transports use; both are elementwise, so whatever ISA is active they
+  // must equal the plain loops bit-for-bit (sizes straddle lane tails).
+  for (const int count : {1, 7, 8, 9, 64, 203}) {
+    const auto x = random_vecs(500, 10 + static_cast<std::uint64_t>(count));
+    std::vector<int> map;
+    for (int k = 0; k < count; ++k) map.push_back((k * 7) % 500);
+    const md::Vec3 shift{1.5f, -12.0f, 0.0f};
+
+    std::vector<md::Vec3> packed(static_cast<std::size_t>(count));
+    pack_coordinates(x, map, 0, static_cast<std::size_t>(count), shift,
+                     packed.data());
+    for (int k = 0; k < count; ++k) {
+      const auto ks = static_cast<std::size_t>(k);
+      EXPECT_EQ(packed[ks], x[static_cast<std::size_t>(map[ks])] + shift)
+          << count << "/" << k;
+    }
+
+    // Force unpack accumulates into existing values through a unique map.
+    std::vector<int> umap;
+    for (int k = 0; k < count; ++k) umap.push_back(k * 2);
+    auto f = random_vecs(500, 20 + static_cast<std::uint64_t>(count));
+    const auto f_before = f;
+    const auto incoming = random_vecs(count,
+                                      30 + static_cast<std::uint64_t>(count));
+    unpack_forces(f, umap, incoming);
+    for (int i = 0; i < 500; ++i) {
+      const auto is = static_cast<std::size_t>(i);
+      md::Vec3 expect = f_before[is];
+      for (int k = 0; k < count; ++k) {
+        if (umap[static_cast<std::size_t>(k)] == i) {
+          expect += incoming[static_cast<std::size_t>(k)];
+        }
+      }
+      EXPECT_EQ(f[is], expect) << count << "/" << i;
+    }
+  }
+}
+
+TEST(HaloPackUnpack, SubRangePackMatchesWholePack) {
+  const auto x = random_vecs(300, 40);
+  std::vector<int> map;
+  for (int k = 0; k < 190; ++k) map.push_back((k * 11) % 300);
+  const md::Vec3 shift{0.0f, 6.0f, -6.0f};
+  std::vector<md::Vec3> whole(map.size());
+  pack_coordinates(x, map, 0, map.size(), shift, whole.data());
+  std::vector<md::Vec3> chunked(map.size());
+  pack_coordinates(x, map, 0, 77, shift, chunked.data());
+  pack_coordinates(x, map, 77, map.size() - 77, shift, chunked.data() + 77);
+  for (std::size_t k = 0; k < map.size(); ++k) {
+    EXPECT_EQ(chunked[k], whole[k]) << k;
+  }
+}
 
 TEST(SkeletonWorkload, MirrorsFunctionalPlanStructure) {
   md::GrappaSpec spec;

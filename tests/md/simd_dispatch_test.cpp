@@ -1,0 +1,410 @@
+// Runtime SIMD dispatch: registry/force-override semantics, the 4x8 wide
+// list view, and cross-ISA parity of every dispatched kernel. The parity
+// tests iterate md::simd::supported_isas(), so on an AVX-512 host they
+// cover Scalar vs Sse2 vs Avx2 vs Avx512 (including 4x4 vs 4x8 geometry)
+// and degrade gracefully on narrower hosts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "md/cluster_nonbonded.hpp"
+#include "md/cluster_pair_list.hpp"
+#include "md/integrator.hpp"
+#include "md/simd/isa.hpp"
+#include "md/simd/ops.hpp"
+#include "md/system.hpp"
+#include "util/rng.hpp"
+
+namespace hs::md {
+namespace {
+
+using simd::KernelIsa;
+
+std::vector<Vec3> random_positions(int n, const Box& box, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Vec3> x;
+  for (int i = 0; i < n; ++i) {
+    x.push_back(Vec3{static_cast<float>(rng.uniform(0, box.length(0))),
+                     static_cast<float>(rng.uniform(0, box.length(1))),
+                     static_cast<float>(rng.uniform(0, box.length(2)))});
+  }
+  return x;
+}
+
+std::vector<int> random_types(int n, int ntypes, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<int> t;
+  for (int i = 0; i < n; ++i) {
+    t.push_back(
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(ntypes))));
+  }
+  return t;
+}
+
+// Float-accumulation tolerance: the lane blocks sum the same pair terms
+// in a different order (8/16-wide partial sums), so per-component error
+// scales with the accumulated force magnitude — slightly looser than the
+// cluster-vs-reference tolerance, which compares against double math.
+void expect_forces_close(std::span<const Vec3> got, std::span<const Vec3> ref,
+                         const char* label) {
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    for (int d = 0; d < 3; ++d) {
+      const float g = got[i][d], r = ref[i][d];
+      EXPECT_NEAR(g, r, 1e-3f + 5e-4f * std::abs(r))
+          << label << " atom " << i;
+    }
+  }
+}
+
+// ---- registry / override semantics ------------------------------------
+
+TEST(SimdDispatch, NamesAndParseRoundTrip) {
+  for (const KernelIsa isa : {KernelIsa::Scalar, KernelIsa::Sse2,
+                              KernelIsa::Avx2, KernelIsa::Avx512}) {
+    const auto parsed = simd::parse_isa(simd::isa_name(isa));
+    ASSERT_TRUE(parsed.has_value()) << simd::isa_name(isa);
+    EXPECT_EQ(*parsed, isa);
+  }
+  EXPECT_FALSE(simd::parse_isa("").has_value());
+  EXPECT_FALSE(simd::parse_isa("avx").has_value());
+  EXPECT_FALSE(simd::parse_isa("AVX2").has_value());
+}
+
+TEST(SimdDispatch, UnknownForcedIsaErrorsCleanly) {
+  EXPECT_THROW(simd::resolve_isa("neon"), std::invalid_argument);
+  EXPECT_THROW(simd::resolve_isa("avx1024"), std::invalid_argument);
+}
+
+TEST(SimdDispatch, UnavailableForcedIsaErrorsCleanly) {
+  // Exercised against an explicit availability list so the error path is
+  // testable regardless of what this host actually supports.
+  const std::vector<KernelIsa> narrow = {KernelIsa::Scalar, KernelIsa::Sse2};
+  EXPECT_EQ(simd::resolve_isa_checked("sse2", narrow), KernelIsa::Sse2);
+  EXPECT_EQ(simd::resolve_isa_checked("scalar", narrow), KernelIsa::Scalar);
+  EXPECT_THROW(simd::resolve_isa_checked("avx2", narrow), std::runtime_error);
+  EXPECT_THROW(simd::resolve_isa_checked("avx512", narrow),
+               std::runtime_error);
+  EXPECT_THROW(simd::resolve_isa_checked("neon", narrow),
+               std::invalid_argument);
+}
+
+TEST(SimdDispatch, SupportedIsasAscendingFromScalar) {
+  const auto isas = simd::supported_isas();
+  ASSERT_FALSE(isas.empty());
+  EXPECT_EQ(isas.front(), KernelIsa::Scalar);
+  EXPECT_TRUE(std::is_sorted(isas.begin(), isas.end()));
+  EXPECT_EQ(isas.back(), simd::detect_best_isa());
+  for (const KernelIsa isa : isas) EXPECT_TRUE(simd::isa_available(isa));
+}
+
+TEST(SimdDispatch, GeometryPerIsa) {
+  EXPECT_EQ(simd::j_cluster_width(KernelIsa::Scalar), 4);
+  EXPECT_EQ(simd::j_cluster_width(KernelIsa::Sse2), 4);
+  EXPECT_EQ(simd::j_cluster_width(KernelIsa::Avx2), 8);
+  EXPECT_EQ(simd::j_cluster_width(KernelIsa::Avx512), 8);
+}
+
+// ---- the 4x8 wide view ------------------------------------------------
+
+using Pair = std::pair<std::int32_t, std::int32_t>;
+
+std::vector<Pair> pairs_from_wide_view(const ClusterPairList& list) {
+  constexpr int kC = ClusterPairList::kClusterSize;
+  const auto atoms = list.cluster_atoms();
+  std::vector<Pair> pairs;
+  for (const auto& ie : list.i_entries8()) {
+    for (std::int32_t e = ie.j_begin; e < ie.j_end; ++e) {
+      const auto& je = list.j_entries8()[static_cast<std::size_t>(e)];
+      for (int ii = 0; ii < kC; ++ii) {
+        for (int jj = 0; jj < 2 * kC; ++jj) {
+          if ((je.mask >> (ii * 2 * kC + jj)) & 1u) {
+            pairs.emplace_back(
+                atoms[static_cast<std::size_t>(ie.ci * kC + ii)],
+                atoms[static_cast<std::size_t>(je.cj8 * 2 * kC + jj)]);
+          }
+        }
+      }
+    }
+  }
+  return pairs;
+}
+
+TEST(WideClusterView, HoldsExactlyTheCanonicalPairSet) {
+  const Box box(6, 6, 6);
+  const auto x = random_positions(700, box, 41);
+  ClusterPairList list;
+  list.build_local(box, x, 700, 1.0);
+
+  std::vector<Pair> narrow;
+  list.for_each_pair([&](std::int32_t i, std::int32_t j) {
+    narrow.emplace_back(i, j);
+  });
+  auto wide = pairs_from_wide_view(list);
+  ASSERT_EQ(wide.size(), list.pair_count());
+  std::sort(narrow.begin(), narrow.end());
+  std::sort(wide.begin(), wide.end());
+  EXPECT_EQ(narrow, wide);
+
+  // Prune invalidates and rebuilds the view; the contract must hold on
+  // the pruned list too.
+  list.prune(box, x, 0.9);
+  narrow.clear();
+  list.for_each_pair([&](std::int32_t i, std::int32_t j) {
+    narrow.emplace_back(i, j);
+  });
+  wide = pairs_from_wide_view(list);
+  ASSERT_EQ(wide.size(), list.pair_count());
+  std::sort(narrow.begin(), narrow.end());
+  std::sort(wide.begin(), wide.end());
+  EXPECT_EQ(narrow, wide);
+}
+
+// ---- cross-ISA parity: cluster nonbonded ------------------------------
+
+struct NbResult {
+  std::vector<Vec3> f;
+  Energies e;
+};
+
+NbResult eval(const Box& box, const NbParamTable& params,
+              const ClusterPairList& list, std::span<const Vec3> x,
+              std::span<const int> t, KernelIsa isa) {
+  NbWorkspace ws;
+  NbResult r;
+  r.f.assign(x.size(), Vec3{});
+  r.e = compute_nonbonded_clusters(box, params, list, x, t, r.f, ws, isa);
+  return r;
+}
+
+void check_isa_parity(const Box& box, const NbParamTable& params,
+                      const ClusterPairList& list, std::span<const Vec3> x,
+                      std::span<const int> t) {
+  const NbResult ref = eval(box, params, list, x, t, KernelIsa::Scalar);
+  for (const KernelIsa isa : simd::supported_isas()) {
+    if (isa == KernelIsa::Scalar) continue;
+    const NbResult got = eval(box, params, list, x, t, isa);
+    expect_forces_close(got.f, ref.f, simd::isa_name(isa));
+    EXPECT_NEAR(got.e.lj, ref.e.lj, 1e-4 * (1.0 + std::abs(ref.e.lj)))
+        << simd::isa_name(isa);
+    EXPECT_NEAR(got.e.coulomb, ref.e.coulomb,
+                1e-4 * (1.0 + std::abs(ref.e.coulomb)))
+        << simd::isa_name(isa);
+  }
+}
+
+TEST(CrossIsaParity, LocalForcesAgreeAt3k) {
+  md::GrappaSpec spec;
+  spec.target_atoms = 3000;
+  spec.density = 50.0;
+  const System sys = build_grappa(spec);
+  const ForceField ff(grappa_atom_types(), 0.9);
+  const NbParamTable params(ff);
+  ClusterPairList list;
+  list.build_local(sys.box, sys.x, sys.natoms(), 1.0);
+  check_isa_parity(sys.box, params, list, sys.x, sys.type);
+}
+
+TEST(CrossIsaParity, LocalForcesAgreeAt24k) {
+  md::GrappaSpec spec;
+  spec.target_atoms = 24000;
+  spec.density = 50.0;
+  const System sys = build_grappa(spec);
+  const ForceField ff(grappa_atom_types(), 0.9);
+  const NbParamTable params(ff);
+  ClusterPairList list;
+  list.build_local(sys.box, sys.x, sys.natoms(), 1.0);
+  check_isa_parity(sys.box, params, list, sys.x, sys.type);
+}
+
+TEST(CrossIsaParity, NonlocalListAgrees) {
+  const ForceField ff(grappa_atom_types(), 0.9);
+  const NbParamTable params(ff);
+  const Box box(6, 6, 6);
+  const auto x = random_positions(900, box, 42);
+  const auto t = random_types(900, ff.num_types(), 43);
+  ClusterPairList list;
+  list.build_nonlocal(box, x, 600, 1.0);
+  check_isa_parity(box, params, list, x, t);
+}
+
+TEST(CrossIsaParity, BufferedDriftThenPruneAgrees) {
+  // The Verlet-buffer path: a buffered list evaluated at drifted
+  // positions, then pruned. Every ISA must agree with Scalar on both the
+  // stale-list evaluation and the post-prune one.
+  const ForceField ff(grappa_atom_types(), 0.9);
+  const NbParamTable params(ff);
+  const Box box(6, 6, 6);
+  auto x = random_positions(800, box, 44);
+  const auto t = random_types(800, ff.num_types(), 45);
+  ClusterPairList list;
+  list.build_local(box, x, 800, 1.1);
+
+  util::Rng rng(46);
+  const float d = static_cast<float>(0.1 * 0.99 / std::sqrt(3.0));
+  for (auto& p : x) {
+    p = box.wrap(p + Vec3{static_cast<float>(rng.uniform(-d, d)),
+                          static_cast<float>(rng.uniform(-d, d)),
+                          static_cast<float>(rng.uniform(-d, d))});
+  }
+  check_isa_parity(box, params, list, x, t);
+  ASSERT_GT(list.prune(box, x, ff.cutoff()), 0u);
+  check_isa_parity(box, params, list, x, t);
+}
+
+TEST(CrossIsaParity, PruneIsBitNeutralAtEveryIsa) {
+  // Pruned entries contributed exactly +/-0 on the 4x4 path; the 4x8
+  // merge only relocates mask nibbles, so the same must hold per ISA.
+  const ForceField ff(grappa_atom_types(), 0.9);
+  const NbParamTable params(ff);
+  const Box box(6, 6, 6);
+  const auto x = random_positions(500, box, 47);
+  const auto t = random_types(500, ff.num_types(), 48);
+  for (const KernelIsa isa : simd::supported_isas()) {
+    ClusterPairList list;
+    list.build_local(box, x, 500, 1.1);
+    const NbResult before = eval(box, params, list, x, t, isa);
+    ASSERT_GT(list.prune(box, x, ff.cutoff()), 0u);
+    const NbResult after = eval(box, params, list, x, t, isa);
+    EXPECT_EQ(before.e.lj, after.e.lj) << simd::isa_name(isa);
+    EXPECT_EQ(before.e.coulomb, after.e.coulomb) << simd::isa_name(isa);
+    for (std::size_t i = 0; i < before.f.size(); ++i) {
+      EXPECT_EQ(before.f[i], after.f[i]) << simd::isa_name(isa) << " " << i;
+    }
+  }
+}
+
+// ---- cross-ISA parity: integrator -------------------------------------
+
+TEST(CrossIsaParity, IntegratorSse2IsBitExactWithScalar) {
+  // Forced Scalar/Sse2 both take the legacy double-arithmetic update —
+  // the forced-sse2 determinism contract for golden traces.
+  const ForceField ff(grappa_atom_types(), 0.9);
+  const Box box(5, 5, 5);
+  const int n = 777;
+  const auto x0 = random_positions(n, box, 50);
+  const auto t = random_types(n, ff.num_types(), 51);
+  const auto f = random_positions(n, box, 52);  // arbitrary force values
+  const auto v0 = random_positions(n, box, 53);
+
+  const LeapfrogIntegrator integ(2e-3);
+  auto xa = x0, va = v0, xb = x0, vb = v0;
+  for (int step = 0; step < 5; ++step) {
+    integ.step(box, ff, t, f, va, xa, KernelIsa::Scalar);
+    integ.step(box, ff, t, f, vb, xb, KernelIsa::Sse2);
+  }
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(xa[static_cast<std::size_t>(i)], xb[static_cast<std::size_t>(i)])
+        << i;
+    EXPECT_EQ(va[static_cast<std::size_t>(i)], vb[static_cast<std::size_t>(i)])
+        << i;
+  }
+}
+
+TEST(CrossIsaParity, IntegratorWideIsasMatchScalarClosely) {
+  const ForceField ff(grappa_atom_types(), 0.9);
+  const Box box(5, 5, 5);
+  const int n = 1003;  // non-multiple of 8: covers the vector tail
+  const auto x0 = random_positions(n, box, 54);
+  const auto t = random_types(n, ff.num_types(), 55);
+  const auto f = random_positions(n, box, 56);
+  const auto v0 = random_positions(n, box, 57);
+  const LeapfrogIntegrator integ(2e-3);
+
+  auto xr = x0, vr = v0;
+  for (int step = 0; step < 5; ++step) {
+    integ.step(box, ff, t, f, vr, xr, KernelIsa::Scalar);
+  }
+  for (const KernelIsa isa : simd::supported_isas()) {
+    if (isa < KernelIsa::Avx2) continue;
+    auto xw = x0, vw = v0;
+    for (int step = 0; step < 5; ++step) {
+      integ.step(box, ff, t, f, vw, xw, isa);
+    }
+    for (int i = 0; i < n; ++i) {
+      const auto k = static_cast<std::size_t>(i);
+      for (int d = 0; d < 3; ++d) {
+        // Positions live on a torus: compare modulo the box length so a
+        // float-rounding wrap right at a boundary is not a false failure.
+        const double L = box.length(d);
+        double dx = std::abs(static_cast<double>(xw[k][d]) - xr[k][d]);
+        dx = std::min(dx, L - dx);
+        EXPECT_LT(dx, 1e-4) << simd::isa_name(isa) << " x " << i;
+        EXPECT_NEAR(vw[k][d], vr[k][d], 1e-4f)
+            << simd::isa_name(isa) << " v " << i;
+      }
+    }
+  }
+}
+
+// ---- cross-ISA parity: elementwise ops (bit-exact) --------------------
+
+TEST(CrossIsaParity, PackUnpackReduceAreBitIdentical) {
+  const Box box(6, 6, 6);
+  const int n = 1200;
+  const auto x = random_positions(n, box, 60);
+  util::Rng rng(61);
+  std::vector<int> idx;
+  for (int k = 0; k < 531; ++k) {  // unique ascending subset
+    idx.push_back(static_cast<int>(rng.next_below(2)) + (k > 0 ? idx.back() : 0) + 1);
+  }
+  ASSERT_LT(idx.back(), n);
+  const Vec3 shift{0.25f, -6.0f, 0.125f};
+
+  std::vector<Vec3> ref_pack(idx.size());
+  simd::pack_shifted(x, idx, 0, idx.size(), shift, ref_pack.data(),
+                     KernelIsa::Scalar);
+  std::vector<Vec3> ref_f = random_positions(n, box, 62);
+  const auto incoming = random_positions(static_cast<int>(idx.size()), box, 63);
+  simd::unpack_accumulate(ref_f, idx, incoming, KernelIsa::Scalar);
+  std::vector<Vec3> ref_acc = random_positions(n, box, 64);
+  simd::accumulate(ref_acc, x, KernelIsa::Scalar);
+
+  for (const KernelIsa isa : simd::supported_isas()) {
+    if (isa == KernelIsa::Scalar) continue;
+    std::vector<Vec3> pack(idx.size());
+    simd::pack_shifted(x, idx, 0, idx.size(), shift, pack.data(), isa);
+    std::vector<Vec3> f = random_positions(n, box, 62);
+    simd::unpack_accumulate(f, idx, incoming, isa);
+    std::vector<Vec3> acc = random_positions(n, box, 64);
+    simd::accumulate(acc, x, isa);
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      EXPECT_EQ(pack[k], ref_pack[k]) << simd::isa_name(isa) << " " << k;
+    }
+    for (int i = 0; i < n; ++i) {
+      const auto k = static_cast<std::size_t>(i);
+      EXPECT_EQ(f[k], ref_f[k]) << simd::isa_name(isa) << " f " << i;
+      EXPECT_EQ(acc[k], ref_acc[k]) << simd::isa_name(isa) << " acc " << i;
+    }
+  }
+}
+
+TEST(CrossIsaParity, SubRangePackMatchesFullPack) {
+  // The SHMEM transport packs in chunks (first/count sub-ranges); chunked
+  // packing must equal one full pack at any ISA.
+  const Box box(6, 6, 6);
+  const auto x = random_positions(500, box, 65);
+  std::vector<int> idx;
+  for (int k = 0; k < 333; ++k) idx.push_back((k * 3) % 500);
+  const Vec3 shift{-6.0f, 0.0f, 3.5f};
+
+  for (const KernelIsa isa : simd::supported_isas()) {
+    std::vector<Vec3> full(idx.size());
+    simd::pack_shifted(x, idx, 0, idx.size(), shift, full.data(), isa);
+    std::vector<Vec3> chunked(idx.size());
+    const std::size_t cut = 101;
+    simd::pack_shifted(x, idx, 0, cut, shift, chunked.data(), isa);
+    simd::pack_shifted(x, idx, cut, idx.size() - cut, shift,
+                       chunked.data() + cut, isa);
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      EXPECT_EQ(chunked[k], full[k]) << simd::isa_name(isa) << " " << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hs::md

@@ -58,6 +58,67 @@ TEST(SoaVecs, ScatterAddIndexedSkipsNegativeAndAccumulates) {
   EXPECT_EQ(dst[1], (Vec3{11.5f, 22.5f, 33.5f}));
 }
 
+TEST(SoaVecs, TailElementsSurviveWhenCountIsNotLaneMultiple) {
+  // Regression for the SIMD shims: n % 8 != 0 leaves a scalar tail that
+  // the lane-block paths must not drop or overrun. Every shim is
+  // elementwise, so results are exact at any dispatched ISA.
+  const int n = 1003;
+  const auto src = random_vecs(n, 4);
+
+  SoaVecs soa;
+  soa.gather(src);
+  ASSERT_EQ(soa.size(), src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(soa.at(i), src[i]) << i;
+  }
+  std::vector<Vec3> back(src.size());
+  soa.scatter(back);
+  EXPECT_EQ(back, src);
+
+  // Indexed gather through a shuffled unique map (reverse order).
+  std::vector<std::int32_t> idx(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    idx[static_cast<std::size_t>(k)] = n - 1 - k;
+  }
+  soa.gather_indexed(src, idx);
+  ASSERT_EQ(soa.size(), idx.size());
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    EXPECT_EQ(soa.at(k), src[static_cast<std::size_t>(idx[k])]) << k;
+  }
+
+  // Indexed scatter-add back through the same unique map, with a pad
+  // slot (-1) in the tail region.
+  idx[static_cast<std::size_t>(n - 2)] = -1;
+  std::vector<Vec3> dst(static_cast<std::size_t>(n), Vec3{1, 1, 1});
+  soa.scatter_add_indexed(dst, idx);
+  for (int k = 0; k < n; ++k) {
+    const auto ks = static_cast<std::size_t>(k);
+    if (idx[ks] < 0) continue;
+    const Vec3 expect = Vec3{1, 1, 1} + soa.at(ks);
+    EXPECT_EQ(dst[static_cast<std::size_t>(idx[ks])], expect) << k;
+  }
+  EXPECT_EQ(dst[1], (Vec3{1, 1, 1}));  // slot idx[n-2] pointed at: untouched
+}
+
+TEST(SoaVecs, ScatterAddIndexedAcceptsShorterIndexMap) {
+  // 8-wide kernels pad the workspace to a whole number of j-cluster
+  // pairs, so the force SoA may be longer than the cluster atom map;
+  // trailing slots must be ignored.
+  const int n = 24;
+  const auto vals = random_vecs(n, 5);
+  SoaVecs soa;
+  soa.gather(vals);
+  std::vector<std::int32_t> idx;
+  for (int k = 0; k < n - 8; ++k) idx.push_back(k);
+  std::vector<Vec3> dst(static_cast<std::size_t>(n - 8), Vec3{});
+  soa.scatter_add_indexed(dst, idx);
+  for (int k = 0; k < n - 8; ++k) {
+    EXPECT_EQ(dst[static_cast<std::size_t>(k)],
+              vals[static_cast<std::size_t>(k)])
+        << k;
+  }
+}
+
 TEST(SoaVecs, AssignZeroRecyclesAndZeroes) {
   SoaVecs soa;
   soa.gather(random_vecs(32, 3));
