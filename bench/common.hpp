@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "dd/geometry.hpp"
+#include "runner/case.hpp"
 #include "runner/critical_path.hpp"
 #include "runner/md_runner.hpp"
 #include "runner/timing.hpp"
@@ -27,32 +28,13 @@
 
 namespace hs::bench {
 
-/// Grappa benchmark-set number density (water-like, ~100 atoms/nm^3).
-inline constexpr double kGrappaDensity = 100.0;
-/// Communication cutoff = pair-list radius (cutoff + the large Verlet
-/// buffer an nstlist=200 setup needs). At 1.3 nm the 90k/8-rank slabs are
-/// thinner than the cutoff, giving the two-pulse "1D" decompositions the
-/// paper's Fig. 7 pulse accounting implies.
-inline constexpr double kCommCutoff = 1.30;
-
-struct CaseResult {
-  runner::PerfReport perf;
-  runner::DeviceTimingReport timing;
-  dd::GridDims grid;
-};
-
-struct CaseSpec {
-  long long atoms = 45000;
-  sim::Topology topology = sim::Topology::dgx_h100(1, 4);
-  sim::CostModel cost_model = sim::CostModel::h100_eos();
-  runner::RunConfig config{};
-  int steps = 16;
-  int warmup = 4;
-  /// 0 = classic sequential engine; >= 1 = partitioned parallel engine with
-  /// that many worker threads (every bench accepts --workers=N; the output
-  /// is bit-identical across N >= 1 — see DESIGN.md "Parallel engine").
-  int workers = 0;
-};
+// The case harness itself lives in src/runner/case.hpp so the campaign
+// sweep service runs the exact same cases; these aliases keep the bench
+// sources on their historical names.
+inline constexpr double kGrappaDensity = runner::kGrappaDensity;
+inline constexpr double kCommCutoff = runner::kCommCutoff;
+using CaseResult = runner::CaseResult;
+using CaseSpec = runner::CaseSpec;
 
 /// Observability sink shared by all benches: collects per-run traces into
 /// one Chrome-trace JSON file (`--trace-json=<path>`), prints fabric /
@@ -288,39 +270,15 @@ inline int cli_workers(const util::Cli& cli) {
 
 inline CaseResult run_case(const CaseSpec& spec, Observability* obs = nullptr,
                            const std::string& label = {}) {
-  const int ranks = spec.topology.device_count();
-  const float box_len =
-      static_cast<float>(std::cbrt(static_cast<double>(spec.atoms) / kGrappaDensity));
-  const md::Box box(box_len, box_len, box_len);
-  const dd::GridDims dims = dd::choose_grid(box, ranks, kCommCutoff);
-  const dd::DomainGrid grid(box, dims);
-
-  sim::MachineOptions machine_options;
-  machine_options.workers = spec.workers;
-  if (spec.workers > 0 && spec.config.transport == halo::Transport::Mpi) {
-    // The MPI transport is CPU-blocking across ranks and refuses the
-    // partitioned engine; comparative benches keep their MPI baseline on
-    // the classic engine so --workers still works for the whole suite.
-    machine_options.workers = 0;
+  runner::CaseHooks hooks;
+  if (obs != nullptr) {
+    hooks.configure = [obs](sim::Machine& machine) { obs->configure(machine); };
+    hooks.collect = [obs, &label, &spec](sim::Machine& machine,
+                                         pgas::World& world) {
+      obs->collect(label, machine, &world, spec.warmup);
+    };
   }
-  sim::Machine machine(spec.topology, spec.cost_model, machine_options);
-  machine.trace().set_enabled(true);
-  if (obs != nullptr) obs->configure(machine);
-  pgas::World world(machine);
-  msg::Comm comm(machine);
-  runner::MdRunner md_runner(
-      machine, world, comm,
-      halo::make_skeleton_workload(grid, kCommCutoff, kGrappaDensity),
-      spec.config);
-  md_runner.run(spec.steps);
-
-  CaseResult result;
-  result.perf = md_runner.perf(spec.warmup);
-  result.timing = runner::analyze_device_timing(
-      machine.trace(), md_runner.step_end_times(), ranks, spec.warmup);
-  result.grid = dims;
-  if (obs != nullptr) obs->collect(label, machine, &world, spec.warmup);
-  return result;
+  return runner::run_case(spec, obs != nullptr ? &hooks : nullptr);
 }
 
 inline std::string grid_name(const dd::GridDims& g) {

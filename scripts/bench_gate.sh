@@ -13,8 +13,9 @@
 # for every host-supported kernel ISA; generous threshold, see that
 # script), scripts/md_smoke.sh --skip-asan, the cluster-kernel speedup
 # floors (widest-dispatch vs scalar, plus AVX2/AVX-512 4x8 vs SSE2 4x4),
-# scripts/telemetry_smoke.sh, the telemetry-export end-to-end check, and
-# scripts/threads_smoke.sh, the TSan pass over the parallel engine.
+# scripts/telemetry_smoke.sh, the telemetry-export end-to-end check,
+# scripts/threads_smoke.sh, the TSan pass over the parallel engine, and
+# scripts/sweep_smoke.sh, the campaign sweep determinism/cache gate.
 set -euo pipefail
 
 BUILD_DIR="build"
@@ -67,4 +68,5 @@ if [[ "$WALL" == 1 ]]; then
   "$REPO_ROOT/scripts/md_smoke.sh" "$BUILD_DIR" --skip-asan
   "$REPO_ROOT/scripts/telemetry_smoke.sh" "$BUILD_DIR"
   "$REPO_ROOT/scripts/threads_smoke.sh"
+  "$REPO_ROOT/scripts/sweep_smoke.sh" "$BUILD_DIR"
 fi

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the campaign sweep service (tools/halo_sweep +
+# src/sweep), asserting its three load-bearing guarantees:
+#
+#   1. Determinism: the same spec run twice renders byte-identical
+#      halosim-campaign-v1 JSON and CSV, with the second run served
+#      entirely from the content-addressed cache (0 misses).
+#   2. Robustness: corrupting a cache entry must make exactly that case
+#      re-simulate (a miss, not a crash) and repair the entry.
+#   3. Shard-count independence: --shards=4 produces the same merged
+#      document as --shards=1.
+#
+# Plus a --serve round trip: one spec line in, one result line out.
+#
+#   $ scripts/sweep_smoke.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+SWEEP="$BUILD_DIR/tools/halo_sweep"
+SPEC="campaigns/smoke.json"
+if [[ ! -x "$SWEEP" ]]; then
+  echo "sweep_smoke: missing $SWEEP — build first (cmake --build $BUILD_DIR -j)" >&2
+  exit 2
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+CACHE="$WORK/cache"
+
+fail() { echo "sweep_smoke: FAIL — $*" >&2; exit 1; }
+
+# 1. Cold run, then a warm run that must be all hits and byte-identical.
+"$SWEEP" "$SPEC" --cache-dir="$CACHE" --out="$WORK/run1.json" \
+  --csv="$WORK/run1.csv" 2> "$WORK/stderr1.txt"
+grep -q " 0 hits, 5 misses" "$WORK/stderr1.txt" \
+  || fail "cold run was not 5 misses: $(tail -1 "$WORK/stderr1.txt")"
+"$SWEEP" "$SPEC" --cache-dir="$CACHE" --out="$WORK/run2.json" \
+  --csv="$WORK/run2.csv" 2> "$WORK/stderr2.txt"
+grep -q " 5 hits, 0 misses" "$WORK/stderr2.txt" \
+  || fail "warm run was not 100% cache hits: $(tail -1 "$WORK/stderr2.txt")"
+cmp -s "$WORK/run1.json" "$WORK/run2.json" \
+  || fail "warm JSON differs from cold JSON (byte-identity broken)"
+cmp -s "$WORK/run1.csv" "$WORK/run2.csv" \
+  || fail "warm CSV differs from cold CSV"
+
+# 2. Corrupt one entry: the sweep must re-simulate that case (1 miss),
+#    still produce identical output, and leave the entry repaired.
+VICTIM="$(ls "$CACHE"/*.json | head -1)"
+echo "garbage {{{" > "$VICTIM"
+"$SWEEP" "$SPEC" --cache-dir="$CACHE" --out="$WORK/run3.json" \
+  2> "$WORK/stderr3.txt"
+grep -q " 4 hits, 1 misses" "$WORK/stderr3.txt" \
+  || fail "corrupt entry did not read as exactly one miss: $(tail -1 "$WORK/stderr3.txt")"
+cmp -s "$WORK/run1.json" "$WORK/run3.json" \
+  || fail "output changed after cache-entry corruption"
+grep -q '"schema":"halosim-bench-metrics-v1"' "$VICTIM" \
+  || fail "corrupt cache entry was not rewritten"
+
+# 3. Shard-count independence against fresh caches.
+"$SWEEP" "$SPEC" --cache-dir="$WORK/cache_s1" --shards=1 \
+  --out="$WORK/s1.json" --quiet 2>/dev/null
+"$SWEEP" "$SPEC" --cache-dir="$WORK/cache_s4" --shards=4 \
+  --out="$WORK/s4.json" --quiet 2>/dev/null
+cmp -s "$WORK/s1.json" "$WORK/s4.json" \
+  || fail "--shards=1 and --shards=4 disagree"
+cmp -s "$WORK/run1.json" "$WORK/s1.json" \
+  || fail "sharded run disagrees with the original run"
+
+# 4. Serve mode: one spec line in, one warm-cache answer line out.
+SERVE_OUT="$(tr -d '\n' < "$SPEC" | "$SWEEP" --serve --cache-dir="$CACHE" --quiet)"
+[[ "$(printf '%s\n' "$SERVE_OUT" | wc -l)" == 1 ]] \
+  || fail "--serve did not answer with exactly one line"
+printf '%s' "$SERVE_OUT" | grep -q '"schema":"halosim-campaign-v1"' \
+  || fail "--serve answer is not a halosim-campaign-v1 line"
+
+echo "sweep_smoke: OK (determinism, cache repair, shard independence, serve)"

@@ -1,0 +1,62 @@
+#include "runner/case.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "halo/workload.hpp"
+#include "msg/comm.hpp"
+#include "pgas/world.hpp"
+
+namespace hs::runner {
+
+CaseResult run_case(const CaseSpec& spec, const CaseHooks* hooks) {
+  const int ranks = spec.topology.device_count();
+  const float box_len = static_cast<float>(
+      std::cbrt(static_cast<double>(spec.atoms) / kGrappaDensity));
+  const md::Box box(box_len, box_len, box_len);
+  dd::GridDims dims;
+  if (spec.dd.has_value()) {
+    dims = *spec.dd;
+    if (dims.total() != ranks) {
+      throw std::invalid_argument(
+          "run_case: forced DD grid " + std::to_string(dims.nx) + "x" +
+          std::to_string(dims.ny) + "x" + std::to_string(dims.nz) +
+          " covers " + std::to_string(dims.total()) + " ranks, topology has " +
+          std::to_string(ranks));
+    }
+  } else {
+    dims = dd::choose_grid(box, ranks, kCommCutoff);
+  }
+  const dd::DomainGrid grid(box, dims);
+
+  sim::MachineOptions machine_options;
+  machine_options.workers = spec.workers;
+  if (spec.workers > 0 && spec.config.transport == halo::Transport::Mpi) {
+    // The MPI transport is CPU-blocking across ranks and refuses the
+    // partitioned engine; comparative benches keep their MPI baseline on
+    // the classic engine so --workers still works for the whole suite.
+    machine_options.workers = 0;
+  }
+  sim::Machine machine(spec.topology, spec.cost_model, machine_options);
+  machine.trace().set_enabled(true);
+  if (hooks != nullptr && hooks->configure) hooks->configure(machine);
+  pgas::World world(machine);
+  msg::Comm comm(machine);
+  MdRunner md_runner(machine, world, comm,
+                     halo::make_skeleton_workload(grid, kCommCutoff,
+                                                  kGrappaDensity),
+                     spec.config);
+  md_runner.run(spec.steps);
+
+  CaseResult result;
+  result.perf = md_runner.perf(spec.warmup);
+  result.timing = analyze_device_timing(machine.trace(),
+                                        md_runner.step_end_times(), ranks,
+                                        spec.warmup);
+  result.grid = dims;
+  if (hooks != nullptr && hooks->collect) hooks->collect(machine, world);
+  return result;
+}
+
+}  // namespace hs::runner

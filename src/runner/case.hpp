@@ -1,0 +1,65 @@
+// One self-contained benchmark case: a grappa-like skeleton workload on a
+// simulated cluster, run through the GPU-resident MD schedule.
+//
+// Extracted from bench/common.hpp so non-bench drivers (the campaign
+// sweep service, tools) can run the exact same cases the figure benches
+// run: bench::CaseSpec/run_case are aliases of these.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "dd/geometry.hpp"
+#include "runner/config.hpp"
+#include "runner/md_runner.hpp"
+#include "runner/timing.hpp"
+#include "sim/costmodel.hpp"
+#include "sim/machine.hpp"
+
+namespace hs::runner {
+
+/// Grappa benchmark-set number density (water-like, ~100 atoms/nm^3, §6.1).
+inline constexpr double kGrappaDensity = 100.0;
+/// Communication cutoff = pair-list radius (cutoff + the large Verlet
+/// buffer an nstlist=200 setup needs). At 1.3 nm the 90k/8-rank slabs are
+/// thinner than the cutoff, giving the two-pulse "1D" decompositions the
+/// paper's Fig. 7 pulse accounting implies.
+inline constexpr double kCommCutoff = 1.30;
+
+struct CaseSpec {
+  long long atoms = 45000;
+  sim::Topology topology = sim::Topology::dgx_h100(1, 4);
+  sim::CostModel cost_model = sim::CostModel::h100_eos();
+  RunConfig config{};
+  int steps = 16;
+  int warmup = 4;
+  /// 0 = classic sequential engine; >= 1 = partitioned parallel engine with
+  /// that many worker threads (bit-identical output across N >= 1).
+  int workers = 0;
+  /// Forced DD grid (the gmx mdrun -dd analogue). Empty: choose_grid picks
+  /// the paper's dimensionality policy. Must factor the device count.
+  std::optional<dd::GridDims> dd;
+};
+
+struct CaseResult {
+  PerfReport perf;
+  DeviceTimingReport timing;
+  dd::GridDims grid;
+};
+
+/// Observation points around a run, for callers that want to read the
+/// machine (trace, counters, telemetry) without owning the run loop.
+/// `configure` fires right after Machine construction, before the
+/// instrumented layers register; `collect` fires after the run, before
+/// teardown.
+struct CaseHooks {
+  std::function<void(sim::Machine&)> configure;
+  std::function<void(sim::Machine&, pgas::World&)> collect;
+};
+
+/// Build the skeleton workload for `spec` and run it to completion.
+/// Throws std::invalid_argument if a forced DD grid does not match the
+/// topology's device count.
+CaseResult run_case(const CaseSpec& spec, const CaseHooks* hooks = nullptr);
+
+}  // namespace hs::runner

@@ -1,0 +1,79 @@
+#include "sweep/cache.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.hpp"
+#include "util/metrics.hpp"
+
+namespace hs::sweep {
+
+namespace fs = std::filesystem;
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string ResultCache::path(const std::string& hash_hex) const {
+  return dir_ + "/" + hash_hex + ".json";
+}
+
+bool validate_case_document(const std::string& text) {
+  try {
+    const auto doc = util::json::parse(text);
+    return doc.is_object() && doc.contains("schema") &&
+           doc.at("schema").is_string() &&
+           doc.at("schema").as_string() == util::metrics::kSchema &&
+           doc.contains("cases") && doc.at("cases").is_object() &&
+           doc.at("cases").size() > 0;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::optional<std::string> ResultCache::load(const std::string& hash_hex) const {
+  if (memoize_) {
+    const auto it = memo_.find(hash_hex);
+    if (it != memo_.end()) return it->second;
+  }
+  if (!enabled()) return std::nullopt;
+  std::ifstream in(path(hash_hex));
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  if (!validate_case_document(text)) return std::nullopt;
+  if (memoize_) memo_[hash_hex] = text;
+  return text;
+}
+
+bool ResultCache::store(const std::string& hash_hex,
+                        const std::string& text) const {
+  if (memoize_) memo_[hash_hex] = text;
+  if (!enabled()) return true;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) return false;
+  // tmp + rename: concurrent shards may store different hashes into the
+  // same directory, and a killed writer must never leave a half-written
+  // entry under the final name (a truncated file would still read as a
+  // miss, but the invariant is cheap to keep absolute).
+  const std::string tmp =
+      path(hash_hex) + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream os(tmp);
+    if (!os) return false;
+    os << text;
+    if (!os) return false;
+  }
+  fs::rename(tmp, path(hash_hex), ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hs::sweep

@@ -1,0 +1,54 @@
+// Content-addressed on-disk result store for the campaign sweep.
+//
+// One file per case, `<dir>/<hash16>.json`, where the hash is the FNV-1a
+// of the case's canonical config serialization (campaign.hpp). Because
+// the simulator is deterministic, a config's result document is a pure
+// function of its hash: a hit can be trusted byte-for-byte, a repeat
+// sweep is 100% hits, and shards never contend (distinct configs write
+// distinct files; stores are tmp+rename atomic). Corrupt or truncated
+// entries fail validation and read as misses — the case is simply
+// re-simulated and the entry rewritten.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace hs::sweep {
+
+class ResultCache {
+ public:
+  /// `dir` is created (recursively) on first store; "" disables the disk
+  /// layer entirely — every load misses, stores go nowhere.
+  explicit ResultCache(std::string dir);
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  /// Path of a (possibly absent) entry.
+  std::string path(const std::string& hash_hex) const;
+
+  /// Returns the stored document text, or nullopt when absent or when
+  /// validation fails (unparseable, wrong schema, empty cases — e.g. a
+  /// truncated write from a killed shard).
+  std::optional<std::string> load(const std::string& hash_hex) const;
+
+  /// Atomically store (write tmp, rename). Returns false on I/O failure.
+  bool store(const std::string& hash_hex, const std::string& text) const;
+
+  /// Keep loaded/stored documents in memory too, so a long-lived server
+  /// answers repeat queries without touching the filesystem. Also the
+  /// only layer that works with the disk cache disabled.
+  void set_memoize(bool on) { memoize_ = on; }
+
+ private:
+  std::string dir_;
+  bool memoize_ = false;
+  mutable std::map<std::string, std::string> memo_;
+};
+
+/// True if `text` parses as a bench-metrics-v1 document with at least one
+/// case — the validation `load` applies.
+bool validate_case_document(const std::string& text);
+
+}  // namespace hs::sweep

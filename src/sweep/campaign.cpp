@@ -1,0 +1,498 @@
+#include "sweep/campaign.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+#include "util/json_writer.hpp"
+
+namespace hs::sweep {
+
+namespace {
+
+using util::json::Value;
+
+std::string quoted(const std::string& s) {
+  return "\"" + util::json::escape(s) + "\"";
+}
+
+std::string opt_number(double v) {
+  return v < 0.0 ? "null" : util::json::format_number(v);
+}
+
+[[noreturn]] void axis_error(const std::string& axis, const std::string& what) {
+  throw std::runtime_error("campaign: axis '" + axis + "': " + what);
+}
+
+long long as_int(const Value& v, const std::string& axis) {
+  if (!v.is_number()) axis_error(axis, "expected an integer");
+  const double d = v.as_number();
+  if (d != std::floor(d)) axis_error(axis, "expected an integer");
+  return static_cast<long long>(d);
+}
+
+double as_num(const Value& v, const std::string& axis) {
+  if (!v.is_number()) axis_error(axis, "expected a number");
+  return v.as_number();
+}
+
+bool as_bool(const Value& v, const std::string& axis) {
+  if (!v.is_bool()) axis_error(axis, "expected true/false");
+  return v.as_bool();
+}
+
+std::string as_str(const Value& v, const std::string& axis) {
+  if (!v.is_string()) axis_error(axis, "expected a string");
+  return v.as_string();
+}
+
+void set_dd(CaseConfig& c, const Value& v, const std::string& axis) {
+  if (!v.is_array() || v.size() != 3) {
+    axis_error(axis, "expected [nx, ny, nz] (0,0,0 = auto)");
+  }
+  for (int i = 0; i < 3; ++i) {
+    const long long n = as_int(v.at(static_cast<std::size_t>(i)), axis);
+    if (n < 0) axis_error(axis, "dimensions must be >= 0");
+    c.dd[i] = static_cast<int>(n);
+  }
+}
+
+using Setter = std::function<void(CaseConfig&, const Value&,
+                                  const std::string&)>;
+
+/// Axis name -> setter, in a std::map so grid iteration (and therefore
+/// expansion order) is deterministic and alphabetical.
+const std::map<std::string, Setter>& axes() {
+  static const std::map<std::string, Setter> table = {
+      {"atoms", [](CaseConfig& c, const Value& v, const std::string& a) {
+         c.atoms = as_int(v, a);
+       }},
+      {"cost_model", [](CaseConfig& c, const Value& v, const std::string& a) {
+         c.cost_model = as_str(v, a);
+       }},
+      {"cpu_pe_barrier",
+       [](CaseConfig& c, const Value& v, const std::string& a) {
+         c.cpu_pe_barrier = as_bool(v, a);
+       }},
+      {"dd", set_dd},
+      {"dependency_partitioning",
+       [](CaseConfig& c, const Value& v, const std::string& a) {
+         c.dependency_partitioning = as_bool(v, a);
+       }},
+      {"dt_fs", [](CaseConfig& c, const Value& v, const std::string& a) {
+         c.dt_fs = as_num(v, a);
+       }},
+      {"fuse_pulses", [](CaseConfig& c, const Value& v, const std::string& a) {
+         c.fuse_pulses = as_bool(v, a);
+       }},
+      {"fused_signaling",
+       [](CaseConfig& c, const Value& v, const std::string& a) {
+         c.fused_signaling = as_bool(v, a);
+       }},
+      {"gpus_per_node",
+       [](CaseConfig& c, const Value& v, const std::string& a) {
+         c.gpus_per_node = static_cast<int>(as_int(v, a));
+       }},
+      {"ib_bytes_per_ns",
+       [](CaseConfig& c, const Value& v, const std::string& a) {
+         c.ib_bytes_per_ns = as_num(v, a);
+       }},
+      {"ib_latency_ns",
+       [](CaseConfig& c, const Value& v, const std::string& a) {
+         c.ib_latency_ns = as_num(v, a);
+       }},
+      {"ib_per_message_ns",
+       [](CaseConfig& c, const Value& v, const std::string& a) {
+         c.ib_per_message_ns = as_num(v, a);
+       }},
+      {"machine", [](CaseConfig& c, const Value& v, const std::string& a) {
+         c.machine = as_str(v, a);
+       }},
+      {"nodes", [](CaseConfig& c, const Value& v, const std::string& a) {
+         c.nodes = static_cast<int>(as_int(v, a));
+       }},
+      {"nvlink_bytes_per_ns",
+       [](CaseConfig& c, const Value& v, const std::string& a) {
+         c.nvlink_bytes_per_ns = as_num(v, a);
+       }},
+      {"nvlink_latency_ns",
+       [](CaseConfig& c, const Value& v, const std::string& a) {
+         c.nvlink_latency_ns = as_num(v, a);
+       }},
+      {"nvlink_per_message_ns",
+       [](CaseConfig& c, const Value& v, const std::string& a) {
+         c.nvlink_per_message_ns = as_num(v, a);
+       }},
+      {"proxy_placement",
+       [](CaseConfig& c, const Value& v, const std::string& a) {
+         c.proxy_placement = as_str(v, a);
+       }},
+      {"prune_interval",
+       [](CaseConfig& c, const Value& v, const std::string& a) {
+         c.prune_interval = static_cast<int>(as_int(v, a));
+       }},
+      {"prune_low_priority_stream",
+       [](CaseConfig& c, const Value& v, const std::string& a) {
+         c.prune_low_priority_stream = as_bool(v, a);
+       }},
+      {"steps", [](CaseConfig& c, const Value& v, const std::string& a) {
+         c.steps = static_cast<int>(as_int(v, a));
+       }},
+      {"third_stream_for_update",
+       [](CaseConfig& c, const Value& v, const std::string& a) {
+         c.third_stream_for_update = as_bool(v, a);
+       }},
+      {"transport", [](CaseConfig& c, const Value& v, const std::string& a) {
+         c.transport = as_str(v, a);
+       }},
+      {"use_cuda_graph",
+       [](CaseConfig& c, const Value& v, const std::string& a) {
+         c.use_cuda_graph = as_bool(v, a);
+       }},
+      {"use_tma", [](CaseConfig& c, const Value& v, const std::string& a) {
+         c.use_tma = as_bool(v, a);
+       }},
+      {"warmup", [](CaseConfig& c, const Value& v, const std::string& a) {
+         c.warmup = static_cast<int>(as_int(v, a));
+       }},
+      {"workers", [](CaseConfig& c, const Value& v, const std::string& a) {
+         c.workers = static_cast<int>(as_int(v, a));
+       }},
+  };
+  return table;
+}
+
+/// Validate enums/ranges and resolve cost_model "auto" -> preset name, so
+/// the canonical serialization (and hash) always names the concrete model.
+void finalize(CaseConfig& c) {
+  if (c.machine != "dgx_h100" && c.machine != "gb200_nvl72") {
+    axis_error("machine", "unknown machine '" + c.machine +
+                              "' (dgx_h100|gb200_nvl72)");
+  }
+  if (c.cost_model == "auto") {
+    c.cost_model = c.machine == "gb200_nvl72" ? "gb200_nvl72" : "h100_eos";
+  }
+  if (c.cost_model != "h100_eos" && c.cost_model != "gb200_nvl72") {
+    axis_error("cost_model", "unknown cost model '" + c.cost_model +
+                                 "' (auto|h100_eos|gb200_nvl72)");
+  }
+  if (c.transport != "mpi" && c.transport != "tmpi" && c.transport != "shmem") {
+    axis_error("transport",
+               "unknown transport '" + c.transport + "' (mpi|tmpi|shmem)");
+  }
+  if (c.proxy_placement != "reserved_core" &&
+      c.proxy_placement != "rank_pinned" &&
+      c.proxy_placement != "contended_core") {
+    axis_error("proxy_placement",
+               "unknown placement '" + c.proxy_placement +
+                   "' (reserved_core|rank_pinned|contended_core)");
+  }
+  if (c.nodes <= 0) axis_error("nodes", "must be >= 1");
+  if (c.gpus_per_node <= 0) axis_error("gpus_per_node", "must be >= 1");
+  if (c.atoms <= 0) axis_error("atoms", "must be >= 1");
+  if (c.steps <= 0) axis_error("steps", "must be >= 1");
+  if (c.warmup < 0 || c.warmup >= c.steps) {
+    axis_error("warmup", "must satisfy 0 <= warmup < steps");
+  }
+  if (c.workers < 0) axis_error("workers", "must be >= 0");
+  if (c.dd_forced() &&
+      c.dd[0] * c.dd[1] * c.dd[2] != c.nodes * c.gpus_per_node) {
+    axis_error("dd", "forced grid must cover nodes * gpus_per_node ranks");
+  }
+}
+
+}  // namespace
+
+std::string atoms_label(long long atoms) {
+  if (atoms % 1000000 == 0) return std::to_string(atoms / 1000000) + "M";
+  if (atoms >= 1000000) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2fM", static_cast<double>(atoms) / 1e6);
+    return buf;
+  }
+  if (atoms % 1000 == 0) return std::to_string(atoms / 1000) + "k";
+  return std::to_string(atoms);
+}
+
+std::string canonical_json(const CaseConfig& c) {
+  // A std::map keeps the emitted keys byte-sorted no matter what order
+  // fields are inserted in — canonicalization cannot drift with edits here.
+  std::map<std::string, std::string> fields;
+  const auto num = [](double v) { return util::json::format_number(v); };
+  fields["atoms"] = num(static_cast<double>(c.atoms));
+  fields["cost_model"] = quoted(c.cost_model);
+  fields["cpu_pe_barrier"] = c.cpu_pe_barrier ? "true" : "false";
+  fields["dd"] = "[" + std::to_string(c.dd[0]) + "," +
+                 std::to_string(c.dd[1]) + "," + std::to_string(c.dd[2]) + "]";
+  fields["dependency_partitioning"] =
+      c.dependency_partitioning ? "true" : "false";
+  fields["dt_fs"] = num(c.dt_fs);
+  fields["fuse_pulses"] = c.fuse_pulses ? "true" : "false";
+  fields["fused_signaling"] = c.fused_signaling ? "true" : "false";
+  fields["gpus_per_node"] = num(c.gpus_per_node);
+  fields["ib_bytes_per_ns"] = opt_number(c.ib_bytes_per_ns);
+  fields["ib_latency_ns"] = opt_number(c.ib_latency_ns);
+  fields["ib_per_message_ns"] = opt_number(c.ib_per_message_ns);
+  fields["machine"] = quoted(c.machine);
+  fields["nodes"] = num(c.nodes);
+  fields["nvlink_bytes_per_ns"] = opt_number(c.nvlink_bytes_per_ns);
+  fields["nvlink_latency_ns"] = opt_number(c.nvlink_latency_ns);
+  fields["nvlink_per_message_ns"] = opt_number(c.nvlink_per_message_ns);
+  fields["proxy_placement"] = quoted(c.proxy_placement);
+  fields["prune_interval"] = num(c.prune_interval);
+  fields["prune_low_priority_stream"] =
+      c.prune_low_priority_stream ? "true" : "false";
+  fields["steps"] = num(c.steps);
+  fields["third_stream_for_update"] =
+      c.third_stream_for_update ? "true" : "false";
+  fields["transport"] = quoted(c.transport);
+  fields["use_cuda_graph"] = c.use_cuda_graph ? "true" : "false";
+  fields["use_tma"] = c.use_tma ? "true" : "false";
+  fields["warmup"] = num(c.warmup);
+  fields["workers"] = num(c.workers);
+
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : fields) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + key + "\":" + value;
+  }
+  out += "}";
+  return out;
+}
+
+std::uint64_t case_hash(const CaseConfig& config) {
+  return util::fnv1a64(canonical_json(config));
+}
+
+std::string case_hash_hex(const CaseConfig& config) {
+  return util::hex64(case_hash(config));
+}
+
+std::string case_label(const CaseConfig& c) {
+  std::string label = c.transport + " " + atoms_label(c.atoms) + " " +
+                      std::to_string(c.nodes) + "nx" +
+                      std::to_string(c.gpus_per_node) + "g";
+  if (c.machine == "gb200_nvl72") label += " nvl72";
+  if (c.dd_forced()) {
+    label += " dd" + std::to_string(c.dd[0]) + "x" + std::to_string(c.dd[1]) +
+             "x" + std::to_string(c.dd[2]);
+  }
+  if (c.workers > 0) label += " w" + std::to_string(c.workers);
+  return label;
+}
+
+std::vector<std::string> case_labels(const std::vector<CaseConfig>& cases) {
+  std::vector<std::string> labels;
+  labels.reserve(cases.size());
+  std::map<std::string, int> counts;
+  for (const CaseConfig& c : cases) {
+    labels.push_back(case_label(c));
+    ++counts[labels.back()];
+  }
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    if (counts[labels[i]] > 1) {
+      labels[i] += " #" + case_hash_hex(cases[i]).substr(0, 8);
+    }
+  }
+  return labels;
+}
+
+runner::CaseSpec to_case_spec(const CaseConfig& c) {
+  runner::CaseSpec spec;
+  spec.atoms = c.atoms;
+  if (c.machine == "dgx_h100") {
+    spec.topology = sim::Topology::dgx_h100(c.nodes, c.gpus_per_node);
+  } else if (c.machine == "gb200_nvl72") {
+    spec.topology = sim::Topology::gb200_nvl72(c.nodes, c.gpus_per_node);
+  } else {
+    throw std::runtime_error("campaign: unknown machine '" + c.machine + "'");
+  }
+  if (c.cost_model == "h100_eos" ||
+      (c.cost_model == "auto" && c.machine == "dgx_h100")) {
+    spec.cost_model = sim::CostModel::h100_eos();
+  } else if (c.cost_model == "gb200_nvl72" || c.cost_model == "auto") {
+    spec.cost_model = sim::CostModel::gb200_nvl72();
+  } else {
+    throw std::runtime_error("campaign: unknown cost model '" + c.cost_model +
+                             "'");
+  }
+  sim::FabricParams& fabric = spec.cost_model.fabric;
+  if (c.nvlink_latency_ns >= 0.0) {
+    fabric.nvlink.latency_ns = static_cast<sim::SimTime>(c.nvlink_latency_ns);
+  }
+  if (c.nvlink_per_message_ns >= 0.0) {
+    fabric.nvlink.per_message_ns =
+        static_cast<sim::SimTime>(c.nvlink_per_message_ns);
+  }
+  if (c.nvlink_bytes_per_ns >= 0.0) {
+    fabric.nvlink.bytes_per_ns = c.nvlink_bytes_per_ns;
+  }
+  if (c.ib_latency_ns >= 0.0) {
+    fabric.ib.latency_ns = static_cast<sim::SimTime>(c.ib_latency_ns);
+  }
+  if (c.ib_per_message_ns >= 0.0) {
+    fabric.ib.per_message_ns = static_cast<sim::SimTime>(c.ib_per_message_ns);
+  }
+  if (c.ib_bytes_per_ns >= 0.0) fabric.ib.bytes_per_ns = c.ib_bytes_per_ns;
+
+  if (c.transport == "mpi") {
+    spec.config.transport = halo::Transport::Mpi;
+  } else if (c.transport == "tmpi") {
+    spec.config.transport = halo::Transport::ThreadMpi;
+  } else if (c.transport == "shmem") {
+    spec.config.transport = halo::Transport::Shmem;
+  } else {
+    throw std::runtime_error("campaign: unknown transport '" + c.transport +
+                             "'");
+  }
+  spec.config.halo_tuning.fuse_pulses = c.fuse_pulses;
+  spec.config.halo_tuning.dependency_partitioning = c.dependency_partitioning;
+  spec.config.halo_tuning.use_tma = c.use_tma;
+  spec.config.halo_tuning.fused_signaling = c.fused_signaling;
+  spec.config.prune_low_priority_stream = c.prune_low_priority_stream;
+  spec.config.third_stream_for_update = c.third_stream_for_update;
+  spec.config.use_cuda_graph = c.use_cuda_graph;
+  spec.config.cpu_pe_barrier = c.cpu_pe_barrier;
+  if (c.proxy_placement == "reserved_core") {
+    spec.config.proxy_placement = pgas::ProxyPlacement::ReservedCore;
+  } else if (c.proxy_placement == "rank_pinned") {
+    spec.config.proxy_placement = pgas::ProxyPlacement::RankPinned;
+  } else if (c.proxy_placement == "contended_core") {
+    spec.config.proxy_placement = pgas::ProxyPlacement::ContendedCore;
+  } else {
+    throw std::runtime_error("campaign: unknown proxy placement '" +
+                             c.proxy_placement + "'");
+  }
+  spec.config.prune_interval = c.prune_interval;
+  spec.config.dt_fs = c.dt_fs;
+  spec.steps = c.steps;
+  spec.warmup = c.warmup;
+  spec.workers = c.workers;
+  if (c.dd_forced()) spec.dd = dd::GridDims{c.dd[0], c.dd[1], c.dd[2]};
+  return spec;
+}
+
+namespace {
+
+/// Expand one grid object (cartesian product of its array axes) onto
+/// `out`. Axis iteration is alphabetical (json::Object is a std::map), so
+/// expansion order is a pure function of the spec's *content*.
+void expand_grid(const Value& grid, std::vector<CaseConfig>& out) {
+  if (!grid.is_object()) {
+    throw std::runtime_error("campaign: grid must be a JSON object");
+  }
+  struct AxisValues {
+    std::string name;
+    const Setter* set;
+    std::vector<const Value*> values;
+  };
+  std::vector<AxisValues> expanded;
+  for (const auto& [name, value] : grid.as_object()) {
+    const auto it = axes().find(name);
+    if (it == axes().end()) {
+      throw std::runtime_error("campaign: unknown axis '" + name + "'");
+    }
+    AxisValues av{name, &it->second, {}};
+    // An array axis is a list of values — except `dd`, whose *scalar*
+    // form is itself a 3-array; a list of dd shapes is an array of arrays.
+    const bool is_list =
+        value.is_array() &&
+        (name != "dd" || (value.size() > 0 && value.at(0).is_array()));
+    if (is_list) {
+      if (value.size() == 0) {
+        throw std::runtime_error("campaign: axis '" + name +
+                                 "' has an empty value list");
+      }
+      for (std::size_t i = 0; i < value.size(); ++i) {
+        av.values.push_back(&value.at(i));
+      }
+    } else {
+      av.values.push_back(&value);
+    }
+    expanded.push_back(std::move(av));
+  }
+
+  std::size_t total = 1;
+  for (const AxisValues& av : expanded) {
+    total *= av.values.size();
+    if (total > 100000) {
+      throw std::runtime_error(
+          "campaign: grid expands to more than 100000 cases");
+    }
+  }
+
+  // Odometer over the axis value indices, last axis fastest.
+  std::vector<std::size_t> idx(expanded.size(), 0);
+  for (std::size_t n = 0; n < total; ++n) {
+    CaseConfig config;
+    for (std::size_t a = 0; a < expanded.size(); ++a) {
+      (*expanded[a].set)(config, *expanded[a].values[idx[a]],
+                         expanded[a].name);
+    }
+    finalize(config);
+    out.push_back(std::move(config));
+    for (std::size_t a = expanded.size(); a-- > 0;) {
+      if (++idx[a] < expanded[a].values.size()) break;
+      idx[a] = 0;
+    }
+  }
+}
+
+}  // namespace
+
+Campaign parse_campaign(const Value& spec) {
+  if (!spec.is_object()) {
+    throw std::runtime_error("campaign: spec must be a JSON object");
+  }
+  if (!spec.contains("schema") || !spec.at("schema").is_string() ||
+      spec.at("schema").as_string() != kSpecSchema) {
+    throw std::runtime_error("campaign: spec is not a " +
+                             std::string(kSpecSchema) + " document");
+  }
+  Campaign campaign;
+  campaign.name = "campaign";
+  for (const auto& [key, value] : spec.as_object()) {
+    if (key == "schema") continue;
+    if (key == "description") continue;  // free-form, ignored
+    if (key == "name") {
+      campaign.name = as_str(value, "name");
+    } else if (key == "grid") {
+      expand_grid(value, campaign.cases);
+    } else if (key == "grids") {
+      if (!value.is_array()) {
+        throw std::runtime_error("campaign: 'grids' must be an array");
+      }
+      for (std::size_t i = 0; i < value.size(); ++i) {
+        expand_grid(value.at(i), campaign.cases);
+      }
+    } else {
+      throw std::runtime_error("campaign: unknown key '" + key + "'");
+    }
+  }
+  if (campaign.cases.empty()) {
+    throw std::runtime_error(
+        "campaign: spec expands to no cases (need 'grid' or 'grids')");
+  }
+  // Dedup by canonical hash, first occurrence wins, order preserved.
+  std::map<std::uint64_t, bool> seen;
+  std::vector<CaseConfig> unique;
+  unique.reserve(campaign.cases.size());
+  for (CaseConfig& c : campaign.cases) {
+    if (seen.emplace(case_hash(c), true).second) {
+      unique.push_back(std::move(c));
+    }
+  }
+  campaign.cases = std::move(unique);
+  return campaign;
+}
+
+Campaign parse_campaign_text(std::string_view text) {
+  return parse_campaign(util::json::parse(text));
+}
+
+}  // namespace hs::sweep

@@ -1,0 +1,106 @@
+// Campaign specs: a grid of simulator configurations and its expansion
+// into a deduplicated case list.
+//
+// A campaign spec is a `halosim-campaign-spec-v1` JSON document: one or
+// more axis grids whose fields are each a scalar or an array of scalars;
+// expansion takes the cartesian product of every grid, concatenates the
+// grids in order, and dedups by canonical config hash. Every case is a
+// plain serializable `CaseConfig`; `canonical_json` renders it with
+// field-sorted keys and canonical number formatting, so the hash is
+// invariant under spec-file key order and whitespace and changes for
+// every semantically distinct field — the key of the content-addressed
+// result cache (docs/sweep.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runner/case.hpp"
+#include "util/json.hpp"
+
+namespace hs::sweep {
+
+inline constexpr std::string_view kSpecSchema = "halosim-campaign-spec-v1";
+
+/// One point of the config grid. Fields mirror the spec-file axis names
+/// exactly (see docs/sweep.md for the schema). Fabric overrides < 0 mean
+/// "use the cost-model preset value".
+struct CaseConfig {
+  // Machine axes.
+  std::string machine = "dgx_h100";  // or "gb200_nvl72"
+  int nodes = 1;
+  int gpus_per_node = 4;
+  std::string cost_model = "auto";  // resolved at parse: h100_eos|gb200_nvl72
+  // Workload axes.
+  long long atoms = 45000;
+  std::string transport = "shmem";  // mpi|tmpi|shmem
+  int dd[3] = {0, 0, 0};            // forced DD grid; 0,0,0 = auto
+  int steps = 16;
+  int warmup = 4;
+  int workers = 0;
+  double dt_fs = 2.0;
+  // Fabric parameter overrides (latency ns / per-message ns / bytes-per-ns).
+  double nvlink_latency_ns = -1.0;
+  double nvlink_per_message_ns = -1.0;
+  double nvlink_bytes_per_ns = -1.0;
+  double ib_latency_ns = -1.0;
+  double ib_per_message_ns = -1.0;
+  double ib_bytes_per_ns = -1.0;
+  // Halo-design switches (§5.1-5.2).
+  bool fuse_pulses = true;
+  bool dependency_partitioning = true;
+  bool use_tma = true;
+  bool fused_signaling = true;
+  // Schedule / runtime switches.
+  bool prune_low_priority_stream = true;
+  bool third_stream_for_update = true;
+  bool use_cuda_graph = false;
+  bool cpu_pe_barrier = false;
+  std::string proxy_placement = "rank_pinned";
+  int prune_interval = 4;
+
+  bool dd_forced() const { return dd[0] != 0 || dd[1] != 0 || dd[2] != 0; }
+};
+
+/// Stable field-sorted compact serialization (the cache key's preimage):
+/// keys in byte-sorted order, numbers in canonical shortest-round-trip
+/// format, unset fabric overrides rendered as null. Guarded against
+/// drift by the checked-in golden hashes (tests/sweep).
+std::string canonical_json(const CaseConfig& config);
+
+/// FNV-1a 64 over `canonical_json`, and its 16-hex-char rendering — the
+/// cache file name and the stable case identity.
+std::uint64_t case_hash(const CaseConfig& config);
+std::string case_hash_hex(const CaseConfig& config);
+
+/// Compact atom-count rendering: "45k", "1.44M", "720000".
+std::string atoms_label(long long atoms);
+
+/// Human-readable case label, e.g. "shmem 45k 1nx4g" (plus " dd2x2x1" /
+/// " w4" when forced). Not necessarily unique — see `case_labels`.
+std::string case_label(const CaseConfig& config);
+
+/// Labels for a whole case list, disambiguated deterministically: any
+/// label shared by several cases gets a " #<hash8>" suffix.
+std::vector<std::string> case_labels(const std::vector<CaseConfig>& cases);
+
+/// Translate to the runnable spec (topology, cost model + fabric
+/// overrides, RunConfig). Throws std::runtime_error on unknown machine /
+/// transport / proxy_placement values.
+runner::CaseSpec to_case_spec(const CaseConfig& config);
+
+struct Campaign {
+  std::string name;
+  /// Expansion order, deduplicated by canonical hash (first wins).
+  std::vector<CaseConfig> cases;
+};
+
+/// Parse + expand a campaign spec document. Throws std::runtime_error
+/// with the offending axis name on unknown axes, bad types, or bad enum
+/// values.
+Campaign parse_campaign(const util::json::Value& spec);
+Campaign parse_campaign_text(std::string_view text);
+
+}  // namespace hs::sweep

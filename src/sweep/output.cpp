@@ -1,0 +1,249 @@
+#include "sweep/output.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "runner/critical_path.hpp"
+#include "util/hash.hpp"
+#include "util/json_writer.hpp"
+
+namespace hs::sweep {
+
+namespace {
+
+using util::json::escape;
+using util::json::format_number;
+
+const double* find_metric(const CaseOutcome& outcome, const std::string& key) {
+  for (const auto& [k, v] : outcome.metrics) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double metric_or(const CaseOutcome& outcome, const std::string& key,
+                 double fallback) {
+  const double* v = find_metric(outcome, key);
+  return v != nullptr ? *v : fallback;
+}
+
+/// A strong-scaling series is every case identical except for machine
+/// size; its key is the canonical config with the size axes (and the
+/// size-dependent forced-DD shape) normalized away.
+std::string series_key(const CaseConfig& config) {
+  CaseConfig normalized = config;
+  normalized.nodes = 1;
+  normalized.gpus_per_node = 1;
+  normalized.dd[0] = normalized.dd[1] = normalized.dd[2] = 0;
+  return canonical_json(normalized);
+}
+
+std::string series_label(const CaseConfig& c) {
+  std::string label = c.transport + " " + atoms_label(c.atoms);
+  if (c.machine == "gb200_nvl72") label += " nvl72";
+  if (c.workers > 0) label += " w" + std::to_string(c.workers);
+  return label;
+}
+
+struct Series {
+  std::string label;
+  std::vector<const CaseOutcome*> points;  // sorted by (gpus, nodes)
+};
+
+/// Group cases into strong-scaling series and sort each series' points by
+/// device count. Returned in series-label order; labels shared by several
+/// distinct series get a deterministic " #<hash8>" suffix.
+std::vector<Series> build_series(const CampaignResult& result) {
+  std::map<std::string, Series> by_key;
+  for (const CaseOutcome& outcome : result.cases) {
+    const std::string key = series_key(outcome.config);
+    Series& series = by_key[key];
+    if (series.points.empty()) series.label = series_label(outcome.config);
+    series.points.push_back(&outcome);
+  }
+  std::map<std::string, int> label_counts;
+  for (const auto& [key, series] : by_key) ++label_counts[series.label];
+  std::vector<Series> out;
+  out.reserve(by_key.size());
+  for (auto& [key, series] : by_key) {
+    if (label_counts[series.label] > 1) {
+      series.label += " #" + util::hex64(util::fnv1a64(key)).substr(0, 8);
+    }
+    std::stable_sort(series.points.begin(), series.points.end(),
+                     [](const CaseOutcome* a, const CaseOutcome* b) {
+                       const long long ga =
+                           static_cast<long long>(a->config.nodes) *
+                           a->config.gpus_per_node;
+                       const long long gb =
+                           static_cast<long long>(b->config.nodes) *
+                           b->config.gpus_per_node;
+                       if (ga != gb) return ga < gb;
+                       return a->config.nodes < b->config.nodes;
+                     });
+    out.push_back(std::move(series));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Series& a, const Series& b) {
+                     return a.label < b.label;
+                   });
+  return out;
+}
+
+void write_case_object(std::string& out, const CaseOutcome& outcome) {
+  out += "{\"hash\":\"" + outcome.hash + "\",\"config\":" +
+         canonical_json(outcome.config) + ",\"metrics\":{";
+  bool first = true;
+  for (const auto& [key, value] : outcome.metrics) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + escape(key) + "\":" + format_number(value);
+  }
+  out += "}}";
+}
+
+void write_curves(std::string& out, const std::vector<Series>& all,
+                  const char* nl) {
+  out += "\"curves\":{";
+  bool first_series = true;
+  for (const Series& series : all) {
+    if (!first_series) out += ",";
+    first_series = false;
+    out += nl;
+    out += "  \"" + escape(series.label) + "\":[";
+    const CaseOutcome* base = series.points.front();
+    const double base_gpus = metric_or(*base, "gpus", 0.0);
+    const double base_rate = metric_or(*base, "ns_per_day", 0.0);
+    bool first_point = true;
+    for (const CaseOutcome* point : series.points) {
+      if (!first_point) out += ",";
+      first_point = false;
+      const double gpus = metric_or(*point, "gpus", 0.0);
+      const double rate = metric_or(*point, "ns_per_day", 0.0);
+      // Parallel efficiency vs the series' smallest machine: speedup
+      // divided by the device-count ratio (1.0 = perfect scaling).
+      double efficiency = 0.0;
+      if (base_rate > 0.0 && base_gpus > 0.0 && gpus > 0.0) {
+        efficiency = (rate / base_rate) / (gpus / base_gpus);
+      }
+      out += "{\"gpus\":" + format_number(gpus) +
+             ",\"nodes\":" + format_number(point->config.nodes) +
+             ",\"gpus_per_node\":" + format_number(point->config.gpus_per_node) +
+             ",\"label\":\"" + escape(point->label) + "\"" +
+             ",\"ns_per_day\":" +
+             format_number(metric_or(*point, "ns_per_day", 0.0)) +
+             ",\"ms_per_step\":" +
+             format_number(metric_or(*point, "ms_per_step", 0.0)) +
+             ",\"efficiency\":" + format_number(efficiency) + "}";
+    }
+    out += "]";
+  }
+  out += nl;
+  out += "}";
+}
+
+void write_critical_path(std::string& out, const CampaignResult& result,
+                         const char* nl) {
+  out += "\"critical_path\":{";
+  bool first_case = true;
+  for (const CaseOutcome& outcome : result.cases) {
+    if (!first_case) out += ",";
+    first_case = false;
+    out += nl;
+    out += "  \"" + escape(outcome.label) + "\":{\"window_us\":" +
+           format_number(metric_or(outcome, "crit_window_us", 0.0));
+    for (int c = 0; c < runner::kPathCategoryCount; ++c) {
+      const std::string name =
+          std::string(runner::to_string(static_cast<runner::PathCategory>(c)));
+      out += ",\"" + name + "_us\":" +
+             format_number(metric_or(outcome, "crit_" + name + "_us", 0.0));
+    }
+    out += "}";
+  }
+  out += nl;
+  out += "}";
+}
+
+void csv_field(std::string& out, const CaseOutcome& outcome,
+               const std::string& key) {
+  const double* v = find_metric(outcome, key);
+  out += ",";
+  if (v != nullptr) out += format_number(*v);
+}
+
+}  // namespace
+
+void write_campaign_json(std::ostream& os, const CampaignResult& result,
+                         bool pretty) {
+  const char* nl = pretty ? "\n" : "";
+  std::string out = "{\"schema\":\"";
+  out += kCampaignSchema;
+  out += "\",\"name\":\"" + escape(result.name) + "\",";
+  out += nl;
+  out += "\"cases\":{";
+  bool first = true;
+  for (const CaseOutcome& outcome : result.cases) {
+    if (!first) out += ",";
+    first = false;
+    out += nl;
+    out += "  \"" + escape(outcome.label) + "\":";
+    write_case_object(out, outcome);
+  }
+  out += nl;
+  out += "},";
+  out += nl;
+  write_curves(out, build_series(result), nl);
+  out += ",";
+  out += nl;
+  write_critical_path(out, result, nl);
+  out += "}";
+  out += "\n";
+  os << out;
+}
+
+void write_campaign_csv(std::ostream& os, const CampaignResult& result) {
+  std::string out =
+      "label,hash,machine,nodes,gpus_per_node,gpus,atoms,transport,dd,steps,"
+      "warmup,workers,ns_per_day,ms_per_step,local_us,nonlocal_us,"
+      "exchange_mean_us,exchange_p99_us,crit_window_us";
+  for (int c = 0; c < runner::kPathCategoryCount; ++c) {
+    out += ",crit_";
+    out += runner::to_string(static_cast<runner::PathCategory>(c));
+    out += "_us";
+  }
+  out += "\n";
+  for (const CaseOutcome& outcome : result.cases) {
+    const CaseConfig& config = outcome.config;
+    // Labels never contain commas or quotes (see case_label), so no CSV
+    // quoting layer is needed.
+    out += outcome.label + "," + outcome.hash + "," + config.machine + "," +
+           std::to_string(config.nodes) + "," +
+           std::to_string(config.gpus_per_node) + "," +
+           std::to_string(static_cast<long long>(config.nodes) *
+                          config.gpus_per_node) +
+           "," + std::to_string(config.atoms) + "," + config.transport + "," +
+           std::to_string(config.dd[0]) + "x" + std::to_string(config.dd[1]) +
+           "x" + std::to_string(config.dd[2]) + "," +
+           std::to_string(config.steps) + "," + std::to_string(config.warmup) +
+           "," + std::to_string(config.workers);
+    csv_field(out, outcome, "ns_per_day");
+    csv_field(out, outcome, "ms_per_step");
+    csv_field(out, outcome, "local_us");
+    csv_field(out, outcome, "nonlocal_us");
+    csv_field(out, outcome, "exchange_mean_us");
+    csv_field(out, outcome, "exchange_p99_us");
+    csv_field(out, outcome, "crit_window_us");
+    for (int c = 0; c < runner::kPathCategoryCount; ++c) {
+      csv_field(out, outcome,
+                "crit_" +
+                    std::string(runner::to_string(
+                        static_cast<runner::PathCategory>(c))) +
+                    "_us");
+    }
+    out += "\n";
+  }
+  os << out;
+}
+
+}  // namespace hs::sweep

@@ -1,0 +1,27 @@
+// Aggregated campaign outputs: the `halosim-campaign-v1` JSON document
+// (per-case metrics + per-series strong-scaling curves + §6.3
+// critical-path breakdowns) and a flat CSV. Both are pure functions of
+// the parsed case documents, so repeat runs render byte-identical files
+// (docs/formats.md).
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+
+#include "sweep/runner.hpp"
+
+namespace hs::sweep {
+
+inline constexpr std::string_view kCampaignSchema = "halosim-campaign-v1";
+
+/// Write the campaign document. `pretty` inserts one newline per entry
+/// (the file format); false renders one single line (the --serve batch
+/// protocol's one-response-per-line framing).
+void write_campaign_json(std::ostream& os, const CampaignResult& result,
+                         bool pretty = true);
+
+/// One row per case, fixed column set (see docs/formats.md); metrics a
+/// case lacks render as empty fields.
+void write_campaign_csv(std::ostream& os, const CampaignResult& result);
+
+}  // namespace hs::sweep

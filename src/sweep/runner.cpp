@@ -1,0 +1,249 @@
+#include "sweep/runner.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <stdexcept>
+
+#include "runner/critical_path.hpp"
+#include "runner/timing.hpp"
+#include "util/json.hpp"
+#include "util/json_writer.hpp"
+#include "util/metrics.hpp"
+
+namespace hs::sweep {
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void progress_line(bool quiet, std::size_t index, std::size_t total,
+                   const CaseOutcome& outcome, double wall_ms) {
+  if (quiet) return;
+  char wall[32];
+  std::snprintf(wall, sizeof wall, "%.1f", wall_ms);
+  std::cerr << "halo_sweep: [" << (index + 1) << "/" << total << "] "
+            << outcome.hash << (outcome.hit ? " hit  " : " miss ") << wall
+            << "ms " << outcome.label << "\n";
+}
+
+/// Parse the numeric metrics back out of a stored case document. The
+/// JSON object is a std::map, so the pairs come out key-sorted — the
+/// one order every run reproduces regardless of how the document was
+/// produced.
+std::vector<std::pair<std::string, double>> parse_metrics(
+    const std::string& document) {
+  const auto doc = util::json::parse(document);
+  const auto& cases = doc.at("cases").as_object();
+  if (cases.empty()) {
+    throw std::runtime_error("sweep: case document has no cases");
+  }
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [key, value] : cases.begin()->second.as_object()) {
+    if (value.is_number()) out.emplace_back(key, value.as_number());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string simulate_case_document(const CaseConfig& config) {
+  runner::CaseSpec spec = to_case_spec(config);
+  runner::TraceAggregate agg;
+  runner::CriticalPathReport crit;
+  runner::CaseHooks hooks;
+  hooks.collect = [&](sim::Machine& machine, pgas::World&) {
+    agg = runner::aggregate_trace(machine.trace(), spec.warmup);
+    crit = runner::compute_critical_path(machine.trace(), spec.warmup);
+  };
+  const runner::CaseResult result = runner::run_case(spec, &hooks);
+
+  std::map<std::string, double> metrics;
+  metrics["gpus"] = static_cast<double>(spec.topology.device_count());
+  metrics["dd_x"] = result.grid.nx;
+  metrics["dd_y"] = result.grid.ny;
+  metrics["dd_z"] = result.grid.nz;
+  metrics["dd_dim"] = result.grid.dimensionality();
+  metrics["ns_per_day"] = result.perf.ns_per_day;
+  metrics["ms_per_step"] = result.perf.ms_per_step;
+  metrics["measured_steps"] = result.perf.measured_steps;
+  metrics["local_us"] = result.timing.local_us;
+  metrics["nonlocal_us"] = result.timing.nonlocal_us;
+  metrics["nonoverlap_us"] = result.timing.nonoverlap_us;
+  metrics["step_us"] = result.timing.step_us;
+  metrics["other_us"] = result.timing.other_us;
+  metrics["exchange_mean_us"] = agg.exchange_us.mean();
+  metrics["exchange_p50_us"] = agg.exchange_percentile(50.0);
+  metrics["exchange_p90_us"] = agg.exchange_percentile(90.0);
+  metrics["exchange_p99_us"] = agg.exchange_percentile(99.0);
+  metrics["exchange_max_us"] = agg.exchange_us.max();
+  metrics["exchange_count"] = static_cast<double>(agg.exchange_us.count());
+  metrics["crit_window_us"] = crit.window_mean_us();
+  for (int c = 0; c < runner::kPathCategoryCount; ++c) {
+    const auto cat = static_cast<runner::PathCategory>(c);
+    metrics["crit_" + std::string(runner::to_string(cat)) + "_us"] =
+        crit.category_mean_us(cat);
+  }
+
+  const std::string hash = case_hash_hex(config);
+  std::string out = "{\"schema\":\"";
+  out += util::metrics::kSchema;
+  out += "\",\"cases\":{\n  \"" + hash + "\":{";
+  bool first = true;
+  for (const auto& [key, value] : metrics) {
+    if (!std::isfinite(value)) continue;  // JSON cannot hold NaN/inf
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + util::json::escape(key) +
+           "\":" + util::json::format_number(value);
+  }
+  out += "}\n},\n\"config\":" + canonical_json(config) + "}\n";
+  return out;
+}
+
+int run_shard(const Campaign& campaign, const ResultCache& cache,
+              int shard_index, int shard_count, bool quiet) {
+  if (shard_count < 1 || shard_index < 0 || shard_index >= shard_count) {
+    throw std::runtime_error("sweep: bad shard assignment " +
+                             std::to_string(shard_index) + "/" +
+                             std::to_string(shard_count));
+  }
+  const std::vector<std::string> labels = case_labels(campaign.cases);
+  int simulated = 0;
+  std::size_t miss_index = 0;
+  for (std::size_t i = 0; i < campaign.cases.size(); ++i) {
+    const CaseConfig& config = campaign.cases[i];
+    const std::string hash = case_hash_hex(config);
+    if (cache.load(hash).has_value()) continue;  // someone else's hit
+    const bool mine = miss_index % static_cast<std::size_t>(shard_count) ==
+                      static_cast<std::size_t>(shard_index);
+    ++miss_index;
+    if (!mine) continue;
+    const double start = now_ms();
+    const std::string document = simulate_case_document(config);
+    cache.store(hash, document);
+    ++simulated;
+    if (!quiet) {
+      char wall[32];
+      std::snprintf(wall, sizeof wall, "%.1f", now_ms() - start);
+      std::cerr << "halo_sweep: shard " << shard_index << "/" << shard_count
+                << " " << hash << " miss " << wall << "ms " << labels[i]
+                << "\n";
+    }
+  }
+  return simulated;
+}
+
+namespace {
+
+/// Fan the campaign's misses out over `shards` copies of ourselves.
+/// Best-effort: any shard failing (nonzero exit, exec error) just leaves
+/// its cases unsimulated and the parent picks them up afterwards.
+void fork_shards(const SweepOptions& options) {
+  std::vector<pid_t> pids;
+  for (int s = 0; s < options.shards; ++s) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("halo_sweep: fork");
+      break;
+    }
+    if (pid == 0) {
+      std::string shard_arg = "--shard=" + std::to_string(s) + "/" +
+                              std::to_string(options.shards);
+      std::string cache_arg = "--cache-dir=" + options.cache_dir;
+      std::vector<std::string> args = {options.self_exe, options.spec_path,
+                                       cache_arg, shard_arg};
+      if (options.quiet) args.emplace_back("--quiet");
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execv(options.self_exe.c_str(), argv.data());
+      std::perror("halo_sweep: execv");
+      ::_exit(127);
+    }
+    pids.push_back(pid);
+  }
+  for (const pid_t pid : pids) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) < 0) {
+      std::perror("halo_sweep: waitpid");
+      continue;
+    }
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::cerr << "halo_sweep: shard process " << pid
+                << " failed; its cases will be simulated in-process\n";
+    }
+  }
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const Campaign& campaign,
+                            const SweepOptions& options) {
+  ResultCache cache(options.cache_dir);
+  const std::vector<std::string> labels = case_labels(campaign.cases);
+
+  CampaignResult result;
+  result.name = campaign.name;
+  result.cases.resize(campaign.cases.size());
+  std::vector<std::size_t> misses;
+  for (std::size_t i = 0; i < campaign.cases.size(); ++i) {
+    CaseOutcome& outcome = result.cases[i];
+    outcome.config = campaign.cases[i];
+    outcome.label = labels[i];
+    outcome.hash = case_hash_hex(outcome.config);
+    const double start = now_ms();
+    if (auto document = cache.load(outcome.hash)) {
+      outcome.hit = true;
+      outcome.document = std::move(*document);
+      ++result.hits;
+      progress_line(options.quiet, i, campaign.cases.size(), outcome,
+                    now_ms() - start);
+    } else {
+      misses.push_back(i);
+    }
+  }
+
+  if (!misses.empty() && options.shards > 1 && !options.self_exe.empty() &&
+      !options.spec_path.empty() && cache.enabled()) {
+    fork_shards(options);
+  }
+
+  for (const std::size_t i : misses) {
+    CaseOutcome& outcome = result.cases[i];
+    const double start = now_ms();
+    if (auto document = cache.load(outcome.hash)) {
+      // A shard process filled it in; still a miss from the campaign's
+      // point of view (it was simulated for this run).
+      outcome.document = std::move(*document);
+    } else {
+      outcome.document = simulate_case_document(outcome.config);
+      cache.store(outcome.hash, outcome.document);
+    }
+    ++result.misses;
+    progress_line(options.quiet, i, campaign.cases.size(), outcome,
+                  now_ms() - start);
+  }
+
+  for (CaseOutcome& outcome : result.cases) {
+    outcome.metrics = parse_metrics(outcome.document);
+  }
+  if (!options.quiet) {
+    std::cerr << "halo_sweep: campaign '" << result.name << "': "
+              << result.cases.size() << " cases, " << result.hits << " hits, "
+              << result.misses << " misses\n";
+  }
+  return result;
+}
+
+}  // namespace hs::sweep

@@ -1,0 +1,70 @@
+// Campaign execution: probe the content-addressed cache, simulate the
+// misses (optionally sharded across forked worker processes), and merge
+// per-case documents into one deterministic result set.
+//
+// Determinism contract: everything that lands in result documents is
+// derived by parsing the stored per-case text — never from the freshly
+// simulated doubles — so a run that simulates and a run that hits the
+// cache render byte-identical output. Wall-clock timings and hit/miss
+// status appear only on the progress stream (stderr), never in
+// documents.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sweep/cache.hpp"
+#include "sweep/campaign.hpp"
+
+namespace hs::sweep {
+
+struct SweepOptions {
+  /// Content-addressed store directory; "" = no cache (everything
+  /// simulates, nothing persists).
+  std::string cache_dir;
+  /// Fork this many worker processes over the miss set (1 = in-process).
+  /// Requires self_exe + spec_path; falls back to in-process otherwise.
+  int shards = 1;
+  /// Path to the halo_sweep binary (argv[0] / /proc/self/exe).
+  std::string self_exe;
+  /// Path of the campaign spec file (children re-expand it).
+  std::string spec_path;
+  /// Suppress per-case progress lines on stderr.
+  bool quiet = false;
+};
+
+struct CaseOutcome {
+  CaseConfig config;
+  std::string label;
+  std::string hash;      // 16 hex chars, the cache key
+  bool hit = false;      // served from the cache without simulating
+  std::string document;  // stored bench-metrics-v1 text
+  /// Metric key/value pairs parsed back out of `document` (key-sorted).
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+struct CampaignResult {
+  std::string name;
+  std::vector<CaseOutcome> cases;  // campaign expansion order
+  int hits = 0;
+  int misses = 0;
+};
+
+/// Simulate one case and render its cache document: a bench-metrics-v1
+/// JSON whose single case is keyed by the config hash, with the canonical
+/// config embedded under a top-level "config" key.
+std::string simulate_case_document(const CaseConfig& config);
+
+/// Worker-process entry (`halo_sweep <spec> --shard=i/N`): walk the
+/// campaign's cache misses in expansion order and simulate + store every
+/// miss whose miss-list index ≡ shard_index (mod shard_count). Returns
+/// the number of cases simulated.
+int run_shard(const Campaign& campaign, const ResultCache& cache,
+              int shard_index, int shard_count, bool quiet);
+
+/// Run a campaign end to end (see the determinism contract above).
+CampaignResult run_campaign(const Campaign& campaign,
+                            const SweepOptions& options);
+
+}  // namespace hs::sweep

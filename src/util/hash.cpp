@@ -1,0 +1,15 @@
+#include "util/hash.hpp"
+
+namespace hs::util {
+
+std::string hex64(std::uint64_t value) {
+  constexpr char digits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace hs::util

@@ -1,0 +1,30 @@
+// Stable content hashing for the result cache.
+//
+// FNV-1a over bytes: dependency-free, endianness-independent (it walks
+// bytes of the *string*, never of in-memory structs), and stable across
+// platforms and compilers — the properties a content-addressed on-disk
+// store keyed by these hashes needs. Not cryptographic; collisions are
+// astronomically unlikely at campaign scale but would only cost a stale
+// cache hit, never silent corruption of unrelated data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hs::util {
+
+/// 64-bit FNV-1a of `data`.
+constexpr std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Fixed-width lowercase hex rendering (16 chars).
+std::string hex64(std::uint64_t value);
+
+}  // namespace hs::util

@@ -1,0 +1,45 @@
+#include "util/json_writer.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace hs::util::json {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_number(double v) {
+  // Integral values print without an exponent or trailing ".000000".
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    const int n = std::snprintf(buf, sizeof buf, "%lld",
+                                static_cast<long long>(v));
+    return std::string(buf, static_cast<std::size_t>(n));
+  }
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace hs::util::json

@@ -1,0 +1,22 @@
+// Shared helpers for hand-rolled JSON emitters (metrics, telemetry,
+// campaign documents): string escaping and the canonical number format.
+// Every writer in the repo must render numbers through `format_number` so
+// that a value which round-trips through json::parse re-renders to the
+// same bytes — the property the sweep cache's byte-identical-output
+// guarantee rests on.
+#pragma once
+
+#include <string>
+
+namespace hs::util::json {
+
+/// Escape for embedding inside a JSON string literal (quotes not added).
+std::string escape(const std::string& s);
+
+/// Canonical number rendering: integral values without exponent or
+/// trailing zeros, everything else the shortest representation that
+/// parses back to exactly the same double (std::to_chars), so
+/// parse(format(v)) == v for every finite value.
+std::string format_number(double v);
+
+}  // namespace hs::util::json

@@ -8,47 +8,15 @@
 #include <stdexcept>
 
 #include "util/json.hpp"
+#include "util/json_writer.hpp"
 #include "util/table.hpp"
 
 namespace hs::util::metrics {
 
 namespace {
 
-std::string escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          constexpr char hex[] = "0123456789abcdef";
-          out += "\\u00";
-          out += hex[(c >> 4) & 0xf];
-          out += hex[c & 0xf];
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string format_number(double v) {
-  // Integral values print without an exponent or trailing ".000000".
-  if (v == std::floor(v) && std::fabs(v) < 1e15) {
-    std::ostringstream os;
-    os << static_cast<long long>(v);
-    return os.str();
-  }
-  std::ostringstream os;
-  os.precision(15);
-  os << v;
-  return os.str();
-}
+using json::escape;
+using json::format_number;
 
 const json::Object& cases_of(const json::Value& doc, const char* which) {
   if (!doc.is_object() || !doc.contains("schema") ||
@@ -113,6 +81,14 @@ DiffResult diff(const json::Value& base, const json::Value& cand,
                 double threshold) {
   const json::Object& base_cases = cases_of(base, "baseline");
   const json::Object& cand_cases = cases_of(cand, "candidate");
+  // A baseline with zero cases vouches for nothing: a truncated or
+  // hand-edited file would otherwise sail through the gate with exit 0.
+  if (base_cases.empty()) {
+    throw std::runtime_error(
+        "metrics: baseline has an empty \"cases\" object — refusing to gate "
+        "against a baseline that vouches for nothing (regenerate it with "
+        "the bench's --metrics-json or bench_gate.sh --update)");
+  }
 
   DiffResult result;
   for (const auto& [label, base_case] : base_cases) {

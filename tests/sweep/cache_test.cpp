@@ -1,0 +1,102 @@
+#include "sweep/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace hs::sweep {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A minimal document that passes validate_case_document.
+const std::string kDoc =
+    "{\"schema\":\"halosim-bench-metrics-v1\",\"cases\":{\n"
+    "  \"abc\":{\"t_us\":1.5}\n},\n\"config\":{}}\n";
+
+class CacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("hs_cache_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  std::string dir() const { return dir_.string(); }
+
+ private:
+  fs::path dir_;
+};
+
+TEST_F(CacheTest, MissThenStoreThenByteIdenticalHit) {
+  const ResultCache cache(dir());
+  ASSERT_TRUE(cache.enabled());
+  EXPECT_FALSE(cache.load("deadbeefdeadbeef").has_value());
+  ASSERT_TRUE(cache.store("deadbeefdeadbeef", kDoc));
+  const auto hit = cache.load("deadbeefdeadbeef");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, kDoc);  // byte-identical round trip
+  // The entry lives where docs/sweep.md says it does.
+  EXPECT_TRUE(fs::exists(fs::path(dir()) / "deadbeefdeadbeef.json"));
+}
+
+TEST_F(CacheTest, CorruptEntriesReadAsMisses) {
+  const ResultCache cache(dir());
+  ASSERT_TRUE(cache.store("aaaaaaaaaaaaaaaa", kDoc));
+  const auto write_entry = [&](const std::string& text) {
+    std::ofstream os(cache.path("aaaaaaaaaaaaaaaa"), std::ios::trunc);
+    os << text;
+  };
+  write_entry("not json at all {{{");
+  EXPECT_FALSE(cache.load("aaaaaaaaaaaaaaaa").has_value());
+  // Truncated mid-write (the failure mode of a killed shard).
+  write_entry(kDoc.substr(0, kDoc.size() / 2));
+  EXPECT_FALSE(cache.load("aaaaaaaaaaaaaaaa").has_value());
+  write_entry("{\"schema\":\"wrong-schema\",\"cases\":{\"a\":{}}}");
+  EXPECT_FALSE(cache.load("aaaaaaaaaaaaaaaa").has_value());
+  write_entry("{\"schema\":\"halosim-bench-metrics-v1\",\"cases\":{}}");
+  EXPECT_FALSE(cache.load("aaaaaaaaaaaaaaaa").has_value());
+  // Re-storing repairs the entry.
+  ASSERT_TRUE(cache.store("aaaaaaaaaaaaaaaa", kDoc));
+  EXPECT_EQ(cache.load("aaaaaaaaaaaaaaaa").value_or(""), kDoc);
+}
+
+TEST_F(CacheTest, DisabledCacheNeverHitsButStoreSucceeds) {
+  const ResultCache cache("");
+  EXPECT_FALSE(cache.enabled());
+  EXPECT_TRUE(cache.store("bbbbbbbbbbbbbbbb", kDoc));
+  EXPECT_FALSE(cache.load("bbbbbbbbbbbbbbbb").has_value());
+}
+
+TEST_F(CacheTest, MemoizeServesHitsWithoutDisk) {
+  ResultCache cache("");  // no disk layer at all
+  cache.set_memoize(true);
+  EXPECT_FALSE(cache.load("cccccccccccccccc").has_value());
+  EXPECT_TRUE(cache.store("cccccccccccccccc", kDoc));
+  EXPECT_EQ(cache.load("cccccccccccccccc").value_or(""), kDoc);
+}
+
+TEST_F(CacheTest, MemoizeOverlaysTheDiskLayer) {
+  ResultCache cache(dir());
+  cache.set_memoize(true);
+  ASSERT_TRUE(cache.store("dddddddddddddddd", kDoc));
+  // Even with the file gone the memo answers — the server's warm cache.
+  fs::remove(cache.path("dddddddddddddddd"));
+  EXPECT_EQ(cache.load("dddddddddddddddd").value_or(""), kDoc);
+}
+
+TEST(CacheValidation, ValidateCaseDocument) {
+  EXPECT_TRUE(validate_case_document(kDoc));
+  EXPECT_FALSE(validate_case_document(""));
+  EXPECT_FALSE(validate_case_document("[]"));
+  EXPECT_FALSE(validate_case_document("{\"cases\":{\"a\":{}}}"));
+}
+
+}  // namespace
+}  // namespace hs::sweep

@@ -1,0 +1,131 @@
+#include "sweep/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace hs::sweep {
+namespace {
+
+constexpr const char* kHeader = R"("schema":"halosim-campaign-spec-v1")";
+
+std::string spec_with_grid(const std::string& grid_body) {
+  return std::string("{") + kHeader + R"(,"name":"t","grid":)" + grid_body +
+         "}";
+}
+
+TEST(Campaign, ExpandsCartesianProduct) {
+  const Campaign c = parse_campaign_text(spec_with_grid(
+      R"({"atoms":[45000,90000],"transport":["mpi","shmem"]})"));
+  ASSERT_EQ(c.cases.size(), 4u);
+  // Axis iteration is alphabetical and the last axis cycles fastest:
+  // atoms is the outer loop, transport the inner one.
+  EXPECT_EQ(c.cases[0].atoms, 45000);
+  EXPECT_EQ(c.cases[0].transport, "mpi");
+  EXPECT_EQ(c.cases[1].atoms, 45000);
+  EXPECT_EQ(c.cases[1].transport, "shmem");
+  EXPECT_EQ(c.cases[2].atoms, 90000);
+  EXPECT_EQ(c.cases[3].atoms, 90000);
+}
+
+TEST(Campaign, EmptyGridYieldsTheDefaultCase) {
+  const Campaign c = parse_campaign_text(spec_with_grid("{}"));
+  ASSERT_EQ(c.cases.size(), 1u);
+  EXPECT_EQ(c.cases[0].machine, "dgx_h100");
+  EXPECT_EQ(c.cases[0].transport, "shmem");
+  // "auto" resolves at parse time so the hash names the concrete model.
+  EXPECT_EQ(c.cases[0].cost_model, "h100_eos");
+}
+
+TEST(Campaign, GridsConcatenateAndDedupByHash) {
+  const Campaign c = parse_campaign_text(
+      std::string("{") + kHeader +
+      R"(,"grids":[{"atoms":[45000,90000]},{"atoms":45000},{"atoms":180000}]})");
+  ASSERT_EQ(c.cases.size(), 3u);  // the repeated 45000 case collapses
+  EXPECT_EQ(c.cases[0].atoms, 45000);
+  EXPECT_EQ(c.cases[1].atoms, 90000);
+  EXPECT_EQ(c.cases[2].atoms, 180000);
+}
+
+TEST(Campaign, DdScalarFormIsOneShape) {
+  const Campaign c =
+      parse_campaign_text(spec_with_grid(R"({"dd":[2,2,1]})"));
+  ASSERT_EQ(c.cases.size(), 1u);
+  EXPECT_TRUE(c.cases[0].dd_forced());
+  EXPECT_EQ(c.cases[0].dd[0], 2);
+}
+
+TEST(Campaign, DdListFormIsAnAxis) {
+  const Campaign c = parse_campaign_text(
+      spec_with_grid(R"({"dd":[[2,2,1],[4,1,1]],"gpus_per_node":4})"));
+  ASSERT_EQ(c.cases.size(), 2u);
+  EXPECT_EQ(c.cases[0].dd[0], 2);
+  EXPECT_EQ(c.cases[1].dd[0], 4);
+}
+
+TEST(Campaign, RejectsBadSpecs) {
+  EXPECT_THROW(parse_campaign_text("[]"), std::runtime_error);
+  EXPECT_THROW(parse_campaign_text(R"({"schema":"nope","grid":{}})"),
+               std::runtime_error);
+  // No grid at all.
+  EXPECT_THROW(parse_campaign_text(std::string("{") + kHeader + "}"),
+               std::runtime_error);
+  EXPECT_THROW(parse_campaign_text(
+                   std::string("{") + kHeader + R"(,"bogus_key":1,"grid":{}})"),
+               std::runtime_error);
+  EXPECT_THROW(parse_campaign_text(spec_with_grid(R"({"no_such_axis":1})")),
+               std::runtime_error);
+  EXPECT_THROW(parse_campaign_text(spec_with_grid(R"({"atoms":[]})")),
+               std::runtime_error);
+  EXPECT_THROW(parse_campaign_text(spec_with_grid(R"({"transport":"rdma"})")),
+               std::runtime_error);
+  EXPECT_THROW(parse_campaign_text(spec_with_grid(R"({"machine":"dgx_a100"})")),
+               std::runtime_error);
+  EXPECT_THROW(
+      parse_campaign_text(spec_with_grid(R"({"steps":4,"warmup":4})")),
+      std::runtime_error);
+  // Forced DD must cover nodes * gpus_per_node ranks (here 1x4).
+  EXPECT_THROW(parse_campaign_text(spec_with_grid(R"({"dd":[2,2,2]})")),
+               std::runtime_error);
+}
+
+TEST(Campaign, DuplicateLabelsGetHashSuffixes) {
+  // dt_fs does not appear in the label, so these two cases collide and
+  // must be disambiguated deterministically.
+  const Campaign c =
+      parse_campaign_text(spec_with_grid(R"({"dt_fs":[1.0,2.0]})"));
+  ASSERT_EQ(c.cases.size(), 2u);
+  const auto labels = case_labels(c.cases);
+  EXPECT_NE(labels[0], labels[1]);
+  EXPECT_NE(labels[0].find(" #"), std::string::npos);
+  EXPECT_EQ(labels[0].find(" #"), labels[1].find(" #"));
+}
+
+TEST(Campaign, ToCaseSpecMapsFields) {
+  const Campaign c = parse_campaign_text(spec_with_grid(
+      R"({"machine":"gb200_nvl72","nodes":2,"gpus_per_node":4,
+          "transport":"mpi","atoms":720000,"dd":[4,2,1],
+          "nvlink_latency_ns":999,"use_tma":false,"workers":3})"));
+  ASSERT_EQ(c.cases.size(), 1u);
+  const runner::CaseSpec spec = to_case_spec(c.cases[0]);
+  EXPECT_EQ(spec.atoms, 720000);
+  EXPECT_EQ(spec.topology.device_count(), 8);
+  EXPECT_EQ(spec.config.transport, halo::Transport::Mpi);
+  EXPECT_FALSE(spec.config.halo_tuning.use_tma);
+  EXPECT_EQ(spec.cost_model.fabric.nvlink.latency_ns, 999);
+  EXPECT_EQ(spec.workers, 3);
+  ASSERT_TRUE(spec.dd.has_value());
+  EXPECT_EQ(spec.dd->nx, 4);
+}
+
+TEST(Campaign, AtomsLabelRendering) {
+  EXPECT_EQ(atoms_label(45000), "45k");
+  EXPECT_EQ(atoms_label(720000), "720k");
+  EXPECT_EQ(atoms_label(1440000), "1.44M");
+  EXPECT_EQ(atoms_label(23040000), "23.04M");
+  EXPECT_EQ(atoms_label(5000000), "5M");
+  EXPECT_EQ(atoms_label(123), "123");
+}
+
+}  // namespace
+}  // namespace hs::sweep

@@ -1,0 +1,126 @@
+// Stability of the cache key. The content-addressed store (and every
+// cached result on every developer machine) is only valid while
+// canonical_json/case_hash are stable, so this suite pins them three
+// ways: invariance under spec formatting, sensitivity to every single
+// config field, and a checked-in golden hash file. If a change here is
+// intentional, regenerate tests/fixtures/sweep_golden_hashes.txt and
+// call out in the commit message that all existing caches are
+// invalidated.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sweep/campaign.hpp"
+
+namespace hs::sweep {
+namespace {
+
+constexpr const char* kHeader = R"("schema":"halosim-campaign-spec-v1")";
+
+CaseConfig single_case(const std::string& grid_body) {
+  const Campaign c = parse_campaign_text(
+      std::string("{") + kHeader + R"(,"grid":)" + grid_body + "}");
+  EXPECT_EQ(c.cases.size(), 1u);
+  return c.cases.front();
+}
+
+TEST(CaseHash, InvariantUnderKeyOrderAndWhitespace) {
+  const CaseConfig a = single_case(R"({"atoms":90000,"transport":"mpi"})");
+  const CaseConfig b = single_case(
+      "{\n  \"transport\" : \"mpi\",\n\n  \"atoms\" :\t90000\n}");
+  EXPECT_EQ(canonical_json(a), canonical_json(b));
+  EXPECT_EQ(case_hash_hex(a), case_hash_hex(b));
+}
+
+TEST(CaseHash, CanonicalJsonHasSortedKeysAndNoWhitespace) {
+  const std::string text = canonical_json(CaseConfig{});
+  EXPECT_EQ(text.find(' '), std::string::npos);
+  EXPECT_EQ(text.find('\n'), std::string::npos);
+  // Keys must come out byte-sorted; spot-check a known ordering.
+  EXPECT_LT(text.find("\"atoms\""), text.find("\"cost_model\""));
+  EXPECT_LT(text.find("\"cost_model\""), text.find("\"workers\""));
+}
+
+TEST(CaseHash, EverySemanticFieldChangesTheHash) {
+  // One non-default value per axis. Any axis missing here, or any axis
+  // whose mutation does NOT move the hash, is a cache-poisoning bug
+  // (two different configs sharing one cache entry).
+  const std::map<std::string, std::string> mutations = {
+      {"atoms", R"({"atoms":46000})"},
+      {"cost_model", R"({"cost_model":"gb200_nvl72"})"},
+      {"cpu_pe_barrier", R"({"cpu_pe_barrier":true})"},
+      {"dd", R"({"dd":[2,2,1]})"},
+      {"dependency_partitioning", R"({"dependency_partitioning":false})"},
+      {"dt_fs", R"({"dt_fs":1.0})"},
+      {"fuse_pulses", R"({"fuse_pulses":false})"},
+      {"fused_signaling", R"({"fused_signaling":false})"},
+      {"gpus_per_node", R"({"gpus_per_node":8})"},
+      {"ib_bytes_per_ns", R"({"ib_bytes_per_ns":10.0})"},
+      {"ib_latency_ns", R"({"ib_latency_ns":2000})"},
+      {"ib_per_message_ns", R"({"ib_per_message_ns":50})"},
+      {"machine", R"({"machine":"gb200_nvl72"})"},
+      {"nodes", R"({"nodes":2})"},
+      {"nvlink_bytes_per_ns", R"({"nvlink_bytes_per_ns":100.0})"},
+      {"nvlink_latency_ns", R"({"nvlink_latency_ns":400})"},
+      {"nvlink_per_message_ns", R"({"nvlink_per_message_ns":20})"},
+      {"proxy_placement", R"({"proxy_placement":"reserved_core"})"},
+      {"prune_interval", R"({"prune_interval":8})"},
+      {"prune_low_priority_stream", R"({"prune_low_priority_stream":false})"},
+      {"steps", R"({"steps":20})"},
+      {"third_stream_for_update", R"({"third_stream_for_update":false})"},
+      {"transport", R"({"transport":"mpi"})"},
+      {"use_cuda_graph", R"({"use_cuda_graph":true})"},
+      {"use_tma", R"({"use_tma":false})"},
+      {"warmup", R"({"warmup":5})"},
+      {"workers", R"({"workers":2})"},
+  };
+  const std::string base_hash = case_hash_hex(single_case("{}"));
+  std::map<std::string, std::string> seen;  // hash -> axis
+  seen[base_hash] = "<default>";
+  for (const auto& [axis, grid] : mutations) {
+    const std::string hash = case_hash_hex(single_case(grid));
+    EXPECT_NE(hash, base_hash) << "axis '" << axis << "' did not move the hash";
+    const auto [it, inserted] = seen.emplace(hash, axis);
+    EXPECT_TRUE(inserted) << "axes '" << axis << "' and '" << it->second
+                          << "' collide on hash " << hash;
+  }
+}
+
+TEST(CaseHash, MatchesCheckedInGoldenHashes) {
+  // name -> single-grid spec; hashes pinned in the fixture file.
+  const std::map<std::string, std::string> specs = {
+      {"default", "{}"},
+      {"mpi_90k", R"({"atoms":90000,"transport":"mpi"})"},
+      {"nvl72_2n4g", R"({"machine":"gb200_nvl72","nodes":2,"atoms":720000})"},
+      {"dd_forced", R"({"dd":[2,2,1]})"},
+      {"fabric_override",
+       R"({"ib_latency_ns":2500,"nvlink_bytes_per_ns":150.5})"},
+  };
+  std::ifstream in(HS_FIXTURE_DIR "/sweep_golden_hashes.txt");
+  ASSERT_TRUE(in) << "missing fixture sweep_golden_hashes.txt";
+  std::map<std::string, std::string> golden;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string name;
+    std::string hash;
+    ASSERT_TRUE(fields >> name >> hash) << "bad golden line: " << line;
+    golden[name] = hash;
+  }
+  ASSERT_EQ(golden.size(), specs.size());
+  for (const auto& [name, grid] : specs) {
+    ASSERT_TRUE(golden.count(name)) << "no golden hash for " << name;
+    EXPECT_EQ(case_hash_hex(single_case(grid)), golden[name])
+        << "hash drift for '" << name
+        << "' — this invalidates every existing result cache; regenerate "
+           "the fixture only if that is intended";
+  }
+}
+
+}  // namespace
+}  // namespace hs::sweep

@@ -1,0 +1,159 @@
+#include "sweep/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "sweep/output.hpp"
+
+namespace hs::sweep {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Small and fast: three cases, a handful of steps each.
+constexpr const char* kSpec = R"({
+  "schema": "halosim-campaign-spec-v1",
+  "name": "runner_test",
+  "grid": {
+    "atoms": 45000,
+    "transport": ["mpi", "tmpi", "shmem"],
+    "steps": 5,
+    "warmup": 1
+  }
+})";
+
+std::string render(const CampaignResult& result) {
+  std::ostringstream os;
+  write_campaign_json(os, result);
+  return os.str();
+}
+
+class SweepRunnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("hs_sweep_" + std::string(::testing::UnitTest::GetInstance()
+                                          ->current_test_info()
+                                          ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  std::string dir() const { return dir_.string(); }
+
+ private:
+  fs::path dir_;
+};
+
+TEST(SweepRunner, SimulateCaseDocumentIsDeterministicAndValid) {
+  const Campaign campaign = parse_campaign_text(kSpec);
+  const std::string once = simulate_case_document(campaign.cases[0]);
+  const std::string twice = simulate_case_document(campaign.cases[0]);
+  EXPECT_EQ(once, twice);
+  EXPECT_TRUE(validate_case_document(once));
+  // The document is keyed by the config hash and embeds the config.
+  EXPECT_NE(once.find(case_hash_hex(campaign.cases[0])), std::string::npos);
+  EXPECT_NE(once.find("\"config\":{"), std::string::npos);
+}
+
+TEST_F(SweepRunnerTest, SecondRunIsAllHitsAndByteIdentical) {
+  const Campaign campaign = parse_campaign_text(kSpec);
+  SweepOptions options;
+  options.cache_dir = dir();
+  options.quiet = true;
+
+  const CampaignResult first = run_campaign(campaign, options);
+  EXPECT_EQ(first.hits, 0);
+  EXPECT_EQ(first.misses, 3);
+
+  const CampaignResult second = run_campaign(campaign, options);
+  EXPECT_EQ(second.hits, 3);
+  EXPECT_EQ(second.misses, 0);
+
+  // The acceptance bar: simulated and cache-served runs render the same
+  // bytes (JSON and CSV both).
+  EXPECT_EQ(render(first), render(second));
+  std::ostringstream csv1;
+  std::ostringstream csv2;
+  write_campaign_csv(csv1, first);
+  write_campaign_csv(csv2, second);
+  EXPECT_EQ(csv1.str(), csv2.str());
+}
+
+TEST_F(SweepRunnerTest, ShardCountsProduceIdenticalMergedDocuments) {
+  const Campaign campaign = parse_campaign_text(kSpec);
+
+  // Fill one cache with a single shard, another with four. Shards claim
+  // misses against the cache state they start from, so to model the
+  // forked workers (which all start from the same snapshot) each shard
+  // writes its own directory and the entries are merged afterwards.
+  const std::string dir1 = dir() + "_s1";
+  const std::string dir4 = dir() + "_s4";
+  const ResultCache cache1(dir1);
+  EXPECT_EQ(run_shard(campaign, cache1, 0, 1, /*quiet=*/true), 3);
+  int simulated = 0;
+  fs::create_directories(dir4);
+  for (int s = 0; s < 4; ++s) {
+    const std::string shard_dir = dir4 + "_worker" + std::to_string(s);
+    simulated += run_shard(campaign, ResultCache(shard_dir), s, 4,
+                           /*quiet=*/true);
+    if (fs::exists(shard_dir)) {  // a shard with no claims stores nothing
+      for (const auto& entry : fs::directory_iterator(shard_dir)) {
+        fs::rename(entry.path(), fs::path(dir4) / entry.path().filename());
+      }
+      fs::remove_all(shard_dir);
+    }
+  }
+  EXPECT_EQ(simulated, 3);  // every miss claimed exactly once
+
+  SweepOptions options;
+  options.quiet = true;
+  options.cache_dir = dir1;
+  const std::string doc1 = render(run_campaign(campaign, options));
+  options.cache_dir = dir4;
+  const std::string doc4 = render(run_campaign(campaign, options));
+  EXPECT_EQ(doc1, doc4);
+
+  fs::remove_all(dir1);
+  fs::remove_all(dir4);
+}
+
+TEST_F(SweepRunnerTest, ShardSkipsCasesAlreadyInTheCache) {
+  const Campaign campaign = parse_campaign_text(kSpec);
+  const ResultCache cache(dir());
+  // Pre-fill one case; a full single-shard pass must only simulate the
+  // other two.
+  cache.store(case_hash_hex(campaign.cases[1]),
+              simulate_case_document(campaign.cases[1]));
+  EXPECT_EQ(run_shard(campaign, cache, 0, 1, /*quiet=*/true), 2);
+  EXPECT_EQ(run_shard(campaign, cache, 0, 1, /*quiet=*/true), 0);
+}
+
+TEST_F(SweepRunnerTest, RunShardRejectsBadAssignments) {
+  const Campaign campaign = parse_campaign_text(kSpec);
+  const ResultCache cache(dir());
+  EXPECT_THROW(run_shard(campaign, cache, 2, 2, true), std::runtime_error);
+  EXPECT_THROW(run_shard(campaign, cache, -1, 2, true), std::runtime_error);
+  EXPECT_THROW(run_shard(campaign, cache, 0, 0, true), std::runtime_error);
+}
+
+TEST_F(SweepRunnerTest, CampaignJsonHasCurvesAndCriticalPath) {
+  const Campaign campaign = parse_campaign_text(kSpec);
+  SweepOptions options;
+  options.cache_dir = dir();
+  options.quiet = true;
+  const std::string doc = render(run_campaign(campaign, options));
+  EXPECT_NE(doc.find("\"schema\":\"halosim-campaign-v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"curves\":{"), std::string::npos);
+  EXPECT_NE(doc.find("\"critical_path\":{"), std::string::npos);
+  EXPECT_NE(doc.find("\"efficiency\":"), std::string::npos);
+  EXPECT_NE(doc.find("\"transfer_us\":"), std::string::npos);
+  // Hit/miss status and wall times must never leak into the document.
+  EXPECT_EQ(doc.find("hit"), std::string::npos);
+  EXPECT_EQ(doc.find("wall"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hs::sweep

@@ -117,6 +117,19 @@ TEST(Metrics, TelemetrySectionEmbedsWithoutAffectingDiff) {
   EXPECT_TRUE(result.notes.empty());
 }
 
+TEST(Metrics, DiffRejectsEmptyBaselineCases) {
+  // A baseline with an empty "cases" object vouches for nothing: every
+  // candidate would "pass". That is a broken baseline, not a clean diff.
+  const auto empty = json::parse(R"({"schema":"halosim-bench-metrics-v1",
+    "cases":{}})");
+  const auto good = json::parse(R"({"schema":"halosim-bench-metrics-v1",
+    "cases":{"a":{"t_us":100.0}}})");
+  EXPECT_THROW(diff(empty, good, 0.1), std::runtime_error);
+  // An empty *candidate* against a real baseline is a lost case — a
+  // regression, not an error.
+  EXPECT_TRUE(diff(good, empty, 0.1).regression);
+}
+
 TEST(Metrics, DiffRejectsWrongSchema) {
   const auto good = json::parse(R"({"schema":"halosim-bench-metrics-v1",
     "cases":{}})");

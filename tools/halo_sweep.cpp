@@ -1,0 +1,281 @@
+// Campaign sweep runner: expand a `halosim-campaign-spec-v1` grid into
+// cases, serve hits from the content-addressed result cache, simulate
+// misses (optionally across forked shard processes), and write the merged
+// `halosim-campaign-v1` document.
+//
+//   $ halo_sweep spec.json [--cache-dir=DIR] [--out=FILE] [--csv=FILE]
+//                [--shards=N] [--quiet] [--list]
+//   $ halo_sweep spec.json --cache-dir=DIR --shard=i/N   (worker mode)
+//   $ halo_sweep --serve [--cache-dir=DIR] [--quiet]     (batch server)
+//
+// Per-case progress (hash, hit/miss, wall ms) streams to stderr as each
+// case resolves; documents never carry hit/miss or wall time, so a rerun
+// of the same spec is byte-identical (docs/sweep.md).
+//
+// --serve reads one spec per line from stdin (a full JSON document per
+// line) and answers with one compact halosim-campaign-v1 line on stdout,
+// keeping the cache memoized in memory across requests. A blank line or
+// EOF ends the session. Errors answer a one-line {"error": ...} object —
+// the server never exits mid-session on a bad spec.
+//
+// Exit codes: 0 — success; 2 — usage, I/O, or spec error.
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "sweep/output.hpp"
+#include "sweep/runner.hpp"
+#include "util/json.hpp"
+#include "util/json_writer.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+/// The path shard children should exec. /proc/self/exe survives PATH
+/// lookups and cwd changes; argv[0] is the fallback.
+std::string self_exe_path(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0 != nullptr ? argv0 : "";
+}
+
+int usage() {
+  std::cerr
+      << "usage: halo_sweep <spec.json> [--cache-dir=DIR] [--out=FILE]\n"
+         "                  [--csv=FILE] [--shards=N] [--no-cache] [--quiet]\n"
+         "                  [--list]\n"
+         "       halo_sweep <spec.json> --cache-dir=DIR --shard=i/N\n"
+         "       halo_sweep --serve [--cache-dir=DIR] [--quiet]\n";
+  return 2;
+}
+
+struct Options {
+  std::string spec_path;
+  std::string cache_dir;
+  std::string out_path;
+  std::string csv_path;
+  int shards = 1;
+  int shard_index = -1;  // >= 0: worker mode
+  int shard_count = 0;
+  bool serve = false;
+  bool no_cache = false;
+  bool quiet = false;
+  bool list = false;
+};
+
+bool parse_int(const std::string& text, int& out) {
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || end == text.c_str()) return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--serve") {
+      opt.serve = true;
+    } else if (arg == "--no-cache") {
+      opt.no_cache = true;
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--list") {
+      opt.list = true;
+    } else if (arg.rfind("--cache-dir=", 0) == 0) {
+      opt.cache_dir = arg.substr(12);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      opt.out_path = arg.substr(6);
+    } else if (arg.rfind("--csv=", 0) == 0) {
+      opt.csv_path = arg.substr(6);
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      if (!parse_int(arg.substr(9), opt.shards) || opt.shards < 1) {
+        std::cerr << "halo_sweep: bad --shards value '" << arg << "'\n";
+        return false;
+      }
+    } else if (arg.rfind("--shard=", 0) == 0) {
+      const std::string spec = arg.substr(8);
+      const std::size_t slash = spec.find('/');
+      if (slash == std::string::npos ||
+          !parse_int(spec.substr(0, slash), opt.shard_index) ||
+          !parse_int(spec.substr(slash + 1), opt.shard_count) ||
+          opt.shard_index < 0 || opt.shard_count < 1 ||
+          opt.shard_index >= opt.shard_count) {
+        std::cerr << "halo_sweep: bad --shard value '" << arg
+                  << "' (want i/N with 0 <= i < N)\n";
+        return false;
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "halo_sweep: unknown option '" << arg << "'\n";
+      return false;
+    } else if (opt.spec_path.empty()) {
+      opt.spec_path = arg;
+    } else {
+      std::cerr << "halo_sweep: unexpected argument '" << arg << "'\n";
+      return false;
+    }
+  }
+  if (!opt.serve && opt.spec_path.empty()) return false;
+  if (opt.serve && !opt.spec_path.empty()) {
+    std::cerr << "halo_sweep: --serve takes specs on stdin, not a file\n";
+    return false;
+  }
+  if (opt.shard_index >= 0 && opt.cache_dir.empty()) {
+    std::cerr << "halo_sweep: --shard requires --cache-dir (shards hand "
+                 "results back through the cache)\n";
+    return false;
+  }
+  return true;
+}
+
+int run_worker(const Options& opt) {
+  std::string text;
+  if (!read_file(opt.spec_path, text)) {
+    std::cerr << "halo_sweep: cannot open " << opt.spec_path << "\n";
+    return 2;
+  }
+  const hs::sweep::Campaign campaign = hs::sweep::parse_campaign_text(text);
+  const hs::sweep::ResultCache cache(opt.cache_dir);
+  hs::sweep::run_shard(campaign, cache, opt.shard_index, opt.shard_count,
+                       opt.quiet);
+  return 0;
+}
+
+int run_file(const Options& opt, const char* argv0) {
+  std::string text;
+  if (!read_file(opt.spec_path, text)) {
+    std::cerr << "halo_sweep: cannot open " << opt.spec_path << "\n";
+    return 2;
+  }
+  const hs::sweep::Campaign campaign = hs::sweep::parse_campaign_text(text);
+
+  if (opt.list) {
+    // Expansion preview: one "<hash> <label>" line per case, no
+    // simulation — validates a spec (and shows what the cache keys are)
+    // before committing to a long run.
+    const auto labels = hs::sweep::case_labels(campaign.cases);
+    for (std::size_t i = 0; i < campaign.cases.size(); ++i) {
+      std::cout << hs::sweep::case_hash_hex(campaign.cases[i]) << " "
+                << labels[i] << "\n";
+    }
+    std::cerr << "halo_sweep: campaign '" << campaign.name << "': "
+              << campaign.cases.size() << " cases\n";
+    return 0;
+  }
+
+  hs::sweep::SweepOptions sweep;
+  sweep.cache_dir = opt.no_cache ? "" : opt.cache_dir;
+  sweep.shards = opt.shards;
+  sweep.self_exe = self_exe_path(argv0);
+  sweep.spec_path = opt.spec_path;
+  sweep.quiet = opt.quiet;
+  const hs::sweep::CampaignResult result =
+      hs::sweep::run_campaign(campaign, sweep);
+
+  if (!opt.out_path.empty()) {
+    std::ofstream out(opt.out_path);
+    if (!out) {
+      std::cerr << "halo_sweep: cannot write " << opt.out_path << "\n";
+      return 2;
+    }
+    hs::sweep::write_campaign_json(out, result);
+  } else {
+    hs::sweep::write_campaign_json(std::cout, result);
+  }
+  if (!opt.csv_path.empty()) {
+    std::ofstream csv(opt.csv_path);
+    if (!csv) {
+      std::cerr << "halo_sweep: cannot write " << opt.csv_path << "\n";
+      return 2;
+    }
+    hs::sweep::write_campaign_csv(csv, result);
+  }
+  return 0;
+}
+
+int run_serve(const Options& opt) {
+  // One warm cache for the whole session: the disk layer (when given)
+  // plus an in-memory memo, so repeat queries — even with the disk cache
+  // disabled — answer without re-simulating.
+  hs::sweep::ResultCache cache(opt.no_cache ? "" : opt.cache_dir);
+  cache.set_memoize(true);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) break;
+    try {
+      const hs::sweep::Campaign campaign =
+          hs::sweep::parse_campaign_text(line);
+      hs::sweep::CampaignResult result;
+      result.name = campaign.name;
+      const auto labels = hs::sweep::case_labels(campaign.cases);
+      result.cases.resize(campaign.cases.size());
+      for (std::size_t i = 0; i < campaign.cases.size(); ++i) {
+        auto& outcome = result.cases[i];
+        outcome.config = campaign.cases[i];
+        outcome.label = labels[i];
+        outcome.hash = hs::sweep::case_hash_hex(outcome.config);
+        if (auto document = cache.load(outcome.hash)) {
+          outcome.hit = true;
+          outcome.document = std::move(*document);
+          ++result.hits;
+        } else {
+          outcome.document = hs::sweep::simulate_case_document(outcome.config);
+          cache.store(outcome.hash, outcome.document);
+          ++result.misses;
+        }
+        if (!opt.quiet) {
+          std::cerr << "halo_sweep: serve " << outcome.hash
+                    << (outcome.hit ? " hit " : " miss ") << outcome.label
+                    << "\n";
+        }
+      }
+      for (auto& outcome : result.cases) {
+        const auto doc = hs::util::json::parse(outcome.document);
+        for (const auto& [key, value] :
+             doc.at("cases").as_object().begin()->second.as_object()) {
+          if (value.is_number()) {
+            outcome.metrics.emplace_back(key, value.as_number());
+          }
+        }
+      }
+      hs::sweep::write_campaign_json(std::cout, result, /*pretty=*/false);
+    } catch (const std::exception& e) {
+      std::cout << "{\"error\":\"" << hs::util::json::escape(e.what())
+                << "\"}\n";
+    }
+    std::cout.flush();
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return usage();
+  try {
+    if (opt.serve) return run_serve(opt);
+    if (opt.shard_index >= 0) return run_worker(opt);
+    return run_file(opt, argv[0]);
+  } catch (const std::exception& e) {
+    std::cerr << "halo_sweep: " << e.what() << "\n";
+    return 2;
+  }
+}
