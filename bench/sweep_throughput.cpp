@@ -1,0 +1,209 @@
+// Campaign executor throughput (google-benchmark): what a sweep case
+// costs end to end under each executor mode — cold per-case simulation,
+// warm prepared-state reuse, the in-process pool vs fork/execv process
+// sharding, and the --serve batch loop answering a repeated spec.
+//
+//   $ sweep_throughput --metrics-json=out.json [--benchmark_min_time=...]
+//
+// Keys are `<benchmark>_wall_ns`; scripts/perf_smoke.sh diffs them
+// against scripts/baselines/BENCH_sweep_throughput.json. Two derived
+// ratio metrics (reported, never gated by bench_diff):
+//   warm_state_speedup  — cold wall / warm-state wall per campaign pass;
+//                         scripts/sweep_smoke.sh enforces the >= 1.5x
+//                         floor on this number.
+//   pool_vs_fork_speedup — forked-shard wall / in-process pool wall for
+//                          the same 2-way sharded campaign.
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "gbench_metrics.hpp"
+#include "sweep/output.hpp"
+#include "sweep/runner.hpp"
+
+using namespace hs;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// The smoke campaign (campaigns/smoke.json) inlined: two sizes x two
+// transports plus a forced-DD case — five cases, one shared setup pair
+// plus one distinct, so warm state has both hits and misses to serve.
+constexpr const char* kSpec = R"({
+  "schema": "halosim-campaign-spec-v1",
+  "name": "sweep_throughput",
+  "grids": [
+    {
+      "machine": "dgx_h100",
+      "gpus_per_node": 4,
+      "atoms": [45000, 90000],
+      "transport": ["mpi", "shmem"],
+      "steps": 6,
+      "warmup": 2
+    },
+    {
+      "machine": "dgx_h100",
+      "gpus_per_node": 4,
+      "atoms": 45000,
+      "transport": "shmem",
+      "dd": [2, 2, 1],
+      "steps": 6,
+      "warmup": 2
+    }
+  ]
+})";
+
+const sweep::Campaign& campaign() {
+  static const sweep::Campaign c = sweep::parse_campaign_text(kSpec);
+  return c;
+}
+
+fs::path unique_dir(const char* tag, std::uint64_t n) {
+  return fs::temp_directory_path() /
+         ("hs_sweep_bench_" + std::string(tag) + "_" +
+          std::to_string(::getpid()) + "_" + std::to_string(n));
+}
+
+/// The sibling halo_sweep binary ("" when not built) — fork mode execs it.
+std::string halo_sweep_exe() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  const fs::path exe =
+      fs::path(buf).parent_path().parent_path() / "tools" / "halo_sweep";
+  return fs::exists(exe) ? exe.string() : "";
+}
+
+/// Every case simulated from nothing: prepare + fresh arenas each time.
+void BM_CampaignCold(benchmark::State& state) {
+  std::int64_t cases = 0;
+  for (auto _ : state) {
+    for (const sweep::CaseConfig& config : campaign().cases) {
+      benchmark::DoNotOptimize(sweep::simulate_case_document(config));
+      ++cases;
+    }
+  }
+  state.SetItemsProcessed(cases);
+}
+BENCHMARK(BM_CampaignCold);
+
+/// Same campaign with session-lifetime warm state: shared PreparedCase
+/// per setup sub-hash, recycled symmetric-heap arenas. Warmed once
+/// before timing — this measures the steady state a long sweep lives in.
+void BM_CampaignWarmState(benchmark::State& state) {
+  sweep::PreparedStateCache prepared;
+  runner::CaseScratch scratch;
+  sweep::ExecutionContext ctx;
+  ctx.prepared = &prepared;
+  ctx.scratch = &scratch;
+  for (const sweep::CaseConfig& config : campaign().cases) {
+    sweep::simulate_case_document(config, ctx);
+  }
+  std::int64_t cases = 0;
+  for (auto _ : state) {
+    for (const sweep::CaseConfig& config : campaign().cases) {
+      benchmark::DoNotOptimize(sweep::simulate_case_document(config, ctx));
+      ++cases;
+    }
+  }
+  state.SetItemsProcessed(cases);
+}
+BENCHMARK(BM_CampaignWarmState);
+
+void run_sharded(benchmark::State& state, bool isolate, const char* tag) {
+  const std::string exe = halo_sweep_exe();
+  const fs::path spec_file = unique_dir(tag, 0).concat(".spec.json");
+  {
+    std::ofstream os(spec_file);
+    os << kSpec;
+  }
+  std::uint64_t round = 0;
+  std::int64_t cases = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const fs::path dir = unique_dir(tag, ++round);
+    fs::remove_all(dir);
+    sweep::SweepOptions options;
+    options.cache_dir = dir.string();
+    options.shards = 2;
+    // Without the sibling binary fork mode degrades to the parent's
+    // mop-up loop; the metrics row still exists but measures that.
+    options.isolate_shards = isolate && !exe.empty();
+    options.self_exe = exe;
+    options.spec_path = spec_file.string();
+    options.quiet = true;
+    state.ResumeTiming();
+    const sweep::CampaignResult result =
+        sweep::run_campaign(campaign(), options);
+    cases += static_cast<std::int64_t>(result.cases.size());
+    state.PauseTiming();
+    fs::remove_all(dir);
+    state.ResumeTiming();
+  }
+  fs::remove(spec_file);
+  state.SetItemsProcessed(cases);
+}
+
+/// Full run_campaign, misses executed on the in-process thread pool.
+void BM_CampaignPool(benchmark::State& state) {
+  run_sharded(state, /*isolate=*/false, "pool");
+}
+BENCHMARK(BM_CampaignPool);
+
+/// Full run_campaign with --isolate-shards: fork/execv worker processes
+/// (the PR-9 path), results handed back through the disk cache.
+void BM_CampaignFork(benchmark::State& state) {
+  run_sharded(state, /*isolate=*/true, "fork");
+}
+BENCHMARK(BM_CampaignFork);
+
+/// The --serve steady state: a repeated spec answered from the memoized
+/// cache plus warm execution state (simulate once, then all hits).
+void BM_ServeBatch(benchmark::State& state) {
+  sweep::ResultCache cache("");
+  cache.set_memoize(true);
+  sweep::PreparedStateCache prepared;
+  runner::CaseScratch scratch;
+  sweep::ExecutionContext ctx;
+  ctx.prepared = &prepared;
+  ctx.scratch = &scratch;
+  std::int64_t cases = 0;
+  for (auto _ : state) {
+    for (const sweep::CaseConfig& config : campaign().cases) {
+      const std::string hash = sweep::case_hash_hex(config);
+      if (auto document = cache.load(hash)) {
+        benchmark::DoNotOptimize(document);
+      } else {
+        cache.store(hash, sweep::simulate_case_document(config, ctx));
+      }
+      ++cases;
+    }
+  }
+  state.SetItemsProcessed(cases);
+}
+BENCHMARK(BM_ServeBatch);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::run_benchmark_main(
+      argc, argv, "sweep_throughput", [](bench::MetricsReporter& reporter) {
+        const double cold = reporter.value_or_zero("BM_CampaignCold_wall_ns");
+        const double warm =
+            reporter.value_or_zero("BM_CampaignWarmState_wall_ns");
+        if (cold > 0.0 && warm > 0.0) {
+          reporter.set("warm_state_speedup", cold / warm);
+        }
+        const double pool = reporter.value_or_zero("BM_CampaignPool_wall_ns");
+        const double fork = reporter.value_or_zero("BM_CampaignFork_wall_ns");
+        if (pool > 0.0 && fork > 0.0) {
+          reporter.set("pool_vs_fork_speedup", fork / pool);
+        }
+      });
+}

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Wall-clock perf smoke: run each google-benchmark binary (bench/sim_perf,
-# bench/md_kernels) with reduced per-benchmark time, dump bench-metrics-v1
+# bench/md_kernels, bench/sweep_throughput) with reduced per-benchmark
+# time, dump bench-metrics-v1
 # JSON, and diff it against the stored baseline
 # (scripts/baselines/BENCH_<name>.json) with a deliberately generous
 # threshold — wall time is noisy (shared machines, turbo, cache state), so
@@ -29,7 +30,7 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$REPO_ROOT"
 
 DIFF="$BUILD_DIR/tools/bench_diff"
-BENCHES=(sim_perf md_kernels)
+BENCHES=(sim_perf md_kernels sweep_throughput)
 for name in "${BENCHES[@]}"; do
   if [[ ! -x "$BUILD_DIR/bench/$name" ]]; then
     echo "perf_smoke: missing $BUILD_DIR/bench/$name — build first (cmake --build $BUILD_DIR -j)" >&2

@@ -9,8 +9,14 @@
 #      re-simulate (a miss, not a crash) and repair the entry.
 #   3. Shard-count independence: --shards=4 produces the same merged
 #      document as --shards=1.
+#   4. Executor-mode independence: the in-process pool, forked shards
+#      (--isolate-shards), and cold prepared state (--no-prepared-state)
+#      all render byte-identical documents — on campaigns/smoke.json AND
+#      campaigns/fig5_internode.json.
+#   5. Warm-state payoff: bench/sweep_throughput's warm_state_speedup
+#      (cold wall / warm wall per campaign pass) must be >= 1.5x.
 #
-# Plus a --serve round trip: one spec line in, one result line out.
+# Plus a --serve round trip and a --cache-max-entries eviction check.
 #
 #   $ scripts/sweep_smoke.sh [build-dir]
 set -euo pipefail
@@ -76,4 +82,66 @@ SERVE_OUT="$(tr -d '\n' < "$SPEC" | "$SWEEP" --serve --cache-dir="$CACHE" --quie
 printf '%s' "$SERVE_OUT" | grep -q '"schema":"halosim-campaign-v1"' \
   || fail "--serve answer is not a halosim-campaign-v1 line"
 
-echo "sweep_smoke: OK (determinism, cache repair, shard independence, serve)"
+# 5. Executor-mode identity on the smoke campaign: pooled threads, forked
+#    processes, and cold prepared state must all render the run-1 bytes.
+"$SWEEP" "$SPEC" --cache-dir="$WORK/cache_pool" --shards=4 \
+  --out="$WORK/pool.json" --quiet 2>/dev/null
+"$SWEEP" "$SPEC" --cache-dir="$WORK/cache_fork" --shards=4 --isolate-shards \
+  --out="$WORK/fork.json" --quiet 2>/dev/null
+"$SWEEP" "$SPEC" --cache-dir="$WORK/cache_noprep" --shards=4 \
+  --no-prepared-state --out="$WORK/noprep.json" --quiet 2>/dev/null
+cmp -s "$WORK/run1.json" "$WORK/pool.json" \
+  || fail "pooled run disagrees with the original run"
+cmp -s "$WORK/pool.json" "$WORK/fork.json" \
+  || fail "--isolate-shards disagrees with the in-process pool"
+cmp -s "$WORK/pool.json" "$WORK/noprep.json" \
+  || fail "--no-prepared-state changed the output bytes"
+
+# 6. Executor-mode identity at scale: the fig5 internode campaign (36
+#    cases to 23M atoms / 288 nodes) through the same three modes.
+FIG5="campaigns/fig5_internode.json"
+"$SWEEP" "$FIG5" --cache-dir="$WORK/fig5_pool" --shards=4 \
+  --out="$WORK/fig5_pool.json" --quiet 2>/dev/null
+"$SWEEP" "$FIG5" --cache-dir="$WORK/fig5_fork" --shards=4 --isolate-shards \
+  --out="$WORK/fig5_fork.json" --quiet 2>/dev/null
+"$SWEEP" "$FIG5" --cache-dir="$WORK/fig5_noprep" --shards=4 \
+  --no-prepared-state --out="$WORK/fig5_noprep.json" --quiet 2>/dev/null
+cmp -s "$WORK/fig5_pool.json" "$WORK/fig5_fork.json" \
+  || fail "fig5: --isolate-shards disagrees with the pool"
+cmp -s "$WORK/fig5_pool.json" "$WORK/fig5_noprep.json" \
+  || fail "fig5: --no-prepared-state changed the output bytes"
+
+# 7. Cache size cap: 5 stores through a 3-entry cache evict 2 (reported
+#    on the summary line), keep 3 files, and never change the document.
+"$SWEEP" "$SPEC" --cache-dir="$WORK/cache_cap" --cache-max-entries=3 \
+  --out="$WORK/cap.json" 2> "$WORK/stderr_cap.txt"
+grep -q " 2 dropped" "$WORK/stderr_cap.txt" \
+  || fail "size-capped run did not report 2 dropped: $(tail -1 "$WORK/stderr_cap.txt")"
+[[ "$(ls "$WORK/cache_cap"/*.json | wc -l)" == 3 ]] \
+  || fail "--cache-max-entries=3 left $(ls "$WORK/cache_cap"/*.json | wc -l) entries"
+cmp -s "$WORK/run1.json" "$WORK/cap.json" \
+  || fail "size-capped run changed the output bytes"
+
+# 8. Warm-state payoff floor: the prepared-state + arena-recycle path
+#    must hold a >= 1.5x speedup over cold per-case simulation (the
+#    measured margin is ~3x; 1.5 absorbs machine noise).
+THROUGHPUT="$BUILD_DIR/bench/sweep_throughput"
+if [[ ! -x "$THROUGHPUT" ]]; then
+  echo "sweep_smoke: missing $THROUGHPUT — build first (cmake --build $BUILD_DIR -j)" >&2
+  exit 2
+fi
+"$THROUGHPUT" "--metrics-json=$WORK/throughput.json" \
+  --benchmark_min_time=0.05 \
+  '--benchmark_filter=BM_Campaign(Cold|WarmState)' > /dev/null
+python3 - "$WORK/throughput.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+speedup = doc["cases"]["sweep_throughput"].get("warm_state_speedup", 0.0)
+floor = 1.5
+if speedup < floor:
+    sys.exit(f"sweep_smoke: FAIL — warm_state_speedup {speedup:.2f} < {floor}")
+print(f"sweep_smoke: warm_state_speedup {speedup:.2f} (floor {floor})")
+EOF
+
+echo "sweep_smoke: OK (determinism, cache repair, shard independence," \
+  "executor-mode identity incl. fig5, cache cap, warm-state floor, serve)"

@@ -10,7 +10,11 @@
 #      small case, telemetry sampling on) so real halo-exchange traffic —
 #      and the lane-homed telemetry recording plus the coordinator-side
 #      wall-clock reads — crosses lane boundaries with the race detector
-#      watching.
+#      watching, and
+#   4. the sweep pool executor: the prepared-state sharing tests (many
+#      threads executing against one shared PreparedCase) and a pooled
+#      halo_sweep campaign, so concurrent in-process simulations run under
+#      the race detector too.
 #
 # Any data race in the lane/inbox/window-barrier machinery fails the run.
 # Wired into scripts/bench_gate.sh --wall.
@@ -33,7 +37,7 @@ if [[ ! -d "$TSAN_DIR" ]]; then
   cmake -B "$TSAN_DIR" -S . -DHALOSIM_SANITIZE=thread > /dev/null
 fi
 cmake --build "$TSAN_DIR" -j --target sim_tests runner_tests pdes_scaling \
-  > /dev/null
+  sweep_tests halo_sweep > /dev/null
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 
@@ -49,4 +53,10 @@ TELEM_OUT="$(mktemp --suffix=.json)"
 trap 'rm -f "$TELEM_OUT"' EXIT
 "$TSAN_DIR/bench/pdes_scaling" --atoms=90000 --steps=3 \
   --workers-list=1,2,4 "--telemetry-json=$TELEM_OUT" > /dev/null
+# Sweep pool executor: shared prepared state across case threads, then a
+# real pooled campaign (4 workers over the smoke misses, no disk cache).
+"$TSAN_DIR/tests/sweep/sweep_tests" --gtest_brief=1 \
+  --gtest_filter='PreparedState.*:SweepRunnerTest.Pool*'
+"$TSAN_DIR/tools/halo_sweep" campaigns/smoke.json --no-cache --shards=4 \
+  --quiet > /dev/null
 echo "threads_smoke: OK ($TSAN_DIR)"

@@ -68,6 +68,16 @@ struct RankPairLists {
   /// Rebuild all four lists from the rank's current positions.
   void rebuild(const md::Box& box, std::span<const md::Vec3> positions,
                int n_home, double rlist);
+
+  /// Compact all four lists into snapshot form (drop build staging, keep
+  /// the pair sets — see ClusterPairList::release_build_scratch). Used
+  /// for prepared-state templates that are cloned per run.
+  void release_build_scratch() {
+    local.release_build_scratch();
+    nonlocal.release_build_scratch();
+    cluster_local.release_build_scratch();
+    cluster_nonlocal.release_build_scratch();
+  }
 };
 
 /// Build both lists for every rank. `rlist` must equal the plan's

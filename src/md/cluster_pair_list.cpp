@@ -70,6 +70,20 @@ void ClusterPairList::build_wide() const {
   wide_valid_ = true;
 }
 
+void ClusterPairList::release_build_scratch() {
+  cells_ = CellList{};
+  halo_cells_ = CellList{};
+  cell_begin_ = {};
+  halo_cell_begin_ = {};
+  scratch_ = {};
+  // The wide caches are derived state; dropping them only means the next
+  // i_entries8() call rebuilds the view from the canonical list.
+  i_entries8_ = {};
+  j_entries8_ = {};
+  wide_scratch_ = {};
+  wide_valid_ = false;
+}
+
 void ClusterPairList::clusterize(CellList& cells, const Box& box,
                                  std::span<const Vec3> positions,
                                  int range_begin, int range_end, double rlist,

@@ -118,6 +118,15 @@ class ClusterPairList {
   /// bounds (the pad cluster's mask bits are never set).
   int num_clusters_padded8() const { return (num_clusters_ + 1) & ~1; }
 
+  /// Drop the build-time staging state (cell grids, per-cell scratch,
+  /// wide-view sort buffer) while keeping the list itself intact. For
+  /// snapshots held as templates and cloned per run (copies are deep, so
+  /// a released snapshot clones smaller): prune, the kernels and the 4x8
+  /// view never touch the staging, and the next build/rebuild simply
+  /// re-creates it. The pair set is unchanged — a released list and its
+  /// un-released original produce bit-identical forces and prunes.
+  void release_build_scratch();
+
   /// Invoke fn(i, j) for every masked atom pair (original indices).
   template <typename Fn>
   void for_each_pair(Fn&& fn) const {

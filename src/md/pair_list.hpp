@@ -78,6 +78,11 @@ class PairList {
   std::size_t prune(const Box& box, std::span<const Vec3> positions,
                     double r_prune);
 
+  /// Drop the build-time cell grid while keeping the pair set (snapshot
+  /// compaction — see ClusterPairList::release_build_scratch). The next
+  /// build re-creates it.
+  void release_build_scratch() { cells_ = CellList{}; }
+
  private:
   void clear_build(double rlist);
 

@@ -4,10 +4,18 @@
 
 namespace hs::pgas {
 
-SymmetricHeap::SymmetricHeap(int n_pes, std::size_t capacity)
-    : capacity_(capacity) {
+SymmetricHeap::SymmetricHeap(int n_pes, std::size_t capacity, ArenaPool* pool)
+    : capacity_(capacity), pool_(pool) {
   assert(n_pes > 0);
   arenas_.resize(static_cast<std::size_t>(n_pes));
+  if (pool_ != nullptr) {
+    for (auto& arena : arenas_) arena = pool_->acquire();
+  }
+}
+
+SymmetricHeap::~SymmetricHeap() {
+  if (pool_ == nullptr) return;
+  for (auto& arena : arenas_) pool_->recycle(std::move(arena));
 }
 
 SymHandle SymmetricHeap::alloc(std::size_t bytes, std::size_t align) {

@@ -22,10 +22,45 @@ struct SymHandle {
   bool valid() const { return bytes > 0; }
 };
 
+/// Recycled arena storage for symmetric-heap reuse across simulations.
+///
+/// A SymmetricHeap constructed over a pool draws its per-PE arenas from
+/// it and returns them on destruction. Recycled vectors come back
+/// logically empty but keep their committed capacity, so the zero-fill
+/// that `alloc` performs lands on already-faulted pages — the dominant
+/// per-case setup cost in back-to-back sweep runs. Every allocated byte
+/// is still value-initialized exactly as in a fresh arena: pooled and
+/// unpooled heaps are observationally identical. Not thread-safe; use
+/// one pool per worker thread (runner::CaseScratch).
+class ArenaPool {
+ public:
+  /// An empty arena, with warm capacity when one is available.
+  std::vector<std::byte> acquire() {
+    if (free_.empty()) return {};
+    std::vector<std::byte> arena = std::move(free_.back());
+    free_.pop_back();
+    arena.clear();  // keeps capacity; alloc() zero-fills on resize
+    return arena;
+  }
+  void recycle(std::vector<std::byte>&& arena) {
+    if (arena.capacity() > 0) free_.push_back(std::move(arena));
+  }
+  std::size_t size() const { return free_.size(); }
+
+ private:
+  std::vector<std::vector<std::byte>> free_;
+};
+
 class SymmetricHeap {
  public:
-  /// `n_pes` arenas of `capacity` bytes each.
-  SymmetricHeap(int n_pes, std::size_t capacity);
+  /// `n_pes` arenas of `capacity` bytes each. With a pool, arenas are
+  /// acquired from it now and recycled into it on destruction; the pool
+  /// must outlive the heap.
+  SymmetricHeap(int n_pes, std::size_t capacity, ArenaPool* pool = nullptr);
+  ~SymmetricHeap();
+
+  SymmetricHeap(const SymmetricHeap&) = delete;
+  SymmetricHeap& operator=(const SymmetricHeap&) = delete;
 
   int n_pes() const { return static_cast<int>(arenas_.size()); }
   std::size_t capacity() const { return capacity_; }
@@ -53,6 +88,7 @@ class SymmetricHeap {
   std::size_t capacity_;
   std::size_t top_ = 0;
   std::vector<std::vector<std::byte>> arenas_;
+  ArenaPool* pool_ = nullptr;
 };
 
 }  // namespace hs::pgas

@@ -32,10 +32,11 @@ void print_counters(std::ostream& os, const WorldCounters& counters) {
   if (counters.total_calls() == 0) os << "  (no operations)\n";
 }
 
-World::World(sim::Machine& machine, std::size_t heap_bytes_per_pe)
+World::World(sim::Machine& machine, std::size_t heap_bytes_per_pe,
+             ArenaPool* arena_pool)
     : machine_(&machine),
       heap_(std::make_unique<SymmetricHeap>(machine.device_count(),
-                                            heap_bytes_per_pe)),
+                                            heap_bytes_per_pe, arena_pool)),
       proxy_(static_cast<std::size_t>(machine.device_count()),
              ProxyPlacement::RankPinned),
       registered_(static_cast<std::size_t>(machine.device_count())),

@@ -38,7 +38,12 @@ enum class ProxyPlacement { ReservedCore, RankPinned, ContendedCore };
 
 class World {
  public:
-  World(sim::Machine& machine, std::size_t heap_bytes_per_pe = 64u << 20);
+  /// With `arena_pool`, the world's symmetric heap draws its per-PE
+  /// arenas from the pool and recycles them on destruction (warm-state
+  /// reuse across back-to-back simulations; see ArenaPool). Team heaps
+  /// are never pooled.
+  World(sim::Machine& machine, std::size_t heap_bytes_per_pe = 64u << 20,
+        ArenaPool* arena_pool = nullptr);
   ~World();  // out-of-line: Team is incomplete here
 
   int n_pes() const { return machine_->device_count(); }

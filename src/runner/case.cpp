@@ -10,7 +10,7 @@
 
 namespace hs::runner {
 
-CaseResult run_case(const CaseSpec& spec, const CaseHooks* hooks) {
+PreparedCase prepare_case(const CaseSpec& spec) {
   const int ranks = spec.topology.device_count();
   const float box_len = static_cast<float>(
       std::cbrt(static_cast<double>(spec.atoms) / kGrappaDensity));
@@ -30,6 +30,29 @@ CaseResult run_case(const CaseSpec& spec, const CaseHooks* hooks) {
   }
   const dd::DomainGrid grid(box, dims);
 
+  PreparedCase prepared;
+  prepared.atoms = spec.atoms;
+  prepared.ranks = ranks;
+  prepared.dims = dims;
+  prepared.workload = halo::make_skeleton_workload(grid, kCommCutoff,
+                                                   kGrappaDensity);
+  return prepared;
+}
+
+CaseResult execute_case(const CaseSpec& spec, const PreparedCase& prepared,
+                        CaseScratch* scratch, const CaseHooks* hooks) {
+  const int ranks = spec.topology.device_count();
+  if (prepared.atoms != spec.atoms || prepared.ranks != ranks ||
+      (spec.dd.has_value() &&
+       (prepared.dims.nx != spec.dd->nx || prepared.dims.ny != spec.dd->ny ||
+        prepared.dims.nz != spec.dd->nz))) {
+    throw std::invalid_argument(
+        "execute_case: prepared state (atoms=" +
+        std::to_string(prepared.atoms) + ", ranks=" +
+        std::to_string(prepared.ranks) + ") does not match the spec's setup "
+        "axes — prepare_case the same setup first");
+  }
+
   sim::MachineOptions machine_options;
   machine_options.workers = spec.workers;
   if (spec.workers > 0 && spec.config.transport == halo::Transport::Mpi) {
@@ -41,12 +64,12 @@ CaseResult run_case(const CaseSpec& spec, const CaseHooks* hooks) {
   sim::Machine machine(spec.topology, spec.cost_model, machine_options);
   machine.trace().set_enabled(true);
   if (hooks != nullptr && hooks->configure) hooks->configure(machine);
-  pgas::World world(machine);
+  pgas::World world(machine, 64u << 20,
+                    scratch != nullptr ? &scratch->arenas : nullptr);
   msg::Comm comm(machine);
-  MdRunner md_runner(machine, world, comm,
-                     halo::make_skeleton_workload(grid, kCommCutoff,
-                                                  kGrappaDensity),
-                     spec.config);
+  // Clone-on-use: the runner takes the workload by value, so the shared
+  // prepared slice stays untouched by the run.
+  MdRunner md_runner(machine, world, comm, prepared.workload, spec.config);
   md_runner.run(spec.steps);
 
   CaseResult result;
@@ -54,9 +77,25 @@ CaseResult run_case(const CaseSpec& spec, const CaseHooks* hooks) {
   result.timing = analyze_device_timing(machine.trace(),
                                         md_runner.step_end_times(), ranks,
                                         spec.warmup);
-  result.grid = dims;
+  result.grid = prepared.dims;
   if (hooks != nullptr && hooks->collect) hooks->collect(machine, world);
   return result;
+}
+
+CaseResult run_case(const CaseSpec& spec, const CaseHooks* hooks) {
+  const PreparedCase prepared = prepare_case(spec);
+  return execute_case(spec, prepared, nullptr, hooks);
+}
+
+PreparedFunctional prepare_functional(const dd::Decomposition& dd,
+                                      double rlist) {
+  PreparedFunctional prepared;
+  prepared.states = dd.states();
+  prepared.lists = dd::build_pair_lists(dd, rlist);
+  for (dd::RankPairLists& lists : prepared.lists) {
+    lists.release_build_scratch();
+  }
+  return prepared;
 }
 
 }  // namespace hs::runner

@@ -8,8 +8,12 @@
 
 #include <functional>
 #include <optional>
+#include <vector>
 
+#include "dd/decomposition.hpp"
 #include "dd/geometry.hpp"
+#include "halo/workload.hpp"
+#include "pgas/symmetric_heap.hpp"
 #include "runner/config.hpp"
 #include "runner/md_runner.hpp"
 #include "runner/timing.hpp"
@@ -57,9 +61,65 @@ struct CaseHooks {
   std::function<void(sim::Machine&, pgas::World&)> collect;
 };
 
-/// Build the skeleton workload for `spec` and run it to completion.
+/// The setup-only slice of a case: everything derived from the setup
+/// axes (atom count, rank count, DD grid) before any engine state
+/// exists — the box, the resolved decomposition, and the skeleton
+/// workload (whose ExchangePlan embeds the DomainGrid). Immutable once
+/// built: `execute_case` copies the workload per run (clone-on-use), so
+/// one PreparedCase is safely shared — including across threads — by
+/// every case that differs only in transport / fabric / design switches
+/// (sweep::PreparedStateCache keys these by the setup sub-hash).
+struct PreparedCase {
+  long long atoms = 0;
+  int ranks = 0;
+  dd::GridDims dims;        // resolved grid (forced, or choose_grid's pick)
+  halo::Workload workload;  // skeleton plan; the box lives in plan.grid
+};
+
+/// Warm per-worker scratch reused across `execute_case` calls. Recycled
+/// symmetric-heap arenas keep their pages committed between runs, which
+/// removes the dominant per-case setup cost (arena zero-fill page
+/// faults) from back-to-back executions. One scratch per thread; reuse
+/// never changes results (pgas::ArenaPool re-zeroes every allocated
+/// byte).
+struct CaseScratch {
+  pgas::ArenaPool arenas;
+};
+
+/// Build the setup-only slice of `spec`: box, DD grid, skeleton
+/// workload. Throws std::invalid_argument if a forced DD grid does not
+/// match the topology's device count.
+PreparedCase prepare_case(const CaseSpec& spec);
+
+/// Run `spec` against a prepared setup slice (machine, PGAS world, MD
+/// schedule, result collection). `prepared` must have been built for the
+/// same setup axes (atoms, rank count, forced DD) — throws
+/// std::invalid_argument otherwise. `scratch`, when given, recycles
+/// symmetric-heap arenas across calls on the owning thread.
+CaseResult execute_case(const CaseSpec& spec, const PreparedCase& prepared,
+                        CaseScratch* scratch = nullptr,
+                        const CaseHooks* hooks = nullptr);
+
+/// Build the skeleton workload for `spec` and run it to completion —
+/// prepare_case + execute_case in one step.
 /// Throws std::invalid_argument if a forced DD grid does not match the
 /// topology's device count.
 CaseResult run_case(const CaseSpec& spec, const CaseHooks* hooks = nullptr);
+
+/// Setup-only slice of a *functional* case: a snapshot of the decomposed
+/// initial system (per-rank DomainStates) plus the initial pair lists in
+/// compact snapshot form. A run clones both and seeds MdRunner with the
+/// list clone, skipping the per-run dd::build_pair_lists — the seeded
+/// run is bit-identical to one that builds its own lists (asserted by
+/// tests/runner/prepared_case_test).
+struct PreparedFunctional {
+  std::vector<dd::DomainState> states;
+  std::vector<dd::RankPairLists> lists;  // build scratch released
+};
+
+/// Snapshot `dd`'s current states and build the initial pair lists at
+/// `rlist` (must equal the plan's comm_cutoff, as in MdRunner).
+PreparedFunctional prepare_functional(const dd::Decomposition& dd,
+                                      double rlist);
 
 }  // namespace hs::runner

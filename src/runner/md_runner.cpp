@@ -11,7 +11,8 @@ namespace hs::runner {
 
 MdRunner::MdRunner(sim::Machine& machine, pgas::World& world, msg::Comm& comm,
                    halo::Workload workload, RunConfig config,
-                   const md::ForceField* ff)
+                   const md::ForceField* ff,
+                   const std::vector<dd::RankPairLists>* seed_lists)
     : machine_(&machine),
       world_(&world),
       comm_(&comm),
@@ -43,9 +44,15 @@ MdRunner::MdRunner(sim::Machine& machine, pgas::World& world, msg::Comm& comm,
   if (workload_.functional()) {
     assert(ff_ != nullptr && "functional runs need a force field");
     integrator_.emplace(config_.dt_fs * 1e-3);  // fs -> ps
-    lists_ = dd::build_pair_lists(workload_.plan.grid, *workload_.states,
-                                  workload_.plan.comm_cutoff,
-                                  workload_.plan.comm_cutoff);
+    if (seed_lists != nullptr) {
+      assert(seed_lists->size() == static_cast<std::size_t>(n) &&
+             "seed lists must cover every rank");
+      lists_ = *seed_lists;
+    } else {
+      lists_ = dd::build_pair_lists(workload_.plan.grid, *workload_.states,
+                                    workload_.plan.comm_cutoff,
+                                    workload_.plan.comm_cutoff);
+    }
     f_local_.resize(static_cast<std::size_t>(n));
     for (int r = 0; r < n; ++r) {
       f_local_[static_cast<std::size_t>(r)].assign(

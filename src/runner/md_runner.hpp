@@ -39,10 +39,15 @@ struct PerfReport {
 class MdRunner {
  public:
   /// `ff` is required in functional mode (workload carries states) and
-  /// ignored in skeleton mode.
+  /// ignored in skeleton mode. `seed_lists`, when given (functional mode
+  /// only), is copied in place of the ctor's dd::build_pair_lists call —
+  /// a prepared-state clone (runner::PreparedFunctional) built at the
+  /// same positions/rlist yields a bit-identical run while skipping the
+  /// per-run list build.
   MdRunner(sim::Machine& machine, pgas::World& world, msg::Comm& comm,
            halo::Workload workload, RunConfig config,
-           const md::ForceField* ff = nullptr);
+           const md::ForceField* ff = nullptr,
+           const std::vector<dd::RankPairLists>* seed_lists = nullptr);
 
   /// Run `steps` MD steps to completion (drives the engine).
   void run(int steps);

@@ -2,10 +2,12 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "util/json.hpp"
 #include "util/metrics.hpp"
@@ -35,6 +37,7 @@ bool validate_case_document(const std::string& text) {
 
 std::optional<std::string> ResultCache::load(const std::string& hash_hex) const {
   if (memoize_) {
+    std::lock_guard<std::mutex> lock(mu_);
     const auto it = memo_.find(hash_hex);
     if (it != memo_.end()) return it->second;
   }
@@ -45,13 +48,19 @@ std::optional<std::string> ResultCache::load(const std::string& hash_hex) const 
   buf << in.rdbuf();
   std::string text = buf.str();
   if (!validate_case_document(text)) return std::nullopt;
-  if (memoize_) memo_[hash_hex] = text;
+  if (memoize_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    memo_[hash_hex] = text;
+  }
   return text;
 }
 
 bool ResultCache::store(const std::string& hash_hex,
                         const std::string& text) const {
-  if (memoize_) memo_[hash_hex] = text;
+  if (memoize_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    memo_[hash_hex] = text;
+  }
   if (!enabled()) return true;
   std::error_code ec;
   fs::create_directories(dir_, ec);
@@ -73,7 +82,61 @@ bool ResultCache::store(const std::string& hash_hex,
     fs::remove(tmp, ec);
     return false;
   }
+  if (max_entries_ > 0) trim();
   return true;
+}
+
+std::size_t ResultCache::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+namespace {
+
+/// True for `<16 hex chars>.json` — the only names the cache owns.
+/// Anything else in the directory (tmp files mid-write, stray files) is
+/// never evicted.
+bool is_cache_entry_name(const std::string& name) {
+  constexpr std::size_t kHashLen = 16;
+  constexpr const char* kExt = ".json";
+  if (name.size() != kHashLen + 5 || name.substr(kHashLen) != kExt) {
+    return false;
+  }
+  for (std::size_t i = 0; i < kHashLen; ++i) {
+    const char c = name[i];
+    const bool hex =
+        (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void ResultCache::trim() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  struct Entry {
+    fs::file_time_type mtime;
+    std::string name;
+  };
+  std::vector<Entry> entries;
+  for (const auto& de : fs::directory_iterator(dir_, ec)) {
+    if (ec) return;
+    const std::string name = de.path().filename().string();
+    if (!is_cache_entry_name(name)) continue;
+    const auto mtime = fs::last_write_time(de.path(), ec);
+    if (ec) continue;
+    entries.push_back({mtime, name});
+  }
+  if (entries.size() <= max_entries_) return;
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.mtime != b.mtime ? a.mtime < b.mtime : a.name < b.name;
+  });
+  const std::size_t excess = entries.size() - max_entries_;
+  for (std::size_t i = 0; i < excess; ++i) {
+    if (fs::remove(dir_ + "/" + entries[i].name, ec)) ++dropped_;
+  }
 }
 
 }  // namespace hs::sweep

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -41,9 +42,29 @@ class ResultCache {
   /// only layer that works with the disk cache disabled.
   void set_memoize(bool on) { memoize_ = on; }
 
+  /// Bound the on-disk entry count: after every store, entries beyond
+  /// `n` are evicted oldest-mtime-first (filename tie-break, so the
+  /// eviction order is deterministic even on coarse-mtime filesystems).
+  /// 0 (the default) = unbounded. The memo layer is never trimmed.
+  void set_max_entries(std::size_t n) { max_entries_ = n; }
+  std::size_t max_entries() const { return max_entries_; }
+
+  /// Entries evicted by the size cap since construction. An evicted case
+  /// simply reads as a miss later — documents never change, only the
+  /// hit/miss economics (reported on stderr when --quiet is off).
+  std::size_t dropped() const;
+
  private:
+  void trim() const;
+
   std::string dir_;
   bool memoize_ = false;
+  std::size_t max_entries_ = 0;
+  mutable std::size_t dropped_ = 0;
+  /// Guards memo_ and the trim bookkeeping: one ResultCache may be
+  /// shared by pool worker threads (distinct hashes never collide on
+  /// disk, but the in-memory side needs the lock).
+  mutable std::mutex mu_;
   mutable std::map<std::string, std::string> memo_;
 };
 

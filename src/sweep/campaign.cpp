@@ -273,6 +273,28 @@ std::string case_hash_hex(const CaseConfig& config) {
   return util::hex64(case_hash(config));
 }
 
+std::string setup_json(const CaseConfig& c) {
+  // Keys in byte-sorted order, formatted exactly as in canonical_json, so
+  // the setup serialization is a strict field subset of the canonical one.
+  std::string out = "{\"atoms\":";
+  out += util::json::format_number(static_cast<double>(c.atoms));
+  out += ",\"dd\":[" + std::to_string(c.dd[0]) + "," +
+         std::to_string(c.dd[1]) + "," + std::to_string(c.dd[2]) + "]";
+  out += ",\"gpus_per_node\":" +
+         util::json::format_number(static_cast<double>(c.gpus_per_node));
+  out += ",\"nodes\":" + util::json::format_number(static_cast<double>(c.nodes));
+  out += "}";
+  return out;
+}
+
+std::uint64_t setup_hash(const CaseConfig& config) {
+  return util::fnv1a64(setup_json(config));
+}
+
+std::string setup_hash_hex(const CaseConfig& config) {
+  return util::hex64(setup_hash(config));
+}
+
 std::string case_label(const CaseConfig& c) {
   std::string label = c.transport + " " + atoms_label(c.atoms) + " " +
                       std::to_string(c.nodes) + "nx" +

@@ -75,6 +75,20 @@ std::string canonical_json(const CaseConfig& config);
 std::uint64_t case_hash(const CaseConfig& config);
 std::string case_hash_hex(const CaseConfig& config);
 
+/// `canonical_json` restricted to the *setup axes* — atoms, dd,
+/// gpus_per_node, nodes: exactly the inputs of runner::prepare_case.
+/// Two configs with equal setup serializations share one immutable
+/// PreparedCase (prepared-state cache); every other axis (transport,
+/// fabric overrides, design switches, steps, workers, ...) only affects
+/// execution. Golden-pinned like the case hash
+/// (tests/fixtures/sweep_golden_setup_keys.txt).
+std::string setup_json(const CaseConfig& config);
+
+/// FNV-1a 64 over `setup_json`, and its 16-hex-char rendering — the
+/// prepared-state cache key.
+std::uint64_t setup_hash(const CaseConfig& config);
+std::string setup_hash_hex(const CaseConfig& config);
+
 /// Compact atom-count rendering: "45k", "1.44M", "720000".
 std::string atoms_label(long long atoms);
 

@@ -1,0 +1,38 @@
+#include "sweep/prepared.hpp"
+
+namespace hs::sweep {
+
+std::shared_ptr<const runner::PreparedCase> PreparedStateCache::get(
+    const CaseConfig& config) {
+  const std::uint64_t key = setup_hash(config);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  // Built under the lock: a skeleton prepare is microseconds, and holding
+  // the lock guarantees one build per key (concurrent callers share it).
+  ++misses_;
+  auto prepared = std::make_shared<const runner::PreparedCase>(
+      runner::prepare_case(to_case_spec(config)));
+  map_.emplace(key, prepared);
+  return prepared;
+}
+
+std::size_t PreparedStateCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+std::uint64_t PreparedStateCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t PreparedStateCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace hs::sweep

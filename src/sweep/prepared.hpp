@@ -1,0 +1,41 @@
+// Prepared-state cache: share the setup-only slice of a case across
+// every case with the same setup sub-hash.
+//
+// The setup slice (runner::PreparedCase — box, DD grid, skeleton
+// workload) is a pure function of the setup axes (atoms, dd,
+// gpus_per_node, nodes; sweep::setup_hash). It is built once per
+// distinct setup and handed out as a shared_ptr-to-const: executions
+// clone the workload on use, so the cached object is immutable and safe
+// to share across pool worker threads (asserted under TSan by
+// tests/sweep/prepared_test).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "runner/case.hpp"
+#include "sweep/campaign.hpp"
+
+namespace hs::sweep {
+
+class PreparedStateCache {
+ public:
+  /// The shared immutable prepared state for `config`'s setup axes,
+  /// building it on first use. Thread-safe; concurrent callers with the
+  /// same setup sub-hash receive the same object.
+  std::shared_ptr<const runner::PreparedCase> get(const CaseConfig& config);
+
+  std::size_t entries() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::shared_ptr<const runner::PreparedCase>> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace hs::sweep

@@ -3,12 +3,16 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 
 #include "runner/critical_path.hpp"
 #include "runner/timing.hpp"
@@ -57,6 +61,11 @@ std::vector<std::pair<std::string, double>> parse_metrics(
 }  // namespace
 
 std::string simulate_case_document(const CaseConfig& config) {
+  return simulate_case_document(config, ExecutionContext{});
+}
+
+std::string simulate_case_document(const CaseConfig& config,
+                                   const ExecutionContext& ctx) {
   runner::CaseSpec spec = to_case_spec(config);
   runner::TraceAggregate agg;
   runner::CriticalPathReport crit;
@@ -65,7 +74,15 @@ std::string simulate_case_document(const CaseConfig& config) {
     agg = runner::aggregate_trace(machine.trace(), spec.warmup);
     crit = runner::compute_critical_path(machine.trace(), spec.warmup);
   };
-  const runner::CaseResult result = runner::run_case(spec, &hooks);
+  runner::CaseResult result;
+  if (ctx.prepared != nullptr) {
+    const std::shared_ptr<const runner::PreparedCase> prepared =
+        ctx.prepared->get(config);
+    result = runner::execute_case(spec, *prepared, ctx.scratch, &hooks);
+  } else {
+    const runner::PreparedCase prepared = runner::prepare_case(spec);
+    result = runner::execute_case(spec, prepared, ctx.scratch, &hooks);
+  }
 
   std::map<std::string, double> metrics;
   metrics["gpus"] = static_cast<double>(spec.topology.device_count());
@@ -110,14 +127,38 @@ std::string simulate_case_document(const CaseConfig& config) {
   return out;
 }
 
+std::string describe_wait_status(int status) {
+  if (WIFEXITED(status)) {
+    const int code = WEXITSTATUS(status);
+    if (code == 0) return "";
+    return "exit code " + std::to_string(code);
+  }
+  if (WIFSIGNALED(status)) {
+    const int sig = WTERMSIG(status);
+    std::string out = "killed by signal " + std::to_string(sig);
+    const char* name = ::strsignal(sig);
+    if (name != nullptr) out += std::string(" (") + name + ")";
+    return out;
+  }
+  return "wait status " + std::to_string(status);
+}
+
 int run_shard(const Campaign& campaign, const ResultCache& cache,
-              int shard_index, int shard_count, bool quiet) {
+              int shard_index, int shard_count, bool quiet,
+              bool prepared_state) {
   if (shard_count < 1 || shard_index < 0 || shard_index >= shard_count) {
     throw std::runtime_error("sweep: bad shard assignment " +
                              std::to_string(shard_index) + "/" +
                              std::to_string(shard_count));
   }
   const std::vector<std::string> labels = case_labels(campaign.cases);
+  PreparedStateCache prepared;
+  runner::CaseScratch scratch;
+  ExecutionContext ctx;
+  if (prepared_state) {
+    ctx.prepared = &prepared;
+    ctx.scratch = &scratch;
+  }
   int simulated = 0;
   std::size_t miss_index = 0;
   for (std::size_t i = 0; i < campaign.cases.size(); ++i) {
@@ -129,7 +170,7 @@ int run_shard(const Campaign& campaign, const ResultCache& cache,
     ++miss_index;
     if (!mine) continue;
     const double start = now_ms();
-    const std::string document = simulate_case_document(config);
+    const std::string document = simulate_case_document(config, ctx);
     cache.store(hash, document);
     ++simulated;
     if (!quiet) {
@@ -145,11 +186,13 @@ int run_shard(const Campaign& campaign, const ResultCache& cache,
 
 namespace {
 
-/// Fan the campaign's misses out over `shards` copies of ourselves.
-/// Best-effort: any shard failing (nonzero exit, exec error) just leaves
-/// its cases unsimulated and the parent picks them up afterwards.
-void fork_shards(const SweepOptions& options) {
+/// Fan the campaign's misses out over `shards` forked copies of
+/// ourselves. Best-effort: any shard failing (nonzero exit, signal
+/// death, exec error) just leaves its cases unsimulated and the parent
+/// picks them up afterwards. Returns the number of failed shards.
+int fork_shards(const SweepOptions& options) {
   std::vector<pid_t> pids;
+  int failed = 0;
   for (int s = 0; s < options.shards; ++s) {
     const pid_t pid = ::fork();
     if (pid < 0) {
@@ -162,6 +205,7 @@ void fork_shards(const SweepOptions& options) {
       std::string cache_arg = "--cache-dir=" + options.cache_dir;
       std::vector<std::string> args = {options.self_exe, options.spec_path,
                                        cache_arg, shard_arg};
+      if (!options.prepared_state) args.emplace_back("--no-prepared-state");
       if (options.quiet) args.emplace_back("--quiet");
       std::vector<char*> argv;
       argv.reserve(args.size() + 1);
@@ -177,13 +221,17 @@ void fork_shards(const SweepOptions& options) {
     int status = 0;
     if (::waitpid(pid, &status, 0) < 0) {
       std::perror("halo_sweep: waitpid");
+      ++failed;
       continue;
     }
-    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-      std::cerr << "halo_sweep: shard process " << pid
-                << " failed; its cases will be simulated in-process\n";
+    const std::string why = describe_wait_status(status);
+    if (!why.empty()) {
+      ++failed;
+      std::cerr << "halo_sweep: shard process " << pid << " failed (" << why
+                << "); its cases will be simulated in-process\n";
     }
   }
+  return failed;
 }
 
 }  // namespace
@@ -191,6 +239,7 @@ void fork_shards(const SweepOptions& options) {
 CampaignResult run_campaign(const Campaign& campaign,
                             const SweepOptions& options) {
   ResultCache cache(options.cache_dir);
+  cache.set_max_entries(options.cache_max_entries);
   const std::vector<std::string> labels = case_labels(campaign.cases);
 
   CampaignResult result;
@@ -214,25 +263,75 @@ CampaignResult run_campaign(const Campaign& campaign,
     }
   }
 
-  if (!misses.empty() && options.shards > 1 && !options.self_exe.empty() &&
-      !options.spec_path.empty() && cache.enabled()) {
-    fork_shards(options);
-  }
-
-  for (const std::size_t i : misses) {
-    CaseOutcome& outcome = result.cases[i];
-    const double start = now_ms();
-    if (auto document = cache.load(outcome.hash)) {
-      // A shard process filled it in; still a miss from the campaign's
-      // point of view (it was simulated for this run).
-      outcome.document = std::move(*document);
-    } else {
-      outcome.document = simulate_case_document(outcome.config);
-      cache.store(outcome.hash, outcome.document);
+  const bool forked = !misses.empty() && options.isolate_shards &&
+                      options.shards > 1 && !options.self_exe.empty() &&
+                      !options.spec_path.empty() && cache.enabled();
+  if (forked) {
+    result.failed_shards = fork_shards(options);
+    // Mop up: collect what the shards stored, re-simulate anything a dead
+    // shard left behind. Warm state still pays off for the residue.
+    PreparedStateCache prepared;
+    runner::CaseScratch scratch;
+    ExecutionContext ctx;
+    if (options.prepared_state) {
+      ctx.prepared = &prepared;
+      ctx.scratch = &scratch;
     }
-    ++result.misses;
-    progress_line(options.quiet, i, campaign.cases.size(), outcome,
-                  now_ms() - start);
+    for (const std::size_t i : misses) {
+      CaseOutcome& outcome = result.cases[i];
+      const double start = now_ms();
+      if (auto document = cache.load(outcome.hash)) {
+        // A shard process filled it in; still a miss from the campaign's
+        // point of view (it was simulated for this run).
+        outcome.document = std::move(*document);
+      } else {
+        outcome.document = simulate_case_document(outcome.config, ctx);
+        cache.store(outcome.hash, outcome.document);
+      }
+      ++result.misses;
+      progress_line(options.quiet, i, campaign.cases.size(), outcome,
+                    now_ms() - start);
+    }
+  } else if (!misses.empty()) {
+    // In-process pool: persistent worker threads pull misses off a shared
+    // counter. One PreparedStateCache is shared by every worker (its
+    // entries are immutable); arena scratch is per worker. Safe because
+    // simulation state is per-Engine/lane-homed — the TSan smoke sweeps
+    // this path.
+    const int workers =
+        std::max(1, std::min(options.shards, static_cast<int>(misses.size())));
+    PreparedStateCache prepared;
+    std::atomic<std::size_t> next{0};
+    std::mutex io_mu;
+    auto work = [&]() {
+      runner::CaseScratch scratch;
+      ExecutionContext ctx;
+      if (options.prepared_state) {
+        ctx.prepared = &prepared;
+        ctx.scratch = &scratch;
+      }
+      for (;;) {
+        const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+        if (k >= misses.size()) break;
+        const std::size_t i = misses[k];
+        CaseOutcome& outcome = result.cases[i];
+        const double start = now_ms();
+        outcome.document = simulate_case_document(outcome.config, ctx);
+        cache.store(outcome.hash, outcome.document);
+        const std::lock_guard<std::mutex> lock(io_mu);
+        progress_line(options.quiet, i, campaign.cases.size(), outcome,
+                      now_ms() - start);
+      }
+    };
+    if (workers == 1) {
+      work();
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(workers));
+      for (int w = 0; w < workers; ++w) threads.emplace_back(work);
+      for (std::thread& t : threads) t.join();
+    }
+    result.misses += static_cast<int>(misses.size());
   }
 
   for (CaseOutcome& outcome : result.cases) {
@@ -241,7 +340,11 @@ CampaignResult run_campaign(const Campaign& campaign,
   if (!options.quiet) {
     std::cerr << "halo_sweep: campaign '" << result.name << "': "
               << result.cases.size() << " cases, " << result.hits << " hits, "
-              << result.misses << " misses\n";
+              << result.misses << " misses";
+    if (cache.dropped() > 0) {
+      std::cerr << ", " << cache.dropped() << " dropped";
+    }
+    std::cerr << "\n";
   }
   return result;
 }

@@ -1,12 +1,14 @@
 // Campaign execution: probe the content-addressed cache, simulate the
-// misses (optionally sharded across forked worker processes), and merge
-// per-case documents into one deterministic result set.
+// misses — in-process on a persistent thread pool by default, or across
+// forked worker processes with --isolate-shards — and merge per-case
+// documents into one deterministic result set.
 //
 // Determinism contract: everything that lands in result documents is
 // derived by parsing the stored per-case text — never from the freshly
 // simulated doubles — so a run that simulates and a run that hits the
-// cache render byte-identical output. Wall-clock timings and hit/miss
-// status appear only on the progress stream (stderr), never in
+// cache render byte-identical output, and so do every executor mode
+// ({pool, fork} x {prepared-state on, off}). Wall-clock timings and
+// hit/miss status appear only on the progress stream (stderr), never in
 // documents.
 #pragma once
 
@@ -14,8 +16,10 @@
 #include <utility>
 #include <vector>
 
+#include "runner/case.hpp"
 #include "sweep/cache.hpp"
 #include "sweep/campaign.hpp"
+#include "sweep/prepared.hpp"
 
 namespace hs::sweep {
 
@@ -23,15 +27,40 @@ struct SweepOptions {
   /// Content-addressed store directory; "" = no cache (everything
   /// simulates, nothing persists).
   std::string cache_dir;
-  /// Fork this many worker processes over the miss set (1 = in-process).
-  /// Requires self_exe + spec_path; falls back to in-process otherwise.
+  /// Parallelism over the miss set: worker threads in-process (the
+  /// default), or forked worker processes with isolate_shards. 1 = one
+  /// in-process worker.
   int shards = 1;
+  /// Use fork/execv process sharding instead of the in-process pool
+  /// (the PR-9 compatibility path; wants self_exe + spec_path + an
+  /// enabled cache, else the pool runs anyway). Worth it only when a
+  /// case might crash or exhaust memory: a dead shard's cases are
+  /// re-simulated in-process, whereas a pool worker shares our fate.
+  bool isolate_shards = false;
+  /// Reuse warm state across the cases of this run: share one
+  /// PreparedCase per setup sub-hash (sweep::PreparedStateCache) and
+  /// recycle symmetric-heap arenas per worker (runner::CaseScratch).
+  /// Off = rebuild everything per case (byte-identical output either
+  /// way; this switch exists for measurement and identity tests).
+  bool prepared_state = true;
+  /// Bound the on-disk cache entry count (oldest-mtime eviction);
+  /// 0 = unbounded. See ResultCache::set_max_entries.
+  std::size_t cache_max_entries = 0;
   /// Path to the halo_sweep binary (argv[0] / /proc/self/exe).
   std::string self_exe;
   /// Path of the campaign spec file (children re-expand it).
   std::string spec_path;
   /// Suppress per-case progress lines on stderr.
   bool quiet = false;
+};
+
+/// Warm execution state threaded through simulate_case_document. Both
+/// pointers may be null (cold: prepare + fresh arenas per case). The
+/// prepared cache may be shared across threads; the scratch must be
+/// thread-local.
+struct ExecutionContext {
+  PreparedStateCache* prepared = nullptr;
+  runner::CaseScratch* scratch = nullptr;
 };
 
 struct CaseOutcome {
@@ -49,6 +78,10 @@ struct CampaignResult {
   std::vector<CaseOutcome> cases;  // campaign expansion order
   int hits = 0;
   int misses = 0;
+  /// Forked shard children that exited abnormally (isolate_shards mode
+  /// only; their cases were re-simulated in-process, so the result set is
+  /// still complete).
+  int failed_shards = 0;
 };
 
 /// Simulate one case and render its cache document: a bench-metrics-v1
@@ -56,12 +89,25 @@ struct CampaignResult {
 /// config embedded under a top-level "config" key.
 std::string simulate_case_document(const CaseConfig& config);
 
+/// Same, reusing warm state from `ctx` when its pointers are set. The
+/// document text is byte-identical to the cold overload — warm state only
+/// changes how fast we get there.
+std::string simulate_case_document(const CaseConfig& config,
+                                   const ExecutionContext& ctx);
+
+/// Decode a waitpid()-style status for diagnostics: "" for a clean exit
+/// 0, "exit code N" for a nonzero exit, "killed by signal N (NAME)" for a
+/// signal death, "wait status N" otherwise.
+std::string describe_wait_status(int status);
+
 /// Worker-process entry (`halo_sweep <spec> --shard=i/N`): walk the
 /// campaign's cache misses in expansion order and simulate + store every
 /// miss whose miss-list index ≡ shard_index (mod shard_count). Returns
-/// the number of cases simulated.
+/// the number of cases simulated. Warm prepared state is used within the
+/// shard unless prepared_state is false.
 int run_shard(const Campaign& campaign, const ResultCache& cache,
-              int shard_index, int shard_count, bool quiet);
+              int shard_index, int shard_count, bool quiet,
+              bool prepared_state = true);
 
 /// Run a campaign end to end (see the determinism contract above).
 CampaignResult run_campaign(const Campaign& campaign,

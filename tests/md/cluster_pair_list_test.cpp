@@ -195,6 +195,37 @@ TEST(ClusterPairList, TinyAndEmptySystemsAreSafe) {
   }
 }
 
+TEST(ClusterPairList, ReleaseBuildScratchKeepsThePairSet) {
+  // The prepared-state snapshot path: a built list with its build staging
+  // dropped must still enumerate, prune, and rebuild exactly like an
+  // untouched one — release_build_scratch only frees memory.
+  const Box box(6, 6, 6);
+  const auto x = random_positions(400, box, 11);
+  ClusterPairList reference;
+  reference.build_local(box, x, 400, 1.0);
+  ClusterPairList released;
+  released.build_local(box, x, 400, 1.0);
+  released.release_build_scratch();
+
+  EXPECT_EQ(to_set(released), to_set(reference));
+  EXPECT_EQ(released.pair_count(), reference.pair_count());
+  EXPECT_EQ(released.num_clusters(), reference.num_clusters());
+
+  // Pruning after release behaves identically (it reads only the pair
+  // set and positions, never the staging).
+  ClusterPairList ref_pruned;
+  ref_pruned.build_local(box, x, 400, 1.0);
+  const std::size_t ref_dropped = ref_pruned.prune(box, x, 0.8);
+  EXPECT_EQ(released.prune(box, x, 0.8), ref_dropped);
+  EXPECT_EQ(to_set(released), to_set(ref_pruned));
+
+  // A later rebuild re-creates the staging from scratch.
+  const auto y = random_positions(400, box, 12);
+  released.build_local(box, y, 400, 1.0);
+  reference.build_local(box, y, 400, 1.0);
+  EXPECT_EQ(to_set(released), to_set(reference));
+}
+
 TEST(ClusterPairList, GatherAtomsResolvePads) {
   const Box box(4, 4, 4);
   const auto x = random_positions(37, box, 40);  // not a multiple of 4

@@ -1,0 +1,118 @@
+// The prepare/execute case-lifecycle split (docs: DESIGN.md). Three
+// invariants: (1) prepare_case + execute_case reproduces run_case
+// exactly, including with recycled arena scratch; (2) a PreparedCase is
+// rejected when handed to a spec with different setup axes; (3) a
+// functional run seeded with prepared pair lists is bit-identical to one
+// that builds its own.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "runner/case.hpp"
+#include "runner_test_util.hpp"
+
+namespace hs::runner {
+namespace {
+
+CaseSpec small_spec() {
+  CaseSpec spec;
+  spec.atoms = 45000;
+  spec.steps = 6;
+  spec.warmup = 2;
+  return spec;
+}
+
+bool same_result(const CaseResult& a, const CaseResult& b) {
+  return a.perf.ms_per_step == b.perf.ms_per_step &&
+         a.perf.ns_per_day == b.perf.ns_per_day &&
+         a.perf.measured_steps == b.perf.measured_steps &&
+         a.timing.local_us == b.timing.local_us &&
+         a.timing.nonlocal_us == b.timing.nonlocal_us &&
+         a.timing.step_us == b.timing.step_us &&
+         a.grid.nx == b.grid.nx && a.grid.ny == b.grid.ny &&
+         a.grid.nz == b.grid.nz;
+}
+
+TEST(PreparedCase, ExecuteMatchesRunCase) {
+  const CaseSpec spec = small_spec();
+  const CaseResult whole = run_case(spec);
+  const PreparedCase prepared = prepare_case(spec);
+  EXPECT_EQ(prepared.atoms, spec.atoms);
+  EXPECT_EQ(prepared.ranks, spec.topology.device_count());
+  EXPECT_TRUE(same_result(execute_case(spec, prepared), whole));
+}
+
+TEST(PreparedCase, SharedPreparedAndWarmScratchDoNotChangeResults) {
+  const CaseSpec spec = small_spec();
+  const CaseResult whole = run_case(spec);
+  const PreparedCase prepared = prepare_case(spec);
+  CaseScratch scratch;
+  // Same prepared object, same scratch, back to back: the second run
+  // consumes arenas the first recycled (plus a varied config to prove
+  // cross-case reuse, not just repetition).
+  EXPECT_TRUE(same_result(execute_case(spec, prepared, &scratch), whole));
+  EXPECT_GT(scratch.arenas.size(), 0u);  // arenas actually recycled
+  CaseSpec varied = spec;
+  varied.config.transport = halo::Transport::Mpi;
+  const CaseResult varied_cold = run_case(varied);
+  EXPECT_TRUE(
+      same_result(execute_case(varied, prepared, &scratch), varied_cold));
+  EXPECT_TRUE(same_result(execute_case(spec, prepared, &scratch), whole));
+}
+
+TEST(PreparedCase, RejectsMismatchedSetupAxes) {
+  const CaseSpec spec = small_spec();
+  const PreparedCase prepared = prepare_case(spec);
+
+  CaseSpec wrong_atoms = spec;
+  wrong_atoms.atoms = 90000;
+  EXPECT_THROW(execute_case(wrong_atoms, prepared), std::invalid_argument);
+
+  CaseSpec wrong_ranks = spec;
+  wrong_ranks.topology = sim::Topology::dgx_h100(2, 4);
+  EXPECT_THROW(execute_case(wrong_ranks, prepared), std::invalid_argument);
+
+  CaseSpec wrong_dd = spec;
+  wrong_dd.dd = dd::GridDims{2, 2, 1};
+  EXPECT_THROW(execute_case(wrong_dd, prepared), std::invalid_argument);
+}
+
+TEST(PreparedCase, SeededFunctionalListsAreBitIdentical) {
+  using testing::FunctionalRig;
+  const dd::GridDims dims{2, 1, 1};
+  const auto topo = sim::Topology::dgx_h100(1, 2);
+  RunConfig cfg;
+  cfg.transport = halo::Transport::Shmem;
+
+  FunctionalRig built = FunctionalRig::make(dims, topo, cfg);
+  FunctionalRig seeded = FunctionalRig::make(dims, topo, cfg);
+  constexpr double kRlist = 1.0;
+  const PreparedFunctional prepared = prepare_functional(*seeded.dd, kRlist);
+  ASSERT_EQ(prepared.states.size(), seeded.dd->states().size());
+  ASSERT_EQ(prepared.lists.size(), seeded.dd->states().size());
+  // Re-create the seeded runner with the prepared lists injected.
+  seeded.runner = std::make_unique<MdRunner>(
+      *seeded.machine, *seeded.world, *seeded.comm,
+      halo::make_functional_workload(*seeded.dd), cfg, &seeded.ff,
+      &prepared.lists);
+
+  built.runner->run(8);
+  seeded.runner->run(8);
+
+  for (std::size_t r = 0; r < built.dd->states().size(); ++r) {
+    const dd::DomainState& a = built.dd->states()[r];
+    const dd::DomainState& b = seeded.dd->states()[r];
+    ASSERT_EQ(a.n_home, b.n_home);
+    for (int i = 0; i < a.n_home; ++i) {
+      EXPECT_EQ(a.x[static_cast<std::size_t>(i)].x,
+                b.x[static_cast<std::size_t>(i)].x);
+      EXPECT_EQ(a.x[static_cast<std::size_t>(i)].y,
+                b.x[static_cast<std::size_t>(i)].y);
+      EXPECT_EQ(a.x[static_cast<std::size_t>(i)].z,
+                b.x[static_cast<std::size_t>(i)].z);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hs::runner

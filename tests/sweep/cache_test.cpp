@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
 namespace hs::sweep {
 namespace {
@@ -89,6 +91,78 @@ TEST_F(CacheTest, MemoizeOverlaysTheDiskLayer) {
   // Even with the file gone the memo answers — the server's warm cache.
   fs::remove(cache.path("dddddddddddddddd"));
   EXPECT_EQ(cache.load("dddddddddddddddd").value_or(""), kDoc);
+}
+
+TEST_F(CacheTest, MaxEntriesEvictsOldestMtimeFirst) {
+  ResultCache cache(dir());
+  cache.set_max_entries(3);
+  const std::vector<std::string> hashes = {
+      "1111111111111111", "2222222222222222", "3333333333333333"};
+  for (const std::string& h : hashes) ASSERT_TRUE(cache.store(h, kDoc));
+  // Pin distinct mtimes so eviction order is deterministic regardless of
+  // filesystem timestamp resolution: entry 2 is the oldest.
+  const auto base = fs::last_write_time(cache.path(hashes[0]));
+  fs::last_write_time(cache.path(hashes[1]), base - std::chrono::hours(2));
+  fs::last_write_time(cache.path(hashes[2]), base - std::chrono::hours(1));
+  EXPECT_EQ(cache.dropped(), 0u);
+
+  ASSERT_TRUE(cache.store("4444444444444444", kDoc));
+  EXPECT_EQ(cache.dropped(), 1u);
+  EXPECT_FALSE(fs::exists(cache.path(hashes[1])));  // oldest mtime evicted
+  EXPECT_TRUE(fs::exists(cache.path(hashes[0])));
+  EXPECT_TRUE(fs::exists(cache.path(hashes[2])));
+  EXPECT_TRUE(fs::exists(cache.path("4444444444444444")));
+  // An evicted entry simply reads as a miss again.
+  EXPECT_FALSE(cache.load(hashes[1]).has_value());
+}
+
+TEST_F(CacheTest, MaxEntriesTiesBreakByFilename) {
+  ResultCache cache(dir());
+  ASSERT_TRUE(cache.store("bbbbbbbbbbbbbbbb", kDoc));
+  ASSERT_TRUE(cache.store("aaaaaaaaaaaaaaaa", kDoc));
+  // Force identical mtimes; the lexicographically smaller name goes first.
+  fs::last_write_time(cache.path("bbbbbbbbbbbbbbbb"),
+                      fs::last_write_time(cache.path("aaaaaaaaaaaaaaaa")));
+  cache.set_max_entries(2);
+  ASSERT_TRUE(cache.store("cccccccccccccccc", kDoc));
+  EXPECT_EQ(cache.dropped(), 1u);
+  EXPECT_FALSE(fs::exists(cache.path("aaaaaaaaaaaaaaaa")));
+  EXPECT_TRUE(fs::exists(cache.path("bbbbbbbbbbbbbbbb")));
+  EXPECT_TRUE(fs::exists(cache.path("cccccccccccccccc")));
+}
+
+TEST_F(CacheTest, TrimNeverTouchesForeignFiles) {
+  ResultCache cache(dir());
+  cache.set_max_entries(1);
+  ASSERT_TRUE(cache.store("eeeeeeeeeeeeeeee", kDoc));
+  // Files the cache does not own: wrong length, non-hex name, tmp suffix.
+  const std::vector<std::string> foreign = {
+      "README.txt", "deadbeef.json", "ffffffffffffffff.json.tmp.123",
+      "ZZZZZZZZZZZZZZZZ.json"};
+  for (const std::string& name : foreign) {
+    std::ofstream os(fs::path(dir()) / name);
+    os << "not a cache entry";
+  }
+  ASSERT_TRUE(cache.store("ffffffffffffffff", kDoc));
+  EXPECT_EQ(cache.dropped(), 1u);  // only the real oldest entry
+  for (const std::string& name : foreign) {
+    EXPECT_TRUE(fs::exists(fs::path(dir()) / name)) << name << " was evicted";
+  }
+}
+
+TEST_F(CacheTest, ZeroMaxEntriesMeansUnbounded) {
+  ResultCache cache(dir());
+  ASSERT_EQ(cache.max_entries(), 0u);
+  for (int i = 0; i < 8; ++i) {
+    const std::string h(16, static_cast<char>('0' + i));
+    ASSERT_TRUE(cache.store(h, kDoc));
+  }
+  EXPECT_EQ(cache.dropped(), 0u);
+  int entries = 0;
+  for ([[maybe_unused]] const auto& de : fs::directory_iterator(dir())) {
+    ++entries;
+  }
+  EXPECT_EQ(entries, 8);
 }
 
 TEST(CacheValidation, ValidateCaseDocument) {

@@ -122,5 +122,106 @@ TEST(CaseHash, MatchesCheckedInGoldenHashes) {
   }
 }
 
+// -- Setup sub-hash ---------------------------------------------------------
+//
+// The prepared-state cache shares one PreparedCase across every case with
+// the same setup sub-hash, so these tests are the safety net against
+// state poisoning: a non-setup axis leaking into the hash wastes sharing,
+// but a setup axis missing from it hands a case somebody else's box and
+// DD grid.
+
+TEST(SetupHash, SetupJsonIsCanonical) {
+  const std::string text = setup_json(CaseConfig{});
+  EXPECT_EQ(text.find(' '), std::string::npos);
+  EXPECT_LT(text.find("\"atoms\""), text.find("\"dd\""));
+  EXPECT_LT(text.find("\"dd\""), text.find("\"gpus_per_node\""));
+  EXPECT_LT(text.find("\"gpus_per_node\""), text.find("\"nodes\""));
+}
+
+TEST(SetupHash, EverySetupAxisMovesIt) {
+  const std::map<std::string, std::string> mutations = {
+      {"atoms", R"({"atoms":46000})"},
+      {"dd", R"({"dd":[2,2,1]})"},
+      {"gpus_per_node", R"({"gpus_per_node":8})"},
+      {"nodes", R"({"nodes":2})"},
+  };
+  const std::string base = setup_hash_hex(single_case("{}"));
+  std::map<std::string, std::string> seen;
+  seen[base] = "<default>";
+  for (const auto& [axis, grid] : mutations) {
+    const std::string hash = setup_hash_hex(single_case(grid));
+    EXPECT_NE(hash, base) << "setup axis '" << axis
+                          << "' did not move the setup hash";
+    const auto [it, inserted] = seen.emplace(hash, axis);
+    EXPECT_TRUE(inserted) << "setup axes '" << axis << "' and '" << it->second
+                          << "' collide on " << hash;
+  }
+}
+
+TEST(SetupHash, NonSetupAxesAreInvariant) {
+  // Every axis that only affects execution must leave the setup hash
+  // alone — that invariance is exactly what lets transport/fabric/design
+  // sweeps share one prepared state.
+  const std::vector<std::string> non_setup = {
+      R"({"cost_model":"gb200_nvl72"})",
+      R"({"cpu_pe_barrier":true})",
+      R"({"dependency_partitioning":false})",
+      R"({"dt_fs":1.0})",
+      R"({"fuse_pulses":false})",
+      R"({"fused_signaling":false})",
+      R"({"ib_bytes_per_ns":10.0})",
+      R"({"ib_latency_ns":2000})",
+      R"({"ib_per_message_ns":50})",
+      R"({"machine":"gb200_nvl72"})",
+      R"({"nvlink_bytes_per_ns":100.0})",
+      R"({"nvlink_latency_ns":400})",
+      R"({"nvlink_per_message_ns":20})",
+      R"({"proxy_placement":"reserved_core"})",
+      R"({"prune_interval":8})",
+      R"({"prune_low_priority_stream":false})",
+      R"({"steps":20})",
+      R"({"third_stream_for_update":false})",
+      R"({"transport":"mpi"})",
+      R"({"use_cuda_graph":true})",
+      R"({"use_tma":false})",
+      R"({"warmup":5})",
+      R"({"workers":2})",
+  };
+  const std::string base = setup_hash_hex(single_case("{}"));
+  for (const std::string& grid : non_setup) {
+    EXPECT_EQ(setup_hash_hex(single_case(grid)), base)
+        << "non-setup mutation " << grid << " moved the setup hash";
+  }
+}
+
+TEST(SetupHash, MatchesCheckedInGoldenKeys) {
+  const std::map<std::string, std::string> specs = {
+      {"default", "{}"},
+      {"atoms_90k", R"({"atoms":90000})"},
+      {"dd_forced", R"({"dd":[2,2,1]})"},
+      {"nvl72_2n4g", R"({"nodes":2,"gpus_per_node":4,"atoms":720000})"},
+  };
+  std::ifstream in(HS_FIXTURE_DIR "/sweep_golden_setup_keys.txt");
+  ASSERT_TRUE(in) << "missing fixture sweep_golden_setup_keys.txt";
+  std::map<std::string, std::string> golden;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string name;
+    std::string hash;
+    ASSERT_TRUE(fields >> name >> hash) << "bad golden line: " << line;
+    golden[name] = hash;
+  }
+  ASSERT_EQ(golden.size(), specs.size());
+  for (const auto& [name, grid] : specs) {
+    ASSERT_TRUE(golden.count(name)) << "no golden setup key for " << name;
+    EXPECT_EQ(setup_hash_hex(single_case(grid)), golden[name])
+        << "setup-hash drift for '" << name
+        << "' — prepared-state sharing keys change; regenerate the fixture "
+           "only if that is intended";
+  }
+}
+
 }  // namespace
 }  // namespace hs::sweep

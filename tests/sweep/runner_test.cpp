@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <sstream>
 #include <string>
@@ -137,6 +138,79 @@ TEST_F(SweepRunnerTest, RunShardRejectsBadAssignments) {
   EXPECT_THROW(run_shard(campaign, cache, 2, 2, true), std::runtime_error);
   EXPECT_THROW(run_shard(campaign, cache, -1, 2, true), std::runtime_error);
   EXPECT_THROW(run_shard(campaign, cache, 0, 0, true), std::runtime_error);
+}
+
+TEST_F(SweepRunnerTest, PoolExecutorModesAreByteIdentical) {
+  // The tentpole invariant, unit-test half: serial, pooled, warm and cold
+  // prepared state all render the same campaign bytes. (The fork side of
+  // the matrix needs the real binary and lives in scripts/sweep_smoke.sh.)
+  const Campaign campaign = parse_campaign_text(kSpec);
+  SweepOptions options;
+  options.quiet = true;
+
+  options.cache_dir = dir() + "_serial";
+  const std::string serial = render(run_campaign(campaign, options));
+
+  options.cache_dir = dir() + "_pool";
+  options.shards = 4;
+  const CampaignResult pooled = run_campaign(campaign, options);
+  EXPECT_EQ(pooled.misses, 3);
+  EXPECT_EQ(pooled.failed_shards, 0);
+  EXPECT_EQ(render(pooled), serial);
+
+  options.cache_dir = dir() + "_noprep";
+  options.prepared_state = false;
+  const std::string cold = render(run_campaign(campaign, options));
+  EXPECT_EQ(cold, serial);
+
+  for (const char* suffix : {"_serial", "_pool", "_noprep"}) {
+    fs::remove_all(dir() + suffix);
+  }
+}
+
+TEST_F(SweepRunnerTest, PoolRerunServesHitsByteIdentically) {
+  const Campaign campaign = parse_campaign_text(kSpec);
+  SweepOptions options;
+  options.quiet = true;
+  options.cache_dir = dir();
+  options.shards = 4;
+  const CampaignResult first = run_campaign(campaign, options);
+  EXPECT_EQ(first.misses, 3);
+  const CampaignResult second = run_campaign(campaign, options);
+  EXPECT_EQ(second.hits, 3);
+  EXPECT_EQ(render(first), render(second));
+}
+
+TEST_F(SweepRunnerTest, CacheMaxEntriesTrimsAndRereadsAsMisses) {
+  const Campaign campaign = parse_campaign_text(kSpec);
+  SweepOptions options;
+  options.quiet = true;
+  options.cache_dir = dir();
+  options.shards = 1;  // deterministic store order => deterministic mtimes
+  options.cache_max_entries = 2;
+  const CampaignResult first = run_campaign(campaign, options);
+  EXPECT_EQ(first.misses, 3);
+  int entries = 0;
+  for (const auto& de : fs::directory_iterator(dir())) {
+    (void)de;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 2);
+  // Rerun: at least one evicted case re-simulates, but the rendered
+  // document is still byte-identical.
+  const CampaignResult second = run_campaign(campaign, options);
+  EXPECT_GE(second.misses, 1);
+  EXPECT_EQ(render(first), render(second));
+}
+
+TEST(DescribeWaitStatus, DecodesExitsAndSignals) {
+  // std::system returns waitpid()-style statuses on POSIX — exactly what
+  // fork_shards hands to describe_wait_status.
+  EXPECT_EQ(describe_wait_status(std::system("exit 0")), "");
+  EXPECT_EQ(describe_wait_status(std::system("exit 7")), "exit code 7");
+  EXPECT_EQ(describe_wait_status(std::system("exit 127")), "exit code 127");
+  const std::string sig = describe_wait_status(std::system("kill -9 $$"));
+  EXPECT_NE(sig.find("killed by signal 9"), std::string::npos) << sig;
 }
 
 TEST_F(SweepRunnerTest, CampaignJsonHasCurvesAndCriticalPath) {

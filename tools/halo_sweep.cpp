@@ -1,10 +1,12 @@
 // Campaign sweep runner: expand a `halosim-campaign-spec-v1` grid into
 // cases, serve hits from the content-addressed result cache, simulate
-// misses (optionally across forked shard processes), and write the merged
-// `halosim-campaign-v1` document.
+// misses — on an in-process thread pool with warm prepared state by
+// default, or across forked shard processes with --isolate-shards — and
+// write the merged `halosim-campaign-v1` document.
 //
 //   $ halo_sweep spec.json [--cache-dir=DIR] [--out=FILE] [--csv=FILE]
-//                [--shards=N] [--quiet] [--list]
+//                [--shards=N] [--isolate-shards] [--no-prepared-state]
+//                [--cache-max-entries=N] [--quiet] [--list]
 //   $ halo_sweep spec.json --cache-dir=DIR --shard=i/N   (worker mode)
 //   $ halo_sweep --serve [--cache-dir=DIR] [--quiet]     (batch server)
 //
@@ -58,8 +60,9 @@ std::string self_exe_path(const char* argv0) {
 int usage() {
   std::cerr
       << "usage: halo_sweep <spec.json> [--cache-dir=DIR] [--out=FILE]\n"
-         "                  [--csv=FILE] [--shards=N] [--no-cache] [--quiet]\n"
-         "                  [--list]\n"
+         "                  [--csv=FILE] [--shards=N] [--isolate-shards]\n"
+         "                  [--no-prepared-state] [--cache-max-entries=N]\n"
+         "                  [--no-cache] [--quiet] [--list]\n"
          "       halo_sweep <spec.json> --cache-dir=DIR --shard=i/N\n"
          "       halo_sweep --serve [--cache-dir=DIR] [--quiet]\n";
   return 2;
@@ -73,8 +76,11 @@ struct Options {
   int shards = 1;
   int shard_index = -1;  // >= 0: worker mode
   int shard_count = 0;
+  int cache_max_entries = 0;
   bool serve = false;
   bool no_cache = false;
+  bool isolate_shards = false;
+  bool prepared_state = true;
   bool quiet = false;
   bool list = false;
 };
@@ -94,6 +100,17 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.serve = true;
     } else if (arg == "--no-cache") {
       opt.no_cache = true;
+    } else if (arg == "--isolate-shards") {
+      opt.isolate_shards = true;
+    } else if (arg == "--no-prepared-state") {
+      opt.prepared_state = false;
+    } else if (arg.rfind("--cache-max-entries=", 0) == 0) {
+      if (!parse_int(arg.substr(20), opt.cache_max_entries) ||
+          opt.cache_max_entries < 0) {
+        std::cerr << "halo_sweep: bad --cache-max-entries value '" << arg
+                  << "'\n";
+        return false;
+      }
     } else if (arg == "--quiet") {
       opt.quiet = true;
     } else if (arg == "--list") {
@@ -153,7 +170,7 @@ int run_worker(const Options& opt) {
   const hs::sweep::Campaign campaign = hs::sweep::parse_campaign_text(text);
   const hs::sweep::ResultCache cache(opt.cache_dir);
   hs::sweep::run_shard(campaign, cache, opt.shard_index, opt.shard_count,
-                       opt.quiet);
+                       opt.quiet, opt.prepared_state);
   return 0;
 }
 
@@ -182,6 +199,9 @@ int run_file(const Options& opt, const char* argv0) {
   hs::sweep::SweepOptions sweep;
   sweep.cache_dir = opt.no_cache ? "" : opt.cache_dir;
   sweep.shards = opt.shards;
+  sweep.isolate_shards = opt.isolate_shards;
+  sweep.prepared_state = opt.prepared_state;
+  sweep.cache_max_entries = static_cast<std::size_t>(opt.cache_max_entries);
   sweep.self_exe = self_exe_path(argv0);
   sweep.spec_path = opt.spec_path;
   sweep.quiet = opt.quiet;
@@ -216,6 +236,18 @@ int run_serve(const Options& opt) {
   hs::sweep::ResultCache cache(opt.no_cache ? "" : opt.cache_dir);
   cache.set_memoize(true);
 
+  // Warm execution state also lives for the whole session: prepared
+  // setup slices and recycled heap arenas carry across batch lines, so a
+  // later spec that varies only transport/fabric axes skips setup and
+  // arena faults entirely.
+  hs::sweep::PreparedStateCache prepared;
+  hs::runner::CaseScratch scratch;
+  hs::sweep::ExecutionContext ctx;
+  if (opt.prepared_state) {
+    ctx.prepared = &prepared;
+    ctx.scratch = &scratch;
+  }
+
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.empty()) break;
@@ -236,7 +268,8 @@ int run_serve(const Options& opt) {
           outcome.document = std::move(*document);
           ++result.hits;
         } else {
-          outcome.document = hs::sweep::simulate_case_document(outcome.config);
+          outcome.document =
+              hs::sweep::simulate_case_document(outcome.config, ctx);
           cache.store(outcome.hash, outcome.document);
           ++result.misses;
         }
